@@ -1,0 +1,228 @@
+//! Criterion microbenchmarks (experiment E7 + the DESIGN.md ablations).
+//!
+//! Groups:
+//! - `translator`: parse/check/compile cost by program size;
+//! - `dpi`: instantiate and invoke primitives;
+//! - `rds`: protocol round trips, BER header vs raw framing ablation,
+//!   MD5-authenticated vs unauthenticated ablation;
+//! - `budgets`: tight vs generous budget enforcement ablation;
+//! - `codecs`: BER and SNMP message encode/decode throughput;
+//! - `md5`: digest throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpl::Value;
+use mbd_core::{ElasticConfig, ElasticProcess, MbdServer};
+use rds::{LoopbackTransport, RdsClient};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const TRIVIAL: &str = "fn main() { return 0; }";
+const COMPUTE: &str =
+    "fn main(n) { var t = 0; var i = 0; while (i < n) { t = t + i; i = i + 1; } return t; }";
+
+fn translator_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translator");
+    let sizes = [1usize, 10, 50];
+    for &fns in &sizes {
+        let source: String = (0..fns)
+            .map(|i| format!("fn f{i}(x) {{ return x + {i}; }}\n"))
+            .collect();
+        group.throughput(Throughput::Bytes(source.len() as u64));
+        group.bench_with_input(BenchmarkId::new("compile", fns), &source, |b, src| {
+            let reg: dpl::HostRegistry<()> = dpl::HostRegistry::with_stdlib();
+            b.iter(|| dpl::compile_program(black_box(src), &reg).expect("compiles"));
+        });
+    }
+    group.finish();
+}
+
+fn dpi_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dpi");
+    // Criterion runs instantiate millions of times: pair every
+    // instantiate with a terminate and drop terminated slots, so the
+    // instance table stays bounded.
+    let p = ElasticProcess::new(ElasticConfig {
+        max_instances: usize::MAX,
+        keep_terminated: false,
+        ..ElasticConfig::default()
+    });
+    p.delegate("trivial", TRIVIAL).expect("translates");
+    p.delegate("compute", COMPUTE).expect("translates");
+
+    group.bench_function("instantiate_terminate", |b| {
+        b.iter(|| {
+            let dpi = p.instantiate(black_box("trivial")).expect("ok");
+            p.terminate(dpi).expect("ok");
+        })
+    });
+
+    let dpi = p.instantiate("trivial").expect("ok");
+    group.bench_function("invoke_trivial", |b| {
+        b.iter(|| p.invoke(black_box(dpi), "main", &[]).expect("ok"))
+    });
+
+    let cdpi = p.instantiate("compute").expect("ok");
+    group.bench_function("invoke_1k_loop", |b| {
+        b.iter(|| p.invoke(black_box(cdpi), "main", &[Value::Int(1_000)]).expect("ok"))
+    });
+    group.finish();
+}
+
+fn rds_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rds");
+
+    // Full protocol round trip.
+    let server = Arc::new(MbdServer::open(ElasticProcess::new(ElasticConfig::default())));
+    let s2 = Arc::clone(&server);
+    let client =
+        RdsClient::new(LoopbackTransport::new(move |b: &[u8]| s2.process_request(b)), "bench");
+    client.delegate("trivial", TRIVIAL).expect("ok");
+    let dpi = client.instantiate("trivial").expect("ok");
+    group.bench_function("invoke_roundtrip", |b| {
+        b.iter(|| client.invoke(black_box(dpi), "main", &[]).expect("ok"))
+    });
+
+    // Ablation: MD5-authenticated round trip.
+    let server = Arc::new(MbdServer::with_policy(
+        ElasticProcess::new(ElasticConfig::default()),
+        mbd_auth::Acl::allow_by_default(),
+        Some(b"key".to_vec()),
+    ));
+    let s3 = Arc::clone(&server);
+    let auth = RdsClient::with_key(
+        LoopbackTransport::new(move |b: &[u8]| s3.process_request(b)),
+        "bench",
+        b"key".to_vec(),
+    );
+    auth.delegate("trivial", TRIVIAL).expect("ok");
+    let adpi = auth.instantiate("trivial").expect("ok");
+    group.bench_function("invoke_roundtrip_md5", |b| {
+        b.iter(|| auth.invoke(black_box(adpi), "main", &[]).expect("ok"))
+    });
+
+    // Ablation: BER envelope encode/decode vs a raw memcpy baseline.
+    let req = rds::RdsRequest::Invoke {
+        dpi,
+        entry: "main".to_string(),
+        args: vec![ber::BerValue::Integer(42)],
+    };
+    group.bench_function("encode_decode_ber_envelope", |b| {
+        b.iter(|| {
+            let bytes = rds::codec::encode_request(
+                black_box(&req),
+                &mbd_auth::Principal::new("bench"),
+                7,
+                None,
+            );
+            rds::codec::decode_request(&bytes, None).expect("ok")
+        })
+    });
+    let raw = rds::codec::encode_request(&req, &mbd_auth::Principal::new("bench"), 7, None);
+    group.bench_function("raw_frame_copy_baseline", |b| {
+        b.iter(|| black_box(raw.clone()))
+    });
+    group.finish();
+}
+
+/// Ablation: why the Translator compiles — bytecode VM vs tree-walking
+/// interpretation of the same checked program.
+fn backend_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend");
+    let reg: dpl::HostRegistry<()> = dpl::HostRegistry::with_stdlib();
+    let big = dpl::Budget { fuel: u64::MAX / 2, memory: u64::MAX / 2, call_depth: 256 };
+
+    let program = dpl::compile_program(COMPUTE, &reg).expect("compiles");
+    let mut vm = dpl::Instance::new(&program);
+    group.bench_function("vm_10k_loop", |b| {
+        b.iter(|| {
+            vm.invoke("main", &[Value::Int(10_000)], &mut (), &reg, big).expect("ok")
+        })
+    });
+
+    let mut tree = dpl::interp::AstInstance::new(COMPUTE, &reg).expect("checks");
+    group.bench_function("tree_walk_10k_loop", |b| {
+        b.iter(|| {
+            tree.invoke("main", &[Value::Int(10_000)], &mut (), &reg, big).expect("ok")
+        })
+    });
+
+    const RECURSIVE: &str =
+        "fn fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); } \
+         fn main() { return fib(18); }";
+    let program = dpl::compile_program(RECURSIVE, &reg).expect("compiles");
+    let mut vm = dpl::Instance::new(&program);
+    group.bench_function("vm_fib18", |b| {
+        b.iter(|| vm.invoke("main", &[], &mut (), &reg, big).expect("ok"))
+    });
+    let mut tree = dpl::interp::AstInstance::new(RECURSIVE, &reg).expect("checks");
+    group.bench_function("tree_walk_fib18", |b| {
+        b.iter(|| tree.invoke("main", &[], &mut (), &reg, big).expect("ok"))
+    });
+    group.finish();
+}
+
+fn budget_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("budgets");
+    for (label, budget) in [
+        ("default", dpl::Budget::default()),
+        ("generous", dpl::Budget { fuel: u64::MAX / 2, memory: u64::MAX / 2, call_depth: 1 << 16 }),
+    ] {
+        group.bench_function(BenchmarkId::new("invoke_10k_loop", label), |b| {
+            let p = ElasticProcess::new(ElasticConfig {
+                budget,
+                ..ElasticConfig::default()
+            });
+            p.delegate("compute", COMPUTE).expect("ok");
+            let dpi = p.instantiate("compute").expect("ok");
+            b.iter(|| p.invoke(dpi, "main", &[Value::Int(10_000)]).expect("ok"))
+        });
+    }
+    group.finish();
+}
+
+fn codec_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codecs");
+    let msg = snmp::Message::v1(
+        "public",
+        snmp::Pdu::request(
+            snmp::PduKind::GetRequest,
+            1234,
+            &[
+                snmp::mib2::sys_uptime(),
+                snmp::mib2::if_in_octets(1),
+                snmp::mib2::s3_enet_conc_rx_ok(),
+            ],
+        ),
+    );
+    let bytes = msg.encode();
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("snmp_encode", |b| b.iter(|| black_box(&msg).encode()));
+    group.bench_function("snmp_decode", |b| {
+        b.iter(|| snmp::Message::decode(black_box(&bytes)).expect("ok"))
+    });
+    group.finish();
+}
+
+fn md5_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("md5");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("digest", size), &data, |b, d| {
+            b.iter(|| mbd_auth::md5::digest(black_box(d)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    translator_benches,
+    dpi_benches,
+    rds_benches,
+    backend_benches,
+    budget_benches,
+    codec_benches,
+    md5_benches
+);
+criterion_main!(benches);

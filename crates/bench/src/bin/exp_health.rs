@@ -1,0 +1,7 @@
+//! E5: regenerates the health-index accuracy table (experiment E5).
+fn main() -> std::io::Result<()> {
+    let (report, _) = mbd_bench::experiments::e5_health::run(2000, 1000, 42);
+    let path = report.emit(&mbd_bench::report::default_out_dir())?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! E7: regenerates the elastic-process microcost table (experiment E7).
+fn main() -> std::io::Result<()> {
+    let (report, _) = mbd_bench::experiments::e7_micro::run(2000);
+    let path = report.emit(&mbd_bench::report::default_out_dir())?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

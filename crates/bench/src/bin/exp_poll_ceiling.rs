@@ -1,0 +1,7 @@
+//! E1: regenerates the poll-ceiling figure (DESIGN.md experiment E1).
+fn main() -> std::io::Result<()> {
+    let (report, _) = mbd_bench::experiments::e1_poll_ceiling::run(60);
+    let path = report.emit(&mbd_bench::report::default_out_dir())?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! E4: regenerates the delegation-vs-RPC crossover figure (experiment E4),
+//! including the dp-size axis.
+use netsim::LinkSpec;
+
+fn main() -> std::io::Result<()> {
+    let ks = [1, 2, 3, 5, 10, 20, 50, 100];
+    let (report, series) = mbd_bench::experiments::e4_rpc_crossover::run(&ks);
+    let out = mbd_bench::report::default_out_dir();
+    let path = report.emit(&out)?;
+    for (link, _, crossover) in &series {
+        match crossover {
+            Some(k) => println!("{link}: delegation wins from k = {k}"),
+            None => println!("{link}: no crossover in range"),
+        }
+    }
+
+    // The dp-size axis: shipping cost of a growing agent, k = 5.
+    let mut size_report = mbd_bench::Report::new(
+        "e4_dp_size",
+        "E4b: delegation time vs dp size (k = 5)",
+        &["link", "pad_bytes", "delegated_s"],
+    );
+    for (label, spec) in [
+        ("lan-10Mb", LinkSpec::lan()),
+        ("wan-T1", LinkSpec::wan()),
+        ("congested-56k", LinkSpec::congested()),
+    ] {
+        for (pad, secs) in mbd_bench::experiments::e4_rpc_crossover::dp_size_sweep(
+            5,
+            spec,
+            &[0, 1_000, 10_000, 50_000],
+        ) {
+            size_report.push(vec![label.to_string(), pad.to_string(), format!("{secs:.4}")]);
+        }
+    }
+    let size_path = size_report.emit(&out)?;
+    println!("wrote {} and {}", path.display(), size_path.display());
+    Ok(())
+}

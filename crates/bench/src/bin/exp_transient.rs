@@ -1,0 +1,7 @@
+//! E9: regenerates the transient-detection figure (experiment E9).
+fn main() -> std::io::Result<()> {
+    let (report, _) = mbd_bench::experiments::e9_transient::run();
+    let path = report.emit(&mbd_bench::report::default_out_dir())?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! E8: regenerates the VDL-vs-SMI spec-size table (experiment E8).
+fn main() -> std::io::Result<()> {
+    let (report, _) = mbd_bench::experiments::e8_vdl_size::run();
+    let path = report.emit(&mbd_bench::report::default_out_dir())?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! E6: regenerates the MIB-views comparison table (experiment E6).
+fn main() -> std::io::Result<()> {
+    let (report, _) = mbd_bench::experiments::e6_views::run(600);
+    let path = report.emit(&mbd_bench::report::default_out_dir())?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

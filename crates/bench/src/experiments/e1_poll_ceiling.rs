@@ -1,0 +1,180 @@
+//! **E1 — the poll-rate ceiling** (figure).
+//!
+//! The thesis argues the centralized model caps the number of manageable
+//! devices: a serial poller completes at most `1 / (RTT + processing)`
+//! polls per second, so at a required poll interval `T` it can cover at
+//! most `T / (RTT + processing)` devices — and WAN latency pushes that
+//! ceiling "an order of magnitude lower" (the point-of-sale example polls
+//! every 10 s; Ben-Artzi et al. make the WAN argument; the 254/596 ms
+//! RTTs are the thesis's own measurements).
+//!
+//! We *measure* the achieved serial poll rate over the simulator for each
+//! link class, then report the resulting device ceilings for poll
+//! intervals of 1 s / 10 s / 60 s.
+
+use crate::report::Report;
+use crate::simnet::SnmpDeviceActor;
+use netsim::{Actor, Context, LinkSpec, NodeId, SimDuration, SimTime, Simulator, TimerToken};
+use snmp::agent::SnmpAgent;
+use snmp::manager::SnmpManager;
+use snmp::MibStore;
+
+/// A serial poller: exactly one outstanding request; on each response it
+/// immediately polls the next device round-robin (the tight loop of a
+/// polling management platform).
+struct SerialPoller {
+    devices: Vec<NodeId>,
+    mgr: SnmpManager,
+    next: usize,
+    completed: u64,
+}
+
+impl SerialPoller {
+    fn poll_next(&mut self, ctx: &mut Context<'_>) {
+        let target = self.devices[self.next % self.devices.len()];
+        self.next += 1;
+        let req = self
+            .mgr
+            .get_request(&[snmp::mib2::sys_uptime(), snmp::mib2::if_in_octets(1)])
+            .expect("encodable");
+        ctx.send(target, req);
+    }
+}
+
+impl Actor for SerialPoller {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.poll_next(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_>, _: NodeId, bytes: Vec<u8>) {
+        self.mgr.parse_response(&bytes).expect("valid response");
+        self.completed += 1;
+        self.poll_next(ctx);
+    }
+    fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {}
+}
+
+/// Measured ceiling for one link class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CeilingRow {
+    /// Link label.
+    pub link: &'static str,
+    /// Round-trip time in milliseconds (measured, incl. serialization).
+    pub rtt_ms: f64,
+    /// Achieved polls per second.
+    pub polls_per_sec: f64,
+    /// Device ceilings at 1 s / 10 s / 60 s poll intervals.
+    pub ceilings: [u64; 3],
+}
+
+/// Runs the experiment: serial polling against each link class for
+/// `sim_seconds` of virtual time.
+pub fn run(sim_seconds: u64) -> (Report, Vec<CeilingRow>) {
+    let links: [(&'static str, LinkSpec); 5] = [
+        ("lan-10Mb", LinkSpec::lan()),
+        ("campus", LinkSpec::campus()),
+        ("wan-T1", LinkSpec::wan()),
+        ("intercontinental", LinkSpec::intercontinental()),
+        ("congested-56k", LinkSpec::congested()),
+    ];
+    let mut report = Report::new(
+        "e1_poll_ceiling",
+        "E1: serial-poller device ceiling by link class (devices = interval / poll time)",
+        &["link", "rtt_ms", "polls_per_sec", "devices@1s", "devices@10s", "devices@60s"],
+    );
+    let mut rows = Vec::new();
+    for (label, spec) in links {
+        let mut sim = Simulator::new(0xE1);
+        // A handful of devices is enough: the poller is the bottleneck.
+        let devices: Vec<NodeId> = (0..4)
+            .map(|i| {
+                let mib = MibStore::new();
+                snmp::mib2::install_system(&mib, "dev", &format!("d{i}")).unwrap();
+                snmp::mib2::install_interfaces(&mib, 1, 10_000_000).unwrap();
+                sim.add_node(
+                    format!("dev{i}"),
+                    SnmpDeviceActor::new(SnmpAgent::new("public", mib)),
+                )
+            })
+            .collect();
+        let mgr = sim.add_node(
+            "manager",
+            SerialPoller {
+                devices: devices.clone(),
+                mgr: SnmpManager::new("public"),
+                next: 0,
+                completed: 0,
+            },
+        );
+        for d in devices {
+            sim.connect(mgr, d, spec);
+        }
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(sim_seconds));
+        let completed = sim.actor::<SerialPoller>(mgr).completed;
+        let polls_per_sec = completed as f64 / sim_seconds as f64;
+        let rtt_ms = 1000.0 / polls_per_sec;
+        let ceilings = [
+            polls_per_sec as u64,
+            (polls_per_sec * 10.0) as u64,
+            (polls_per_sec * 60.0) as u64,
+        ];
+        report.push(vec![
+            label.to_string(),
+            format!("{rtt_ms:.2}"),
+            format!("{polls_per_sec:.1}"),
+            ceilings[0].to_string(),
+            ceilings[1].to_string(),
+            ceilings[2].to_string(),
+        ]);
+        rows.push(CeilingRow { link: label, rtt_ms, polls_per_sec, ceilings });
+    }
+    (report, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceilings_fall_with_latency_and_wan_is_an_order_of_magnitude_below_lan() {
+        let (_, rows) = run(30);
+        // Monotone: each slower link supports fewer devices.
+        for pair in rows.windows(2) {
+            assert!(
+                pair[0].polls_per_sec > pair[1].polls_per_sec,
+                "{} should out-poll {}",
+                pair[0].link,
+                pair[1].link
+            );
+        }
+        let lan = &rows[0];
+        let wan = &rows[2];
+        assert!(
+            lan.polls_per_sec / wan.polls_per_sec >= 10.0,
+            "paper claim: WAN ceiling an order of magnitude lower (lan {} vs wan {})",
+            lan.polls_per_sec,
+            wan.polls_per_sec
+        );
+    }
+
+    #[test]
+    fn measured_rtt_reflects_link_latency() {
+        let (_, rows) = run(10);
+        // Intercontinental: 127 ms one-way -> ~254 ms measured RTT.
+        let inter = rows.iter().find(|r| r.link == "intercontinental").unwrap();
+        assert!((inter.rtt_ms - 254.0).abs() < 15.0, "got {}", inter.rtt_ms);
+        // POS example: at 10 s interval a LAN supports thousands; the
+        // congested path only tens.
+        let lan = &rows[0];
+        let congested = rows.last().unwrap();
+        assert!(lan.ceilings[1] > 1_000);
+        assert!(congested.ceilings[1] < 100);
+    }
+
+    #[test]
+    fn report_shape() {
+        let (report, rows) = run(5);
+        assert_eq!(report.rows.len(), rows.len());
+        assert_eq!(report.columns.len(), 6);
+        assert!(report.to_csv().contains("lan-10Mb"));
+    }
+}

@@ -1,0 +1,333 @@
+//! **E2 — management traffic: centralized polling vs delegation**
+//! (figure + table).
+//!
+//! Centralized management moves raw variables to the manager on every
+//! poll; its traffic grows linearly in devices × poll rate. A delegated
+//! health function samples the same counters *locally*, evaluates the
+//! index function in place, and only crosses the network on threshold
+//! events plus an occasional summary — the rmon-style aggregation
+//! argument of thesis §3.
+//!
+//! Both sides here are real: the centralized manager issues real SNMPv1
+//! polls; each delegated device runs a real DPL agent inside an
+//! [`ElasticProcess`], driven by the same seeded workload, emitting real
+//! SNMPv1 traps on crossings. Wire bytes are the BER-encoded message
+//! sizes plus per-message link overhead.
+
+use crate::report::Report;
+use ber::BerValue;
+use health::{Scenario, ScenarioConfig};
+use mbd_core::{ElasticConfig, ElasticProcess};
+use netsim::{Actor, Context, LinkSpec, NodeId, SimDuration, SimTime, Simulator, TimerToken};
+use rds::DpiId;
+use snmp::agent::SnmpAgent;
+use snmp::manager::SnmpManager;
+use snmp::{mib2, MibStore};
+
+/// The delegated health agent: samples concentrator counters, computes a
+/// two-symptom index, notifies with hysteresis.
+pub const HEALTH_AGENT: &str = r#"
+var prev_rx = 0;
+var prev_frames = 0;
+var prev_coll = 0;
+var first = true;
+var alarmed = false;
+var samples = 0;
+var alarms = 0;
+
+fn sample(interval_secs) {
+    samples = samples + 1;
+    var rx = mib_get("1.3.6.1.4.1.45.1.3.2.1.0");
+    var frames = mib_get("1.3.6.1.4.1.45.1.3.2.4.0");
+    var coll = mib_get("1.3.6.1.4.1.45.1.3.2.2.0");
+    var d_rx = rx - prev_rx;
+    var d_frames = frames - prev_frames;
+    var d_coll = coll - prev_coll;
+    prev_rx = rx;
+    prev_frames = frames;
+    prev_coll = coll;
+    if (first) { first = false; return 0.0; }
+    var util = d_rx / (interval_secs * 1250000.0);
+    var coll_rate = 0.0;
+    if (d_frames > 0) { coll_rate = float(d_coll) / float(d_frames); }
+    var idx = util + 3.0 * coll_rate;
+    if (idx > 0.9) {
+        if (!alarmed) {
+            alarmed = true;
+            alarms = alarms + 1;
+            notify(["health-alarm", idx]);
+        }
+    } else {
+        if (idx < 0.7) { alarmed = false; }
+    }
+    return idx;
+}
+
+fn summary() { return [samples, alarms]; }
+"#;
+
+/// The five health variables a centralized manager must poll.
+fn polled_oids() -> Vec<ber::Oid> {
+    vec![
+        mib2::s3_enet_conc_rx_ok(),
+        mib2::s3_enet_conc_frames(),
+        mib2::s3_enet_conc_coll(),
+        mib2::s3_enet_conc_bcast(),
+        mib2::if_in_errors(1),
+    ]
+}
+
+/// Centralized manager: polls every device every `interval`.
+struct IntervalPoller {
+    devices: Vec<NodeId>,
+    mgr: SnmpManager,
+    interval: SimDuration,
+    responses: u64,
+}
+
+impl Actor for IntervalPoller {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(SimDuration::ZERO);
+    }
+    fn on_message(&mut self, _: &mut Context<'_>, _: NodeId, bytes: Vec<u8>) {
+        self.mgr.parse_response(&bytes).expect("valid poll response");
+        self.responses += 1;
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _: TimerToken) {
+        let oids = polled_oids();
+        for &d in &self.devices {
+            let req = self.mgr.get_request(&oids).expect("encodable");
+            ctx.send(d, req);
+        }
+        ctx.set_timer(self.interval);
+    }
+}
+
+/// A device whose workload evolves each interval (centralized side).
+struct WorkloadDevice {
+    agent: SnmpAgent,
+    scenario: Scenario,
+    interval: SimDuration,
+}
+
+impl Actor for WorkloadDevice {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(self.interval);
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, bytes: Vec<u8>) {
+        if let Some(resp) = self.agent.handle(&bytes) {
+            ctx.send(from, resp);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _: TimerToken) {
+        self.scenario.apply_step(self.agent.store());
+        ctx.set_timer(self.interval);
+    }
+}
+
+/// A device running the delegated health agent (delegated side): local
+/// sampling, traps only on alarm, summary every `summary_every` samples.
+struct DelegatedDevice {
+    process: ElasticProcess,
+    dpi: DpiId,
+    manager: NodeId,
+    scenario: Scenario,
+    interval: SimDuration,
+    summary_every: u32,
+    samples: u32,
+}
+
+impl DelegatedDevice {
+    fn trap(&self, specific: i64, value: BerValue, uptime: u32) -> Vec<u8> {
+        let trap = snmp::TrapPdu {
+            enterprise: "1.3.6.1.4.1.20100".parse().expect("static"),
+            agent_addr: [10, 0, 0, 1],
+            generic_trap: 6,
+            specific_trap: specific,
+            time_stamp: uptime,
+            varbinds: vec![snmp::VarBind::new(
+                "1.3.6.1.4.1.20100.1.100.0".parse().expect("static"),
+                value,
+            )],
+        };
+        snmp::Message::v1_trap("public", trap).encode()
+    }
+}
+
+impl Actor for DelegatedDevice {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(self.interval);
+    }
+    fn on_message(&mut self, _: &mut Context<'_>, _: NodeId, _: Vec<u8>) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _: TimerToken) {
+        self.scenario.apply_step(self.process.mib());
+        self.process.advance_ticks(self.interval.as_nanos() / 10_000_000);
+        let secs = self.interval.as_secs_f64();
+        self.process
+            .invoke(self.dpi, "sample", &[dpl::Value::Float(secs)])
+            .expect("health agent runs");
+        self.samples += 1;
+        for note in self.process.drain_notifications() {
+            let value = mbd_core::convert::to_ber(&note.value);
+            let bytes = self.trap(1, value, self.process.ticks() as u32);
+            ctx.send(self.manager, bytes);
+        }
+        if self.samples.is_multiple_of(self.summary_every) {
+            let v = self
+                .process
+                .invoke(self.dpi, "summary", &[])
+                .expect("summary runs");
+            let bytes = self.trap(2, mbd_core::convert::to_ber(&v), self.process.ticks() as u32);
+            ctx.send(self.manager, bytes);
+        }
+        ctx.set_timer(self.interval);
+    }
+}
+
+/// Results for one device count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficRow {
+    /// Number of managed devices.
+    pub devices: u32,
+    /// Manager-link wire bytes under centralized polling.
+    pub polling_bytes: u64,
+    /// Manager-link messages under centralized polling.
+    pub polling_msgs: u64,
+    /// Manager-link wire bytes under delegation.
+    pub delegated_bytes: u64,
+    /// Manager-link messages under delegation.
+    pub delegated_msgs: u64,
+}
+
+impl TrafficRow {
+    /// Traffic reduction factor.
+    pub fn ratio(&self) -> f64 {
+        self.polling_bytes as f64 / self.delegated_bytes.max(1) as f64
+    }
+}
+
+fn run_polling(devices: u32, sim_seconds: u64, interval: SimDuration) -> (u64, u64) {
+    let mut sim = Simulator::new(0xE2);
+    let mut ids = Vec::new();
+    for i in 0..devices {
+        let mib = MibStore::new();
+        mib2::install_concentrator(&mib).unwrap();
+        mib2::install_interfaces(&mib, 1, 10_000_000).unwrap();
+        ids.push(sim.add_node(
+            format!("dev{i}"),
+            WorkloadDevice {
+                agent: SnmpAgent::new("public", mib),
+                scenario: Scenario::new(ScenarioConfig::default(), 1000 + u64::from(i)),
+                interval,
+            },
+        ));
+    }
+    let mgr = sim.add_node(
+        "manager",
+        IntervalPoller {
+            devices: ids.clone(),
+            mgr: SnmpManager::new("public"),
+            interval,
+            responses: 0,
+        },
+    );
+    for d in ids {
+        sim.connect(mgr, d, LinkSpec::lan());
+    }
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(sim_seconds));
+    (sim.stats().wire_bytes, sim.stats().messages_sent)
+}
+
+fn run_delegated(devices: u32, sim_seconds: u64, interval: SimDuration) -> (u64, u64) {
+    let mut sim = Simulator::new(0xE2D);
+    let mgr = sim.add_node("manager", crate::simnet::CollectorActor::default());
+    for i in 0..devices {
+        let process = ElasticProcess::new(ElasticConfig::default());
+        mib2::install_concentrator(process.mib()).unwrap();
+        mib2::install_interfaces(process.mib(), 1, 10_000_000).unwrap();
+        process.delegate("health", HEALTH_AGENT).expect("agent translates");
+        let dpi = process.instantiate("health").expect("instantiates");
+        let dev = sim.add_node(
+            format!("dev{i}"),
+            DelegatedDevice {
+                process,
+                dpi,
+                manager: mgr,
+                scenario: Scenario::new(ScenarioConfig::default(), 1000 + u64::from(i)),
+                interval,
+                summary_every: 30, // one summary per 30 samples (5 min at 10 s)
+                samples: 0,
+            },
+        );
+        sim.connect(mgr, dev, LinkSpec::lan());
+    }
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(sim_seconds));
+    (sim.stats().wire_bytes, sim.stats().messages_sent)
+}
+
+/// Runs the sweep over device counts.
+pub fn run(device_counts: &[u32], sim_seconds: u64) -> (Report, Vec<TrafficRow>) {
+    let interval = SimDuration::from_secs(10);
+    let mut report = Report::new(
+        "e2_traffic",
+        "E2: manager-link traffic over one simulated window, polling vs delegated health",
+        &["devices", "polling_bytes", "polling_msgs", "delegated_bytes", "delegated_msgs", "reduction"],
+    );
+    let mut rows = Vec::new();
+    for &n in device_counts {
+        let (pb, pm) = run_polling(n, sim_seconds, interval);
+        let (db, dm) = run_delegated(n, sim_seconds, interval);
+        let row = TrafficRow {
+            devices: n,
+            polling_bytes: pb,
+            polling_msgs: pm,
+            delegated_bytes: db,
+            delegated_msgs: dm,
+        };
+        report.push(vec![
+            n.to_string(),
+            pb.to_string(),
+            pm.to_string(),
+            db.to_string(),
+            dm.to_string(),
+            format!("{:.1}x", row.ratio()),
+        ]);
+        rows.push(row);
+    }
+    (report, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delegation_cuts_traffic_by_an_order_of_magnitude() {
+        let (_, rows) = run(&[10], 600);
+        let r = &rows[0];
+        assert!(r.polling_bytes > 0 && r.delegated_bytes > 0);
+        assert!(
+            r.ratio() >= 10.0,
+            "expected >=10x reduction, got {:.1}x ({} vs {})",
+            r.ratio(),
+            r.polling_bytes,
+            r.delegated_bytes
+        );
+    }
+
+    #[test]
+    fn polling_traffic_grows_linearly_with_devices() {
+        let (_, rows) = run(&[5, 10], 300);
+        let small = rows[0].polling_bytes as f64;
+        let big = rows[1].polling_bytes as f64;
+        let growth = big / small;
+        assert!((1.8..=2.2).contains(&growth), "expected ~2x, got {growth:.2}x");
+    }
+
+    #[test]
+    fn delegated_devices_still_report_alarms_and_summaries() {
+        let (_, rows) = run(&[8], 600);
+        // 8 devices, 60 samples each: summaries alone guarantee messages.
+        assert!(rows[0].delegated_msgs >= 8, "got {}", rows[0].delegated_msgs);
+    }
+}

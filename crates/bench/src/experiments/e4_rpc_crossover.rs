@@ -1,0 +1,346 @@
+//! **E4 — delegation vs repeated RPC: the crossover** (figure).
+//!
+//! Against RPC-style management, the thesis argues that once a management
+//! task needs more than a handful of interactions with device data,
+//! shipping the computation beats shipping the data: the one-time cost of
+//! `delegate + instantiate` is amortized, every subsequent interaction is
+//! local, and the answer comes back in one message (the late-binding /
+//! remote-evaluation argument attributed to Partridge, sharpened by the
+//! observation that CPU speed grows ~50%/year while latency is bounded by
+//! the speed of light).
+//!
+//! The task: correlate `k` pairs of VC-table cells (read two counters,
+//! compare, count). RPC does `2k` remote Gets; delegation sends one DPL
+//! agent that does the same reads locally. Both run over the simulator
+//! with real message sizes; the crossover `k*` is where delegation's
+//! total time dips below RPC's.
+
+use crate::report::Report;
+use crate::simnet::{MbdDeviceActor, RdsSimClient, SnmpDeviceActor};
+use mbd_core::{ElasticConfig, ElasticProcess};
+use netsim::{Actor, Context, LinkSpec, NodeId, SimTime, Simulator, TimerToken};
+use rds::{RdsRequest, RdsResponse};
+use snmp::agent::SnmpAgent;
+use snmp::manager::SnmpManager;
+use snmp::{mib2, MibStore};
+
+/// The delegated correlator: performs `k` two-cell interactions locally.
+pub const CORRELATOR_AGENT: &str = r#"
+fn correlate(k) {
+    var hits = 0;
+    var i = 1;
+    while (i <= k) {
+        var cells = mib_get("1.3.6.1.4.1.353.2.5.1.2." + str(i));
+        var drops = mib_get("1.3.6.1.4.1.353.2.5.1.3." + str(i));
+        if (drops != nil && cells != nil) {
+            if (drops * 100 > cells) { hits = hits + 1; }
+        }
+        i = i + 1;
+    }
+    return hits;
+}
+"#;
+
+/// RPC-style manager: `2k` sequential remote Gets, then a local compare.
+struct RpcManager {
+    device: NodeId,
+    mgr: SnmpManager,
+    k: u32,
+    i: u32,
+    pending_cells: Option<i64>,
+    hits: u64,
+    done_at: Option<SimTime>,
+}
+
+impl RpcManager {
+    fn next_get(&mut self, ctx: &mut Context<'_>, col: u32) {
+        let oid = mib2::atm_vc_entry().child(col).child(self.i);
+        let req = self.mgr.get_request(&[oid]).unwrap();
+        ctx.send(self.device, req);
+    }
+}
+
+impl Actor for RpcManager {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.i = 1;
+        self.next_get(ctx, 2);
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_>, _: NodeId, bytes: Vec<u8>) {
+        let vbs = self.mgr.parse_response(&bytes).expect("valid");
+        let value = vbs[0].value.as_i64().unwrap_or(0);
+        match self.pending_cells.take() {
+            None => {
+                self.pending_cells = Some(value);
+                self.next_get(ctx, 3);
+            }
+            Some(cells) => {
+                if value * 100 > cells {
+                    self.hits += 1;
+                }
+                self.i += 1;
+                if self.i <= self.k {
+                    self.next_get(ctx, 2);
+                } else {
+                    self.done_at = Some(ctx.now());
+                }
+            }
+        }
+    }
+    fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {}
+}
+
+/// Delegating manager: delegate + instantiate + one invoke.
+struct DelegateOnce {
+    device: NodeId,
+    client: RdsSimClient,
+    source: String,
+    k: u32,
+    phase: u8,
+    hits: u64,
+    done_at: Option<SimTime>,
+}
+
+impl Actor for DelegateOnce {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let (_, bytes) = self.client.encode(&RdsRequest::DelegateProgram {
+            dp_name: "correlate".to_string(),
+            language: "dpl".to_string(),
+            source: self.source.clone().into_bytes(),
+        });
+        ctx.send(self.device, bytes);
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_>, _: NodeId, bytes: Vec<u8>) {
+        let (resp, _) = self.client.decode(&bytes).expect("decodable");
+        match (self.phase, resp) {
+            (0, RdsResponse::Ok) => {
+                self.phase = 1;
+                let (_, b) = self
+                    .client
+                    .encode(&RdsRequest::Instantiate { dp_name: "correlate".to_string() });
+                ctx.send(self.device, b);
+            }
+            (1, RdsResponse::Instantiated { dpi }) => {
+                self.phase = 2;
+                let (_, b) = self.client.encode(&RdsRequest::Invoke {
+                    dpi,
+                    entry: "correlate".to_string(),
+                    args: vec![ber::BerValue::Integer(i64::from(self.k))],
+                });
+                ctx.send(self.device, b);
+            }
+            (2, RdsResponse::Result { value }) => {
+                self.hits = value.as_i64().unwrap_or(-1) as u64;
+                self.done_at = Some(ctx.now());
+            }
+            (p, other) => panic!("phase {p}: unexpected {other:?}"),
+        }
+    }
+    fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {}
+}
+
+/// Timing for one `k` on one link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossoverPoint {
+    /// Interactions.
+    pub k: u32,
+    /// RPC completion time (s) and hits.
+    pub rpc: (f64, u64),
+    /// Delegation completion time (s) and hits.
+    pub delegated: (f64, u64),
+}
+
+fn device(rows: u32) -> MibStore {
+    let mib = MibStore::new();
+    mib2::install_atm_vc_table(&mib, rows).unwrap();
+    mib
+}
+
+fn run_rpc(k: u32, spec: LinkSpec) -> (f64, u64) {
+    let mut sim = Simulator::new(0xE4);
+    let dev =
+        sim.add_node("switch", SnmpDeviceActor::new(SnmpAgent::new("public", device(k + 10))));
+    let mgr = sim.add_node(
+        "manager",
+        RpcManager {
+            device: dev,
+            mgr: SnmpManager::new("public"),
+            k,
+            i: 1,
+            pending_cells: None,
+            hits: 0,
+            done_at: None,
+        },
+    );
+    sim.connect(mgr, dev, spec);
+    sim.run();
+    let m = sim.actor::<RpcManager>(mgr);
+    (m.done_at.expect("rpc completes").as_secs_f64(), m.hits)
+}
+
+fn run_delegated(k: u32, spec: LinkSpec) -> (f64, u64) {
+    run_delegated_padded(k, spec, 0)
+}
+
+/// As [`run_delegated`], with `pad` bytes of comments appended to the dp
+/// source — the dp-size axis of the crossover figure (a bigger agent
+/// costs more to ship once, shifting the crossover right on slow links).
+fn run_delegated_padded(k: u32, spec: LinkSpec, pad: usize) -> (f64, u64) {
+    let mut source = CORRELATOR_AGENT.to_string();
+    while source.len() < CORRELATOR_AGENT.len() + pad {
+        source.push_str("// padding comment to grow the delegated program\n");
+    }
+    let mut sim = Simulator::new(0xE4D);
+    let process = ElasticProcess::new(ElasticConfig {
+        budget: dpl::Budget { fuel: 100_000_000, memory: 10_000_000, call_depth: 64 },
+        ..ElasticConfig::default()
+    });
+    mib2::install_atm_vc_table(process.mib(), k + 10).unwrap();
+    let dev = sim.add_node("switch", MbdDeviceActor::from_process(process));
+    let mgr = sim.add_node(
+        "manager",
+        DelegateOnce {
+            device: dev,
+            client: RdsSimClient::new("noc"),
+            source,
+            k,
+            phase: 0,
+            hits: 0,
+            done_at: None,
+        },
+    );
+    sim.connect(mgr, dev, spec);
+    sim.run();
+    let m = sim.actor::<DelegateOnce>(mgr);
+    (m.done_at.expect("delegation completes").as_secs_f64(), m.hits)
+}
+
+/// The dp-size sweep: delegation time for one k over one link as the
+/// agent's source grows. Returns `(pad_bytes, delegated_seconds)` pairs.
+pub fn dp_size_sweep(k: u32, spec: LinkSpec, pads: &[usize]) -> Vec<(usize, f64)> {
+    pads.iter().map(|&pad| (pad, run_delegated_padded(k, spec, pad).0)).collect()
+}
+
+/// Sweeps `k` on one link; returns the series and the crossover.
+pub fn sweep(ks: &[u32], spec: LinkSpec) -> (Vec<CrossoverPoint>, Option<u32>) {
+    let mut points = Vec::new();
+    let mut crossover = None;
+    for &k in ks {
+        let rpc = run_rpc(k, spec);
+        let delegated = run_delegated(k, spec);
+        if crossover.is_none() && delegated.0 < rpc.0 {
+            crossover = Some(k);
+        }
+        points.push(CrossoverPoint { k, rpc, delegated });
+    }
+    (points, crossover)
+}
+
+/// One link's sweep: label, series, and crossover point.
+pub type LinkSweep = (&'static str, Vec<CrossoverPoint>, Option<u32>);
+
+/// Runs the experiment across link classes.
+pub fn run(ks: &[u32]) -> (Report, Vec<LinkSweep>) {
+    let links: [(&'static str, LinkSpec); 3] = [
+        ("lan-10Mb", LinkSpec::lan()),
+        ("wan-T1", LinkSpec::wan()),
+        ("intercontinental", LinkSpec::intercontinental()),
+    ];
+    let mut report = Report::new(
+        "e4_rpc_crossover",
+        "E4: k remote interactions (RPC) vs delegate-once (times in seconds)",
+        &["link", "k", "rpc_s", "delegated_s", "winner"],
+    );
+    let mut out = Vec::new();
+    for (label, spec) in links {
+        let (points, crossover) = sweep(ks, spec);
+        for p in &points {
+            report.push(vec![
+                label.to_string(),
+                p.k.to_string(),
+                format!("{:.4}", p.rpc.0),
+                format!("{:.4}", p.delegated.0),
+                if p.delegated.0 < p.rpc.0 { "delegation" } else { "rpc" }.to_string(),
+            ]);
+        }
+        out.push((label, points, crossover));
+    }
+    (report, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpc_and_delegation_agree_on_the_answer() {
+        let (_, rpc_hits) = run_rpc(20, LinkSpec::lan());
+        let (_, dlg_hits) = run_delegated(20, LinkSpec::lan());
+        assert_eq!(rpc_hits, dlg_hits);
+    }
+
+    #[test]
+    fn crossover_exists_and_is_small() {
+        let ks = [1, 2, 3, 5, 10, 20, 50];
+        let (points, crossover) = sweep(&ks, LinkSpec::wan());
+        let k_star = crossover.expect("delegation must win eventually");
+        assert!(k_star <= 5, "crossover should be a handful of interactions, got {k_star}");
+        // And RPC time grows ~linearly in k while delegation stays flat.
+        let first = &points[0];
+        let last = points.last().unwrap();
+        assert!(last.rpc.0 > first.rpc.0 * 10.0);
+        assert!(last.delegated.0 < first.delegated.0 * 3.0);
+    }
+
+    #[test]
+    fn single_interaction_favors_rpc() {
+        // For k = 1 the three RDS round trips cannot beat two Gets.
+        let (points, _) = sweep(&[1], LinkSpec::wan());
+        assert!(points[0].rpc.0 < points[0].delegated.0);
+    }
+
+    #[test]
+    fn higher_latency_lowers_the_crossover_payoff_threshold() {
+        let ks = [1, 2, 3, 5, 10, 20];
+        let (lan_points, _) = sweep(&ks, LinkSpec::lan());
+        let (wan_points, _) = sweep(&ks, LinkSpec::wan());
+        // At k=20, delegation's advantage is larger on the WAN.
+        let lan_gain = lan_points.last().unwrap().rpc.0 / lan_points.last().unwrap().delegated.0;
+        let wan_gain = wan_points.last().unwrap().rpc.0 / wan_points.last().unwrap().delegated.0;
+        assert!(wan_gain > lan_gain);
+    }
+}
+
+#[cfg(test)]
+mod dp_size_tests {
+    use super::*;
+
+    #[test]
+    fn bigger_agents_cost_more_to_ship_on_slow_links() {
+        // On the 56 kb/s congested link, serialization dominates: a
+        // 20 KB agent must take visibly longer than a bare one.
+        let sweep = dp_size_sweep(5, LinkSpec::congested(), &[0, 20_000]);
+        let bare = sweep[0].1;
+        let padded = sweep[1].1;
+        assert!(
+            padded > bare + 2.0,
+            "20KB at 56kb/s adds ~2.9s of tx time: bare {bare:.2}s padded {padded:.2}s"
+        );
+    }
+
+    #[test]
+    fn dp_size_barely_matters_on_fast_links() {
+        let sweep = dp_size_sweep(5, LinkSpec::lan(), &[0, 20_000]);
+        assert!(
+            sweep[1].1 < sweep[0].1 * 10.0,
+            "10Mb/s ships 20KB in ~16ms: {:?}",
+            sweep
+        );
+    }
+
+    #[test]
+    fn padded_agent_still_computes_correctly() {
+        let (_, hits_plain) = run_delegated_padded(20, LinkSpec::lan(), 0);
+        let (_, hits_padded) = run_delegated_padded(20, LinkSpec::lan(), 5_000);
+        assert_eq!(hits_plain, hits_padded);
+    }
+}

@@ -1,0 +1,111 @@
+//! **E5 — learned health functions** (table).
+//!
+//! Thesis §4 proposes computing subnet health as a weighted sum of
+//! symptoms and *learning* the weights — "good (poor) predictors should
+//! have their weights increased (decreased) until correct classifications
+//! are achieved" — via perceptron training or the LMS rule. This
+//! experiment reproduces that study over the synthetic labeled workload:
+//! train on one trace, test on a disjoint trace, and compare against the
+//! hand-set InterOp-style index.
+
+use crate::report::Report;
+use health::{
+    evaluate, lms_train, perceptron_train, LinearIndex, Metrics, Scenario, ScenarioConfig,
+    TrainConfig,
+};
+
+/// Metrics for one classifier on one scenario mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthRow {
+    /// Classifier label.
+    pub classifier: &'static str,
+    /// Test-set metrics.
+    pub metrics: Metrics,
+    /// The index's weights (for the weight table).
+    pub weights: Vec<f64>,
+}
+
+/// Trains and evaluates the three classifiers on disjoint traces.
+pub fn run(train_len: usize, test_len: usize, seed: u64) -> (Report, Vec<HealthRow>) {
+    let config = ScenarioConfig::default();
+    let train = Scenario::new(config, seed).labeled_trace(train_len);
+    let test = Scenario::new(config, seed + 1).labeled_trace(test_len);
+
+    let hand = LinearIndex::interop_default();
+    let perceptron = perceptron_train(&train, TrainConfig { learning_rate: 0.1, epochs: 200 });
+    let lms = lms_train(&train, TrainConfig::default());
+
+    let rows = vec![
+        ("hand-set (InterOp)", hand),
+        ("perceptron", perceptron),
+        ("LMS", lms),
+    ];
+
+    let mut report = Report::new(
+        "e5_health",
+        "E5: health-index classification on a held-out labeled trace",
+        &["classifier", "accuracy", "precision", "recall", "tp", "fp", "fn", "tn", "weights"],
+    );
+    let mut out = Vec::new();
+    for (label, index) in rows {
+        let m = evaluate(&index, &test);
+        report.push(vec![
+            label.to_string(),
+            format!("{:.3}", m.accuracy),
+            format!("{:.3}", m.precision),
+            format!("{:.3}", m.recall),
+            m.true_positives().to_string(),
+            m.false_positives().to_string(),
+            m.false_negatives().to_string(),
+            m.true_negatives().to_string(),
+            format!(
+                "[{}]",
+                index
+                    .weights()
+                    .iter()
+                    .map(|w| format!("{w:.2}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        ]);
+        out.push(HealthRow { classifier: label, metrics: m, weights: index.weights().to_vec() });
+    }
+    (report, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trained_indexes_generalize_to_held_out_data() {
+        let (_, rows) = run(800, 400, 42);
+        let perceptron = rows.iter().find(|r| r.classifier == "perceptron").unwrap();
+        let lms = rows.iter().find(|r| r.classifier == "LMS").unwrap();
+        assert!(perceptron.metrics.accuracy > 0.85, "{:?}", perceptron.metrics);
+        assert!(lms.metrics.accuracy > 0.85, "{:?}", lms.metrics);
+    }
+
+    #[test]
+    fn learning_beats_or_matches_the_hand_set_index() {
+        let (_, rows) = run(800, 400, 7);
+        let hand = rows.iter().find(|r| r.classifier.starts_with("hand")).unwrap();
+        let lms = rows.iter().find(|r| r.classifier == "LMS").unwrap();
+        assert!(
+            lms.metrics.accuracy >= hand.metrics.accuracy - 0.02,
+            "lms {:?} vs hand {:?}",
+            lms.metrics.accuracy,
+            hand.metrics.accuracy
+        );
+    }
+
+    #[test]
+    fn report_lists_three_classifiers_with_weights() {
+        let (report, rows) = run(200, 100, 1);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(report.rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.weights.len(), 4);
+        }
+    }
+}

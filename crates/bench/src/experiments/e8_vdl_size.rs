@@ -1,0 +1,148 @@
+//! **E8 — VDL spec economy vs SMI extensions** (table).
+//!
+//! Thesis §5.5.2: a view that "only takes five lines in our VDL" becomes
+//! a long SMI-extension module in the Arai & Yemini notation (its
+//! Fig. 5.10 vs Fig. 5.19). We reproduce the comparison mechanically for
+//! a set of representative views: render each as canonical VDL and as
+//! the generated SMI-extension module, and compare sizes.
+
+use crate::report::Report;
+use vdl::smi::{measure, to_smi_spec, to_vdl_text};
+use vdl::parse_view;
+
+/// The representative views (name, definition).
+pub fn corpus() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "busy_interfaces",
+            "view busy\n\
+             from i = 1.3.6.1.2.1.2.2.1\n\
+             where i.10 > 1000000\n\
+             select i.2 as name, i.10 * 8 / i.5 as load",
+        ),
+        (
+            "tcp_remotes",
+            "view remotes\n\
+             from c = 1.3.6.1.2.1.6.13.1\n\
+             where c.1 == 5\n\
+             select c.4 as remote, count() as conns\n\
+             group by c.4",
+        ),
+        (
+            "dropping_vcs",
+            "view dropping\n\
+             from vc = 1.3.6.1.4.1.353.2.5.1\n\
+             where vc.3 > 100\n\
+             select vc.1 as id, vc.3 as dropped, vc.4 as qos",
+        ),
+        (
+            "alarmed_if_join",
+            "view alarmed\n\
+             from a = 1.3.6.1.4.1.99.1.1\n\
+             join i = 1.3.6.1.2.1.2.2.1 on index(a) == index(i)\n\
+             select i.2 as name, i.14 as errors",
+        ),
+        (
+            "error_summary",
+            "view errsum\n\
+             from i = 1.3.6.1.2.1.2.2.1\n\
+             select sum(i.14) as total_errors, avg(i.10) as mean_octets, count() as ifs",
+        ),
+    ]
+}
+
+/// Size comparison for one view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeRow {
+    /// View label.
+    pub name: &'static str,
+    /// VDL non-blank lines / characters.
+    pub vdl: (usize, usize),
+    /// SMI non-blank lines / characters.
+    pub smi: (usize, usize),
+}
+
+impl SizeRow {
+    /// Line-count blowup factor of the SMI form.
+    pub fn line_ratio(&self) -> f64 {
+        self.smi.0 as f64 / self.vdl.0.max(1) as f64
+    }
+}
+
+/// Runs the comparison over the corpus.
+pub fn run() -> (Report, Vec<SizeRow>) {
+    let mut report = Report::new(
+        "e8_vdl_size",
+        "E8: specification size — compact VDL vs generated SMI extension",
+        &["view", "vdl_lines", "vdl_chars", "smi_lines", "smi_chars", "line_ratio"],
+    );
+    let mut out = Vec::new();
+    for (name, src) in corpus() {
+        let view = parse_view(src).expect("corpus views parse");
+        let vdl_size = measure(&to_vdl_text(&view));
+        let smi_size = measure(&to_smi_spec(&view));
+        let row = SizeRow {
+            name,
+            vdl: (vdl_size.lines, vdl_size.chars),
+            smi: (smi_size.lines, smi_size.chars),
+        };
+        report.push(vec![
+            name.to_string(),
+            row.vdl.0.to_string(),
+            row.vdl.1.to_string(),
+            row.smi.0.to_string(),
+            row.smi.1.to_string(),
+            format!("{:.1}x", row.line_ratio()),
+        ]);
+        out.push(row);
+    }
+    (report, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_view_is_compact_in_vdl() {
+        let (_, rows) = run();
+        for r in &rows {
+            assert!(r.vdl.0 <= 5, "{}: vdl should be <=5 lines, got {}", r.name, r.vdl.0);
+        }
+    }
+
+    #[test]
+    fn smi_blowup_is_at_least_8x_everywhere() {
+        let (_, rows) = run();
+        for r in &rows {
+            assert!(
+                r.line_ratio() >= 8.0,
+                "{}: smi should dwarf vdl, got {:.1}x",
+                r.name,
+                r.line_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_views_all_evaluate_against_a_real_mib() {
+        // The corpus is not just parseable: each view runs.
+        let mib = snmp::MibStore::new();
+        snmp::mib2::install_interfaces(&mib, 4, 10_000_000).unwrap();
+        snmp::mib2::install_atm_vc_table(&mib, 20).unwrap();
+        snmp::mib2::install_tcp_conn(
+            &mib,
+            snmp::mib2::TcpConn {
+                state: snmp::mib2::tcp_state::ESTABLISHED,
+                local: ([10, 0, 0, 1], 22),
+                remote: ([10, 0, 0, 2], 9999),
+            },
+        )
+        .unwrap();
+        let mcva = vdl::Mcva::new(mib);
+        for (name, src) in corpus() {
+            mcva.define(name, src).expect("defines");
+            mcva.evaluate(name).unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! **E9 — detecting transient phenomena** (figure).
+//!
+//! Thesis §5: "snapshot views are very useful to investigate transient
+//! problems of short duration... often handled by automatic recovery
+//! mechanisms which quickly mask the symptoms" — e.g. RIP's
+//! distance-vector algorithm reroutes around an intermittent fault, so a
+//! remote poller sampling every `T` seconds sees a healthy route table
+//! almost always. A delegated watcher samples locally at 1 s and
+//! *latches* the event.
+//!
+//! We inject route-flap episodes of length `L` into a simulated device,
+//! run a remote poller at interval `T` and a local delegated watcher
+//! (a real DPL agent), and measure the fraction of episodes each detects.
+//! Expected shape: poller detection ≈ `min(1, L/T)`; watcher ≈ 1 for
+//! every `L ≥ 1 s`.
+
+use crate::report::Report;
+use ber::BerValue;
+use mbd_core::{ElasticConfig, ElasticProcess};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snmp::MibStore;
+
+/// The OID of the "degraded route" flag (1 = flapping, 0 = healthy).
+fn flap_oid() -> ber::Oid {
+    "1.3.6.1.4.1.20100.9.1.0".parse().expect("static")
+}
+
+/// The delegated watcher: latches any degradation it ever sees and
+/// counts distinct episodes (rising edges).
+pub const WATCHER_AGENT: &str = r#"
+var episodes = 0;
+var in_episode = false;
+
+fn sample() {
+    var degraded = mib_get("1.3.6.1.4.1.20100.9.1.0");
+    if (degraded == 1) {
+        if (!in_episode) { in_episode = true; episodes = episodes + 1; }
+    } else {
+        in_episode = false;
+    }
+    return episodes;
+}
+
+fn episodes_seen() { return episodes; }
+"#;
+
+/// A generated fault schedule: episode start/end seconds.
+fn episodes(sim_seconds: u32, episode_len: u32, count: u32, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut t = rng.gen_range(1..30);
+    for _ in 0..count {
+        let end = t + episode_len;
+        if end + 2 >= sim_seconds {
+            break;
+        }
+        out.push((t, end));
+        // Healthy gap of at least 2 s so episodes are distinct.
+        t = end + 2 + rng.gen_range(0u32..30);
+    }
+    out
+}
+
+/// Detection rates for one (episode length, poll interval) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientRow {
+    /// Episode length, seconds.
+    pub episode_len: u32,
+    /// Poll interval, seconds.
+    pub poll_interval: u32,
+    /// Episodes injected.
+    pub injected: u32,
+    /// Fraction of episodes the remote poller observed.
+    pub poller_detection: f64,
+    /// Fraction of episodes the delegated watcher observed.
+    pub watcher_detection: f64,
+}
+
+/// Runs one configuration: second-granularity time loop over one device.
+pub fn run_one(episode_len: u32, poll_interval: u32, seed: u64) -> TransientRow {
+    let sim_seconds = 3_000;
+    let eps = episodes(sim_seconds, episode_len, 60, seed);
+
+    let mib = MibStore::new();
+    mib.set_scalar(flap_oid(), BerValue::Integer(0)).expect("install flag");
+
+    let process = ElasticProcess::with_mib(ElasticConfig::default(), mib.clone());
+    process.delegate("watcher", WATCHER_AGENT).expect("translates");
+    let dpi = process.instantiate("watcher").expect("instantiates");
+
+    let mut poller_hits = 0u32;
+    let mut in_ep_prev = false;
+    let mut poller_saw_current = false;
+    for t in 0..sim_seconds {
+        let in_episode = eps.iter().any(|&(s, e)| t >= s && t < e);
+        if in_episode != in_ep_prev {
+            mib.set_scalar(flap_oid(), BerValue::Integer(i64::from(in_episode)))
+                .expect("flag flips");
+            if in_episode {
+                poller_saw_current = false;
+            } else if poller_saw_current {
+                poller_hits += 1;
+            }
+            in_ep_prev = in_episode;
+        }
+        // The delegated watcher samples every second, locally.
+        process.invoke(dpi, "sample", &[]).expect("watcher runs");
+        // The remote poller samples every poll_interval seconds.
+        if t % poll_interval == 0 && in_episode {
+            poller_saw_current = true;
+        }
+    }
+    let watcher_episodes = match process.invoke(dpi, "episodes_seen", &[]) {
+        Ok(dpl::Value::Int(n)) => n as u32,
+        other => panic!("unexpected watcher result {other:?}"),
+    };
+    let injected = eps.len() as u32;
+    TransientRow {
+        episode_len,
+        poll_interval,
+        injected,
+        poller_detection: f64::from(poller_hits) / f64::from(injected.max(1)),
+        watcher_detection: f64::from(watcher_episodes) / f64::from(injected.max(1)),
+    }
+}
+
+/// Sweeps episode lengths × poll intervals.
+pub fn run() -> (Report, Vec<TransientRow>) {
+    let mut report = Report::new(
+        "e9_transient",
+        "E9: intermittent-fault detection — remote polling vs delegated watcher",
+        &["episode_len_s", "poll_interval_s", "episodes", "poller_detect", "watcher_detect"],
+    );
+    let mut out = Vec::new();
+    for &len in &[1u32, 2, 5, 10, 30] {
+        for &interval in &[10u32, 30, 60] {
+            let row = run_one(len, interval, 0xE9);
+            report.push(vec![
+                len.to_string(),
+                interval.to_string(),
+                row.injected.to_string(),
+                format!("{:.2}", row.poller_detection),
+                format!("{:.2}", row.watcher_detection),
+            ]);
+            out.push(row);
+        }
+    }
+    (report, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watcher_catches_every_episode() {
+        for len in [1, 5, 30] {
+            let row = run_one(len, 30, 1);
+            assert!(
+                (row.watcher_detection - 1.0).abs() < 1e-9,
+                "len {len}: watcher got {}",
+                row.watcher_detection
+            );
+        }
+    }
+
+    #[test]
+    fn poller_detection_tracks_l_over_t() {
+        // 5 s episodes, 30 s polls: expect ~1/6 detection.
+        let row = run_one(5, 30, 2);
+        assert!(
+            row.poller_detection < 0.45,
+            "short episodes should mostly be missed: {}",
+            row.poller_detection
+        );
+        // 30 s episodes, 30 s polls: expect near-certain detection.
+        let row = run_one(30, 30, 2);
+        assert!(
+            row.poller_detection > 0.9,
+            "long episodes should be caught: {}",
+            row.poller_detection
+        );
+    }
+
+    #[test]
+    fn faster_polling_helps_the_poller() {
+        let slow = run_one(5, 60, 3);
+        let fast = run_one(5, 10, 3);
+        assert!(fast.poller_detection > slow.poller_detection);
+    }
+
+    #[test]
+    fn enough_episodes_are_injected_for_stable_rates() {
+        let row = run_one(2, 10, 4);
+        assert!(row.injected >= 30, "got {}", row.injected);
+    }
+}

@@ -1,0 +1,175 @@
+use std::fmt;
+
+/// BER tag class (the top two bits of the identifier octet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Class {
+    /// Universal types defined by X.690 (INTEGER, OCTET STRING, ...).
+    Universal,
+    /// Application-wide types (SNMP's Counter32, Gauge32, ...).
+    Application,
+    /// Context-specific types (SNMP PDU choices).
+    Context,
+    /// Privately assigned types (unused by SNMP; accepted for completeness).
+    Private,
+}
+
+impl Class {
+    fn bits(self) -> u8 {
+        match self {
+            Class::Universal => 0b0000_0000,
+            Class::Application => 0b0100_0000,
+            Class::Context => 0b1000_0000,
+            Class::Private => 0b1100_0000,
+        }
+    }
+
+    fn from_bits(b: u8) -> Class {
+        match b & 0b1100_0000 {
+            0b0000_0000 => Class::Universal,
+            0b0100_0000 => Class::Application,
+            0b1000_0000 => Class::Context,
+            _ => Class::Private,
+        }
+    }
+}
+
+/// A BER tag: class plus tag number (low tag form only, number ≤ 30).
+///
+/// SNMP and RDS use only low tag numbers, so the multi-byte high-tag form is
+/// rejected on decode and unrepresentable here.
+///
+/// # Examples
+///
+/// ```
+/// use ber::{Class, Tag};
+/// assert_eq!(Tag::INTEGER, Tag::new(Class::Universal, 2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tag {
+    class: Class,
+    number: u8,
+}
+
+impl Tag {
+    /// Universal 2: INTEGER.
+    pub const INTEGER: Tag = Tag { class: Class::Universal, number: 2 };
+    /// Universal 4: OCTET STRING.
+    pub const OCTET_STRING: Tag = Tag { class: Class::Universal, number: 4 };
+    /// Universal 5: NULL.
+    pub const NULL: Tag = Tag { class: Class::Universal, number: 5 };
+    /// Universal 6: OBJECT IDENTIFIER.
+    pub const OID: Tag = Tag { class: Class::Universal, number: 6 };
+    /// Universal 16: SEQUENCE (always constructed).
+    pub const SEQUENCE: Tag = Tag { class: Class::Universal, number: 16 };
+    /// Application 0: SNMP IpAddress.
+    pub const IP_ADDRESS: Tag = Tag { class: Class::Application, number: 0 };
+    /// Application 1: SNMP Counter32.
+    pub const COUNTER32: Tag = Tag { class: Class::Application, number: 1 };
+    /// Application 2: SNMP Gauge32 / Unsigned32.
+    pub const GAUGE32: Tag = Tag { class: Class::Application, number: 2 };
+    /// Application 3: SNMP TimeTicks.
+    pub const TIME_TICKS: Tag = Tag { class: Class::Application, number: 3 };
+    /// Application 4: SNMP Opaque.
+    pub const OPAQUE: Tag = Tag { class: Class::Application, number: 4 };
+
+    /// Creates a tag from a class and a low tag number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `number > 30` (the high-tag-number form is unsupported).
+    pub fn new(class: Class, number: u8) -> Tag {
+        assert!(number <= 30, "high tag numbers are unsupported");
+        Tag { class, number }
+    }
+
+    /// Creates a context-specific tag, as used for SNMP PDU choices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `number > 30`.
+    pub fn context(number: u8) -> Tag {
+        Tag::new(Class::Context, number)
+    }
+
+    /// The tag's class.
+    pub fn class(self) -> Class {
+        self.class
+    }
+
+    /// The tag's number within its class.
+    pub fn number(self) -> u8 {
+        self.number
+    }
+
+    /// Encodes the identifier octet, with the constructed bit if requested.
+    pub(crate) fn identifier_octet(self, constructed: bool) -> u8 {
+        self.class.bits() | if constructed { 0b0010_0000 } else { 0 } | self.number
+    }
+
+    /// Splits an identifier octet into (tag, constructed-bit).
+    pub(crate) fn from_identifier_octet(octet: u8) -> (Tag, bool) {
+        let class = Class::from_bits(octet);
+        let constructed = octet & 0b0010_0000 != 0;
+        (Tag { class, number: octet & 0b0001_1111 }, constructed)
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Tag::INTEGER => write!(f, "INTEGER"),
+            Tag::OCTET_STRING => write!(f, "OCTET STRING"),
+            Tag::NULL => write!(f, "NULL"),
+            Tag::OID => write!(f, "OBJECT IDENTIFIER"),
+            Tag::SEQUENCE => write!(f, "SEQUENCE"),
+            Tag::IP_ADDRESS => write!(f, "IpAddress"),
+            Tag::COUNTER32 => write!(f, "Counter32"),
+            Tag::GAUGE32 => write!(f, "Gauge32"),
+            Tag::TIME_TICKS => write!(f, "TimeTicks"),
+            Tag::OPAQUE => write!(f, "Opaque"),
+            Tag { class, number } => write!(f, "[{class:?} {number}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifier_octet_round_trips() {
+        for class in [Class::Universal, Class::Application, Class::Context, Class::Private] {
+            for number in 0..=30u8 {
+                for constructed in [false, true] {
+                    let tag = Tag::new(class, number);
+                    let octet = tag.identifier_octet(constructed);
+                    assert_eq!(Tag::from_identifier_octet(octet), (tag, constructed));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn well_known_identifier_octets() {
+        assert_eq!(Tag::INTEGER.identifier_octet(false), 0x02);
+        assert_eq!(Tag::OCTET_STRING.identifier_octet(false), 0x04);
+        assert_eq!(Tag::NULL.identifier_octet(false), 0x05);
+        assert_eq!(Tag::OID.identifier_octet(false), 0x06);
+        assert_eq!(Tag::SEQUENCE.identifier_octet(true), 0x30);
+        assert_eq!(Tag::COUNTER32.identifier_octet(false), 0x41);
+        // SNMP GetRequest-PDU is context-constructed 0.
+        assert_eq!(Tag::context(0).identifier_octet(true), 0xA0);
+    }
+
+    #[test]
+    #[should_panic(expected = "high tag numbers")]
+    fn high_tag_number_panics() {
+        let _ = Tag::new(Class::Universal, 31);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Tag::INTEGER.to_string(), "INTEGER");
+        assert_eq!(Tag::context(3).to_string(), "[Context 3]");
+    }
+}

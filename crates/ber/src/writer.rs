@@ -1,0 +1,243 @@
+use crate::value::length_of_length;
+use crate::{BerValue, Oid, Tag};
+
+/// An incremental BER encoder.
+///
+/// Constructed values (sequences, PDUs) are written with a closure; the
+/// writer back-patches the definite length once the contents are known.
+///
+/// # Examples
+///
+/// ```
+/// use ber::BerWriter;
+/// let mut w = BerWriter::new();
+/// w.write_sequence(|w| w.write_i64(1));
+/// assert_eq!(w.into_bytes(), vec![0x30, 0x03, 0x02, 0x01, 0x01]);
+/// ```
+#[derive(Debug, Default)]
+pub struct BerWriter {
+    buf: Vec<u8>,
+}
+
+pub(crate) fn integer_content_len(v: i64) -> usize {
+    let mut len = 1;
+    let mut v = v;
+    while !(-128..=127).contains(&v) {
+        v >>= 8;
+        len += 1;
+    }
+    len
+}
+
+pub(crate) fn unsigned_content_len(v: u32) -> usize {
+    // Encoded as a non-negative INTEGER: a leading zero octet is needed when
+    // the high bit of the top content octet would be set.
+    let bits = 32 - v.leading_zeros();
+    (bits as usize / 8) + 1
+}
+
+impl BerWriter {
+    /// Creates an empty writer.
+    pub fn new() -> BerWriter {
+        BerWriter::default()
+    }
+
+    /// Consumes the writer and returns the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn write_header(&mut self, tag: Tag, constructed: bool, content_len: usize) {
+        self.buf.push(tag.identifier_octet(constructed));
+        self.write_length(content_len);
+    }
+
+    fn write_length(&mut self, len: usize) {
+        if len < 128 {
+            self.buf.push(len as u8);
+        } else {
+            let n = length_of_length(len) - 1;
+            self.buf.push(0x80 | n as u8);
+            for i in (0..n).rev() {
+                self.buf.push((len >> (8 * i)) as u8);
+            }
+        }
+    }
+
+    /// Writes a universal INTEGER with minimal two's-complement content.
+    pub fn write_i64(&mut self, value: i64) {
+        self.write_tagged_i64(Tag::INTEGER, value);
+    }
+
+    /// Writes an INTEGER under an arbitrary (primitive) tag.
+    pub fn write_tagged_i64(&mut self, tag: Tag, value: i64) {
+        let len = integer_content_len(value);
+        self.write_header(tag, false, len);
+        for i in (0..len).rev() {
+            self.buf.push((value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Writes an unsigned 32-bit quantity under `tag` (Counter32, Gauge32,
+    /// TimeTicks): non-negative INTEGER content, zero-padded when the high
+    /// bit would otherwise be set.
+    pub fn write_tagged_u32(&mut self, tag: Tag, value: u32) {
+        let len = unsigned_content_len(value);
+        self.write_header(tag, false, len);
+        for i in (0..len).rev() {
+            self.buf.push((u64::from(value) >> (8 * i)) as u8);
+        }
+    }
+
+    /// Writes a universal OCTET STRING.
+    pub fn write_octet_string(&mut self, bytes: &[u8]) {
+        self.write_tagged_bytes(Tag::OCTET_STRING, bytes);
+    }
+
+    /// Writes raw bytes as the content of a primitive value under `tag`.
+    pub fn write_tagged_bytes(&mut self, tag: Tag, bytes: &[u8]) {
+        self.write_header(tag, false, bytes.len());
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes a universal NULL.
+    pub fn write_null(&mut self) {
+        self.write_header(Tag::NULL, false, 0);
+    }
+
+    /// Writes an OBJECT IDENTIFIER.
+    pub fn write_oid(&mut self, oid: &Oid) {
+        let content = oid.encode_content();
+        self.write_header(Tag::OID, false, content.len());
+        self.buf.extend_from_slice(&content);
+    }
+
+    /// Writes a SEQUENCE whose contents are produced by `f`.
+    pub fn write_sequence<F: FnOnce(&mut BerWriter)>(&mut self, f: F) {
+        self.write_constructed(Tag::SEQUENCE, f);
+    }
+
+    /// Writes a constructed value under `tag` whose contents are produced by
+    /// `f`. Lengths are back-patched, so nesting is arbitrary.
+    pub fn write_constructed<F: FnOnce(&mut BerWriter)>(&mut self, tag: Tag, f: F) {
+        let mut inner = BerWriter::new();
+        f(&mut inner);
+        self.write_header(tag, true, inner.buf.len());
+        self.buf.extend_from_slice(&inner.buf);
+    }
+
+    /// Appends pre-encoded BER bytes verbatim (they must form whole
+    /// TLVs). Used to embed an already-encoded payload — e.g. a message
+    /// body that was encoded separately so it could be digested.
+    pub fn write_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes a dynamic [`BerValue`].
+    pub fn write_value(&mut self, value: &BerValue) {
+        match value {
+            BerValue::Integer(v) => self.write_i64(*v),
+            BerValue::OctetString(b) => self.write_octet_string(b),
+            BerValue::Null => self.write_null(),
+            BerValue::ObjectId(o) => self.write_oid(o),
+            BerValue::IpAddress(a) => self.write_tagged_bytes(Tag::IP_ADDRESS, a),
+            BerValue::Counter32(v) => self.write_tagged_u32(Tag::COUNTER32, *v),
+            BerValue::Gauge32(v) => self.write_tagged_u32(Tag::GAUGE32, *v),
+            BerValue::TimeTicks(v) => self.write_tagged_u32(Tag::TIME_TICKS, *v),
+            BerValue::Opaque(b) => self.write_tagged_bytes(Tag::OPAQUE, b),
+            BerValue::Sequence(items) => self.write_sequence(|w| {
+                for item in items {
+                    w.write_value(item);
+                }
+            }),
+            BerValue::ContextConstructed(n, items) => {
+                self.write_constructed(Tag::context(*n), |w| {
+                    for item in items {
+                        w.write_value(item);
+                    }
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_minimal_encodings() {
+        let cases: Vec<(i64, Vec<u8>)> = vec![
+            (0, vec![0x02, 0x01, 0x00]),
+            (127, vec![0x02, 0x01, 0x7F]),
+            (128, vec![0x02, 0x02, 0x00, 0x80]),
+            (256, vec![0x02, 0x02, 0x01, 0x00]),
+            (-1, vec![0x02, 0x01, 0xFF]),
+            (-128, vec![0x02, 0x01, 0x80]),
+            (-129, vec![0x02, 0x02, 0xFF, 0x7F]),
+        ];
+        for (v, expected) in cases {
+            let mut w = BerWriter::new();
+            w.write_i64(v);
+            assert_eq!(w.into_bytes(), expected, "value {v}");
+        }
+    }
+
+    #[test]
+    fn unsigned_high_bit_gets_leading_zero() {
+        let mut w = BerWriter::new();
+        w.write_tagged_u32(Tag::COUNTER32, 0xFFFF_FFFF);
+        assert_eq!(w.into_bytes(), vec![0x41, 0x05, 0x00, 0xFF, 0xFF, 0xFF, 0xFF]);
+        let mut w = BerWriter::new();
+        w.write_tagged_u32(Tag::GAUGE32, 0);
+        assert_eq!(w.into_bytes(), vec![0x42, 0x01, 0x00]);
+    }
+
+    #[test]
+    fn long_form_length() {
+        let mut w = BerWriter::new();
+        w.write_octet_string(&[0xAB; 200]);
+        let bytes = w.into_bytes();
+        assert_eq!(&bytes[..3], &[0x04, 0x81, 200]);
+        assert_eq!(bytes.len(), 3 + 200);
+
+        let mut w = BerWriter::new();
+        w.write_octet_string(&vec![0xCD; 1000]);
+        let bytes = w.into_bytes();
+        assert_eq!(&bytes[..4], &[0x04, 0x82, 0x03, 0xE8]);
+    }
+
+    #[test]
+    fn nested_sequences_backpatch_lengths() {
+        let mut w = BerWriter::new();
+        w.write_sequence(|w| {
+            w.write_sequence(|w| {
+                w.write_i64(1);
+                w.write_i64(2);
+            });
+            w.write_null();
+        });
+        assert_eq!(
+            w.into_bytes(),
+            vec![0x30, 0x0A, 0x30, 0x06, 0x02, 0x01, 0x01, 0x02, 0x01, 0x02, 0x05, 0x00]
+        );
+    }
+
+    #[test]
+    fn null_and_len_helpers() {
+        let mut w = BerWriter::new();
+        assert!(w.is_empty());
+        w.write_null();
+        assert_eq!(w.len(), 2);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests: every `BerValue` the crate can produce survives an
+//! encode/decode round trip, `encoded_len` is exact, and the decoder never
+//! panics on arbitrary input.
+
+use ber::{BerValue, Oid};
+use proptest::prelude::*;
+
+fn arb_oid() -> impl Strategy<Value = Oid> {
+    (
+        0u32..3,
+        0u32..40,
+        proptest::collection::vec(any::<u32>(), 0..10),
+    )
+        .prop_map(|(a0, a1, rest)| {
+            let mut arcs = vec![a0, a1];
+            arcs.extend(rest);
+            Oid::from(arcs)
+        })
+}
+
+fn arb_leaf() -> impl Strategy<Value = BerValue> {
+    prop_oneof![
+        any::<i64>().prop_map(BerValue::Integer),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(BerValue::OctetString),
+        Just(BerValue::Null),
+        arb_oid().prop_map(BerValue::ObjectId),
+        any::<[u8; 4]>().prop_map(BerValue::IpAddress),
+        any::<u32>().prop_map(BerValue::Counter32),
+        any::<u32>().prop_map(BerValue::Gauge32),
+        any::<u32>().prop_map(BerValue::TimeTicks),
+        proptest::collection::vec(any::<u8>(), 0..32).prop_map(BerValue::Opaque),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = BerValue> {
+    arb_leaf().prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(BerValue::Sequence),
+            (0u8..31, proptest::collection::vec(inner, 0..4))
+                .prop_map(|(n, items)| BerValue::ContextConstructed(n, items)),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn round_trip(v in arb_value()) {
+        let bytes = ber::encode(&v);
+        let decoded = ber::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, v);
+    }
+
+    #[test]
+    fn encoded_len_exact(v in arb_value()) {
+        prop_assert_eq!(v.encoded_len(), ber::encode(&v).len());
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = ber::decode(&bytes);
+    }
+
+    #[test]
+    fn oid_text_round_trip(o in arb_oid()) {
+        let s = o.to_string();
+        let parsed: Oid = s.parse().unwrap();
+        prop_assert_eq!(parsed, o);
+    }
+
+    #[test]
+    fn oid_order_is_component_lexicographic(a in arb_oid(), b in arb_oid()) {
+        let ord = a.cmp(&b);
+        prop_assert_eq!(ord, a.as_slice().cmp(b.as_slice()));
+    }
+}

@@ -1,0 +1,147 @@
+//! Conversions between DPL runtime values and BER wire values.
+//!
+//! RDS carries invocation arguments and results as [`ber::BerValue`]s so
+//! the protocol stays language-neutral (elastic processing does not
+//! prescribe an agent language). The mapping:
+//!
+//! | DPL | BER |
+//! |---|---|
+//! | `Int` | `INTEGER` |
+//! | `Float` | `OCTET STRING` `"f:<repr>"` (SNMP's BER subset has no REAL) |
+//! | `Bool` | `INTEGER` 0/1 |
+//! | `Str` | `OCTET STRING` |
+//! | `List` | `SEQUENCE` |
+//! | `Map` | `SEQUENCE` of 2-element `SEQUENCE { key, value }` |
+//! | `Nil` | `NULL` |
+//!
+//! Booleans ride as `INTEGER 0/1` and floats as tagged octet strings;
+//! [`from_ber`] therefore cannot distinguish `Int(1)` from `Bool(true)`
+//! after a round trip. Management data is overwhelmingly integral, so the
+//! asymmetry is acceptable and documented; tests pin the exact behaviour.
+
+use ber::BerValue;
+use dpl::Value;
+
+/// Prefix marking a float encoded as an octet string.
+const FLOAT_PREFIX: &str = "f:";
+
+/// Converts a DPL value to its wire form.
+pub fn to_ber(v: &Value) -> BerValue {
+    match v {
+        Value::Int(i) => BerValue::Integer(*i),
+        Value::Bool(b) => BerValue::Integer(i64::from(*b)),
+        Value::Float(f) => BerValue::OctetString(format!("{FLOAT_PREFIX}{f}").into_bytes()),
+        Value::Str(s) => BerValue::OctetString(s.clone().into_bytes()),
+        Value::Nil => BerValue::Null,
+        Value::List(items) => BerValue::Sequence(items.iter().map(to_ber).collect()),
+        Value::Map(map) => BerValue::Sequence(
+            map.iter()
+                .map(|(k, v)| {
+                    BerValue::Sequence(vec![
+                        BerValue::OctetString(k.clone().into_bytes()),
+                        to_ber(v),
+                    ])
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// Converts a wire value into a DPL value.
+///
+/// SNMP application types map to `Int`; octet strings that parse as
+/// tagged floats come back as `Float`; sequences come back as lists
+/// (including map encodings — the assoc-list shape is preserved).
+pub fn from_ber(v: &BerValue) -> Value {
+    match v {
+        BerValue::Integer(i) => Value::Int(*i),
+        BerValue::Counter32(c) | BerValue::Gauge32(c) | BerValue::TimeTicks(c) => {
+            Value::Int(i64::from(*c))
+        }
+        BerValue::OctetString(bytes) | BerValue::Opaque(bytes) => {
+            let s = String::from_utf8_lossy(bytes).into_owned();
+            match s.strip_prefix(FLOAT_PREFIX).and_then(|t| t.parse::<f64>().ok()) {
+                Some(f) => Value::Float(f),
+                None => Value::Str(s),
+            }
+        }
+        BerValue::Null => Value::Nil,
+        BerValue::ObjectId(oid) => Value::Str(oid.to_string()),
+        BerValue::IpAddress(a) => Value::Str(format!("{}.{}.{}.{}", a[0], a[1], a[2], a[3])),
+        BerValue::Sequence(items) | BerValue::ContextConstructed(_, items) => {
+            Value::list(items.iter().map(from_ber).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [Value::Int(-5), Value::Str("hi".to_string()), Value::Nil] {
+            assert_eq!(from_ber(&to_ber(&v)), v);
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_via_tagging() {
+        for f in [0.0, -2.5, 1e300, f64::MIN_POSITIVE] {
+            assert_eq!(from_ber(&to_ber(&Value::Float(f))), Value::Float(f));
+        }
+    }
+
+    #[test]
+    fn bools_become_ints() {
+        assert_eq!(from_ber(&to_ber(&Value::Bool(true))), Value::Int(1));
+        assert_eq!(from_ber(&to_ber(&Value::Bool(false))), Value::Int(0));
+    }
+
+    #[test]
+    fn lists_round_trip() {
+        let v = Value::list(vec![Value::Int(1), Value::Str("a".to_string()), Value::Nil]);
+        assert_eq!(from_ber(&to_ber(&v)), v);
+    }
+
+    #[test]
+    fn maps_become_assoc_lists() {
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), Value::Int(7));
+        let out = from_ber(&to_ber(&Value::map(m)));
+        assert_eq!(
+            out,
+            Value::list(vec![Value::list(vec![Value::Str("k".to_string()), Value::Int(7)])])
+        );
+    }
+
+    #[test]
+    fn snmp_application_types_read_as_ints() {
+        assert_eq!(from_ber(&BerValue::Counter32(9)), Value::Int(9));
+        assert_eq!(from_ber(&BerValue::Gauge32(9)), Value::Int(9));
+        assert_eq!(from_ber(&BerValue::TimeTicks(9)), Value::Int(9));
+    }
+
+    #[test]
+    fn oids_and_addresses_read_as_strings() {
+        assert_eq!(
+            from_ber(&BerValue::ObjectId("1.3.6.1".parse().unwrap())),
+            Value::Str("1.3.6.1".to_string())
+        );
+        assert_eq!(
+            from_ber(&BerValue::IpAddress([10, 0, 0, 1])),
+            Value::Str("10.0.0.1".to_string())
+        );
+    }
+
+    #[test]
+    fn a_string_that_looks_like_a_float_tag_decodes_as_float() {
+        // Documented asymmetry: "f:1.5" as a *string* is indistinguishable
+        // from a tagged float on the wire.
+        assert_eq!(
+            from_ber(&to_ber(&Value::Str("f:1.5".to_string()))),
+            Value::Float(1.5)
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! The SNMP object-code process (OCP) adapter.
+//!
+//! In the thesis's architecture the MbD server hosts an OCP that "supports
+//! an SNMP MIB": the same device data that delegated agents compute over
+//! locally is also served to legacy SNMP managers, and the elastic
+//! process's own operational state (dpi counts, translator statistics) is
+//! published as management data under a private subtree.
+//!
+//! [`SnmpOcp`] binds an [`ElasticProcess`] to an [`snmp::agent::SnmpAgent`]
+//! over the *same* [`MibStore`](snmp::MibStore), and refreshes the server-status subtree on
+//! demand.
+
+use crate::ElasticProcess;
+use ber::{BerValue, Oid};
+use rds::DpiState;
+
+/// Root of the MbD server's self-description subtree
+/// (`enterprises.20100.1` — an unassigned private arc).
+pub fn mbd_server_root() -> Oid {
+    "1.3.6.1.4.1.20100.1".parse().expect("static oid")
+}
+
+/// `mbdStoredPrograms.0` — dps in the repository (Gauge32).
+pub fn stored_programs() -> Oid {
+    mbd_server_root().child(1).child(0)
+}
+
+/// `mbdLiveInstances.0` — non-terminated dpis (Gauge32).
+pub fn live_instances() -> Oid {
+    mbd_server_root().child(2).child(0)
+}
+
+/// `mbdDelegationsAccepted.0` (Counter32).
+pub fn delegations_accepted() -> Oid {
+    mbd_server_root().child(3).child(0)
+}
+
+/// `mbdDelegationsRejected.0` (Counter32).
+pub fn delegations_rejected() -> Oid {
+    mbd_server_root().child(4).child(0)
+}
+
+/// `mbdInvocationsOk.0` (Counter32).
+pub fn invocations_ok() -> Oid {
+    mbd_server_root().child(5).child(0)
+}
+
+/// `mbdInvocationsFailed.0` (Counter32).
+pub fn invocations_failed() -> Oid {
+    mbd_server_root().child(6).child(0)
+}
+
+/// `mbdUpTime.0` (TimeTicks, the elastic process clock).
+pub fn mbd_uptime() -> Oid {
+    mbd_server_root().child(7).child(0)
+}
+
+/// An elastic process visible to legacy SNMP managers.
+#[derive(Debug, Clone)]
+pub struct SnmpOcp {
+    process: ElasticProcess,
+    agent: snmp::agent::SnmpAgent,
+}
+
+impl SnmpOcp {
+    /// Creates the OCP, serving the process's MIB under `community`.
+    pub fn new(process: ElasticProcess, community: &str) -> SnmpOcp {
+        let agent = snmp::agent::SnmpAgent::new(community, process.mib().clone());
+        SnmpOcp { process, agent }
+    }
+
+    /// Refreshes the server-status subtree from runtime counters, then
+    /// answers the SNMP request. Returns `None` for silently dropped
+    /// messages (bad community / undecodable), per RFC 1157.
+    pub fn handle(&self, request: &[u8]) -> Option<Vec<u8>> {
+        self.refresh();
+        self.agent.handle(request)
+    }
+
+    /// Publishes the current runtime counters into the MIB.
+    pub fn refresh(&self) {
+        let mib = self.process.mib();
+        let stats = self.process.stats();
+        let live = self
+            .process
+            .list_instances()
+            .iter()
+            .filter(|i| i.state != DpiState::Terminated)
+            .count();
+        // set_scalar only fails on type change, which cannot happen here.
+        let _ = mib.set_scalar(stored_programs(), BerValue::Gauge32(self.process.list_programs().len() as u32));
+        let _ = mib.set_scalar(live_instances(), BerValue::Gauge32(live as u32));
+        let _ = mib.set_scalar(
+            delegations_accepted(),
+            BerValue::Counter32(stats.delegations_accepted as u32),
+        );
+        let _ = mib.set_scalar(
+            delegations_rejected(),
+            BerValue::Counter32(stats.delegations_rejected as u32),
+        );
+        let _ = mib.set_scalar(invocations_ok(), BerValue::Counter32(stats.invocations_ok as u32));
+        let _ = mib.set_scalar(
+            invocations_failed(),
+            BerValue::Counter32(stats.invocations_failed as u32),
+        );
+        let _ = mib.set_scalar(mbd_uptime(), BerValue::TimeTicks(self.process.ticks() as u32));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ElasticConfig;
+    use snmp::manager::SnmpManager;
+
+    #[test]
+    fn snmp_manager_sees_server_state() {
+        let p = ElasticProcess::new(ElasticConfig::default());
+        p.delegate("a", "fn main() { return 0; }").unwrap();
+        p.delegate("b", "fn main() { return 1; }").unwrap();
+        let dpi = p.instantiate("a").unwrap();
+        p.invoke(dpi, "main", &[]).unwrap();
+        p.advance_ticks(100);
+
+        let ocp = SnmpOcp::new(p.clone(), "public");
+        let mut mgr = SnmpManager::new("public");
+        let req = mgr
+            .get_request(&[stored_programs(), live_instances(), invocations_ok(), mbd_uptime()])
+            .unwrap();
+        let resp = ocp.handle(&req).unwrap();
+        let vbs = mgr.parse_response(&resp).unwrap();
+        assert_eq!(vbs[0].value, BerValue::Gauge32(2));
+        assert_eq!(vbs[1].value, BerValue::Gauge32(1));
+        assert_eq!(vbs[2].value, BerValue::Counter32(1));
+        assert_eq!(vbs[3].value, BerValue::TimeTicks(100));
+    }
+
+    #[test]
+    fn device_and_server_data_share_one_mib() {
+        let p = ElasticProcess::new(ElasticConfig::default());
+        snmp::mib2::install_system(p.mib(), "device", "d1").unwrap();
+        let ocp = SnmpOcp::new(p.clone(), "public");
+        let mut mgr = SnmpManager::new("public");
+        // A walk from the mib-2 root sees device data; from the private
+        // root it sees server state.
+        let rows = mgr
+            .walk(&snmp::mib2::mib2_root(), |req| ocp.handle(req))
+            .unwrap();
+        assert!(rows.iter().any(|vb| vb.oid == snmp::mib2::sys_descr()));
+        let rows = mgr.walk(&mbd_server_root(), |req| ocp.handle(req)).unwrap();
+        assert_eq!(rows.len(), 7);
+    }
+
+    #[test]
+    fn counters_advance_with_activity() {
+        let p = ElasticProcess::new(ElasticConfig::default());
+        let ocp = SnmpOcp::new(p.clone(), "public");
+        ocp.refresh();
+        assert_eq!(p.mib().get(&invocations_failed()), Some(BerValue::Counter32(0)));
+        p.delegate("f", "fn main() { return 1 / 0; }").unwrap();
+        let dpi = p.instantiate("f").unwrap();
+        let _ = p.invoke(dpi, "main", &[]);
+        ocp.refresh();
+        assert_eq!(p.mib().get(&invocations_failed()), Some(BerValue::Counter32(1)));
+    }
+
+    #[test]
+    fn wrong_community_still_dropped() {
+        let p = ElasticProcess::new(ElasticConfig::default());
+        let ocp = SnmpOcp::new(p, "private");
+        let mut mgr = SnmpManager::new("public");
+        let req = mgr.get_request(&[stored_programs()]).unwrap();
+        assert!(ocp.handle(&req).is_none());
+    }
+}

@@ -1,0 +1,888 @@
+use crate::services::{self, Notification, ServerCtx};
+use crate::{CoreError, Repository};
+use dpl::{Budget, HostRegistry, Value};
+use parking_lot::{Mutex, RwLock};
+use rds::{DpiId, DpiState, DpiSummary};
+use snmp::MibStore;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Configuration of an elastic process.
+#[derive(Debug, Clone)]
+pub struct ElasticConfig {
+    /// Per-invocation resource budget for every dpi.
+    pub budget: Budget,
+    /// Maximum simultaneous live (non-terminated) instances.
+    pub max_instances: usize,
+    /// Keep terminated dpis visible in listings (diagnostics).
+    pub keep_terminated: bool,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> ElasticConfig {
+        ElasticConfig { budget: Budget::default(), max_instances: 1024, keep_terminated: true }
+    }
+}
+
+/// Counters describing a process's lifetime activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcessStats {
+    /// Programs accepted by the Translator.
+    pub delegations_accepted: u64,
+    /// Programs rejected by the Translator.
+    pub delegations_rejected: u64,
+    /// Instances created.
+    pub instantiations: u64,
+    /// Invocations completed successfully.
+    pub invocations_ok: u64,
+    /// Invocations that faulted.
+    pub invocations_failed: u64,
+}
+
+/// A live instance slot.
+struct DpiSlot {
+    dp_name: String,
+    state: DpiState,
+    /// The VM instance; its own mutex serializes invocations per dpi
+    /// while different dpis run concurrently (the multithreaded elastic
+    /// process of the paper).
+    instance: Mutex<dpl::Instance>,
+    mailbox: Arc<Mutex<VecDeque<Vec<u8>>>>,
+}
+
+struct Inner {
+    config: ElasticConfig,
+    registry: RwLock<HostRegistry<ServerCtx>>,
+    repository: Repository,
+    dpis: RwLock<HashMap<DpiId, DpiSlot>>,
+    next_dpi: AtomicU64,
+    mib: MibStore,
+    outbox: Arc<Mutex<Vec<Notification>>>,
+    log: Arc<Mutex<Vec<String>>>,
+    ticks: Arc<AtomicU64>,
+    stats: Mutex<ProcessStats>,
+}
+
+/// An elastic process: the runtime that accepts, translates, stores,
+/// instantiates and executes delegated programs.
+///
+/// Cheaply cloneable — clones share the same runtime, so one handle can
+/// serve RDS requests while another drives periodic agents.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Clone)]
+pub struct ElasticProcess {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for ElasticProcess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ElasticProcess")
+            .field("programs", &self.inner.repository.len())
+            .field("instances", &self.inner.dpis.read().len())
+            .finish()
+    }
+}
+
+/// Descriptive snapshot of one dpi.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DpiInfo {
+    /// Instance id.
+    pub id: DpiId,
+    /// Program it instantiates.
+    pub dp_name: String,
+    /// Current lifecycle state.
+    pub state: DpiState,
+    /// Messages waiting in its mailbox.
+    pub queued_messages: usize,
+}
+
+impl ElasticProcess {
+    /// Creates a process with a fresh, empty MIB.
+    pub fn new(config: ElasticConfig) -> ElasticProcess {
+        ElasticProcess::with_mib(config, MibStore::new())
+    }
+
+    /// Creates a process managing an existing MIB (the managed device's
+    /// instrumentation writes into the same store).
+    pub fn with_mib(config: ElasticConfig, mib: MibStore) -> ElasticProcess {
+        ElasticProcess {
+            inner: Arc::new(Inner {
+                config,
+                registry: RwLock::new(services::standard_registry()),
+                repository: Repository::new(),
+                dpis: RwLock::new(HashMap::new()),
+                next_dpi: AtomicU64::new(1),
+                mib,
+                outbox: Arc::new(Mutex::new(Vec::new())),
+                log: Arc::new(Mutex::new(Vec::new())),
+                ticks: Arc::new(AtomicU64::new(0)),
+                stats: Mutex::new(ProcessStats::default()),
+            }),
+        }
+    }
+
+    /// The shared MIB store.
+    pub fn mib(&self) -> &MibStore {
+        &self.inner.mib
+    }
+
+    /// The dp repository.
+    pub fn repository(&self) -> &Repository {
+        &self.inner.repository
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ProcessStats {
+        *self.inner.stats.lock()
+    }
+
+    /// Registers an additional host service available to delegated
+    /// programs. Must be called before delegating programs that use it
+    /// (the Translator checks bindings at delegation time).
+    pub fn register_service<F>(&self, name: &str, arity: usize, f: F)
+    where
+        F: Fn(&mut ServerCtx, &[Value]) -> Result<Value, String> + Send + Sync + 'static,
+    {
+        self.inner.registry.write().register(name, arity, f);
+    }
+
+    /// Advances the server clock by `ticks` hundredths of a second.
+    /// (Simulations drive this; wall-clock embedders may mirror real
+    /// time.)
+    pub fn advance_ticks(&self, ticks: u64) {
+        self.inner.ticks.fetch_add(ticks, Ordering::Relaxed);
+    }
+
+    /// Current server clock.
+    pub fn ticks(&self) -> u64 {
+        self.inner.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Drains and returns notifications emitted by dpis since the last
+    /// drain (the manager-facing event stream).
+    pub fn drain_notifications(&self) -> Vec<Notification> {
+        std::mem::take(&mut *self.inner.outbox.lock())
+    }
+
+    /// Drains and returns agent log lines.
+    pub fn drain_log(&self) -> Vec<String> {
+        std::mem::take(&mut *self.inner.log.lock())
+    }
+
+    /// **Delegate**: translate `source` and store it as `name`.
+    ///
+    /// Re-delegating an existing name installs a new version; running
+    /// instances keep executing the version they were created from.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Translation`] if the Translator rejects the program.
+    pub fn delegate(&self, name: &str, source: &str) -> Result<(), CoreError> {
+        self.delegate_as(name, source, "local")
+    }
+
+    /// [`ElasticProcess::delegate`] with an explicit delegator handle
+    /// (used by the RDS front-end).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ElasticProcess::delegate`].
+    pub fn delegate_as(
+        &self,
+        name: &str,
+        source: &str,
+        principal: &str,
+    ) -> Result<(), CoreError> {
+        let registry = self.inner.registry.read();
+        match dpl::compile_program(source, &registry) {
+            Ok(program) => {
+                self.inner.repository.store(name, source, program, principal);
+                self.inner.stats.lock().delegations_accepted += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.inner.stats.lock().delegations_rejected += 1;
+                Err(CoreError::Translation(e))
+            }
+        }
+    }
+
+    /// Removes a dp from the repository (running dpis are unaffected).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoSuchProgram`] if absent.
+    pub fn delete_program(&self, name: &str) -> Result<(), CoreError> {
+        self.inner.repository.delete(name).map(|_| ())
+    }
+
+    /// **Instantiate**: create a dpi from a stored dp.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoSuchProgram`] or [`CoreError::TooManyInstances`].
+    pub fn instantiate(&self, dp_name: &str) -> Result<DpiId, CoreError> {
+        let dp = self
+            .inner
+            .repository
+            .lookup(dp_name)
+            .ok_or_else(|| CoreError::NoSuchProgram { name: dp_name.to_string() })?;
+        let mut dpis = self.inner.dpis.write();
+        let live = dpis.values().filter(|s| s.state != DpiState::Terminated).count();
+        if live >= self.inner.config.max_instances {
+            return Err(CoreError::TooManyInstances { limit: self.inner.config.max_instances });
+        }
+        let id = DpiId(self.inner.next_dpi.fetch_add(1, Ordering::Relaxed));
+        dpis.insert(
+            id,
+            DpiSlot {
+                dp_name: dp_name.to_string(),
+                state: DpiState::Ready,
+                instance: Mutex::new(dpl::Instance::new(&dp.program)),
+                mailbox: Arc::new(Mutex::new(VecDeque::new())),
+            },
+        );
+        self.inner.stats.lock().instantiations += 1;
+        Ok(id)
+    }
+
+    /// **Invoke**: run `entry(args)` on `dpi` under the configured budget.
+    ///
+    /// Concurrent invocations of *different* dpis proceed in parallel;
+    /// invocations of the same dpi serialize on its instance lock.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoSuchInstance`], [`CoreError::BadState`] (suspended
+    /// or terminated), or [`CoreError::Runtime`] if the program faults —
+    /// in which case the dpi is terminated, the paper's fault-isolation
+    /// rule: a faulty agent dies, the server survives.
+    pub fn invoke(&self, dpi: DpiId, entry: &str, args: &[Value]) -> Result<Value, CoreError> {
+        // Phase 1: validate state and take what we need under the read lock.
+        let (mailbox, dp_name) = {
+            let dpis = self.inner.dpis.read();
+            let slot = dpis.get(&dpi).ok_or(CoreError::NoSuchInstance(dpi))?;
+            if slot.state != DpiState::Ready {
+                return Err(CoreError::BadState { dpi, state: slot.state, operation: "invoke" });
+            }
+            (Arc::clone(&slot.mailbox), slot.dp_name.clone())
+        };
+        let _ = dp_name;
+        let pending = Arc::new(Mutex::new(Vec::new()));
+        let mut ctx = ServerCtx {
+            mib: self.inner.mib.clone(),
+            mailbox,
+            outbox: Arc::clone(&self.inner.outbox),
+            log: Arc::clone(&self.inner.log),
+            ticks: Arc::clone(&self.inner.ticks),
+            pending: Arc::clone(&pending),
+            dpi,
+        };
+        // Phase 2: run without holding the table lock (other dpis stay
+        // available). The per-slot instance mutex serializes this dpi.
+        let registry = self.inner.registry.read();
+        let result = {
+            let dpis = self.inner.dpis.read();
+            let slot = dpis.get(&dpi).ok_or(CoreError::NoSuchInstance(dpi))?;
+            let mut instance = slot.instance.lock();
+            instance.invoke(entry, args, &mut ctx, &registry, self.inner.config.budget)
+        };
+        let outcome = match result {
+            Ok(v) => {
+                self.inner.stats.lock().invocations_ok += 1;
+                Ok(v)
+            }
+            Err(e) => {
+                self.inner.stats.lock().invocations_failed += 1;
+                // Fault isolation: a faulting dpi is terminated.
+                self.set_state(dpi, DpiState::Terminated);
+                Err(CoreError::Runtime(e))
+            }
+        };
+        // Apply actions the agent queued (delegation by agents): the
+        // invocation has returned, so no dpi locks are held.
+        let queued = std::mem::take(&mut *pending.lock());
+        for action in queued {
+            self.apply_pending(dpi, action);
+        }
+        outcome
+    }
+
+    /// Applies one agent-queued action, reporting the outcome as a
+    /// notification from the requesting dpi.
+    fn apply_pending(&self, requester: DpiId, action: crate::services::PendingAction) {
+        use crate::services::PendingAction;
+        let value = match action {
+            PendingAction::Delegate { name, source } => {
+                match self.delegate_as(&name, &source, &format!("{requester}")) {
+                    Ok(()) => Value::list(vec![
+                        Value::Str("delegated".to_string()),
+                        Value::Str(name),
+                    ]),
+                    Err(e) => Value::list(vec![
+                        Value::Str("delegate-failed".to_string()),
+                        Value::Str(name),
+                        Value::Str(e.to_string()),
+                    ]),
+                }
+            }
+            PendingAction::Message { target, payload } => {
+                let target = DpiId(target);
+                match self.send_message(target, &payload) {
+                    Ok(()) => return, // silent on success, like any send
+                    Err(e) => Value::list(vec![
+                        Value::Str("message-failed".to_string()),
+                        Value::Int(target.0 as i64),
+                        Value::Str(e.to_string()),
+                    ]),
+                }
+            }
+            PendingAction::Instantiate { name } => match self.instantiate(&name) {
+                Ok(child) => Value::list(vec![
+                    Value::Str("instantiated".to_string()),
+                    Value::Str(name),
+                    Value::Int(child.0 as i64),
+                ]),
+                Err(e) => Value::list(vec![
+                    Value::Str("instantiate-failed".to_string()),
+                    Value::Str(name),
+                    Value::Str(e.to_string()),
+                ]),
+            },
+        };
+        self.inner.outbox.lock().push(Notification { dpi: requester, value });
+    }
+
+    fn set_state(&self, dpi: DpiId, state: DpiState) {
+        if let Some(slot) = self.inner.dpis.write().get_mut(&dpi) {
+            slot.state = state;
+        }
+    }
+
+    /// **Suspend** a ready dpi: invocations and messages are refused
+    /// until resume.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoSuchInstance`] / [`CoreError::BadState`].
+    pub fn suspend(&self, dpi: DpiId) -> Result<(), CoreError> {
+        self.transition(dpi, DpiState::Ready, DpiState::Suspended, "suspend")
+    }
+
+    /// **Resume** a suspended dpi.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoSuchInstance`] / [`CoreError::BadState`].
+    pub fn resume(&self, dpi: DpiId) -> Result<(), CoreError> {
+        self.transition(dpi, DpiState::Suspended, DpiState::Ready, "resume")
+    }
+
+    fn transition(
+        &self,
+        dpi: DpiId,
+        from: DpiState,
+        to: DpiState,
+        operation: &'static str,
+    ) -> Result<(), CoreError> {
+        let mut dpis = self.inner.dpis.write();
+        let slot = dpis.get_mut(&dpi).ok_or(CoreError::NoSuchInstance(dpi))?;
+        if slot.state != from {
+            return Err(CoreError::BadState { dpi, state: slot.state, operation });
+        }
+        slot.state = to;
+        Ok(())
+    }
+
+    /// **Terminate** a dpi (any non-terminated state). Its slot remains
+    /// visible as `Terminated` if the config keeps diagnostics, else it
+    /// is removed.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoSuchInstance`]; terminating twice is a
+    /// [`CoreError::BadState`].
+    pub fn terminate(&self, dpi: DpiId) -> Result<(), CoreError> {
+        let mut dpis = self.inner.dpis.write();
+        let slot = dpis.get_mut(&dpi).ok_or(CoreError::NoSuchInstance(dpi))?;
+        if slot.state == DpiState::Terminated {
+            return Err(CoreError::BadState { dpi, state: slot.state, operation: "terminate" });
+        }
+        slot.state = DpiState::Terminated;
+        if !self.inner.config.keep_terminated {
+            dpis.remove(&dpi);
+        }
+        Ok(())
+    }
+
+    /// Posts a message to `dpi`'s mailbox (read by its `recv()` service).
+    ///
+    /// Messages to a *suspended* dpi queue until resume (it cannot run,
+    /// but its mailbox stays open); only terminated dpis refuse them.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoSuchInstance`], or [`CoreError::BadState`] if the
+    /// dpi is terminated.
+    pub fn send_message(&self, dpi: DpiId, payload: &[u8]) -> Result<(), CoreError> {
+        let dpis = self.inner.dpis.read();
+        let slot = dpis.get(&dpi).ok_or(CoreError::NoSuchInstance(dpi))?;
+        if slot.state == DpiState::Terminated {
+            return Err(CoreError::BadState { dpi, state: slot.state, operation: "message" });
+        }
+        slot.mailbox.lock().push_back(payload.to_vec());
+        Ok(())
+    }
+
+    /// Sorted names of stored dps.
+    pub fn list_programs(&self) -> Vec<String> {
+        self.inner.repository.names()
+    }
+
+    /// Summaries of all instances, sorted by id.
+    pub fn list_instances(&self) -> Vec<DpiSummary> {
+        let dpis = self.inner.dpis.read();
+        let mut out: Vec<DpiSummary> = dpis
+            .iter()
+            .map(|(id, slot)| DpiSummary {
+                id: *id,
+                dp_name: slot.dp_name.clone(),
+                state: slot.state,
+            })
+            .collect();
+        out.sort_by_key(|s| s.id);
+        out
+    }
+
+    /// Detailed snapshot of one dpi.
+    pub fn dpi_info(&self, dpi: DpiId) -> Option<DpiInfo> {
+        let dpis = self.inner.dpis.read();
+        dpis.get(&dpi).map(|slot| DpiInfo {
+            id: dpi,
+            dp_name: slot.dp_name.clone(),
+            state: slot.state,
+            queued_messages: slot.mailbox.lock().len(),
+        })
+    }
+
+    /// Reads a persistent global of a dpi (state inspection for tests
+    /// and diagnostics).
+    pub fn dpi_global(&self, dpi: DpiId, name: &str) -> Option<Value> {
+        let dpis = self.inner.dpis.read();
+        let slot = dpis.get(&dpi)?;
+        let instance = slot.instance.lock();
+        instance.global(name).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn process() -> ElasticProcess {
+        ElasticProcess::new(ElasticConfig::default())
+    }
+
+    #[test]
+    fn delegate_instantiate_invoke_cycle() {
+        let p = process();
+        p.delegate("adder", "fn main(a, b) { return a + b; }").unwrap();
+        let dpi = p.instantiate("adder").unwrap();
+        let v = p.invoke(dpi, "main", &[Value::Int(20), Value::Int(22)]).unwrap();
+        assert_eq!(v, Value::Int(42));
+        let stats = p.stats();
+        assert_eq!(stats.delegations_accepted, 1);
+        assert_eq!(stats.instantiations, 1);
+        assert_eq!(stats.invocations_ok, 1);
+    }
+
+    #[test]
+    fn translator_rejects_bad_programs() {
+        let p = process();
+        // Syntax error.
+        assert!(matches!(
+            p.delegate("bad", "fn main( {").unwrap_err(),
+            CoreError::Translation(_)
+        ));
+        // Binding-rule violation.
+        assert!(matches!(
+            p.delegate("bad", "fn main() { return exec(\"/bin/sh\"); }").unwrap_err(),
+            CoreError::Translation(_)
+        ));
+        assert_eq!(p.stats().delegations_rejected, 2);
+        assert!(p.list_programs().is_empty());
+    }
+
+    #[test]
+    fn instances_have_independent_state() {
+        let p = process();
+        p.delegate("counter", "var n = 0; fn bump() { n = n + 1; return n; }").unwrap();
+        let a = p.instantiate("counter").unwrap();
+        let b = p.instantiate("counter").unwrap();
+        p.invoke(a, "bump", &[]).unwrap();
+        p.invoke(a, "bump", &[]).unwrap();
+        let vb = p.invoke(b, "bump", &[]).unwrap();
+        assert_eq!(vb, Value::Int(1));
+        assert_eq!(p.dpi_global(a, "n"), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn lifecycle_state_machine() {
+        let p = process();
+        p.delegate("noop", "fn main() { return 0; }").unwrap();
+        let dpi = p.instantiate("noop").unwrap();
+
+        // Ready: invoke ok, resume illegal.
+        p.invoke(dpi, "main", &[]).unwrap();
+        assert!(matches!(p.resume(dpi), Err(CoreError::BadState { .. })));
+
+        // Suspended: invoke/suspend illegal, messages queue, resume ok.
+        p.suspend(dpi).unwrap();
+        assert!(matches!(p.invoke(dpi, "main", &[]), Err(CoreError::BadState { .. })));
+        p.send_message(dpi, b"queued while suspended").unwrap();
+        assert_eq!(p.dpi_info(dpi).unwrap().queued_messages, 1);
+        assert!(matches!(p.suspend(dpi), Err(CoreError::BadState { .. })));
+        p.resume(dpi).unwrap();
+        p.invoke(dpi, "main", &[]).unwrap();
+
+        // Terminated dpis refuse messages.
+        {
+            let dpi2 = p.instantiate("noop").unwrap();
+            p.terminate(dpi2).unwrap();
+            assert!(matches!(p.send_message(dpi2, b"x"), Err(CoreError::BadState { .. })));
+        }
+
+        // Terminated: everything illegal, double-terminate too.
+        p.terminate(dpi).unwrap();
+        assert!(matches!(p.invoke(dpi, "main", &[]), Err(CoreError::BadState { .. })));
+        assert!(matches!(p.terminate(dpi), Err(CoreError::BadState { .. })));
+        assert_eq!(p.list_instances()[0].state, DpiState::Terminated);
+    }
+
+    #[test]
+    fn faulting_dpi_is_terminated_but_process_survives() {
+        let p = process();
+        p.delegate("div", "fn main(x) { return 100 / x; }").unwrap();
+        let dpi = p.instantiate("div").unwrap();
+        let err = p.invoke(dpi, "main", &[Value::Int(0)]).unwrap_err();
+        assert!(matches!(err, CoreError::Runtime(dpl::RuntimeError::DivisionByZero)));
+        assert_eq!(p.list_instances()[0].state, DpiState::Terminated);
+        // The process keeps serving other instances.
+        let dpi2 = p.instantiate("div").unwrap();
+        assert_eq!(p.invoke(dpi2, "main", &[Value::Int(4)]).unwrap(), Value::Int(25));
+        assert_eq!(p.stats().invocations_failed, 1);
+    }
+
+    #[test]
+    fn runaway_dpi_is_stopped_by_budget() {
+        let p = ElasticProcess::new(ElasticConfig {
+            budget: Budget { fuel: 5_000, ..Budget::default() },
+            ..ElasticConfig::default()
+        });
+        p.delegate("spin", "fn main() { while (true) { } return 0; }").unwrap();
+        let dpi = p.instantiate("spin").unwrap();
+        let err = p.invoke(dpi, "main", &[]).unwrap_err();
+        assert!(matches!(err, CoreError::Runtime(dpl::RuntimeError::OutOfFuel)));
+    }
+
+    #[test]
+    fn instance_limit_enforced() {
+        let p = ElasticProcess::new(ElasticConfig {
+            max_instances: 2,
+            ..ElasticConfig::default()
+        });
+        p.delegate("noop", "fn main() { return 0; }").unwrap();
+        let _a = p.instantiate("noop").unwrap();
+        let b = p.instantiate("noop").unwrap();
+        assert!(matches!(
+            p.instantiate("noop"),
+            Err(CoreError::TooManyInstances { limit: 2 })
+        ));
+        // Terminating frees a slot.
+        p.terminate(b).unwrap();
+        p.instantiate("noop").unwrap();
+    }
+
+    #[test]
+    fn mailbox_flow_through_invoke() {
+        let p = process();
+        p.delegate(
+            "mailer",
+            "fn drain() { var seen = []; var m = recv(); while (m != nil) { \
+             seen = push(seen, m); m = recv(); } return seen; }",
+        )
+        .unwrap();
+        let dpi = p.instantiate("mailer").unwrap();
+        p.send_message(dpi, b"one").unwrap();
+        p.send_message(dpi, b"two").unwrap();
+        let v = p.invoke(dpi, "drain", &[]).unwrap();
+        assert_eq!(
+            v,
+            Value::list(vec![Value::Str("one".to_string()), Value::Str("two".to_string())])
+        );
+        assert_eq!(p.dpi_info(dpi).unwrap().queued_messages, 0);
+    }
+
+    #[test]
+    fn notifications_flow_to_manager() {
+        let p = process();
+        p.delegate("alerter", "fn main(x) { if (x > 10) { notify(x); } return 0; }").unwrap();
+        let dpi = p.instantiate("alerter").unwrap();
+        p.invoke(dpi, "main", &[Value::Int(5)]).unwrap();
+        p.invoke(dpi, "main", &[Value::Int(50)]).unwrap();
+        let notes = p.drain_notifications();
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].value, Value::Int(50));
+        assert_eq!(notes[0].dpi, dpi);
+        assert!(p.drain_notifications().is_empty());
+    }
+
+    #[test]
+    fn redelegation_hot_swaps_for_new_instances() {
+        let p = process();
+        p.delegate("f", "fn main() { return 1; }").unwrap();
+        let old = p.instantiate("f").unwrap();
+        p.delegate("f", "fn main() { return 2; }").unwrap();
+        let new = p.instantiate("f").unwrap();
+        assert_eq!(p.invoke(old, "main", &[]).unwrap(), Value::Int(1));
+        assert_eq!(p.invoke(new, "main", &[]).unwrap(), Value::Int(2));
+        assert_eq!(p.repository().lookup("f").unwrap().version, 2);
+    }
+
+    #[test]
+    fn custom_services_extend_the_allowed_set() {
+        let p = process();
+        // Before registration the binding is rejected...
+        assert!(p.delegate("probe", "fn main() { return device_temp(); }").is_err());
+        // ...after registration it translates and runs.
+        p.register_service("device_temp", 0, |_, _| Ok(Value::Int(47)));
+        p.delegate("probe", "fn main() { return device_temp(); }").unwrap();
+        let dpi = p.instantiate("probe").unwrap();
+        assert_eq!(p.invoke(dpi, "main", &[]).unwrap(), Value::Int(47));
+    }
+
+    #[test]
+    fn agents_see_the_shared_mib() {
+        let p = process();
+        snmp::mib2::install_concentrator(p.mib()).unwrap();
+        p.mib().counter_add(&snmp::mib2::s3_enet_conc_rx_ok(), 900).unwrap();
+        p.delegate(
+            "reader",
+            "fn main() { return mib_get(\"1.3.6.1.4.1.45.1.3.2.1.0\"); }",
+        )
+        .unwrap();
+        let dpi = p.instantiate("reader").unwrap();
+        assert_eq!(p.invoke(dpi, "main", &[]).unwrap(), Value::Int(900));
+        // Device instrumentation updates are visible on the next call.
+        p.mib().counter_add(&snmp::mib2::s3_enet_conc_rx_ok(), 100).unwrap();
+        assert_eq!(p.invoke(dpi, "main", &[]).unwrap(), Value::Int(1000));
+    }
+
+    #[test]
+    fn clock_services() {
+        let p = process();
+        p.delegate("clock", "fn main() { return now_ticks(); }").unwrap();
+        let dpi = p.instantiate("clock").unwrap();
+        assert_eq!(p.invoke(dpi, "main", &[]).unwrap(), Value::Int(0));
+        p.advance_ticks(250);
+        assert_eq!(p.invoke(dpi, "main", &[]).unwrap(), Value::Int(250));
+        assert_eq!(p.ticks(), 250);
+    }
+
+    #[test]
+    fn concurrent_invocations_across_dpis() {
+        let p = process();
+        p.delegate(
+            "worker",
+            "var acc = 0; fn work(n) { var i = 0; while (i < n) { acc = acc + 1; i = i + 1; } \
+             return acc; }",
+        )
+        .unwrap();
+        let dpis: Vec<DpiId> = (0..8).map(|_| p.instantiate("worker").unwrap()).collect();
+        let handles: Vec<_> = dpis
+            .iter()
+            .map(|&dpi| {
+                let p = p.clone();
+                std::thread::spawn(move || p.invoke(dpi, "work", &[Value::Int(1000)]).unwrap())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), Value::Int(1000));
+        }
+        assert_eq!(p.stats().invocations_ok, 8);
+    }
+
+    #[test]
+    fn unknown_entry_point_is_runtime_error() {
+        let p = process();
+        p.delegate("f", "fn main() { return 0; }").unwrap();
+        let dpi = p.instantiate("f").unwrap();
+        assert!(matches!(
+            p.invoke(dpi, "absent", &[]),
+            Err(CoreError::Runtime(dpl::RuntimeError::NoSuchFunction { .. }))
+        ));
+    }
+
+    #[test]
+    fn unknown_instance_and_program_errors() {
+        let p = process();
+        assert!(matches!(
+            p.instantiate("ghost"),
+            Err(CoreError::NoSuchProgram { .. })
+        ));
+        assert!(matches!(
+            p.invoke(DpiId(99), "main", &[]),
+            Err(CoreError::NoSuchInstance(_))
+        ));
+        assert!(matches!(p.delete_program("ghost"), Err(CoreError::NoSuchProgram { .. })));
+    }
+}
+
+#[cfg(test)]
+mod delegation_by_agents_tests {
+    use super::*;
+
+    /// The thesis's composability claim: an agent synthesizes a child
+    /// agent's source, installs it on its own server, and instantiates it.
+    #[test]
+    fn agent_delegates_a_child_agent() {
+        let p = ElasticProcess::new(ElasticConfig::default());
+        p.delegate(
+            "mother",
+            r#"fn spawn(threshold) {
+                 var src = "fn check(x) { return x > " + str(threshold) + "; }";
+                 dp_delegate("child", src);
+                 dp_instantiate("child");
+                 return "queued";
+               }"#,
+        )
+        .unwrap();
+        let mother = p.instantiate("mother").unwrap();
+        let v = p.invoke(mother, "spawn", &[Value::Int(10)]).unwrap();
+        assert_eq!(v, Value::Str("queued".to_string()));
+
+        // The child program exists, versioned, attributed to the mother.
+        let dp = p.repository().lookup("child").expect("child installed");
+        assert_eq!(dp.delegated_by, format!("{mother}"));
+        assert!(dp.source.contains("x > 10"));
+
+        // The instantiation happened; outcomes were reported.
+        let notes = p.drain_notifications();
+        assert_eq!(notes.len(), 2);
+        assert!(notes.iter().all(|n| n.dpi == mother));
+        let child_id = match &notes[1].value {
+            Value::List(items) => match items[2] {
+                Value::Int(id) => DpiId(id as u64),
+                ref other => panic!("unexpected id {other:?}"),
+            },
+            other => panic!("unexpected notification {other:?}"),
+        };
+        // And the child actually runs.
+        assert_eq!(p.invoke(child_id, "check", &[Value::Int(11)]).unwrap(), Value::Bool(true));
+        assert_eq!(p.invoke(child_id, "check", &[Value::Int(9)]).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn bad_child_source_is_rejected_and_reported() {
+        let p = ElasticProcess::new(ElasticConfig::default());
+        p.delegate(
+            "mother",
+            r#"fn spawn() { dp_delegate("bad", "fn f() { return evil(); }"); return 0; }"#,
+        )
+        .unwrap();
+        let mother = p.instantiate("mother").unwrap();
+        p.invoke(mother, "spawn", &[]).unwrap();
+        assert!(p.repository().lookup("bad").is_none(), "translator must reject it");
+        let notes = p.drain_notifications();
+        assert_eq!(notes.len(), 1);
+        match &notes[0].value {
+            Value::List(items) => {
+                assert_eq!(items[0], Value::Str("delegate-failed".to_string()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The mother is unaffected.
+        assert_eq!(p.list_instances()[0].state, DpiState::Ready);
+    }
+
+    #[test]
+    fn instantiate_of_unknown_program_is_reported_not_fatal() {
+        let p = ElasticProcess::new(ElasticConfig::default());
+        p.delegate("m", r#"fn go() { dp_instantiate("ghost"); return 1; }"#).unwrap();
+        let m = p.instantiate("m").unwrap();
+        assert_eq!(p.invoke(m, "go", &[]).unwrap(), Value::Int(1));
+        let notes = p.drain_notifications();
+        match &notes[0].value {
+            Value::List(items) => {
+                assert_eq!(items[0], Value::Str("instantiate-failed".to_string()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod inter_dpi_messaging_tests {
+    use super::*;
+
+    #[test]
+    fn one_dpi_messages_another() {
+        let p = ElasticProcess::new(ElasticConfig::default());
+        p.delegate(
+            "producer",
+            r#"fn emit(target, reading) { dpi_send(target, reading); return 0; }"#,
+        )
+        .unwrap();
+        p.delegate(
+            "consumer",
+            r#"var seen = [];
+               fn drain() {
+                   var m = recv();
+                   while (m != nil) { seen = push(seen, m); m = recv(); }
+                   return seen;
+               }"#,
+        )
+        .unwrap();
+        let producer = p.instantiate("producer").unwrap();
+        let consumer = p.instantiate("consumer").unwrap();
+
+        for reading in [41i64, 42, 43] {
+            p.invoke(
+                producer,
+                "emit",
+                &[Value::Int(consumer.0 as i64), Value::Int(reading)],
+            )
+            .unwrap();
+        }
+        let v = p.invoke(consumer, "drain", &[]).unwrap();
+        assert_eq!(
+            v,
+            Value::list(vec![
+                Value::Str("41".to_string()),
+                Value::Str("42".to_string()),
+                Value::Str("43".to_string())
+            ])
+        );
+        // Successful sends are silent; no failure notifications.
+        assert!(p.drain_notifications().is_empty());
+    }
+
+    #[test]
+    fn message_to_dead_dpi_reports_failure() {
+        let p = ElasticProcess::new(ElasticConfig::default());
+        p.delegate("m", r#"fn go() { dpi_send(9999, "hello?"); return 0; }"#).unwrap();
+        let m = p.instantiate("m").unwrap();
+        p.invoke(m, "go", &[]).unwrap();
+        let notes = p.drain_notifications();
+        assert_eq!(notes.len(), 1);
+        match &notes[0].value {
+            Value::List(items) => {
+                assert_eq!(items[0], Value::Str("message-failed".to_string()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

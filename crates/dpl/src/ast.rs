@@ -1,0 +1,106 @@
+//! The abstract syntax tree produced by the parser.
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// An expression, annotated with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub line: u32,
+}
+
+/// The expression variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Nil,
+    Var(String),
+    List(Vec<Expr>),
+    Map(Vec<(Expr, Expr)>),
+    Index { base: Box<Expr>, index: Box<Expr> },
+    Unary { op: UnOp, operand: Box<Expr> },
+    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Call { name: String, args: Vec<Expr> },
+}
+
+/// A statement, annotated with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    pub kind: StmtKind,
+    pub line: u32,
+}
+
+/// The statement variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `var name = init;`
+    VarDecl { name: String, init: Expr },
+    /// `name = value;`
+    Assign { name: String, value: Expr },
+    /// `base[index] = value;`
+    IndexAssign { base: Expr, index: Expr, value: Expr },
+    /// `if (cond) { .. } else { .. }`
+    If { cond: Expr, then_block: Vec<Stmt>, else_block: Vec<Stmt> },
+    /// `while (cond) { .. }`
+    While { cond: Expr, body: Vec<Stmt> },
+    /// `for (name in iterable) { .. }`
+    ForIn { name: String, iterable: Expr, body: Vec<Stmt> },
+    /// `return expr;` (`expr` defaults to `nil`)
+    Return { value: Option<Expr> },
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// A bare expression evaluated for effect.
+    Expr(Expr),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDef {
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: Vec<Stmt>,
+    pub line: u32,
+}
+
+/// A top-level persistent variable (dpi state).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDef {
+    pub name: String,
+    pub init: Expr,
+    pub line: u32,
+}
+
+/// A whole delegated program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProgramAst {
+    pub globals: Vec<GlobalDef>,
+    pub functions: Vec<FnDef>,
+}

@@ -1,0 +1,150 @@
+use crate::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One VM instruction. Jump targets are absolute indices within the
+/// enclosing function's code.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Op {
+    /// Push constant `consts[i]`.
+    Const(u16),
+    /// Push `nil`.
+    Nil,
+    /// Push `true`/`false`.
+    Bool(bool),
+    /// Push a copy of local slot `i`.
+    LoadLocal(u16),
+    /// Pop into local slot `i`.
+    StoreLocal(u16),
+    /// Push a copy of global slot `i`.
+    LoadGlobal(u16),
+    /// Pop into global slot `i`.
+    StoreGlobal(u16),
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Neg,
+    Not,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Unconditional jump.
+    Jump(u32),
+    /// Pop a bool; jump if false.
+    JumpIfFalse(u32),
+    /// Short-circuit `&&`: if top is false, leave it and jump; else pop.
+    AndJump(u32),
+    /// Short-circuit `||`: if top is true, leave it and jump; else pop.
+    OrJump(u32),
+    /// Call program function `func` with `argc` arguments on the stack.
+    Call { func: u16, argc: u8 },
+    /// Call host function `host` (program-level host table index).
+    CallHost { host: u16, argc: u8 },
+    /// Return with the top of stack as the value.
+    Return,
+    /// Discard the top of stack.
+    Pop,
+    /// Pop `n` items into a new list (first pushed = first element).
+    MakeList(u16),
+    /// Pop `2n` items (key/value pairs) into a new map.
+    MakeMap(u16),
+    /// Pop index then base; push `base[index]`.
+    Index,
+    /// Pop value and `depth` indices; mutate through local slot `slot`.
+    IndexSetLocal { slot: u16, depth: u8 },
+    /// As above, through global slot `slot`.
+    IndexSetGlobal { slot: u16, depth: u8 },
+    /// Pop a value; push its iteration list (list as-is, map keys,
+    /// str chars).
+    IterList,
+    /// Pop a value; push its length as Int (lists only; used by for-in).
+    Len,
+}
+
+/// Metadata about one compiled function, exposed for introspection and
+/// for the RDS `listDPs` operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionInfo {
+    /// Function name.
+    pub name: String,
+    /// Number of parameters.
+    pub arity: usize,
+    /// Number of bytecode instructions.
+    pub code_len: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Function {
+    pub name: String,
+    pub arity: usize,
+    pub n_locals: usize,
+    pub code: Vec<Op>,
+}
+
+/// A compiled delegated program: constants, functions, global slots and
+/// the host-function names it binds to.
+///
+/// Programs are immutable and cheaply cloneable; every
+/// [`Instance`](crate::Instance) shares the same compiled code.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    pub(crate) consts: Vec<Value>,
+    pub(crate) functions: Vec<Function>,
+    pub(crate) fn_by_name: HashMap<String, usize>,
+    pub(crate) global_names: Vec<String>,
+    /// Host functions referenced by the program, by name; `CallHost`
+    /// indexes into this table, which is re-resolved against the registry
+    /// at invocation time.
+    pub(crate) host_names: Vec<String>,
+    /// Index of the synthetic `#init` function that evaluates global
+    /// initializers (run once, lazily, per instance).
+    pub(crate) init_fn: usize,
+}
+
+impl Program {
+    /// Per-function metadata, in definition order.
+    pub fn functions(&self) -> Vec<FunctionInfo> {
+        self.functions
+            .iter()
+            .map(|f| FunctionInfo { name: f.name.clone(), arity: f.arity, code_len: f.code.len() })
+            .collect()
+    }
+
+    /// Whether the program defines `name`.
+    pub fn has_function(&self, name: &str) -> bool {
+        self.fn_by_name.contains_key(name)
+    }
+
+    /// Names of the persistent globals (dpi state variables).
+    pub fn global_names(&self) -> &[String] {
+        &self.global_names
+    }
+
+    /// Host functions this program binds to.
+    pub fn host_bindings(&self) -> &[String] {
+        &self.host_names
+    }
+
+    /// Total instruction count across all functions (a proxy for dp size
+    /// used in the delegation-cost experiments).
+    pub fn code_size(&self) -> usize {
+        self.functions.iter().map(|f| f.code.len()).sum::<usize>()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "program: {} function(s), {} global(s), {} instruction(s)",
+            self.functions.len(),
+            self.global_names.len(),
+            self.code_size()
+        )
+    }
+}

@@ -1,0 +1,370 @@
+//! The static checker: the translator rules that get a delegated program
+//! rejected before it ever runs.
+//!
+//! Enforced rules (paper §3.3.2, "Prototype Language and Services"):
+//!
+//! 1. **Binding rule** — every call resolves to a program function or to a
+//!    host function in the server's allowed set; nothing else is linkable.
+//! 2. **Arity rule** — every call passes exactly the declared number of
+//!    arguments.
+//! 3. **Definite names** — every variable is declared (`var`, parameter,
+//!    or `for` binding) before use; duplicates in one scope are rejected.
+//! 4. **Structured control** — `break`/`continue` appear only inside
+//!    loops.
+
+use crate::ast::*;
+use crate::host::Signature;
+use crate::CheckError;
+use std::collections::{HashMap, HashSet};
+
+/// Checks `ast` against the host functions in `hosts`.
+///
+/// # Errors
+///
+/// Returns the first [`CheckError`] found.
+pub fn check(ast: &ProgramAst, hosts: &[Signature]) -> Result<(), CheckError> {
+    let mut fn_arities: HashMap<&str, usize> = HashMap::new();
+    let mut host_arities: HashMap<&str, usize> = HashMap::new();
+    for sig in hosts {
+        host_arities.insert(sig.name.as_str(), sig.arity);
+    }
+    for f in &ast.functions {
+        if fn_arities.contains_key(f.name.as_str()) || host_arities.contains_key(f.name.as_str()) {
+            return Err(CheckError::DuplicateFunction { name: f.name.clone() });
+        }
+        fn_arities.insert(&f.name, f.params.len());
+    }
+
+    let mut globals = HashSet::new();
+    for g in &ast.globals {
+        if !globals.insert(g.name.as_str()) {
+            return Err(CheckError::DuplicateVariable { name: g.name.clone(), line: g.line });
+        }
+    }
+    // Global initializers may reference earlier globals only, and may call
+    // functions (which see all globals).
+    let mut visible: HashSet<&str> = HashSet::new();
+    for g in &ast.globals {
+        let mut cx = Ctx {
+            fn_arities: &fn_arities,
+            host_arities: &host_arities,
+            scopes: vec![visible.clone()],
+            loop_depth: 0,
+        };
+        cx.expr(&g.init)?;
+        visible.insert(&g.name);
+    }
+
+    for f in &ast.functions {
+        let mut scope: HashSet<&str> = globals.clone();
+        for p in &f.params {
+            if !scope.insert(p.as_str()) {
+                return Err(CheckError::DuplicateVariable { name: p.clone(), line: f.line });
+            }
+        }
+        let mut cx = Ctx {
+            fn_arities: &fn_arities,
+            host_arities: &host_arities,
+            scopes: vec![scope],
+            loop_depth: 0,
+        };
+        cx.block(&f.body)?;
+    }
+    Ok(())
+}
+
+struct Ctx<'a> {
+    fn_arities: &'a HashMap<&'a str, usize>,
+    host_arities: &'a HashMap<&'a str, usize>,
+    scopes: Vec<HashSet<&'a str>>,
+    loop_depth: u32,
+}
+
+impl<'a> Ctx<'a> {
+    fn declared(&self, name: &str) -> bool {
+        self.scopes.iter().any(|s| s.contains(name))
+    }
+
+    fn declare(&mut self, name: &'a str, line: u32) -> Result<(), CheckError> {
+        let top = self.scopes.last_mut().expect("scope stack never empty");
+        if top.contains(name) {
+            return Err(CheckError::DuplicateVariable { name: name.to_string(), line });
+        }
+        top.insert(name);
+        Ok(())
+    }
+
+    fn block(&mut self, stmts: &'a [Stmt]) -> Result<(), CheckError> {
+        self.scopes.push(HashSet::new());
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &'a Stmt) -> Result<(), CheckError> {
+        match &s.kind {
+            StmtKind::VarDecl { name, init } => {
+                self.expr(init)?;
+                self.declare(name, s.line)
+            }
+            StmtKind::Assign { name, value } => {
+                if !self.declared(name) {
+                    return Err(CheckError::UndefinedVariable {
+                        name: name.clone(),
+                        line: s.line,
+                    });
+                }
+                self.expr(value)
+            }
+            StmtKind::IndexAssign { base, index, value } => {
+                self.place(base)?;
+                self.expr(index)?;
+                self.expr(value)
+            }
+            StmtKind::If { cond, then_block, else_block } => {
+                self.expr(cond)?;
+                self.block(then_block)?;
+                self.block(else_block)
+            }
+            StmtKind::While { cond, body } => {
+                self.expr(cond)?;
+                self.loop_depth += 1;
+                let r = self.block(body);
+                self.loop_depth -= 1;
+                r
+            }
+            StmtKind::ForIn { name, iterable, body } => {
+                self.expr(iterable)?;
+                self.loop_depth += 1;
+                // The loop variable lives in the body scope.
+                self.scopes.push(HashSet::new());
+                self.declare(name, s.line)?;
+                let mut r = Ok(());
+                for st in body {
+                    r = self.stmt(st);
+                    if r.is_err() {
+                        break;
+                    }
+                }
+                self.scopes.pop();
+                self.loop_depth -= 1;
+                r
+            }
+            StmtKind::Return { value } => value.as_ref().map_or(Ok(()), |e| self.expr(e)),
+            StmtKind::Break | StmtKind::Continue => {
+                if self.loop_depth == 0 {
+                    Err(CheckError::StrayLoopControl { line: s.line })
+                } else {
+                    Ok(())
+                }
+            }
+            StmtKind::Expr(e) => self.expr(e),
+        }
+    }
+
+    /// A valid assignment place: a variable, possibly indexed.
+    fn place(&mut self, e: &'a Expr) -> Result<(), CheckError> {
+        match &e.kind {
+            ExprKind::Var(name) => {
+                if self.declared(name) {
+                    Ok(())
+                } else {
+                    Err(CheckError::UndefinedVariable { name: name.clone(), line: e.line })
+                }
+            }
+            ExprKind::Index { base, index } => {
+                self.place(base)?;
+                self.expr(index)
+            }
+            _ => Err(CheckError::UndefinedVariable {
+                name: "<expression>".to_string(),
+                line: e.line,
+            }),
+        }
+    }
+
+    fn expr(&mut self, e: &'a Expr) -> Result<(), CheckError> {
+        match &e.kind {
+            ExprKind::Int(_)
+            | ExprKind::Float(_)
+            | ExprKind::Str(_)
+            | ExprKind::Bool(_)
+            | ExprKind::Nil => Ok(()),
+            ExprKind::Var(name) => {
+                if self.declared(name) {
+                    Ok(())
+                } else {
+                    Err(CheckError::UndefinedVariable { name: name.clone(), line: e.line })
+                }
+            }
+            ExprKind::List(items) => items.iter().try_for_each(|i| self.expr(i)),
+            ExprKind::Map(pairs) => pairs.iter().try_for_each(|(k, v)| {
+                self.expr(k)?;
+                self.expr(v)
+            }),
+            ExprKind::Index { base, index } => {
+                self.expr(base)?;
+                self.expr(index)
+            }
+            ExprKind::Unary { operand, .. } => self.expr(operand),
+            ExprKind::Binary { lhs, rhs, .. } => {
+                self.expr(lhs)?;
+                self.expr(rhs)
+            }
+            ExprKind::Call { name, args } => {
+                let expected = self
+                    .fn_arities
+                    .get(name.as_str())
+                    .or_else(|| self.host_arities.get(name.as_str()))
+                    .copied()
+                    .ok_or_else(|| CheckError::UnknownFunction {
+                        name: name.clone(),
+                        line: e.line,
+                    })?;
+                if args.len() != expected {
+                    return Err(CheckError::WrongArity {
+                        name: name.clone(),
+                        expected,
+                        found: args.len(),
+                        line: e.line,
+                    });
+                }
+                args.iter().try_for_each(|a| self.expr(a))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn hosts() -> Vec<Signature> {
+        vec![
+            Signature { name: "len".to_string(), arity: 1 },
+            Signature { name: "mib_get".to_string(), arity: 1 },
+        ]
+    }
+
+    fn check_src(src: &str) -> Result<(), CheckError> {
+        let ast = parse(src).unwrap();
+        check(&ast, &hosts())
+    }
+
+    #[test]
+    fn accepts_well_formed_programs() {
+        check_src(
+            "var state = 0;\n\
+             fn helper(x) { return x * 2; }\n\
+             fn main(a) { var b = helper(a) + len([1]); state = b; return state; }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_function() {
+        let err = check_src("fn main() { return system(\"rm -rf\"); }").unwrap_err();
+        match err {
+            CheckError::UnknownFunction { name, line } => {
+                assert_eq!(name, "system");
+                assert_eq!(line, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_arity_for_program_and_host_functions() {
+        let err = check_src("fn f(a, b) { return a; } fn main() { return f(1); }").unwrap_err();
+        assert!(matches!(err, CheckError::WrongArity { expected: 2, found: 1, .. }));
+        let err = check_src("fn main() { return len(); }").unwrap_err();
+        assert!(matches!(err, CheckError::WrongArity { expected: 1, found: 0, .. }));
+    }
+
+    #[test]
+    fn rejects_undefined_variable() {
+        let err = check_src("fn main() { return ghost; }").unwrap_err();
+        assert!(matches!(err, CheckError::UndefinedVariable { .. }));
+        let err = check_src("fn main() { ghost = 1; }").unwrap_err();
+        assert!(matches!(err, CheckError::UndefinedVariable { .. }));
+    }
+
+    #[test]
+    fn block_scoping_expires_locals() {
+        let err =
+            check_src("fn main(c) { if (c) { var x = 1; } return x; }").unwrap_err();
+        assert!(matches!(err, CheckError::UndefinedVariable { name, .. } if name == "x"));
+    }
+
+    #[test]
+    fn for_binding_is_scoped_to_body() {
+        check_src("fn main(xs) { for (x in xs) { var y = x; } return 0; }").unwrap();
+        let err = check_src("fn main(xs) { for (x in xs) { } return x; }").unwrap_err();
+        assert!(matches!(err, CheckError::UndefinedVariable { .. }));
+    }
+
+    #[test]
+    fn duplicate_definitions_rejected() {
+        let err = check_src("fn f() {} fn f() {}").unwrap_err();
+        assert!(matches!(err, CheckError::DuplicateFunction { .. }));
+        // Shadowing a host function is also a duplicate.
+        let err = check_src("fn len(x) { return 0; }").unwrap_err();
+        assert!(matches!(err, CheckError::DuplicateFunction { .. }));
+        let err = check_src("fn f(a, a) {}").unwrap_err();
+        assert!(matches!(err, CheckError::DuplicateVariable { .. }));
+        let err = check_src("fn f() { var x = 1; var x = 2; }").unwrap_err();
+        assert!(matches!(err, CheckError::DuplicateVariable { .. }));
+        let err = check_src("var g = 1; var g = 2;").unwrap_err();
+        assert!(matches!(err, CheckError::DuplicateVariable { .. }));
+    }
+
+    #[test]
+    fn shadowing_in_inner_scope_is_allowed() {
+        check_src("fn f(c) { var x = 1; if (c) { var x = 2; x = x + 1; } return x; }").unwrap();
+    }
+
+    #[test]
+    fn stray_break_continue_rejected() {
+        assert!(matches!(
+            check_src("fn f() { break; }").unwrap_err(),
+            CheckError::StrayLoopControl { .. }
+        ));
+        assert!(matches!(
+            check_src("fn f() { continue; }").unwrap_err(),
+            CheckError::StrayLoopControl { .. }
+        ));
+        check_src("fn f() { while (true) { break; } }").unwrap();
+    }
+
+    #[test]
+    fn globals_see_only_earlier_globals() {
+        check_src("var a = 1; var b = a + 1;").unwrap();
+        let err = check_src("var a = b; var b = 1;").unwrap_err();
+        assert!(matches!(err, CheckError::UndefinedVariable { .. }));
+    }
+
+    #[test]
+    fn index_assign_requires_place() {
+        check_src("fn f(m) { m[\"k\"] = 1; }").unwrap();
+        check_src("fn f(m) { m[\"a\"][\"b\"] = 1; }").unwrap();
+        let err = check_src("fn f() { [1,2][0] = 9; }").unwrap_err();
+        assert!(matches!(err, CheckError::UndefinedVariable { .. }));
+    }
+
+    #[test]
+    fn recursion_is_allowed() {
+        check_src("fn fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }").unwrap();
+    }
+
+    #[test]
+    fn mutual_recursion_is_allowed() {
+        check_src(
+            "fn even(n) { if (n == 0) { return true; } return odd(n - 1); }\n\
+             fn odd(n) { if (n == 0) { return false; } return even(n - 1); }",
+        )
+        .unwrap();
+    }
+}

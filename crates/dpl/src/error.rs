@@ -1,0 +1,224 @@
+use std::error::Error;
+use std::fmt;
+
+/// A lexical error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Line the error occurred on.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+impl Error for LexError {}
+
+/// A syntax error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line the error occurred on.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+impl Error for ParseError {}
+
+/// A violation of the translator's static rules (the paper's grounds for
+/// rejecting a delegated program).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckError {
+    /// Call to a function that is neither defined in the program nor in
+    /// the server's allowed host-function set.
+    UnknownFunction {
+        /// The offending name.
+        name: String,
+        /// Line of the call.
+        line: u32,
+    },
+    /// Call with the wrong number of arguments.
+    WrongArity {
+        /// The function called.
+        name: String,
+        /// Arity it declares.
+        expected: usize,
+        /// Arity at the call site.
+        found: usize,
+        /// Line of the call.
+        line: u32,
+    },
+    /// Use of a variable that is not in scope.
+    UndefinedVariable {
+        /// The offending name.
+        name: String,
+        /// Line of the use.
+        line: u32,
+    },
+    /// Two functions (or a function and a host function) share a name.
+    DuplicateFunction {
+        /// The duplicated name.
+        name: String,
+    },
+    /// Two parameters or locals in one scope share a name.
+    DuplicateVariable {
+        /// The duplicated name.
+        name: String,
+        /// Line of the redefinition.
+        line: u32,
+    },
+    /// `break`/`continue` outside any loop.
+    StrayLoopControl {
+        /// Line of the statement.
+        line: u32,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::UnknownFunction { name, line } => {
+                write!(f, "line {line}: call to unknown function `{name}` (not in the allowed set)")
+            }
+            CheckError::WrongArity { name, expected, found, line } => write!(
+                f,
+                "line {line}: `{name}` expects {expected} argument(s), got {found}"
+            ),
+            CheckError::UndefinedVariable { name, line } => {
+                write!(f, "line {line}: undefined variable `{name}`")
+            }
+            CheckError::DuplicateFunction { name } => {
+                write!(f, "duplicate function `{name}`")
+            }
+            CheckError::DuplicateVariable { name, line } => {
+                write!(f, "line {line}: duplicate variable `{name}`")
+            }
+            CheckError::StrayLoopControl { line } => {
+                write!(f, "line {line}: break/continue outside a loop")
+            }
+        }
+    }
+}
+impl Error for CheckError {}
+
+/// A runtime fault inside a delegated program instance. The instance is
+/// terminated; the elastic process is unaffected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// The instruction budget was exhausted.
+    OutOfFuel,
+    /// The memory budget was exhausted.
+    OutOfMemory,
+    /// The call stack exceeded its depth budget.
+    StackOverflow,
+    /// A binary/unary operation was applied to unsupported operand types.
+    TypeError {
+        /// Human-readable description of the misuse.
+        message: String,
+    },
+    /// Integer or float division by zero.
+    DivisionByZero,
+    /// An index was out of bounds or a map key was absent.
+    BadIndex {
+        /// Description of the failed access.
+        message: String,
+    },
+    /// A host function reported an error.
+    Host {
+        /// The host function's name.
+        name: String,
+        /// Its error text.
+        message: String,
+    },
+    /// Invocation of a function name the program does not define.
+    NoSuchFunction {
+        /// The requested entry point.
+        name: String,
+    },
+    /// The entry point was invoked with the wrong number of arguments.
+    BadInvocation {
+        /// Expected arity.
+        expected: usize,
+        /// Provided arity.
+        found: usize,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            RuntimeError::OutOfMemory => write!(f, "memory budget exhausted"),
+            RuntimeError::StackOverflow => write!(f, "call depth budget exhausted"),
+            RuntimeError::TypeError { message } => write!(f, "type error: {message}"),
+            RuntimeError::DivisionByZero => write!(f, "division by zero"),
+            RuntimeError::BadIndex { message } => write!(f, "bad index: {message}"),
+            RuntimeError::Host { name, message } => write!(f, "host `{name}`: {message}"),
+            RuntimeError::NoSuchFunction { name } => write!(f, "no such function `{name}`"),
+            RuntimeError::BadInvocation { expected, found } => {
+                write!(f, "entry point expects {expected} argument(s), got {found}")
+            }
+        }
+    }
+}
+impl Error for RuntimeError {}
+
+/// Any error from the DPL pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DplError {
+    /// Lexical error.
+    Lex(LexError),
+    /// Syntax error.
+    Parse(ParseError),
+    /// Translator rejection.
+    Check(CheckError),
+    /// Runtime fault.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for DplError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DplError::Lex(e) => e.fmt(f),
+            DplError::Parse(e) => e.fmt(f),
+            DplError::Check(e) => e.fmt(f),
+            DplError::Runtime(e) => e.fmt(f),
+        }
+    }
+}
+
+macro_rules! impl_from {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for DplError {
+            fn from(e: $ty) -> DplError {
+                DplError::$variant(e)
+            }
+        }
+    };
+}
+impl_from!(Lex, LexError);
+impl_from!(Parse, ParseError);
+impl_from!(Check, CheckError);
+impl_from!(Runtime, RuntimeError);
+
+impl Error for DplError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DplError::Lex(e) => Some(e),
+            DplError::Parse(e) => Some(e),
+            DplError::Check(e) => Some(e),
+            DplError::Runtime(e) => Some(e),
+        }
+    }
+}

@@ -1,0 +1,462 @@
+use crate::LexError;
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Literals and identifiers.
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Ident(String),
+    // Keywords.
+    Var,
+    Fn,
+    If,
+    Else,
+    While,
+    For,
+    In,
+    Return,
+    Break,
+    Continue,
+    True,
+    False,
+    Nil,
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Colon,
+    // Operators.
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Assign,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Bang,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            other => {
+                let s = match other {
+                    Tok::Var => "var",
+                    Tok::Fn => "fn",
+                    Tok::If => "if",
+                    Tok::Else => "else",
+                    Tok::While => "while",
+                    Tok::For => "for",
+                    Tok::In => "in",
+                    Tok::Return => "return",
+                    Tok::Break => "break",
+                    Tok::Continue => "continue",
+                    Tok::True => "true",
+                    Tok::False => "false",
+                    Tok::Nil => "nil",
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::LBrace => "{",
+                    Tok::RBrace => "}",
+                    Tok::LBracket => "[",
+                    Tok::RBracket => "]",
+                    Tok::Comma => ",",
+                    Tok::Semicolon => ";",
+                    Tok::Colon => ":",
+                    Tok::Plus => "+",
+                    Tok::Minus => "-",
+                    Tok::Star => "*",
+                    Tok::Slash => "/",
+                    Tok::Percent => "%",
+                    Tok::Assign => "=",
+                    Tok::Eq => "==",
+                    Tok::Ne => "!=",
+                    Tok::Lt => "<",
+                    Tok::Le => "<=",
+                    Tok::Gt => ">",
+                    Tok::Ge => ">=",
+                    Tok::AndAnd => "&&",
+                    Tok::OrOr => "||",
+                    Tok::Bang => "!",
+                    Tok::Eof => "<eof>",
+                    _ => unreachable!(),
+                };
+                f.write_str(s)
+            }
+        }
+    }
+}
+
+/// A token plus the 1-based line it started on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// Tokenizes DPL source. `//` line comments and `/* */` block comments are
+/// skipped; strings support `\n \t \\ \"` escapes.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    macro_rules! push {
+        ($tok:expr) => {
+            out.push(Token { tok: $tok, line })
+        };
+    }
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            line: start_line,
+                            message: "unterminated block comment".to_string(),
+                        });
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '(' => { push!(Tok::LParen); i += 1; }
+            ')' => { push!(Tok::RParen); i += 1; }
+            '{' => { push!(Tok::LBrace); i += 1; }
+            '}' => { push!(Tok::RBrace); i += 1; }
+            '[' => { push!(Tok::LBracket); i += 1; }
+            ']' => { push!(Tok::RBracket); i += 1; }
+            ',' => { push!(Tok::Comma); i += 1; }
+            ';' => { push!(Tok::Semicolon); i += 1; }
+            ':' => { push!(Tok::Colon); i += 1; }
+            '+' => { push!(Tok::Plus); i += 1; }
+            '-' => { push!(Tok::Minus); i += 1; }
+            '*' => { push!(Tok::Star); i += 1; }
+            '/' => { push!(Tok::Slash); i += 1; }
+            '%' => { push!(Tok::Percent); i += 1; }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Eq);
+                    i += 2;
+                } else {
+                    push!(Tok::Assign);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Ne);
+                    i += 2;
+                } else {
+                    push!(Tok::Bang);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Le);
+                    i += 2;
+                } else {
+                    push!(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Ge);
+                    i += 2;
+                } else {
+                    push!(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    push!(Tok::AndAnd);
+                    i += 2;
+                } else {
+                    return Err(LexError { line, message: "lone `&` (use `&&`)".to_string() });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    push!(Tok::OrOr);
+                    i += 2;
+                } else {
+                    return Err(LexError { line, message: "lone `|` (use `||`)".to_string() });
+                }
+            }
+            '"' => {
+                let start_line = line;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            line: start_line,
+                            message: "unterminated string literal".to_string(),
+                        });
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            let esc = bytes.get(i + 1).copied().ok_or_else(|| LexError {
+                                line,
+                                message: "dangling escape".to_string(),
+                            })?;
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                other => {
+                                    return Err(LexError {
+                                        line,
+                                        message: format!("unknown escape `\\{}`", other as char),
+                                    })
+                                }
+                            });
+                            i += 2;
+                        }
+                        b'\n' => {
+                            return Err(LexError {
+                                line: start_line,
+                                message: "newline in string literal".to_string(),
+                            })
+                        }
+                        b => {
+                            // Collect a full UTF-8 scalar.
+                            let ch_len = utf8_len(b);
+                            let chunk = std::str::from_utf8(&bytes[i..i + ch_len])
+                                .map_err(|_| LexError {
+                                    line,
+                                    message: "invalid UTF-8 in string".to_string(),
+                                })?;
+                            s.push_str(chunk);
+                            i += ch_len;
+                        }
+                    }
+                }
+                push!(Tok::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &source[start..i];
+                if is_float {
+                    let v = text.parse::<f64>().map_err(|_| LexError {
+                        line,
+                        message: format!("bad float literal `{text}`"),
+                    })?;
+                    push!(Tok::Float(v));
+                } else {
+                    let v = text.parse::<i64>().map_err(|_| LexError {
+                        line,
+                        message: format!("integer literal `{text}` out of range"),
+                    })?;
+                    push!(Tok::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &source[start..i];
+                let tok = match word {
+                    "var" => Tok::Var,
+                    "fn" => Tok::Fn,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "for" => Tok::For,
+                    "in" => Tok::In,
+                    "return" => Tok::Return,
+                    "break" => Tok::Break,
+                    "continue" => Tok::Continue,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "nil" => Tok::Nil,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                push!(tok);
+            }
+            other => {
+                return Err(LexError { line, message: format!("unexpected character `{other}`") })
+            }
+        }
+    }
+    out.push(Token { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    if first < 0x80 {
+        1
+    } else if first & 0xE0 == 0xC0 {
+        2
+    } else if first & 0xF0 == 0xE0 {
+        3
+    } else {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("var x = 1 + 2.5;"),
+            vec![
+                Tok::Var,
+                Tok::Ident("x".to_string()),
+                Tok::Assign,
+                Tok::Int(1),
+                Tok::Plus,
+                Tok::Float(2.5),
+                Tok::Semicolon,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_two_char() {
+        assert_eq!(
+            toks("== != <= >= && || ! < > ="),
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Bang,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Assign,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#""a\nb\t\"q\"\\""#),
+            vec![Tok::Str("a\nb\t\"q\"\\".to_string()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(toks("\"héllo ✓\""), vec![Tok::Str("héllo ✓".to_string()), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_counted() {
+        let tokens = lex("// line one\n/* block\nspanning */ var x;").unwrap();
+        assert_eq!(tokens[0].tok, Tok::Var);
+        assert_eq!(tokens[0].line, 3);
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            toks("iffy for_x in_ returning"),
+            vec![
+                Tok::Ident("iffy".to_string()),
+                Tok::Ident("for_x".to_string()),
+                Tok::Ident("in_".to_string()),
+                Tok::Ident("returning".to_string()),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(toks("for in"), vec![Tok::For, Tok::In, Tok::Eof]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = lex("var x;\n\"unterminated").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = lex("@").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(lex("& x").is_err());
+        assert!(lex("| x").is_err());
+        assert!(lex("/* never closed").is_err());
+    }
+
+    #[test]
+    fn trailing_dot_is_not_a_float() {
+        // `1.` without a following digit is not a float literal; the bare
+        // dot is rejected (DPL has no member access).
+        assert!(lex("1. 5").is_err());
+        assert_eq!(toks("1.5"), vec![Tok::Float(1.5), Tok::Eof]);
+    }
+
+    #[test]
+    fn huge_integer_rejected() {
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

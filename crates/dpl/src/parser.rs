@@ -1,0 +1,637 @@
+//! Recursive-descent parser for DPL.
+//!
+//! Grammar (EBNF, `;`-terminated statements, C-like precedence):
+//!
+//! ```text
+//! program   := (global | fndef)*
+//! global    := "var" IDENT "=" expr ";"
+//! fndef     := "fn" IDENT "(" params? ")" block
+//! block     := "{" stmt* "}"
+//! stmt      := "var" IDENT "=" expr ";"
+//!            | IDENT "=" expr ";"
+//!            | postfix "[" expr "]" "=" expr ";"
+//!            | "if" "(" expr ")" block ("else" (block | ifstmt))?
+//!            | "while" "(" expr ")" block
+//!            | "for" "(" IDENT "in" expr ")" block
+//!            | "return" expr? ";" | "break" ";" | "continue" ";"
+//!            | expr ";"
+//! expr      := or
+//! or        := and ("||" and)*
+//! and       := equality ("&&" equality)*
+//! equality  := relational (("=="|"!=") relational)*
+//! relational:= additive (("<"|"<="|">"|">=") additive)*
+//! additive  := multiplicative (("+"|"-") multiplicative)*
+//! multiplicative := unary (("*"|"/"|"%") unary)*
+//! unary     := ("-"|"!") unary | postfix
+//! postfix   := primary ("[" expr "]")*
+//! primary   := INT | FLOAT | STRING | "true" | "false" | "nil"
+//!            | IDENT | IDENT "(" args? ")" | "(" expr ")"
+//!            | "[" args? "]" | "{" (expr ":" expr),* "}"
+//! ```
+
+use crate::ast::*;
+use crate::lexer::{lex, Tok, Token};
+use crate::{DplError, ParseError};
+
+/// Parses DPL source into an AST.
+///
+/// # Errors
+///
+/// Returns [`DplError::Lex`] or [`DplError::Parse`] with line information.
+pub fn parse(source: &str) -> Result<ProgramAst, DplError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let ast = p.program()?;
+    Ok(ast)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Tok) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{want}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError { line: self.line(), message }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<ProgramAst, ParseError> {
+        let mut ast = ProgramAst::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => return Ok(ast),
+                Tok::Var => {
+                    let line = self.line();
+                    self.bump();
+                    let name = self.ident()?;
+                    self.eat(&Tok::Assign)?;
+                    let init = self.expr()?;
+                    self.eat(&Tok::Semicolon)?;
+                    ast.globals.push(GlobalDef { name, init, line });
+                }
+                Tok::Fn => {
+                    let line = self.line();
+                    self.bump();
+                    let name = self.ident()?;
+                    self.eat(&Tok::LParen)?;
+                    let mut params = Vec::new();
+                    if self.peek() != &Tok::RParen {
+                        loop {
+                            params.push(self.ident()?);
+                            if self.peek() == &Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat(&Tok::RParen)?;
+                    let body = self.block()?;
+                    ast.functions.push(FnDef { name, params, body, line });
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected `var` or `fn` at top level, found `{other}`"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.eat(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            if self.peek() == &Tok::Eof {
+                return Err(self.err("unterminated block".to_string()));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump(); // consume `}`
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        let kind = match self.peek().clone() {
+            Tok::Var => {
+                self.bump();
+                let name = self.ident()?;
+                self.eat(&Tok::Assign)?;
+                let init = self.expr()?;
+                self.eat(&Tok::Semicolon)?;
+                StmtKind::VarDecl { name, init }
+            }
+            Tok::If => {
+                self.bump();
+                return self.if_stmt(line);
+            }
+            Tok::While => {
+                self.bump();
+                self.eat(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                let body = self.block()?;
+                StmtKind::While { cond, body }
+            }
+            Tok::For => {
+                self.bump();
+                self.eat(&Tok::LParen)?;
+                let name = self.ident()?;
+                self.eat(&Tok::In)?;
+                let iterable = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                let body = self.block()?;
+                StmtKind::ForIn { name, iterable, body }
+            }
+            Tok::Return => {
+                self.bump();
+                let value = if self.peek() == &Tok::Semicolon {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.eat(&Tok::Semicolon)?;
+                StmtKind::Return { value }
+            }
+            Tok::Break => {
+                self.bump();
+                self.eat(&Tok::Semicolon)?;
+                StmtKind::Break
+            }
+            Tok::Continue => {
+                self.bump();
+                self.eat(&Tok::Semicolon)?;
+                StmtKind::Continue
+            }
+            Tok::Ident(name) if self.peek2() == &Tok::Assign => {
+                self.bump();
+                self.bump();
+                let value = self.expr()?;
+                self.eat(&Tok::Semicolon)?;
+                StmtKind::Assign { name, value }
+            }
+            _ => {
+                // Expression statement, or an index assignment
+                // `postfix[expr] = value;`.
+                let e = self.expr()?;
+                if self.peek() == &Tok::Assign {
+                    self.bump();
+                    let value = self.expr()?;
+                    self.eat(&Tok::Semicolon)?;
+                    match e.kind {
+                        ExprKind::Index { base, index } => StmtKind::IndexAssign {
+                            base: *base,
+                            index: *index,
+                            value,
+                        },
+                        _ => {
+                            return Err(ParseError {
+                                line,
+                                message: "invalid assignment target".to_string(),
+                            })
+                        }
+                    }
+                } else {
+                    self.eat(&Tok::Semicolon)?;
+                    StmtKind::Expr(e)
+                }
+            }
+        };
+        Ok(Stmt { kind, line })
+    }
+
+    fn if_stmt(&mut self, line: u32) -> Result<Stmt, ParseError> {
+        self.eat(&Tok::LParen)?;
+        let cond = self.expr()?;
+        self.eat(&Tok::RParen)?;
+        let then_block = self.block()?;
+        let else_block = if self.peek() == &Tok::Else {
+            self.bump();
+            if self.peek() == &Tok::If {
+                let line2 = self.line();
+                self.bump();
+                vec![self.if_stmt(line2)?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt { kind: StmtKind::If { cond, then_block, else_block }, line })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == &Tok::OrOr {
+            let line = self.line();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr {
+                kind: ExprKind::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.equality()?;
+        while self.peek() == &Tok::AndAnd {
+            let line = self.line();
+            self.bump();
+            let rhs = self.equality()?;
+            lhs = Expr {
+                kind: ExprKind::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Eq => BinOp::Eq,
+                Tok::Ne => BinOp::Ne,
+                _ => return Ok(lhs),
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.relational()?;
+            lhs = Expr {
+                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                line,
+            };
+        }
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Lt => BinOp::Lt,
+                Tok::Le => BinOp::Le,
+                Tok::Gt => BinOp::Gt,
+                Tok::Ge => BinOp::Ge,
+                _ => return Ok(lhs),
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.additive()?;
+            lhs = Expr {
+                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                line,
+            };
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr {
+                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                line,
+            };
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr {
+                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                line,
+            };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let operand = self.unary()?;
+                Ok(Expr { kind: ExprKind::Unary { op: UnOp::Neg, operand: Box::new(operand) }, line })
+            }
+            Tok::Bang => {
+                self.bump();
+                let operand = self.unary()?;
+                Ok(Expr { kind: ExprKind::Unary { op: UnOp::Not, operand: Box::new(operand) }, line })
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        while self.peek() == &Tok::LBracket {
+            let line = self.line();
+            self.bump();
+            let index = self.expr()?;
+            self.eat(&Tok::RBracket)?;
+            e = Expr {
+                kind: ExprKind::Index { base: Box::new(e), index: Box::new(index) },
+                line,
+            };
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        let kind = match self.bump() {
+            Tok::Int(v) => ExprKind::Int(v),
+            Tok::Float(v) => ExprKind::Float(v),
+            Tok::Str(s) => ExprKind::Str(s),
+            Tok::True => ExprKind::Bool(true),
+            Tok::False => ExprKind::Bool(false),
+            Tok::Nil => ExprKind::Nil,
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                return Ok(e);
+            }
+            Tok::LBracket => {
+                let mut items = Vec::new();
+                if self.peek() != &Tok::RBracket {
+                    loop {
+                        items.push(self.expr()?);
+                        if self.peek() == &Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.eat(&Tok::RBracket)?;
+                ExprKind::List(items)
+            }
+            Tok::LBrace => {
+                let mut pairs = Vec::new();
+                if self.peek() != &Tok::RBrace {
+                    loop {
+                        let k = self.expr()?;
+                        self.eat(&Tok::Colon)?;
+                        let v = self.expr()?;
+                        pairs.push((k, v));
+                        if self.peek() == &Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.eat(&Tok::RBrace)?;
+                ExprKind::Map(pairs)
+            }
+            Tok::Ident(name) => {
+                if self.peek() == &Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != &Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.peek() == &Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat(&Tok::RParen)?;
+                    ExprKind::Call { name, args }
+                } else {
+                    ExprKind::Var(name)
+                }
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    message: format!("unexpected token `{other}` in expression"),
+                })
+            }
+        };
+        Ok(Expr { kind, line })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> ProgramAst {
+        parse(src).unwrap()
+    }
+
+    #[test]
+    fn parses_globals_and_functions() {
+        let ast = parse_ok("var n = 0;\nfn main(a, b) { return a; }");
+        assert_eq!(ast.globals.len(), 1);
+        assert_eq!(ast.globals[0].name, "n");
+        assert_eq!(ast.functions.len(), 1);
+        assert_eq!(ast.functions[0].params, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let ast = parse_ok("fn f() { return 1 + 2 * 3 < 7 && true; }");
+        let body = &ast.functions[0].body[0];
+        // Root should be `&&`.
+        match &body.kind {
+            StmtKind::Return { value: Some(e) } => match &e.kind {
+                ExprKind::Binary { op: BinOp::And, lhs, .. } => match &lhs.kind {
+                    ExprKind::Binary { op: BinOp::Lt, lhs, .. } => match &lhs.kind {
+                        ExprKind::Binary { op: BinOp::Add, rhs, .. } => {
+                            assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
+                        }
+                        other => panic!("expected +, got {other:?}"),
+                    },
+                    other => panic!("expected <, got {other:?}"),
+                },
+                other => panic!("expected &&, got {other:?}"),
+            },
+            other => panic!("expected return, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let ast = parse_ok("fn f() { return (1 + 2) * 3; }");
+        match &ast.functions[0].body[0].kind {
+            StmtKind::Return { value: Some(e) } => {
+                assert!(matches!(e.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn if_else_if_chains() {
+        let ast = parse_ok(
+            "fn f(x) { if (x > 2) { return 2; } else if (x > 1) { return 1; } else { return 0; } }",
+        );
+        match &ast.functions[0].body[0].kind {
+            StmtKind::If { else_block, .. } => {
+                assert_eq!(else_block.len(), 1);
+                assert!(matches!(else_block[0].kind, StmtKind::If { .. }));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn loops_and_control() {
+        let ast = parse_ok(
+            "fn f(xs) { var t = 0; for (x in xs) { if (x == 0) { continue; } t = t + x; } \
+             while (t > 100) { t = t - 1; break; } return t; }",
+        );
+        assert_eq!(ast.functions[0].body.len(), 4);
+    }
+
+    #[test]
+    fn list_and_map_literals() {
+        let ast = parse_ok(r#"fn f() { return [1, 2.0, "x", [nil]]; }"#);
+        match &ast.functions[0].body[0].kind {
+            StmtKind::Return { value: Some(e) } => match &e.kind {
+                ExprKind::List(items) => assert_eq!(items.len(), 4),
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+        let ast = parse_ok(r#"fn f() { return {"a": 1, "b": 2}; }"#);
+        match &ast.functions[0].body[0].kind {
+            StmtKind::Return { value: Some(e) } => match &e.kind {
+                ExprKind::Map(pairs) => assert_eq!(pairs.len(), 2),
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn index_assignment_parses() {
+        let ast = parse_ok(r#"fn f(m) { m["k"] = 5; m["a"]["b"] = 1; }"#);
+        assert!(matches!(ast.functions[0].body[0].kind, StmtKind::IndexAssign { .. }));
+        match &ast.functions[0].body[1].kind {
+            StmtKind::IndexAssign { base, .. } => {
+                assert!(matches!(base.kind, ExprKind::Index { .. }));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn invalid_assignment_target_rejected() {
+        let err = parse("fn f() { 1 + 2 = 3; }").unwrap_err();
+        match err {
+            DplError::Parse(p) => assert!(p.message.contains("assignment target")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_have_lines() {
+        let err = parse("fn f() {\n  var = 3;\n}").unwrap_err();
+        match err {
+            DplError::Parse(p) => assert_eq!(p.line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn top_level_garbage_rejected() {
+        assert!(parse("return 1;").is_err());
+        assert!(parse("fn f() {").is_err());
+        assert!(parse("fn f(a,) {}").is_err());
+    }
+
+    #[test]
+    fn nested_calls_and_indexing() {
+        let ast = parse_ok("fn f(a) { return g(h(a)[0], [1,2][1]); }");
+        match &ast.functions[0].body[0].kind {
+            StmtKind::Return { value: Some(e) } => match &e.kind {
+                ExprKind::Call { name, args } => {
+                    assert_eq!(name, "g");
+                    assert_eq!(args.len(), 2);
+                    assert!(matches!(args[0].kind, ExprKind::Index { .. }));
+                }
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn unary_chains() {
+        let ast = parse_ok("fn f(x) { return --x + !!true; }");
+        assert_eq!(ast.functions.len(), 1);
+    }
+
+    #[test]
+    fn empty_return_is_nil() {
+        let ast = parse_ok("fn f() { return; }");
+        assert!(matches!(ast.functions[0].body[0].kind, StmtKind::Return { value: None }));
+    }
+}

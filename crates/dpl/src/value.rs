@@ -1,0 +1,533 @@
+use crate::RuntimeError;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A DPL runtime value.
+///
+/// Values have *copy semantics* at the language level: assignment and
+/// argument passing never alias. Containers are `Arc`-backed and cloned
+/// copy-on-write, so loading a large table into a variable and indexing
+/// it in a loop is O(1) per access, while any mutation of a shared
+/// container copies it first ([`Arc::make_mut`]). This keeps delegated
+/// programs free of aliasing bugs without making table scans quadratic.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered list (shared, copy-on-write).
+    List(Arc<Vec<Value>>),
+    /// String-keyed map (ordered, deterministic iteration; shared,
+    /// copy-on-write).
+    Map(Arc<BTreeMap<String, Value>>),
+    /// The absent value.
+    #[default]
+    Nil,
+}
+
+impl Value {
+    /// Approximate size in abstract memory cells, used against the VM's
+    /// allocation budget. Scalars cost 1; containers cost 1 plus contents;
+    /// strings cost 1 per 8 bytes.
+    pub fn cost(&self) -> u64 {
+        match self {
+            Value::Int(_) | Value::Float(_) | Value::Bool(_) | Value::Nil => 1,
+            Value::Str(s) => 1 + (s.len() as u64) / 8,
+            Value::List(items) => 1 + items.iter().map(Value::cost).sum::<u64>(),
+            Value::Map(map) => {
+                1 + map
+                    .iter()
+                    .map(|(k, v)| 1 + (k.len() as u64) / 8 + v.cost())
+                    .sum::<u64>()
+            }
+        }
+    }
+
+    /// The memory newly allocated by cloning this value: strings copy
+    /// their bytes, containers only bump an `Arc` reference count, and
+    /// scalars are free. Used by the VM to charge loads accurately.
+    pub fn clone_cost(&self) -> u64 {
+        match self {
+            Value::Str(s) => 1 + (s.len() as u64) / 8,
+            _ => 1,
+        }
+    }
+
+    /// The value's type name, as used in diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "str",
+            Value::List(_) => "list",
+            Value::Map(_) => "map",
+            Value::Nil => "nil",
+        }
+    }
+
+    /// Interprets this value as a boolean condition.
+    ///
+    /// # Errors
+    ///
+    /// Only `Bool` may be used as a condition; anything else is a
+    /// [`RuntimeError::TypeError`] (DPL has no truthiness coercion).
+    pub fn as_condition(&self) -> Result<bool, RuntimeError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(RuntimeError::TypeError {
+                message: format!("condition must be bool, got {}", other.type_name()),
+            }),
+        }
+    }
+
+    /// Integer view, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: `Int` and `Float` both convert.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// List view, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Creates a list value.
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(Arc::new(items))
+    }
+
+    /// Creates a map value.
+    pub fn map(entries: BTreeMap<String, Value>) -> Value {
+        Value::Map(Arc::new(entries))
+    }
+}
+
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::Int(i64::from(v))
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::list(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Nil => write!(f, "nil"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match item {
+                        Value::Str(s) => write!(f, "{s:?}")?,
+                        other => write!(f, "{other}")?,
+                    }
+                }
+                write!(f, "]")
+            }
+            Value::Map(map) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match v {
+                        Value::Str(s) => write!(f, "{k:?}: {s:?}")?,
+                        other => write!(f, "{k:?}: {other}")?,
+                    }
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn type_error(op: &str, a: &Value, b: &Value) -> RuntimeError {
+    RuntimeError::TypeError {
+        message: format!("cannot apply `{op}` to {} and {}", a.type_name(), b.type_name()),
+    }
+}
+
+/// Binary arithmetic and comparison over values. These free functions are
+/// shared by the VM and by host helpers.
+pub(crate) mod ops {
+    use super::*;
+
+    pub fn add(a: Value, b: Value) -> Result<Value, RuntimeError> {
+        match (a, b) {
+            (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_add(y))),
+            (Value::Float(x), Value::Float(y)) => Ok(Value::Float(x + y)),
+            (Value::Int(x), Value::Float(y)) => Ok(Value::Float(x as f64 + y)),
+            (Value::Float(x), Value::Int(y)) => Ok(Value::Float(x + y as f64)),
+            (Value::Str(mut x), Value::Str(y)) => {
+                x.push_str(&y);
+                Ok(Value::Str(x))
+            }
+            (Value::List(mut x), Value::List(y)) => {
+                Arc::make_mut(&mut x).extend(y.iter().cloned());
+                Ok(Value::List(x))
+            }
+            (a, b) => Err(type_error("+", &a, &b)),
+        }
+    }
+
+    pub fn sub(a: Value, b: Value) -> Result<Value, RuntimeError> {
+        numeric(a, b, "-", i64::wrapping_sub, |x, y| x - y)
+    }
+
+    pub fn mul(a: Value, b: Value) -> Result<Value, RuntimeError> {
+        numeric(a, b, "*", i64::wrapping_mul, |x, y| x * y)
+    }
+
+    pub fn div(a: Value, b: Value) -> Result<Value, RuntimeError> {
+        match (&a, &b) {
+            (Value::Int(_), Value::Int(0)) => Err(RuntimeError::DivisionByZero),
+            (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_div(*y))),
+            _ => {
+                let (x, y) = both_f64(&a, &b).ok_or_else(|| type_error("/", &a, &b))?;
+                if y == 0.0 {
+                    return Err(RuntimeError::DivisionByZero);
+                }
+                Ok(Value::Float(x / y))
+            }
+        }
+    }
+
+    pub fn rem(a: Value, b: Value) -> Result<Value, RuntimeError> {
+        match (&a, &b) {
+            (Value::Int(_), Value::Int(0)) => Err(RuntimeError::DivisionByZero),
+            (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_rem(*y))),
+            _ => {
+                let (x, y) = both_f64(&a, &b).ok_or_else(|| type_error("%", &a, &b))?;
+                if y == 0.0 {
+                    return Err(RuntimeError::DivisionByZero);
+                }
+                Ok(Value::Float(x % y))
+            }
+        }
+    }
+
+    fn numeric(
+        a: Value,
+        b: Value,
+        op: &str,
+        int_op: fn(i64, i64) -> i64,
+        float_op: fn(f64, f64) -> f64,
+    ) -> Result<Value, RuntimeError> {
+        match (&a, &b) {
+            (Value::Int(x), Value::Int(y)) => Ok(Value::Int(int_op(*x, *y))),
+            _ => match both_f64(&a, &b) {
+                Some((x, y)) => Ok(Value::Float(float_op(x, y))),
+                None => Err(type_error(op, &a, &b)),
+            },
+        }
+    }
+
+    fn both_f64(a: &Value, b: &Value) -> Option<(f64, f64)> {
+        match (a, b) {
+            (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_)) => {
+                Some((a.as_f64().unwrap(), b.as_f64().unwrap()))
+            }
+            _ => None,
+        }
+    }
+
+    pub fn neg(a: Value) -> Result<Value, RuntimeError> {
+        match a {
+            Value::Int(x) => Ok(Value::Int(x.wrapping_neg())),
+            Value::Float(x) => Ok(Value::Float(-x)),
+            other => Err(RuntimeError::TypeError {
+                message: format!("cannot negate {}", other.type_name()),
+            }),
+        }
+    }
+
+    pub fn not(a: Value) -> Result<Value, RuntimeError> {
+        match a {
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            other => Err(RuntimeError::TypeError {
+                message: format!("cannot apply `!` to {}", other.type_name()),
+            }),
+        }
+    }
+
+    /// Structural equality; numbers compare across Int/Float.
+    pub fn eq(a: &Value, b: &Value) -> bool {
+        match (a, b) {
+            (Value::Int(x), Value::Float(y)) | (Value::Float(y), Value::Int(x)) => {
+                (*x as f64) == *y
+            }
+            _ => a == b,
+        }
+    }
+
+    /// Ordering for `< <= > >=`: numbers or strings.
+    pub fn cmp(a: &Value, b: &Value) -> Result<std::cmp::Ordering, RuntimeError> {
+        match (a, b) {
+            (Value::Str(x), Value::Str(y)) => Ok(x.cmp(y)),
+            _ => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x
+                    .partial_cmp(&y)
+                    .ok_or_else(|| RuntimeError::TypeError {
+                        message: "NaN is not ordered".to_string(),
+                    }),
+                _ => Err(type_error("<", a, b)),
+            },
+        }
+    }
+
+    /// `base[index]` for lists (int index) and maps (string key).
+    /// String indexing returns the 1-char substring.
+    pub fn index(base: &Value, index: &Value) -> Result<Value, RuntimeError> {
+        match (base, index) {
+            (Value::List(items), Value::Int(i)) => {
+                let idx = usize::try_from(*i).map_err(|_| RuntimeError::BadIndex {
+                    message: format!("negative list index {i}"),
+                })?;
+                items.get(idx).cloned().ok_or_else(|| RuntimeError::BadIndex {
+                    message: format!("list index {i} out of bounds (len {})", items.len()),
+                })
+            }
+            (Value::Map(map), Value::Str(k)) => {
+                Ok(map.get(k).cloned().unwrap_or(Value::Nil))
+            }
+            (Value::Str(s), Value::Int(i)) => {
+                let idx = usize::try_from(*i).map_err(|_| RuntimeError::BadIndex {
+                    message: format!("negative string index {i}"),
+                })?;
+                s.chars().nth(idx).map(|c| Value::Str(c.to_string())).ok_or_else(|| {
+                    RuntimeError::BadIndex {
+                        message: format!("string index {i} out of bounds"),
+                    }
+                })
+            }
+            (b, i) => Err(RuntimeError::TypeError {
+                message: format!("cannot index {} with {}", b.type_name(), i.type_name()),
+            }),
+        }
+    }
+
+    /// `base[index] = value` in place (copy-on-write if shared).
+    pub fn index_set(base: &mut Value, index: Value, value: Value) -> Result<(), RuntimeError> {
+        match (base, index) {
+            (Value::List(items), Value::Int(i)) => {
+                let idx = usize::try_from(i).map_err(|_| RuntimeError::BadIndex {
+                    message: format!("negative list index {i}"),
+                })?;
+                let len = items.len();
+                let slot =
+                    Arc::make_mut(items).get_mut(idx).ok_or(RuntimeError::BadIndex {
+                        message: format!("list index {i} out of bounds (len {len})"),
+                    })?;
+                *slot = value;
+                Ok(())
+            }
+            (Value::Map(map), Value::Str(k)) => {
+                Arc::make_mut(map).insert(k, value);
+                Ok(())
+            }
+            (b, i) => Err(RuntimeError::TypeError {
+                message: format!("cannot index-assign {} with {}", b.type_name(), i.type_name()),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ops;
+    use super::*;
+
+    #[test]
+    fn arithmetic_type_rules() {
+        assert_eq!(ops::add(Value::Int(2), Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(ops::add(Value::Int(2), Value::Float(0.5)).unwrap(), Value::Float(2.5));
+        assert_eq!(
+            ops::add(Value::from("a"), Value::from("b")).unwrap(),
+            Value::from("ab")
+        );
+        assert_eq!(
+            ops::add(Value::from(vec![1i64]), Value::from(vec![2i64])).unwrap(),
+            Value::from(vec![1i64, 2])
+        );
+        assert!(ops::add(Value::from("a"), Value::Int(1)).is_err());
+        assert!(ops::sub(Value::Bool(true), Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn division_guards() {
+        assert_eq!(ops::div(Value::Int(7), Value::Int(2)).unwrap(), Value::Int(3));
+        assert_eq!(ops::div(Value::Float(7.0), Value::Int(2)).unwrap(), Value::Float(3.5));
+        assert_eq!(ops::div(Value::Int(1), Value::Int(0)).unwrap_err(), RuntimeError::DivisionByZero);
+        assert_eq!(
+            ops::rem(Value::Int(1), Value::Int(0)).unwrap_err(),
+            RuntimeError::DivisionByZero
+        );
+        assert_eq!(ops::rem(Value::Int(7), Value::Int(3)).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn integer_overflow_wraps_not_panics() {
+        assert_eq!(
+            ops::add(Value::Int(i64::MAX), Value::Int(1)).unwrap(),
+            Value::Int(i64::MIN)
+        );
+        assert_eq!(
+            ops::mul(Value::Int(i64::MAX), Value::Int(2)).unwrap(),
+            Value::Int(-2)
+        );
+        assert_eq!(ops::neg(Value::Int(i64::MIN)).unwrap(), Value::Int(i64::MIN));
+    }
+
+    #[test]
+    fn equality_across_numeric_types() {
+        assert!(ops::eq(&Value::Int(2), &Value::Float(2.0)));
+        assert!(!ops::eq(&Value::Int(2), &Value::Float(2.5)));
+        assert!(ops::eq(&Value::from("x"), &Value::from("x")));
+        assert!(!ops::eq(&Value::Nil, &Value::Int(0)));
+    }
+
+    #[test]
+    fn ordering_rules() {
+        use std::cmp::Ordering;
+        assert_eq!(ops::cmp(&Value::Int(1), &Value::Float(1.5)).unwrap(), Ordering::Less);
+        assert_eq!(ops::cmp(&Value::from("b"), &Value::from("a")).unwrap(), Ordering::Greater);
+        assert!(ops::cmp(&Value::from("a"), &Value::Int(1)).is_err());
+        assert!(ops::cmp(&Value::Float(f64::NAN), &Value::Float(1.0)).is_err());
+    }
+
+    #[test]
+    fn indexing_rules() {
+        let list = Value::from(vec![10i64, 20]);
+        assert_eq!(ops::index(&list, &Value::Int(1)).unwrap(), Value::Int(20));
+        assert!(matches!(
+            ops::index(&list, &Value::Int(5)),
+            Err(RuntimeError::BadIndex { .. })
+        ));
+        assert!(matches!(
+            ops::index(&list, &Value::Int(-1)),
+            Err(RuntimeError::BadIndex { .. })
+        ));
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), Value::Int(9));
+        let map = Value::map(m);
+        assert_eq!(ops::index(&map, &Value::from("k")).unwrap(), Value::Int(9));
+        assert_eq!(ops::index(&map, &Value::from("absent")).unwrap(), Value::Nil);
+        let s = Value::from("héllo");
+        assert_eq!(ops::index(&s, &Value::Int(1)).unwrap(), Value::from("é"));
+    }
+
+    #[test]
+    fn index_set_rules() {
+        let mut list = Value::from(vec![1i64, 2]);
+        ops::index_set(&mut list, Value::Int(0), Value::Int(9)).unwrap();
+        assert_eq!(list, Value::from(vec![9i64, 2]));
+        assert!(ops::index_set(&mut list, Value::Int(9), Value::Nil).is_err());
+        let mut map = Value::map(BTreeMap::new());
+        ops::index_set(&mut map, Value::from("a"), Value::Int(1)).unwrap();
+        assert_eq!(ops::index(&map, &Value::from("a")).unwrap(), Value::Int(1));
+        let mut n = Value::Int(3);
+        assert!(ops::index_set(&mut n, Value::Int(0), Value::Nil).is_err());
+    }
+
+    #[test]
+    fn cost_model() {
+        assert_eq!(Value::Int(1).cost(), 1);
+        assert_eq!(Value::from("12345678").cost(), 2);
+        assert_eq!(Value::from(vec![1i64, 2, 3]).cost(), 4);
+        let mut m = BTreeMap::new();
+        m.insert("key".to_string(), Value::Int(1));
+        assert_eq!(Value::map(m).cost(), 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+        assert_eq!(Value::from(vec![1i64, 2]).to_string(), "[1, 2]");
+        assert_eq!(
+            Value::list(vec![Value::from("a")]).to_string(),
+            "[\"a\"]"
+        );
+        assert_eq!(Value::Nil.to_string(), "nil");
+    }
+
+    #[test]
+    fn conditions_must_be_bool() {
+        assert!(Value::Bool(true).as_condition().unwrap());
+        assert!(Value::Int(1).as_condition().is_err());
+        assert!(Value::Nil.as_condition().is_err());
+    }
+}

@@ -1,0 +1,835 @@
+//! The sandboxed stack VM that executes delegated-program instances.
+//!
+//! Every invocation runs under a [`Budget`]: an instruction (fuel) limit,
+//! a cumulative allocation limit, and a call-depth limit. Exceeding any of
+//! them aborts the invocation with a [`RuntimeError`] — the embedding
+//! elastic process terminates the offending dpi and keeps running, which
+//! is the MbD safety property that lets a server accept code from
+//! less-than-fully-trusted managers.
+
+use crate::bytecode::{Op, Program};
+use crate::host::HostRegistry;
+use crate::value::ops;
+use crate::{RuntimeError, Value};
+
+/// Resource limits for one invocation.
+///
+/// # Examples
+///
+/// ```
+/// use dpl::Budget;
+/// let tight = Budget { fuel: 1_000, ..Budget::default() };
+/// assert!(tight.fuel < Budget::default().fuel);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum instructions executed (host calls cost extra).
+    pub fuel: u64,
+    /// Maximum cumulative allocation, in value cells (see
+    /// [`Value::cost`]).
+    pub memory: u64,
+    /// Maximum call-stack depth.
+    pub call_depth: u32,
+}
+
+impl Default for Budget {
+    /// 1M instructions, 1M cells, depth 64 — generous for management
+    /// agents, tiny for runaways.
+    fn default() -> Budget {
+        Budget { fuel: 1_000_000, memory: 1_000_000, call_depth: 64 }
+    }
+}
+
+/// Execution counters from the most recent invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Instructions executed.
+    pub fuel_used: u64,
+    /// Cells allocated.
+    pub memory_used: u64,
+    /// Deepest call stack reached.
+    pub max_depth: u32,
+    /// Host functions invoked.
+    pub host_calls: u64,
+}
+
+/// A delegated program *instance* (dpi): compiled code plus persistent
+/// global state.
+///
+/// Instances of the same [`Program`] share code but have independent
+/// state, exactly like the paper's dpis instantiated from one dp. Global
+/// initializers run lazily on the first invocation (they may call host
+/// functions, which need a context).
+#[derive(Debug, Clone)]
+pub struct Instance {
+    program: std::sync::Arc<Program>,
+    globals: Vec<Value>,
+    initialized: bool,
+    last_stats: VmStats,
+}
+
+impl Instance {
+    /// Creates a fresh instance of `program`.
+    pub fn new(program: &Program) -> Instance {
+        Instance {
+            program: std::sync::Arc::new(program.clone()),
+            globals: vec![Value::Nil; program.global_names.len()],
+            initialized: false,
+            last_stats: VmStats::default(),
+        }
+    }
+
+    /// The program this instance runs.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Counters from the most recent invocation.
+    pub fn last_stats(&self) -> VmStats {
+        self.last_stats
+    }
+
+    /// Reads a persistent global by name (dpi state inspection).
+    pub fn global(&self, name: &str) -> Option<&Value> {
+        let idx = self.program.global_names.iter().position(|n| n == name)?;
+        self.globals.get(idx)
+    }
+
+    /// Invokes `entry` with `args` under `budget`, using `registry` for
+    /// host calls with context `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// - [`RuntimeError::NoSuchFunction`] / [`RuntimeError::BadInvocation`]
+    ///   for a bad entry point;
+    /// - any fault or budget exhaustion during execution. A failed
+    ///   invocation leaves global state as the failure left it (the paper's
+    ///   dpis are likewise not transactional).
+    pub fn invoke<C>(
+        &mut self,
+        entry: &str,
+        args: &[Value],
+        ctx: &mut C,
+        registry: &HostRegistry<C>,
+        budget: Budget,
+    ) -> Result<Value, RuntimeError> {
+        let program = std::sync::Arc::clone(&self.program);
+        let host_map = resolve_hosts(&program, registry)?;
+        let mut vm = Vm {
+            program: &program,
+            globals: &mut self.globals,
+            registry,
+            host_map: &host_map,
+            budget,
+            stats: VmStats::default(),
+        };
+        let result = (|| {
+            if !self.initialized {
+                vm.run(program.init_fn, Vec::new(), ctx)?;
+                self.initialized = true;
+            }
+            let &fn_idx = program
+                .fn_by_name
+                .get(entry)
+                .ok_or_else(|| RuntimeError::NoSuchFunction { name: entry.to_string() })?;
+            let f = &program.functions[fn_idx];
+            if f.arity != args.len() {
+                return Err(RuntimeError::BadInvocation {
+                    expected: f.arity,
+                    found: args.len(),
+                });
+            }
+            vm.run(fn_idx, args.to_vec(), ctx)
+        })();
+        self.last_stats = vm.stats;
+        result
+    }
+}
+
+fn resolve_hosts<C>(
+    program: &Program,
+    registry: &HostRegistry<C>,
+) -> Result<Vec<usize>, RuntimeError> {
+    program
+        .host_names
+        .iter()
+        .map(|name| {
+            registry.index_of(name).ok_or_else(|| RuntimeError::Host {
+                name: name.clone(),
+                message: "not registered on this server".to_string(),
+            })
+        })
+        .collect()
+}
+
+struct Frame {
+    func: usize,
+    ip: usize,
+    locals: Vec<Value>,
+}
+
+struct Vm<'a, C> {
+    program: &'a Program,
+    globals: &'a mut Vec<Value>,
+    registry: &'a HostRegistry<C>,
+    host_map: &'a [usize],
+    budget: Budget,
+    stats: VmStats,
+}
+
+impl<'a, C> Vm<'a, C> {
+    fn charge_fuel(&mut self, amount: u64) -> Result<(), RuntimeError> {
+        self.stats.fuel_used += amount;
+        if self.stats.fuel_used > self.budget.fuel {
+            Err(RuntimeError::OutOfFuel)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Charges the full (deep) cost of a freshly built value.
+    fn charge_alloc(&mut self, v: &Value) -> Result<(), RuntimeError> {
+        self.charge_cells(v.cost().saturating_sub(1))
+    }
+
+    /// Charges only what a clone of `v` actually allocates (containers
+    /// are `Arc`-shared, so loads of large tables are O(1)).
+    fn charge_clone(&mut self, v: &Value) -> Result<(), RuntimeError> {
+        self.charge_cells(v.clone_cost().saturating_sub(1))
+    }
+
+    fn charge_cells(&mut self, cost: u64) -> Result<(), RuntimeError> {
+        if cost > 0 {
+            self.stats.memory_used += cost;
+            if self.stats.memory_used > self.budget.memory {
+                return Err(RuntimeError::OutOfMemory);
+            }
+        }
+        Ok(())
+    }
+
+    fn run(&mut self, entry: usize, args: Vec<Value>, ctx: &mut C) -> Result<Value, RuntimeError> {
+        let mut stack: Vec<Value> = Vec::with_capacity(32);
+        let mut frames: Vec<Frame> = Vec::with_capacity(8);
+        let f = &self.program.functions[entry];
+        let mut locals = args;
+        locals.resize(f.n_locals, Value::Nil);
+        frames.push(Frame { func: entry, ip: 0, locals });
+        self.stats.max_depth = self.stats.max_depth.max(1);
+
+        macro_rules! pop {
+            () => {
+                stack.pop().expect("compiler guarantees stack discipline")
+            };
+        }
+
+        loop {
+            let frame = frames.last_mut().expect("at least one frame");
+            let code = &self.program.functions[frame.func].code;
+            debug_assert!(frame.ip < code.len(), "fell off function end");
+            let op = code[frame.ip].clone();
+            frame.ip += 1;
+            self.charge_fuel(1)?;
+            match op {
+                Op::Const(i) => {
+                    let v = self.program.consts[i as usize].clone();
+                    self.charge_clone(&v)?;
+                    stack.push(v);
+                }
+                Op::Nil => stack.push(Value::Nil),
+                Op::Bool(b) => stack.push(Value::Bool(b)),
+                Op::LoadLocal(i) => {
+                    let v = frame.locals[i as usize].clone();
+                    self.charge_clone(&v)?;
+                    stack.push(v);
+                }
+                Op::StoreLocal(i) => {
+                    frame.locals[i as usize] = pop!();
+                }
+                Op::LoadGlobal(i) => {
+                    let v = self.globals[i as usize].clone();
+                    self.charge_clone(&v)?;
+                    stack.push(v);
+                }
+                Op::StoreGlobal(i) => {
+                    self.globals[i as usize] = pop!();
+                }
+                Op::Add => {
+                    let b = pop!();
+                    let a = pop!();
+                    let v = ops::add(a, b)?;
+                    self.charge_alloc(&v)?;
+                    stack.push(v);
+                }
+                Op::Sub => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(ops::sub(a, b)?);
+                }
+                Op::Mul => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(ops::mul(a, b)?);
+                }
+                Op::Div => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(ops::div(a, b)?);
+                }
+                Op::Mod => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(ops::rem(a, b)?);
+                }
+                Op::Neg => {
+                    let a = pop!();
+                    stack.push(ops::neg(a)?);
+                }
+                Op::Not => {
+                    let a = pop!();
+                    stack.push(ops::not(a)?);
+                }
+                Op::Eq => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(Value::Bool(ops::eq(&a, &b)));
+                }
+                Op::Ne => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(Value::Bool(!ops::eq(&a, &b)));
+                }
+                Op::Lt => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(Value::Bool(ops::cmp(&a, &b)? == std::cmp::Ordering::Less));
+                }
+                Op::Le => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(Value::Bool(ops::cmp(&a, &b)? != std::cmp::Ordering::Greater));
+                }
+                Op::Gt => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(Value::Bool(ops::cmp(&a, &b)? == std::cmp::Ordering::Greater));
+                }
+                Op::Ge => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(Value::Bool(ops::cmp(&a, &b)? != std::cmp::Ordering::Less));
+                }
+                Op::Jump(t) => {
+                    let frame = frames.last_mut().expect("frame");
+                    frame.ip = t as usize;
+                }
+                Op::JumpIfFalse(t) => {
+                    let cond = pop!().as_condition()?;
+                    if !cond {
+                        let frame = frames.last_mut().expect("frame");
+                        frame.ip = t as usize;
+                    }
+                }
+                Op::AndJump(t) => {
+                    let top = stack.last().expect("stack").clone();
+                    if !top.as_condition()? {
+                        let frame = frames.last_mut().expect("frame");
+                        frame.ip = t as usize;
+                    } else {
+                        stack.pop();
+                    }
+                }
+                Op::OrJump(t) => {
+                    let top = stack.last().expect("stack").clone();
+                    if top.as_condition()? {
+                        let frame = frames.last_mut().expect("frame");
+                        frame.ip = t as usize;
+                    } else {
+                        stack.pop();
+                    }
+                }
+                Op::Call { func, argc } => {
+                    self.charge_fuel(2)?;
+                    if frames.len() as u32 >= self.budget.call_depth {
+                        return Err(RuntimeError::StackOverflow);
+                    }
+                    let f = &self.program.functions[func as usize];
+                    let split = stack.len() - argc as usize;
+                    let mut locals: Vec<Value> = stack.split_off(split);
+                    locals.resize(f.n_locals, Value::Nil);
+                    frames.push(Frame { func: func as usize, ip: 0, locals });
+                    self.stats.max_depth = self.stats.max_depth.max(frames.len() as u32);
+                }
+                Op::CallHost { host, argc } => {
+                    self.charge_fuel(4)?;
+                    self.stats.host_calls += 1;
+                    let split = stack.len() - argc as usize;
+                    let args: Vec<Value> = stack.split_off(split);
+                    let idx = self.host_map[host as usize];
+                    let v = self.registry.call(idx, ctx, &args)?;
+                    self.charge_alloc(&v)?;
+                    stack.push(v);
+                }
+                Op::Return => {
+                    let v = pop!();
+                    frames.pop();
+                    if frames.is_empty() {
+                        return Ok(v);
+                    }
+                    stack.push(v);
+                }
+                Op::Pop => {
+                    let _ = pop!();
+                }
+                Op::MakeList(n) => {
+                    let split = stack.len() - n as usize;
+                    let items: Vec<Value> = stack.split_off(split);
+                    let v = Value::list(items);
+                    self.charge_alloc(&v)?;
+                    stack.push(v);
+                }
+                Op::MakeMap(n) => {
+                    let split = stack.len() - 2 * n as usize;
+                    let mut items = stack.split_off(split);
+                    let mut map = std::collections::BTreeMap::new();
+                    // Pairs were pushed key, value, key, value, ...
+                    for _ in 0..n {
+                        let v = items.pop().expect("pair");
+                        let k = items.pop().expect("pair");
+                        let key = match k {
+                            Value::Str(s) => s,
+                            other => {
+                                return Err(RuntimeError::TypeError {
+                                    message: format!(
+                                        "map keys must be str, got {}",
+                                        other.type_name()
+                                    ),
+                                })
+                            }
+                        };
+                        map.insert(key, v);
+                    }
+                    let v = Value::map(map);
+                    self.charge_alloc(&v)?;
+                    stack.push(v);
+                }
+                Op::Index => {
+                    let idx = pop!();
+                    let base = pop!();
+                    let v = ops::index(&base, &idx)?;
+                    self.charge_clone(&v)?;
+                    stack.push(v);
+                }
+                Op::IndexSetLocal { slot, depth } => {
+                    let value = pop!();
+                    let split = stack.len() - depth as usize;
+                    let indices: Vec<Value> = stack.split_off(split);
+                    let frame = frames.last_mut().expect("frame");
+                    let root = &mut frame.locals[slot as usize];
+                    index_set_path(root, &indices, value)?;
+                }
+                Op::IndexSetGlobal { slot, depth } => {
+                    let value = pop!();
+                    let split = stack.len() - depth as usize;
+                    let indices: Vec<Value> = stack.split_off(split);
+                    let root = &mut self.globals[slot as usize];
+                    index_set_path(root, &indices, value)?;
+                }
+                Op::IterList => {
+                    let v = pop!();
+                    let list = match v {
+                        Value::List(items) => {
+                            let v = Value::List(items);
+                            self.charge_clone(&v)?;
+                            v
+                        }
+                        Value::Map(map) => {
+                            let v = Value::list(map.keys().cloned().map(Value::Str).collect());
+                            self.charge_alloc(&v)?;
+                            v
+                        }
+                        Value::Str(s) => {
+                            let v = Value::list(
+                                s.chars().map(|c| Value::Str(c.to_string())).collect(),
+                            );
+                            self.charge_alloc(&v)?;
+                            v
+                        }
+                        other => {
+                            return Err(RuntimeError::TypeError {
+                                message: format!("cannot iterate over {}", other.type_name()),
+                            })
+                        }
+                    };
+                    stack.push(list);
+                }
+                Op::Len => {
+                    let v = pop!();
+                    let n = match v {
+                        Value::List(items) => items.len(),
+                        Value::Str(s) => s.chars().count(),
+                        Value::Map(m) => m.len(),
+                        other => {
+                            return Err(RuntimeError::TypeError {
+                                message: format!("no length for {}", other.type_name()),
+                            })
+                        }
+                    };
+                    stack.push(Value::Int(n as i64));
+                }
+            }
+        }
+    }
+}
+
+/// Navigates `root` through all but the last index, then assigns at the
+/// last index.
+fn index_set_path(
+    root: &mut Value,
+    indices: &[Value],
+    value: Value,
+) -> Result<(), RuntimeError> {
+    let (last, path) = indices.split_last().expect("depth >= 1");
+    let mut cur = root;
+    for idx in path {
+        cur = index_get_mut(cur, idx)?;
+    }
+    ops::index_set(cur, last.clone(), value)
+}
+
+fn index_get_mut<'v>(base: &'v mut Value, index: &Value) -> Result<&'v mut Value, RuntimeError> {
+    match (base, index) {
+        (Value::List(items), Value::Int(i)) => {
+            let len = items.len();
+            let idx = usize::try_from(*i).map_err(|_| RuntimeError::BadIndex {
+                message: format!("negative list index {i}"),
+            })?;
+            std::sync::Arc::make_mut(items).get_mut(idx).ok_or(RuntimeError::BadIndex {
+                message: format!("list index {i} out of bounds (len {len})"),
+            })
+        }
+        (Value::Map(map), Value::Str(k)) => {
+            std::sync::Arc::make_mut(map).get_mut(k).ok_or_else(|| RuntimeError::BadIndex {
+                message: format!("no key {k:?} on assignment path"),
+            })
+        }
+        (b, i) => Err(RuntimeError::TypeError {
+            message: format!("cannot index {} with {}", b.type_name(), i.type_name()),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_program;
+
+    fn run(src: &str, entry: &str, args: &[Value]) -> Result<Value, RuntimeError> {
+        let reg: HostRegistry<()> = HostRegistry::with_stdlib();
+        let program = compile_program(src, &reg).expect("program compiles");
+        let mut inst = Instance::new(&program);
+        inst.invoke(entry, args, &mut (), &reg, Budget::default())
+    }
+
+    fn run_main(src: &str) -> Result<Value, RuntimeError> {
+        run(src, "main", &[])
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        assert_eq!(run_main("fn main() { return 2 + 3 * 4; }").unwrap(), Value::Int(14));
+        assert_eq!(run_main("fn main() { return (2 + 3) * 4; }").unwrap(), Value::Int(20));
+        assert_eq!(run_main("fn main() { return 7.0 / 2; }").unwrap(), Value::Float(3.5));
+        assert_eq!(run_main("fn main() { return -3 % 2; }").unwrap(), Value::Int(-1));
+    }
+
+    #[test]
+    fn implicit_nil_return() {
+        assert_eq!(run_main("fn main() { var x = 1; x = x; }").unwrap(), Value::Nil);
+        assert_eq!(run_main("fn main() { return; }").unwrap(), Value::Nil);
+    }
+
+    #[test]
+    fn conditionals() {
+        let src = "fn main(x) { if (x > 10) { return \"big\"; } else if (x > 5) { \
+                   return \"mid\"; } else { return \"small\"; } }";
+        assert_eq!(run(src, "main", &[Value::Int(20)]).unwrap(), Value::from("big"));
+        assert_eq!(run(src, "main", &[Value::Int(7)]).unwrap(), Value::from("mid"));
+        assert_eq!(run(src, "main", &[Value::Int(1)]).unwrap(), Value::from("small"));
+    }
+
+    #[test]
+    fn while_loop_with_break_continue() {
+        let src = "fn main() { var t = 0; var i = 0; while (true) { i = i + 1; \
+                   if (i > 10) { break; } if (i % 2 == 0) { continue; } t = t + i; } return t; }";
+        assert_eq!(run_main(src).unwrap(), Value::Int(25)); // 1+3+5+7+9
+    }
+
+    #[test]
+    fn for_in_over_list_map_str() {
+        assert_eq!(
+            run_main("fn main() { var t = 0; for (x in [1,2,3,4]) { t = t + x; } return t; }")
+                .unwrap(),
+            Value::Int(10)
+        );
+        assert_eq!(
+            run_main(
+                "fn main() { var ks = \"\"; for (k in {\"b\": 1, \"a\": 2}) { ks = ks + k; } \
+                 return ks; }"
+            )
+            .unwrap(),
+            Value::from("ab") // map iteration is ordered
+        );
+        assert_eq!(
+            run_main("fn main() { var n = 0; for (c in \"héllo\") { n = n + 1; } return n; }")
+                .unwrap(),
+            Value::Int(5)
+        );
+    }
+
+    #[test]
+    fn nested_loops_with_break() {
+        let src = "fn main() { var hits = 0; for (i in [1,2,3]) { for (j in [1,2,3]) { \
+                   if (j == i) { break; } hits = hits + 1; } } return hits; }";
+        assert_eq!(run_main(src).unwrap(), Value::Int(3)); // 0+1+2
+    }
+
+    #[test]
+    fn function_calls_and_recursion() {
+        assert_eq!(
+            run_main(
+                "fn fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); } \
+                 fn main() { return fact(10); }"
+            )
+            .unwrap(),
+            Value::Int(3_628_800)
+        );
+        assert_eq!(
+            run_main(
+                "fn even(n) { if (n == 0) { return true; } return odd(n - 1); } \
+                 fn odd(n) { if (n == 0) { return false; } return even(n - 1); } \
+                 fn main() { return even(20); }"
+            )
+            .unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn globals_persist_across_invocations() {
+        let reg: HostRegistry<()> = HostRegistry::with_stdlib();
+        let program =
+            compile_program("var hits = 0; fn bump() { hits = hits + 1; return hits; }", &reg)
+                .unwrap();
+        let mut a = Instance::new(&program);
+        let mut b = Instance::new(&program);
+        for _ in 0..3 {
+            a.invoke("bump", &[], &mut (), &reg, Budget::default()).unwrap();
+        }
+        let vb = b.invoke("bump", &[], &mut (), &reg, Budget::default()).unwrap();
+        assert_eq!(a.global("hits"), Some(&Value::Int(3)));
+        assert_eq!(vb, Value::Int(1)); // instances are independent
+    }
+
+    #[test]
+    fn global_initializers_can_compute() {
+        let v = run(
+            "var table = [1, 2, 3]; var total = sum(table); fn main() { return total; }",
+            "main",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(v, Value::Int(6));
+    }
+
+    #[test]
+    fn short_circuit_evaluation() {
+        // The RHS would divide by zero if evaluated.
+        assert_eq!(
+            run_main("fn main() { return false && (1 / 0 == 1); }").unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            run_main("fn main() { return true || (1 / 0 == 1); }").unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            run_main("fn main() { return true && false; }").unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn lists_and_maps() {
+        assert_eq!(
+            run_main("fn main() { var xs = [1,2,3]; xs[1] = 9; return xs[1] + xs[2]; }").unwrap(),
+            Value::Int(12)
+        );
+        assert_eq!(
+            run_main(
+                "fn main() { var m = {\"a\": 1}; m[\"b\"] = 2; return m[\"a\"] + m[\"b\"]; }"
+            )
+            .unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            run_main(
+                "fn main() { var m = {\"in\": {\"x\": 1}}; m[\"in\"][\"x\"] = 5; \
+                 return m[\"in\"][\"x\"]; }"
+            )
+            .unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            run_main(
+                "fn main() { var g = [[1,2],[3,4]]; g[1][0] = 30; return g[1][0] + g[0][1]; }"
+            )
+            .unwrap(),
+            Value::Int(32)
+        );
+    }
+
+    #[test]
+    fn runtime_faults_are_reported() {
+        assert_eq!(run_main("fn main() { return 1 / 0; }").unwrap_err(), RuntimeError::DivisionByZero);
+        assert!(matches!(
+            run_main("fn main() { return [1][5]; }").unwrap_err(),
+            RuntimeError::BadIndex { .. }
+        ));
+        assert!(matches!(
+            run_main("fn main() { return 1 + \"x\"; }").unwrap_err(),
+            RuntimeError::TypeError { .. }
+        ));
+        assert!(matches!(
+            run_main("fn main() { if (1) { } return 0; }").unwrap_err(),
+            RuntimeError::TypeError { .. }
+        ));
+    }
+
+    #[test]
+    fn fuel_budget_stops_infinite_loops() {
+        let reg: HostRegistry<()> = HostRegistry::with_stdlib();
+        let program = compile_program("fn main() { while (true) { } return 0; }", &reg).unwrap();
+        let mut inst = Instance::new(&program);
+        let budget = Budget { fuel: 10_000, ..Budget::default() };
+        let err = inst.invoke("main", &[], &mut (), &reg, budget).unwrap_err();
+        assert_eq!(err, RuntimeError::OutOfFuel);
+        assert!(inst.last_stats().fuel_used >= 10_000);
+    }
+
+    #[test]
+    fn memory_budget_stops_hoarders() {
+        let reg: HostRegistry<()> = HostRegistry::with_stdlib();
+        let program = compile_program(
+            "fn main() { var s = \"x\"; while (true) { s = s + s; } return 0; }",
+            &reg,
+        )
+        .unwrap();
+        let mut inst = Instance::new(&program);
+        let budget = Budget { memory: 100_000, ..Budget::default() };
+        let err = inst.invoke("main", &[], &mut (), &reg, budget).unwrap_err();
+        assert_eq!(err, RuntimeError::OutOfMemory);
+    }
+
+    #[test]
+    fn call_depth_budget_stops_runaway_recursion() {
+        let reg: HostRegistry<()> = HostRegistry::with_stdlib();
+        let program = compile_program("fn f(n) { return f(n + 1); } fn main() { return f(0); }", &reg)
+            .unwrap();
+        let mut inst = Instance::new(&program);
+        let err = inst.invoke("main", &[], &mut (), &reg, Budget::default()).unwrap_err();
+        assert_eq!(err, RuntimeError::StackOverflow);
+        assert!(inst.last_stats().max_depth <= Budget::default().call_depth);
+    }
+
+    #[test]
+    fn bad_entry_points() {
+        assert!(matches!(
+            run("fn main() { return 0; }", "absent", &[]).unwrap_err(),
+            RuntimeError::NoSuchFunction { .. }
+        ));
+        assert!(matches!(
+            run("fn main(a) { return a; }", "main", &[]).unwrap_err(),
+            RuntimeError::BadInvocation { expected: 1, found: 0 }
+        ));
+    }
+
+    #[test]
+    fn host_stdlib_integration() {
+        assert_eq!(
+            run_main(
+                "fn main() { var parts = split(\"10.0.0.1\", \".\"); return len(parts); }"
+            )
+            .unwrap(),
+            Value::Int(4)
+        );
+        assert_eq!(
+            run_main("fn main() { return join(sort([3,1,2]), \"<\"); }").unwrap(),
+            Value::from("1<2<3")
+        );
+    }
+
+    #[test]
+    fn host_context_side_effects() {
+        struct Ctx {
+            log: Vec<String>,
+        }
+        let mut reg: HostRegistry<Ctx> = HostRegistry::with_stdlib();
+        reg.register("log", 1, |ctx, args| {
+            ctx.log.push(args[0].to_string());
+            Ok(Value::Nil)
+        });
+        let program = compile_program(
+            "fn main() { for (i in range(3)) { log(\"tick \" + str(i)); } return 0; }",
+            &reg,
+        )
+        .unwrap();
+        let mut ctx = Ctx { log: Vec::new() };
+        let mut inst = Instance::new(&program);
+        inst.invoke("main", &[], &mut ctx, &reg, Budget::default()).unwrap();
+        assert_eq!(ctx.log, vec!["tick 0", "tick 1", "tick 2"]);
+        assert!(inst.last_stats().host_calls >= 6); // range + str*3 + log*3
+    }
+
+    #[test]
+    fn missing_host_binding_detected_at_invoke() {
+        let mut reg_full: HostRegistry<()> = HostRegistry::with_stdlib();
+        reg_full.register("extra", 0, |_, _| Ok(Value::Int(1)));
+        let program = compile_program("fn main() { return extra(); }", &reg_full).unwrap();
+        let reg_bare: HostRegistry<()> = HostRegistry::with_stdlib();
+        let mut inst = Instance::new(&program);
+        let err = inst.invoke("main", &[], &mut (), &reg_bare, Budget::default()).unwrap_err();
+        assert!(matches!(err, RuntimeError::Host { name, .. } if name == "extra"));
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let reg: HostRegistry<()> = HostRegistry::with_stdlib();
+        let program =
+            compile_program("fn main() { var t = 0; for (i in range(100)) { t = t + i; } return t; }", &reg)
+                .unwrap();
+        let mut inst = Instance::new(&program);
+        let v = inst.invoke("main", &[], &mut (), &reg, Budget::default()).unwrap();
+        assert_eq!(v, Value::Int(4950));
+        let stats = inst.last_stats();
+        assert!(stats.fuel_used > 100);
+        assert!(stats.memory_used > 0);
+        assert_eq!(stats.max_depth, 1);
+    }
+
+    #[test]
+    fn deep_but_legal_recursion_succeeds() {
+        let reg: HostRegistry<()> = HostRegistry::with_stdlib();
+        let program = compile_program(
+            "fn down(n) { if (n == 0) { return 0; } return down(n - 1); } \
+             fn main() { return down(50); }",
+            &reg,
+        )
+        .unwrap();
+        let mut inst = Instance::new(&program);
+        let v = inst.invoke("main", &[], &mut (), &reg, Budget::default()).unwrap();
+        assert_eq!(v, Value::Int(0));
+        // main + down(50), down(49), ..., down(0) = 52 frames.
+        assert_eq!(inst.last_stats().max_depth, 52);
+    }
+}

@@ -1,0 +1,135 @@
+//! Differential property tests: the bytecode VM and the tree-walking
+//! interpreter must agree on every program, and the front end must never
+//! panic on arbitrary input.
+
+use dpl::{interp::AstInstance, Budget, HostRegistry, Instance, Value};
+use proptest::prelude::*;
+
+/// Renders a random arithmetic/logic expression over variables a, b, c.
+fn arb_expr() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (-100i64..100).prop_map(|v| v.to_string()),
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("c".to_string()),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        (inner.clone(), prop_oneof![Just("+"), Just("-"), Just("*")], inner)
+            .prop_map(|(l, op, r)| format!("({l} {op} {r})"))
+    })
+}
+
+/// A small family of random-but-valid statement programs.
+fn arb_program() -> impl Strategy<Value = String> {
+    (arb_expr(), arb_expr(), 0i64..20, any::<bool>()).prop_map(|(e1, e2, bound, flip)| {
+        let cmp = if flip { "<" } else { ">" };
+        format!(
+            "fn main(a, b, c) {{\n\
+               var acc = {e1};\n\
+               var i = 0;\n\
+               while (i < {bound}) {{\n\
+                 if (acc {cmp} i * 7) {{ acc = acc + {e2}; }} else {{ acc = acc - i; }}\n\
+                 i = i + 1;\n\
+               }}\n\
+               var xs = [acc, {e1}, {e2}];\n\
+               var total = 0;\n\
+               for (x in xs) {{ total = total + x; }}\n\
+               return [acc, total, len(xs)];\n\
+             }}"
+        )
+    })
+}
+
+fn run_vm(src: &str, args: &[Value]) -> Result<Value, dpl::RuntimeError> {
+    let reg: HostRegistry<()> = HostRegistry::with_stdlib();
+    let program = dpl::compile_program(src, &reg).expect("generated programs compile");
+    let mut inst = Instance::new(&program);
+    inst.invoke("main", args, &mut (), &reg, Budget::default())
+}
+
+fn run_tree(src: &str, args: &[Value]) -> Result<Value, dpl::RuntimeError> {
+    let reg: HostRegistry<()> = HostRegistry::with_stdlib();
+    let mut inst = AstInstance::new(src, &reg).expect("generated programs check");
+    inst.invoke("main", args, &mut (), &reg, Budget::default())
+}
+
+proptest! {
+    #[test]
+    fn vm_and_interpreter_agree_on_expressions(
+        e in arb_expr(),
+        a in -50i64..50,
+        b in -50i64..50,
+        c in -50i64..50,
+    ) {
+        let src = format!("fn main(a, b, c) {{ return {e}; }}");
+        let args = [Value::Int(a), Value::Int(b), Value::Int(c)];
+        let vm = run_vm(&src, &args).expect("pure arithmetic cannot fault");
+        let tree = run_tree(&src, &args).expect("pure arithmetic cannot fault");
+        prop_assert_eq!(vm, tree);
+    }
+
+    #[test]
+    fn vm_and_interpreter_agree_on_programs(
+        src in arb_program(),
+        a in -20i64..20,
+        b in -20i64..20,
+        c in -20i64..20,
+    ) {
+        let args = [Value::Int(a), Value::Int(b), Value::Int(c)];
+        let vm = run_vm(&src, &args);
+        let tree = run_tree(&src, &args);
+        match (vm, tree) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "program:\n{}", src),
+            (Err(_), Err(_)) => {} // both fault (e.g. both hit a budget)
+            (x, y) => prop_assert!(false, "divergence on:\n{}\nvm={:?} tree={:?}", src, x, y),
+        }
+    }
+
+    #[test]
+    fn front_end_never_panics_on_arbitrary_text(s in "\\PC*") {
+        let reg: HostRegistry<()> = HostRegistry::with_stdlib();
+        let _ = dpl::compile_program(&s, &reg);
+    }
+
+    #[test]
+    fn front_end_never_panics_on_token_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("fn"), Just("var"), Just("if"), Just("while"), Just("return"),
+                Just("("), Just(")"), Just("{"), Just("}"), Just(";"), Just(","),
+                Just("+"), Just("=="), Just("="), Just("x"), Just("main"), Just("1"),
+                Just("\"s\""), Just("["), Just("]"),
+            ],
+            0..40,
+        )
+    ) {
+        let src = parts.join(" ");
+        let reg: HostRegistry<()> = HostRegistry::with_stdlib();
+        let _ = dpl::compile_program(&src, &reg);
+    }
+
+    #[test]
+    fn compilation_is_deterministic(src in arb_program()) {
+        let reg: HostRegistry<()> = HostRegistry::with_stdlib();
+        let p1 = dpl::compile_program(&src, &reg).expect("compiles");
+        let p2 = dpl::compile_program(&src, &reg).expect("compiles");
+        prop_assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn instances_are_isolated(src in arb_program(), a in -10i64..10) {
+        // Two instances of one program, invoked with the same inputs,
+        // return the same value regardless of interleaving.
+        let reg: HostRegistry<()> = HostRegistry::with_stdlib();
+        let program = dpl::compile_program(&src, &reg).expect("compiles");
+        let args = [Value::Int(a), Value::Int(0), Value::Int(1)];
+        let mut i1 = Instance::new(&program);
+        let mut i2 = Instance::new(&program);
+        let r1a = i1.invoke("main", &args, &mut (), &reg, Budget::default());
+        let r2 = i2.invoke("main", &args, &mut (), &reg, Budget::default());
+        let r1b = i1.invoke("main", &args, &mut (), &reg, Budget::default());
+        prop_assert_eq!(&r1a, &r2);
+        // This program family is stateless, so reinvocation agrees too.
+        prop_assert_eq!(&r1a, &r1b);
+    }
+}

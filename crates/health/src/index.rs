@@ -1,0 +1,129 @@
+//! Linear index functions: the weighted-sum health evaluators of
+//! thesis §4 (after Samuel's game-evaluation polynomials).
+
+use std::fmt;
+
+/// `h(x) = w · x - θ`; the subnet is classified *stressed* when
+/// `h(x) > 0`.
+///
+/// # Examples
+///
+/// ```
+/// use health::LinearIndex;
+/// // High collisions alone should trip this index.
+/// let idx = LinearIndex::new(vec![0.5, 4.0, 1.0, 2.0], 1.0);
+/// assert!(idx.classify(&[0.2, 0.4, 0.0, 0.0]));
+/// assert!(!idx.classify(&[0.2, 0.1, 0.0, 0.0]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearIndex {
+    weights: Vec<f64>,
+    threshold: f64,
+}
+
+impl LinearIndex {
+    /// Creates an index with explicit weights and threshold.
+    pub fn new(weights: Vec<f64>, threshold: f64) -> LinearIndex {
+        LinearIndex { weights, threshold }
+    }
+
+    /// A zero index over `n` features (the training starting point).
+    pub fn zeros(n: usize) -> LinearIndex {
+        LinearIndex { weights: vec![0.0; n], threshold: 0.0 }
+    }
+
+    /// The thesis's hand-set InterOp-style starting weights: utilization
+    /// and collisions dominate, broadcasts and errors contribute.
+    pub fn interop_default() -> LinearIndex {
+        LinearIndex { weights: vec![1.0, 3.0, 1.5, 4.0], threshold: 0.9 }
+    }
+
+    /// The feature weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The decision threshold θ.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The raw index value `w · x - θ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the weight count.
+    pub fn score(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature arity mismatch");
+        self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() - self.threshold
+    }
+
+    /// `true` = stressed / problem, `false` = healthy.
+    ///
+    /// # Panics
+    ///
+    /// As for [`LinearIndex::score`].
+    pub fn classify(&self, x: &[f64]) -> bool {
+        self.score(x) > 0.0
+    }
+
+    /// One perceptron/LMS update step: `w += lr * err * x`,
+    /// `θ -= lr * err` (the threshold is a bias with constant input -1).
+    pub(crate) fn nudge(&mut self, x: &[f64], err: f64, lr: f64) {
+        for (w, v) in self.weights.iter_mut().zip(x) {
+            *w += lr * err * v;
+        }
+        self.threshold -= lr * err;
+    }
+}
+
+impl fmt::Display for LinearIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h(x) =")?;
+        for (i, w) in self.weights.iter().enumerate() {
+            if i > 0 {
+                write!(f, " +")?;
+            }
+            write!(f, " {w:.3}*x{i}")?;
+        }
+        write!(f, " - {:.3}", self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_is_dot_product_minus_threshold() {
+        let idx = LinearIndex::new(vec![1.0, 2.0], 0.5);
+        assert!((idx.score(&[0.5, 0.25]) - 0.5).abs() < 1e-12);
+        assert!(idx.classify(&[0.5, 0.25]));
+        assert!(!idx.classify(&[0.1, 0.1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        LinearIndex::zeros(2).score(&[1.0]);
+    }
+
+    #[test]
+    fn nudge_moves_toward_positive_errors() {
+        let mut idx = LinearIndex::zeros(2);
+        let before = idx.score(&[1.0, 0.0]);
+        idx.nudge(&[1.0, 0.0], 1.0, 0.1);
+        assert!(idx.score(&[1.0, 0.0]) > before);
+        // And negative errors lower the score.
+        idx.nudge(&[1.0, 0.0], -2.0, 0.1);
+        assert!(idx.score(&[1.0, 0.0]) < before + 0.2 + 1e-12);
+    }
+
+    #[test]
+    fn display_shows_every_weight() {
+        let s = LinearIndex::interop_default().to_string();
+        assert!(s.contains("x0"));
+        assert!(s.contains("x3"));
+        assert!(s.contains('-'));
+    }
+}

@@ -1,0 +1,47 @@
+//! Health functions: delegated evaluation of network health.
+//!
+//! Chapter 4 of the thesis builds *network health* applications on MbD:
+//! delegated agents observe raw device counters at high frequency,
+//! convert them into **symptoms** (utilization, collision rate, broadcast
+//! rate, error rate — the observers demonstrated live at InterOp'91 over
+//! a Synoptics concentrator MIB), combine symptoms into an **index
+//! function** (a weighted sum, after Samuel's checkers evaluation
+//! functions), and report only classifications or threshold crossings to
+//! the manager.
+//!
+//! The weights can be *learned*: the thesis proposes perceptron training
+//! and the LMS (Widrow–Hoff) rule over labeled episodes. This crate
+//! implements the whole pipeline:
+//!
+//! - [`observer`]: counter sampling and the four InterOp observers;
+//! - [`index`]: linear index functions with thresholds;
+//! - [`train`]: perceptron and LMS training plus evaluation metrics;
+//! - [`scenario`]: a seeded synthetic subnet workload with labeled
+//!   stress episodes (congestion, broadcast storms, error bursts) that
+//!   drives a [`MibStore`](snmp::MibStore) exactly like device
+//!   instrumentation would, providing ground truth for E5.
+//!
+//! # Examples
+//!
+//! ```
+//! use health::index::LinearIndex;
+//! use health::train::{lms_train, evaluate, TrainConfig};
+//! use health::scenario::{Scenario, ScenarioConfig};
+//!
+//! // Generate a labeled trace and learn an index function.
+//! let mut scenario = Scenario::new(ScenarioConfig::default(), 42);
+//! let trace = scenario.labeled_trace(500);
+//! let index = lms_train(&trace, TrainConfig::default());
+//! let metrics = evaluate(&index, &trace);
+//! assert!(metrics.accuracy > 0.8, "learned index should fit its trace");
+//! ```
+
+pub mod index;
+pub mod observer;
+pub mod scenario;
+pub mod train;
+
+pub use index::LinearIndex;
+pub use observer::{ConcentratorObserver, Symptoms};
+pub use scenario::{Scenario, ScenarioConfig, StressKind};
+pub use train::{evaluate, lms_train, perceptron_train, Metrics, TrainConfig};

@@ -1,0 +1,207 @@
+//! Symptom observers over concentrator counters.
+//!
+//! The InterOp'91 demo computed, per sampling interval, from the private
+//! Synoptics MIB: network **utilization** (`s3EnetConcRxOk` byte delta
+//! over the maximum bytes the 10 Mb/s segment could carry), the
+//! **collision rate** (collisions per frame), and the **broadcast rate**
+//! (broadcast frames per frame). An **error rate** symptom (`ifInErrors`
+//! style) completes the vector used by the health index.
+
+use snmp::{mib2, MibStore};
+
+/// One symptom vector: all rates normalized to `[0, 1]` (clamped).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Symptoms {
+    /// Byte-rate over segment capacity.
+    pub utilization: f64,
+    /// Collisions per frame.
+    pub collision_rate: f64,
+    /// Broadcast frames per frame.
+    pub broadcast_rate: f64,
+    /// Errored frames per frame.
+    pub error_rate: f64,
+}
+
+impl Symptoms {
+    /// The symptom vector as a feature slice (for index functions).
+    pub fn as_vec(&self) -> Vec<f64> {
+        vec![self.utilization, self.collision_rate, self.broadcast_rate, self.error_rate]
+    }
+
+    /// Feature names, aligned with [`Symptoms::as_vec`].
+    pub fn feature_names() -> [&'static str; 4] {
+        ["utilization", "collision_rate", "broadcast_rate", "error_rate"]
+    }
+}
+
+/// Samples the concentrator counters of a [`MibStore`] and converts
+/// deltas into [`Symptoms`] — the delegated observer of the InterOp demo.
+///
+/// The observer is stateful: each call to [`ConcentratorObserver::sample`]
+/// diffs against the previous call, exactly like the thesis's
+/// `U(t) = (rxOk(t) - rxOk(t0)) / ((t - t0) * 10^7 / 8)` computation.
+#[derive(Debug, Clone)]
+pub struct ConcentratorObserver {
+    capacity_bytes_per_sec: f64,
+    prev: Option<Counters>,
+    /// Errored-frame counter OID (defaults to `ifInErrors.1`).
+    error_oid: ber::Oid,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Counters {
+    ticks: u64,
+    rx_ok: u32,
+    collisions: u32,
+    broadcasts: u32,
+    frames: u32,
+    errors: u32,
+}
+
+fn read_u32(mib: &MibStore, oid: &ber::Oid) -> u32 {
+    mib.get(oid).and_then(|v| v.as_i64()).and_then(|v| u32::try_from(v).ok()).unwrap_or(0)
+}
+
+impl ConcentratorObserver {
+    /// An observer for a segment of `capacity_bps` bits/second
+    /// (10 Mb/s for the InterOp Ethernet).
+    pub fn new(capacity_bps: u64) -> ConcentratorObserver {
+        ConcentratorObserver {
+            capacity_bytes_per_sec: capacity_bps as f64 / 8.0,
+            prev: None,
+            error_oid: mib2::if_in_errors(1),
+        }
+    }
+
+    fn read(mib: &MibStore, ticks: u64, error_oid: &ber::Oid) -> Counters {
+        Counters {
+            ticks,
+            rx_ok: read_u32(mib, &mib2::s3_enet_conc_rx_ok()),
+            collisions: read_u32(mib, &mib2::s3_enet_conc_coll()),
+            broadcasts: read_u32(mib, &mib2::s3_enet_conc_bcast()),
+            frames: read_u32(mib, &mib2::s3_enet_conc_frames()),
+            errors: read_u32(mib, error_oid),
+        }
+    }
+
+    /// Samples the counters at server time `ticks` (hundredths of a
+    /// second) and returns symptoms for the elapsed interval, or `None`
+    /// on the first call (nothing to diff against) and for zero-length
+    /// intervals.
+    pub fn sample(&mut self, mib: &MibStore, ticks: u64) -> Option<Symptoms> {
+        let cur = Self::read(mib, ticks, &self.error_oid);
+        let prev = self.prev.replace(cur);
+        let prev = prev?;
+        if cur.ticks <= prev.ticks {
+            return None;
+        }
+        let dt = (cur.ticks - prev.ticks) as f64 / 100.0;
+        let d_bytes = cur.rx_ok.wrapping_sub(prev.rx_ok) as f64;
+        let d_coll = cur.collisions.wrapping_sub(prev.collisions) as f64;
+        let d_bcast = cur.broadcasts.wrapping_sub(prev.broadcasts) as f64;
+        let d_frames = cur.frames.wrapping_sub(prev.frames) as f64;
+        let d_errs = cur.errors.wrapping_sub(prev.errors) as f64;
+        let per_frame = |x: f64| if d_frames > 0.0 { (x / d_frames).clamp(0.0, 1.0) } else { 0.0 };
+        Some(Symptoms {
+            utilization: (d_bytes / (dt * self.capacity_bytes_per_sec)).clamp(0.0, 1.0),
+            collision_rate: per_frame(d_coll),
+            broadcast_rate: per_frame(d_bcast),
+            error_rate: per_frame(d_errs),
+        })
+    }
+
+    /// Forgets the previous sample (e.g. after a counter reset).
+    pub fn reset(&mut self) {
+        self.prev = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mib() -> MibStore {
+        let m = MibStore::new();
+        mib2::install_concentrator(&m).unwrap();
+        mib2::install_interfaces(&m, 1, 10_000_000).unwrap();
+        m
+    }
+
+    #[test]
+    fn first_sample_yields_none() {
+        let m = mib();
+        let mut obs = ConcentratorObserver::new(10_000_000);
+        assert_eq!(obs.sample(&m, 0), None);
+        assert!(obs.sample(&m, 100).is_some());
+    }
+
+    #[test]
+    fn utilization_matches_the_thesis_formula() {
+        let m = mib();
+        let mut obs = ConcentratorObserver::new(10_000_000);
+        obs.sample(&m, 0);
+        // 625,000 bytes in 1 s on a 1.25e6 B/s segment = 50% utilization.
+        m.counter_add(&mib2::s3_enet_conc_rx_ok(), 625_000).unwrap();
+        let s = obs.sample(&m, 100).unwrap();
+        assert!((s.utilization - 0.5).abs() < 1e-9, "got {}", s.utilization);
+    }
+
+    #[test]
+    fn per_frame_rates() {
+        let m = mib();
+        let mut obs = ConcentratorObserver::new(10_000_000);
+        obs.sample(&m, 0);
+        m.counter_add(&mib2::s3_enet_conc_frames(), 1000).unwrap();
+        m.counter_add(&mib2::s3_enet_conc_coll(), 100).unwrap();
+        m.counter_add(&mib2::s3_enet_conc_bcast(), 250).unwrap();
+        m.counter_add(&mib2::if_in_errors(1), 10).unwrap();
+        let s = obs.sample(&m, 100).unwrap();
+        assert!((s.collision_rate - 0.1).abs() < 1e-9);
+        assert!((s.broadcast_rate - 0.25).abs() < 1e-9);
+        assert!((s.error_rate - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counter_wrap_is_handled() {
+        let m = mib();
+        let mut obs = ConcentratorObserver::new(10_000_000);
+        // Push the counter near the 2^32 wrap.
+        m.counter_add(&mib2::s3_enet_conc_rx_ok(), u64::from(u32::MAX) - 999).unwrap();
+        obs.sample(&m, 0);
+        m.counter_add(&mib2::s3_enet_conc_rx_ok(), 2_000).unwrap(); // wraps
+        let s = obs.sample(&m, 100).unwrap();
+        // Delta is 2000 bytes over 1 s: tiny but positive utilization.
+        assert!(s.utilization > 0.0 && s.utilization < 0.01);
+    }
+
+    #[test]
+    fn zero_interval_and_zero_frames_are_safe() {
+        let m = mib();
+        let mut obs = ConcentratorObserver::new(10_000_000);
+        obs.sample(&m, 50);
+        assert_eq!(obs.sample(&m, 50), None, "no time elapsed");
+        let s = obs.sample(&m, 100).unwrap();
+        assert_eq!(s.collision_rate, 0.0, "no frames, no rate");
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let m = mib();
+        let mut obs = ConcentratorObserver::new(10_000_000);
+        obs.sample(&m, 0);
+        obs.reset();
+        assert_eq!(obs.sample(&m, 100), None);
+    }
+
+    #[test]
+    fn symptoms_vectorize_in_declared_order() {
+        let s = Symptoms {
+            utilization: 0.1,
+            collision_rate: 0.2,
+            broadcast_rate: 0.3,
+            error_rate: 0.4,
+        };
+        assert_eq!(s.as_vec(), vec![0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(Symptoms::feature_names().len(), 4);
+    }
+}

@@ -1,0 +1,205 @@
+//! Training index-function weights from labeled episodes.
+//!
+//! "Good (poor) predictors should have their weights increased
+//! (decreased) until correct classifications are achieved" — the thesis
+//! proposes starting from estimates and adapting, citing perceptron
+//! training (Duda & Hart) and the LMS rule, which "adapts the weights
+//! after every trial based on the difference between the actual and
+//! desired output".
+
+use crate::index::LinearIndex;
+
+/// A labeled observation: symptom vector + ground truth
+/// (`true` = stressed).
+pub type LabeledSample = (Vec<f64>, bool);
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Full passes over the trace.
+    pub epochs: u32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> TrainConfig {
+        TrainConfig { learning_rate: 0.05, epochs: 50 }
+    }
+}
+
+/// Classic perceptron learning: update only on misclassification, by the
+/// sign of the error.
+///
+/// # Panics
+///
+/// Panics if samples have inconsistent feature arity.
+pub fn perceptron_train(trace: &[LabeledSample], config: TrainConfig) -> LinearIndex {
+    let n = trace.first().map_or(0, |(x, _)| x.len());
+    let mut index = LinearIndex::zeros(n);
+    for _ in 0..config.epochs {
+        let mut mistakes = 0;
+        for (x, label) in trace {
+            let predicted = index.classify(x);
+            if predicted != *label {
+                let err = if *label { 1.0 } else { -1.0 };
+                index.nudge(x, err, config.learning_rate);
+                mistakes += 1;
+            }
+        }
+        if mistakes == 0 {
+            break; // converged (the trace is linearly separable)
+        }
+    }
+    index
+}
+
+/// LMS (Widrow–Hoff): update after *every* trial by the difference
+/// between desired (±1) and actual analog output.
+///
+/// # Panics
+///
+/// Panics if samples have inconsistent feature arity.
+pub fn lms_train(trace: &[LabeledSample], config: TrainConfig) -> LinearIndex {
+    let n = trace.first().map_or(0, |(x, _)| x.len());
+    let mut index = LinearIndex::zeros(n);
+    for _ in 0..config.epochs {
+        for (x, label) in trace {
+            let desired = if *label { 1.0 } else { -1.0 };
+            let actual = index.score(x).tanh(); // squashed analog output
+            let err = desired - actual;
+            index.nudge(x, err, config.learning_rate);
+        }
+    }
+    index
+}
+
+/// Classification quality over a labeled trace.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Metrics {
+    /// Fraction classified correctly.
+    pub accuracy: f64,
+    /// Of predicted-stressed, fraction truly stressed.
+    pub precision: f64,
+    /// Of truly stressed, fraction detected.
+    pub recall: f64,
+    /// True/false positives/negatives.
+    pub confusion: [u64; 4],
+}
+
+impl Metrics {
+    /// `[tp, fp, fn, tn]` accessors.
+    pub fn true_positives(&self) -> u64 {
+        self.confusion[0]
+    }
+    /// False positives.
+    pub fn false_positives(&self) -> u64 {
+        self.confusion[1]
+    }
+    /// False negatives.
+    pub fn false_negatives(&self) -> u64 {
+        self.confusion[2]
+    }
+    /// True negatives.
+    pub fn true_negatives(&self) -> u64 {
+        self.confusion[3]
+    }
+}
+
+/// Evaluates `index` against a labeled trace.
+pub fn evaluate(index: &LinearIndex, trace: &[LabeledSample]) -> Metrics {
+    let (mut tp, mut fp, mut fn_, mut tn) = (0u64, 0u64, 0u64, 0u64);
+    for (x, label) in trace {
+        match (index.classify(x), *label) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => tn += 1,
+        }
+    }
+    let total = (tp + fp + fn_ + tn) as f64;
+    Metrics {
+        accuracy: if total > 0.0 { (tp + tn) as f64 / total } else { 0.0 },
+        precision: if tp + fp > 0 { tp as f64 / (tp + fp) as f64 } else { 0.0 },
+        recall: if tp + fn_ > 0 { tp as f64 / (tp + fn_) as f64 } else { 0.0 },
+        confusion: [tp, fp, fn_, tn],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A linearly separable toy problem: stressed iff x0 + x1 > 1.
+    fn separable(n: usize) -> Vec<LabeledSample> {
+        (0..n)
+            .map(|i| {
+                let a = (i % 10) as f64 / 10.0;
+                let b = ((i / 10) % 10) as f64 / 10.0;
+                (vec![a, b], a + b > 1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perceptron_converges_on_separable_data() {
+        let trace = separable(100);
+        let idx = perceptron_train(&trace, TrainConfig { learning_rate: 0.1, epochs: 200 });
+        let m = evaluate(&idx, &trace);
+        assert_eq!(m.accuracy, 1.0, "separable data must be learned exactly: {m:?}");
+    }
+
+    #[test]
+    fn lms_fits_separable_data_well() {
+        let trace = separable(100);
+        let idx = lms_train(&trace, TrainConfig { learning_rate: 0.05, epochs: 100 });
+        let m = evaluate(&idx, &trace);
+        assert!(m.accuracy > 0.95, "{m:?}");
+    }
+
+    #[test]
+    fn learned_weights_reflect_informative_features() {
+        // Feature 0 is pure noise; feature 1 decides the label.
+        let trace: Vec<LabeledSample> = (0..200)
+            .map(|i| {
+                let noise = ((i * 7) % 13) as f64 / 13.0;
+                let signal = (i % 2) as f64;
+                (vec![noise, signal], signal > 0.5)
+            })
+            .collect();
+        let idx = lms_train(&trace, TrainConfig::default());
+        assert!(
+            idx.weights()[1].abs() > idx.weights()[0].abs() * 2.0,
+            "signal weight should dominate: {:?}",
+            idx.weights()
+        );
+    }
+
+    #[test]
+    fn metrics_arithmetic() {
+        let idx = LinearIndex::new(vec![1.0], 0.5);
+        let trace = vec![
+            (vec![1.0], true),  // tp
+            (vec![1.0], false), // fp
+            (vec![0.0], true),  // fn
+            (vec![0.0], false), // tn
+        ];
+        let m = evaluate(&idx, &trace);
+        assert_eq!(m.confusion, [1, 1, 1, 1]);
+        assert_eq!(m.accuracy, 0.5);
+        assert_eq!(m.precision, 0.5);
+        assert_eq!(m.recall, 0.5);
+        assert_eq!(m.true_positives(), 1);
+        assert_eq!(m.false_positives(), 1);
+        assert_eq!(m.false_negatives(), 1);
+        assert_eq!(m.true_negatives(), 1);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let idx = perceptron_train(&[], TrainConfig::default());
+        assert!(idx.weights().is_empty());
+        let m = evaluate(&idx, &[]);
+        assert_eq!(m.accuracy, 0.0);
+    }
+}

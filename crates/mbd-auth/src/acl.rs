@@ -1,0 +1,199 @@
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A principal known to an elastic process: a manager (delegating client)
+/// identified by a handle string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Principal(String);
+
+impl Principal {
+    /// Creates a principal from its handle.
+    pub fn new(handle: impl Into<String>) -> Principal {
+        Principal(handle.into())
+    }
+
+    /// The underlying handle string.
+    pub fn handle(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Principal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Principal {
+    fn from(s: &str) -> Principal {
+        Principal::new(s)
+    }
+}
+
+/// The RDS operations an ACL can grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Operation {
+    /// Transfer a delegated program to the server.
+    Delegate,
+    /// Create an instance (dpi) of a stored dp.
+    Instantiate,
+    /// Invoke a function of a dpi.
+    Invoke,
+    /// Suspend / resume / terminate a dpi.
+    Control,
+    /// List stored dps and running dpis.
+    List,
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Operation::Delegate => "delegate",
+            Operation::Instantiate => "instantiate",
+            Operation::Invoke => "invoke",
+            Operation::Control => "control",
+            Operation::List => "list",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A handle-based access-control list.
+///
+/// Grants are per-principal, per-operation; `Invoke`, `Instantiate` and
+/// `Control` can additionally be scoped to specific dp names. A default
+/// policy decides unlisted principals.
+///
+/// # Examples
+///
+/// ```
+/// use mbd_auth::{Acl, Operation, Principal};
+///
+/// let mut acl = Acl::deny_by_default();
+/// let ops = Principal::new("noc-operator");
+/// acl.grant(&ops, Operation::Delegate);
+/// acl.grant_scoped(&ops, Operation::Invoke, "health-fn");
+///
+/// assert!(acl.allows(&ops, Operation::Delegate, None));
+/// assert!(acl.allows(&ops, Operation::Invoke, Some("health-fn")));
+/// assert!(!acl.allows(&ops, Operation::Invoke, Some("other-dp")));
+/// assert!(!acl.allows(&Principal::new("stranger"), Operation::Delegate, None));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Acl {
+    allow_by_default: bool,
+    /// Unscoped grants.
+    grants: HashMap<Principal, HashSet<Operation>>,
+    /// Grants limited to a particular dp name.
+    scoped: HashMap<(Principal, Operation), HashSet<String>>,
+}
+
+impl Acl {
+    /// An ACL that denies anything not explicitly granted.
+    pub fn deny_by_default() -> Acl {
+        Acl { allow_by_default: false, ..Acl::default() }
+    }
+
+    /// An ACL that allows everything (the first prototype's "trivial
+    /// access control": possession of a handle suffices).
+    pub fn allow_by_default() -> Acl {
+        Acl { allow_by_default: true, ..Acl::default() }
+    }
+
+    /// Grants `op` on any dp to `who`.
+    pub fn grant(&mut self, who: &Principal, op: Operation) {
+        self.grants.entry(who.clone()).or_default().insert(op);
+    }
+
+    /// Grants `op` to `who`, but only for the dp named `dp_name`.
+    pub fn grant_scoped(&mut self, who: &Principal, op: Operation, dp_name: &str) {
+        self.scoped
+            .entry((who.clone(), op))
+            .or_default()
+            .insert(dp_name.to_string());
+    }
+
+    /// Revokes all of `who`'s grants (scoped and unscoped).
+    pub fn revoke_all(&mut self, who: &Principal) {
+        self.grants.remove(who);
+        self.scoped.retain(|(p, _), _| p != who);
+    }
+
+    /// Whether `who` may perform `op`, optionally on a specific dp.
+    ///
+    /// Evaluation order: unscoped grant, then scoped grant, then the
+    /// default policy.
+    pub fn allows(&self, who: &Principal, op: Operation, dp_name: Option<&str>) -> bool {
+        if self.grants.get(who).is_some_and(|ops| ops.contains(&op)) {
+            return true;
+        }
+        if let Some(dp) = dp_name {
+            if self
+                .scoped
+                .get(&(who.clone(), op))
+                .is_some_and(|names| names.contains(dp))
+            {
+                return true;
+            }
+        }
+        self.allow_by_default
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deny_by_default_denies_strangers() {
+        let acl = Acl::deny_by_default();
+        assert!(!acl.allows(&"x".into(), Operation::Delegate, None));
+        assert!(!acl.allows(&"x".into(), Operation::List, None));
+    }
+
+    #[test]
+    fn allow_by_default_matches_first_prototype() {
+        let acl = Acl::allow_by_default();
+        assert!(acl.allows(&"anyone".into(), Operation::Delegate, None));
+        assert!(acl.allows(&"anyone".into(), Operation::Invoke, Some("dp")));
+    }
+
+    #[test]
+    fn unscoped_grant_covers_all_dps() {
+        let mut acl = Acl::deny_by_default();
+        acl.grant(&"ops".into(), Operation::Invoke);
+        assert!(acl.allows(&"ops".into(), Operation::Invoke, Some("a")));
+        assert!(acl.allows(&"ops".into(), Operation::Invoke, Some("b")));
+        assert!(acl.allows(&"ops".into(), Operation::Invoke, None));
+        assert!(!acl.allows(&"ops".into(), Operation::Delegate, None));
+    }
+
+    #[test]
+    fn scoped_grant_is_limited() {
+        let mut acl = Acl::deny_by_default();
+        acl.grant_scoped(&"guest".into(), Operation::Invoke, "health");
+        assert!(acl.allows(&"guest".into(), Operation::Invoke, Some("health")));
+        assert!(!acl.allows(&"guest".into(), Operation::Invoke, Some("intrusion")));
+        // A scoped grant does not cover the unscoped question.
+        assert!(!acl.allows(&"guest".into(), Operation::Invoke, None));
+        // Nor a different operation on the same dp.
+        assert!(!acl.allows(&"guest".into(), Operation::Control, Some("health")));
+    }
+
+    #[test]
+    fn revoke_all_removes_everything() {
+        let mut acl = Acl::deny_by_default();
+        acl.grant(&"ops".into(), Operation::Delegate);
+        acl.grant_scoped(&"ops".into(), Operation::Invoke, "dp1");
+        acl.revoke_all(&"ops".into());
+        assert!(!acl.allows(&"ops".into(), Operation::Delegate, None));
+        assert!(!acl.allows(&"ops".into(), Operation::Invoke, Some("dp1")));
+    }
+
+    #[test]
+    fn principals_display_their_handles() {
+        assert_eq!(Principal::new("mgr-7").to_string(), "mgr-7");
+        assert_eq!(Principal::new("mgr-7").handle(), "mgr-7");
+        assert_eq!(Operation::Instantiate.to_string(), "instantiate");
+    }
+}

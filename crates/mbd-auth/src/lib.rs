@@ -1,0 +1,77 @@
+//! Authentication and access control for delegation requests.
+//!
+//! The first MbD prototype authenticated delegated programs and instances
+//! by their *handles* only; the SOS product version added optional MD5
+//! digest authentication (RFC 1321, as cited in the thesis via
+//! \[Rivest, 1992\]). This crate provides both mechanisms:
+//!
+//! - [`md5`]: a from-scratch MD5 implementation (no external crypto crate
+//!   is in the approved offline set). It is used for *integrity/identity*
+//!   of delegation requests exactly as the 1990s system used it; it is of
+//!   course not collision-resistant by modern standards and must not be
+//!   used for new designs.
+//! - [`keyed_digest`]: the prefix-key construction `MD5(key ‖ message)`
+//!   that pre-HMAC SNMPv2 parties used.
+//! - [`Acl`]: a handle-based access-control list deciding which principals
+//!   may perform which RDS operations on which delegated programs.
+
+mod acl;
+pub mod md5;
+
+pub use acl::{Acl, Operation, Principal};
+pub use md5::Md5;
+
+/// A 16-byte MD5 digest.
+pub type Digest = [u8; 16];
+
+/// Computes `MD5(key ‖ message)` — the keyed-digest authentication the
+/// SOS server offered for RDS requests.
+///
+/// # Examples
+///
+/// ```
+/// let tag = mbd_auth::keyed_digest(b"secret", b"delegate dp-42");
+/// assert!(mbd_auth::verify_keyed_digest(b"secret", b"delegate dp-42", &tag));
+/// assert!(!mbd_auth::verify_keyed_digest(b"wrong", b"delegate dp-42", &tag));
+/// ```
+pub fn keyed_digest(key: &[u8], message: &[u8]) -> Digest {
+    let mut h = Md5::new();
+    h.update(key);
+    h.update(message);
+    h.finalize()
+}
+
+/// Verifies a tag produced by [`keyed_digest`], in constant time with
+/// respect to the tag contents.
+pub fn verify_keyed_digest(key: &[u8], message: &[u8], tag: &Digest) -> bool {
+    let expected = keyed_digest(key, message);
+    // Constant-time comparison: fold differences, no early exit.
+    expected.iter().zip(tag.iter()).fold(0u8, |acc, (a, b)| acc | (a ^ b)) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyed_digest_depends_on_key_and_message() {
+        let t1 = keyed_digest(b"k1", b"m");
+        let t2 = keyed_digest(b"k2", b"m");
+        let t3 = keyed_digest(b"k1", b"m2");
+        assert_ne!(t1, t2);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn keyed_digest_is_md5_of_concatenation() {
+        assert_eq!(keyed_digest(b"ab", b"c"), md5::digest(b"abc"));
+    }
+
+    #[test]
+    fn verify_rejects_truncation_tampering() {
+        let mut tag = keyed_digest(b"k", b"m");
+        assert!(verify_keyed_digest(b"k", b"m", &tag));
+        tag[15] ^= 1;
+        assert!(!verify_keyed_digest(b"k", b"m", &tag));
+    }
+}

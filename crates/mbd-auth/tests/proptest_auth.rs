@@ -1,0 +1,58 @@
+//! Property tests for MD5 streaming equivalence and keyed-digest
+//! authentication.
+
+use mbd_auth::{keyed_digest, md5, verify_keyed_digest, Md5};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn streaming_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        cuts in proptest::collection::vec(0usize..512, 0..6),
+    ) {
+        let oneshot = md5::digest(&data);
+        let mut h = Md5::new();
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c % (data.len() + 1)).collect();
+        cuts.sort_unstable();
+        let mut prev = 0;
+        for c in cuts {
+            h.update(&data[prev..c.max(prev)]);
+            prev = c.max(prev);
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    #[test]
+    fn digests_differ_on_different_inputs(
+        a in proptest::collection::vec(any::<u8>(), 0..128),
+        b in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        prop_assume!(a != b);
+        prop_assert_ne!(md5::digest(&a), md5::digest(&b));
+    }
+
+    #[test]
+    fn keyed_digest_verifies_iff_key_and_message_match(
+        key in proptest::collection::vec(any::<u8>(), 1..32),
+        msg in proptest::collection::vec(any::<u8>(), 0..128),
+        other_key in proptest::collection::vec(any::<u8>(), 1..32),
+        flip_byte in 0usize..16,
+    ) {
+        let tag = keyed_digest(&key, &msg);
+        prop_assert!(verify_keyed_digest(&key, &msg, &tag));
+        if other_key != key {
+            prop_assert!(!verify_keyed_digest(&other_key, &msg, &tag));
+        }
+        let mut bad = tag;
+        bad[flip_byte] ^= 0x01;
+        prop_assert!(!verify_keyed_digest(&key, &msg, &bad));
+    }
+
+    #[test]
+    fn hex_rendering_is_32_lowercase_chars(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let hex = md5::to_hex(&md5::digest(&data));
+        prop_assert_eq!(hex.len(), 32);
+        prop_assert!(hex.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+    }
+}

@@ -1,0 +1,177 @@
+use crate::SimDuration;
+
+/// Physical parameters of a duplex link between two nodes.
+///
+/// Each direction is an independent FIFO channel: a message is serialized at
+/// `bandwidth_bps` (plus `overhead_bytes` of protocol headers), then
+/// propagates for `latency` (one-way). `loss` drops messages with the given
+/// probability, using the simulator's seeded RNG.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::LinkSpec;
+/// let wan = LinkSpec::wan();
+/// assert!(wan.latency() > LinkSpec::lan().latency());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    latency: SimDuration,
+    bandwidth_bps: u64,
+    overhead_bytes: u32,
+    loss: f64,
+}
+
+impl LinkSpec {
+    /// A link with the given one-way latency and bandwidth (bits/second).
+    /// `bandwidth_bps = 0` means infinite bandwidth (no serialization term).
+    pub fn new(latency: SimDuration, bandwidth_bps: u64) -> LinkSpec {
+        LinkSpec { latency, bandwidth_bps, overhead_bytes: 0, loss: 0.0 }
+    }
+
+    /// 10 Mb/s Ethernet-class LAN: 0.5 ms one-way, 34 bytes of UDP/IP/MAC
+    /// overhead per message (the environment of the 1991 prototype).
+    pub fn lan() -> LinkSpec {
+        LinkSpec::new(SimDuration::from_micros(500), 10_000_000).with_overhead(34)
+    }
+
+    /// Campus backbone: 5 ms one-way, 10 Mb/s.
+    pub fn campus() -> LinkSpec {
+        LinkSpec::new(SimDuration::from_millis(5), 10_000_000).with_overhead(34)
+    }
+
+    /// Continental WAN: 50 ms one-way (100 ms RTT), 1.5 Mb/s T1.
+    pub fn wan() -> LinkSpec {
+        LinkSpec::new(SimDuration::from_millis(50), 1_544_000).with_overhead(34)
+    }
+
+    /// The thesis's measured intercontinental path (Austin–Japan, 254 ms
+    /// round trip): 127 ms one-way, 1.5 Mb/s.
+    pub fn intercontinental() -> LinkSpec {
+        LinkSpec::new(SimDuration::from_millis(127), 1_544_000).with_overhead(34)
+    }
+
+    /// The thesis's pathological congested path (Austin–Austin, 596 ms
+    /// round trip): 298 ms one-way, 56 kb/s.
+    pub fn congested() -> LinkSpec {
+        LinkSpec::new(SimDuration::from_millis(298), 56_000).with_overhead(34)
+    }
+
+    /// Returns the spec with per-message protocol overhead bytes set.
+    pub fn with_overhead(mut self, bytes: u32) -> LinkSpec {
+        self.overhead_bytes = bytes;
+        self
+    }
+
+    /// Returns the spec with an independent per-message loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn with_loss(mut self, p: f64) -> LinkSpec {
+        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0, 1]");
+        self.loss = p;
+        self
+    }
+
+    /// One-way propagation latency.
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// Bandwidth in bits per second (0 = infinite).
+    pub fn bandwidth_bps(&self) -> u64 {
+        self.bandwidth_bps
+    }
+
+    /// Per-message protocol overhead in bytes.
+    pub fn overhead_bytes(&self) -> u32 {
+        self.overhead_bytes
+    }
+
+    /// Per-message loss probability.
+    pub fn loss(&self) -> f64 {
+        self.loss
+    }
+
+    /// Time to serialize a `payload_len`-byte message onto the wire.
+    pub fn tx_time(&self, payload_len: usize) -> SimDuration {
+        if self.bandwidth_bps == 0 {
+            return SimDuration::ZERO;
+        }
+        let bits = (payload_len as u64 + u64::from(self.overhead_bytes)) * 8;
+        SimDuration::from_nanos(bits.saturating_mul(1_000_000_000) / self.bandwidth_bps)
+    }
+
+    /// Total bytes a `payload_len` message puts on the wire.
+    pub fn wire_bytes(&self, payload_len: usize) -> u64 {
+        payload_len as u64 + u64::from(self.overhead_bytes)
+    }
+}
+
+impl Default for LinkSpec {
+    /// The default link is [`LinkSpec::lan`].
+    fn default() -> LinkSpec {
+        LinkSpec::lan()
+    }
+}
+
+/// Cumulative per-direction traffic statistics for one link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages carried (after loss).
+    pub messages: u64,
+    /// Wire bytes carried, including per-message overhead.
+    pub wire_bytes: u64,
+    /// Messages dropped by the loss process.
+    pub dropped: u64,
+}
+
+/// One direction of a link: spec + FIFO busy horizon + stats.
+#[derive(Debug, Clone)]
+pub(crate) struct DirectedLink {
+    pub spec: LinkSpec,
+    pub busy_until: crate::SimTime,
+    pub stats: LinkStats,
+}
+
+impl DirectedLink {
+    pub fn new(spec: LinkSpec) -> DirectedLink {
+        DirectedLink { spec, busy_until: crate::SimTime::ZERO, stats: LinkStats::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_scales_with_size_and_bandwidth() {
+        let link = LinkSpec::new(SimDuration::ZERO, 8_000); // 1000 bytes/s
+        assert_eq!(link.tx_time(100), SimDuration::from_millis(100));
+        assert_eq!(link.tx_time(1000), SimDuration::from_secs(1));
+        let fat = LinkSpec::new(SimDuration::ZERO, 0);
+        assert_eq!(fat.tx_time(1_000_000), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn overhead_counts_toward_tx_and_wire_bytes() {
+        let link = LinkSpec::new(SimDuration::ZERO, 8_000).with_overhead(34);
+        assert_eq!(link.wire_bytes(100), 134);
+        assert_eq!(link.tx_time(0), SimDuration::from_millis(34));
+    }
+
+    #[test]
+    fn presets_are_ordered_by_latency() {
+        assert!(LinkSpec::lan().latency() < LinkSpec::campus().latency());
+        assert!(LinkSpec::campus().latency() < LinkSpec::wan().latency());
+        assert!(LinkSpec::wan().latency() < LinkSpec::intercontinental().latency());
+        assert!(LinkSpec::intercontinental().latency() < LinkSpec::congested().latency());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn loss_out_of_range_panics() {
+        let _ = LinkSpec::lan().with_loss(1.5);
+    }
+}

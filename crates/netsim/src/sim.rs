@@ -1,0 +1,652 @@
+use crate::link::DirectedLink;
+use crate::stats::SimStats;
+use crate::{LinkSpec, LinkStats, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::fmt;
+
+/// Identifies a node within one [`Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Handle for a pending timer, returned by [`Context::set_timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerToken(u64);
+
+/// Behaviour of a simulated node.
+///
+/// Implementations receive callbacks with a [`Context`] through which they
+/// may send messages, set timers, and read the virtual clock. The `Any`
+/// supertrait lets tests and experiment harnesses recover concrete actor
+/// state after a run via [`Simulator::actor`].
+pub trait Actor: Any {
+    /// Called once when the simulation starts (before any event).
+    fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// Called when a message addressed to this node is delivered.
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, bytes: Vec<u8>);
+
+    /// Called when a timer set by this node fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken);
+}
+
+#[derive(Debug)]
+enum EventKind {
+    /// Message arrival at a node (subject to the node's processing queue).
+    Deliver { to: NodeId, from: NodeId, bytes: Vec<u8> },
+    /// Message handling after the processing delay has elapsed.
+    Handle { to: NodeId, from: NodeId, bytes: Vec<u8> },
+    Timer { node: NodeId, token: TimerToken },
+}
+
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Scheduled) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Scheduled) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Scheduled) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first order.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+struct SimCore {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    links: HashMap<(NodeId, NodeId), DirectedLink>,
+    next_timer: u64,
+    cancelled: HashSet<TimerToken>,
+    rng: StdRng,
+    stats: SimStats,
+    node_processing: Vec<SimDuration>,
+    node_busy_until: Vec<SimTime>,
+}
+
+impl SimCore {
+    fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { time, seq, kind });
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, bytes: Vec<u8>) {
+        if from == to {
+            // Local loopback: delivered at the current instant, in order.
+            self.schedule(self.now, EventKind::Deliver { to, from, bytes });
+            return;
+        }
+        let link = self
+            .links
+            .get_mut(&(from, to))
+            .unwrap_or_else(|| panic!("no link from {from} to {to}"));
+        if link.spec.loss() > 0.0 && self.rng.gen::<f64>() < link.spec.loss() {
+            link.stats.dropped += 1;
+            self.stats.messages_dropped += 1;
+            return;
+        }
+        let start = if link.busy_until > self.now { link.busy_until } else { self.now };
+        let tx = link.spec.tx_time(bytes.len());
+        link.busy_until = start + tx;
+        let deliver_at = start + tx + link.spec.latency();
+        link.stats.messages += 1;
+        link.stats.wire_bytes += link.spec.wire_bytes(bytes.len());
+        self.stats.messages_sent += 1;
+        self.stats.wire_bytes += link.spec.wire_bytes(bytes.len());
+        self.schedule(deliver_at, EventKind::Deliver { to, from, bytes });
+    }
+}
+
+/// The capabilities an [`Actor`] has during a callback: read the clock,
+/// send messages, manage timers, and draw deterministic randomness.
+pub struct Context<'a> {
+    core: &'a mut SimCore,
+    node: NodeId,
+}
+
+impl<'a> Context<'a> {
+    /// The virtual time of the current event.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sends `bytes` to `to` over the connecting link.
+    ///
+    /// Sending to `self` is an instantaneous local loopback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no link connects this node to `to`.
+    pub fn send(&mut self, to: NodeId, bytes: Vec<u8>) {
+        self.core.send(self.node, to, bytes);
+    }
+
+    /// Whether a link exists from this node to `to`.
+    pub fn has_link(&self, to: NodeId) -> bool {
+        self.core.links.contains_key(&(self.node, to))
+    }
+
+    /// Schedules a timer to fire after `delay`; returns its token.
+    pub fn set_timer(&mut self, delay: SimDuration) -> TimerToken {
+        let token = TimerToken(self.core.next_timer);
+        self.core.next_timer += 1;
+        let at = self.core.now + delay;
+        self.core.schedule(at, EventKind::Timer { node: self.node, token });
+        token
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired or foreign
+    /// timer is a no-op.
+    pub fn cancel_timer(&mut self, token: TimerToken) {
+        self.core.cancelled.insert(token);
+    }
+
+    /// A uniformly random `f64` in `[0, 1)` from the seeded simulation RNG.
+    pub fn rand_f64(&mut self) -> f64 {
+        self.core.rng.gen()
+    }
+
+    /// A uniformly random integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn rand_range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.core.rng.gen_range(lo..hi)
+    }
+}
+
+struct Node {
+    name: String,
+    actor: Option<Box<dyn Actor>>,
+}
+
+/// A deterministic discrete-event simulator of message-passing nodes.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct Simulator {
+    core: SimCore,
+    nodes: Vec<Node>,
+    started: bool,
+}
+
+impl fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.core.now)
+            .field("nodes", &self.nodes.len())
+            .field("pending_events", &self.core.queue.len())
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator whose randomness derives from `seed`.
+    pub fn new(seed: u64) -> Simulator {
+        Simulator {
+            core: SimCore {
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                links: HashMap::new(),
+                next_timer: 0,
+                cancelled: HashSet::new(),
+                rng: StdRng::seed_from_u64(seed),
+                stats: SimStats::default(),
+                node_processing: Vec::new(),
+                node_busy_until: Vec::new(),
+            },
+            nodes: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Adds a node running `actor`; `name` labels it in panics and reports.
+    pub fn add_node<A: Actor>(&mut self, name: impl Into<String>, actor: A) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { name: name.into(), actor: Some(Box::new(actor)) });
+        self.core.node_processing.push(SimDuration::ZERO);
+        self.core.node_busy_until.push(SimTime::ZERO);
+        id
+    }
+
+    /// Connects `a` and `b` with a symmetric duplex link.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        self.connect_directed(a, b, spec);
+        self.connect_directed(b, a, spec);
+    }
+
+    /// Connects `from` to `to` in one direction only (asymmetric paths).
+    pub fn connect_directed(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) {
+        self.core.links.insert((from, to), DirectedLink::new(spec));
+    }
+
+    /// Sets a per-message processing delay for `node`: each delivered
+    /// message occupies the node for `d` before its `on_message` runs,
+    /// modeling a single-server CPU queue (the manager bottleneck in the
+    /// centralized-polling experiments).
+    pub fn set_processing_time(&mut self, node: NodeId, d: SimDuration) {
+        self.core.node_processing[node.0 as usize] = d;
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Cumulative global statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.core.stats
+    }
+
+    /// Traffic statistics for the `from → to` direction of a link.
+    ///
+    /// Returns `None` if no such directed link exists.
+    pub fn link_stats(&self, from: NodeId, to: NodeId) -> Option<LinkStats> {
+        self.core.links.get(&(from, to)).map(|l| l.stats)
+    }
+
+    /// Borrows the concrete actor state of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node`'s actor is not a `T` or if called reentrantly from
+    /// within that actor's own callback.
+    pub fn actor<T: Actor>(&self, node: NodeId) -> &T {
+        let n = &self.nodes[node.0 as usize];
+        let actor = n.actor.as_ref().unwrap_or_else(|| panic!("actor {} is running", n.name));
+        (actor.as_ref() as &dyn Any)
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("actor {} has a different concrete type", n.name))
+    }
+
+    /// Mutably borrows the concrete actor state of `node`.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Simulator::actor`].
+    pub fn actor_mut<T: Actor>(&mut self, node: NodeId) -> &mut T {
+        let n = &mut self.nodes[node.0 as usize];
+        let name = n.name.clone();
+        let actor = n.actor.as_mut().unwrap_or_else(|| panic!("actor {name} is running"));
+        (actor.as_mut() as &mut dyn Any)
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("actor {name} has a different concrete type"))
+    }
+
+    /// Sends a message from outside the simulation (delivered at the
+    /// current time over the `from → to` link, as if `from` had sent it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no link connects `from` to `to`.
+    pub fn inject(&mut self, from: NodeId, to: NodeId, bytes: Vec<u8>) {
+        self.core.send(from, to, bytes);
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Deliver { to, from, bytes } => {
+                let idx = to.0 as usize;
+                let processing = self.core.node_processing[idx];
+                if processing > SimDuration::ZERO {
+                    // Single-server queue: the message is handled once the
+                    // node finishes everything already queued, plus its own
+                    // processing time.
+                    let free_at = if self.core.node_busy_until[idx] > self.core.now {
+                        self.core.node_busy_until[idx]
+                    } else {
+                        self.core.now
+                    };
+                    let handle_at = free_at + processing;
+                    self.core.node_busy_until[idx] = handle_at;
+                    self.core.schedule(handle_at, EventKind::Handle { to, from, bytes });
+                    return;
+                }
+                self.handle_message(to, from, bytes);
+            }
+            EventKind::Handle { to, from, bytes } => {
+                self.handle_message(to, from, bytes);
+            }
+            EventKind::Timer { node, token } => {
+                if self.core.cancelled.remove(&token) {
+                    return;
+                }
+                self.core.stats.timers_fired += 1;
+                let idx = node.0 as usize;
+                let mut actor = self.nodes[idx].actor.take().expect("reentrant dispatch");
+                let mut ctx = Context { core: &mut self.core, node };
+                actor.on_timer(&mut ctx, token);
+                self.nodes[idx].actor = Some(actor);
+            }
+        }
+    }
+
+    fn handle_message(&mut self, to: NodeId, from: NodeId, bytes: Vec<u8>) {
+        let idx = to.0 as usize;
+        self.core.stats.messages_delivered += 1;
+        let mut actor = self.nodes[idx].actor.take().expect("reentrant dispatch");
+        let mut ctx = Context { core: &mut self.core, node: to };
+        actor.on_message(&mut ctx, from, bytes);
+        self.nodes[idx].actor = Some(actor);
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let mut actor = self.nodes[i].actor.take().expect("reentrant dispatch");
+            let mut ctx = Context { core: &mut self.core, node: NodeId(i as u32) };
+            actor.on_start(&mut ctx);
+            self.nodes[i].actor = Some(actor);
+        }
+    }
+
+    /// Runs until the event queue is empty (quiescence).
+    pub fn run(&mut self) {
+        self.run_until(SimTime::MAX);
+    }
+
+    /// Runs events with `time <= deadline`, then sets the clock to
+    /// `deadline` (unless the queue drained earlier, in which case the clock
+    /// stays at the last event).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.start_if_needed();
+        while let Some(top) = self.core.queue.peek() {
+            if top.time > deadline {
+                self.core.now = deadline;
+                return;
+            }
+            let ev = self.core.queue.pop().expect("peeked");
+            debug_assert!(ev.time >= self.core.now, "time went backwards");
+            self.core.now = ev.time;
+            self.core.stats.events_processed += 1;
+            self.dispatch(ev.kind);
+        }
+        if deadline != SimTime::MAX {
+            self.core.now = deadline;
+        }
+    }
+
+    /// Runs for `d` of virtual time from the current clock.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.core.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Executes exactly one event; returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        self.start_if_needed();
+        match self.core.queue.pop() {
+            Some(ev) => {
+                self.core.now = ev.time;
+                self.core.stats.events_processed += 1;
+                self.dispatch(ev.kind);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records every delivery with its arrival time.
+    struct Sink {
+        received: Vec<(SimTime, NodeId, Vec<u8>)>,
+    }
+    impl Actor for Sink {
+        fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, bytes: Vec<u8>) {
+            self.received.push((ctx.now(), from, bytes));
+        }
+        fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {}
+    }
+
+    struct Idle;
+    impl Actor for Idle {
+        fn on_message(&mut self, _: &mut Context<'_>, _: NodeId, _: Vec<u8>) {}
+        fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {}
+    }
+
+    fn two_nodes(spec: LinkSpec) -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a", Idle);
+        let b = sim.add_node("b", Sink { received: Vec::new() });
+        sim.connect(a, b, spec);
+        (sim, a, b)
+    }
+
+    #[test]
+    fn latency_only_delivery_time() {
+        let (mut sim, a, b) = two_nodes(LinkSpec::new(SimDuration::from_millis(10), 0));
+        sim.inject(a, b, vec![0; 100]);
+        sim.run();
+        let sink = sim.actor::<Sink>(b);
+        assert_eq!(sink.received.len(), 1);
+        assert_eq!(sink.received[0].0, SimTime::ZERO + SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn serialization_delay_added() {
+        // 1000 bytes/s, 500-byte message => 500 ms tx + 10 ms latency.
+        let (mut sim, a, b) = two_nodes(LinkSpec::new(SimDuration::from_millis(10), 8_000));
+        sim.inject(a, b, vec![0; 500]);
+        sim.run();
+        let sink = sim.actor::<Sink>(b);
+        assert_eq!(sink.received[0].0, SimTime::ZERO + SimDuration::from_millis(510));
+    }
+
+    #[test]
+    fn link_is_fifo_under_back_to_back_sends() {
+        let (mut sim, a, b) = two_nodes(LinkSpec::new(SimDuration::from_millis(10), 8_000));
+        sim.inject(a, b, vec![1; 500]); // tx 500 ms
+        sim.inject(a, b, vec![2; 500]); // queued behind the first
+        sim.run();
+        let sink = sim.actor::<Sink>(b);
+        assert_eq!(sink.received.len(), 2);
+        assert_eq!(sink.received[0].0, SimTime::ZERO + SimDuration::from_millis(510));
+        assert_eq!(sink.received[1].0, SimTime::ZERO + SimDuration::from_millis(1010));
+        assert_eq!(sink.received[0].2[0], 1);
+        assert_eq!(sink.received[1].2[0], 2);
+    }
+
+    #[test]
+    fn stats_account_wire_bytes_with_overhead() {
+        let (mut sim, a, b) =
+            two_nodes(LinkSpec::new(SimDuration::from_millis(1), 0).with_overhead(34));
+        sim.inject(a, b, vec![0; 66]);
+        sim.run();
+        assert_eq!(sim.stats().wire_bytes, 100);
+        assert_eq!(sim.link_stats(a, b).unwrap().wire_bytes, 100);
+        assert_eq!(sim.link_stats(b, a).unwrap().wire_bytes, 0);
+        assert_eq!(sim.link_stats(a, b).unwrap().messages, 1);
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let (mut sim, a, b) =
+            two_nodes(LinkSpec::new(SimDuration::from_millis(1), 0).with_loss(1.0));
+        for _ in 0..10 {
+            sim.inject(a, b, vec![0; 10]);
+        }
+        sim.run();
+        assert_eq!(sim.actor::<Sink>(b).received.len(), 0);
+        assert_eq!(sim.link_stats(a, b).unwrap().dropped, 10);
+        assert_eq!(sim.stats().messages_dropped, 10);
+    }
+
+    struct Ticker {
+        fired: Vec<SimTime>,
+        period: SimDuration,
+        remaining: u32,
+    }
+    impl Actor for Ticker {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(self.period);
+        }
+        fn on_message(&mut self, _: &mut Context<'_>, _: NodeId, _: Vec<u8>) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _: TimerToken) {
+            self.fired.push(ctx.now());
+            self.remaining -= 1;
+            if self.remaining > 0 {
+                ctx.set_timer(self.period);
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_timers_fire_on_schedule() {
+        let mut sim = Simulator::new(7);
+        let t = sim.add_node(
+            "ticker",
+            Ticker { fired: Vec::new(), period: SimDuration::from_secs(1), remaining: 3 },
+        );
+        sim.run();
+        let ticker = sim.actor::<Ticker>(t);
+        let secs: Vec<u64> = ticker.fired.iter().map(|t| t.as_nanos() / 1_000_000_000).collect();
+        assert_eq!(secs, vec![1, 2, 3]);
+        assert_eq!(sim.stats().timers_fired, 3);
+    }
+
+    struct CancelsOwnTimer {
+        fired: bool,
+    }
+    impl Actor for CancelsOwnTimer {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            let t = ctx.set_timer(SimDuration::from_secs(1));
+            ctx.cancel_timer(t);
+        }
+        fn on_message(&mut self, _: &mut Context<'_>, _: NodeId, _: Vec<u8>) {}
+        fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {
+            self.fired = true;
+        }
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let mut sim = Simulator::new(7);
+        let n = sim.add_node("c", CancelsOwnTimer { fired: false });
+        sim.run();
+        assert!(!sim.actor::<CancelsOwnTimer>(n).fired);
+        assert_eq!(sim.stats().timers_fired, 0);
+    }
+
+    #[test]
+    fn run_until_stops_the_clock_at_deadline() {
+        let mut sim = Simulator::new(7);
+        let t = sim.add_node(
+            "ticker",
+            Ticker { fired: Vec::new(), period: SimDuration::from_secs(10), remaining: 100 },
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(35));
+        assert_eq!(sim.actor::<Ticker>(t).fired.len(), 3);
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_secs(35));
+        sim.run_for(SimDuration::from_secs(10));
+        assert_eq!(sim.actor::<Ticker>(t).fired.len(), 4);
+    }
+
+    #[test]
+    fn self_send_is_instant_loopback() {
+        struct SelfSender {
+            got: bool,
+        }
+        impl Actor for SelfSender {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let me = ctx.node_id();
+                ctx.send(me, vec![9]);
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, bytes: Vec<u8>) {
+                assert_eq!(from, ctx.node_id());
+                assert_eq!(bytes, vec![9]);
+                assert_eq!(ctx.now(), SimTime::ZERO);
+                self.got = true;
+            }
+            fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {}
+        }
+        let mut sim = Simulator::new(7);
+        let n = sim.add_node("s", SelfSender { got: false });
+        sim.run();
+        assert!(sim.actor::<SelfSender>(n).got);
+    }
+
+    #[test]
+    #[should_panic(expected = "no link")]
+    fn send_without_link_panics() {
+        let mut sim = Simulator::new(7);
+        let a = sim.add_node("a", Idle);
+        let b = sim.add_node("b", Idle);
+        sim.inject(a, b, vec![]);
+    }
+
+    #[test]
+    fn processing_delay_serializes_node_work() {
+        // Two messages arrive at t=1ms; a 5 ms processing time means they
+        // are handled at 6 ms and 11 ms.
+        let (mut sim, a, b) = two_nodes(LinkSpec::new(SimDuration::from_millis(1), 0));
+        sim.set_processing_time(b, SimDuration::from_millis(5));
+        sim.inject(a, b, vec![1]);
+        sim.inject(a, b, vec![2]);
+        sim.run();
+        let sink = sim.actor::<Sink>(b);
+        assert_eq!(sink.received[0].0, SimTime::ZERO + SimDuration::from_millis(6));
+        assert_eq!(sink.received[1].0, SimTime::ZERO + SimDuration::from_millis(11));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run_once(seed: u64) -> (u64, u64) {
+            let mut sim = Simulator::new(seed);
+            let a = sim.add_node("a", Idle);
+            let b = sim.add_node("b", Sink { received: Vec::new() });
+            sim.connect(a, b, LinkSpec::new(SimDuration::from_millis(1), 0).with_loss(0.5));
+            for _ in 0..100 {
+                sim.inject(a, b, vec![0; 8]);
+            }
+            sim.run();
+            (sim.stats().messages_delivered, sim.stats().messages_dropped)
+        }
+        assert_eq!(run_once(99), run_once(99));
+        let (delivered, dropped) = run_once(99);
+        assert_eq!(delivered + dropped, 100);
+        assert!(delivered > 0 && dropped > 0, "p=0.5 loss should split the stream");
+    }
+
+    #[test]
+    fn debug_impl_is_informative() {
+        let sim = Simulator::new(0);
+        let s = format!("{sim:?}");
+        assert!(s.contains("Simulator"));
+        assert!(s.contains("nodes"));
+    }
+}

@@ -1,0 +1,46 @@
+use std::fmt;
+
+/// Global counters accumulated over a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events popped from the queue (deliveries + handles + timers).
+    pub events_processed: u64,
+    /// Messages accepted onto some link.
+    pub messages_sent: u64,
+    /// Messages handed to an actor's `on_message`.
+    pub messages_delivered: u64,
+    /// Messages dropped by link loss.
+    pub messages_dropped: u64,
+    /// Timer callbacks executed (cancelled timers excluded).
+    pub timers_fired: u64,
+    /// Total wire bytes across all links, including per-message overhead.
+    pub wire_bytes: u64,
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "events={} sent={} delivered={} dropped={} timers={} wire_bytes={}",
+            self.events_processed,
+            self.messages_sent,
+            self.messages_delivered,
+            self.messages_dropped,
+            self.timers_fired,
+            self.wire_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_every_counter() {
+        let s = SimStats { events_processed: 1, ..SimStats::default() }.to_string();
+        for key in ["events", "sent", "delivered", "dropped", "timers", "wire_bytes"] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+}

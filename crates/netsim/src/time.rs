@@ -1,0 +1,199 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point in virtual time, measured in nanoseconds since simulation start.
+///
+/// `SimTime` and [`SimDuration`] are newtypes so wall-clock `std::time`
+/// values cannot be confused with simulated ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable time; `run_until(SimTime::MAX)` runs to
+    /// quiescence.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Nanoseconds since simulation start.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The elapsed duration since the epoch.
+    pub fn since_start(self) -> SimDuration {
+        SimDuration(self.0)
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Seconds since simulation start as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+}
+
+impl SimDuration {
+    /// The zero duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from nanoseconds.
+    pub fn from_nanos(nanos: u64) -> SimDuration {
+        SimDuration(nanos)
+    }
+
+    /// Creates a duration from microseconds.
+    pub fn from_micros(micros: u64) -> SimDuration {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub fn from_millis(millis: u64) -> SimDuration {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub fn from_secs(secs: u64) -> SimDuration {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, saturating at zero.
+    pub fn from_secs_f64(secs: f64) -> SimDuration {
+        SimDuration((secs.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// The duration in nanoseconds.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The duration in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(SimDuration::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(SimDuration::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimDuration::from_micros(4).as_nanos(), 4_000);
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_nanos(), 500_000_000);
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_secs(1);
+        assert_eq!(t.as_nanos(), 1_000_000_000);
+        assert_eq!((t + SimDuration::from_secs(2)) - t, SimDuration::from_secs(2));
+        assert_eq!(SimTime::ZERO - t, SimDuration::ZERO); // saturates
+        assert_eq!(SimDuration::from_secs(1) * 3, SimDuration::from_secs(3));
+        assert_eq!(SimDuration::from_secs(4) / 2, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn saturating_behaviour_at_extremes() {
+        assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
+        let big = SimDuration::from_nanos(u64::MAX);
+        assert_eq!(big + big, big);
+        assert_eq!(big * 2, big);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimDuration::from_nanos(5).to_string(), "5ns");
+        assert_eq!(SimDuration::from_micros(5).to_string(), "5.000us");
+        assert_eq!(SimDuration::from_millis(5).to_string(), "5.000ms");
+        assert_eq!(SimDuration::from_secs(5).to_string(), "5.000s");
+        assert_eq!((SimTime::ZERO + SimDuration::from_millis(1500)).to_string(), "t+1.500000s");
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests: conservation, FIFO ordering and determinism of the
+//! discrete-event simulator.
+
+use netsim::{Actor, Context, LinkSpec, NodeId, SimDuration, Simulator, TimerToken};
+use proptest::prelude::*;
+
+#[derive(Default)]
+struct Recorder {
+    arrivals: Vec<(u64, Vec<u8>)>,
+}
+impl Actor for Recorder {
+    fn on_message(&mut self, ctx: &mut Context<'_>, _: NodeId, bytes: Vec<u8>) {
+        self.arrivals.push((ctx.now().as_nanos(), bytes));
+    }
+    fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {}
+}
+
+struct Quiet;
+impl Actor for Quiet {
+    fn on_message(&mut self, _: &mut Context<'_>, _: NodeId, _: Vec<u8>) {}
+    fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {}
+}
+
+fn arb_link() -> impl Strategy<Value = LinkSpec> {
+    (0u64..200, prop_oneof![Just(0u64), Just(56_000), Just(1_544_000), Just(10_000_000)])
+        .prop_map(|(lat_ms, bw)| LinkSpec::new(SimDuration::from_millis(lat_ms), bw))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn messages_are_conserved(
+        link in arb_link(),
+        sizes in proptest::collection::vec(1usize..2000, 1..50),
+    ) {
+        let mut sim = Simulator::new(7);
+        let src = sim.add_node("src", Quiet);
+        let dst = sim.add_node("dst", Recorder::default());
+        sim.connect(src, dst, link);
+        for (i, &n) in sizes.iter().enumerate() {
+            sim.inject(src, dst, vec![i as u8; n]);
+        }
+        sim.run();
+        let stats = *sim.stats();
+        prop_assert_eq!(stats.messages_sent, sizes.len() as u64);
+        prop_assert_eq!(stats.messages_delivered, sizes.len() as u64);
+        prop_assert_eq!(stats.messages_dropped, 0);
+        prop_assert_eq!(
+            sim.actor::<Recorder>(dst).arrivals.len(),
+            sizes.len()
+        );
+    }
+
+    #[test]
+    fn links_are_fifo_and_arrivals_monotone(
+        link in arb_link(),
+        sizes in proptest::collection::vec(1usize..2000, 2..40),
+    ) {
+        let mut sim = Simulator::new(11);
+        let src = sim.add_node("src", Quiet);
+        let dst = sim.add_node("dst", Recorder::default());
+        sim.connect(src, dst, link);
+        for (i, &n) in sizes.iter().enumerate() {
+            let mut payload = vec![0u8; n];
+            payload[0] = i as u8;
+            sim.inject(src, dst, payload);
+        }
+        sim.run();
+        let arrivals = &sim.actor::<Recorder>(dst).arrivals;
+        for pair in arrivals.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "arrival times must be monotone");
+            prop_assert!(
+                pair[0].1[0] < pair[1].1[0] || pair[0].1[0] == 255,
+                "FIFO order violated"
+            );
+        }
+    }
+
+    #[test]
+    fn loss_accounting_balances(
+        p in 0.0f64..=1.0,
+        count in 1u32..100,
+    ) {
+        let mut sim = Simulator::new(13);
+        let src = sim.add_node("src", Quiet);
+        let dst = sim.add_node("dst", Recorder::default());
+        sim.connect(src, dst, LinkSpec::new(SimDuration::from_millis(1), 0).with_loss(p));
+        for _ in 0..count {
+            sim.inject(src, dst, vec![0u8; 16]);
+        }
+        sim.run();
+        let stats = *sim.stats();
+        prop_assert_eq!(
+            stats.messages_sent + stats.messages_dropped,
+            u64::from(count)
+        );
+        prop_assert_eq!(stats.messages_delivered, stats.messages_sent);
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_traces(
+        seed in any::<u64>(),
+        sizes in proptest::collection::vec(1usize..500, 1..30),
+    ) {
+        fn trace(seed: u64, sizes: &[usize]) -> Vec<(u64, Vec<u8>)> {
+            let mut sim = Simulator::new(seed);
+            let src = sim.add_node("src", Quiet);
+            let dst = sim.add_node("dst", Recorder::default());
+            sim.connect(
+                src,
+                dst,
+                LinkSpec::new(SimDuration::from_millis(3), 1_544_000).with_loss(0.3),
+            );
+            for &n in sizes {
+                sim.inject(src, dst, vec![0xAA; n]);
+            }
+            sim.run();
+            sim.actor::<Recorder>(dst).arrivals.clone()
+        }
+        prop_assert_eq!(trace(seed, &sizes), trace(seed, &sizes));
+    }
+
+    #[test]
+    fn wire_bytes_account_payload_plus_overhead(
+        overhead in 0u32..100,
+        sizes in proptest::collection::vec(1usize..500, 1..20),
+    ) {
+        let mut sim = Simulator::new(17);
+        let src = sim.add_node("src", Quiet);
+        let dst = sim.add_node("dst", Recorder::default());
+        sim.connect(
+            src,
+            dst,
+            LinkSpec::new(SimDuration::from_millis(1), 0).with_overhead(overhead),
+        );
+        for &n in &sizes {
+            sim.inject(src, dst, vec![0; n]);
+        }
+        sim.run();
+        let expected: u64 = sizes
+            .iter()
+            .map(|&n| n as u64 + u64::from(overhead))
+            .sum();
+        prop_assert_eq!(sim.stats().wire_bytes, expected);
+    }
+}

@@ -1,0 +1,309 @@
+use crate::{codec, DpiId, DpiSummary, RdsError, RdsRequest, RdsResponse, Transport};
+use ber::BerValue;
+use mbd_auth::Principal;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// A delegating manager's stub for one elastic process.
+///
+/// The client owns the request-id counter and the (optional) shared key;
+/// every verb is a typed method over [`Transport::request`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use rds::{RdsClient, LoopbackTransport};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let transport = LoopbackTransport::new(|_: &[u8]| Vec::new());
+/// let client = RdsClient::new(transport, "noc-mgr");
+/// client.delegate("health", "fn health() { return 100; }")?;
+/// let dpi = client.instantiate("health")?;
+/// let v = client.invoke(dpi, "health", &[])?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct RdsClient<T> {
+    transport: T,
+    principal: Principal,
+    key: Option<Vec<u8>>,
+    next_id: AtomicI64,
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RdsClient<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RdsClient")
+            .field("transport", &self.transport)
+            .field("principal", &self.principal)
+            .field("authenticated", &self.key.is_some())
+            .finish()
+    }
+}
+
+impl<T: Transport> RdsClient<T> {
+    /// Creates an unauthenticated client acting as `principal`.
+    pub fn new(transport: T, principal: &str) -> RdsClient<T> {
+        RdsClient {
+            transport,
+            principal: Principal::new(principal),
+            key: None,
+            next_id: AtomicI64::new(1),
+        }
+    }
+
+    /// Creates a client that signs requests with `key` (MD5 keyed digest).
+    pub fn with_key(transport: T, principal: &str, key: Vec<u8>) -> RdsClient<T> {
+        RdsClient {
+            transport,
+            principal: Principal::new(principal),
+            key: Some(key),
+            next_id: AtomicI64::new(1),
+        }
+    }
+
+    /// This client's principal handle.
+    pub fn principal(&self) -> &Principal {
+        &self.principal
+    }
+
+    fn roundtrip(&self, req: &RdsRequest) -> Result<RdsResponse, RdsError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let bytes = codec::encode_request(req, &self.principal, id, self.key.as_deref());
+        let resp_bytes = self.transport.request(&bytes)?;
+        let (resp, resp_id) = codec::decode_response(&resp_bytes, self.key.as_deref())?;
+        if let RdsResponse::Error { code, message } = resp {
+            return Err(RdsError::Remote { code, message });
+        }
+        if resp_id != id {
+            return Err(RdsError::RequestIdMismatch { expected: id, found: resp_id });
+        }
+        Ok(resp)
+    }
+
+    fn expect_ok(&self, req: &RdsRequest) -> Result<(), RdsError> {
+        match self.roundtrip(req)? {
+            RdsResponse::Ok => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Delegates DPL source to the server's repository as `dp_name`.
+    ///
+    /// # Errors
+    ///
+    /// `Remote(TranslationFailed)` if the server's translator rejects the
+    /// program; transport/codec errors otherwise.
+    pub fn delegate(&self, dp_name: &str, source: &str) -> Result<(), RdsError> {
+        self.expect_ok(&RdsRequest::DelegateProgram {
+            dp_name: dp_name.to_string(),
+            language: "dpl".to_string(),
+            source: source.as_bytes().to_vec(),
+        })
+    }
+
+    /// Removes `dp_name` from the repository.
+    ///
+    /// # Errors
+    ///
+    /// `Remote(NoSuchProgram)` if absent.
+    pub fn delete(&self, dp_name: &str) -> Result<(), RdsError> {
+        self.expect_ok(&RdsRequest::DeleteProgram { dp_name: dp_name.to_string() })
+    }
+
+    /// Creates an instance of `dp_name` and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// `Remote(NoSuchProgram)` if the dp is absent.
+    pub fn instantiate(&self, dp_name: &str) -> Result<DpiId, RdsError> {
+        match self.roundtrip(&RdsRequest::Instantiate { dp_name: dp_name.to_string() })? {
+            RdsResponse::Instantiated { dpi } => Ok(dpi),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Invokes `entry` on `dpi` and returns its value.
+    ///
+    /// # Errors
+    ///
+    /// `Remote(RuntimeFault)` if the invocation faulted or exceeded its
+    /// budget; `Remote(BadState)` if the dpi is suspended/terminated.
+    pub fn invoke(&self, dpi: DpiId, entry: &str, args: &[BerValue]) -> Result<BerValue, RdsError> {
+        let req =
+            RdsRequest::Invoke { dpi, entry: entry.to_string(), args: args.to_vec() };
+        match self.roundtrip(&req)? {
+            RdsResponse::Result { value } => Ok(value),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Suspends `dpi`.
+    ///
+    /// # Errors
+    ///
+    /// `Remote(BadState)` unless the dpi is ready.
+    pub fn suspend(&self, dpi: DpiId) -> Result<(), RdsError> {
+        self.expect_ok(&RdsRequest::Suspend { dpi })
+    }
+
+    /// Resumes `dpi`.
+    ///
+    /// # Errors
+    ///
+    /// `Remote(BadState)` unless the dpi is suspended.
+    pub fn resume(&self, dpi: DpiId) -> Result<(), RdsError> {
+        self.expect_ok(&RdsRequest::Resume { dpi })
+    }
+
+    /// Terminates `dpi`.
+    ///
+    /// # Errors
+    ///
+    /// `Remote(NoSuchInstance)` if it never existed.
+    pub fn terminate(&self, dpi: DpiId) -> Result<(), RdsError> {
+        self.expect_ok(&RdsRequest::Terminate { dpi })
+    }
+
+    /// Posts an asynchronous message to `dpi`'s mailbox.
+    ///
+    /// # Errors
+    ///
+    /// `Remote(NoSuchInstance)` / `Remote(BadState)`.
+    pub fn send_message(&self, dpi: DpiId, payload: &[u8]) -> Result<(), RdsError> {
+        self.expect_ok(&RdsRequest::SendMessage { dpi, payload: payload.to_vec() })
+    }
+
+    /// Lists the dp names stored in the repository.
+    ///
+    /// # Errors
+    ///
+    /// Transport/codec errors.
+    pub fn list_programs(&self) -> Result<Vec<String>, RdsError> {
+        match self.roundtrip(&RdsRequest::ListPrograms)? {
+            RdsResponse::Programs { names } => Ok(names),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Lists instances with their states.
+    ///
+    /// # Errors
+    ///
+    /// Transport/codec errors.
+    pub fn list_instances(&self) -> Result<Vec<DpiSummary>, RdsError> {
+        match self.roundtrip(&RdsRequest::ListInstances)? {
+            RdsResponse::Instances { instances } => Ok(instances),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &RdsResponse) -> RdsError {
+    RdsError::Transport { message: format!("unexpected response variant {:?}", resp.op_tag()) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ErrorCode, LoopbackTransport, RdsHandler, RdsServer};
+    use std::sync::Arc;
+
+    fn demo_server() -> Arc<RdsServer<impl RdsHandler + Send + Sync>> {
+        Arc::new(RdsServer::open(|_p: &Principal, req: RdsRequest| match req {
+            RdsRequest::DelegateProgram { dp_name, .. } if dp_name == "bad" => {
+                RdsResponse::Error {
+                    code: ErrorCode::TranslationFailed,
+                    message: "rejected".to_string(),
+                }
+            }
+            RdsRequest::DelegateProgram { .. } => RdsResponse::Ok,
+            RdsRequest::Instantiate { .. } => RdsResponse::Instantiated { dpi: DpiId(5) },
+            RdsRequest::Invoke { args, .. } => RdsResponse::Result {
+                value: BerValue::Integer(args.len() as i64),
+            },
+            RdsRequest::ListPrograms => RdsResponse::Programs { names: vec!["dp".to_string()] },
+            RdsRequest::ListInstances => RdsResponse::Instances { instances: vec![] },
+            _ => RdsResponse::Ok,
+        }))
+    }
+
+    fn client_for(server: Arc<RdsServer<impl RdsHandler + Send + Sync + 'static>>) -> RdsClient<LoopbackTransport> {
+        let transport = LoopbackTransport::new(move |bytes: &[u8]| server.process(bytes));
+        RdsClient::new(transport, "mgr")
+    }
+
+    #[test]
+    fn full_verb_round_trip() {
+        let client = client_for(demo_server());
+        client.delegate("dp", "fn main() {}").unwrap();
+        let dpi = client.instantiate("dp").unwrap();
+        assert_eq!(dpi, DpiId(5));
+        let v = client.invoke(dpi, "main", &[BerValue::Integer(1), BerValue::Null]).unwrap();
+        assert_eq!(v, BerValue::Integer(2));
+        client.suspend(dpi).unwrap();
+        client.resume(dpi).unwrap();
+        client.send_message(dpi, b"hello").unwrap();
+        client.terminate(dpi).unwrap();
+        client.delete("dp").unwrap();
+        assert_eq!(client.list_programs().unwrap(), vec!["dp".to_string()]);
+        assert!(client.list_instances().unwrap().is_empty());
+    }
+
+    #[test]
+    fn remote_errors_surface_typed() {
+        let client = client_for(demo_server());
+        let err = client.delegate("bad", "###").unwrap_err();
+        assert!(matches!(
+            err,
+            RdsError::Remote { code: ErrorCode::TranslationFailed, .. }
+        ));
+    }
+
+    #[test]
+    fn request_ids_increment_across_calls() {
+        let client = client_for(demo_server());
+        // Two calls must both succeed: ids must match per call.
+        client.list_programs().unwrap();
+        client.list_programs().unwrap();
+    }
+
+    #[test]
+    fn keyed_client_against_keyed_server() {
+        let server = Arc::new(RdsServer::with_policy(
+            |_p: &Principal, _req: RdsRequest| RdsResponse::Ok,
+            mbd_auth::Acl::allow_by_default(),
+            Some(b"secret".to_vec()),
+        ));
+        let s2 = Arc::clone(&server);
+        let transport = LoopbackTransport::new(move |bytes: &[u8]| s2.process(bytes));
+        let client = RdsClient::with_key(transport, "mgr", b"secret".to_vec());
+        client.delegate("dp", "x").unwrap();
+
+        // A client with the wrong key cannot even read the error response.
+        let s3 = Arc::clone(&server);
+        let transport = LoopbackTransport::new(move |bytes: &[u8]| s3.process(bytes));
+        let bad = RdsClient::with_key(transport, "mgr", b"wrong".to_vec());
+        assert!(matches!(
+            bad.delegate("dp", "x").unwrap_err(),
+            RdsError::BadDigest | RdsError::Remote { .. }
+        ));
+    }
+
+    #[test]
+    fn list_instances_round_trips_through_real_server() {
+        use crate::DpiState;
+        let server = Arc::new(RdsServer::open(|_: &Principal, req: RdsRequest| match req {
+            RdsRequest::ListInstances => RdsResponse::Instances {
+                instances: vec![DpiSummary {
+                    id: DpiId(3),
+                    dp_name: "health".to_string(),
+                    state: DpiState::Running,
+                }],
+            },
+            _ => RdsResponse::Ok,
+        }));
+        let client = client_for(server);
+        let list = client.list_instances().unwrap();
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].state, DpiState::Running);
+    }
+}

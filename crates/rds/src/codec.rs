@@ -1,0 +1,422 @@
+//! Wire encoding of RDS messages.
+//!
+//! Every message is `SEQUENCE { OCTET STRING digest, payload }` where
+//! `payload` is itself a BER SEQUENCE. When a shared key is in use, the
+//! digest is `MD5(key ‖ payload-bytes)`; otherwise it is empty. Because
+//! the encoder is deterministic, the receiver re-extracts the raw payload
+//! bytes and verifies the digest before decoding.
+//!
+//! Request payload: `SEQUENCE { version, request-id, principal, [op]{...} }`.
+//! Response payload: `SEQUENCE { version, request-id, [tag]{...} }`.
+
+use crate::{DpiId, DpiState, DpiSummary, ErrorCode, RdsError, RdsRequest, RdsResponse};
+use ber::{BerReader, BerWriter, Tag};
+use mbd_auth::Principal;
+
+/// Protocol version this implementation speaks.
+pub const RDS_VERSION: i64 = 1;
+
+fn seal(payload: Vec<u8>, key: Option<&[u8]>) -> Vec<u8> {
+    let digest: Vec<u8> = match key {
+        Some(k) => mbd_auth::keyed_digest(k, &payload).to_vec(),
+        None => Vec::new(),
+    };
+    let mut w = BerWriter::new();
+    w.write_sequence(|w| {
+        w.write_octet_string(&digest);
+        w.write_raw(&payload);
+    });
+    w.into_bytes()
+}
+
+fn unseal<'a>(bytes: &'a [u8], key: Option<&[u8]>) -> Result<&'a [u8], RdsError> {
+    let mut r = BerReader::new(bytes);
+    let (digest, payload) = r.read_sequence(|r| {
+        let digest = r.read_octet_string()?.to_vec();
+        let payload = r.read_raw_value()?;
+        Ok((digest, payload))
+    })?;
+    r.expect_end()?;
+    if let Some(k) = key {
+        let expected: [u8; 16] =
+            digest.as_slice().try_into().map_err(|_| RdsError::BadDigest)?;
+        if !mbd_auth::verify_keyed_digest(k, payload, &expected) {
+            return Err(RdsError::BadDigest);
+        }
+    }
+    Ok(payload)
+}
+
+/// Encodes a request.
+///
+/// `key` enables digest authentication (both ends must share it).
+pub fn encode_request(
+    req: &RdsRequest,
+    principal: &Principal,
+    request_id: i64,
+    key: Option<&[u8]>,
+) -> Vec<u8> {
+    let mut w = BerWriter::new();
+    w.write_sequence(|w| {
+        w.write_i64(RDS_VERSION);
+        w.write_i64(request_id);
+        w.write_octet_string(principal.handle().as_bytes());
+        w.write_constructed(Tag::context(req.op_tag()), |w| match req {
+            RdsRequest::DelegateProgram { dp_name, language, source } => {
+                w.write_octet_string(dp_name.as_bytes());
+                w.write_octet_string(language.as_bytes());
+                w.write_octet_string(source);
+            }
+            RdsRequest::DeleteProgram { dp_name } | RdsRequest::Instantiate { dp_name } => {
+                w.write_octet_string(dp_name.as_bytes());
+            }
+            RdsRequest::Invoke { dpi, entry, args } => {
+                w.write_i64(dpi.0 as i64);
+                w.write_octet_string(entry.as_bytes());
+                w.write_sequence(|w| {
+                    for a in args {
+                        w.write_value(a);
+                    }
+                });
+            }
+            RdsRequest::Suspend { dpi }
+            | RdsRequest::Resume { dpi }
+            | RdsRequest::Terminate { dpi } => {
+                w.write_i64(dpi.0 as i64);
+            }
+            RdsRequest::SendMessage { dpi, payload } => {
+                w.write_i64(dpi.0 as i64);
+                w.write_octet_string(payload);
+            }
+            RdsRequest::ListPrograms | RdsRequest::ListInstances => {}
+        });
+    });
+    seal(w.into_bytes(), key)
+}
+
+/// Decodes and (if `key` is given) authenticates a request.
+///
+/// Returns the request, the claimed principal, and the request id.
+///
+/// # Errors
+///
+/// [`RdsError::Codec`] on malformed bytes, [`RdsError::BadDigest`] on
+/// authentication failure, [`RdsError::UnknownOperation`] on a bad tag.
+pub fn decode_request(
+    bytes: &[u8],
+    key: Option<&[u8]>,
+) -> Result<(RdsRequest, Principal, i64), RdsError> {
+    let payload = unseal(bytes, key)?;
+    let mut r = BerReader::new(payload);
+    let out = r.read_sequence(|r| {
+        let _version = r.read_i64()?;
+        let request_id = r.read_i64()?;
+        let principal = String::from_utf8_lossy(r.read_octet_string()?).into_owned();
+        let tag = r.peek_tag()?;
+        let op = tag.number();
+        let req = r.read_constructed(tag, |r| {
+            Ok(match op {
+                0 => Some(RdsRequest::DelegateProgram {
+                    dp_name: read_string(r)?,
+                    language: read_string(r)?,
+                    source: r.read_octet_string()?.to_vec(),
+                }),
+                1 => Some(RdsRequest::DeleteProgram { dp_name: read_string(r)? }),
+                2 => Some(RdsRequest::Instantiate { dp_name: read_string(r)? }),
+                3 => Some(RdsRequest::Invoke {
+                    dpi: DpiId(r.read_i64()? as u64),
+                    entry: read_string(r)?,
+                    args: r.read_sequence(|r| {
+                        let mut args = Vec::new();
+                        while !r.at_end() {
+                            args.push(r.read_value()?);
+                        }
+                        Ok(args)
+                    })?,
+                }),
+                4 => Some(RdsRequest::Suspend { dpi: DpiId(r.read_i64()? as u64) }),
+                5 => Some(RdsRequest::Resume { dpi: DpiId(r.read_i64()? as u64) }),
+                6 => Some(RdsRequest::Terminate { dpi: DpiId(r.read_i64()? as u64) }),
+                7 => Some(RdsRequest::SendMessage {
+                    dpi: DpiId(r.read_i64()? as u64),
+                    payload: r.read_octet_string()?.to_vec(),
+                }),
+                8 => Some(RdsRequest::ListPrograms),
+                9 => Some(RdsRequest::ListInstances),
+                _ => {
+                    // Drain so expect_end passes; flag after.
+                    while !r.at_end() {
+                        r.read_value()?;
+                    }
+                    None
+                }
+            })
+        })?;
+        Ok((req, principal, request_id, op))
+    })?;
+    r.expect_end()?;
+    let (req, principal, request_id, op) = out;
+    let req = req.ok_or(RdsError::UnknownOperation(op))?;
+    Ok((req, Principal::new(principal), request_id))
+}
+
+/// Encodes a response to request `request_id`.
+pub fn encode_response(resp: &RdsResponse, request_id: i64, key: Option<&[u8]>) -> Vec<u8> {
+    let mut w = BerWriter::new();
+    w.write_sequence(|w| {
+        w.write_i64(RDS_VERSION);
+        w.write_i64(request_id);
+        w.write_constructed(Tag::context(resp.op_tag()), |w| match resp {
+            RdsResponse::Ok => {}
+            RdsResponse::Instantiated { dpi } => w.write_i64(dpi.0 as i64),
+            RdsResponse::Result { value } => w.write_value(value),
+            RdsResponse::Programs { names } => w.write_sequence(|w| {
+                for n in names {
+                    w.write_octet_string(n.as_bytes());
+                }
+            }),
+            RdsResponse::Instances { instances } => w.write_sequence(|w| {
+                for i in instances {
+                    w.write_sequence(|w| {
+                        w.write_i64(i.id.0 as i64);
+                        w.write_octet_string(i.dp_name.as_bytes());
+                        w.write_i64(i.state.code());
+                    });
+                }
+            }),
+            RdsResponse::Error { code, message } => {
+                w.write_i64(code.code());
+                w.write_octet_string(message.as_bytes());
+            }
+        });
+    });
+    seal(w.into_bytes(), key)
+}
+
+/// Decodes and (if keyed) authenticates a response; returns it with its
+/// request id.
+///
+/// # Errors
+///
+/// As for [`decode_request`].
+pub fn decode_response(
+    bytes: &[u8],
+    key: Option<&[u8]>,
+) -> Result<(RdsResponse, i64), RdsError> {
+    let payload = unseal(bytes, key)?;
+    let mut r = BerReader::new(payload);
+    let out = r.read_sequence(|r| {
+        let _version = r.read_i64()?;
+        let request_id = r.read_i64()?;
+        let tag = r.peek_tag()?;
+        let op = tag.number();
+        let resp = r.read_constructed(tag, |r| {
+            Ok(match op {
+                0 => Some(RdsResponse::Ok),
+                1 => Some(RdsResponse::Instantiated { dpi: DpiId(r.read_i64()? as u64) }),
+                2 => Some(RdsResponse::Result { value: r.read_value()? }),
+                3 => Some(RdsResponse::Programs {
+                    names: r.read_sequence(|r| {
+                        let mut names = Vec::new();
+                        while !r.at_end() {
+                            names.push(read_string(r)?);
+                        }
+                        Ok(names)
+                    })?,
+                }),
+                4 => Some(RdsResponse::Instances {
+                    instances: r.read_sequence(|r| {
+                        let mut out = Vec::new();
+                        while !r.at_end() {
+                            out.push(r.read_sequence(|r| {
+                                let id = DpiId(r.read_i64()? as u64);
+                                let dp_name = read_string(r)?;
+                                let state = DpiState::from_code(r.read_i64()?)
+                                    .ok_or(ber::BerError::BadInteger)?;
+                                Ok(DpiSummary { id, dp_name, state })
+                            })?);
+                        }
+                        Ok(out)
+                    })?,
+                }),
+                5 => Some(RdsResponse::Error {
+                    code: ErrorCode::from_code(r.read_i64()?),
+                    message: read_string(r)?,
+                }),
+                _ => {
+                    while !r.at_end() {
+                        r.read_value()?;
+                    }
+                    None
+                }
+            })
+        })?;
+        Ok((resp, request_id, op))
+    })?;
+    r.expect_end()?;
+    let (resp, request_id, op) = out;
+    let resp = resp.ok_or(RdsError::UnknownOperation(op))?;
+    Ok((resp, request_id))
+}
+
+fn read_string(r: &mut BerReader<'_>) -> Result<String, ber::BerError> {
+    Ok(String::from_utf8_lossy(r.read_octet_string()?).into_owned())
+}
+
+/// The encoded size of a delegation request for `source` — used by the
+/// crossover experiment to charge the one-time cost of moving the agent.
+pub fn delegation_wire_cost(dp_name: &str, source: &[u8]) -> usize {
+    encode_request(
+        &RdsRequest::DelegateProgram {
+            dp_name: dp_name.to_string(),
+            language: "dpl".to_string(),
+            source: source.to_vec(),
+        },
+        &Principal::new("sizing"),
+        0,
+        None,
+    )
+    .len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ber::BerValue;
+
+    fn all_requests() -> Vec<RdsRequest> {
+        vec![
+            RdsRequest::DelegateProgram {
+                dp_name: "health".to_string(),
+                language: "dpl".to_string(),
+                source: b"fn main() { return 1; }".to_vec(),
+            },
+            RdsRequest::DeleteProgram { dp_name: "health".to_string() },
+            RdsRequest::Instantiate { dp_name: "health".to_string() },
+            RdsRequest::Invoke {
+                dpi: DpiId(42),
+                entry: "main".to_string(),
+                args: vec![
+                    BerValue::Integer(5),
+                    BerValue::OctetString(b"x".to_vec()),
+                    BerValue::Sequence(vec![BerValue::Null]),
+                ],
+            },
+            RdsRequest::Suspend { dpi: DpiId(1) },
+            RdsRequest::Resume { dpi: DpiId(1) },
+            RdsRequest::Terminate { dpi: DpiId(1) },
+            RdsRequest::SendMessage { dpi: DpiId(7), payload: vec![1, 2, 3] },
+            RdsRequest::ListPrograms,
+            RdsRequest::ListInstances,
+        ]
+    }
+
+    fn all_responses() -> Vec<RdsResponse> {
+        vec![
+            RdsResponse::Ok,
+            RdsResponse::Instantiated { dpi: DpiId(9) },
+            RdsResponse::Result { value: BerValue::Integer(123) },
+            RdsResponse::Programs { names: vec!["a".to_string(), "b".to_string()] },
+            RdsResponse::Instances {
+                instances: vec![
+                    DpiSummary { id: DpiId(1), dp_name: "a".to_string(), state: DpiState::Ready },
+                    DpiSummary {
+                        id: DpiId(2),
+                        dp_name: "b".to_string(),
+                        state: DpiState::Suspended,
+                    },
+                ],
+            },
+            RdsResponse::Error {
+                code: ErrorCode::NoSuchProgram,
+                message: "dp `x` unknown".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip_unauthenticated() {
+        for req in all_requests() {
+            let bytes = encode_request(&req, &Principal::new("mgr"), 55, None);
+            let (decoded, principal, id) = decode_request(&bytes, None).unwrap();
+            assert_eq!(decoded, req);
+            assert_eq!(principal.handle(), "mgr");
+            assert_eq!(id, 55);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_unauthenticated() {
+        for resp in all_responses() {
+            let bytes = encode_response(&resp, 77, None);
+            let (decoded, id) = decode_response(&bytes, None).unwrap();
+            assert_eq!(decoded, resp);
+            assert_eq!(id, 77);
+        }
+    }
+
+    #[test]
+    fn keyed_round_trip_and_tamper_detection() {
+        let key = b"shared-secret";
+        for req in all_requests() {
+            let mut bytes = encode_request(&req, &Principal::new("mgr"), 1, Some(key));
+            assert!(decode_request(&bytes, Some(key)).is_ok());
+            // Wrong key fails.
+            assert_eq!(
+                decode_request(&bytes, Some(b"other")).unwrap_err(),
+                RdsError::BadDigest
+            );
+            // Bit-flip in the payload fails.
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x01;
+            assert!(matches!(
+                decode_request(&bytes, Some(key)),
+                Err(RdsError::BadDigest | RdsError::Codec(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn unauthenticated_receiver_accepts_keyed_messages() {
+        // Digest present but receiver not verifying: still decodable.
+        let req = RdsRequest::ListPrograms;
+        let bytes = encode_request(&req, &Principal::new("m"), 2, Some(b"k"));
+        assert!(decode_request(&bytes, None).is_ok());
+    }
+
+    #[test]
+    fn keyed_receiver_rejects_unauthenticated_messages() {
+        let req = RdsRequest::ListPrograms;
+        let bytes = encode_request(&req, &Principal::new("m"), 2, None);
+        assert_eq!(decode_request(&bytes, Some(b"k")).unwrap_err(), RdsError::BadDigest);
+    }
+
+    #[test]
+    fn unknown_operation_tag_rejected() {
+        // Hand-build a payload with op tag 15.
+        let mut w = BerWriter::new();
+        w.write_sequence(|w| {
+            w.write_i64(RDS_VERSION);
+            w.write_i64(1);
+            w.write_octet_string(b"m");
+            w.write_constructed(Tag::context(15), |_| {});
+        });
+        let bytes = seal(w.into_bytes(), None);
+        assert_eq!(decode_request(&bytes, None).unwrap_err(), RdsError::UnknownOperation(15));
+    }
+
+    #[test]
+    fn truncated_messages_rejected() {
+        let bytes = encode_request(&RdsRequest::ListPrograms, &Principal::new("m"), 1, None);
+        for cut in 1..bytes.len() {
+            assert!(decode_request(&bytes[..cut], None).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn delegation_wire_cost_scales_with_source() {
+        let small = delegation_wire_cost("dp", b"fn main() {}");
+        let big = delegation_wire_cost("dp", &vec![b'x'; 10_000]);
+        assert!(big > small + 9_000);
+    }
+}

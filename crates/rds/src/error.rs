@@ -1,0 +1,160 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error codes an RDS server can return (stable wire integers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The delegated program failed translation (lexical/syntactic/binding
+    /// rules) and was rejected.
+    TranslationFailed,
+    /// The named dp is not in the repository.
+    NoSuchProgram,
+    /// The dpi id does not name a live instance.
+    NoSuchInstance,
+    /// The requested operation is illegal in the instance's current state.
+    BadState,
+    /// The principal is not authorized for this operation.
+    AccessDenied,
+    /// Digest authentication failed.
+    AuthFailed,
+    /// The invocation faulted at runtime (budget or error).
+    RuntimeFault,
+    /// Anything else.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire integer for this code.
+    pub fn code(self) -> i64 {
+        match self {
+            ErrorCode::TranslationFailed => 1,
+            ErrorCode::NoSuchProgram => 2,
+            ErrorCode::NoSuchInstance => 3,
+            ErrorCode::BadState => 4,
+            ErrorCode::AccessDenied => 5,
+            ErrorCode::AuthFailed => 6,
+            ErrorCode::RuntimeFault => 7,
+            ErrorCode::Internal => 8,
+        }
+    }
+
+    /// Parses a wire integer, mapping unknown codes to `Internal`.
+    pub fn from_code(code: i64) -> ErrorCode {
+        match code {
+            1 => ErrorCode::TranslationFailed,
+            2 => ErrorCode::NoSuchProgram,
+            3 => ErrorCode::NoSuchInstance,
+            4 => ErrorCode::BadState,
+            5 => ErrorCode::AccessDenied,
+            6 => ErrorCode::AuthFailed,
+            7 => ErrorCode::RuntimeFault,
+            _ => ErrorCode::Internal,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::TranslationFailed => "translation failed",
+            ErrorCode::NoSuchProgram => "no such program",
+            ErrorCode::NoSuchInstance => "no such instance",
+            ErrorCode::BadState => "operation illegal in current state",
+            ErrorCode::AccessDenied => "access denied",
+            ErrorCode::AuthFailed => "authentication failed",
+            ErrorCode::RuntimeFault => "runtime fault",
+            ErrorCode::Internal => "internal error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors surfaced to RDS clients.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RdsError {
+    /// Malformed wire data.
+    Codec(ber::BerError),
+    /// The transport failed to deliver or the peer is gone.
+    Transport {
+        /// Description of the failure.
+        message: String,
+    },
+    /// The server answered with an error.
+    Remote {
+        /// The server's error code.
+        code: ErrorCode,
+        /// Detail text.
+        message: String,
+    },
+    /// The response's request id did not match the request.
+    RequestIdMismatch {
+        /// Id we sent.
+        expected: i64,
+        /// Id we got back.
+        found: i64,
+    },
+    /// A received message failed digest verification.
+    BadDigest,
+    /// Unknown operation tag on the wire.
+    UnknownOperation(u8),
+}
+
+impl fmt::Display for RdsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdsError::Codec(e) => write!(f, "codec error: {e}"),
+            RdsError::Transport { message } => write!(f, "transport error: {message}"),
+            RdsError::Remote { code, message } => write!(f, "remote error ({code}): {message}"),
+            RdsError::RequestIdMismatch { expected, found } => {
+                write!(f, "response id {found} does not match request id {expected}")
+            }
+            RdsError::BadDigest => write!(f, "message digest verification failed"),
+            RdsError::UnknownOperation(op) => write!(f, "unknown RDS operation tag {op}"),
+        }
+    }
+}
+
+impl Error for RdsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RdsError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ber::BerError> for RdsError {
+    fn from(e: ber::BerError) -> RdsError {
+        RdsError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_round_trip() {
+        for c in [
+            ErrorCode::TranslationFailed,
+            ErrorCode::NoSuchProgram,
+            ErrorCode::NoSuchInstance,
+            ErrorCode::BadState,
+            ErrorCode::AccessDenied,
+            ErrorCode::AuthFailed,
+            ErrorCode::RuntimeFault,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_code(c.code()), c);
+        }
+        assert_eq!(ErrorCode::from_code(999), ErrorCode::Internal);
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let e = RdsError::Remote { code: ErrorCode::NoSuchProgram, message: "dp x".to_string() };
+        assert!(e.to_string().contains("no such program"));
+        assert!(e.to_string().contains("dp x"));
+    }
+}

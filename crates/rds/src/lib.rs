@@ -1,0 +1,53 @@
+//! RDS — the Remote Delegation Service protocol.
+//!
+//! RDS is the wire protocol between delegating managers and elastic
+//! processes. As in the prototype, message headers are encoded with ASN.1
+//! BER (via the shared [`ber`] crate) and carry a principal handle plus an
+//! optional MD5 keyed digest (the authentication the SOS server added).
+//!
+//! The protocol verbs mirror the paper's delegation primitives:
+//!
+//! | Verb | Effect |
+//! |---|---|
+//! | `DelegateProgram` | transfer a dp (source) to the server's repository |
+//! | `DeleteProgram`   | remove a dp from the repository |
+//! | `Instantiate`     | create a dpi (thread) from a stored dp |
+//! | `Invoke`          | run an entry point of a dpi with arguments |
+//! | `Suspend`/`Resume`/`Terminate` | dpi lifecycle control |
+//! | `SendMessage`     | post to a dpi's mailbox |
+//! | `ListPrograms` / `ListInstances` | introspection |
+//!
+//! The crate is transport-neutral: [`Transport`] abstracts the
+//! request/response channel, with [`LoopbackTransport`] (in-process) and
+//! [`ChannelTransport`] (cross-thread, used by the threaded MbD server)
+//! provided. Performance experiments run the same codec over `netsim`.
+//!
+//! # Examples
+//!
+//! ```
+//! use rds::{RdsRequest, codec};
+//! use mbd_auth::Principal;
+//!
+//! let req = RdsRequest::ListPrograms;
+//! let bytes = codec::encode_request(&req, &Principal::new("mgr"), 7, None);
+//! let (decoded, principal, id) = codec::decode_request(&bytes, None).unwrap();
+//! assert_eq!(decoded, req);
+//! assert_eq!(principal.handle(), "mgr");
+//! assert_eq!(id, 7);
+//! ```
+
+pub mod codec;
+pub mod tcp;
+
+mod client;
+mod error;
+mod msg;
+mod server;
+mod transport;
+
+pub use client::RdsClient;
+pub use error::{ErrorCode, RdsError};
+pub use msg::{DpiId, DpiState, DpiSummary, RdsRequest, RdsResponse};
+pub use server::{RdsHandler, RdsServer};
+pub use tcp::{TcpServer, TcpTransport};
+pub use transport::{ChannelTransport, ChannelTransportServer, LoopbackTransport, Transport};

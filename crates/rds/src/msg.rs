@@ -1,0 +1,257 @@
+use ber::BerValue;
+use std::fmt;
+
+/// Identifies a delegated program instance (dpi) on one server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DpiId(pub u64);
+
+impl fmt::Display for DpiId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dpi-{}", self.0)
+    }
+}
+
+/// The lifecycle states of a dpi (the paper's instance state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DpiState {
+    /// Instantiated, idle between invocations.
+    Ready,
+    /// Currently executing an invocation.
+    Running,
+    /// Suspended: invocations and messages queue until resume.
+    Suspended,
+    /// Terminated: only observable in listings kept for diagnostics.
+    Terminated,
+}
+
+impl DpiState {
+    /// Stable wire integer.
+    pub fn code(self) -> i64 {
+        match self {
+            DpiState::Ready => 0,
+            DpiState::Running => 1,
+            DpiState::Suspended => 2,
+            DpiState::Terminated => 3,
+        }
+    }
+
+    /// Parses a wire integer.
+    pub fn from_code(code: i64) -> Option<DpiState> {
+        Some(match code {
+            0 => DpiState::Ready,
+            1 => DpiState::Running,
+            2 => DpiState::Suspended,
+            3 => DpiState::Terminated,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for DpiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DpiState::Ready => "ready",
+            DpiState::Running => "running",
+            DpiState::Suspended => "suspended",
+            DpiState::Terminated => "terminated",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of a `ListInstances` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DpiSummary {
+    /// Instance id.
+    pub id: DpiId,
+    /// Name of the dp it instantiates.
+    pub dp_name: String,
+    /// Current state.
+    pub state: DpiState,
+}
+
+/// A request from a delegating manager to an elastic process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RdsRequest {
+    /// Transfer a delegated program. `language` names the encoding of
+    /// `source` ("dpl" for this implementation — the field exists because
+    /// elastic processing is language-neutral by design).
+    DelegateProgram {
+        /// Repository name for the dp.
+        dp_name: String,
+        /// Source language tag.
+        language: String,
+        /// Program text.
+        source: Vec<u8>,
+    },
+    /// Remove a dp from the repository.
+    DeleteProgram {
+        /// Name of the dp to delete.
+        dp_name: String,
+    },
+    /// Create an instance of a stored dp.
+    Instantiate {
+        /// Name of the dp to instantiate.
+        dp_name: String,
+    },
+    /// Invoke an entry point of a dpi.
+    Invoke {
+        /// Target instance.
+        dpi: DpiId,
+        /// Entry-point function name.
+        entry: String,
+        /// Arguments (BER-encoded values).
+        args: Vec<BerValue>,
+    },
+    /// Pause a dpi.
+    Suspend {
+        /// Target instance.
+        dpi: DpiId,
+    },
+    /// Resume a suspended dpi.
+    Resume {
+        /// Target instance.
+        dpi: DpiId,
+    },
+    /// Destroy a dpi.
+    Terminate {
+        /// Target instance.
+        dpi: DpiId,
+    },
+    /// Post an asynchronous message to a dpi's mailbox.
+    SendMessage {
+        /// Target instance.
+        dpi: DpiId,
+        /// Opaque payload the dpi reads with `recv()`.
+        payload: Vec<u8>,
+    },
+    /// List stored dps.
+    ListPrograms,
+    /// List instances and their states.
+    ListInstances,
+}
+
+impl RdsRequest {
+    /// The wire operation tag (context-constructed tag number).
+    pub fn op_tag(&self) -> u8 {
+        match self {
+            RdsRequest::DelegateProgram { .. } => 0,
+            RdsRequest::DeleteProgram { .. } => 1,
+            RdsRequest::Instantiate { .. } => 2,
+            RdsRequest::Invoke { .. } => 3,
+            RdsRequest::Suspend { .. } => 4,
+            RdsRequest::Resume { .. } => 5,
+            RdsRequest::Terminate { .. } => 6,
+            RdsRequest::SendMessage { .. } => 7,
+            RdsRequest::ListPrograms => 8,
+            RdsRequest::ListInstances => 9,
+        }
+    }
+
+    /// The dp name this request targets, if it names one directly.
+    pub fn dp_name(&self) -> Option<&str> {
+        match self {
+            RdsRequest::DelegateProgram { dp_name, .. }
+            | RdsRequest::DeleteProgram { dp_name }
+            | RdsRequest::Instantiate { dp_name } => Some(dp_name),
+            _ => None,
+        }
+    }
+}
+
+/// A response from an elastic process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RdsResponse {
+    /// The operation succeeded with nothing to return.
+    Ok,
+    /// `Instantiate` succeeded.
+    Instantiated {
+        /// The new instance's id.
+        dpi: DpiId,
+    },
+    /// `Invoke` succeeded.
+    Result {
+        /// The invocation's return value.
+        value: BerValue,
+    },
+    /// `ListPrograms` result.
+    Programs {
+        /// Repository dp names, sorted.
+        names: Vec<String>,
+    },
+    /// `ListInstances` result.
+    Instances {
+        /// One summary per instance.
+        instances: Vec<DpiSummary>,
+    },
+    /// The operation failed.
+    Error {
+        /// Error category.
+        code: crate::ErrorCode,
+        /// Detail text.
+        message: String,
+    },
+}
+
+impl RdsResponse {
+    /// The wire tag of this response variant.
+    pub fn op_tag(&self) -> u8 {
+        match self {
+            RdsResponse::Ok => 0,
+            RdsResponse::Instantiated { .. } => 1,
+            RdsResponse::Result { .. } => 2,
+            RdsResponse::Programs { .. } => 3,
+            RdsResponse::Instances { .. } => 4,
+            RdsResponse::Error { .. } => 5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dpi_state_codes_round_trip() {
+        for s in [DpiState::Ready, DpiState::Running, DpiState::Suspended, DpiState::Terminated] {
+            assert_eq!(DpiState::from_code(s.code()), Some(s));
+        }
+        assert_eq!(DpiState::from_code(9), None);
+    }
+
+    #[test]
+    fn op_tags_are_distinct() {
+        let reqs = vec![
+            RdsRequest::DelegateProgram {
+                dp_name: String::new(),
+                language: String::new(),
+                source: vec![],
+            },
+            RdsRequest::DeleteProgram { dp_name: String::new() },
+            RdsRequest::Instantiate { dp_name: String::new() },
+            RdsRequest::Invoke { dpi: DpiId(0), entry: String::new(), args: vec![] },
+            RdsRequest::Suspend { dpi: DpiId(0) },
+            RdsRequest::Resume { dpi: DpiId(0) },
+            RdsRequest::Terminate { dpi: DpiId(0) },
+            RdsRequest::SendMessage { dpi: DpiId(0), payload: vec![] },
+            RdsRequest::ListPrograms,
+            RdsRequest::ListInstances,
+        ];
+        let mut tags: Vec<u8> = reqs.iter().map(RdsRequest::op_tag).collect();
+        tags.dedup();
+        assert_eq!(tags.len(), reqs.len());
+    }
+
+    #[test]
+    fn dp_name_extraction() {
+        let r = RdsRequest::Instantiate { dp_name: "health".to_string() };
+        assert_eq!(r.dp_name(), Some("health"));
+        assert_eq!(RdsRequest::ListPrograms.dp_name(), None);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(DpiId(3).to_string(), "dpi-3");
+        assert_eq!(DpiState::Suspended.to_string(), "suspended");
+    }
+}

@@ -1,0 +1,216 @@
+use crate::{codec, ErrorCode, RdsRequest, RdsResponse};
+use mbd_auth::{Acl, Operation, Principal};
+
+/// The application half of an RDS server: given an authenticated,
+/// authorized request, produce a response. The elastic process runtime
+/// implements this.
+pub trait RdsHandler {
+    /// Handles one request from `principal`.
+    fn handle(&self, principal: &Principal, request: RdsRequest) -> RdsResponse;
+}
+
+impl<F> RdsHandler for F
+where
+    F: Fn(&Principal, RdsRequest) -> RdsResponse,
+{
+    fn handle(&self, principal: &Principal, request: RdsRequest) -> RdsResponse {
+        self(principal, request)
+    }
+}
+
+/// Protocol front-end of an elastic process: decodes, authenticates
+/// (optional keyed digest), authorizes (handle ACL), dispatches to an
+/// [`RdsHandler`], and encodes the response.
+pub struct RdsServer<H> {
+    handler: H,
+    acl: Acl,
+    key: Option<Vec<u8>>,
+}
+
+impl<H: std::fmt::Debug> std::fmt::Debug for RdsServer<H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RdsServer")
+            .field("handler", &self.handler)
+            .field("authenticated", &self.key.is_some())
+            .finish()
+    }
+}
+
+fn required_operation(req: &RdsRequest) -> Operation {
+    match req {
+        RdsRequest::DelegateProgram { .. } | RdsRequest::DeleteProgram { .. } => {
+            Operation::Delegate
+        }
+        RdsRequest::Instantiate { .. } => Operation::Instantiate,
+        RdsRequest::Invoke { .. } | RdsRequest::SendMessage { .. } => Operation::Invoke,
+        RdsRequest::Suspend { .. } | RdsRequest::Resume { .. } | RdsRequest::Terminate { .. } => {
+            Operation::Control
+        }
+        RdsRequest::ListPrograms | RdsRequest::ListInstances => Operation::List,
+    }
+}
+
+impl<H: RdsHandler> RdsServer<H> {
+    /// A server with the prototype's trivial access control (any handle
+    /// may do anything) and no digest authentication.
+    pub fn open(handler: H) -> RdsServer<H> {
+        RdsServer { handler, acl: Acl::allow_by_default(), key: None }
+    }
+
+    /// A server enforcing `acl`, optionally requiring keyed digests.
+    pub fn with_policy(handler: H, acl: Acl, key: Option<Vec<u8>>) -> RdsServer<H> {
+        RdsServer { handler, acl, key }
+    }
+
+    /// The handler (for embedding servers that need to reach through).
+    pub fn handler(&self) -> &H {
+        &self.handler
+    }
+
+    /// Processes one encoded request into an encoded response.
+    ///
+    /// Undecodable requests get an encoded `Error` response with request
+    /// id 0 (there is nothing better to correlate with).
+    pub fn process(&self, bytes: &[u8]) -> Vec<u8> {
+        let (request, principal, request_id) = match codec::decode_request(bytes, self.key.as_deref())
+        {
+            Ok(parts) => parts,
+            Err(crate::RdsError::BadDigest) => {
+                return codec::encode_response(
+                    &RdsResponse::Error {
+                        code: ErrorCode::AuthFailed,
+                        message: "digest verification failed".to_string(),
+                    },
+                    0,
+                    self.key.as_deref(),
+                )
+            }
+            Err(e) => {
+                return codec::encode_response(
+                    &RdsResponse::Error { code: ErrorCode::Internal, message: e.to_string() },
+                    0,
+                    self.key.as_deref(),
+                )
+            }
+        };
+        let op = required_operation(&request);
+        let response = if self.acl.allows(&principal, op, request.dp_name()) {
+            self.handler.handle(&principal, request)
+        } else {
+            RdsResponse::Error {
+                code: ErrorCode::AccessDenied,
+                message: format!("{principal} may not {op}"),
+            }
+        };
+        codec::encode_response(&response, request_id, self.key.as_deref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DpiId, RdsError};
+
+    fn echo_handler() -> impl RdsHandler {
+        |_p: &Principal, req: RdsRequest| match req {
+            RdsRequest::ListPrograms => {
+                RdsResponse::Programs { names: vec!["seen".to_string()] }
+            }
+            RdsRequest::Instantiate { .. } => RdsResponse::Instantiated { dpi: DpiId(1) },
+            _ => RdsResponse::Ok,
+        }
+    }
+
+    #[test]
+    fn open_server_dispatches() {
+        let server = RdsServer::open(echo_handler());
+        let req = codec::encode_request(&RdsRequest::ListPrograms, &Principal::new("m"), 3, None);
+        let resp_bytes = server.process(&req);
+        let (resp, id) = codec::decode_response(&resp_bytes, None).unwrap();
+        assert_eq!(id, 3);
+        assert_eq!(resp, RdsResponse::Programs { names: vec!["seen".to_string()] });
+    }
+
+    #[test]
+    fn acl_denies_unauthorized_operations() {
+        let mut acl = Acl::deny_by_default();
+        acl.grant(&Principal::new("viewer"), Operation::List);
+        let server = RdsServer::with_policy(echo_handler(), acl, None);
+
+        let ok = codec::encode_request(
+            &RdsRequest::ListPrograms,
+            &Principal::new("viewer"),
+            1,
+            None,
+        );
+        let (resp, _) = codec::decode_response(&server.process(&ok), None).unwrap();
+        assert!(matches!(resp, RdsResponse::Programs { .. }));
+
+        let denied = codec::encode_request(
+            &RdsRequest::Instantiate { dp_name: "x".to_string() },
+            &Principal::new("viewer"),
+            2,
+            None,
+        );
+        let (resp, _) = codec::decode_response(&server.process(&denied), None).unwrap();
+        assert!(
+            matches!(resp, RdsResponse::Error { code: ErrorCode::AccessDenied, .. }),
+            "got {resp:?}"
+        );
+    }
+
+    #[test]
+    fn scoped_acl_controls_per_dp_delegation() {
+        let mut acl = Acl::deny_by_default();
+        acl.grant_scoped(&Principal::new("dev"), Operation::Delegate, "allowed-dp");
+        let server = RdsServer::with_policy(echo_handler(), acl, None);
+        let mk = |name: &str, id| {
+            codec::encode_request(
+                &RdsRequest::DelegateProgram {
+                    dp_name: name.to_string(),
+                    language: "dpl".to_string(),
+                    source: vec![],
+                },
+                &Principal::new("dev"),
+                id,
+                None,
+            )
+        };
+        let (resp, _) = codec::decode_response(&server.process(&mk("allowed-dp", 1)), None).unwrap();
+        assert_eq!(resp, RdsResponse::Ok);
+        let (resp, _) = codec::decode_response(&server.process(&mk("other-dp", 2)), None).unwrap();
+        assert!(matches!(resp, RdsResponse::Error { code: ErrorCode::AccessDenied, .. }));
+    }
+
+    #[test]
+    fn keyed_server_rejects_unauthenticated_clients() {
+        let server =
+            RdsServer::with_policy(echo_handler(), Acl::allow_by_default(), Some(b"k".to_vec()));
+        let req = codec::encode_request(&RdsRequest::ListPrograms, &Principal::new("m"), 1, None);
+        let resp_bytes = server.process(&req);
+        let (resp, id) = codec::decode_response(&resp_bytes, Some(b"k")).unwrap();
+        assert_eq!(id, 0);
+        assert!(matches!(resp, RdsResponse::Error { code: ErrorCode::AuthFailed, .. }));
+    }
+
+    #[test]
+    fn garbage_bytes_get_an_error_response() {
+        let server = RdsServer::open(echo_handler());
+        let resp_bytes = server.process(b"not ber");
+        let (resp, _) = codec::decode_response(&resp_bytes, None).unwrap();
+        assert!(matches!(resp, RdsResponse::Error { code: ErrorCode::Internal, .. }));
+    }
+
+    #[test]
+    fn response_decode_fails_for_client_with_wrong_key() {
+        let server =
+            RdsServer::with_policy(echo_handler(), Acl::allow_by_default(), Some(b"k".to_vec()));
+        let req =
+            codec::encode_request(&RdsRequest::ListPrograms, &Principal::new("m"), 1, Some(b"k"));
+        let resp_bytes = server.process(&req);
+        assert_eq!(
+            codec::decode_response(&resp_bytes, Some(b"wrong")).unwrap_err(),
+            RdsError::BadDigest
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! TCP transport: RDS over real sockets.
+//!
+//! Messages are framed with a 4-byte big-endian length prefix (BER
+//! messages are self-delimiting, but an explicit frame keeps the reader
+//! trivial and bounds allocation). One TCP connection carries a sequence
+//! of request/response exchanges; the client serializes its requests, the
+//! server handles each connection on its own thread — the same
+//! thread-per-conversation structure as the 1991 prototype's socket
+//! protocol component.
+
+use crate::{RdsError, Transport};
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Upper bound on a framed message (16 MiB) — a delegation request
+/// carrying a program will never legitimately approach this.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+fn io_err(e: std::io::Error) -> RdsError {
+    RdsError::Transport { message: e.to_string() }
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// I/O errors, or an oversized frame.
+pub fn write_frame<W: Write>(w: &mut W, bytes: &[u8]) -> Result<(), RdsError> {
+    let len = u32::try_from(bytes.len()).map_err(|_| RdsError::Transport {
+        message: "frame too large".to_string(),
+    })?;
+    if len > MAX_FRAME {
+        return Err(RdsError::Transport { message: "frame too large".to_string() });
+    }
+    w.write_all(&len.to_be_bytes()).map_err(io_err)?;
+    w.write_all(bytes).map_err(io_err)?;
+    w.flush().map_err(io_err)
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
+/// boundary.
+///
+/// # Errors
+///
+/// I/O errors, or a frame exceeding [`MAX_FRAME`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, RdsError> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(io_err(e)),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(RdsError::Transport { message: format!("oversized frame ({len} bytes)") });
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf).map_err(io_err)?;
+    Ok(Some(buf))
+}
+
+/// Client side: a persistent connection to an RDS server over TCP.
+///
+/// The connection serializes exchanges under a lock, so one
+/// `TcpTransport` may be shared by threads (each request waits its turn,
+/// as with the prototype's single connection per manager).
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: Mutex<TcpStream>,
+    peer: SocketAddr,
+}
+
+impl TcpTransport {
+    /// Connects to an RDS server.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures as [`RdsError::Transport`].
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<TcpTransport, RdsError> {
+        let stream = TcpStream::connect(addr).map_err(io_err)?;
+        stream.set_nodelay(true).map_err(io_err)?;
+        let peer = stream.peer_addr().map_err(io_err)?;
+        Ok(TcpTransport { stream: Mutex::new(stream), peer })
+    }
+
+    /// The server's address.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+}
+
+impl Transport for TcpTransport {
+    fn request(&self, bytes: &[u8]) -> Result<Vec<u8>, RdsError> {
+        let mut stream = self.stream.lock();
+        write_frame(&mut *stream, bytes)?;
+        read_frame(&mut *stream)?.ok_or_else(|| RdsError::Transport {
+            message: "server closed the connection".to_string(),
+        })
+    }
+}
+
+/// Server side: accepts connections and answers each framed request with
+/// `respond`, one thread per connection.
+#[derive(Debug)]
+pub struct TcpServer {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving. `respond` runs on connection threads and must be
+    /// thread-safe.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures as [`RdsError::Transport`].
+    pub fn spawn<A, F>(addr: A, respond: F) -> Result<TcpServer, RdsError>
+    where
+        A: ToSocketAddrs,
+        F: Fn(&[u8]) -> Vec<u8> + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr).map_err(io_err)?;
+        let local = listener.local_addr().map_err(io_err)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let respond = Arc::new(respond);
+        let accept_thread = std::thread::spawn(move || {
+            // A short accept timeout lets the loop observe `stop`.
+            for incoming in listener.incoming() {
+                if stop2.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(stream) = incoming else { continue };
+                let respond = Arc::clone(&respond);
+                let stop3 = Arc::clone(&stop2);
+                std::thread::spawn(move || {
+                    let mut stream = stream;
+                    let _ = stream.set_nodelay(true);
+                    while !stop3.load(Ordering::Relaxed) {
+                        match read_frame(&mut stream) {
+                            Ok(Some(req)) => {
+                                let resp = respond(&req);
+                                if write_frame(&mut stream, &resp).is_err() {
+                                    break;
+                                }
+                            }
+                            _ => break,
+                        }
+                    }
+                });
+            }
+        });
+        Ok(TcpServer { local, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (including the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Signals shutdown and unblocks the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop_now();
+    }
+
+    fn stop_now(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock accept() with a dummy connection.
+        let _ = TcpStream::connect(self.local);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RdsClient;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        assert_eq!(&buf[..4], &[0, 0, 0, 5]);
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        let mut r = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(6);
+        let mut r = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn echo_server_round_trip() {
+        let server = TcpServer::spawn("127.0.0.1:0", |req| {
+            let mut v = req.to_vec();
+            v.reverse();
+            v
+        })
+        .unwrap();
+        let t = TcpTransport::connect(server.local_addr()).unwrap();
+        assert_eq!(t.request(&[1, 2, 3]).unwrap(), vec![3, 2, 1]);
+        assert_eq!(t.request(&[9]).unwrap(), vec![9]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_are_served() {
+        let server = TcpServer::spawn("127.0.0.1:0", |req| req.to_vec()).unwrap();
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let t = TcpTransport::connect(addr).unwrap();
+                    for j in 0..20u8 {
+                        assert_eq!(t.request(&[i, j]).unwrap(), vec![i, j]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn rds_client_over_tcp() {
+        // Full protocol over a real socket with a handler that answers
+        // ListPrograms.
+        let server = TcpServer::spawn("127.0.0.1:0", {
+            let rds = crate::RdsServer::open(
+                |_p: &mbd_auth::Principal, req: crate::RdsRequest| match req {
+                    crate::RdsRequest::ListPrograms => crate::RdsResponse::Programs {
+                        names: vec!["over-tcp".to_string()],
+                    },
+                    _ => crate::RdsResponse::Ok,
+                },
+            );
+            move |bytes: &[u8]| rds.process(bytes)
+        })
+        .unwrap();
+        let client =
+            RdsClient::new(TcpTransport::connect(server.local_addr()).unwrap(), "tcp-mgr");
+        assert_eq!(client.list_programs().unwrap(), vec!["over-tcp".to_string()]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn request_after_shutdown_fails() {
+        let server = TcpServer::spawn("127.0.0.1:0", |req| req.to_vec()).unwrap();
+        let t = TcpTransport::connect(server.local_addr()).unwrap();
+        t.request(&[1]).unwrap();
+        server.shutdown();
+        // Either the write or the read must fail once the server is gone.
+        assert!(t.request(&[2]).is_err() || t.request(&[3]).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+use crate::RdsError;
+use std::sync::Arc;
+
+/// A synchronous request/response channel to an elastic process.
+///
+/// `request` takes encoded bytes and returns the peer's encoded reply.
+/// Implementations decide what "remote" means: same call stack
+/// ([`LoopbackTransport`]), another thread ([`ChannelTransport`]), or a
+/// simulated network (the experiment harness).
+pub trait Transport {
+    /// Delivers `bytes` and waits for the reply.
+    ///
+    /// # Errors
+    ///
+    /// [`RdsError::Transport`] if the peer is unreachable or gone.
+    fn request(&self, bytes: &[u8]) -> Result<Vec<u8>, RdsError>;
+}
+
+type Responder = Box<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
+
+/// In-process transport: the "remote" server is a closure called inline.
+///
+/// # Examples
+///
+/// ```
+/// use rds::{LoopbackTransport, Transport};
+/// let t = LoopbackTransport::new(|req: &[u8]| req.to_vec()); // echo
+/// assert_eq!(t.request(&[1, 2]).unwrap(), vec![1, 2]);
+/// ```
+pub struct LoopbackTransport {
+    respond: Responder,
+}
+
+impl std::fmt::Debug for LoopbackTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("LoopbackTransport")
+    }
+}
+
+impl LoopbackTransport {
+    /// Wraps a responder function.
+    pub fn new<F>(respond: F) -> LoopbackTransport
+    where
+        F: Fn(&[u8]) -> Vec<u8> + Send + Sync + 'static,
+    {
+        LoopbackTransport { respond: Box::new(respond) }
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn request(&self, bytes: &[u8]) -> Result<Vec<u8>, RdsError> {
+        Ok((self.respond)(bytes))
+    }
+}
+
+type Reply = crossbeam::channel::Sender<Vec<u8>>;
+
+/// Client half of a cross-thread transport (pairs with
+/// [`ChannelTransportServer`] running in the server's thread).
+#[derive(Debug, Clone)]
+pub struct ChannelTransport {
+    tx: crossbeam::channel::Sender<(Vec<u8>, Reply)>,
+}
+
+/// Server half: the owning thread pulls requests and sends replies.
+#[derive(Debug)]
+pub struct ChannelTransportServer {
+    rx: crossbeam::channel::Receiver<(Vec<u8>, Reply)>,
+}
+
+impl ChannelTransport {
+    /// Creates a connected client/server pair.
+    pub fn pair() -> (ChannelTransport, ChannelTransportServer) {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        (ChannelTransport { tx }, ChannelTransportServer { rx })
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn request(&self, bytes: &[u8]) -> Result<Vec<u8>, RdsError> {
+        let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
+        self.tx
+            .send((bytes.to_vec(), reply_tx))
+            .map_err(|_| RdsError::Transport { message: "server gone".to_string() })?;
+        reply_rx
+            .recv()
+            .map_err(|_| RdsError::Transport { message: "server dropped request".to_string() })
+    }
+}
+
+impl ChannelTransportServer {
+    /// Serves requests until every client handle is dropped, answering
+    /// each with `respond`. Runs on the calling thread.
+    pub fn serve<F>(&self, mut respond: F)
+    where
+        F: FnMut(&[u8]) -> Vec<u8>,
+    {
+        while let Ok((req, reply)) = self.rx.recv() {
+            let _ = reply.send(respond(&req));
+        }
+    }
+
+    /// Handles at most one pending request; returns whether one was
+    /// handled. Useful for single-stepping in tests.
+    pub fn poll_one<F>(&self, mut respond: F) -> bool
+    where
+        F: FnMut(&[u8]) -> Vec<u8>,
+    {
+        match self.rx.try_recv() {
+            Ok((req, reply)) => {
+                let _ = reply.send(respond(&req));
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+/// A transport shared behind `Arc` is still a transport.
+impl<T: Transport + ?Sized> Transport for Arc<T> {
+    fn request(&self, bytes: &[u8]) -> Result<Vec<u8>, RdsError> {
+        (**self).request(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_round_trip() {
+        let t = LoopbackTransport::new(|req: &[u8]| {
+            let mut v = req.to_vec();
+            v.reverse();
+            v
+        });
+        assert_eq!(t.request(&[1, 2, 3]).unwrap(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn channel_transport_across_threads() {
+        let (client, server) = ChannelTransport::pair();
+        let handle = std::thread::spawn(move || {
+            server.serve(|req| {
+                let mut v = req.to_vec();
+                v.push(0xFF);
+                v
+            });
+        });
+        let resp = client.request(&[1]).unwrap();
+        assert_eq!(resp, vec![1, 0xFF]);
+        let clone = client.clone();
+        assert_eq!(clone.request(&[2]).unwrap(), vec![2, 0xFF]);
+        drop(client);
+        drop(clone);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn request_after_server_death_errors() {
+        let (client, server) = ChannelTransport::pair();
+        drop(server);
+        assert!(matches!(client.request(&[1]), Err(RdsError::Transport { .. })));
+    }
+
+    #[test]
+    fn poll_one_handles_backlog() {
+        let (client, server) = ChannelTransport::pair();
+        assert!(!server.poll_one(|r| r.to_vec()));
+        let t = std::thread::spawn(move || client.request(&[9]).unwrap());
+        // Wait for the request to arrive, then answer it.
+        while !server.poll_one(|r| r.to_vec()) {
+            std::thread::yield_now();
+        }
+        assert_eq!(t.join().unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn arc_transport_works() {
+        let t: Arc<LoopbackTransport> = Arc::new(LoopbackTransport::new(|r: &[u8]| r.to_vec()));
+        assert_eq!(t.request(&[5]).unwrap(), vec![5]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests: the RDS codec round-trips every message, servers never
+//! panic on hostile bytes, and authentication is all-or-nothing.
+
+use ber::BerValue;
+use mbd_auth::Principal;
+use proptest::prelude::*;
+use rds::{codec, DpiId, RdsRequest, RdsResponse, RdsServer};
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_.-]{0,24}"
+}
+
+fn arb_request() -> impl Strategy<Value = RdsRequest> {
+    prop_oneof![
+        (arb_name(), proptest::collection::vec(any::<u8>(), 0..256)).prop_map(|(n, src)| {
+            RdsRequest::DelegateProgram { dp_name: n, language: "dpl".to_string(), source: src }
+        }),
+        arb_name().prop_map(|n| RdsRequest::DeleteProgram { dp_name: n }),
+        arb_name().prop_map(|n| RdsRequest::Instantiate { dp_name: n }),
+        (any::<u32>(), arb_name(), proptest::collection::vec(any::<i64>(), 0..4)).prop_map(
+            |(dpi, entry, args)| RdsRequest::Invoke {
+                dpi: DpiId(u64::from(dpi)),
+                entry,
+                args: args.into_iter().map(BerValue::Integer).collect(),
+            }
+        ),
+        any::<u32>().prop_map(|d| RdsRequest::Suspend { dpi: DpiId(u64::from(d)) }),
+        any::<u32>().prop_map(|d| RdsRequest::Resume { dpi: DpiId(u64::from(d)) }),
+        any::<u32>().prop_map(|d| RdsRequest::Terminate { dpi: DpiId(u64::from(d)) }),
+        (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(d, p)| {
+            RdsRequest::SendMessage { dpi: DpiId(u64::from(d)), payload: p }
+        }),
+        Just(RdsRequest::ListPrograms),
+        Just(RdsRequest::ListInstances),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn requests_round_trip(req in arb_request(), id in any::<i32>(), who in "[a-z]{1,10}") {
+        let bytes = codec::encode_request(&req, &Principal::new(&who), i64::from(id), None);
+        let (decoded, principal, got_id) = codec::decode_request(&bytes, None).unwrap();
+        prop_assert_eq!(decoded, req);
+        prop_assert_eq!(principal.handle(), who);
+        prop_assert_eq!(got_id, i64::from(id));
+    }
+
+    #[test]
+    fn keyed_round_trip_and_cross_key_rejection(
+        req in arb_request(),
+        key_a in proptest::collection::vec(any::<u8>(), 1..24),
+        key_b in proptest::collection::vec(any::<u8>(), 1..24),
+    ) {
+        let bytes = codec::encode_request(&req, &Principal::new("p"), 1, Some(&key_a));
+        prop_assert!(codec::decode_request(&bytes, Some(&key_a)).is_ok());
+        if key_a != key_b {
+            prop_assert!(codec::decode_request(&bytes, Some(&key_b)).is_err());
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = codec::decode_request(&bytes, None);
+        let _ = codec::decode_request(&bytes, Some(b"k"));
+        let _ = codec::decode_response(&bytes, None);
+    }
+
+    #[test]
+    fn server_answers_hostile_bytes_without_panicking(
+        bytes in proptest::collection::vec(any::<u8>(), 0..300)
+    ) {
+        let server = RdsServer::open(|_: &Principal, _: RdsRequest| RdsResponse::Ok);
+        let resp = server.process(&bytes);
+        // Whatever came in, a decodable response comes out.
+        prop_assert!(codec::decode_response(&resp, None).is_ok());
+    }
+
+    #[test]
+    fn truncation_never_decodes_as_a_different_request(
+        req in arb_request(),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let bytes = codec::encode_request(&req, &Principal::new("p"), 1, None);
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        if cut < bytes.len() {
+            match codec::decode_request(&bytes[..cut], None) {
+                Err(_) => {}
+                Ok((decoded, _, _)) => prop_assert_eq!(decoded, req, "prefix decoded differently"),
+            }
+        }
+    }
+}

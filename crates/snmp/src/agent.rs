@@ -1,0 +1,311 @@
+//! The SNMP agent engine: answers request bytes against a [`MibStore`].
+
+use crate::{ErrorStatus, Message, MessageBody, MibStore, Pdu, PduKind, SnmpError, VarBind};
+
+/// A transport-neutral SNMPv1 agent.
+///
+/// [`SnmpAgent::handle`] maps request bytes to response bytes; callers put
+/// it behind whatever transport they like (a `netsim` actor in the
+/// experiments, a plain function call in tests).
+///
+/// Per RFC 1157 the agent implements "trivial authentication": a request
+/// whose community string does not match is silently dropped (and counted).
+#[derive(Debug, Clone)]
+pub struct SnmpAgent {
+    community: Vec<u8>,
+    store: MibStore,
+    stats: AgentStats,
+}
+
+/// Counters an agent keeps about its own operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AgentStats {
+    /// Requests answered successfully.
+    pub ok: u64,
+    /// Requests answered with an SNMP error status.
+    pub errors: u64,
+    /// Messages dropped for bad community or undecodable bytes.
+    pub dropped: u64,
+}
+
+impl SnmpAgent {
+    /// Creates an agent serving `store` for the given community.
+    pub fn new(community: &str, store: MibStore) -> SnmpAgent {
+        SnmpAgent { community: community.as_bytes().to_vec(), store, stats: AgentStats::default() }
+    }
+
+    /// The store this agent serves (shared, not copied).
+    pub fn store(&self) -> &MibStore {
+        &self.store
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> AgentStats {
+        self.stats
+    }
+
+    /// Processes one request message; returns the encoded response, or
+    /// `None` if the message must be silently dropped (undecodable, wrong
+    /// community, or not a request PDU).
+    pub fn handle(&self, request: &[u8]) -> Option<Vec<u8>> {
+        // `handle` takes &self so a shared agent can serve concurrently;
+        // stats updates go through the mutable variant below.
+        self.handle_inner(request).map(|m| m.encode())
+    }
+
+    /// Like [`SnmpAgent::handle`], but updates [`AgentStats`].
+    pub fn handle_mut(&mut self, request: &[u8]) -> Option<Vec<u8>> {
+        match self.handle_inner(request) {
+            Some(m) => {
+                let is_err = m
+                    .pdu()
+                    .map(|p| p.error_status != ErrorStatus::NoError)
+                    .unwrap_or(false);
+                if is_err {
+                    self.stats.errors += 1;
+                } else {
+                    self.stats.ok += 1;
+                }
+                Some(m.encode())
+            }
+            None => {
+                self.stats.dropped += 1;
+                None
+            }
+        }
+    }
+
+    fn handle_inner(&self, request: &[u8]) -> Option<Message> {
+        let msg = Message::decode(request).ok()?;
+        if msg.community != self.community {
+            return None;
+        }
+        let pdu = match msg.body {
+            MessageBody::Pdu(p) => p,
+            MessageBody::Trap(_) => return None,
+        };
+        let response = match pdu.kind {
+            PduKind::GetRequest => self.do_get(&pdu),
+            PduKind::GetNextRequest => self.do_get_next(&pdu),
+            PduKind::SetRequest => self.do_set(&pdu),
+            PduKind::GetResponse => return None,
+        };
+        Some(Message { version: msg.version, community: msg.community, body: MessageBody::Pdu(response) })
+    }
+
+    fn do_get(&self, pdu: &Pdu) -> Pdu {
+        let mut out = Vec::with_capacity(pdu.varbinds.len());
+        for (i, vb) in pdu.varbinds.iter().enumerate() {
+            match self.store.get(&vb.oid) {
+                Some(value) => out.push(VarBind::new(vb.oid.clone(), value)),
+                None => {
+                    return Pdu::error_response(
+                        pdu.request_id,
+                        ErrorStatus::NoSuchName,
+                        (i + 1) as i64,
+                        pdu.varbinds.clone(),
+                    )
+                }
+            }
+        }
+        Pdu::response(pdu.request_id, out)
+    }
+
+    fn do_get_next(&self, pdu: &Pdu) -> Pdu {
+        let mut out = Vec::with_capacity(pdu.varbinds.len());
+        for (i, vb) in pdu.varbinds.iter().enumerate() {
+            match self.store.get_next(&vb.oid) {
+                Some((oid, value)) => out.push(VarBind::new(oid, value)),
+                None => {
+                    return Pdu::error_response(
+                        pdu.request_id,
+                        ErrorStatus::NoSuchName,
+                        (i + 1) as i64,
+                        pdu.varbinds.clone(),
+                    )
+                }
+            }
+        }
+        Pdu::response(pdu.request_id, out)
+    }
+
+    fn do_set(&self, pdu: &Pdu) -> Pdu {
+        // SNMPv1 sets are "as if simultaneous": validate all, then apply.
+        for (i, vb) in pdu.varbinds.iter().enumerate() {
+            let status = match self.store.get(&vb.oid) {
+                None => Some(ErrorStatus::NoSuchName),
+                Some(existing) if existing.tag() != vb.value.tag() => Some(ErrorStatus::BadValue),
+                Some(_) => match self.store.remote_set(&vb.oid, vb.value.clone()) {
+                    Err(SnmpError::Agent { status, .. }) => Some(status),
+                    Err(SnmpError::TypeMismatch { .. }) => Some(ErrorStatus::BadValue),
+                    Err(_) => Some(ErrorStatus::GenErr),
+                    Ok(()) => None,
+                },
+            };
+            if let Some(status) = status {
+                return Pdu::error_response(
+                    pdu.request_id,
+                    status,
+                    (i + 1) as i64,
+                    pdu.varbinds.clone(),
+                );
+            }
+        }
+        Pdu::response(pdu.request_id, pdu.varbinds.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ber::{BerValue, Oid};
+
+    fn oid(s: &str) -> Oid {
+        s.parse().unwrap()
+    }
+
+    fn agent() -> SnmpAgent {
+        let store = MibStore::new();
+        store.set_scalar(oid("1.3.6.1.2.1.1.1.0"), BerValue::from("router")).unwrap();
+        store.set_scalar(oid("1.3.6.1.2.1.1.3.0"), BerValue::TimeTicks(50)).unwrap();
+        store.set_writable(oid("1.3.6.1.2.1.1.5.0"), BerValue::from("name")).unwrap();
+        SnmpAgent::new("public", store)
+    }
+
+    fn req(kind: PduKind, id: i64, oids: &[&str]) -> Vec<u8> {
+        let oids: Vec<Oid> = oids.iter().map(|s| oid(s)).collect();
+        Message::v1("public", Pdu::request(kind, id, &oids)).encode()
+    }
+
+    fn parse(resp: Vec<u8>) -> Pdu {
+        match Message::decode(&resp).unwrap().body {
+            MessageBody::Pdu(p) => p,
+            _ => panic!("expected PDU"),
+        }
+    }
+
+    #[test]
+    fn get_returns_values() {
+        let a = agent();
+        let resp = a.handle(&req(PduKind::GetRequest, 1, &["1.3.6.1.2.1.1.1.0"])).unwrap();
+        let pdu = parse(resp);
+        assert_eq!(pdu.request_id, 1);
+        assert_eq!(pdu.error_status, ErrorStatus::NoError);
+        assert_eq!(pdu.varbinds[0].value, BerValue::from("router"));
+    }
+
+    #[test]
+    fn get_missing_reports_nosuchname_with_index() {
+        let a = agent();
+        let resp = a
+            .handle(&req(PduKind::GetRequest, 2, &["1.3.6.1.2.1.1.1.0", "1.3.9.9"]))
+            .unwrap();
+        let pdu = parse(resp);
+        assert_eq!(pdu.error_status, ErrorStatus::NoSuchName);
+        assert_eq!(pdu.error_index, 2);
+        // RFC 1157: error responses echo the request varbinds.
+        assert_eq!(pdu.varbinds[1].oid, oid("1.3.9.9"));
+        assert_eq!(pdu.varbinds[1].value, BerValue::Null);
+    }
+
+    #[test]
+    fn get_next_advances_lexicographically() {
+        let a = agent();
+        let resp = a.handle(&req(PduKind::GetNextRequest, 3, &["1.3.6.1.2.1.1"])).unwrap();
+        let pdu = parse(resp);
+        assert_eq!(pdu.varbinds[0].oid, oid("1.3.6.1.2.1.1.1.0"));
+        let resp = a
+            .handle(&req(PduKind::GetNextRequest, 4, &["1.3.6.1.2.1.1.1.0"]))
+            .unwrap();
+        assert_eq!(parse(resp).varbinds[0].oid, oid("1.3.6.1.2.1.1.3.0"));
+    }
+
+    #[test]
+    fn get_next_past_end_is_nosuchname() {
+        let a = agent();
+        let resp = a.handle(&req(PduKind::GetNextRequest, 5, &["1.4"])).unwrap();
+        assert_eq!(parse(resp).error_status, ErrorStatus::NoSuchName);
+    }
+
+    #[test]
+    fn set_writes_writable_objects() {
+        let a = agent();
+        let pdu = Pdu {
+            kind: PduKind::SetRequest,
+            request_id: 6,
+            error_status: ErrorStatus::NoError,
+            error_index: 0,
+            varbinds: vec![VarBind::new(oid("1.3.6.1.2.1.1.5.0"), BerValue::from("gw-2"))],
+        };
+        let resp = a.handle(&Message::v1("public", pdu).encode()).unwrap();
+        assert_eq!(parse(resp).error_status, ErrorStatus::NoError);
+        assert_eq!(a.store().get(&oid("1.3.6.1.2.1.1.5.0")), Some(BerValue::from("gw-2")));
+    }
+
+    #[test]
+    fn set_read_only_is_rejected_without_side_effects() {
+        let a = agent();
+        let pdu = Pdu {
+            kind: PduKind::SetRequest,
+            request_id: 7,
+            error_status: ErrorStatus::NoError,
+            error_index: 0,
+            varbinds: vec![VarBind::new(oid("1.3.6.1.2.1.1.1.0"), BerValue::from("hacked"))],
+        };
+        let resp = a.handle(&Message::v1("public", pdu).encode()).unwrap();
+        assert_eq!(parse(resp).error_status, ErrorStatus::ReadOnly);
+        assert_eq!(a.store().get(&oid("1.3.6.1.2.1.1.1.0")), Some(BerValue::from("router")));
+    }
+
+    #[test]
+    fn set_wrong_type_is_badvalue() {
+        let a = agent();
+        let pdu = Pdu {
+            kind: PduKind::SetRequest,
+            request_id: 8,
+            error_status: ErrorStatus::NoError,
+            error_index: 0,
+            varbinds: vec![VarBind::new(oid("1.3.6.1.2.1.1.5.0"), BerValue::Integer(1))],
+        };
+        let resp = a.handle(&Message::v1("public", pdu).encode()).unwrap();
+        assert_eq!(parse(resp).error_status, ErrorStatus::BadValue);
+    }
+
+    #[test]
+    fn wrong_community_is_silently_dropped() {
+        let a = agent();
+        let msg = Message::v1(
+            "private",
+            Pdu::request(PduKind::GetRequest, 9, &[oid("1.3.6.1.2.1.1.1.0")]),
+        );
+        assert!(a.handle(&msg.encode()).is_none());
+    }
+
+    #[test]
+    fn garbage_and_responses_are_dropped_and_counted() {
+        let mut a = agent();
+        assert!(a.handle_mut(b"not ber at all").is_none());
+        let resp_msg = Message::v1("public", Pdu::response(1, vec![]));
+        assert!(a.handle_mut(&resp_msg.encode()).is_none());
+        assert_eq!(a.stats().dropped, 2);
+        let _ = a.handle_mut(&req(PduKind::GetRequest, 1, &["1.3.6.1.2.1.1.1.0"]));
+        let _ = a.handle_mut(&req(PduKind::GetRequest, 1, &["1.9"]));
+        assert_eq!(a.stats().ok, 1);
+        assert_eq!(a.stats().errors, 1);
+    }
+
+    #[test]
+    fn multi_varbind_get_preserves_order() {
+        let a = agent();
+        let resp = a
+            .handle(&req(
+                PduKind::GetRequest,
+                10,
+                &["1.3.6.1.2.1.1.3.0", "1.3.6.1.2.1.1.1.0"],
+            ))
+            .unwrap();
+        let pdu = parse(resp);
+        assert_eq!(pdu.varbinds[0].value, BerValue::TimeTicks(50));
+        assert_eq!(pdu.varbinds[1].value, BerValue::from("router"));
+    }
+}

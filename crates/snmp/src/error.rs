@@ -1,0 +1,94 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the SNMP codec and engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnmpError {
+    /// Underlying BER data was malformed.
+    Ber(ber::BerError),
+    /// The message had an unsupported version field.
+    BadVersion(i64),
+    /// The PDU tag was not a known SNMPv1 PDU type.
+    UnknownPduType(u8),
+    /// A response referenced a request id that was never issued.
+    UnknownRequestId(i64),
+    /// The agent returned an SNMP error status for the given varbind index.
+    Agent {
+        /// Error status reported by the agent.
+        status: crate::ErrorStatus,
+        /// 1-based index of the offending varbind (0 = unspecified).
+        index: i64,
+    },
+    /// Community string did not match the agent's configured community.
+    BadCommunity,
+    /// A `set` attempted to change an object's SNMP type.
+    TypeMismatch {
+        /// Object that was written.
+        oid: ber::Oid,
+    },
+    /// The named object does not exist in the store.
+    NoSuchName(ber::Oid),
+}
+
+impl fmt::Display for SnmpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnmpError::Ber(e) => write!(f, "BER error: {e}"),
+            SnmpError::BadVersion(v) => write!(f, "unsupported SNMP version {v}"),
+            SnmpError::UnknownPduType(t) => write!(f, "unknown SNMP PDU type {t}"),
+            SnmpError::UnknownRequestId(id) => write!(f, "response for unknown request id {id}"),
+            SnmpError::Agent { status, index } => {
+                write!(f, "agent error {status} at varbind {index}")
+            }
+            SnmpError::BadCommunity => write!(f, "community string mismatch"),
+            SnmpError::TypeMismatch { oid } => {
+                write!(f, "set would change the SNMP type of {oid}")
+            }
+            SnmpError::NoSuchName(oid) => write!(f, "no such object: {oid}"),
+        }
+    }
+}
+
+impl Error for SnmpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SnmpError::Ber(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ber::BerError> for SnmpError {
+    fn from(e: ber::BerError) -> SnmpError {
+        SnmpError::Ber(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errs: Vec<SnmpError> = vec![
+            SnmpError::Ber(ber::BerError::UnexpectedEof),
+            SnmpError::BadVersion(3),
+            SnmpError::UnknownPduType(9),
+            SnmpError::UnknownRequestId(5),
+            SnmpError::Agent { status: crate::ErrorStatus::NoSuchName, index: 1 },
+            SnmpError::BadCommunity,
+            SnmpError::TypeMismatch { oid: "1.3".parse().unwrap() },
+            SnmpError::NoSuchName("1.3".parse().unwrap()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn ber_source_is_chained() {
+        let e = SnmpError::from(ber::BerError::BadLength);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

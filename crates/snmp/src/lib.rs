@@ -1,0 +1,57 @@
+//! SNMPv1 substrate: message codec, MIB object store, MIB-II subset, and
+//! agent/manager engines.
+//!
+//! This crate is the *centralized* management baseline that Management by
+//! Delegation is evaluated against, and also the managed-data substrate the
+//! delegated agents compute over. It implements:
+//!
+//! - the SNMPv1 message format (RFC 1157) over the shared [`ber`] codec —
+//!   `GetRequest`, `GetNextRequest`, `GetResponse`, `SetRequest` and `Trap`
+//!   PDUs ([`Message`], [`Pdu`], [`TrapPdu`]);
+//! - a [`MibStore`]: an ordered object store with exact-match `get`,
+//!   lexicographic `get_next` (the table-walk primitive), and `set`;
+//! - the MIB-II subset the thesis's examples use ([`mib2`]): the `system`
+//!   group, the `interfaces` table, `tcp` scalars and `tcpConnTable`, plus
+//!   a Synoptics-style private concentrator subtree with the
+//!   `s3EnetConcRxOk` counter used by the InterOp'91 health observers;
+//! - an [`agent::SnmpAgent`] that answers request bytes against a store,
+//!   and a [`manager::SnmpManager`] that issues polls and table walks.
+//!
+//! Engines are transport-neutral (`bytes in → bytes out`); the experiment
+//! harness runs them over `netsim` links and the integration tests run them
+//! in-process.
+//!
+//! # Examples
+//!
+//! ```
+//! use snmp::{agent::SnmpAgent, manager::SnmpManager, MibStore};
+//! use ber::BerValue;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let store = MibStore::new();
+//! store.set_scalar("1.3.6.1.2.1.1.5.0".parse()?, BerValue::from("gw1"))?;
+//!
+//! let agent = SnmpAgent::new("public", store);
+//! let mut mgr = SnmpManager::new("public");
+//!
+//! let req = mgr.get_request(&["1.3.6.1.2.1.1.5.0".parse()?])?;
+//! let resp = agent.handle(&req).expect("agent answers valid requests");
+//! let vbs = mgr.parse_response(&resp)?;
+//! assert_eq!(vbs[0].value, BerValue::from("gw1"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod agent;
+pub mod manager;
+pub mod mib2;
+mod error;
+mod pdu;
+mod store;
+
+pub use error::SnmpError;
+pub use pdu::{ErrorStatus, Message, MessageBody, Pdu, PduKind, TrapPdu, VarBind, SNMP_VERSION_1};
+pub use store::{MibStore, TableBuilder};
+
+/// Re-export of the OID type every API here speaks.
+pub use ber::Oid;

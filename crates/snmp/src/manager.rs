@@ -1,0 +1,285 @@
+//! The SNMP manager engine: builds polls and table walks, parses responses.
+
+use crate::{Message, MessageBody, Oid, Pdu, PduKind, SnmpError, VarBind};
+use std::collections::HashSet;
+
+/// A transport-neutral SNMPv1 manager.
+///
+/// The manager builds request bytes ([`SnmpManager::get_request`],
+/// [`SnmpManager::get_next_request`], [`SnmpManager::set_request`]) and
+/// consumes response bytes ([`SnmpManager::parse_response`]), tracking
+/// request ids so stale or duplicated responses are rejected.
+///
+/// For in-process use against an [`agent::SnmpAgent`](crate::agent::SnmpAgent),
+/// [`SnmpManager::walk`] performs a whole table walk and also reports how
+/// many request/response messages and bytes it took — the quantity the
+/// centralized-polling experiments measure.
+#[derive(Debug)]
+pub struct SnmpManager {
+    community: String,
+    next_request_id: i64,
+    outstanding: HashSet<i64>,
+    stats: ManagerStats,
+}
+
+/// Traffic counters accumulated by a manager.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Requests issued.
+    pub requests: u64,
+    /// Responses accepted.
+    pub responses: u64,
+    /// Request bytes produced.
+    pub request_bytes: u64,
+    /// Response bytes consumed.
+    pub response_bytes: u64,
+}
+
+impl SnmpManager {
+    /// Creates a manager that stamps requests with `community`.
+    pub fn new(community: &str) -> SnmpManager {
+        SnmpManager {
+            community: community.to_string(),
+            next_request_id: 1,
+            outstanding: HashSet::new(),
+            stats: ManagerStats::default(),
+        }
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+
+    fn build(&mut self, kind: PduKind, varbinds: Vec<VarBind>) -> Vec<u8> {
+        let id = self.next_request_id;
+        self.next_request_id += 1;
+        self.outstanding.insert(id);
+        let pdu = Pdu {
+            kind,
+            request_id: id,
+            error_status: crate::ErrorStatus::NoError,
+            error_index: 0,
+            varbinds,
+        };
+        let bytes = Message::v1(&self.community, pdu).encode();
+        self.stats.requests += 1;
+        self.stats.request_bytes += bytes.len() as u64;
+        bytes
+    }
+
+    /// Encodes a `GetRequest` for the given instance OIDs.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; the `Result` reserves room for message-size
+    /// limits.
+    pub fn get_request(&mut self, oids: &[Oid]) -> Result<Vec<u8>, SnmpError> {
+        Ok(self.build(PduKind::GetRequest, oids.iter().cloned().map(VarBind::null).collect()))
+    }
+
+    /// Encodes a `GetNextRequest` continuing from the given OIDs.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible.
+    pub fn get_next_request(&mut self, oids: &[Oid]) -> Result<Vec<u8>, SnmpError> {
+        Ok(self.build(PduKind::GetNextRequest, oids.iter().cloned().map(VarBind::null).collect()))
+    }
+
+    /// Encodes a `SetRequest` writing the given bindings.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible.
+    pub fn set_request(&mut self, varbinds: Vec<VarBind>) -> Result<Vec<u8>, SnmpError> {
+        Ok(self.build(PduKind::SetRequest, varbinds))
+    }
+
+    /// Parses a response, checks its request id, and returns the varbinds.
+    ///
+    /// # Errors
+    ///
+    /// - codec errors from [`Message::decode`];
+    /// - [`SnmpError::UnknownRequestId`] for stale/duplicate responses;
+    /// - [`SnmpError::Agent`] if the agent reported an error status.
+    pub fn parse_response(&mut self, bytes: &[u8]) -> Result<Vec<VarBind>, SnmpError> {
+        let msg = Message::decode(bytes)?;
+        let pdu = match msg.body {
+            MessageBody::Pdu(p) if p.kind == PduKind::GetResponse => p,
+            MessageBody::Pdu(p) => return Err(SnmpError::UnknownPduType(match p.kind {
+                PduKind::GetRequest => 0,
+                PduKind::GetNextRequest => 1,
+                PduKind::GetResponse => 2,
+                PduKind::SetRequest => 3,
+            })),
+            MessageBody::Trap(_) => return Err(SnmpError::UnknownPduType(4)),
+        };
+        if !self.outstanding.remove(&pdu.request_id) {
+            return Err(SnmpError::UnknownRequestId(pdu.request_id));
+        }
+        self.stats.responses += 1;
+        self.stats.response_bytes += bytes.len() as u64;
+        if pdu.error_status != crate::ErrorStatus::NoError {
+            return Err(SnmpError::Agent { status: pdu.error_status, index: pdu.error_index });
+        }
+        Ok(pdu.varbinds)
+    }
+
+    /// Walks everything under `prefix` against an in-process responder,
+    /// issuing one `GetNext` per instance exactly as a remote manager
+    /// would. `respond` maps request bytes to response bytes.
+    ///
+    /// Returns the rows collected. Traffic is accumulated in
+    /// [`ManagerStats`], making the per-walk message/byte cost directly
+    /// observable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any response-parsing error other than the terminating
+    /// `NoSuchName` (which legitimately ends a walk at the end of the MIB).
+    pub fn walk<F>(&mut self, prefix: &Oid, mut respond: F) -> Result<Vec<VarBind>, SnmpError>
+    where
+        F: FnMut(&[u8]) -> Option<Vec<u8>>,
+    {
+        let mut rows = Vec::new();
+        let mut cursor = prefix.clone();
+        loop {
+            let req = self.get_next_request(std::slice::from_ref(&cursor))?;
+            let Some(resp) = respond(&req) else {
+                // Dropped (e.g. bad community): surface as an agent error.
+                return Err(SnmpError::BadCommunity);
+            };
+            match self.parse_response(&resp) {
+                Ok(vbs) => {
+                    let vb = vbs.into_iter().next().ok_or(SnmpError::Ber(
+                        ber::BerError::UnexpectedEof,
+                    ))?;
+                    if !vb.oid.starts_with(prefix) {
+                        return Ok(rows); // walked past the subtree
+                    }
+                    cursor = vb.oid.clone();
+                    rows.push(vb);
+                }
+                Err(SnmpError::Agent { status: crate::ErrorStatus::NoSuchName, .. }) => {
+                    return Ok(rows); // end of MIB
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::SnmpAgent;
+    use crate::MibStore;
+    use ber::BerValue;
+
+    fn oid(s: &str) -> Oid {
+        s.parse().unwrap()
+    }
+
+    fn agent_with_table(rows: u32) -> SnmpAgent {
+        let store = MibStore::new();
+        store.set_scalar(oid("1.3.6.1.2.1.1.1.0"), BerValue::from("dev")).unwrap();
+        for i in 1..=rows {
+            store
+                .set_scalar(oid(&format!("1.3.6.1.2.1.2.2.1.10.{i}")), BerValue::Counter32(i * 10))
+                .unwrap();
+        }
+        store.set_scalar(oid("1.3.6.1.2.1.4.1.0"), BerValue::Integer(1)).unwrap();
+        SnmpAgent::new("public", store)
+    }
+
+    #[test]
+    fn get_round_trip_through_agent() {
+        let agent = agent_with_table(0);
+        let mut mgr = SnmpManager::new("public");
+        let req = mgr.get_request(&[oid("1.3.6.1.2.1.1.1.0")]).unwrap();
+        let resp = agent.handle(&req).unwrap();
+        let vbs = mgr.parse_response(&resp).unwrap();
+        assert_eq!(vbs[0].value, BerValue::from("dev"));
+        assert_eq!(mgr.stats().requests, 1);
+        assert_eq!(mgr.stats().responses, 1);
+        assert!(mgr.stats().request_bytes > 0);
+    }
+
+    #[test]
+    fn duplicate_response_rejected() {
+        let agent = agent_with_table(0);
+        let mut mgr = SnmpManager::new("public");
+        let req = mgr.get_request(&[oid("1.3.6.1.2.1.1.1.0")]).unwrap();
+        let resp = agent.handle(&req).unwrap();
+        mgr.parse_response(&resp).unwrap();
+        let err = mgr.parse_response(&resp).unwrap_err();
+        assert!(matches!(err, SnmpError::UnknownRequestId(_)));
+    }
+
+    #[test]
+    fn walk_collects_exactly_the_subtree() {
+        let agent = agent_with_table(5);
+        let mut mgr = SnmpManager::new("public");
+        let rows = mgr.walk(&oid("1.3.6.1.2.1.2"), |req| agent.handle(req)).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].oid, oid("1.3.6.1.2.1.2.2.1.10.1"));
+        assert_eq!(rows[4].value, BerValue::Counter32(50));
+        // One GetNext per row plus the probe that overshoots the subtree.
+        assert_eq!(mgr.stats().requests, 6);
+    }
+
+    #[test]
+    fn walk_to_end_of_mib_terminates() {
+        let agent = agent_with_table(2);
+        let mut mgr = SnmpManager::new("public");
+        let rows = mgr.walk(&oid("1.3.6.1.2.1.4"), |req| agent.handle(req)).unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn walk_of_empty_subtree_is_empty() {
+        let agent = agent_with_table(2);
+        let mut mgr = SnmpManager::new("public");
+        let rows = mgr.walk(&oid("1.3.6.1.3"), |req| agent.handle(req)).unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn agent_error_surfaces() {
+        let agent = agent_with_table(0);
+        let mut mgr = SnmpManager::new("public");
+        let req = mgr.get_request(&[oid("1.3.9.9.9")]).unwrap();
+        let resp = agent.handle(&req).unwrap();
+        let err = mgr.parse_response(&resp).unwrap_err();
+        assert!(matches!(
+            err,
+            SnmpError::Agent { status: crate::ErrorStatus::NoSuchName, index: 1 }
+        ));
+    }
+
+    #[test]
+    fn set_round_trip() {
+        let store = MibStore::new();
+        store.set_writable(oid("1.3.6.1.2.1.1.5.0"), BerValue::from("old")).unwrap();
+        let agent = SnmpAgent::new("public", store);
+        let mut mgr = SnmpManager::new("public");
+        let req = mgr
+            .set_request(vec![VarBind::new(oid("1.3.6.1.2.1.1.5.0"), BerValue::from("new"))])
+            .unwrap();
+        let resp = agent.handle(&req).unwrap();
+        let vbs = mgr.parse_response(&resp).unwrap();
+        assert_eq!(vbs[0].value, BerValue::from("new"));
+        assert_eq!(agent.store().get(&oid("1.3.6.1.2.1.1.5.0")), Some(BerValue::from("new")));
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_increasing() {
+        let mut mgr = SnmpManager::new("public");
+        let r1 = mgr.get_request(&[oid("1.3")]).unwrap();
+        let r2 = mgr.get_request(&[oid("1.3")]).unwrap();
+        let id1 = Message::decode(&r1).unwrap().pdu().unwrap().request_id;
+        let id2 = Message::decode(&r2).unwrap().pdu().unwrap().request_id;
+        assert!(id2 > id1);
+    }
+}

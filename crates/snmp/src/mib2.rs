@@ -1,0 +1,331 @@
+//! The MIB-II subset and private subtrees the MbD experiments manage.
+//!
+//! Provides well-known OIDs as constructors, and builders that populate a
+//! [`MibStore`] with the groups the thesis's examples touch:
+//!
+//! - the `system` group (sysDescr, sysUpTime, sysName);
+//! - the `interfaces` table (ifDescr, ifSpeed, ifInOctets, ifOutOctets,
+//!   ifInErrors);
+//! - `tcp` scalars and `tcpConnTable` (the security-monitoring example of
+//!   Leinwand & Fang: tracking which remote systems connect via TCP);
+//! - a Synoptics-style private concentrator subtree with `s3EnetConcRxOk`
+//!   (octets received OK), collisions and broadcast counters — the inputs
+//!   of the InterOp'91 health observers;
+//! - an ATM-switch-like private table of per-subscriber virtual circuits
+//!   (the "moving large tables" example).
+
+use crate::{MibStore, SnmpError, TableBuilder};
+use ber::{BerValue, Oid};
+
+fn oid(s: &str) -> Oid {
+    s.parse().expect("static OID strings are valid")
+}
+
+/// `1.3.6.1.2.1` — the mib-2 root.
+pub fn mib2_root() -> Oid {
+    oid("1.3.6.1.2.1")
+}
+
+/// `sysDescr.0`.
+pub fn sys_descr() -> Oid {
+    oid("1.3.6.1.2.1.1.1.0")
+}
+
+/// `sysUpTime.0` (TimeTicks).
+pub fn sys_uptime() -> Oid {
+    oid("1.3.6.1.2.1.1.3.0")
+}
+
+/// `sysName.0` (writable).
+pub fn sys_name() -> Oid {
+    oid("1.3.6.1.2.1.1.5.0")
+}
+
+/// `ifEntry` — base of the interfaces table.
+pub fn if_entry() -> Oid {
+    oid("1.3.6.1.2.1.2.2.1")
+}
+
+/// `ifInOctets.<ifIndex>`.
+pub fn if_in_octets(if_index: u32) -> Oid {
+    if_entry().child(10).child(if_index)
+}
+
+/// `ifOutOctets.<ifIndex>`.
+pub fn if_out_octets(if_index: u32) -> Oid {
+    if_entry().child(16).child(if_index)
+}
+
+/// `ifInErrors.<ifIndex>`.
+pub fn if_in_errors(if_index: u32) -> Oid {
+    if_entry().child(14).child(if_index)
+}
+
+/// `ifSpeed.<ifIndex>` (Gauge32, bits/s).
+pub fn if_speed(if_index: u32) -> Oid {
+    if_entry().child(5).child(if_index)
+}
+
+/// `tcpConnTable`'s entry: `tcpConnEntry`.
+pub fn tcp_conn_entry() -> Oid {
+    oid("1.3.6.1.2.1.6.13.1")
+}
+
+/// `tcpCurrEstab.0` (Gauge32).
+pub fn tcp_curr_estab() -> Oid {
+    oid("1.3.6.1.2.1.6.9.0")
+}
+
+/// Root of the private Synoptics-style concentrator subtree.
+pub fn conc_root() -> Oid {
+    oid("1.3.6.1.4.1.45.1.3.2")
+}
+
+/// `s3EnetConcRxOk.0` — octets received OK (Counter32), the utilization
+/// input of the InterOp'91 observer.
+pub fn s3_enet_conc_rx_ok() -> Oid {
+    conc_root().child(1).child(0)
+}
+
+/// Collision counter of the concentrator (Counter32).
+pub fn s3_enet_conc_coll() -> Oid {
+    conc_root().child(2).child(0)
+}
+
+/// Broadcast-frames counter of the concentrator (Counter32).
+pub fn s3_enet_conc_bcast() -> Oid {
+    conc_root().child(3).child(0)
+}
+
+/// Frames-received counter of the concentrator (Counter32).
+pub fn s3_enet_conc_frames() -> Oid {
+    conc_root().child(4).child(0)
+}
+
+/// Entry of the private ATM virtual-circuit table
+/// (`atmVcEntry`, indexed by subscriber id).
+pub fn atm_vc_entry() -> Oid {
+    oid("1.3.6.1.4.1.353.2.5.1")
+}
+
+/// The TCP connection states of `tcpConnState` (RFC 1213).
+pub mod tcp_state {
+    /// closed(1)
+    pub const CLOSED: i64 = 1;
+    /// listen(2)
+    pub const LISTEN: i64 = 2;
+    /// synSent(3)
+    pub const SYN_SENT: i64 = 3;
+    /// established(5)
+    pub const ESTABLISHED: i64 = 5;
+    /// timeWait(11)
+    pub const TIME_WAIT: i64 = 11;
+}
+
+/// Populates the `system` group.
+///
+/// # Errors
+///
+/// Propagates store type errors (possible only if objects already exist
+/// with different types).
+pub fn install_system(store: &MibStore, descr: &str, name: &str) -> Result<(), SnmpError> {
+    store.set_scalar(sys_descr(), BerValue::from(descr))?;
+    store.set_scalar(sys_uptime(), BerValue::TimeTicks(0))?;
+    store.set_writable(sys_name(), BerValue::from(name))?;
+    Ok(())
+}
+
+/// Populates an interfaces table with `n` interfaces of `speed_bps`.
+///
+/// # Errors
+///
+/// Propagates store type errors.
+pub fn install_interfaces(store: &MibStore, n: u32, speed_bps: u32) -> Result<(), SnmpError> {
+    store.set_scalar(oid("1.3.6.1.2.1.2.1.0"), BerValue::Integer(i64::from(n)))?;
+    for i in 1..=n {
+        TableBuilder::new(store, if_entry())
+            .row(&[i])
+            .col(1, BerValue::Integer(i64::from(i)))
+            .col(2, BerValue::from(format!("eth{}", i - 1).as_str()))
+            .col(5, BerValue::Gauge32(speed_bps))
+            .col(10, BerValue::Counter32(0))
+            .col(14, BerValue::Counter32(0))
+            .col(16, BerValue::Counter32(0))
+            .finish()?;
+    }
+    Ok(())
+}
+
+/// A row of `tcpConnTable`: one TCP connection endpoint pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpConn {
+    /// Connection state (see [`tcp_state`]).
+    pub state: i64,
+    /// Local address/port.
+    pub local: ([u8; 4], u16),
+    /// Remote address/port.
+    pub remote: ([u8; 4], u16),
+}
+
+impl TcpConn {
+    /// The ten index arcs of this connection's conceptual row.
+    pub fn index(&self) -> Vec<u32> {
+        let mut idx = Vec::with_capacity(10);
+        idx.extend(self.local.0.iter().map(|&b| u32::from(b)));
+        idx.push(u32::from(self.local.1));
+        idx.extend(self.remote.0.iter().map(|&b| u32::from(b)));
+        idx.push(u32::from(self.remote.1));
+        idx
+    }
+}
+
+/// Adds one connection row to `tcpConnTable` (columns 1-5).
+///
+/// # Errors
+///
+/// Propagates store type errors.
+pub fn install_tcp_conn(store: &MibStore, conn: TcpConn) -> Result<(), SnmpError> {
+    let idx = conn.index();
+    TableBuilder::new(store, tcp_conn_entry())
+        .row(&idx)
+        .col(1, BerValue::Integer(conn.state))
+        .col(2, BerValue::IpAddress(conn.local.0))
+        .col(3, BerValue::Integer(i64::from(conn.local.1)))
+        .col(4, BerValue::IpAddress(conn.remote.0))
+        .col(5, BerValue::Integer(i64::from(conn.remote.1)))
+        .finish()
+}
+
+/// Removes a connection's row from `tcpConnTable`.
+pub fn remove_tcp_conn(store: &MibStore, conn: TcpConn) {
+    let idx = conn.index();
+    for col in 1..=5 {
+        store.remove(&tcp_conn_entry().child(col).extend(&idx));
+    }
+}
+
+/// Populates the private concentrator counters.
+///
+/// # Errors
+///
+/// Propagates store type errors.
+pub fn install_concentrator(store: &MibStore) -> Result<(), SnmpError> {
+    store.set_scalar(s3_enet_conc_rx_ok(), BerValue::Counter32(0))?;
+    store.set_scalar(s3_enet_conc_coll(), BerValue::Counter32(0))?;
+    store.set_scalar(s3_enet_conc_bcast(), BerValue::Counter32(0))?;
+    store.set_scalar(s3_enet_conc_frames(), BerValue::Counter32(0))?;
+    Ok(())
+}
+
+/// Populates an ATM-switch-like VC table with `subscribers` rows: columns
+/// are vcId(1), cellsIn(2, Counter32), cellsDropped(3, Counter32) and
+/// qosClass(4, Integer 1–4).
+///
+/// Cell counts are synthesized deterministically from the row id so the
+/// table-moving experiments have stable, parameter-free content.
+///
+/// # Errors
+///
+/// Propagates store type errors.
+pub fn install_atm_vc_table(store: &MibStore, subscribers: u32) -> Result<(), SnmpError> {
+    for s in 1..=subscribers {
+        // A small multiplicative hash gives varied but deterministic data.
+        let h = s.wrapping_mul(2_654_435_761);
+        TableBuilder::new(store, atm_vc_entry())
+            .row(&[s])
+            .col(1, BerValue::Integer(i64::from(s)))
+            .col(2, BerValue::Counter32(h))
+            .col(3, BerValue::Counter32(if h % 97 == 0 { h % 1000 } else { h % 7 }))
+            .col(4, BerValue::Integer(i64::from(h % 4 + 1)))
+            .finish()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_group_installs() {
+        let store = MibStore::new();
+        install_system(&store, "MbD test device", "dev1").unwrap();
+        assert_eq!(store.get(&sys_descr()), Some(BerValue::from("MbD test device")));
+        assert_eq!(store.get(&sys_uptime()), Some(BerValue::TimeTicks(0)));
+        // sysName is writable.
+        store.remote_set(&sys_name(), BerValue::from("dev2")).unwrap();
+    }
+
+    #[test]
+    fn interfaces_table_shape() {
+        let store = MibStore::new();
+        install_interfaces(&store, 3, 10_000_000).unwrap();
+        assert_eq!(store.get(&if_in_octets(2)), Some(BerValue::Counter32(0)));
+        assert_eq!(store.get(&if_speed(3)), Some(BerValue::Gauge32(10_000_000)));
+        // 1 scalar + 3 rows * 6 columns.
+        assert_eq!(store.len(), 19);
+        // The walk visits column-major (all ifIndex under col 1 first).
+        let rows = store.walk(&if_entry());
+        assert_eq!(rows.len(), 18);
+        assert_eq!(rows[0].0, if_entry().child(1).child(1));
+        assert_eq!(rows[1].0, if_entry().child(1).child(2));
+    }
+
+    #[test]
+    fn tcp_conn_rows_install_and_remove() {
+        let store = MibStore::new();
+        let conn = TcpConn {
+            state: tcp_state::ESTABLISHED,
+            local: ([10, 0, 0, 1], 80),
+            remote: ([10, 0, 0, 9], 40001),
+        };
+        install_tcp_conn(&store, conn).unwrap();
+        assert_eq!(store.len(), 5);
+        let inst = tcp_conn_entry().child(1).extend(&conn.index());
+        assert_eq!(store.get(&inst), Some(BerValue::Integer(tcp_state::ESTABLISHED)));
+        remove_tcp_conn(&store, conn);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn tcp_index_has_ten_arcs() {
+        let conn = TcpConn {
+            state: tcp_state::LISTEN,
+            local: ([1, 2, 3, 4], 22),
+            remote: ([0, 0, 0, 0], 0),
+        };
+        assert_eq!(conn.index(), vec![1, 2, 3, 4, 22, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn concentrator_counters_accumulate() {
+        let store = MibStore::new();
+        install_concentrator(&store).unwrap();
+        store.counter_add(&s3_enet_conc_rx_ok(), 1500).unwrap();
+        store.counter_add(&s3_enet_conc_coll(), 2).unwrap();
+        assert_eq!(store.get(&s3_enet_conc_rx_ok()), Some(BerValue::Counter32(1500)));
+        assert_eq!(store.get(&s3_enet_conc_coll()), Some(BerValue::Counter32(2)));
+    }
+
+    #[test]
+    fn atm_table_is_deterministic_and_sized() {
+        let a = MibStore::new();
+        let b = MibStore::new();
+        install_atm_vc_table(&a, 100).unwrap();
+        install_atm_vc_table(&b, 100).unwrap();
+        assert_eq!(a.len(), 400);
+        let rows_a = a.walk(&atm_vc_entry());
+        let rows_b = b.walk(&atm_vc_entry());
+        assert_eq!(rows_a, rows_b);
+    }
+
+    #[test]
+    fn qos_class_in_range() {
+        let store = MibStore::new();
+        install_atm_vc_table(&store, 500).unwrap();
+        for (oid_, v) in store.walk(&atm_vc_entry().child(4)) {
+            let q = v.as_i64().unwrap();
+            assert!((1..=4).contains(&q), "bad qos {q} at {oid_}");
+        }
+    }
+}

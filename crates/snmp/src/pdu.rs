@@ -1,0 +1,511 @@
+use crate::SnmpError;
+use ber::{BerReader, BerValue, BerWriter, Oid, Tag};
+use std::fmt;
+
+/// The version field value for SNMPv1 (`version-1(0)`).
+pub const SNMP_VERSION_1: i64 = 0;
+
+/// SNMPv1 error-status codes (RFC 1157 §4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorStatus {
+    /// No error.
+    NoError,
+    /// Reply would not fit in a single message.
+    TooBig,
+    /// A named variable does not exist (or is not writable for `set`).
+    NoSuchName,
+    /// A `set` value had the wrong type or length.
+    BadValue,
+    /// A variable cannot be modified.
+    ReadOnly,
+    /// Any other failure.
+    GenErr,
+}
+
+impl ErrorStatus {
+    /// The wire integer for this status.
+    pub fn code(self) -> i64 {
+        match self {
+            ErrorStatus::NoError => 0,
+            ErrorStatus::TooBig => 1,
+            ErrorStatus::NoSuchName => 2,
+            ErrorStatus::BadValue => 3,
+            ErrorStatus::ReadOnly => 4,
+            ErrorStatus::GenErr => 5,
+        }
+    }
+
+    /// Parses a wire integer.
+    ///
+    /// # Errors
+    ///
+    /// Unknown codes map to `GenErr` only for values `> 5`? No — they are
+    /// rejected, so protocol corruption is caught early.
+    pub fn from_code(code: i64) -> Result<ErrorStatus, SnmpError> {
+        Ok(match code {
+            0 => ErrorStatus::NoError,
+            1 => ErrorStatus::TooBig,
+            2 => ErrorStatus::NoSuchName,
+            3 => ErrorStatus::BadValue,
+            4 => ErrorStatus::ReadOnly,
+            5 => ErrorStatus::GenErr,
+            _ => return Err(SnmpError::Ber(ber::BerError::BadInteger)),
+        })
+    }
+}
+
+impl fmt::Display for ErrorStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorStatus::NoError => "noError",
+            ErrorStatus::TooBig => "tooBig",
+            ErrorStatus::NoSuchName => "noSuchName",
+            ErrorStatus::BadValue => "badValue",
+            ErrorStatus::ReadOnly => "readOnly",
+            ErrorStatus::GenErr => "genErr",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A variable binding: an object instance OID paired with a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarBind {
+    /// The object instance being read or written.
+    pub oid: Oid,
+    /// Its value (`Null` in requests).
+    pub value: BerValue,
+}
+
+impl VarBind {
+    /// A varbind with a `Null` value, as used in Get/GetNext requests.
+    pub fn null(oid: Oid) -> VarBind {
+        VarBind { oid, value: BerValue::Null }
+    }
+
+    /// A varbind carrying `value`.
+    pub fn new(oid: Oid, value: BerValue) -> VarBind {
+        VarBind { oid, value }
+    }
+}
+
+/// Which SNMPv1 PDU a [`Pdu`] is (its context tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PduKind {
+    /// Context tag 0.
+    GetRequest,
+    /// Context tag 1.
+    GetNextRequest,
+    /// Context tag 2.
+    GetResponse,
+    /// Context tag 3.
+    SetRequest,
+}
+
+impl PduKind {
+    fn tag_number(self) -> u8 {
+        match self {
+            PduKind::GetRequest => 0,
+            PduKind::GetNextRequest => 1,
+            PduKind::GetResponse => 2,
+            PduKind::SetRequest => 3,
+        }
+    }
+}
+
+/// A non-trap SNMPv1 PDU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pdu {
+    /// PDU type.
+    pub kind: PduKind,
+    /// Correlates responses with requests.
+    pub request_id: i64,
+    /// Error status (responses only; `NoError` in requests).
+    pub error_status: ErrorStatus,
+    /// 1-based index of the varbind in error (0 when none).
+    pub error_index: i64,
+    /// The variable bindings.
+    pub varbinds: Vec<VarBind>,
+}
+
+impl Pdu {
+    /// A request PDU of `kind` over `oids` with null values.
+    pub fn request(kind: PduKind, request_id: i64, oids: &[Oid]) -> Pdu {
+        Pdu {
+            kind,
+            request_id,
+            error_status: ErrorStatus::NoError,
+            error_index: 0,
+            varbinds: oids.iter().cloned().map(VarBind::null).collect(),
+        }
+    }
+
+    /// A successful response echoing `varbinds`.
+    pub fn response(request_id: i64, varbinds: Vec<VarBind>) -> Pdu {
+        Pdu {
+            kind: PduKind::GetResponse,
+            request_id,
+            error_status: ErrorStatus::NoError,
+            error_index: 0,
+            varbinds,
+        }
+    }
+
+    /// An error response (RFC 1157 echoes the request's varbinds).
+    pub fn error_response(
+        request_id: i64,
+        status: ErrorStatus,
+        index: i64,
+        varbinds: Vec<VarBind>,
+    ) -> Pdu {
+        Pdu {
+            kind: PduKind::GetResponse,
+            request_id,
+            error_status: status,
+            error_index: index,
+            varbinds,
+        }
+    }
+}
+
+/// An SNMPv1 Trap-PDU (context tag 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrapPdu {
+    /// OID of the trapping enterprise.
+    pub enterprise: Oid,
+    /// Agent address.
+    pub agent_addr: [u8; 4],
+    /// Generic trap code (6 = enterpriseSpecific).
+    pub generic_trap: i64,
+    /// Enterprise-specific trap code.
+    pub specific_trap: i64,
+    /// sysUpTime at trap generation, in hundredths of a second.
+    pub time_stamp: u32,
+    /// Interesting variables.
+    pub varbinds: Vec<VarBind>,
+}
+
+/// A complete SNMPv1 message: version + community + PDU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Always [`SNMP_VERSION_1`] for messages this crate builds.
+    pub version: i64,
+    /// The community string ("trivial authentication").
+    pub community: Vec<u8>,
+    /// The payload.
+    pub body: MessageBody,
+}
+
+/// The PDU carried by a [`Message`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MessageBody {
+    /// Get/GetNext/Response/Set.
+    Pdu(Pdu),
+    /// Trap.
+    Trap(TrapPdu),
+}
+
+impl Message {
+    /// Wraps a PDU in a v1 message with the given community.
+    pub fn v1(community: &str, pdu: Pdu) -> Message {
+        Message {
+            version: SNMP_VERSION_1,
+            community: community.as_bytes().to_vec(),
+            body: MessageBody::Pdu(pdu),
+        }
+    }
+
+    /// Wraps a trap in a v1 message.
+    pub fn v1_trap(community: &str, trap: TrapPdu) -> Message {
+        Message {
+            version: SNMP_VERSION_1,
+            community: community.as_bytes().to_vec(),
+            body: MessageBody::Trap(trap),
+        }
+    }
+
+    /// The inner non-trap PDU, if any.
+    pub fn pdu(&self) -> Option<&Pdu> {
+        match &self.body {
+            MessageBody::Pdu(p) => Some(p),
+            MessageBody::Trap(_) => None,
+        }
+    }
+
+    /// Encodes the message to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = BerWriter::new();
+        w.write_sequence(|w| {
+            w.write_i64(self.version);
+            w.write_octet_string(&self.community);
+            match &self.body {
+                MessageBody::Pdu(pdu) => {
+                    w.write_constructed(Tag::context(pdu.kind.tag_number()), |w| {
+                        w.write_i64(pdu.request_id);
+                        w.write_i64(pdu.error_status.code());
+                        w.write_i64(pdu.error_index);
+                        write_varbinds(w, &pdu.varbinds);
+                    });
+                }
+                MessageBody::Trap(t) => {
+                    w.write_constructed(Tag::context(4), |w| {
+                        w.write_oid(&t.enterprise);
+                        w.write_tagged_bytes(Tag::IP_ADDRESS, &t.agent_addr);
+                        w.write_i64(t.generic_trap);
+                        w.write_i64(t.specific_trap);
+                        w.write_tagged_u32(Tag::TIME_TICKS, t.time_stamp);
+                        write_varbinds(w, &t.varbinds);
+                    });
+                }
+            }
+        });
+        w.into_bytes()
+    }
+
+    /// Decodes a message from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnmpError`] on malformed BER, an unsupported version, or
+    /// an unknown PDU tag.
+    pub fn decode(bytes: &[u8]) -> Result<Message, SnmpError> {
+        let mut r = BerReader::new(bytes);
+        let msg = r.read_sequence(|r| {
+            let version = r.read_i64()?;
+            let community = r.read_octet_string()?.to_vec();
+            let tag = r.peek_tag()?;
+            let body = match (tag.class(), tag.number()) {
+                (ber::Class::Context, n @ 0..=3) => {
+                    let kind = match n {
+                        0 => PduKind::GetRequest,
+                        1 => PduKind::GetNextRequest,
+                        2 => PduKind::GetResponse,
+                        _ => PduKind::SetRequest,
+                    };
+                    r.read_constructed(tag, |r| {
+                        let request_id = r.read_i64()?;
+                        let error_code = r.read_i64()?;
+                        let error_index = r.read_i64()?;
+                        let varbinds = read_varbinds(r)?;
+                        // Defer status validation: BER layer only sees ints.
+                        Ok(RawBody::Pdu { kind, request_id, error_code, error_index, varbinds })
+                    })?
+                }
+                (ber::Class::Context, 4) => r.read_constructed(tag, |r| {
+                    let enterprise = r.read_oid()?;
+                    let (tag2, _) = (Tag::IP_ADDRESS, ());
+                    let addr_val = r.read_value()?;
+                    let agent_addr = match addr_val {
+                        BerValue::IpAddress(a) => a,
+                        other => {
+                            return Err(ber::BerError::TagMismatch {
+                                expected: tag2,
+                                found: other.tag(),
+                            })
+                        }
+                    };
+                    let generic_trap = r.read_i64()?;
+                    let specific_trap = r.read_i64()?;
+                    let time_stamp = r.read_tagged_u32(Tag::TIME_TICKS)?;
+                    let varbinds = read_varbinds(r)?;
+                    Ok(RawBody::Trap(TrapPdu {
+                        enterprise,
+                        agent_addr,
+                        generic_trap,
+                        specific_trap,
+                        time_stamp,
+                        varbinds,
+                    }))
+                })?,
+                (_, n) => return Err(ber::BerError::TagMismatch {
+                    expected: Tag::context(0),
+                    found: Tag::new(tag.class(), n),
+                }),
+            };
+            Ok((version, community, body))
+        })?;
+        r.expect_end()?;
+        let (version, community, raw) = msg;
+        if version != SNMP_VERSION_1 {
+            return Err(SnmpError::BadVersion(version));
+        }
+        let body = match raw {
+            RawBody::Pdu { kind, request_id, error_code, error_index, varbinds } => {
+                MessageBody::Pdu(Pdu {
+                    kind,
+                    request_id,
+                    error_status: ErrorStatus::from_code(error_code)?,
+                    error_index,
+                    varbinds,
+                })
+            }
+            RawBody::Trap(t) => MessageBody::Trap(t),
+        };
+        Ok(Message { version, community, body })
+    }
+
+    /// Exact encoded size in bytes, without encoding (used for traffic
+    /// accounting in the experiments).
+    pub fn encoded_len(&self) -> usize {
+        // Encoding is cheap enough that exactness beats cleverness here.
+        self.encode().len()
+    }
+}
+
+enum RawBody {
+    Pdu { kind: PduKind, request_id: i64, error_code: i64, error_index: i64, varbinds: Vec<VarBind> },
+    Trap(TrapPdu),
+}
+
+fn write_varbinds(w: &mut BerWriter, varbinds: &[VarBind]) {
+    w.write_sequence(|w| {
+        for vb in varbinds {
+            w.write_sequence(|w| {
+                w.write_oid(&vb.oid);
+                w.write_value(&vb.value);
+            });
+        }
+    });
+}
+
+fn read_varbinds(r: &mut BerReader<'_>) -> Result<Vec<VarBind>, ber::BerError> {
+    r.read_sequence(|r| {
+        let mut out = Vec::new();
+        while !r.at_end() {
+            let vb = r.read_sequence(|r| {
+                let oid = r.read_oid()?;
+                let value = r.read_value()?;
+                Ok(VarBind { oid, value })
+            })?;
+            out.push(vb);
+        }
+        Ok(out)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(s: &str) -> Oid {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn get_request_round_trip() {
+        let pdu = Pdu::request(PduKind::GetRequest, 42, &[oid("1.3.6.1.2.1.1.1.0")]);
+        let msg = Message::v1("public", pdu);
+        let bytes = msg.encode();
+        assert_eq!(Message::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn all_pdu_kinds_round_trip() {
+        for kind in
+            [PduKind::GetRequest, PduKind::GetNextRequest, PduKind::GetResponse, PduKind::SetRequest]
+        {
+            let pdu = Pdu {
+                kind,
+                request_id: 7,
+                error_status: ErrorStatus::NoError,
+                error_index: 0,
+                varbinds: vec![
+                    VarBind::new(oid("1.3.6.1.2.1.2.2.1.10.1"), BerValue::Counter32(999)),
+                    VarBind::null(oid("1.3.6.1.2.1.1.3.0")),
+                ],
+            };
+            let msg = Message::v1("private", pdu);
+            assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn error_response_round_trip() {
+        let pdu = Pdu::error_response(
+            9,
+            ErrorStatus::NoSuchName,
+            1,
+            vec![VarBind::null(oid("1.3.6.1.9"))],
+        );
+        let msg = Message::v1("public", pdu);
+        let decoded = Message::decode(&msg.encode()).unwrap();
+        let p = decoded.pdu().unwrap();
+        assert_eq!(p.error_status, ErrorStatus::NoSuchName);
+        assert_eq!(p.error_index, 1);
+    }
+
+    #[test]
+    fn trap_round_trip() {
+        let trap = TrapPdu {
+            enterprise: oid("1.3.6.1.4.1.45"),
+            agent_addr: [192, 168, 1, 1],
+            generic_trap: 6,
+            specific_trap: 3,
+            time_stamp: 123_456,
+            varbinds: vec![VarBind::new(oid("1.3.6.1.4.1.45.1.1.0"), BerValue::Gauge32(88))],
+        };
+        let msg = Message::v1_trap("public", trap);
+        let decoded = Message::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+        assert!(decoded.pdu().is_none());
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let pdu = Pdu::request(PduKind::GetRequest, 1, &[oid("1.3")]);
+        let mut msg = Message::v1("public", pdu);
+        msg.version = 1; // SNMPv2c
+        let err = Message::decode(&msg.encode()).unwrap_err();
+        assert_eq!(err, SnmpError::BadVersion(1));
+    }
+
+    #[test]
+    fn unknown_error_status_rejected() {
+        // Build a response whose error-status integer is out of range.
+        let mut w = BerWriter::new();
+        w.write_sequence(|w| {
+            w.write_i64(0);
+            w.write_octet_string(b"public");
+            w.write_constructed(Tag::context(2), |w| {
+                w.write_i64(1);
+                w.write_i64(99); // invalid status
+                w.write_i64(0);
+                w.write_sequence(|_| {});
+            });
+        });
+        let bytes = w.into_bytes();
+        assert!(Message::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn encoded_len_is_exact() {
+        let pdu = Pdu::request(PduKind::GetNextRequest, 1234, &[oid("1.3.6.1.2.1.6.13")]);
+        let msg = Message::v1("communityname", pdu);
+        assert_eq!(msg.encoded_len(), msg.encode().len());
+    }
+
+    #[test]
+    fn error_status_codes_round_trip() {
+        for s in [
+            ErrorStatus::NoError,
+            ErrorStatus::TooBig,
+            ErrorStatus::NoSuchName,
+            ErrorStatus::BadValue,
+            ErrorStatus::ReadOnly,
+            ErrorStatus::GenErr,
+        ] {
+            assert_eq!(ErrorStatus::from_code(s.code()).unwrap(), s);
+        }
+        assert!(ErrorStatus::from_code(6).is_err());
+        assert!(ErrorStatus::from_code(-1).is_err());
+    }
+
+    #[test]
+    fn truncated_message_rejected() {
+        let pdu = Pdu::request(PduKind::GetRequest, 42, &[oid("1.3.6.1.2.1.1.1.0")]);
+        let bytes = Message::v1("public", pdu).encode();
+        for cut in 1..bytes.len() {
+            assert!(Message::decode(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+}

@@ -1,0 +1,446 @@
+use crate::SnmpError;
+use ber::{BerValue, Oid};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    value: BerValue,
+    writable: bool,
+}
+
+/// An ordered store of MIB object instances.
+///
+/// The store is the database an SNMP agent serves and the substrate
+/// delegated agents compute over. It is cheaply cloneable (shared,
+/// internally locked), so device instrumentation, an
+/// [`agent::SnmpAgent`](crate::agent::SnmpAgent) and any number of
+/// delegated programs can hold the same store.
+///
+/// `get_next` is lexicographic on OIDs, which is exactly SNMP's table-walk
+/// order.
+///
+/// # Examples
+///
+/// ```
+/// use snmp::MibStore;
+/// use ber::BerValue;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let store = MibStore::new();
+/// store.set_scalar("1.3.6.1.2.1.1.3.0".parse()?, BerValue::TimeTicks(0))?;
+/// store.set_scalar("1.3.6.1.2.1.1.5.0".parse()?, BerValue::from("core-gw"))?;
+///
+/// let (next, _) = store.get_next(&"1.3.6.1.2.1.1.3.0".parse()?).unwrap();
+/// assert_eq!(next.to_string(), "1.3.6.1.2.1.1.5.0");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Default)]
+pub struct MibStore {
+    inner: Arc<RwLock<BTreeMap<Oid, Entry>>>,
+}
+
+impl fmt::Debug for MibStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MibStore").field("objects", &self.inner.read().len()).finish()
+    }
+}
+
+impl MibStore {
+    /// Creates an empty store.
+    pub fn new() -> MibStore {
+        MibStore::default()
+    }
+
+    /// Number of object instances.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Reads the value of an exact object instance.
+    pub fn get(&self, oid: &Oid) -> Option<BerValue> {
+        self.inner.read().get(oid).map(|e| e.value.clone())
+    }
+
+    /// Returns the first instance whose OID is strictly greater than `oid`
+    /// — the `GetNext` primitive.
+    pub fn get_next(&self, oid: &Oid) -> Option<(Oid, BerValue)> {
+        let map = self.inner.read();
+        map.range((std::ops::Bound::Excluded(oid.clone()), std::ops::Bound::Unbounded))
+            .next()
+            .map(|(k, e)| (k.clone(), e.value.clone()))
+    }
+
+    /// Creates or replaces an instance as read-only management data.
+    ///
+    /// Replacement must preserve the SNMP type of an existing instance.
+    ///
+    /// # Errors
+    ///
+    /// [`SnmpError::TypeMismatch`] if the instance exists with another type.
+    pub fn set_scalar(&self, oid: Oid, value: BerValue) -> Result<(), SnmpError> {
+        self.insert(oid, value, false)
+    }
+
+    /// Creates or replaces an instance that remote `Set` may write.
+    ///
+    /// # Errors
+    ///
+    /// [`SnmpError::TypeMismatch`] if the instance exists with another type.
+    pub fn set_writable(&self, oid: Oid, value: BerValue) -> Result<(), SnmpError> {
+        self.insert(oid, value, true)
+    }
+
+    fn insert(&self, oid: Oid, value: BerValue, writable: bool) -> Result<(), SnmpError> {
+        let mut map = self.inner.write();
+        if let Some(existing) = map.get(&oid) {
+            if existing.value.tag() != value.tag() {
+                return Err(SnmpError::TypeMismatch { oid });
+            }
+        }
+        map.insert(oid, Entry { value, writable });
+        Ok(())
+    }
+
+    /// Applies a remote `Set` with SNMP semantics.
+    ///
+    /// # Errors
+    ///
+    /// - [`SnmpError::NoSuchName`] if the instance does not exist (SNMPv1
+    ///   agents do not create on `Set`);
+    /// - [`SnmpError::Agent`] with `ReadOnly` if it is not writable;
+    /// - [`SnmpError::TypeMismatch`] if the value's type differs.
+    pub fn remote_set(&self, oid: &Oid, value: BerValue) -> Result<(), SnmpError> {
+        let mut map = self.inner.write();
+        match map.get_mut(oid) {
+            None => Err(SnmpError::NoSuchName(oid.clone())),
+            Some(e) if !e.writable => {
+                Err(SnmpError::Agent { status: crate::ErrorStatus::ReadOnly, index: 0 })
+            }
+            Some(e) if e.value.tag() != value.tag() => {
+                Err(SnmpError::TypeMismatch { oid: oid.clone() })
+            }
+            Some(e) => {
+                e.value = value;
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes an instance, returning its value if it existed.
+    pub fn remove(&self, oid: &Oid) -> Option<BerValue> {
+        self.inner.write().remove(oid).map(|e| e.value)
+    }
+
+    /// Adds `delta` to a `Counter32`, wrapping at 2³² as SNMP counters do.
+    ///
+    /// # Errors
+    ///
+    /// [`SnmpError::NoSuchName`] if absent, [`SnmpError::TypeMismatch`] if
+    /// the instance is not a `Counter32`.
+    pub fn counter_add(&self, oid: &Oid, delta: u64) -> Result<(), SnmpError> {
+        let mut map = self.inner.write();
+        match map.get_mut(oid) {
+            None => Err(SnmpError::NoSuchName(oid.clone())),
+            Some(Entry { value: BerValue::Counter32(v), .. }) => {
+                *v = v.wrapping_add(delta as u32);
+                Ok(())
+            }
+            Some(_) => Err(SnmpError::TypeMismatch { oid: oid.clone() }),
+        }
+    }
+
+    /// Sets a `Gauge32` instance's current level.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MibStore::counter_add`], for `Gauge32`.
+    pub fn gauge_set(&self, oid: &Oid, value: u32) -> Result<(), SnmpError> {
+        let mut map = self.inner.write();
+        match map.get_mut(oid) {
+            None => Err(SnmpError::NoSuchName(oid.clone())),
+            Some(Entry { value: BerValue::Gauge32(v), .. }) => {
+                *v = value;
+                Ok(())
+            }
+            Some(_) => Err(SnmpError::TypeMismatch { oid: oid.clone() }),
+        }
+    }
+
+    /// All instances under `prefix`, in GetNext order — the local
+    /// equivalent of a full remote table walk.
+    pub fn walk(&self, prefix: &Oid) -> Vec<(Oid, BerValue)> {
+        let map = self.inner.read();
+        map.range(prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, e)| (k.clone(), e.value.clone()))
+            .collect()
+    }
+
+    /// An instantaneous consistent copy of everything under `prefix`,
+    /// taken under one lock acquisition. This is the primitive behind the
+    /// thesis's *view snapshots* (transient phenomena are captured at a
+    /// single instant rather than smeared across a remote walk).
+    pub fn snapshot(&self, prefix: &Oid) -> MibStore {
+        let map = self.inner.read();
+        let copied: BTreeMap<Oid, Entry> = map
+            .range(prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, e)| (k.clone(), e.clone()))
+            .collect();
+        MibStore { inner: Arc::new(RwLock::new(copied)) }
+    }
+
+    /// Runs `f` over every `(oid, value)` pair in order without cloning
+    /// the map (the lock is held for the duration).
+    pub fn for_each<F: FnMut(&Oid, &BerValue)>(&self, mut f: F) {
+        for (k, e) in self.inner.read().iter() {
+            f(k, &e.value);
+        }
+    }
+}
+
+/// Builds the instances of one conceptual table row-by-row.
+///
+/// A MIB table's instance OIDs have the shape
+/// `<entry>.<column>.<index...>`; this builder hides that arithmetic.
+///
+/// # Examples
+///
+/// ```
+/// use snmp::{MibStore, TableBuilder};
+/// use ber::BerValue;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let store = MibStore::new();
+/// let if_entry = "1.3.6.1.2.1.2.2.1".parse()?;
+/// TableBuilder::new(&store, if_entry)
+///     .row(&[1])
+///     .col(2, BerValue::from("eth0"))
+///     .col(10, BerValue::Counter32(0))
+///     .finish()?;
+/// assert_eq!(store.get(&"1.3.6.1.2.1.2.2.1.2.1".parse()?),
+///            Some(BerValue::from("eth0")));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TableBuilder<'a> {
+    store: &'a MibStore,
+    entry: Oid,
+    index: Vec<u32>,
+    pending: Vec<(Oid, BerValue)>,
+}
+
+impl<'a> TableBuilder<'a> {
+    /// Starts building rows of the table whose `Entry` OID is `entry`.
+    pub fn new(store: &'a MibStore, entry: Oid) -> TableBuilder<'a> {
+        TableBuilder { store, entry, index: Vec::new(), pending: Vec::new() }
+    }
+
+    /// Begins a row with the given index arcs.
+    pub fn row(mut self, index: &[u32]) -> TableBuilder<'a> {
+        self.index = index.to_vec();
+        self
+    }
+
+    /// Sets column `col` of the current row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`TableBuilder::row`].
+    pub fn col(mut self, col: u32, value: BerValue) -> TableBuilder<'a> {
+        assert!(!self.index.is_empty(), "col() before row()");
+        let oid = self.entry.child(col).extend(&self.index);
+        self.pending.push((oid, value));
+        self
+    }
+
+    /// Writes all accumulated cells into the store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnmpError::TypeMismatch`] from the store.
+    pub fn finish(self) -> Result<(), SnmpError> {
+        for (oid, value) in self.pending {
+            self.store.set_scalar(oid, value)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(s: &str) -> Oid {
+        s.parse().unwrap()
+    }
+
+    fn seeded() -> MibStore {
+        let store = MibStore::new();
+        store.set_scalar(oid("1.3.6.1.2.1.1.1.0"), BerValue::from("router")).unwrap();
+        store.set_scalar(oid("1.3.6.1.2.1.1.3.0"), BerValue::TimeTicks(100)).unwrap();
+        store.set_scalar(oid("1.3.6.1.2.1.2.2.1.10.1"), BerValue::Counter32(5)).unwrap();
+        store.set_scalar(oid("1.3.6.1.2.1.2.2.1.10.2"), BerValue::Counter32(7)).unwrap();
+        store
+    }
+
+    #[test]
+    fn get_exact_and_missing() {
+        let store = seeded();
+        assert_eq!(store.get(&oid("1.3.6.1.2.1.1.1.0")), Some(BerValue::from("router")));
+        assert_eq!(store.get(&oid("1.3.6.1.2.1.1.1")), None);
+        assert_eq!(store.len(), 4);
+    }
+
+    #[test]
+    fn get_next_walks_in_lexicographic_order() {
+        let store = seeded();
+        let mut cur = oid("1.3.6.1.2.1.2.2.1.10");
+        let mut seen = Vec::new();
+        while let Some((next, _)) = store.get_next(&cur) {
+            if !next.starts_with(&oid("1.3.6.1.2.1.2.2.1.10")) {
+                break;
+            }
+            seen.push(next.to_string());
+            cur = next;
+        }
+        assert_eq!(seen, vec!["1.3.6.1.2.1.2.2.1.10.1", "1.3.6.1.2.1.2.2.1.10.2"]);
+    }
+
+    #[test]
+    fn get_next_at_end_returns_none() {
+        let store = seeded();
+        assert_eq!(store.get_next(&oid("2")), None);
+    }
+
+    #[test]
+    fn type_is_sticky_across_replacement() {
+        let store = seeded();
+        let err = store.set_scalar(oid("1.3.6.1.2.1.1.3.0"), BerValue::Integer(1)).unwrap_err();
+        assert!(matches!(err, SnmpError::TypeMismatch { .. }));
+        store.set_scalar(oid("1.3.6.1.2.1.1.3.0"), BerValue::TimeTicks(200)).unwrap();
+    }
+
+    #[test]
+    fn remote_set_semantics() {
+        let store = seeded();
+        // Read-only object rejects set.
+        let err = store.remote_set(&oid("1.3.6.1.2.1.1.1.0"), BerValue::from("x")).unwrap_err();
+        assert!(matches!(err, SnmpError::Agent { status: crate::ErrorStatus::ReadOnly, .. }));
+        // Writable object accepts matching type.
+        store.set_writable(oid("1.3.6.1.4.1.9.1.0"), BerValue::Integer(1)).unwrap();
+        store.remote_set(&oid("1.3.6.1.4.1.9.1.0"), BerValue::Integer(2)).unwrap();
+        assert_eq!(store.get(&oid("1.3.6.1.4.1.9.1.0")), Some(BerValue::Integer(2)));
+        // Wrong type rejected.
+        let err = store.remote_set(&oid("1.3.6.1.4.1.9.1.0"), BerValue::from("no")).unwrap_err();
+        assert!(matches!(err, SnmpError::TypeMismatch { .. }));
+        // Unknown instance rejected (v1 does not create).
+        let err = store.remote_set(&oid("1.3.6.1.4.1.9.9.0"), BerValue::Integer(1)).unwrap_err();
+        assert!(matches!(err, SnmpError::NoSuchName(_)));
+    }
+
+    #[test]
+    fn counter_wraps_at_32_bits() {
+        let store = MibStore::new();
+        let c = oid("1.3.6.1.2.1.2.2.1.10.1");
+        store.set_scalar(c.clone(), BerValue::Counter32(u32::MAX - 1)).unwrap();
+        store.counter_add(&c, 3).unwrap();
+        assert_eq!(store.get(&c), Some(BerValue::Counter32(1)));
+    }
+
+    #[test]
+    fn counter_add_type_checked() {
+        let store = seeded();
+        let err = store.counter_add(&oid("1.3.6.1.2.1.1.1.0"), 1).unwrap_err();
+        assert!(matches!(err, SnmpError::TypeMismatch { .. }));
+        let err = store.counter_add(&oid("1.9"), 1).unwrap_err();
+        assert!(matches!(err, SnmpError::NoSuchName(_)));
+    }
+
+    #[test]
+    fn gauge_set_works() {
+        let store = MibStore::new();
+        let g = oid("1.3.6.1.4.1.45.1.1.0");
+        store.set_scalar(g.clone(), BerValue::Gauge32(10)).unwrap();
+        store.gauge_set(&g, 99).unwrap();
+        assert_eq!(store.get(&g), Some(BerValue::Gauge32(99)));
+    }
+
+    #[test]
+    fn walk_is_prefix_scoped() {
+        let store = seeded();
+        let rows = store.walk(&oid("1.3.6.1.2.1.2"));
+        assert_eq!(rows.len(), 2);
+        let all = store.walk(&oid("1"));
+        assert_eq!(all.len(), 4);
+        assert!(store.walk(&oid("1.4")).is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_immutable_copy() {
+        let store = seeded();
+        let snap = store.snapshot(&oid("1.3.6.1.2.1.2"));
+        store.counter_add(&oid("1.3.6.1.2.1.2.2.1.10.1"), 100).unwrap();
+        // The snapshot still sees the old value.
+        assert_eq!(
+            snap.get(&oid("1.3.6.1.2.1.2.2.1.10.1")),
+            Some(BerValue::Counter32(5))
+        );
+        assert_eq!(snap.len(), 2);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let store = seeded();
+        let alias = store.clone();
+        alias.counter_add(&oid("1.3.6.1.2.1.2.2.1.10.1"), 1).unwrap();
+        assert_eq!(store.get(&oid("1.3.6.1.2.1.2.2.1.10.1")), Some(BerValue::Counter32(6)));
+    }
+
+    #[test]
+    fn remove_returns_value() {
+        let store = seeded();
+        assert_eq!(store.remove(&oid("1.3.6.1.2.1.1.1.0")), Some(BerValue::from("router")));
+        assert_eq!(store.remove(&oid("1.3.6.1.2.1.1.1.0")), None);
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn table_builder_lays_out_instances() {
+        let store = MibStore::new();
+        let entry = oid("1.3.6.1.2.1.6.13.1");
+        TableBuilder::new(&store, entry)
+            .row(&[1, 10, 0, 0, 1, 80, 10, 0, 0, 2, 1234])
+            .col(1, BerValue::Integer(5))
+            .row(&[1, 10, 0, 0, 1, 22, 10, 0, 0, 3, 999])
+            .col(1, BerValue::Integer(2))
+            .finish()
+            .unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(
+            store.get(&oid("1.3.6.1.2.1.6.13.1.1.1.10.0.0.1.80.10.0.0.2.1234")),
+            Some(BerValue::Integer(5))
+        );
+    }
+
+    #[test]
+    fn for_each_visits_in_order() {
+        let store = seeded();
+        let mut names = Vec::new();
+        store.for_each(|oid, _| names.push(oid.to_string()));
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the SNMP message codec and the MIB store.
+
+use ber::{BerValue, Oid};
+use proptest::prelude::*;
+use snmp::{ErrorStatus, Message, MessageBody, MibStore, Pdu, PduKind, TrapPdu, VarBind};
+
+fn arb_oid() -> impl Strategy<Value = Oid> {
+    (0u32..3, 0u32..40, proptest::collection::vec(0u32..100_000, 0..8))
+        .prop_map(|(a, b, rest)| {
+            let mut arcs = vec![a, b];
+            arcs.extend(rest);
+            Oid::from(arcs)
+        })
+}
+
+fn arb_value() -> impl Strategy<Value = BerValue> {
+    prop_oneof![
+        any::<i64>().prop_map(BerValue::Integer),
+        proptest::collection::vec(any::<u8>(), 0..32).prop_map(BerValue::OctetString),
+        Just(BerValue::Null),
+        arb_oid().prop_map(BerValue::ObjectId),
+        any::<[u8; 4]>().prop_map(BerValue::IpAddress),
+        any::<u32>().prop_map(BerValue::Counter32),
+        any::<u32>().prop_map(BerValue::Gauge32),
+        any::<u32>().prop_map(BerValue::TimeTicks),
+    ]
+}
+
+fn arb_varbinds() -> impl Strategy<Value = Vec<VarBind>> {
+    proptest::collection::vec(
+        (arb_oid(), arb_value()).prop_map(|(oid, value)| VarBind { oid, value }),
+        0..6,
+    )
+}
+
+fn arb_pdu() -> impl Strategy<Value = Pdu> {
+    (
+        prop_oneof![
+            Just(PduKind::GetRequest),
+            Just(PduKind::GetNextRequest),
+            Just(PduKind::GetResponse),
+            Just(PduKind::SetRequest),
+        ],
+        any::<i32>(),
+        0i64..=5,
+        0i64..10,
+        arb_varbinds(),
+    )
+        .prop_map(|(kind, id, status, index, varbinds)| Pdu {
+            kind,
+            request_id: i64::from(id),
+            error_status: ErrorStatus::from_code(status).expect("0..=5 is valid"),
+            error_index: index,
+            varbinds,
+        })
+}
+
+fn arb_trap() -> impl Strategy<Value = TrapPdu> {
+    (arb_oid(), any::<[u8; 4]>(), 0i64..7, any::<i32>(), any::<u32>(), arb_varbinds()).prop_map(
+        |(enterprise, agent_addr, generic, specific, time_stamp, varbinds)| TrapPdu {
+            enterprise,
+            agent_addr,
+            generic_trap: generic,
+            specific_trap: i64::from(specific),
+            time_stamp,
+            varbinds,
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn pdu_messages_round_trip(pdu in arb_pdu(), community in "[a-z]{0,12}") {
+        let msg = Message::v1(&community, pdu);
+        let decoded = Message::decode(&msg.encode()).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn trap_messages_round_trip(trap in arb_trap()) {
+        let msg = Message::v1_trap("public", trap);
+        let decoded = Message::decode(&msg.encode()).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn encoded_len_is_exact(pdu in arb_pdu()) {
+        let msg = Message::v1("public", pdu);
+        prop_assert_eq!(msg.encoded_len(), msg.encode().len());
+    }
+
+    #[test]
+    fn store_get_next_is_a_total_sorted_walk(
+        entries in proptest::collection::btree_map(arb_oid(), any::<i64>(), 0..30)
+    ) {
+        let store = MibStore::new();
+        for (oid, v) in &entries {
+            store.set_scalar(oid.clone(), BerValue::Integer(*v)).unwrap();
+        }
+        // Walking from the root by get_next visits every entry in order.
+        let mut seen = Vec::new();
+        let mut cursor = Oid::new();
+        while let Some((next, _)) = store.get_next(&cursor) {
+            seen.push(next.clone());
+            cursor = next;
+        }
+        let expected: Vec<Oid> = entries.keys().cloned().collect();
+        prop_assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn agent_answers_match_store_contents(
+        entries in proptest::collection::btree_map(arb_oid(), any::<u32>(), 1..20),
+        probe in arb_oid(),
+    ) {
+        use snmp::agent::SnmpAgent;
+        use snmp::manager::SnmpManager;
+        let store = MibStore::new();
+        for (oid, v) in &entries {
+            store.set_scalar(oid.clone(), BerValue::Gauge32(*v)).unwrap();
+        }
+        let agent = SnmpAgent::new("public", store.clone());
+        let mut mgr = SnmpManager::new("public");
+        let req = mgr.get_request(std::slice::from_ref(&probe)).unwrap();
+        let resp = agent.handle(&req).unwrap();
+        match (store.get(&probe), mgr.parse_response(&resp)) {
+            (Some(v), Ok(vbs)) => prop_assert_eq!(&vbs[0].value, &v),
+            (None, Err(snmp::SnmpError::Agent { status, .. })) => {
+                prop_assert_eq!(status, snmp::ErrorStatus::NoSuchName)
+            }
+            (store_v, resp_v) => {
+                prop_assert!(false, "mismatch: store={store_v:?} response={resp_v:?}")
+            }
+        }
+    }
+
+    #[test]
+    fn message_body_never_confuses_pdu_and_trap(pdu in arb_pdu(), trap in arb_trap()) {
+        let p = Message::v1("c", pdu);
+        let t = Message::v1_trap("c", trap);
+        prop_assert!(matches!(Message::decode(&p.encode()).unwrap().body, MessageBody::Pdu(_)));
+        prop_assert!(matches!(Message::decode(&t.encode()).unwrap().body, MessageBody::Trap(_)));
+    }
+}

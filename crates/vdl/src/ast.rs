@@ -1,0 +1,171 @@
+//! The view-definition AST.
+
+use ber::Oid;
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Sum of a numeric expression.
+    Sum,
+    /// Row (or group) count; takes no argument.
+    Count,
+    /// Arithmetic mean.
+    Avg,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl std::fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AggFunc::Sum => "sum",
+            AggFunc::Count => "count",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Binary operators in view expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// A view expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `alias.N` — column `N` of the table bound to `alias`.
+    Col {
+        /// Table alias.
+        alias: String,
+        /// Column number.
+        col: u32,
+    },
+    /// `index(alias)` — the row's index arcs as a dotted string.
+    Index {
+        /// Table alias.
+        alias: String,
+    },
+    /// Unary negation / not.
+    Neg(Box<Expr>),
+    /// Logical not.
+    Not(Box<Expr>),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Aggregate call; `expr` is `None` only for `count()`.
+    Agg {
+        /// Which aggregate.
+        func: AggFunc,
+        /// Aggregated expression.
+        expr: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    /// Whether the expression contains an aggregate call.
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            Expr::Agg { .. } => true,
+            Expr::Neg(e) | Expr::Not(e) => e.has_aggregate(),
+            Expr::Binary { lhs, rhs, .. } => lhs.has_aggregate() || rhs.has_aggregate(),
+            _ => false,
+        }
+    }
+}
+
+/// One projected output column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The projected expression.
+    pub expr: Expr,
+    /// Output column name (defaults to the expression's text form).
+    pub name: String,
+}
+
+/// A table binding from `from` or `join`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableBinding {
+    /// Alias used in expressions.
+    pub alias: String,
+    /// The table's `Entry` OID.
+    pub entry: Oid,
+}
+
+/// A sort key in an `order by` clause: an output column by name or
+/// 1-based position, with direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderKey {
+    /// Output column name (must name a select item).
+    pub column: String,
+    /// Sort descending.
+    pub descending: bool,
+}
+
+/// A parsed view definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewDef {
+    /// View name.
+    pub name: String,
+    /// Primary table.
+    pub from: TableBinding,
+    /// Optional joined table and its join condition.
+    pub join: Option<(TableBinding, Expr)>,
+    /// Optional row filter.
+    pub where_clause: Option<Expr>,
+    /// Projected columns (at least one).
+    pub select: Vec<SelectItem>,
+    /// Optional grouping expressions.
+    pub group_by: Vec<Expr>,
+    /// Optional result ordering over output columns.
+    pub order_by: Vec<OrderKey>,
+    /// Optional cap on result rows (applied after ordering).
+    pub limit: Option<usize>,
+}
+
+impl ViewDef {
+    /// Whether any select item aggregates.
+    pub fn is_aggregate(&self) -> bool {
+        !self.group_by.is_empty() || self.select.iter().any(|s| s.expr.has_aggregate())
+    }
+
+    /// The aliases bound by this view.
+    pub fn aliases(&self) -> Vec<&str> {
+        let mut out = vec![self.from.alias.as_str()];
+        if let Some((b, _)) = &self.join {
+            out.push(b.alias.as_str());
+        }
+        out
+    }
+}

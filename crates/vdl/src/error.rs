@@ -1,0 +1,70 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from parsing or evaluating view definitions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VdlError {
+    /// Lexical or syntactic error in the view text.
+    Parse {
+        /// 1-based line.
+        line: u32,
+        /// What went wrong.
+        message: String,
+    },
+    /// The view references an alias that is not bound by `from`/`join`.
+    UnknownAlias {
+        /// The unbound alias.
+        alias: String,
+    },
+    /// A non-aggregated select item references columns in an aggregate
+    /// view without being listed in `group by`.
+    BadAggregation {
+        /// Description of the offending item.
+        message: String,
+    },
+    /// A type error during evaluation (e.g. comparing a string to an int).
+    Type {
+        /// Description.
+        message: String,
+    },
+    /// Division by zero during evaluation.
+    DivisionByZero,
+    /// The named view is not defined on this MCVA.
+    NoSuchView {
+        /// The requested name.
+        name: String,
+    },
+    /// A view with this name already exists.
+    ViewExists {
+        /// The conflicting name.
+        name: String,
+    },
+}
+
+impl fmt::Display for VdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VdlError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            VdlError::UnknownAlias { alias } => write!(f, "unknown table alias `{alias}`"),
+            VdlError::BadAggregation { message } => write!(f, "bad aggregation: {message}"),
+            VdlError::Type { message } => write!(f, "type error: {message}"),
+            VdlError::DivisionByZero => write!(f, "division by zero"),
+            VdlError::NoSuchView { name } => write!(f, "no such view `{name}`"),
+            VdlError::ViewExists { name } => write!(f, "view `{name}` already defined"),
+        }
+    }
+}
+
+impl Error for VdlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(VdlError::Parse { line: 3, message: "bad".into() }.to_string().contains("line 3"));
+        assert!(VdlError::NoSuchView { name: "v".into() }.to_string().contains("`v`"));
+    }
+}

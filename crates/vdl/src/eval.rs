@@ -1,0 +1,816 @@
+//! Evaluation of compiled views against a [`MibStore`].
+
+use crate::ast::{AggFunc, BinOp, Expr, ViewDef};
+use crate::table::{read_table, Row};
+use crate::VdlError;
+use ber::BerValue;
+use snmp::MibStore;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A cell of a view result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellValue {
+    /// Integer (SNMP INTEGER/Counter/Gauge/TimeTicks all normalize here).
+    Int(i64),
+    /// Float (ratios, averages).
+    Float(f64),
+    /// String (octet strings, OIDs, IP addresses, row indices).
+    Str(String),
+    /// Boolean (comparison results).
+    Bool(bool),
+    /// Missing column or absent value.
+    Nil,
+}
+
+impl fmt::Display for CellValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellValue::Int(v) => write!(f, "{v}"),
+            CellValue::Float(v) => write!(f, "{v:.4}"),
+            CellValue::Str(s) => write!(f, "{s}"),
+            CellValue::Bool(b) => write!(f, "{b}"),
+            CellValue::Nil => write!(f, "-"),
+        }
+    }
+}
+
+impl CellValue {
+    /// Total ordering for `order by`: Nil < Bool < numbers < Str (numbers
+    /// compare across Int/Float; NaN sorts last among numbers).
+    pub fn total_cmp(&self, other: &CellValue) -> std::cmp::Ordering {
+        fn rank(v: &CellValue) -> u8 {
+            match v {
+                CellValue::Nil => 0,
+                CellValue::Bool(_) => 1,
+                CellValue::Int(_) | CellValue::Float(_) => 2,
+                CellValue::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (CellValue::Bool(a), CellValue::Bool(b)) => a.cmp(b),
+            (CellValue::Str(a), CellValue::Str(b)) => a.cmp(b),
+            (a, b) if rank(a) == 2 && rank(b) == 2 => {
+                let (x, y) = (a.as_f64().unwrap_or(f64::NAN), b.as_f64().unwrap_or(f64::NAN));
+                x.total_cmp(&y)
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            CellValue::Int(v) => Some(*v as f64),
+            CellValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn from_ber(v: &BerValue) -> CellValue {
+        match v {
+            BerValue::Integer(i) => CellValue::Int(*i),
+            BerValue::Counter32(c) | BerValue::Gauge32(c) | BerValue::TimeTicks(c) => {
+                CellValue::Int(i64::from(*c))
+            }
+            BerValue::OctetString(b) | BerValue::Opaque(b) => {
+                CellValue::Str(String::from_utf8_lossy(b).into_owned())
+            }
+            BerValue::Null => CellValue::Nil,
+            BerValue::ObjectId(o) => CellValue::Str(o.to_string()),
+            BerValue::IpAddress(a) => {
+                CellValue::Str(format!("{}.{}.{}.{}", a[0], a[1], a[2], a[3]))
+            }
+            BerValue::Sequence(_) | BerValue::ContextConstructed(_, _) => CellValue::Nil,
+        }
+    }
+
+    /// Converts to a BER value for materialization into a MIB.
+    pub fn to_ber(&self) -> BerValue {
+        match self {
+            CellValue::Int(v) => BerValue::Integer(*v),
+            CellValue::Float(v) => BerValue::OctetString(format!("{v}").into_bytes()),
+            CellValue::Str(s) => BerValue::OctetString(s.clone().into_bytes()),
+            CellValue::Bool(b) => BerValue::Integer(i64::from(*b)),
+            CellValue::Nil => BerValue::Null,
+        }
+    }
+}
+
+/// The result of evaluating a view: named columns and rows of cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewResult {
+    /// Output column names, in select order.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<CellValue>>,
+}
+
+impl ViewResult {
+    /// Renders the result as an aligned text table (for examples/demos).
+    pub fn to_table_string(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(CellValue::to_string).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:w$}  ", c, w = widths[i]));
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:w$}  ", cell, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One input row: per-alias table rows.
+struct Scope<'a> {
+    bindings: Vec<(&'a str, &'a Row)>,
+}
+
+impl<'a> Scope<'a> {
+    fn row(&self, alias: &str) -> Result<&'a Row, VdlError> {
+        self.bindings
+            .iter()
+            .find(|(a, _)| *a == alias)
+            .map(|(_, r)| *r)
+            .ok_or_else(|| VdlError::UnknownAlias { alias: alias.to_string() })
+    }
+}
+
+fn type_err(msg: impl Into<String>) -> VdlError {
+    VdlError::Type { message: msg.into() }
+}
+
+fn eval_scalar(e: &Expr, scope: &Scope<'_>) -> Result<CellValue, VdlError> {
+    match e {
+        Expr::Int(v) => Ok(CellValue::Int(*v)),
+        Expr::Float(v) => Ok(CellValue::Float(*v)),
+        Expr::Str(s) => Ok(CellValue::Str(s.clone())),
+        Expr::Bool(b) => Ok(CellValue::Bool(*b)),
+        Expr::Col { alias, col } => {
+            let row = scope.row(alias)?;
+            Ok(row.get(*col).map_or(CellValue::Nil, CellValue::from_ber))
+        }
+        Expr::Index { alias } => Ok(CellValue::Str(scope.row(alias)?.index_string())),
+        Expr::Neg(inner) => match eval_scalar(inner, scope)? {
+            CellValue::Int(v) => Ok(CellValue::Int(-v)),
+            CellValue::Float(v) => Ok(CellValue::Float(-v)),
+            other => Err(type_err(format!("cannot negate {other:?}"))),
+        },
+        Expr::Not(inner) => match eval_scalar(inner, scope)? {
+            CellValue::Bool(b) => Ok(CellValue::Bool(!b)),
+            other => Err(type_err(format!("cannot apply ! to {other:?}"))),
+        },
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval_scalar(lhs, scope)?;
+            let r = eval_scalar(rhs, scope)?;
+            eval_binop(*op, l, r)
+        }
+        Expr::Agg { .. } => Err(VdlError::BadAggregation {
+            message: "aggregate evaluated in scalar context".to_string(),
+        }),
+    }
+}
+
+fn eval_binop(op: BinOp, l: CellValue, r: CellValue) -> Result<CellValue, VdlError> {
+    use CellValue::{Bool, Float, Int, Str};
+    match op {
+        BinOp::And | BinOp::Or => match (l, r) {
+            (Bool(a), Bool(b)) => Ok(Bool(if op == BinOp::And { a && b } else { a || b })),
+            (a, b) => Err(type_err(format!("logical op needs bools, got {a:?}, {b:?}"))),
+        },
+        BinOp::Eq | BinOp::Ne => {
+            let eq = cells_equal(&l, &r);
+            Ok(Bool(if op == BinOp::Eq { eq } else { !eq }))
+        }
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            // Absent cells compare as unknown: the row simply fails the
+            // predicate (SQL NULL semantics) instead of erroring, so views
+            // stay robust over sparse tables.
+            if l == CellValue::Nil || r == CellValue::Nil {
+                return Ok(Bool(false));
+            }
+            let ord = match (&l, &r) {
+                (Str(a), Str(b)) => a.cmp(b),
+                _ => {
+                    let (a, b) = (
+                        l.as_f64().ok_or_else(|| type_err("ordering needs numbers or strings"))?,
+                        r.as_f64().ok_or_else(|| type_err("ordering needs numbers or strings"))?,
+                    );
+                    a.partial_cmp(&b).ok_or_else(|| type_err("NaN is unordered"))?
+                }
+            };
+            Ok(Bool(match op {
+                BinOp::Lt => ord.is_lt(),
+                BinOp::Le => ord.is_le(),
+                BinOp::Gt => ord.is_gt(),
+                _ => ord.is_ge(),
+            }))
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => match (&l, &r) {
+            (Int(a), Int(b)) => {
+                let a = *a;
+                let b = *b;
+                match op {
+                    BinOp::Add => Ok(Int(a.wrapping_add(b))),
+                    BinOp::Sub => Ok(Int(a.wrapping_sub(b))),
+                    BinOp::Mul => Ok(Int(a.wrapping_mul(b))),
+                    BinOp::Div => {
+                        if b == 0 {
+                            Err(VdlError::DivisionByZero)
+                        } else {
+                            Ok(Int(a.wrapping_div(b)))
+                        }
+                    }
+                    _ => {
+                        if b == 0 {
+                            Err(VdlError::DivisionByZero)
+                        } else {
+                            Ok(Int(a.wrapping_rem(b)))
+                        }
+                    }
+                }
+            }
+            _ => {
+                let (a, b) = (
+                    l.as_f64().ok_or_else(|| type_err("arithmetic needs numbers"))?,
+                    r.as_f64().ok_or_else(|| type_err("arithmetic needs numbers"))?,
+                );
+                let v = match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => {
+                        if b == 0.0 {
+                            return Err(VdlError::DivisionByZero);
+                        }
+                        a / b
+                    }
+                    _ => {
+                        if b == 0.0 {
+                            return Err(VdlError::DivisionByZero);
+                        }
+                        a % b
+                    }
+                };
+                Ok(Float(v))
+            }
+        },
+    }
+}
+
+fn cells_equal(l: &CellValue, r: &CellValue) -> bool {
+    match (l, r) {
+        (CellValue::Int(a), CellValue::Float(b)) | (CellValue::Float(b), CellValue::Int(a)) => {
+            (*a as f64) == *b
+        }
+        _ => l == r,
+    }
+}
+
+/// An aggregate accumulator.
+struct Accumulator {
+    func: AggFunc,
+    count: u64,
+    sum: f64,
+    all_int: bool,
+    min: Option<CellValue>,
+    max: Option<CellValue>,
+}
+
+impl Accumulator {
+    fn new(func: AggFunc) -> Accumulator {
+        Accumulator { func, count: 0, sum: 0.0, all_int: true, min: None, max: None }
+    }
+
+    fn feed(&mut self, v: CellValue) -> Result<(), VdlError> {
+        self.count += 1;
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => {
+                if !matches!(v, CellValue::Int(_)) {
+                    self.all_int = false;
+                }
+                self.sum +=
+                    v.as_f64().ok_or_else(|| type_err(format!("{} needs numbers", self.func)))?;
+            }
+            AggFunc::Min | AggFunc::Max => {
+                let slot = if self.func == AggFunc::Min { &mut self.min } else { &mut self.max };
+                match slot {
+                    None => *slot = Some(v),
+                    Some(cur) => {
+                        let replace = match eval_binop(
+                            if self.func == AggFunc::Min { BinOp::Lt } else { BinOp::Gt },
+                            v.clone(),
+                            cur.clone(),
+                        )? {
+                            CellValue::Bool(b) => b,
+                            _ => false,
+                        };
+                        if replace {
+                            *slot = Some(v);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> CellValue {
+        match self.func {
+            AggFunc::Count => CellValue::Int(self.count as i64),
+            AggFunc::Sum => {
+                if self.all_int {
+                    CellValue::Int(self.sum as i64)
+                } else {
+                    CellValue::Float(self.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    CellValue::Nil
+                } else {
+                    CellValue::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.unwrap_or(CellValue::Nil),
+            AggFunc::Max => self.max.unwrap_or(CellValue::Nil),
+        }
+    }
+}
+
+/// Evaluates an aggregate select expression over a group of scopes.
+fn eval_aggregate(e: &Expr, group: &[Scope<'_>]) -> Result<CellValue, VdlError> {
+    match e {
+        Expr::Agg { func, expr } => {
+            let mut acc = Accumulator::new(*func);
+            for scope in group {
+                let v = match expr {
+                    Some(inner) => eval_scalar(inner, scope)?,
+                    None => CellValue::Int(1),
+                };
+                if v == CellValue::Nil {
+                    continue; // absent cells do not contribute
+                }
+                acc.feed(v)?;
+            }
+            Ok(acc.finish())
+        }
+        // Non-aggregate parts of a mixed expression take the value from
+        // the group's first row (validated to be a group-by key).
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval_aggregate(lhs, group)?;
+            let r = eval_aggregate(rhs, group)?;
+            eval_binop(*op, l, r)
+        }
+        Expr::Neg(inner) => match eval_aggregate(inner, group)? {
+            CellValue::Int(v) => Ok(CellValue::Int(-v)),
+            CellValue::Float(v) => Ok(CellValue::Float(-v)),
+            other => Err(type_err(format!("cannot negate {other:?}"))),
+        },
+        Expr::Not(inner) => match eval_aggregate(inner, group)? {
+            CellValue::Bool(b) => Ok(CellValue::Bool(!b)),
+            other => Err(type_err(format!("cannot apply ! to {other:?}"))),
+        },
+        other => match group.first() {
+            Some(scope) => eval_scalar(other, scope),
+            None => Ok(CellValue::Nil),
+        },
+    }
+}
+
+/// Evaluates `view` against `mib`.
+///
+/// # Errors
+///
+/// Type errors, division by zero, or alias errors from the expression
+/// evaluator.
+pub fn evaluate(view: &ViewDef, mib: &MibStore) -> Result<ViewResult, VdlError> {
+    let left_rows = read_table(mib, &view.from.entry);
+    let columns: Vec<String> = view.select.iter().map(|s| s.name.clone()).collect();
+
+    // Build the joined scope list.
+    let mut scopes: Vec<Scope<'_>> = Vec::new();
+    let right_rows;
+    match &view.join {
+        None => {
+            for row in &left_rows {
+                scopes.push(Scope { bindings: vec![(view.from.alias.as_str(), row)] });
+            }
+        }
+        Some((binding, on)) => {
+            right_rows = read_table(mib, &binding.entry);
+            for l in &left_rows {
+                for r in &right_rows {
+                    let scope = Scope {
+                        bindings: vec![
+                            (view.from.alias.as_str(), l),
+                            (binding.alias.as_str(), r),
+                        ],
+                    };
+                    match eval_scalar(on, &scope)? {
+                        CellValue::Bool(true) => scopes.push(scope),
+                        CellValue::Bool(false) => {}
+                        other => {
+                            return Err(type_err(format!(
+                                "join condition must be boolean, got {other:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Filter.
+    if let Some(w) = &view.where_clause {
+        let mut kept = Vec::with_capacity(scopes.len());
+        for scope in scopes {
+            match eval_scalar(w, &scope)? {
+                CellValue::Bool(true) => kept.push(scope),
+                CellValue::Bool(false) => {}
+                other => {
+                    return Err(type_err(format!("where clause must be boolean, got {other:?}")))
+                }
+            }
+        }
+        scopes = kept;
+    }
+
+    // Project.
+    if !view.is_aggregate() {
+        let mut rows = Vec::with_capacity(scopes.len());
+        for scope in &scopes {
+            let mut out = Vec::with_capacity(view.select.len());
+            for item in &view.select {
+                out.push(eval_scalar(&item.expr, scope)?);
+            }
+            rows.push(out);
+        }
+        order_and_limit(view, &columns, &mut rows);
+        return Ok(ViewResult { columns, rows });
+    }
+
+    // Aggregate, with optional grouping.
+    let groups: Vec<Vec<Scope<'_>>> = if view.group_by.is_empty() {
+        vec![scopes]
+    } else {
+        let mut keyed: BTreeMap<String, Vec<Scope<'_>>> = BTreeMap::new();
+        for scope in scopes {
+            let mut key = String::new();
+            for g in &view.group_by {
+                key.push_str(&eval_scalar(g, &scope)?.to_string());
+                key.push('\u{1f}');
+            }
+            keyed.entry(key).or_default().push(scope);
+        }
+        keyed.into_values().collect()
+    };
+
+    let mut rows = Vec::with_capacity(groups.len());
+    for group in &groups {
+        // A grouped view has no empty groups by construction; an
+        // ungrouped aggregate over empty input still yields one summary
+        // row (count() == 0).
+        if group.is_empty() && !view.group_by.is_empty() {
+            continue;
+        }
+        let mut out = Vec::with_capacity(view.select.len());
+        for item in &view.select {
+            out.push(eval_aggregate(&item.expr, group)?);
+        }
+        rows.push(out);
+    }
+    order_and_limit(view, &columns, &mut rows);
+    Ok(ViewResult { columns, rows })
+}
+
+/// Applies the view's `order by` keys (stable sort, key priority left to
+/// right) and `limit`.
+fn order_and_limit(view: &ViewDef, columns: &[String], rows: &mut Vec<Vec<CellValue>>) {
+    if !view.order_by.is_empty() {
+        let keys: Vec<(usize, bool)> = view
+            .order_by
+            .iter()
+            .filter_map(|k| {
+                columns.iter().position(|c| c == &k.column).map(|i| (i, k.descending))
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            for &(idx, desc) in &keys {
+                let ord = a[idx].total_cmp(&b[idx]);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    if let Some(n) = view.limit {
+        rows.truncate(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_view;
+    use snmp::mib2;
+
+    fn mib_with_ifs() -> MibStore {
+        let mib = MibStore::new();
+        mib2::install_interfaces(&mib, 4, 10_000_000).unwrap();
+        for (i, octets) in [(1u32, 100u64), (2, 2_000_000), (3, 50), (4, 9_000_000)] {
+            mib.counter_add(&mib2::if_in_octets(i), octets).unwrap();
+        }
+        mib.counter_add(&mib2::if_in_errors(2), 7).unwrap();
+        mib
+    }
+
+    fn run(mib: &MibStore, src: &str) -> ViewResult {
+        evaluate(&parse_view(src).unwrap(), mib).unwrap()
+    }
+
+    #[test]
+    fn projection_and_selection() {
+        let mib = mib_with_ifs();
+        let r = run(
+            &mib,
+            "view busy from i = 1.3.6.1.2.1.2.2.1 where i.10 > 1000000 \
+             select i.2 as name, i.10 as octets",
+        );
+        assert_eq!(r.columns, vec!["name", "octets"]);
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], CellValue::Str("eth1".to_string()));
+        assert_eq!(r.rows[1][1], CellValue::Int(9_000_000));
+    }
+
+    #[test]
+    fn computed_columns() {
+        let mib = mib_with_ifs();
+        let r = run(
+            &mib,
+            "view load from i = 1.3.6.1.2.1.2.2.1 where i.1 == 2 \
+             select i.10 * 8 / i.5 as load_x, i.14 as errs",
+        );
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], CellValue::Int(2_000_000 * 8 / 10_000_000));
+        assert_eq!(r.rows[0][1], CellValue::Int(7));
+    }
+
+    #[test]
+    fn aggregates_without_grouping() {
+        let mib = mib_with_ifs();
+        let r = run(
+            &mib,
+            "view totals from i = 1.3.6.1.2.1.2.2.1 \
+             select sum(i.10) as total, count() as n, avg(i.10) as mean, \
+             min(i.10) as lo, max(i.10) as hi",
+        );
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], CellValue::Int(100 + 2_000_000 + 50 + 9_000_000));
+        assert_eq!(r.rows[0][1], CellValue::Int(4));
+        assert_eq!(r.rows[0][2], CellValue::Float((100.0 + 2e6 + 50.0 + 9e6) / 4.0));
+        assert_eq!(r.rows[0][3], CellValue::Int(50));
+        assert_eq!(r.rows[0][4], CellValue::Int(9_000_000));
+    }
+
+    #[test]
+    fn group_by_counts() {
+        let mib = MibStore::new();
+        // tcpConnTable with two remotes, 3 + 1 connections.
+        for (port, remote) in [(1001u16, [10, 0, 0, 9]), (1002, [10, 0, 0, 9]),
+                               (1003, [10, 0, 0, 9]), (2001, [10, 0, 0, 7])] {
+            mib2::install_tcp_conn(
+                &mib,
+                mib2::TcpConn {
+                    state: mib2::tcp_state::ESTABLISHED,
+                    local: ([192, 168, 0, 1], 22),
+                    remote: (remote, port),
+                },
+            )
+            .unwrap();
+        }
+        let r = run(
+            &mib,
+            "view per_remote from c = 1.3.6.1.2.1.6.13.1 \
+             select c.4 as remote, count() as conns group by c.4",
+        );
+        assert_eq!(r.rows.len(), 2);
+        // BTreeMap ordering: "10.0.0.7" < "10.0.0.9".
+        assert_eq!(r.rows[0][0], CellValue::Str("10.0.0.7".to_string()));
+        assert_eq!(r.rows[0][1], CellValue::Int(1));
+        assert_eq!(r.rows[1][1], CellValue::Int(3));
+    }
+
+    #[test]
+    fn join_correlates_tables() {
+        let mib = mib_with_ifs();
+        // A private "alarm" table keyed by ifIndex: row per alarmed if.
+        let alarm_entry: ber::Oid = "1.3.6.1.4.1.99.1.1".parse().unwrap();
+        mib.set_scalar(alarm_entry.child(1).child(2), BerValue::Integer(1)).unwrap();
+        mib.set_scalar(alarm_entry.child(1).child(4), BerValue::Integer(1)).unwrap();
+        let r = run(
+            &mib,
+            "view alarmed from a = 1.3.6.1.4.1.99.1.1 \
+             join i = 1.3.6.1.2.1.2.2.1 on index(a) == index(i) \
+             select i.2 as name, i.10 as octets",
+        );
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], CellValue::Str("eth1".to_string()));
+        assert_eq!(r.rows[1][0], CellValue::Str("eth3".to_string()));
+    }
+
+    #[test]
+    fn index_projection() {
+        let mib = mib_with_ifs();
+        let r = run(&mib, "view idx from i = 1.3.6.1.2.1.2.2.1 select index(i)");
+        assert_eq!(r.rows[0][0], CellValue::Str("1".to_string()));
+    }
+
+    #[test]
+    fn empty_table_gives_empty_result() {
+        let mib = MibStore::new();
+        let r = run(&mib, "view v from t = 1.3.9 select t.1");
+        assert!(r.rows.is_empty());
+        // Ungrouped aggregates over empty input yield one row of zeros/nil.
+        let r = run(&mib, "view v from t = 1.3.9 select count() as n");
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], CellValue::Int(0));
+    }
+
+    #[test]
+    fn missing_column_is_nil_and_skipped_by_aggregates() {
+        let mib = MibStore::new();
+        let entry: ber::Oid = "1.3.6.1.4.1.5.1".parse().unwrap();
+        mib.set_scalar(entry.child(1).child(1), BerValue::Integer(10)).unwrap();
+        mib.set_scalar(entry.child(1).child(2), BerValue::Integer(20)).unwrap();
+        mib.set_scalar(entry.child(2).child(1), BerValue::Integer(5)).unwrap(); // col 2 only on row 1
+        let r = run(&mib, "view v from t = 1.3.6.1.4.1.5.1 select sum(t.2) as s, count() as n");
+        assert_eq!(r.rows[0][0], CellValue::Int(5));
+        assert_eq!(r.rows[0][1], CellValue::Int(2));
+        let r = run(&mib, "view v from t = 1.3.6.1.4.1.5.1 select t.2");
+        assert_eq!(r.rows[1][0], CellValue::Nil);
+    }
+
+    #[test]
+    fn type_errors_reported() {
+        let mib = mib_with_ifs();
+        let err = evaluate(
+            &parse_view("view v from i = 1.3.6.1.2.1.2.2.1 select i.2 + 1").unwrap(),
+            &mib,
+        )
+        .unwrap_err();
+        assert!(matches!(err, VdlError::Type { .. }));
+        let err = evaluate(
+            &parse_view("view v from i = 1.3.6.1.2.1.2.2.1 where i.10 select i.1").unwrap(),
+            &mib,
+        )
+        .unwrap_err();
+        assert!(matches!(err, VdlError::Type { .. }));
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let mib = mib_with_ifs();
+        let err = evaluate(
+            &parse_view("view v from i = 1.3.6.1.2.1.2.2.1 select i.10 / (i.1 - i.1)").unwrap(),
+            &mib,
+        )
+        .unwrap_err();
+        assert_eq!(err, VdlError::DivisionByZero);
+    }
+
+    #[test]
+    fn table_rendering() {
+        let mib = mib_with_ifs();
+        let r = run(&mib, "view v from i = 1.3.6.1.2.1.2.2.1 where i.1 == 1 select i.2 as name");
+        let s = r.to_table_string();
+        assert!(s.contains("name"));
+        assert!(s.contains("eth0"));
+    }
+}
+
+#[cfg(test)]
+mod order_limit_tests {
+    use super::*;
+    use crate::parse_view;
+    use snmp::mib2;
+
+    fn mib() -> MibStore {
+        let m = MibStore::new();
+        mib2::install_atm_vc_table(&m, 50).unwrap();
+        m
+    }
+
+    fn run(mib: &MibStore, src: &str) -> ViewResult {
+        evaluate(&parse_view(src).unwrap(), mib).unwrap()
+    }
+
+    #[test]
+    fn top_n_droppers() {
+        let m = mib();
+        let r = run(
+            &m,
+            "view top from vc = 1.3.6.1.4.1.353.2.5.1 \
+             select vc.1 as id, vc.3 as dropped order by dropped desc limit 5",
+        );
+        assert_eq!(r.rows.len(), 5);
+        // Descending: each row's dropped >= the next.
+        for pair in r.rows.windows(2) {
+            assert_ne!(pair[0][1].total_cmp(&pair[1][1]), std::cmp::Ordering::Less);
+        }
+        // The top row is the true maximum of the whole table.
+        let full = run(&m, "view all from vc = 1.3.6.1.4.1.353.2.5.1 select vc.3 as d");
+        let max = full
+            .rows
+            .iter()
+            .map(|row| row[0].clone())
+            .max_by(|a, b| a.total_cmp(b))
+            .unwrap();
+        assert_eq!(r.rows[0][1], max);
+    }
+
+    #[test]
+    fn ascending_order_and_secondary_key() {
+        let m = mib();
+        let r = run(
+            &m,
+            "view v from vc = 1.3.6.1.4.1.353.2.5.1 \
+             select vc.4 as qos, vc.1 as id order by qos asc, id desc",
+        );
+        for pair in r.rows.windows(2) {
+            let q = pair[0][0].total_cmp(&pair[1][0]);
+            assert_ne!(q, std::cmp::Ordering::Greater, "primary key ascending");
+            if q == std::cmp::Ordering::Equal {
+                assert_ne!(
+                    pair[0][1].total_cmp(&pair[1][1]),
+                    std::cmp::Ordering::Less,
+                    "secondary key descending"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn limit_without_order_truncates() {
+        let m = mib();
+        let r = run(&m, "view v from vc = 1.3.6.1.4.1.353.2.5.1 select vc.1 limit 3");
+        assert_eq!(r.rows.len(), 3);
+        let r = run(&m, "view v from vc = 1.3.6.1.4.1.353.2.5.1 select vc.1 limit 0");
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn order_applies_to_grouped_views() {
+        let m = mib();
+        let r = run(
+            &m,
+            "view v from vc = 1.3.6.1.4.1.353.2.5.1 \
+             select vc.4 as qos, count() as n group by vc.4 order by n desc limit 2",
+        );
+        assert_eq!(r.rows.len(), 2);
+        assert_ne!(r.rows[0][1].total_cmp(&r.rows[1][1]), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn unknown_order_column_rejected() {
+        let err = parse_view(
+            "view v from t = 1.2.3 select t.1 as x order by ghost",
+        )
+        .unwrap_err();
+        assert!(matches!(err, VdlError::Parse { .. }));
+    }
+
+    #[test]
+    fn total_cmp_orders_across_types() {
+        use std::cmp::Ordering;
+        let vals = [
+            CellValue::Nil,
+            CellValue::Bool(false),
+            CellValue::Bool(true),
+            CellValue::Int(-5),
+            CellValue::Float(1.5),
+            CellValue::Int(2),
+            CellValue::Str("a".to_string()),
+        ];
+        for pair in vals.windows(2) {
+            assert_ne!(pair[0].total_cmp(&pair[1]), Ordering::Greater, "{pair:?}");
+        }
+        assert_eq!(CellValue::Int(2).total_cmp(&CellValue::Float(2.0)), Ordering::Equal);
+    }
+}

@@ -1,0 +1,296 @@
+//! The MIB Computations of Views Agent.
+
+use crate::eval::{evaluate, ViewResult};
+use crate::{parse_view, VdlError, ViewDef};
+use ber::{BerValue, Oid};
+use parking_lot::RwLock;
+use snmp::MibStore;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Root of the materialized-view subtree in the v-mib
+/// (`enterprises.20100.2`).
+pub fn vmib_root() -> Oid {
+    "1.3.6.1.4.1.20100.2".parse().expect("static oid")
+}
+
+/// The **MCVA**: holds compiled view definitions over one MIB, evaluates
+/// them on demand, takes *snapshot* evaluations for transient phenomena,
+/// and can materialize results into the MIB as v-mib objects readable by
+/// plain SNMP.
+///
+/// This is the specialized delegated agent of thesis §5: it runs next to
+/// the data, so a manager pays one request per *view* instead of one
+/// `GetNext` per *instance*.
+#[derive(Clone)]
+pub struct Mcva {
+    mib: MibStore,
+    views: Arc<RwLock<BTreeMap<String, CompiledView>>>,
+}
+
+#[derive(Debug, Clone)]
+struct CompiledView {
+    def: ViewDef,
+    /// Arc assigned under [`vmib_root`] for materialization.
+    vmib_arc: u32,
+}
+
+impl fmt::Debug for Mcva {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mcva").field("views", &self.views.read().len()).finish()
+    }
+}
+
+impl Mcva {
+    /// Creates an MCVA over `mib`.
+    pub fn new(mib: MibStore) -> Mcva {
+        Mcva { mib, views: Arc::new(RwLock::new(BTreeMap::new())) }
+    }
+
+    /// The MIB this agent computes over.
+    pub fn mib(&self) -> &MibStore {
+        &self.mib
+    }
+
+    /// Compiles and stores a view definition under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`VdlError::ViewExists`] on duplicates; parse/validation errors
+    /// from [`parse_view`].
+    pub fn define(&self, name: &str, source: &str) -> Result<(), VdlError> {
+        let def = parse_view(source)?;
+        let mut views = self.views.write();
+        if views.contains_key(name) {
+            return Err(VdlError::ViewExists { name: name.to_string() });
+        }
+        let vmib_arc = views.len() as u32 + 1;
+        views.insert(name.to_string(), CompiledView { def, vmib_arc });
+        Ok(())
+    }
+
+    /// Removes a view definition.
+    ///
+    /// # Errors
+    ///
+    /// [`VdlError::NoSuchView`] if absent.
+    pub fn undefine(&self, name: &str) -> Result<(), VdlError> {
+        self.views
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| VdlError::NoSuchView { name: name.to_string() })
+    }
+
+    /// Sorted names of defined views.
+    pub fn names(&self) -> Vec<String> {
+        self.views.read().keys().cloned().collect()
+    }
+
+    /// The parsed definition of `name`, if defined.
+    pub fn definition(&self, name: &str) -> Option<ViewDef> {
+        self.views.read().get(name).map(|c| c.def.clone())
+    }
+
+    fn compiled(&self, name: &str) -> Result<CompiledView, VdlError> {
+        self.views
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| VdlError::NoSuchView { name: name.to_string() })
+    }
+
+    /// Evaluates `name` against the live MIB.
+    ///
+    /// # Errors
+    ///
+    /// [`VdlError::NoSuchView`] or evaluation errors.
+    pub fn evaluate(&self, name: &str) -> Result<ViewResult, VdlError> {
+        let c = self.compiled(name)?;
+        evaluate(&c.def, &self.mib)
+    }
+
+    /// Evaluates `name` against an instantaneous snapshot of the tables
+    /// it reads — the thesis's *view snapshots*, which capture transient
+    /// states (e.g. short-lived TCP connections) that a remote walk would
+    /// smear or miss.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Mcva::evaluate`].
+    pub fn evaluate_snapshot(&self, name: &str) -> Result<ViewResult, VdlError> {
+        let c = self.compiled(name)?;
+        // Snapshot exactly the subtrees the view touches, atomically per
+        // table (the store snapshot is taken under one lock).
+        let snap = MibStore::new();
+        copy_subtree(&self.mib, &snap, &c.def.from.entry);
+        if let Some((binding, _)) = &c.def.join {
+            copy_subtree(&self.mib, &snap, &binding.entry);
+        }
+        evaluate(&c.def, &snap)
+    }
+
+    /// Evaluates `name` and writes the result into the MIB under
+    /// `enterprises.20100.2.<view-arc>` as v-mib objects:
+    /// `...<col>.<row>` cells plus `...0.0` holding the row count. Legacy
+    /// SNMP managers can then read the computed view with plain Get/walk.
+    ///
+    /// Returns the root OID of the materialized view.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Mcva::evaluate`].
+    pub fn materialize(&self, name: &str) -> Result<Oid, VdlError> {
+        let c = self.compiled(name)?;
+        let result = evaluate(&c.def, &self.mib)?;
+        let root = vmib_root().child(c.vmib_arc);
+        // Clear any previous materialization.
+        for (oid, _) in self.mib.walk(&root) {
+            self.mib.remove(&oid);
+        }
+        self.mib
+            .set_scalar(root.child(0).child(0), BerValue::Integer(result.rows.len() as i64))
+            .ok();
+        for (r, row) in result.rows.iter().enumerate() {
+            for (col, cell) in row.iter().enumerate() {
+                let oid = root.child(col as u32 + 1).child(r as u32 + 1);
+                self.mib.remove(&oid);
+                self.mib.set_scalar(oid, cell.to_ber()).ok();
+            }
+        }
+        Ok(root)
+    }
+}
+
+fn copy_subtree(from: &MibStore, to: &MibStore, prefix: &Oid) {
+    let snap = from.snapshot(prefix);
+    snap.for_each(|oid, value| {
+        let _ = to.set_scalar(oid.clone(), value.clone());
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellValue;
+    use snmp::mib2;
+
+    fn mcva() -> Mcva {
+        let mib = MibStore::new();
+        mib2::install_interfaces(&mib, 3, 10_000_000).unwrap();
+        mib.counter_add(&mib2::if_in_octets(1), 500).unwrap();
+        mib.counter_add(&mib2::if_in_octets(3), 1500).unwrap();
+        Mcva::new(mib)
+    }
+
+    const BUSY: &str = "view busy from i = 1.3.6.1.2.1.2.2.1 \
+                        where i.10 > 100 select i.2 as name, i.10 as octets";
+
+    #[test]
+    fn define_evaluate_undefine() {
+        let m = mcva();
+        m.define("busy", BUSY).unwrap();
+        assert_eq!(m.names(), vec!["busy".to_string()]);
+        assert!(m.definition("busy").is_some());
+        let r = m.evaluate("busy").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        m.undefine("busy").unwrap();
+        assert!(matches!(m.evaluate("busy"), Err(VdlError::NoSuchView { .. })));
+        assert!(matches!(m.undefine("busy"), Err(VdlError::NoSuchView { .. })));
+    }
+
+    #[test]
+    fn duplicate_definition_rejected() {
+        let m = mcva();
+        m.define("busy", BUSY).unwrap();
+        assert!(matches!(m.define("busy", BUSY), Err(VdlError::ViewExists { .. })));
+    }
+
+    #[test]
+    fn bad_definition_rejected_at_define_time() {
+        let m = mcva();
+        assert!(m.define("bad", "view bad from a = 1.2.3 select z.1").is_err());
+        assert!(m.names().is_empty());
+    }
+
+    #[test]
+    fn live_evaluation_tracks_mib_changes() {
+        let m = mcva();
+        m.define("busy", BUSY).unwrap();
+        assert_eq!(m.evaluate("busy").unwrap().rows.len(), 2);
+        m.mib().counter_add(&mib2::if_in_octets(2), 9_999).unwrap();
+        assert_eq!(m.evaluate("busy").unwrap().rows.len(), 3);
+    }
+
+    #[test]
+    fn snapshot_evaluation_is_isolated_from_later_changes() {
+        let m = mcva();
+        m.define("busy", BUSY).unwrap();
+        // Snapshot, then change the live MIB: snapshot result is computed
+        // from the frozen copy regardless.
+        let r1 = m.evaluate_snapshot("busy").unwrap();
+        m.mib().counter_add(&mib2::if_in_octets(2), 9_999).unwrap();
+        let r2 = m.evaluate_snapshot("busy").unwrap();
+        assert_eq!(r1.rows.len(), 2);
+        assert_eq!(r2.rows.len(), 3);
+    }
+
+    #[test]
+    fn materialize_publishes_vmib_objects() {
+        let m = mcva();
+        m.define("busy", BUSY).unwrap();
+        let root = m.materialize("busy").unwrap();
+        assert_eq!(root, vmib_root().child(1));
+        // Row count cell.
+        assert_eq!(m.mib().get(&root.child(0).child(0)), Some(BerValue::Integer(2)));
+        // First column, first row: "eth0".
+        assert_eq!(m.mib().get(&root.child(1).child(1)), Some(BerValue::from("eth0")));
+        // Second column, second row: 1500.
+        assert_eq!(m.mib().get(&root.child(2).child(2)), Some(BerValue::Integer(1500)));
+        // A plain SNMP agent can serve the view.
+        let agent = snmp::agent::SnmpAgent::new("public", m.mib().clone());
+        let mut mgr = snmp::manager::SnmpManager::new("public");
+        let rows = mgr.walk(&root, |req| agent.handle(req)).unwrap();
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn rematerialization_clears_stale_rows() {
+        let m = mcva();
+        m.define("busy", BUSY).unwrap();
+        let root = m.materialize("busy").unwrap();
+        // Shrink the result set, re-materialize.
+        m.mib().remove(&mib2::if_in_octets(3));
+        let root2 = m.materialize("busy").unwrap();
+        assert_eq!(root, root2);
+        assert_eq!(m.mib().get(&root.child(0).child(0)), Some(BerValue::Integer(1)));
+        assert_eq!(m.mib().get(&root.child(1).child(2)), None, "stale row must be gone");
+    }
+
+    #[test]
+    fn snapshot_catches_transient_rows() {
+        // A transient TCP connection: present at snapshot time, gone by
+        // the time a slow poller would have walked the table.
+        let mib = MibStore::new();
+        let m = Mcva::new(mib.clone());
+        m.define(
+            "conns",
+            "view conns from c = 1.3.6.1.2.1.6.13.1 \
+             where c.1 == 5 select c.4 as remote",
+        )
+        .unwrap();
+        let conn = mib2::TcpConn {
+            state: mib2::tcp_state::ESTABLISHED,
+            local: ([10, 0, 0, 1], 23),
+            remote: ([172, 16, 0, 99], 40000),
+        };
+        mib2::install_tcp_conn(&mib, conn).unwrap();
+        let snap = m.evaluate_snapshot("conns").unwrap();
+        mib2::remove_tcp_conn(&mib, conn); // the intruder disconnects
+        let live = m.evaluate("conns").unwrap();
+        assert_eq!(snap.rows.len(), 1);
+        assert_eq!(snap.rows[0][0], CellValue::Str("172.16.0.99".to_string()));
+        assert!(live.rows.is_empty());
+    }
+}

@@ -1,0 +1,720 @@
+//! Parser for the View Definition Language.
+//!
+//! ```text
+//! view      := "view" IDENT from [join] [where] select [groupby]
+//!              [orderby] [limit]
+//! from      := "from" IDENT "=" OID
+//! join      := "join" IDENT "=" OID "on" expr
+//! where     := "where" expr
+//! select    := "select" item ("," item)*
+//! item      := expr ["as" IDENT]
+//! groupby   := "group" "by" expr ("," expr)*
+//! orderby   := "order" "by" IDENT ["asc"|"desc"] ("," IDENT ["asc"|"desc"])*
+//! limit     := "limit" INT
+//! expr      := C-like precedence over || && == != < <= > >= + - * / %
+//!              with unary - !, parentheses, literals, alias.N column
+//!              refs, index(alias), and sum/avg/min/max/count aggregates
+//! ```
+
+use crate::ast::*;
+use crate::VdlError;
+use ber::Oid;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Oid(Oid),
+    ColRef(String, u32),
+    LParen,
+    RParen,
+    Comma,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Bang,
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn err(&self, message: impl Into<String>) -> VdlError {
+        VdlError::Parse { line: self.line, message: message.into() }
+    }
+
+    fn lex(mut self) -> Result<Vec<(Tok, u32)>, VdlError> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos] as char;
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                ' ' | '\t' | '\r' => self.pos += 1,
+                '#' => {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                '(' => self.push1(&mut out, Tok::LParen),
+                ')' => self.push1(&mut out, Tok::RParen),
+                ',' => self.push1(&mut out, Tok::Comma),
+                '+' => self.push1(&mut out, Tok::Plus),
+                '-' => self.push1(&mut out, Tok::Minus),
+                '*' => self.push1(&mut out, Tok::Star),
+                '/' => self.push1(&mut out, Tok::Slash),
+                '%' => self.push1(&mut out, Tok::Percent),
+                '=' => {
+                    if self.peek2() == Some(b'=') {
+                        out.push((Tok::Eq, self.line));
+                        self.pos += 2;
+                    } else {
+                        self.push1(&mut out, Tok::Assign);
+                    }
+                }
+                '!' => {
+                    if self.peek2() == Some(b'=') {
+                        out.push((Tok::Ne, self.line));
+                        self.pos += 2;
+                    } else {
+                        self.push1(&mut out, Tok::Bang);
+                    }
+                }
+                '<' => {
+                    if self.peek2() == Some(b'=') {
+                        out.push((Tok::Le, self.line));
+                        self.pos += 2;
+                    } else {
+                        self.push1(&mut out, Tok::Lt);
+                    }
+                }
+                '>' => {
+                    if self.peek2() == Some(b'=') {
+                        out.push((Tok::Ge, self.line));
+                        self.pos += 2;
+                    } else {
+                        self.push1(&mut out, Tok::Gt);
+                    }
+                }
+                '&' => {
+                    if self.peek2() == Some(b'&') {
+                        out.push((Tok::AndAnd, self.line));
+                        self.pos += 2;
+                    } else {
+                        return Err(self.err("lone `&`"));
+                    }
+                }
+                '|' => {
+                    if self.peek2() == Some(b'|') {
+                        out.push((Tok::OrOr, self.line));
+                        self.pos += 2;
+                    } else {
+                        return Err(self.err("lone `|`"));
+                    }
+                }
+                '"' => {
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.pos < self.src.len() && self.src[self.pos] != b'"' {
+                        if self.src[self.pos] == b'\n' {
+                            return Err(self.err("newline in string"));
+                        }
+                        self.pos += 1;
+                    }
+                    if self.pos == self.src.len() {
+                        return Err(self.err("unterminated string"));
+                    }
+                    let s = std::str::from_utf8(&self.src[start..self.pos])
+                        .map_err(|_| self.err("invalid utf-8 in string"))?
+                        .to_string();
+                    self.pos += 1;
+                    out.push((Tok::Str(s), self.line));
+                }
+                c if c.is_ascii_digit() => {
+                    let start = self.pos;
+                    let mut dots = 0;
+                    while self.pos < self.src.len()
+                        && (self.src[self.pos].is_ascii_digit() || self.src[self.pos] == b'.')
+                    {
+                        if self.src[self.pos] == b'.' {
+                            dots += 1;
+                        }
+                        self.pos += 1;
+                    }
+                    let text = std::str::from_utf8(&self.src[start..self.pos]).expect("digits");
+                    let tok = match dots {
+                        0 => Tok::Int(
+                            text.parse().map_err(|_| self.err("integer out of range"))?,
+                        ),
+                        1 => Tok::Float(text.parse().map_err(|_| self.err("bad float"))?),
+                        _ => Tok::Oid(
+                            text.parse().map_err(|_| self.err("malformed oid"))?,
+                        ),
+                    };
+                    out.push((tok, self.line));
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let start = self.pos;
+                    while self.pos < self.src.len()
+                        && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                    let word =
+                        std::str::from_utf8(&self.src[start..self.pos]).expect("ident").to_string();
+                    // `alias.N` column references.
+                    if self.pos < self.src.len() && self.src[self.pos] == b'.' {
+                        let save = self.pos;
+                        self.pos += 1;
+                        let dstart = self.pos;
+                        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                            self.pos += 1;
+                        }
+                        if self.pos > dstart
+                            && (self.pos == self.src.len() || self.src[self.pos] != b'.')
+                        {
+                            let col: u32 = std::str::from_utf8(&self.src[dstart..self.pos])
+                                .expect("digits")
+                                .parse()
+                                .map_err(|_| self.err("column number out of range"))?;
+                            out.push((Tok::ColRef(word, col), self.line));
+                            continue;
+                        }
+                        self.pos = save;
+                    }
+                    out.push((Tok::Ident(word), self.line));
+                }
+                other => return Err(self.err(format!("unexpected character `{other}`"))),
+            }
+        }
+        out.push((Tok::Eof, self.line));
+        Ok(out)
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn push1(&mut self, out: &mut Vec<(Tok, u32)>, t: Tok) {
+        out.push((t, self.line));
+        self.pos += 1;
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, u32)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].1
+    }
+
+    fn err(&self, message: impl Into<String>) -> VdlError {
+        VdlError::Parse { line: self.line(), message: message.into() }
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), VdlError> {
+        match self.bump() {
+            Tok::Ident(w) if w == kw => Ok(()),
+            other => Err(self.err(format!("expected `{kw}`, found `{other:?}`"))),
+        }
+    }
+
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(w) if w == kw)
+    }
+
+    fn ident(&mut self) -> Result<String, VdlError> {
+        match self.bump() {
+            Tok::Ident(w) => Ok(w),
+            other => Err(self.err(format!("expected identifier, found `{other:?}`"))),
+        }
+    }
+
+    fn oid(&mut self) -> Result<Oid, VdlError> {
+        match self.bump() {
+            Tok::Oid(o) => Ok(o),
+            other => Err(self.err(format!("expected an OID, found `{other:?}`"))),
+        }
+    }
+
+    fn binding(&mut self) -> Result<TableBinding, VdlError> {
+        let alias = self.ident()?;
+        match self.bump() {
+            Tok::Assign => {}
+            other => return Err(self.err(format!("expected `=`, found `{other:?}`"))),
+        }
+        let entry = self.oid()?;
+        Ok(TableBinding { alias, entry })
+    }
+
+    fn view(&mut self) -> Result<ViewDef, VdlError> {
+        self.keyword("view")?;
+        let name = self.ident()?;
+        self.keyword("from")?;
+        let from = self.binding()?;
+        let join = if self.is_keyword("join") {
+            self.bump();
+            let b = self.binding()?;
+            self.keyword("on")?;
+            let on = self.expr()?;
+            Some((b, on))
+        } else {
+            None
+        };
+        let where_clause = if self.is_keyword("where") {
+            self.bump();
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.keyword("select")?;
+        let mut select = Vec::new();
+        loop {
+            let expr = self.expr()?;
+            let name = if self.is_keyword("as") {
+                self.bump();
+                self.ident()?
+            } else {
+                default_name(&expr, select.len())
+            };
+            select.push(SelectItem { expr, name });
+            if self.peek() == &Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let mut group_by = Vec::new();
+        if self.is_keyword("group") {
+            self.bump();
+            self.keyword("by")?;
+            loop {
+                group_by.push(self.expr()?);
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.is_keyword("order") {
+            self.bump();
+            self.keyword("by")?;
+            loop {
+                let column = self.ident()?;
+                let descending = if self.is_keyword("desc") {
+                    self.bump();
+                    true
+                } else {
+                    if self.is_keyword("asc") {
+                        self.bump();
+                    }
+                    false
+                };
+                order_by.push(OrderKey { column, descending });
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        if self.is_keyword("limit") {
+            self.bump();
+            match self.bump() {
+                Tok::Int(n) if n >= 0 => limit = Some(n as usize),
+                other => return Err(self.err(format!("limit needs a count, found `{other:?}`"))),
+            }
+        }
+        if self.peek() != &Tok::Eof {
+            return Err(self.err(format!("trailing input `{:?}`", self.peek())));
+        }
+        Ok(ViewDef { name, from, join, where_clause, select, group_by, order_by, limit })
+    }
+
+    fn expr(&mut self) -> Result<Expr, VdlError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, VdlError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == &Tok::OrOr {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, VdlError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek() == &Tok::AndAnd {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, VdlError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Eq => BinOp::Eq,
+            Tok::Ne => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, VdlError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, VdlError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, VdlError> {
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::Neg(Box::new(self.unary_expr()?)))
+            }
+            Tok::Bang => {
+                self.bump();
+                Ok(Expr::Not(Box::new(self.unary_expr()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, VdlError> {
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Float(v) => Ok(Expr::Float(v)),
+            Tok::Str(s) => Ok(Expr::Str(s)),
+            Tok::ColRef(alias, col) => Ok(Expr::Col { alias, col }),
+            Tok::LParen => {
+                let e = self.expr()?;
+                match self.bump() {
+                    Tok::RParen => Ok(e),
+                    other => Err(self.err(format!("expected `)`, found `{other:?}`"))),
+                }
+            }
+            Tok::Ident(word) => match word.as_str() {
+                "true" => Ok(Expr::Bool(true)),
+                "false" => Ok(Expr::Bool(false)),
+                "index" => {
+                    self.expect(Tok::LParen)?;
+                    let alias = self.ident()?;
+                    self.expect(Tok::RParen)?;
+                    Ok(Expr::Index { alias })
+                }
+                "sum" | "avg" | "min" | "max" | "count" => {
+                    let func = match word.as_str() {
+                        "sum" => AggFunc::Sum,
+                        "avg" => AggFunc::Avg,
+                        "min" => AggFunc::Min,
+                        "max" => AggFunc::Max,
+                        _ => AggFunc::Count,
+                    };
+                    self.expect(Tok::LParen)?;
+                    let expr = if self.peek() == &Tok::RParen {
+                        if func != AggFunc::Count {
+                            return Err(self.err(format!("{func}() needs an argument")));
+                        }
+                        None
+                    } else {
+                        Some(Box::new(self.expr()?))
+                    };
+                    self.expect(Tok::RParen)?;
+                    Ok(Expr::Agg { func, expr })
+                }
+                other => Err(self.err(format!("unexpected identifier `{other}` in expression"))),
+            },
+            other => Err(self.err(format!("unexpected token `{other:?}` in expression"))),
+        }
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), VdlError> {
+        let got = self.bump();
+        if got == want {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{want:?}`, found `{got:?}`")))
+        }
+    }
+}
+
+fn default_name(expr: &Expr, position: usize) -> String {
+    match expr {
+        Expr::Col { alias, col } => format!("{alias}_{col}"),
+        Expr::Index { alias } => format!("{alias}_index"),
+        Expr::Agg { func, .. } => format!("{func}_{position}"),
+        _ => format!("col_{position}"),
+    }
+}
+
+/// Parses one view definition, then checks alias references and
+/// aggregation shape.
+///
+/// # Errors
+///
+/// [`VdlError::Parse`], [`VdlError::UnknownAlias`] or
+/// [`VdlError::BadAggregation`].
+pub fn parse_view(source: &str) -> Result<ViewDef, VdlError> {
+    let toks = Lexer { src: source.as_bytes(), pos: 0, line: 1 }.lex()?;
+    let mut p = Parser { toks, pos: 0 };
+    let view = p.view()?;
+    validate(&view)?;
+    Ok(view)
+}
+
+fn validate(view: &ViewDef) -> Result<(), VdlError> {
+    let aliases = view.aliases();
+    let check_refs = |e: &Expr| check_aliases(e, &aliases);
+    if let Some((_, on)) = &view.join {
+        check_refs(on)?;
+    }
+    if let Some(w) = &view.where_clause {
+        check_refs(w)?;
+        if w.has_aggregate() {
+            return Err(VdlError::BadAggregation {
+                message: "aggregates are not allowed in `where`".to_string(),
+            });
+        }
+    }
+    for item in &view.select {
+        check_aliases(&item.expr, &aliases)?;
+    }
+    for g in &view.group_by {
+        check_aliases(g, &aliases)?;
+        if g.has_aggregate() {
+            return Err(VdlError::BadAggregation {
+                message: "aggregates are not allowed in `group by`".to_string(),
+            });
+        }
+    }
+    if view.is_aggregate() {
+        // Every non-aggregate select item must appear in group by.
+        for item in &view.select {
+            if !item.expr.has_aggregate() && !view.group_by.contains(&item.expr) {
+                return Err(VdlError::BadAggregation {
+                    message: format!(
+                        "select item `{}` is neither aggregated nor grouped",
+                        item.name
+                    ),
+                });
+            }
+        }
+    }
+    for key in &view.order_by {
+        if !view.select.iter().any(|s| s.name == key.column) {
+            return Err(VdlError::Parse {
+                line: 0,
+                message: format!("order by `{}` does not name an output column", key.column),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn check_aliases(e: &Expr, aliases: &[&str]) -> Result<(), VdlError> {
+    match e {
+        Expr::Col { alias, .. } | Expr::Index { alias } => {
+            if aliases.contains(&alias.as_str()) {
+                Ok(())
+            } else {
+                Err(VdlError::UnknownAlias { alias: alias.clone() })
+            }
+        }
+        Expr::Neg(inner) | Expr::Not(inner) => check_aliases(inner, aliases),
+        Expr::Binary { lhs, rhs, .. } => {
+            check_aliases(lhs, aliases)?;
+            check_aliases(rhs, aliases)
+        }
+        Expr::Agg { expr, .. } => expr.as_deref().map_or(Ok(()), |e| check_aliases(e, aliases)),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_view_parses() {
+        let v = parse_view(
+            "view all_vcs from vc = 1.3.6.1.4.1.353.2.5.1 select vc.1",
+        )
+        .unwrap();
+        assert_eq!(v.name, "all_vcs");
+        assert_eq!(v.from.alias, "vc");
+        assert_eq!(v.from.entry.to_string(), "1.3.6.1.4.1.353.2.5.1");
+        assert_eq!(v.select.len(), 1);
+        assert_eq!(v.select[0].name, "vc_1");
+        assert!(!v.is_aggregate());
+    }
+
+    #[test]
+    fn full_view_with_all_clauses() {
+        let v = parse_view(
+            "# suspicious connections\n\
+             view suspicious\n\
+             from c = 1.3.6.1.2.1.6.13.1\n\
+             join i = 1.3.6.1.2.1.2.2.1 on c.3 == i.1\n\
+             where c.1 == 5 && c.5 < 1024\n\
+             select c.4 as remote, count() as conns\n\
+             group by c.4",
+        )
+        .unwrap();
+        assert!(v.join.is_some());
+        assert!(v.where_clause.is_some());
+        assert_eq!(v.group_by.len(), 1);
+        assert!(v.is_aggregate());
+        assert_eq!(v.select[1].name, "conns");
+    }
+
+    #[test]
+    fn expressions_have_c_precedence() {
+        let v = parse_view(
+            "view x from a = 1.2.3 select a.1 + a.2 * 2 > 10 && a.3 == 1 as flag",
+        )
+        .unwrap();
+        match &v.select[0].expr {
+            Expr::Binary { op: BinOp::And, .. } => {}
+            other => panic!("expected &&, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn index_function() {
+        let v = parse_view("view x from a = 1.2.3 select index(a) as idx").unwrap();
+        assert_eq!(v.select[0].expr, Expr::Index { alias: "a".to_string() });
+    }
+
+    #[test]
+    fn aggregates_and_defaults() {
+        let v = parse_view("view x from a = 1.2.3 select sum(a.2), count()").unwrap();
+        assert!(v.is_aggregate());
+        assert_eq!(v.select[0].name, "sum_0");
+        assert_eq!(v.select[1].name, "count_1");
+    }
+
+    #[test]
+    fn unknown_alias_rejected() {
+        let err =
+            parse_view("view x from a = 1.2.3 select b.1").unwrap_err();
+        assert_eq!(err, VdlError::UnknownAlias { alias: "b".to_string() });
+        let err = parse_view("view x from a = 1.2.3 where z.1 == 1 select a.1").unwrap_err();
+        assert!(matches!(err, VdlError::UnknownAlias { .. }));
+    }
+
+    #[test]
+    fn ungrouped_bare_column_in_aggregate_view_rejected() {
+        let err = parse_view("view x from a = 1.2.3 select a.1, sum(a.2)").unwrap_err();
+        assert!(matches!(err, VdlError::BadAggregation { .. }));
+        // But fine when grouped.
+        parse_view("view x from a = 1.2.3 select a.1, sum(a.2) group by a.1").unwrap();
+    }
+
+    #[test]
+    fn aggregate_in_where_rejected() {
+        let err =
+            parse_view("view x from a = 1.2.3 where sum(a.1) > 5 select a.1").unwrap_err();
+        assert!(matches!(err, VdlError::BadAggregation { .. }));
+    }
+
+    #[test]
+    fn count_requires_no_arg_others_require_one() {
+        assert!(parse_view("view x from a = 1.2.3 select sum()").is_err());
+        assert!(parse_view("view x from a = 1.2.3 select count()").is_ok());
+        assert!(parse_view("view x from a = 1.2.3 select count(a.1)").is_ok());
+    }
+
+    #[test]
+    fn parse_errors_have_lines() {
+        let err = parse_view("view x\nfrom a = 1.2.3\nselect @").unwrap_err();
+        match err {
+            VdlError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_view("view x from a = 1.2.3 select a.1 bogus trailing").is_err());
+    }
+
+    #[test]
+    fn oid_vs_float_vs_colref_disambiguation() {
+        let v = parse_view("view x from a = 1.2.3 where a.1 > 1.5 select a.2").unwrap();
+        match v.where_clause.unwrap() {
+            Expr::Binary { rhs, .. } => assert_eq!(*rhs, Expr::Float(1.5)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Extraction of conceptual table rows from a [`MibStore`].
+//!
+//! SNMP lays a conceptual table out as `<entry>.<column>.<index...>`
+//! instances in OID order (column-major). [`read_table`] reassembles the
+//! rows: instances sharing the same index arcs under different columns
+//! form one [`Row`].
+
+use ber::{BerValue, Oid};
+use snmp::MibStore;
+use std::collections::BTreeMap;
+
+/// One conceptual row: its index arcs and its column values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// The index arcs identifying the row.
+    pub index: Vec<u32>,
+    /// Column number → value.
+    pub columns: BTreeMap<u32, BerValue>,
+}
+
+impl Row {
+    /// The row index in dotted form (`"10.0.0.1.80"`).
+    pub fn index_string(&self) -> String {
+        self.index.iter().map(u32::to_string).collect::<Vec<_>>().join(".")
+    }
+
+    /// The value of column `col`, if present.
+    pub fn get(&self, col: u32) -> Option<&BerValue> {
+        self.columns.get(&col)
+    }
+}
+
+/// Reads every row of the table whose `Entry` OID is `entry`, in index
+/// order.
+///
+/// Instances that do not fit the `<entry>.<col>.<index...>` shape (no
+/// column arc or empty index) are ignored.
+pub fn read_table(mib: &MibStore, entry: &Oid) -> Vec<Row> {
+    let mut rows: BTreeMap<Vec<u32>, Row> = BTreeMap::new();
+    for (oid, value) in mib.walk(entry) {
+        let Some(rest) = oid.strip_prefix(entry) else { continue };
+        let Some((&col, index)) = rest.split_first() else { continue };
+        if index.is_empty() {
+            continue;
+        }
+        rows.entry(index.to_vec())
+            .or_insert_with(|| Row { index: index.to_vec(), columns: BTreeMap::new() })
+            .columns
+            .insert(col, value);
+    }
+    rows.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snmp::mib2;
+
+    #[test]
+    fn interfaces_table_reassembles() {
+        let mib = MibStore::new();
+        mib2::install_interfaces(&mib, 3, 10_000_000).unwrap();
+        let rows = read_table(&mib, &mib2::if_entry());
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].index, vec![1]);
+        assert_eq!(rows[2].index, vec![3]);
+        assert_eq!(rows[1].get(2), Some(&BerValue::from("eth1")));
+        assert_eq!(rows[0].get(10), Some(&BerValue::Counter32(0)));
+        assert_eq!(rows[0].get(99), None);
+        assert_eq!(rows[0].index_string(), "1");
+    }
+
+    #[test]
+    fn composite_index_rows() {
+        let mib = MibStore::new();
+        let conn = mib2::TcpConn {
+            state: mib2::tcp_state::ESTABLISHED,
+            local: ([10, 0, 0, 1], 80),
+            remote: ([10, 0, 0, 2], 4242),
+        };
+        mib2::install_tcp_conn(&mib, conn).unwrap();
+        let rows = read_table(&mib, &mib2::tcp_conn_entry());
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].index_string(), "10.0.0.1.80.10.0.0.2.4242");
+        assert_eq!(rows[0].columns.len(), 5);
+    }
+
+    #[test]
+    fn scalars_under_entry_are_ignored() {
+        let mib = MibStore::new();
+        let entry: Oid = "1.3.6.1.4.1.7.1".parse().unwrap();
+        // A malformed "instance" with no index.
+        mib.set_scalar(entry.child(1), BerValue::Integer(1)).unwrap();
+        // A proper cell.
+        mib.set_scalar(entry.child(1).child(9), BerValue::Integer(2)).unwrap();
+        let rows = read_table(&mib, &entry);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].index, vec![9]);
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        let mib = MibStore::new();
+        assert!(read_table(&mib, &"1.3".parse().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn rows_are_in_index_order() {
+        let mib = MibStore::new();
+        let entry: Oid = "1.3.6.1.4.1.7.1".parse().unwrap();
+        for idx in [5u32, 1, 3] {
+            mib.set_scalar(entry.child(1).child(idx), BerValue::Integer(i64::from(idx)))
+                .unwrap();
+        }
+        let rows = read_table(&mib, &entry);
+        let order: Vec<u32> = rows.iter().map(|r| r.index[0]).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+}

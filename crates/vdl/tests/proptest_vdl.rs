@@ -1,0 +1,117 @@
+//! Property tests for the VDL: render/reparse fidelity, parser
+//! robustness, and evaluation safety over arbitrary stores.
+
+use ber::BerValue;
+use proptest::prelude::*;
+use snmp::MibStore;
+use vdl::{parse_view, smi};
+
+/// A structured generator of valid view texts.
+fn arb_view_text() -> impl Strategy<Value = String> {
+    let col = 1u32..6;
+    let cmp = prop_oneof![Just(">"), Just("<"), Just("=="), Just(">="), Just("<="), Just("!=")];
+    (
+        "[a-z][a-z0-9_]{0,10}",
+        col.clone(),
+        cmp,
+        -1000i64..1000,
+        proptest::collection::vec(1u32..6, 1..4),
+        any::<bool>(),
+    )
+        .prop_map(|(name, wcol, op, lit, sel_cols, aggregate)| {
+            let mut out = format!("view {name}\nfrom t = 1.3.6.1.4.1.77.1\n");
+            out.push_str(&format!("where t.{wcol} {op} {lit}\n"));
+            if aggregate {
+                let items: Vec<String> =
+                    sel_cols.iter().map(|c| format!("sum(t.{c}) as s{c}")).collect();
+                out.push_str(&format!("select {}, count() as n\n", items.join(", ")));
+            } else {
+                let items: Vec<String> =
+                    sel_cols.iter().map(|c| format!("t.{c} as c{c}")).collect();
+                out.push_str(&format!("select {}\n", items.join(", ")));
+            }
+            out
+        })
+}
+
+fn arb_store() -> impl Strategy<Value = MibStore> {
+    proptest::collection::vec((1u32..6, 1u32..20, any::<i32>()), 0..40).prop_map(|cells| {
+        let store = MibStore::new();
+        let entry: ber::Oid = "1.3.6.1.4.1.77.1".parse().unwrap();
+        for (col, row, v) in cells {
+            let _ = store.set_scalar(
+                entry.child(col).child(row),
+                BerValue::Integer(i64::from(v)),
+            );
+        }
+        store
+    })
+}
+
+proptest! {
+    #[test]
+    fn generated_views_parse_and_render_round_trip(text in arb_view_text()) {
+        let view = parse_view(&text).expect("generated views are valid");
+        let rendered = smi::to_vdl_text(&view);
+        let reparsed = parse_view(&rendered).expect("rendered views reparse");
+        prop_assert_eq!(&reparsed.name, &view.name);
+        prop_assert_eq!(reparsed.select.len(), view.select.len());
+        prop_assert_eq!(&reparsed.where_clause, &view.where_clause);
+        prop_assert_eq!(&reparsed.group_by, &view.group_by);
+    }
+
+    #[test]
+    fn parser_never_panics(text in "\\PC{0,300}") {
+        let _ = parse_view(&text);
+    }
+
+    #[test]
+    fn evaluation_never_panics_and_respects_projection_arity(
+        text in arb_view_text(),
+        store in arb_store(),
+    ) {
+        let mcva = vdl::Mcva::new(store);
+        mcva.define("v", &text).expect("valid view");
+        // Integer-only stores cannot type-fault these comparisons.
+        let result = mcva.evaluate("v").expect("evaluates");
+        let view = parse_view(&text).expect("valid");
+        for row in &result.rows {
+            prop_assert_eq!(row.len(), view.select.len());
+        }
+    }
+
+    #[test]
+    fn where_clause_filters_consistently(store in arb_store(), threshold in -500i64..500) {
+        let mcva = vdl::Mcva::new(store);
+        mcva.define(
+            "above",
+            &format!("view above from t = 1.3.6.1.4.1.77.1 where t.1 > {threshold} select t.1"),
+        )
+        .expect("valid");
+        mcva.define("all", "view all from t = 1.3.6.1.4.1.77.1 select t.1")
+            .expect("valid");
+        let above = mcva.evaluate("above").expect("evaluates");
+        let all = mcva.evaluate("all").expect("evaluates");
+        // Every selected row is above threshold…
+        for row in &above.rows {
+            if let vdl::CellValue::Int(v) = row[0] {
+                prop_assert!(v > threshold);
+            }
+        }
+        // …and the counts agree with a manual filter of the full view.
+        let expected = all
+            .rows
+            .iter()
+            .filter(|r| matches!(r[0], vdl::CellValue::Int(v) if v > threshold))
+            .count();
+        prop_assert_eq!(above.rows.len(), expected);
+    }
+
+    #[test]
+    fn smi_generation_never_panics_and_always_dwarfs_vdl(text in arb_view_text()) {
+        let view = parse_view(&text).expect("valid");
+        let vdl_size = smi::measure(&smi::to_vdl_text(&view));
+        let smi_size = smi::measure(&smi::to_smi_spec(&view));
+        prop_assert!(smi_size.lines > vdl_size.lines * 4);
+    }
+}

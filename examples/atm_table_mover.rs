@@ -1,0 +1,205 @@
+//! Moving large tables — the video-on-demand ATM switch example.
+//!
+//! The switch keeps a VC table with one row per subscriber. Retrieving
+//! it with SNMP `GetNext` costs a round trip per instance; delegating a
+//! filter returns only the rows that matter. This example runs both
+//! against the same simulated switch on a simulated WAN and prints the
+//! totals side by side (experiment E3 does the full sweep).
+//!
+//! Run with: `cargo run --example atm_table_mover`
+
+use mbd::netsim::{LinkSpec, SimDuration, Simulator};
+use mbd::snmp::{agent::SnmpAgent, mib2, MibStore};
+
+// Reuse the experiment actors through the bench crate? The example keeps
+// itself self-contained instead: a compact serial walker and a delegated
+// filter, both over netsim.
+use mbd::core::{ElasticConfig, ElasticProcess};
+use mbd::netsim::{Actor, Context, NodeId, TimerToken};
+use mbd::rds::{codec, RdsRequest, RdsResponse};
+
+const SUBSCRIBERS: u32 = 2_000;
+
+const FILTER: &str = r#"
+fn filter(threshold) {
+    var out = [];
+    var dropped = mib_walk("1.3.6.1.4.1.353.2.5.1.3");
+    for (oid in dropped) {
+        if (dropped[oid] > threshold) {
+            out = push(out, [oid, dropped[oid]]);
+        }
+    }
+    return out;
+}
+"#;
+
+struct Walker {
+    switch: NodeId,
+    mgr: mbd::snmp::manager::SnmpManager,
+    cursor: ber::Oid,
+    rows: u64,
+    done: Option<f64>,
+}
+
+impl Actor for Walker {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let req = self.mgr.get_next_request(std::slice::from_ref(&self.cursor)).unwrap();
+        ctx.send(self.switch, req);
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_>, _: NodeId, bytes: Vec<u8>) {
+        match self.mgr.parse_response(&bytes) {
+            Ok(vbs) if vbs[0].oid.starts_with(&mib2::atm_vc_entry()) => {
+                self.rows += 1;
+                self.cursor = vbs[0].oid.clone();
+                let req =
+                    self.mgr.get_next_request(std::slice::from_ref(&self.cursor)).unwrap();
+                ctx.send(self.switch, req);
+            }
+            _ => self.done = Some(ctx.now().as_secs_f64()),
+        }
+    }
+    fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {}
+}
+
+struct Delegator {
+    switch: NodeId,
+    phase: u8,
+    next_id: i64,
+    matches: u64,
+    done: Option<f64>,
+}
+
+impl Delegator {
+    fn send(&mut self, ctx: &mut Context<'_>, req: &RdsRequest) {
+        let bytes =
+            codec::encode_request(req, &mbd_auth::Principal::new("noc"), self.next_id, None);
+        self.next_id += 1;
+        ctx.send(self.switch, bytes);
+    }
+}
+
+impl Actor for Delegator {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.send(
+            ctx,
+            &RdsRequest::DelegateProgram {
+                dp_name: "filter".to_string(),
+                language: "dpl".to_string(),
+                source: FILTER.as_bytes().to_vec(),
+            },
+        );
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_>, _: NodeId, bytes: Vec<u8>) {
+        let (resp, _) = codec::decode_response(&bytes, None).expect("decodable");
+        match (self.phase, resp) {
+            (0, RdsResponse::Ok) => {
+                self.phase = 1;
+                self.send(ctx, &RdsRequest::Instantiate { dp_name: "filter".to_string() });
+            }
+            (1, RdsResponse::Instantiated { dpi }) => {
+                self.phase = 2;
+                self.send(
+                    ctx,
+                    &RdsRequest::Invoke {
+                        dpi,
+                        entry: "filter".to_string(),
+                        args: vec![ber::BerValue::Integer(6)],
+                    },
+                );
+            }
+            (2, RdsResponse::Result { value }) => {
+                if let ber::BerValue::Sequence(rows) = value {
+                    self.matches = rows.len() as u64;
+                }
+                self.done = Some(ctx.now().as_secs_f64());
+            }
+            (p, r) => panic!("phase {p}: unexpected {r:?}"),
+        }
+    }
+    fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {}
+}
+
+struct MbdSwitch {
+    server: mbd::core::MbdServer,
+}
+impl Actor for MbdSwitch {
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, bytes: Vec<u8>) {
+        ctx.send(from, self.server.process_request(&bytes));
+    }
+    fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {}
+}
+
+struct SnmpSwitch {
+    agent: SnmpAgent,
+}
+impl Actor for SnmpSwitch {
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, bytes: Vec<u8>) {
+        if let Some(resp) = self.agent.handle(&bytes) {
+            ctx.send(from, resp);
+        }
+    }
+    fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {}
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("ATM switch with {SUBSCRIBERS} subscriber VCs, WAN link (100 ms RTT)\n");
+
+    // --- Raw walk over SNMP. ---
+    let mib = MibStore::new();
+    mib2::install_atm_vc_table(&mib, SUBSCRIBERS)?;
+    let mut sim = Simulator::new(1);
+    let switch =
+        sim.add_node("switch", SnmpSwitch { agent: SnmpAgent::new("public", mib) });
+    let mgr = sim.add_node(
+        "manager",
+        Walker {
+            switch,
+            mgr: mbd::snmp::manager::SnmpManager::new("public"),
+            cursor: mib2::atm_vc_entry(),
+            rows: 0,
+            done: None,
+        },
+    );
+    sim.connect(mgr, switch, LinkSpec::wan());
+    sim.run_until(mbd::netsim::SimTime::ZERO + SimDuration::from_secs(3_600));
+    let (walk_time, walk_rows) = {
+        let w = sim.actor::<Walker>(mgr);
+        (w.done.expect("walk finished"), w.rows)
+    };
+    let walk_bytes = sim.stats().wire_bytes;
+    println!(
+        "GetNext walk : {walk_rows} instances in {walk_time:.1} s, {walk_bytes} wire bytes"
+    );
+
+    // --- Delegated filter over RDS. ---
+    let process = ElasticProcess::new(ElasticConfig {
+        budget: dpl::Budget { fuel: 500_000_000, memory: 200_000_000, call_depth: 64 },
+        ..ElasticConfig::default()
+    });
+    mib2::install_atm_vc_table(process.mib(), SUBSCRIBERS)?;
+    let mut sim = Simulator::new(2);
+    let switch = sim.add_node(
+        "switch",
+        MbdSwitch { server: mbd::core::MbdServer::open(process) },
+    );
+    let mgr = sim.add_node(
+        "manager",
+        Delegator { switch, phase: 0, next_id: 1, matches: 0, done: None },
+    );
+    sim.connect(mgr, switch, LinkSpec::wan());
+    sim.run();
+    let (dlg_time, matches) = {
+        let d = sim.actor::<Delegator>(mgr);
+        (d.done.expect("delegation finished"), d.matches)
+    };
+    let dlg_bytes = sim.stats().wire_bytes;
+    println!(
+        "Delegated    : {matches} matching rows in {dlg_time:.3} s, {dlg_bytes} wire bytes"
+    );
+    println!(
+        "\nspeedup {:.0}x, byte reduction {:.0}x",
+        walk_time / dlg_time,
+        walk_bytes as f64 / dlg_bytes as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,143 @@
+//! Extending a service by delegation — the dFLASH example.
+//!
+//! The thesis describes dFLASH, "a homologous sequence retrieval program
+//! for protein sequences" serving researchers by e-mail: the server runs
+//! a fixed search, and anyone needing a different analysis must pull the
+//! whole result set (or database) across the network. With an elastic
+//! server, a researcher *delegates* a custom scoring function instead:
+//! the analysis runs beside the data and only the hits travel.
+//!
+//! Here the "database" is a synthetic protein-sequence store exposed to
+//! agents through custom host services (`db_size`, `db_seq`), and the
+//! researcher's agent is a k-mer similarity scorer written in DPL.
+//!
+//! Run with: `cargo run --example sequence_service`
+
+use mbd::core::{ElasticConfig, ElasticProcess};
+use mbd::dpl::Value;
+
+/// Deterministic synthetic "protein" sequences over the 20-letter
+/// alphabet, with a few planted near-matches of the query.
+fn synthesize_database(n: usize) -> Vec<String> {
+    const AA: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
+    let mut db = Vec::with_capacity(n);
+    let mut state = 0x2545F4914F6CDD1Du64;
+    for i in 0..n {
+        let mut seq = String::new();
+        let len = 60 + (i % 40);
+        for _ in 0..len {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            seq.push(AA[(state % 20) as usize] as char);
+        }
+        db.push(seq);
+    }
+    // Plant three sequences sharing a long motif with the query.
+    let motif = "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ";
+    for (slot, suffix) in [(7usize, "AAAA"), (420, "CCCC"), (901, "GGGG")] {
+        db[slot] = format!("{motif}{suffix}{}", &db[slot][..20]);
+    }
+    db
+}
+
+/// The researcher's delegated analysis: k-mer overlap scoring, top-N.
+const SCORER: &str = r#"
+fn kmers(seq, k) {
+    var out = map_new();
+    var n = len(seq);
+    var i = 0;
+    while (i + k <= n) {
+        out[substr(seq, i, k)] = true;
+        i = i + 1;
+    }
+    return out;
+}
+
+fn score(query_kmers, seq, k) {
+    var hits = 0;
+    var n = len(seq);
+    var i = 0;
+    while (i + k <= n) {
+        if (has(query_kmers, substr(seq, i, k))) { hits = hits + 1; }
+        i = i + 1;
+    }
+    return hits;
+}
+
+fn search(query, k, min_score) {
+    var qk = kmers(query, k);
+    var matches = [];
+    var n = db_size();
+    var i = 0;
+    while (i < n) {
+        var s = score(qk, db_seq(i), k);
+        if (s >= min_score) {
+            matches = push(matches, [i, s]);
+        }
+        i = i + 1;
+    }
+    return matches;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let database = synthesize_database(1_000);
+    let db_bytes: usize = database.iter().map(String::len).sum();
+
+    // The sequence server is an elastic process whose host services
+    // expose the database read-only to delegated analyses.
+    let process = ElasticProcess::new(ElasticConfig {
+        budget: mbd::dpl::Budget { fuel: 500_000_000, memory: 50_000_000, call_depth: 64 },
+        ..ElasticConfig::default()
+    });
+    {
+        let db = database.clone();
+        process.register_service("db_size", 0, move |_, _| Ok(Value::Int(db.len() as i64)));
+    }
+    {
+        let db = database.clone();
+        process.register_service("db_seq", 1, move |_, args| {
+            let i = args[0].as_int().ok_or("db_seq: index must be int")?;
+            let i = usize::try_from(i).map_err(|_| "db_seq: negative index".to_string())?;
+            db.get(i).map(|s| Value::Str(s.clone())).ok_or_else(|| "db_seq: out of range".into())
+        });
+    }
+
+    // The researcher delegates the scorer once...
+    process.delegate("homology", SCORER)?;
+    let dpi = process.instantiate("homology")?;
+
+    // ...then asks for matches to a query sequence.
+    let query = "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQAPILSRVGDGTQDNLSGAEKAVQ";
+    let result = process.invoke(
+        dpi,
+        "search",
+        &[Value::from(query), Value::Int(8), Value::Int(10)],
+    )?;
+
+    println!("database: {} sequences, {} bytes total", database.len(), db_bytes);
+    println!("query   : {query}");
+    println!("\nhomologous sequences found (index, shared 8-mers):");
+    let mut result_bytes = 0usize;
+    if let Some(matches) = result.as_list() {
+        for m in matches {
+            println!("  {m}");
+            result_bytes += m.to_string().len();
+        }
+        println!(
+            "\ndelegation shipped {} bytes of agent + {} bytes of results; \
+             e-mailing the database would ship {} bytes ({}x more)",
+            SCORER.len(),
+            result_bytes,
+            db_bytes,
+            db_bytes / (SCORER.len() + result_bytes.max(1))
+        );
+        assert!(
+            matches.len() >= 3,
+            "the three planted homologs must be found, got {}",
+            matches.len()
+        );
+    }
+    Ok(())
+}

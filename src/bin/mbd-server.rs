@@ -1,0 +1,101 @@
+//! `mbd-server` — run an elastic process behind RDS over TCP.
+//!
+//! ```console
+//! mbd-server [--listen 127.0.0.1:4700] [--key SECRET] [--demo-mib]
+//!            [--snmp 127.0.0.1:1161] [--community public]
+//! ```
+//!
+//! With `--demo-mib` the server's MIB is pre-populated with the MIB-II
+//! subset, the concentrator counters and a 100-row ATM VC table, so
+//! `mbdctl`-delegated agents have something to compute over.
+//!
+//! With `--snmp ADDR` the same elastic process is *also* visible to
+//! legacy SNMP managers over UDP (RFC 1157's transport), through the
+//! OCP adapter: device data, delegated agents' published objects, and
+//! the server's own status subtree, e.g.
+//! `snmpwalk -v1 -c public 127.0.0.1:1161 1.3.6.1.4.1.20100.1`.
+
+use mbd::core::{ElasticConfig, ElasticProcess, MbdServer};
+use mbd::rds::TcpServer;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut listen = "127.0.0.1:4700".to_string();
+    let mut key: Option<Vec<u8>> = None;
+    let mut demo_mib = false;
+    let mut snmp_listen: Option<String> = None;
+    let mut community = "public".to_string();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = args.next().ok_or("--listen needs an address")?,
+            "--key" => key = Some(args.next().ok_or("--key needs a secret")?.into_bytes()),
+            "--demo-mib" => demo_mib = true,
+            "--snmp" => snmp_listen = Some(args.next().ok_or("--snmp needs an address")?),
+            "--community" => community = args.next().ok_or("--community needs a name")?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: mbd-server [--listen ADDR] [--key SECRET] [--demo-mib] \
+                     [--snmp ADDR] [--community NAME]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument `{other}`").into()),
+        }
+    }
+
+    let process = ElasticProcess::new(ElasticConfig::default());
+    if demo_mib {
+        mbd::snmp::mib2::install_system(process.mib(), "mbd demo device", "demo")?;
+        mbd::snmp::mib2::install_interfaces(process.mib(), 4, 10_000_000)?;
+        mbd::snmp::mib2::install_concentrator(process.mib())?;
+        mbd::snmp::mib2::install_atm_vc_table(process.mib(), 100)?;
+        println!("demo MIB installed ({} objects)", process.mib().len());
+    }
+    let authenticated = key.is_some();
+    let server = Arc::new(MbdServer::with_policy(
+        process.clone(),
+        mbd_auth::Acl::allow_by_default(),
+        key,
+    ));
+
+    let tcp = {
+        let server = Arc::clone(&server);
+        TcpServer::spawn(listen.as_str(), move |bytes| server.process_request(bytes))?
+    };
+    println!(
+        "mbd-server listening on {} (auth: {})",
+        tcp.local_addr(),
+        if authenticated { "md5 keyed digest" } else { "none" }
+    );
+
+    // Optional legacy SNMP plane over UDP, via the OCP adapter.
+    if let Some(addr) = snmp_listen {
+        let ocp = mbd::core::ocp::SnmpOcp::new(process.clone(), &community);
+        let socket = std::net::UdpSocket::bind(addr.as_str())?;
+        println!("snmp agent (community `{community}`) on udp {}", socket.local_addr()?);
+        std::thread::spawn(move || {
+            let mut buf = [0u8; 65_535];
+            loop {
+                let Ok((n, peer)) = socket.recv_from(&mut buf) else { continue };
+                if let Some(resp) = ocp.handle(&buf[..n]) {
+                    let _ = socket.send_to(&resp, peer);
+                }
+            }
+        });
+    }
+    println!("press ctrl-c to stop");
+
+    // Periodically surface agent notifications and log lines.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(1));
+        process.advance_ticks(100);
+        for note in process.drain_notifications() {
+            println!("[notify] {}: {}", note.dpi, note.value);
+        }
+        for line in process.drain_log() {
+            println!("[agent]  {line}");
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! `mbdctl` — a manager's command-line client for an MbD server.
+//!
+//! ```console
+//! mbdctl [--server 127.0.0.1:4700] [--key SECRET] [--principal NAME] COMMAND
+//!
+//! commands:
+//!   delegate NAME FILE          translate + store FILE's DPL source as NAME
+//!   delete NAME                 remove a stored program
+//!   instantiate NAME            create an instance; prints its dpi id
+//!   invoke DPI ENTRY [ARG...]   run an entry point (ints, floats, strings)
+//!   suspend|resume|terminate DPI
+//!   send DPI PAYLOAD            post to the instance's mailbox
+//!   programs                    list stored programs
+//!   instances                   list instances and their states
+//! ```
+
+use ber::BerValue;
+use mbd::rds::{DpiId, RdsClient, TcpTransport};
+
+fn parse_arg(s: &str) -> BerValue {
+    if let Ok(i) = s.parse::<i64>() {
+        return BerValue::Integer(i);
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        // Ride floats through the convert layer's tagged encoding.
+        return BerValue::OctetString(format!("f:{f}").into_bytes());
+    }
+    BerValue::OctetString(s.as_bytes().to_vec())
+}
+
+fn parse_dpi(s: &str) -> Result<DpiId, String> {
+    let digits = s.strip_prefix("dpi-").unwrap_or(s);
+    digits.parse::<u64>().map(DpiId).map_err(|_| format!("bad dpi id `{s}`"))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut server = "127.0.0.1:4700".to_string();
+    let mut key: Option<Vec<u8>> = None;
+    let mut principal = "mbdctl".to_string();
+    let mut rest: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--server" => server = args.next().ok_or("--server needs an address")?,
+            "--key" => key = Some(args.next().ok_or("--key needs a secret")?.into_bytes()),
+            "--principal" => principal = args.next().ok_or("--principal needs a name")?,
+            "--help" | "-h" => {
+                println!("see `mbdctl` module docs; commands: delegate delete instantiate invoke suspend resume terminate send programs instances");
+                return Ok(());
+            }
+            other => {
+                rest.push(other.to_string());
+                rest.extend(args.by_ref());
+            }
+        }
+    }
+    let (command, rest) = rest.split_first().ok_or("missing command (try --help)")?;
+
+    let transport = TcpTransport::connect(server.as_str())?;
+    let client = match key {
+        Some(k) => RdsClient::with_key(transport, &principal, k),
+        None => RdsClient::new(transport, &principal),
+    };
+
+    match (command.as_str(), rest) {
+        ("delegate", [name, file]) => {
+            let source = std::fs::read_to_string(file)?;
+            client.delegate(name, &source)?;
+            println!("delegated `{name}` ({} bytes)", source.len());
+        }
+        ("delete", [name]) => {
+            client.delete(name)?;
+            println!("deleted `{name}`");
+        }
+        ("instantiate", [name]) => {
+            let dpi = client.instantiate(name)?;
+            println!("{dpi}");
+        }
+        ("invoke", [dpi, entry, args @ ..]) => {
+            let dpi = parse_dpi(dpi)?;
+            let args: Vec<BerValue> = args.iter().map(|s| parse_arg(s)).collect();
+            let result = client.invoke(dpi, entry, &args)?;
+            println!("{result}");
+        }
+        ("suspend", [dpi]) => client.suspend(parse_dpi(dpi)?)?,
+        ("resume", [dpi]) => client.resume(parse_dpi(dpi)?)?,
+        ("terminate", [dpi]) => client.terminate(parse_dpi(dpi)?)?,
+        ("send", [dpi, payload]) => client.send_message(parse_dpi(dpi)?, payload.as_bytes())?,
+        ("programs", []) => {
+            for name in client.list_programs()? {
+                println!("{name}");
+            }
+        }
+        ("instances", []) => {
+            for i in client.list_instances()? {
+                println!("{}\t{}\t{}", i.id, i.dp_name, i.state);
+            }
+        }
+        (cmd, _) => return Err(format!("bad command or arguments: `{cmd}` (try --help)").into()),
+    }
+    Ok(())
+}

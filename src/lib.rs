@@ -1,0 +1,53 @@
+//! # Distributed Management by Delegation (MbD)
+//!
+//! Umbrella crate re-exporting the MbD workspace: a Rust reproduction of
+//! *Distributed Management by Delegation* (Goldszmidt & Yemini, ICDCS 1995).
+//!
+//! The system decentralizes network management by delegating programs
+//! (agents) to **elastic processes** running near managed devices, instead
+//! of polling raw data to a central manager:
+//!
+//! - [`dpl`] — the Delegated Program Language agents are written in,
+//!   compiled and sandboxed by the server-side translator.
+//! - [`rds`] — the Remote Delegation Service protocol (delegate /
+//!   instantiate / invoke / suspend / resume / terminate).
+//! - [`core`] — the elastic process runtime: repository, translator,
+//!   delegated-program-instance (dpi) threads, and the MbD server.
+//! - [`snmp`] — SNMPv1 substrate: BER codec, MIB store, MIB-II subset,
+//!   agent and manager engines (the centralized baseline).
+//! - [`vdl`] — MIB views and the View Definition Language.
+//! - [`health`] — delegated health functions and perceptron training.
+//! - [`netsim`] — the discrete-event network simulator the experiments
+//!   run on.
+//! - [`ber`] — the shared ASN.1 BER codec.
+//! - [`auth`] — MD5 digests and handle-based access control.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mbd::core::{ElasticProcess, ElasticConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // An elastic process that accepts delegated DPL agents.
+//! let process = ElasticProcess::new(ElasticConfig::default());
+//!
+//! // Delegate a tiny agent, instantiate it, and invoke it.
+//! process.delegate("adder", "fn main(a, b) { return a + b; }")?;
+//! let dpi = process.instantiate("adder")?;
+//! let result = process.invoke(dpi, "main", &[2.into(), 3.into()])?;
+//! assert_eq!(result, 5.into());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod integrations;
+
+pub use ber;
+pub use dpl;
+pub use health;
+pub use mbd_auth as auth;
+pub use mbd_core as core;
+pub use netsim;
+pub use rds;
+pub use snmp;
+pub use vdl;

@@ -1,0 +1,142 @@
+//! Stress: the elastic process under concurrent mixed load — delegation,
+//! instantiation, invocation, lifecycle churn and faults all at once.
+//! Bounded to stay fast; the point is absence of deadlocks, panics and
+//! state corruption, not throughput.
+
+use mbd::core::{ElasticConfig, ElasticProcess};
+use mbd::dpl::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+#[test]
+fn concurrent_mixed_workload_survives() {
+    let p = ElasticProcess::new(ElasticConfig {
+        budget: dpl::Budget { fuel: 100_000, memory: 100_000, call_depth: 32 },
+        max_instances: 4096,
+        keep_terminated: true,
+    });
+    p.delegate(
+        "worker",
+        r#"var state = 0;
+           fn work(n) {
+               var i = 0;
+               while (i < n) { state = state + i; i = i + 1; }
+               if (n == 13) { return 1 / 0; }  // unlucky inputs fault
+               return state;
+           }"#,
+    )
+    .unwrap();
+
+    let threads = 8;
+    let ops_per_thread = 200;
+    let barrier = Arc::new(std::sync::Barrier::new(threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let p = p.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(t as u64);
+                let mut my_dpis: Vec<mbd::core::DpiId> = Vec::new();
+                barrier.wait();
+                for op in 0..ops_per_thread {
+                    match rng.gen_range(0u32..10) {
+                        0 => {
+                            // Occasionally (re)delegate a fresh variant.
+                            let _ = p.delegate(
+                                &format!("worker-{t}-{op}"),
+                                "fn work(n) { return n * 2; }",
+                            );
+                        }
+                        1..=3 => {
+                            if let Ok(dpi) = p.instantiate("worker") {
+                                my_dpis.push(dpi);
+                            }
+                        }
+                        4..=7 => {
+                            if let Some(&dpi) = my_dpis.last() {
+                                let n = rng.gen_range(0i64..20);
+                                let _ = p.invoke(dpi, "work", &[Value::Int(n)]);
+                            }
+                        }
+                        8 => {
+                            if let Some(&dpi) = my_dpis.last() {
+                                let _ = p.suspend(dpi);
+                                let _ = p.resume(dpi);
+                            }
+                        }
+                        _ => {
+                            if my_dpis.len() > 4 {
+                                let dpi = my_dpis.remove(0);
+                                let _ = p.terminate(dpi);
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no stress thread may panic");
+    }
+
+    // Global invariants after the storm.
+    let stats = p.stats();
+    assert!(stats.invocations_ok > 0, "some invocations must have succeeded");
+    assert!(stats.invocations_failed > 0, "the n == 13 inputs must have faulted");
+    let instances = p.list_instances();
+    assert!(!instances.is_empty());
+    // Every terminated-by-fault or explicitly-terminated dpi is visible
+    // and consistent; every Ready dpi still works.
+    let mut live_checked = 0;
+    for i in instances.iter().take(50) {
+        if i.state == mbd::core::DpiState::Ready {
+            let v = p.invoke(i.id, "work", &[Value::Int(1)]).expect("ready dpis run");
+            assert!(matches!(v, Value::Int(_)));
+            live_checked += 1;
+        }
+    }
+    assert!(live_checked > 0, "at least one dpi should still be live");
+}
+
+#[test]
+fn repository_churn_under_concurrent_instantiation() {
+    let p = ElasticProcess::new(ElasticConfig::default());
+    p.delegate("v", "fn f() { return 1; }").unwrap();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    // One thread hot-swaps the program continuously...
+    let swapper = {
+        let p = p.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut version = 2i64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                p.delegate("v", &format!("fn f() {{ return {version}; }}")).unwrap();
+                version += 1;
+            }
+            version
+        })
+    };
+    // ...while others instantiate and invoke it.
+    let users: Vec<_> = (0..4)
+        .map(|_| {
+            let p = p.clone();
+            std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let dpi = p.instantiate("v").expect("always instantiable");
+                    let v = p.invoke(dpi, "f", &[]).expect("always runs");
+                    assert!(matches!(v, Value::Int(n) if n >= 1));
+                    p.terminate(dpi).expect("terminates");
+                }
+            })
+        })
+        .collect();
+    for u in users {
+        u.join().expect("no user panics");
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let final_version = swapper.join().expect("no swapper panic");
+    assert!(final_version > 2);
+    assert!(p.repository().lookup("v").unwrap().version > 1);
+}

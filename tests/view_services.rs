@@ -1,0 +1,102 @@
+//! Integration: delegated agents driving the MCVA through host services —
+//! the view machinery itself used *by* mobile code.
+
+use mbd::core::{ElasticConfig, ElasticProcess};
+use mbd::dpl::Value;
+use mbd::snmp::mib2;
+use mbd::vdl::Mcva;
+
+fn process_with_views() -> ElasticProcess {
+    let p = ElasticProcess::new(ElasticConfig::default());
+    mib2::install_interfaces(p.mib(), 4, 10_000_000).unwrap();
+    p.mib().counter_add(&mib2::if_in_octets(2), 5_000_000).unwrap();
+    p.mib().counter_add(&mib2::if_in_octets(4), 9_000_000).unwrap();
+    let mcva = Mcva::new(p.mib().clone());
+    mbd::integrations::install_view_services(&p, mcva);
+    p
+}
+
+#[test]
+fn agent_defines_and_evaluates_a_view() {
+    let p = process_with_views();
+    p.delegate(
+        "analyst",
+        r#"fn busy_count(threshold) {
+             view_define("busy",
+                 "view busy from i = 1.3.6.1.2.1.2.2.1 where i.10 > " + str(threshold) +
+                 " select i.2 as name, i.10 as octets order by octets desc");
+             return len(view_eval("busy"));
+           }"#,
+    )
+    .unwrap();
+    let dpi = p.instantiate("analyst").unwrap();
+    assert_eq!(p.invoke(dpi, "busy_count", &[Value::Int(1_000_000)]).unwrap(), Value::Int(2));
+    // Redefinition with a new threshold works (agents own their views).
+    assert_eq!(p.invoke(dpi, "busy_count", &[Value::Int(8_000_000)]).unwrap(), Value::Int(1));
+}
+
+#[test]
+fn agent_reads_view_rows_as_values() {
+    let p = process_with_views();
+    p.delegate(
+        "topper",
+        r#"fn top_if() {
+             view_define("top",
+                 "view top from i = 1.3.6.1.2.1.2.2.1 select i.2 as name, i.10 as octets order by octets desc limit 1");
+             var rows = view_eval("top");
+             return rows[0];
+           }"#,
+    )
+    .unwrap();
+    let dpi = p.instantiate("topper").unwrap();
+    let v = p.invoke(dpi, "top_if", &[]).unwrap();
+    assert_eq!(
+        v,
+        Value::list(vec![Value::Str("eth3".to_string()), Value::Int(9_000_000)])
+    );
+}
+
+#[test]
+fn agent_materializes_a_view_for_snmp_consumers() {
+    let p = process_with_views();
+    p.delegate(
+        "publisher",
+        r#"fn publish() {
+             view_define("counts",
+                 "view counts from i = 1.3.6.1.2.1.2.2.1 select count() as n");
+             return view_materialize("counts");
+           }"#,
+    )
+    .unwrap();
+    let dpi = p.instantiate("publisher").unwrap();
+    let root = p.invoke(dpi, "publish", &[]).unwrap();
+    let root_oid: ber::Oid = match &root {
+        Value::Str(s) => s.parse().unwrap(),
+        other => panic!("expected oid string, got {other:?}"),
+    };
+    // The materialized count cell is now plain MIB data.
+    assert_eq!(
+        p.mib().get(&root_oid.child(1).child(1)),
+        Some(ber::BerValue::Integer(4))
+    );
+}
+
+#[test]
+fn bad_view_text_is_a_host_error_not_a_crash() {
+    let p = process_with_views();
+    p.delegate(
+        "clumsy",
+        r#"fn go() { view_define("x", "view x frm nonsense"); return 0; }"#,
+    )
+    .unwrap();
+    let dpi = p.instantiate("clumsy").unwrap();
+    let err = p.invoke(dpi, "go", &[]).unwrap_err();
+    assert!(matches!(
+        err,
+        mbd::core::CoreError::Runtime(mbd::dpl::RuntimeError::Host { .. })
+    ));
+    // Unknown view on eval likewise.
+    p.delegate("curious", r#"fn go() { return view_eval("ghost"); }"#).unwrap();
+    let dpi = p.instantiate("curious").unwrap();
+    assert!(p.invoke(dpi, "go", &[]).is_err());
+}

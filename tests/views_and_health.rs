@@ -1,0 +1,152 @@
+//! Integration: views (vdl) and health functions (health) composed with
+//! the elastic process and the SNMP substrate.
+
+use mbd::core::{ElasticConfig, ElasticProcess};
+use mbd::health::{evaluate, lms_train, ConcentratorObserver, Scenario, ScenarioConfig, TrainConfig};
+use mbd::snmp::{agent::SnmpAgent, manager::SnmpManager, mib2, MibStore};
+use mbd::vdl::{CellValue, Mcva};
+
+#[test]
+fn delegated_agent_and_mcva_share_one_mib() {
+    // An elastic process publishes computed values; an MCVA view reads
+    // them back alongside raw instrumentation.
+    let process = ElasticProcess::new(ElasticConfig::default());
+    mib2::install_interfaces(process.mib(), 3, 10_000_000).unwrap();
+    for (ifidx, octets) in [(1u32, 100u64), (2, 5_000_000), (3, 8_000_000)] {
+        process.mib().counter_add(&mib2::if_in_octets(ifidx), octets).unwrap();
+    }
+    // The agent flags interfaces above a threshold into a private table.
+    process
+        .delegate(
+            "flagger",
+            r#"fn flag(threshold) {
+                 var octets = mib_walk("1.3.6.1.2.1.2.2.1.10");
+                 var n = 0;
+                 for (oid in octets) {
+                     if (octets[oid] > threshold) {
+                         var parts = split(oid, ".");
+                         var ifidx = parts[len(parts) - 1];
+                         mib_publish("1.3.6.1.4.1.99.1.1.1." + ifidx, 1);
+                         n = n + 1;
+                     }
+                 }
+                 return n;
+               }"#,
+        )
+        .unwrap();
+    let dpi = process.instantiate("flagger").unwrap();
+    let flagged = process.invoke(dpi, "flag", &[dpl::Value::Int(1_000_000)]).unwrap();
+    assert_eq!(flagged, dpl::Value::Int(2));
+
+    // A join view correlates the agent's table with the standard one.
+    let mcva = Mcva::new(process.mib().clone());
+    mcva.define(
+        "alarmed",
+        "view alarmed\n\
+         from a = 1.3.6.1.4.1.99.1.1\n\
+         join i = 1.3.6.1.2.1.2.2.1 on index(a) == index(i)\n\
+         select i.2 as name, i.10 as octets",
+    )
+    .unwrap();
+    let result = mcva.evaluate("alarmed").unwrap();
+    assert_eq!(result.rows.len(), 2);
+    assert_eq!(result.rows[0][0], CellValue::Str("eth1".to_string()));
+    assert_eq!(result.rows[1][0], CellValue::Str("eth2".to_string()));
+}
+
+#[test]
+fn observer_pipeline_feeds_training_and_the_trained_index_deploys_as_an_agent() {
+    // 1. Observe a labeled workload through the real MIB pipeline.
+    let mut scenario = Scenario::new(ScenarioConfig::default(), 99);
+    let trace = scenario.labeled_trace(600);
+    // 2. Train.
+    let index = lms_train(&trace, TrainConfig::default());
+    let metrics = evaluate(&index, &trace);
+    assert!(metrics.accuracy > 0.85, "{metrics:?}");
+
+    // 3. Deploy the learned weights *as a delegated agent*.
+    let w = index.weights();
+    let agent_src = format!(
+        r#"var prev_rx = 0; var prev_frames = 0; var prev_coll = 0;
+           var prev_bcast = 0; var prev_errs = 0; var first = true;
+           fn classify(interval_secs) {{
+               var rx = mib_get("1.3.6.1.4.1.45.1.3.2.1.0");
+               var frames = mib_get("1.3.6.1.4.1.45.1.3.2.4.0");
+               var coll = mib_get("1.3.6.1.4.1.45.1.3.2.2.0");
+               var bcast = mib_get("1.3.6.1.4.1.45.1.3.2.3.0");
+               var errs = mib_get("1.3.6.1.2.1.2.2.1.14.1");
+               var d_frames = frames - prev_frames;
+               var util = (rx - prev_rx) / (interval_secs * 1250000.0);
+               var cr = 0.0; var br = 0.0; var er = 0.0;
+               if (d_frames > 0) {{
+                   cr = float(coll - prev_coll) / float(d_frames);
+                   br = float(bcast - prev_bcast) / float(d_frames);
+                   er = float(errs - prev_errs) / float(d_frames);
+               }}
+               prev_rx = rx; prev_frames = frames; prev_coll = coll;
+               prev_bcast = bcast; prev_errs = errs;
+               if (first) {{ first = false; return false; }}
+               var score = {w0} * util + {w1} * cr + {w2} * br + {w3} * er - {theta};
+               return score > 0.0;
+           }}"#,
+        w0 = w[0],
+        w1 = w[1],
+        w2 = w[2],
+        w3 = w[3],
+        theta = index.threshold(),
+    );
+
+    let process = ElasticProcess::new(ElasticConfig::default());
+    mib2::install_concentrator(process.mib()).unwrap();
+    mib2::install_interfaces(process.mib(), 1, 10_000_000).unwrap();
+    process.delegate("classifier", &agent_src).unwrap();
+    let dpi = process.instantiate("classifier").unwrap();
+
+    // 4. Drive a fresh workload; compare the deployed agent against the
+    //    in-Rust observer + index on identical data.
+    let mut workload = Scenario::new(ScenarioConfig::default(), 1234);
+    let mut observer = ConcentratorObserver::new(10_000_000);
+    observer.sample(process.mib(), 0);
+    process.invoke(dpi, "classify", &[dpl::Value::Float(1.0)]).unwrap();
+
+    let mut agree = 0u32;
+    let total = 120u32;
+    for step in 1..=total {
+        workload.apply_step(process.mib());
+        let agent_says = process
+            .invoke(dpi, "classify", &[dpl::Value::Float(1.0)])
+            .unwrap();
+        let sym = observer.sample(process.mib(), u64::from(step) * 100).unwrap();
+        let rust_says = index.classify(&sym.as_vec());
+        if agent_says == dpl::Value::Bool(rust_says) {
+            agree += 1;
+        }
+    }
+    let agreement = f64::from(agree) / f64::from(total);
+    assert!(agreement > 0.95, "agent and native index disagree: {agreement}");
+}
+
+#[test]
+fn materialized_view_is_pollable_by_a_standard_manager() {
+    let mib = MibStore::new();
+    mib2::install_atm_vc_table(&mib, 100).unwrap();
+    let mcva = Mcva::new(mib.clone());
+    mcva.define(
+        "dropping",
+        "view dropping\n\
+         from vc = 1.3.6.1.4.1.353.2.5.1\n\
+         where vc.3 > 5\n\
+         select vc.1 as id, vc.3 as dropped",
+    )
+    .unwrap();
+    let root = mcva.materialize("dropping").unwrap();
+
+    let agent = SnmpAgent::new("public", mib);
+    let mut mgr = SnmpManager::new("public");
+    let rows = mgr.walk(&root, |req| agent.handle(req)).unwrap();
+    let count_cell = rows.iter().find(|vb| vb.oid == root.child(0).child(0)).unwrap();
+    let n = count_cell.value.as_i64().unwrap();
+    assert!(n > 0);
+    // Row cells = count * 2 columns + the count cell itself.
+    assert_eq!(rows.len() as i64, n * 2 + 1);
+}
