@@ -1,7 +1,6 @@
 //! E3: regenerates the table-moving figure (experiment E3).
 fn main() -> std::io::Result<()> {
-    let (report, _) =
-        mbd_bench::experiments::e3_tables::run(&[100, 500, 1000, 5000, 10000]);
+    let (report, _) = mbd_bench::experiments::e3_tables::run(&[100, 500, 1000, 5000, 10000]);
     let path = report.emit(&mbd_bench::report::default_out_dir())?;
     println!("wrote {}", path.display());
     Ok(())

@@ -1,7 +1,6 @@
 //! E2: regenerates the management-traffic comparison (experiment E2).
 fn main() -> std::io::Result<()> {
-    let (report, _) =
-        mbd_bench::experiments::e2_traffic::run(&[10, 50, 100, 200], 900);
+    let (report, _) = mbd_bench::experiments::e2_traffic::run(&[10, 50, 100, 200], 900);
     let path = report.emit(&mbd_bench::report::default_out_dir())?;
     println!("wrote {}", path.display());
     Ok(())

@@ -90,10 +90,7 @@ pub fn run(sim_seconds: u64) -> (Report, Vec<CeilingRow>) {
                 let mib = MibStore::new();
                 snmp::mib2::install_system(&mib, "dev", &format!("d{i}")).unwrap();
                 snmp::mib2::install_interfaces(&mib, 1, 10_000_000).unwrap();
-                sim.add_node(
-                    format!("dev{i}"),
-                    SnmpDeviceActor::new(SnmpAgent::new("public", mib)),
-                )
+                sim.add_node(format!("dev{i}"), SnmpDeviceActor::new(SnmpAgent::new("public", mib)))
             })
             .collect();
         let mgr = sim.add_node(
@@ -112,11 +109,8 @@ pub fn run(sim_seconds: u64) -> (Report, Vec<CeilingRow>) {
         let completed = sim.actor::<SerialPoller>(mgr).completed;
         let polls_per_sec = completed as f64 / sim_seconds as f64;
         let rtt_ms = 1000.0 / polls_per_sec;
-        let ceilings = [
-            polls_per_sec as u64,
-            (polls_per_sec * 10.0) as u64,
-            (polls_per_sec * 60.0) as u64,
-        ];
+        let ceilings =
+            [polls_per_sec as u64, (polls_per_sec * 10.0) as u64, (polls_per_sec * 60.0) as u64];
         report.push(vec![
             label.to_string(),
             format!("{rtt_ms:.2}"),

@@ -173,10 +173,7 @@ impl Actor for DelegatedDevice {
             ctx.send(self.manager, bytes);
         }
         if self.samples.is_multiple_of(self.summary_every) {
-            let v = self
-                .process
-                .invoke(self.dpi, "summary", &[])
-                .expect("summary runs");
+            let v = self.process.invoke(self.dpi, "summary", &[]).expect("summary runs");
             let bytes = self.trap(2, mbd_core::convert::to_ber(&v), self.process.ticks() as u32);
             ctx.send(self.manager, bytes);
         }
@@ -271,7 +268,14 @@ pub fn run(device_counts: &[u32], sim_seconds: u64) -> (Report, Vec<TrafficRow>)
     let mut report = Report::new(
         "e2_traffic",
         "E2: manager-link traffic over one simulated window, polling vs delegated health",
-        &["devices", "polling_bytes", "polling_msgs", "delegated_bytes", "delegated_msgs", "reduction"],
+        &[
+            "devices",
+            "polling_bytes",
+            "polling_msgs",
+            "delegated_bytes",
+            "delegated_msgs",
+            "reduction",
+        ],
     );
     let mut rows = Vec::new();
     for &n in device_counts {

@@ -99,9 +99,8 @@ impl Actor for DelegatingManager {
         match (self.phase, resp) {
             (0, RdsResponse::Ok) => {
                 self.phase = 1;
-                let (_, bytes) = self
-                    .client
-                    .encode(&RdsRequest::Instantiate { dp_name: "filter".to_string() });
+                let (_, bytes) =
+                    self.client.encode(&RdsRequest::Instantiate { dp_name: "filter".to_string() });
                 ctx.send(self.device, bytes);
             }
             (1, RdsResponse::Instantiated { dpi }) => {
@@ -162,10 +161,8 @@ fn device_mib(rows: u32) -> MibStore {
 
 fn run_walk(rows: u32, spec: LinkSpec) -> (f64, u64, u64, u64) {
     let mut sim = Simulator::new(0xE3);
-    let dev = sim.add_node(
-        "switch",
-        SnmpDeviceActor::new(SnmpAgent::new("public", device_mib(rows))),
-    );
+    let dev =
+        sim.add_node("switch", SnmpDeviceActor::new(SnmpAgent::new("public", device_mib(rows))));
     let mgr = sim.add_node(
         "manager",
         WalkingManager {
@@ -228,8 +225,18 @@ pub fn run(table_sizes: &[u32]) -> (Report, Vec<TableRow>) {
         "e3_tables",
         "E3: retrieving/filtering an ATM VC table — GetNext walk vs delegated filter",
         &[
-            "rows", "link", "selectivity", "matches", "walk_s", "walk_msgs", "walk_bytes",
-            "dlg_s", "dlg_msgs", "dlg_bytes", "speedup", "byte_ratio",
+            "rows",
+            "link",
+            "selectivity",
+            "matches",
+            "walk_s",
+            "walk_msgs",
+            "walk_bytes",
+            "dlg_s",
+            "dlg_msgs",
+            "dlg_bytes",
+            "speedup",
+            "byte_ratio",
         ],
     );
     let mut out = Vec::new();

@@ -330,11 +330,7 @@ mod dp_size_tests {
     #[test]
     fn dp_size_barely_matters_on_fast_links() {
         let sweep = dp_size_sweep(5, LinkSpec::lan(), &[0, 20_000]);
-        assert!(
-            sweep[1].1 < sweep[0].1 * 10.0,
-            "10Mb/s ships 20KB in ~16ms: {:?}",
-            sweep
-        );
+        assert!(sweep[1].1 < sweep[0].1 * 10.0, "10Mb/s ships 20KB in ~16ms: {:?}", sweep);
     }
 
     #[test]

@@ -35,11 +35,7 @@ pub fn run(train_len: usize, test_len: usize, seed: u64) -> (Report, Vec<HealthR
     let perceptron = perceptron_train(&train, TrainConfig { learning_rate: 0.1, epochs: 200 });
     let lms = lms_train(&train, TrainConfig::default());
 
-    let rows = vec![
-        ("hand-set (InterOp)", hand),
-        ("perceptron", perceptron),
-        ("LMS", lms),
-    ];
+    let rows = vec![("hand-set (InterOp)", hand), ("perceptron", perceptron), ("LMS", lms)];
 
     let mut report = Report::new(
         "e5_health",
@@ -60,12 +56,7 @@ pub fn run(train_len: usize, test_len: usize, seed: u64) -> (Report, Vec<HealthR
             m.true_negatives().to_string(),
             format!(
                 "[{}]",
-                index
-                    .weights()
-                    .iter()
-                    .map(|w| format!("{w:.2}"))
-                    .collect::<Vec<_>>()
-                    .join(", ")
+                index.weights().iter().map(|w| format!("{w:.2}")).collect::<Vec<_>>().join(", ")
             ),
         ]);
         out.push(HealthRow { classifier: label, metrics: m, weights: index.weights().to_vec() });

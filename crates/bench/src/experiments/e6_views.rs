@@ -99,9 +99,8 @@ pub fn run_one(steps: u32, poll_interval: u32, mean_duration: f64, seed: u64) ->
             }
         }
         if t % poll_interval == 0 {
-            let rows = mgr
-                .walk(&mib2::tcp_conn_entry(), |req| agent.handle(req))
-                .expect("walk succeeds");
+            let rows =
+                mgr.walk(&mib2::tcp_conn_entry(), |req| agent.handle(req)).expect("walk succeeds");
             for vb in rows {
                 // Column 4 instances carry the remote address; recover the
                 // remote port from the index arcs.

@@ -1,0 +1,195 @@
+//! **E7b — dpi-table contention** (throughput series).
+//!
+//! The elastic process originally kept every dpi behind one
+//! `RwLock<HashMap>` that was held across each invocation, and bumped a
+//! single `Mutex`-guarded stats block on every call. This experiment
+//! rebuilds that design as an in-crate baseline and races it against the
+//! sharded runtime (16-way sharded table, per-slot atomic state,
+//! lock-free counters): `THREADS` worker threads hammer invocations
+//! spread over 1 → 256 dpis and the table reports total invocations per
+//! second for both designs.
+//!
+//! On a single hardware thread the two designs are expected to tie (the
+//! locks are uncontended); the sharded design's gain only shows with
+//! real parallelism, which is why the acceptance test below gates on
+//! [`std::thread::available_parallelism`].
+
+use crate::report::Report;
+use dpl::Value;
+use mbd_core::{ElasticConfig, ElasticProcess};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Worker threads driving each measurement (the paper's evaluation ran
+/// the prototype's server with a small pool of concurrent managers).
+pub const THREADS: usize = 8;
+
+/// Instance counts swept by the series.
+pub const DPI_SERIES: [usize; 5] = [1, 4, 16, 64, 256];
+
+/// Short compute kernel: long enough to be a real invocation, short
+/// enough that locking overhead stays visible.
+const KERNEL: &str =
+    "fn main(n) { var t = 0; var i = 0; while (i < n) { t = t + i; i = i + 1; } return t; }";
+const KERNEL_N: i64 = 20;
+
+/// Faithful reconstruction of the pre-sharding runtime's locking
+/// discipline: the table read-lock is held across the whole invocation
+/// and a global mutex guards the invocation counters.
+struct SingleLockRuntime {
+    registry: dpl::HostRegistry<()>,
+    budget: dpl::Budget,
+    dpis: RwLock<HashMap<u64, Mutex<dpl::Instance>>>,
+    invocations_ok: Mutex<u64>,
+}
+
+impl SingleLockRuntime {
+    fn new(n_dpis: usize) -> SingleLockRuntime {
+        let registry: dpl::HostRegistry<()> = dpl::HostRegistry::with_stdlib();
+        let program = dpl::compile_program(KERNEL, &registry).expect("kernel compiles");
+        let mut dpis = HashMap::new();
+        for id in 0..n_dpis as u64 {
+            dpis.insert(id, Mutex::new(dpl::Instance::new(&program)));
+        }
+        SingleLockRuntime {
+            registry,
+            budget: dpl::Budget::default(),
+            dpis: RwLock::new(dpis),
+            invocations_ok: Mutex::new(0),
+        }
+    }
+
+    fn invoke(&self, id: u64) {
+        // As in the seed: the table guard lives until the stats bump.
+        let dpis = self.dpis.read();
+        let mut instance = dpis.get(&id).expect("instantiated").lock();
+        instance
+            .invoke("main", &[Value::Int(KERNEL_N)], &mut (), &self.registry, self.budget)
+            .expect("kernel runs");
+        drop(instance);
+        *self.invocations_ok.lock() += 1;
+    }
+}
+
+/// Runs `THREADS` threads, each performing `ops_per_thread` invocations
+/// round-robined over `n_dpis` targets via `f`, and returns ops/second.
+fn throughput<F>(n_dpis: usize, ops_per_thread: u32, f: F) -> f64
+where
+    F: Fn(usize) + Send + Sync,
+{
+    let f = &f;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for i in 0..ops_per_thread as usize {
+                    // Offset by thread id so threads spread over dpis
+                    // instead of marching in lockstep on the same one.
+                    f((t + i) % n_dpis);
+                }
+            });
+        }
+    });
+    let total = f64::from(ops_per_thread) * THREADS as f64;
+    total / start.elapsed().as_secs_f64()
+}
+
+/// One point of the contention series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentionRow {
+    /// Instances shared by the worker threads.
+    pub dpis: usize,
+    /// Pre-sharding design, invocations/second.
+    pub single_lock_ops_s: f64,
+    /// Sharded runtime, invocations/second.
+    pub sharded_ops_s: f64,
+}
+
+impl ContentionRow {
+    /// Sharded over single-lock throughput.
+    pub fn speedup(&self) -> f64 {
+        self.sharded_ops_s / self.single_lock_ops_s
+    }
+}
+
+/// Runs the sweep with `ops_per_thread` invocations per thread per cell.
+pub fn run(ops_per_thread: u32) -> (Report, Vec<ContentionRow>) {
+    let mut rows = Vec::new();
+    for &n_dpis in &DPI_SERIES {
+        let baseline = SingleLockRuntime::new(n_dpis);
+        let single_lock_ops_s = throughput(n_dpis, ops_per_thread, |i| baseline.invoke(i as u64));
+
+        let p = ElasticProcess::new(ElasticConfig {
+            max_instances: DPI_SERIES[DPI_SERIES.len() - 1] + THREADS,
+            ..ElasticConfig::default()
+        });
+        p.delegate("kernel", KERNEL).expect("kernel delegates");
+        let ids: Vec<_> =
+            (0..n_dpis).map(|_| p.instantiate("kernel").expect("instantiates")).collect();
+        let sharded_ops_s = throughput(n_dpis, ops_per_thread, |i| {
+            p.invoke(ids[i], "main", &[Value::Int(KERNEL_N)]).expect("kernel runs");
+        });
+
+        rows.push(ContentionRow { dpis: n_dpis, single_lock_ops_s, sharded_ops_s });
+    }
+
+    let mut report = Report::new(
+        "e7_dpi_contention",
+        &format!(
+            "E7b: dpi-table contention, {THREADS} threads (invocations/second, single global lock vs sharded)"
+        ),
+        &["dpis", "threads", "single_lock_ops_s", "sharded_ops_s", "speedup"],
+    );
+    for r in &rows {
+        report.push(vec![
+            r.dpis.to_string(),
+            THREADS.to_string(),
+            format!("{:.0}", r.single_lock_ops_s),
+            format!("{:.0}", r.sharded_ops_s),
+            format!("{:.2}", r.speedup()),
+        ]);
+    }
+    (report, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_covers_the_whole_dpi_range() {
+        let (report, rows) = run(25);
+        assert_eq!(rows.len(), DPI_SERIES.len());
+        assert_eq!(report.rows.len(), DPI_SERIES.len());
+        for (row, &expected) in rows.iter().zip(DPI_SERIES.iter()) {
+            assert_eq!(row.dpis, expected);
+            assert!(row.single_lock_ops_s > 0.0, "{expected}-dpi baseline measured nothing");
+            assert!(row.sharded_ops_s > 0.0, "{expected}-dpi sharded measured nothing");
+        }
+    }
+
+    #[test]
+    fn sharding_wins_under_real_parallelism() {
+        // The contention gain is only observable when the threads truly
+        // run in parallel; on smaller machines this test only checks
+        // that the sweep completes.
+        let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let (_, rows) = run(150);
+        if hw < 8 {
+            eprintln!("skipping contention acceptance: {hw} hardware thread(s) < 8");
+            return;
+        }
+        // At high dpi counts nothing should contend in the sharded
+        // design, while the baseline still serializes on its global
+        // stats lock: require a measurable win on the widest cell.
+        let widest = rows.last().expect("non-empty series");
+        assert!(
+            widest.speedup() > 1.05,
+            "sharded table should out-run the single lock at {} dpis: {:.0} vs {:.0} ops/s",
+            widest.dpis,
+            widest.sharded_ops_s,
+            widest.single_lock_ops_s,
+        );
+    }
+}

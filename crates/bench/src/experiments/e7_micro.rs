@@ -67,42 +67,58 @@ pub fn run(iters: u32) -> (Report, Vec<MicroRow>) {
 
     // Instantiate.
     p.delegate("trivial", TRIVIAL).expect("translates");
-    add("instantiate dpi", time_us(iters, || {
-        p.instantiate("trivial").expect("instantiates");
-    }));
+    add(
+        "instantiate dpi",
+        time_us(iters, || {
+            p.instantiate("trivial").expect("instantiates");
+        }),
+    );
 
     // Invoke.
     let dpi = p.instantiate("trivial").expect("instantiates");
-    add("invoke trivial entry", time_us(iters, || {
-        p.invoke(dpi, "main", &[]).expect("runs");
-    }));
+    add(
+        "invoke trivial entry",
+        time_us(iters, || {
+            p.invoke(dpi, "main", &[]).expect("runs");
+        }),
+    );
     p.delegate("compute", COMPUTE).expect("translates");
     let cdpi = p.instantiate("compute").expect("instantiates");
-    add("invoke 10k-iteration loop", time_us(iters.min(200), || {
-        p.invoke(cdpi, "main", &[Value::Int(10_000)]).expect("runs");
-    }));
+    add(
+        "invoke 10k-iteration loop",
+        time_us(iters.min(200), || {
+            p.invoke(cdpi, "main", &[Value::Int(10_000)]).expect("runs");
+        }),
+    );
 
     // Messaging and lifecycle.
-    add("post mailbox message", time_us(iters, || {
-        p.send_message(dpi, b"ping").expect("posts");
-    }));
-    add("suspend + resume", time_us(iters, || {
-        p.suspend(dpi).expect("suspends");
-        p.resume(dpi).expect("resumes");
-    }));
+    add(
+        "post mailbox message",
+        time_us(iters, || {
+            p.send_message(dpi, b"ping").expect("posts");
+        }),
+    );
+    add(
+        "suspend + resume",
+        time_us(iters, || {
+            p.suspend(dpi).expect("suspends");
+            p.resume(dpi).expect("resumes");
+        }),
+    );
 
     // RDS round trips (loopback transport, real codec).
     let server = Arc::new(MbdServer::open(ElasticProcess::new(ElasticConfig::default())));
     let s2 = Arc::clone(&server);
-    let client = RdsClient::new(
-        LoopbackTransport::new(move |b: &[u8]| s2.process_request(b)),
-        "bench",
-    );
+    let client =
+        RdsClient::new(LoopbackTransport::new(move |b: &[u8]| s2.process_request(b)), "bench");
     client.delegate("trivial", TRIVIAL).expect("delegates");
     let rdpi = client.instantiate("trivial").expect("instantiates");
-    add("RDS invoke round trip", time_us(iters, || {
-        client.invoke(rdpi, "main", &[]).expect("runs");
-    }));
+    add(
+        "RDS invoke round trip",
+        time_us(iters, || {
+            client.invoke(rdpi, "main", &[]).expect("runs");
+        }),
+    );
 
     let server_auth = Arc::new(MbdServer::with_policy(
         ElasticProcess::new(ElasticConfig::default()),
@@ -117,9 +133,12 @@ pub fn run(iters: u32) -> (Report, Vec<MicroRow>) {
     );
     auth_client.delegate("trivial", TRIVIAL).expect("delegates");
     let adpi = auth_client.instantiate("trivial").expect("instantiates");
-    add("RDS invoke round trip (MD5 auth)", time_us(iters, || {
-        auth_client.invoke(adpi, "main", &[]).expect("runs");
-    }));
+    add(
+        "RDS invoke round trip (MD5 auth)",
+        time_us(iters, || {
+            auth_client.invoke(adpi, "main", &[]).expect("runs");
+        }),
+    );
 
     // Concurrent dpi scaling: total invocations/second with 8 threads on
     // 8 instances.
@@ -143,10 +162,7 @@ pub fn run(iters: u32) -> (Report, Vec<MicroRow>) {
         h.join().expect("no panics");
     }
     let total = f64::from(per_thread) * 8.0;
-    add(
-        "8-dpi concurrent invoke (1k loop), per-op",
-        start.elapsed().as_secs_f64() * 1e6 / total,
-    );
+    add("8-dpi concurrent invoke (1k loop), per-op", start.elapsed().as_secs_f64() * 1e6 / total);
 
     // Ablation: the same compute-bound program through the bytecode VM
     // vs the tree-walking interpreter (why the Translator compiles).
@@ -155,13 +171,19 @@ pub fn run(iters: u32) -> (Report, Vec<MicroRow>) {
         let big = dpl::Budget { fuel: u64::MAX / 2, memory: u64::MAX / 2, call_depth: 256 };
         let program = dpl::compile_program(COMPUTE, &reg).expect("compiles");
         let mut vm = dpl::Instance::new(&program);
-        add("ablation: VM 10k loop", time_us(iters.min(200), || {
-            vm.invoke("main", &[Value::Int(10_000)], &mut (), &reg, big).expect("runs");
-        }));
+        add(
+            "ablation: VM 10k loop",
+            time_us(iters.min(200), || {
+                vm.invoke("main", &[Value::Int(10_000)], &mut (), &reg, big).expect("runs");
+            }),
+        );
         let mut tree = dpl::interp::AstInstance::new(COMPUTE, &reg).expect("checks");
-        add("ablation: tree-walk 10k loop", time_us(iters.min(200), || {
-            tree.invoke("main", &[Value::Int(10_000)], &mut (), &reg, big).expect("runs");
-        }));
+        add(
+            "ablation: tree-walk 10k loop",
+            time_us(iters.min(200), || {
+                tree.invoke("main", &[Value::Int(10_000)], &mut (), &reg, big).expect("runs");
+            }),
+        );
     }
 
     let mut report = Report::new(
@@ -207,10 +229,7 @@ mod tests {
     fn authentication_adds_measurable_overhead() {
         let (_, rows) = run(100);
         let plain = rows.iter().find(|r| r.operation == "RDS invoke round trip").unwrap();
-        let auth = rows
-            .iter()
-            .find(|r| r.operation == "RDS invoke round trip (MD5 auth)")
-            .unwrap();
+        let auth = rows.iter().find(|r| r.operation == "RDS invoke round trip (MD5 auth)").unwrap();
         assert!(auth.mean_us > plain.mean_us * 0.9, "auth should not be cheaper");
     }
 }

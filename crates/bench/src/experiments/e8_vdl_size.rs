@@ -7,8 +7,8 @@
 //! the generated SMI-extension module, and compare sizes.
 
 use crate::report::Report;
-use vdl::smi::{measure, to_smi_spec, to_vdl_text};
 use vdl::parse_view;
+use vdl::smi::{measure, to_smi_spec, to_vdl_text};
 
 /// The representative views (name, definition).
 pub fn corpus() -> Vec<(&'static str, &'static str)> {

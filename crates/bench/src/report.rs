@@ -74,7 +74,8 @@ impl Report {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        let _ =
+            writeln!(out, "{}", self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
             let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }
@@ -99,10 +100,10 @@ impl Report {
 pub fn default_out_dir() -> PathBuf {
     // CARGO_MANIFEST_DIR = <workspace>/crates/bench
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest.parent().and_then(Path::parent).map_or_else(
-        || PathBuf::from("bench/out"),
-        |ws| ws.join("bench").join("out"),
-    )
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map_or_else(|| PathBuf::from("bench/out"), |ws| ws.join("bench").join("out"))
 }
 
 #[cfg(test)]

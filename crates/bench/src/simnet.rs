@@ -156,10 +156,7 @@ mod tests {
         );
         sim.connect(mgr, dev, LinkSpec::lan());
         sim.run();
-        assert_eq!(
-            sim.actor::<OneShotManager>(mgr).result,
-            Some(BerValue::from("sim device"))
-        );
+        assert_eq!(sim.actor::<OneShotManager>(mgr).result, Some(BerValue::from("sim device")));
         // Round trip takes at least 2x the 0.5 ms one-way latency.
         assert!(sim.now().as_secs_f64() >= 0.001);
     }
@@ -184,9 +181,8 @@ mod tests {
             let (resp, _) = self.client.decode(&bytes).unwrap();
             match resp {
                 RdsResponse::Ok if self.dpi.is_none() => {
-                    let (_, bytes) = self
-                        .client
-                        .encode(&RdsRequest::Instantiate { dp_name: "sq".to_string() });
+                    let (_, bytes) =
+                        self.client.encode(&RdsRequest::Instantiate { dp_name: "sq".to_string() });
                     ctx.send(self.device, bytes);
                 }
                 RdsResponse::Instantiated { dpi } => {
@@ -230,10 +226,8 @@ mod tests {
     fn collector_records_arrivals() {
         let mut sim = Simulator::new(3);
         let sink = sim.add_node("sink", CollectorActor::default());
-        let dev = sim.add_node(
-            "dev",
-            SnmpDeviceActor::new(SnmpAgent::new("public", MibStore::new())),
-        );
+        let dev =
+            sim.add_node("dev", SnmpDeviceActor::new(SnmpAgent::new("public", MibStore::new())));
         sim.connect(sink, dev, LinkSpec::lan());
         sim.inject(dev, sink, vec![1, 2, 3]);
         sim.run();

@@ -6,16 +6,13 @@ use ber::{BerValue, Oid};
 use proptest::prelude::*;
 
 fn arb_oid() -> impl Strategy<Value = Oid> {
-    (
-        0u32..3,
-        0u32..40,
-        proptest::collection::vec(any::<u32>(), 0..10),
-    )
-        .prop_map(|(a0, a1, rest)| {
+    (0u32..3, 0u32..40, proptest::collection::vec(any::<u32>(), 0..10)).prop_map(
+        |(a0, a1, rest)| {
             let mut arcs = vec![a0, a1];
             arcs.extend(rest);
             Oid::from(arcs)
-        })
+        },
+    )
 }
 
 fn arb_leaf() -> impl Strategy<Value = BerValue> {

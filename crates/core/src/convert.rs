@@ -139,9 +139,6 @@ mod tests {
     fn a_string_that_looks_like_a_float_tag_decodes_as_float() {
         // Documented asymmetry: "f:1.5" as a *string* is indistinguishable
         // from a tagged float on the wire.
-        assert_eq!(
-            from_ber(&to_ber(&Value::Str("f:1.5".to_string()))),
-            Value::Float(1.5)
-        );
+        assert_eq!(from_ber(&to_ber(&Value::Str("f:1.5".to_string()))), Value::Float(1.5));
     }
 }

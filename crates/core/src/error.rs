@@ -100,10 +100,9 @@ mod tests {
 
     #[test]
     fn dpl_errors_split_into_translation_and_runtime() {
-        let t: CoreError = dpl::DplError::Check(dpl::CheckError::DuplicateFunction {
-            name: "f".to_string(),
-        })
-        .into();
+        let t: CoreError =
+            dpl::DplError::Check(dpl::CheckError::DuplicateFunction { name: "f".to_string() })
+                .into();
         assert!(matches!(t, CoreError::Translation(_)));
         let r: CoreError = dpl::DplError::Runtime(dpl::RuntimeError::OutOfFuel).into();
         assert!(matches!(r, CoreError::Runtime(_)));

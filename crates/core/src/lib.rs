@@ -53,10 +53,10 @@ mod server;
 mod worker;
 
 pub use error::CoreError;
-pub use process::{DpiInfo, ElasticConfig, ElasticProcess, ProcessStats};
-pub use services::{Notification, PendingAction, ServerCtx};
+pub use process::{DpiInfo, ElasticConfig, ElasticProcess, EventQueue, ProcessStats};
 pub use repository::{Repository, StoredDp};
 pub use server::MbdServer;
+pub use services::{Notification, PendingAction, ServerCtx};
 pub use worker::PeriodicDriver;
 
 pub use rds::{DpiId, DpiState};

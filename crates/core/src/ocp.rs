@@ -12,7 +12,6 @@
 
 use crate::ElasticProcess;
 use ber::{BerValue, Oid};
-use rds::DpiState;
 
 /// Root of the MbD server's self-description subtree
 /// (`enterprises.20100.1` — an unassigned private arc).
@@ -55,6 +54,23 @@ pub fn mbd_uptime() -> Oid {
     mbd_server_root().child(7).child(0)
 }
 
+/// `mbdInstantiations.0` (Counter32).
+pub fn instantiations() -> Oid {
+    mbd_server_root().child(8).child(0)
+}
+
+/// `mbdNotificationsDropped.0` — notifications evicted from the bounded
+/// outbox before a manager drained them (Counter32).
+pub fn notifications_dropped() -> Oid {
+    mbd_server_root().child(9).child(0)
+}
+
+/// `mbdLogDropped.0` — log lines evicted from the bounded agent log
+/// (Counter32).
+pub fn log_dropped() -> Oid {
+    mbd_server_root().child(10).child(0)
+}
+
 /// An elastic process visible to legacy SNMP managers.
 #[derive(Debug, Clone)]
 pub struct SnmpOcp {
@@ -81,15 +97,13 @@ impl SnmpOcp {
     pub fn refresh(&self) {
         let mib = self.process.mib();
         let stats = self.process.stats();
-        let live = self
-            .process
-            .list_instances()
-            .iter()
-            .filter(|i| i.state != DpiState::Terminated)
-            .count();
         // set_scalar only fails on type change, which cannot happen here.
-        let _ = mib.set_scalar(stored_programs(), BerValue::Gauge32(self.process.list_programs().len() as u32));
-        let _ = mib.set_scalar(live_instances(), BerValue::Gauge32(live as u32));
+        let _ = mib.set_scalar(
+            stored_programs(),
+            BerValue::Gauge32(self.process.list_programs().len() as u32),
+        );
+        let _ = mib
+            .set_scalar(live_instances(), BerValue::Gauge32(self.process.live_instances() as u32));
         let _ = mib.set_scalar(
             delegations_accepted(),
             BerValue::Counter32(stats.delegations_accepted as u32),
@@ -99,11 +113,15 @@ impl SnmpOcp {
             BerValue::Counter32(stats.delegations_rejected as u32),
         );
         let _ = mib.set_scalar(invocations_ok(), BerValue::Counter32(stats.invocations_ok as u32));
-        let _ = mib.set_scalar(
-            invocations_failed(),
-            BerValue::Counter32(stats.invocations_failed as u32),
-        );
+        let _ = mib
+            .set_scalar(invocations_failed(), BerValue::Counter32(stats.invocations_failed as u32));
         let _ = mib.set_scalar(mbd_uptime(), BerValue::TimeTicks(self.process.ticks() as u32));
+        let _ = mib.set_scalar(instantiations(), BerValue::Counter32(stats.instantiations as u32));
+        let _ = mib.set_scalar(
+            notifications_dropped(),
+            BerValue::Counter32(stats.notifications_dropped as u32),
+        );
+        let _ = mib.set_scalar(log_dropped(), BerValue::Counter32(stats.log_dropped as u32));
     }
 }
 
@@ -143,12 +161,32 @@ mod tests {
         let mut mgr = SnmpManager::new("public");
         // A walk from the mib-2 root sees device data; from the private
         // root it sees server state.
-        let rows = mgr
-            .walk(&snmp::mib2::mib2_root(), |req| ocp.handle(req))
-            .unwrap();
+        let rows = mgr.walk(&snmp::mib2::mib2_root(), |req| ocp.handle(req)).unwrap();
         assert!(rows.iter().any(|vb| vb.oid == snmp::mib2::sys_descr()));
         let rows = mgr.walk(&mbd_server_root(), |req| ocp.handle(req)).unwrap();
-        assert_eq!(rows.len(), 7);
+        assert_eq!(rows.len(), 10);
+    }
+
+    #[test]
+    fn queue_losses_are_visible_to_snmp_managers() {
+        let p = ElasticProcess::new(ElasticConfig {
+            notification_capacity: 2,
+            ..ElasticConfig::default()
+        });
+        p.delegate("chatty", "fn main(x) { notify(x); return 0; }").unwrap();
+        let dpi = p.instantiate("chatty").unwrap();
+        for i in 0..5 {
+            p.invoke(dpi, "main", &[dpl::Value::Int(i)]).unwrap();
+        }
+        let ocp = SnmpOcp::new(p.clone(), "public");
+        let mut mgr = SnmpManager::new("public");
+        let req =
+            mgr.get_request(&[instantiations(), notifications_dropped(), log_dropped()]).unwrap();
+        let resp = ocp.handle(&req).unwrap();
+        let vbs = mgr.parse_response(&resp).unwrap();
+        assert_eq!(vbs[0].value, BerValue::Counter32(1));
+        assert_eq!(vbs[1].value, BerValue::Counter32(3));
+        assert_eq!(vbs[2].value, BerValue::Counter32(0));
     }
 
     #[test]

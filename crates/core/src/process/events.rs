@@ -1,0 +1,123 @@
+//! Bounded event queues for manager-facing streams.
+//!
+//! The seed runtime accumulated notifications and log lines in unbounded
+//! `Vec`s: a chatty agent whose manager never drained could grow server
+//! memory without limit. An [`EventQueue`] caps each stream; when full,
+//! the *oldest* entry is dropped (the newest observation is the one a
+//! manager most wants) and a counter records the loss so operators can
+//! see backpressure through the server-status MIB subtree.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A drop-oldest bounded queue with a loss counter.
+pub struct EventQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> EventQueue<T> {
+        EventQueue {
+            inner: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends `item`, evicting the oldest entry (and counting it
+    /// dropped) when the queue is at capacity.
+    pub fn push(&self, item: T) {
+        let mut q = self.inner.lock();
+        if q.len() >= self.capacity {
+            q.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(item);
+    }
+
+    /// Removes and returns everything queued, oldest first.
+    pub fn drain(&self) -> Vec<T> {
+        self.inner.lock().drain(..).collect()
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total entries evicted since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl<T: Clone> EventQueue<T> {
+    /// A copy of the queued entries, oldest first, without draining.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.inner.lock().iter().cloned().collect()
+    }
+}
+
+impl<T> fmt::Debug for EventQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_drain_preserve_order() {
+        let q = EventQueue::new(8);
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.drain(), vec![1, 2, 3]);
+        assert!(q.is_empty());
+        assert_eq!(q.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let q = EventQueue::new(3);
+        for i in 0..10 {
+            q.push(i);
+        }
+        assert_eq!(q.snapshot(), vec![7, 8, 9]);
+        assert_eq!(q.dropped(), 7);
+        // Draining resets contents but not the loss counter.
+        q.drain();
+        assert_eq!(q.dropped(), 7);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = EventQueue::new(0);
+        q.push("a");
+        q.push("b");
+        assert_eq!(q.snapshot(), vec!["b"]);
+        assert_eq!(q.dropped(), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Running entry points and applying agent-queued actions.
+
+use super::{stats, ElasticProcess};
+use crate::services::{Notification, PendingAction, ServerCtx};
+use crate::CoreError;
+use dpl::Value;
+use parking_lot::Mutex;
+use rds::{DpiId, DpiState};
+use std::sync::Arc;
+
+impl ElasticProcess {
+    /// **Invoke**: run `entry(args)` on `dpi` under the configured budget.
+    ///
+    /// Concurrent invocations of *different* dpis proceed in parallel;
+    /// invocations of the same dpi serialize on its instance lock. While
+    /// an invocation executes the dpi reports [`DpiState::Running`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoSuchInstance`], [`CoreError::BadState`] (suspended
+    /// or terminated), or [`CoreError::Runtime`] if the program faults —
+    /// in which case the dpi is terminated, the paper's fault-isolation
+    /// rule: a faulty agent dies, the server survives.
+    pub fn invoke(&self, dpi: DpiId, entry: &str, args: &[Value]) -> Result<Value, CoreError> {
+        let slot = self.slot(dpi)?;
+        // Refuse early without queueing on the instance lock; `Running`
+        // falls through and waits its turn behind the current holder.
+        match slot.state() {
+            state @ (DpiState::Suspended | DpiState::Terminated) => {
+                return Err(CoreError::BadState { dpi, state, operation: "invoke" });
+            }
+            DpiState::Ready | DpiState::Running => {}
+        }
+        let pending = Arc::new(Mutex::new(Vec::new()));
+        let mut ctx = ServerCtx {
+            mib: self.inner.mib.clone(),
+            mailbox: Arc::clone(&slot.mailbox),
+            outbox: Arc::clone(&self.inner.outbox),
+            log: Arc::clone(&self.inner.log),
+            ticks: Arc::clone(&self.inner.ticks),
+            pending: Arc::clone(&pending),
+            dpi,
+        };
+        let registry = self.inner.registry.read();
+        let result = {
+            // The per-slot instance mutex serializes this dpi; no table
+            // lock is held, so other dpis stay fully available.
+            let mut instance = slot.instance.lock();
+            // Claim the Running window. A suspend/terminate that landed
+            // while we waited for the lock is honored here.
+            if let Err(state) = slot.try_transition(DpiState::Ready, DpiState::Running) {
+                return Err(CoreError::BadState { dpi, state, operation: "invoke" });
+            }
+            let r = instance.invoke(entry, args, &mut ctx, &registry, self.inner.config.budget);
+            // Return to Ready unless an admin retargeted the state
+            // (e.g. suspended us mid-run) — their transition wins.
+            let _ = slot.try_transition(DpiState::Running, DpiState::Ready);
+            r
+        };
+        let outcome = match result {
+            Ok(v) => {
+                stats::bump(&self.inner.stats.invocations_ok);
+                Ok(v)
+            }
+            Err(e) => {
+                stats::bump(&self.inner.stats.invocations_failed);
+                // Fault isolation: a faulting dpi is terminated.
+                if slot.force_terminate().is_some() {
+                    self.retire(dpi);
+                }
+                Err(CoreError::Runtime(e))
+            }
+        };
+        // Apply actions the agent queued (delegation by agents): the
+        // invocation has returned, so no dpi locks are held.
+        let queued = std::mem::take(&mut *pending.lock());
+        for action in queued {
+            self.apply_pending(dpi, action);
+        }
+        outcome
+    }
+
+    /// Applies one agent-queued action, reporting the outcome as a
+    /// notification from the requesting dpi.
+    fn apply_pending(&self, requester: DpiId, action: PendingAction) {
+        let value = match action {
+            PendingAction::Delegate { name, source } => {
+                match self.delegate_as(&name, &source, &format!("{requester}")) {
+                    Ok(()) => {
+                        Value::list(vec![Value::Str("delegated".to_string()), Value::Str(name)])
+                    }
+                    Err(e) => Value::list(vec![
+                        Value::Str("delegate-failed".to_string()),
+                        Value::Str(name),
+                        Value::Str(e.to_string()),
+                    ]),
+                }
+            }
+            PendingAction::Message { target, payload } => {
+                let target = DpiId(target);
+                match self.send_message(target, &payload) {
+                    Ok(()) => return, // silent on success, like any send
+                    Err(e) => Value::list(vec![
+                        Value::Str("message-failed".to_string()),
+                        Value::Int(target.0 as i64),
+                        Value::Str(e.to_string()),
+                    ]),
+                }
+            }
+            PendingAction::Instantiate { name } => match self.instantiate(&name) {
+                Ok(child) => Value::list(vec![
+                    Value::Str("instantiated".to_string()),
+                    Value::Str(name),
+                    Value::Int(child.0 as i64),
+                ]),
+                Err(e) => Value::list(vec![
+                    Value::Str("instantiate-failed".to_string()),
+                    Value::Str(name),
+                    Value::Str(e.to_string()),
+                ]),
+            },
+        };
+        self.inner.outbox.push(Notification { dpi: requester, value });
+    }
+}

@@ -1,0 +1,161 @@
+//! Instance lifecycle: instantiate, suspend/resume, terminate,
+//! messaging and introspection.
+//!
+//! All state transitions are CAS operations on the slot's atomic state —
+//! no table-wide write lock is taken after insertion, so administrative
+//! operations on one dpi never stall invocations of others.
+
+use super::table::DpiSlot;
+use super::{stats, DpiInfo, ElasticProcess};
+use crate::CoreError;
+use dpl::Value;
+use rds::{DpiId, DpiState, DpiSummary};
+use std::sync::Arc;
+
+impl ElasticProcess {
+    /// **Instantiate**: create a dpi from a stored dp.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoSuchProgram`] or [`CoreError::TooManyInstances`].
+    pub fn instantiate(&self, dp_name: &str) -> Result<DpiId, CoreError> {
+        let dp = self
+            .inner
+            .repository
+            .lookup(dp_name)
+            .ok_or_else(|| CoreError::NoSuchProgram { name: dp_name.to_string() })?;
+        let limit = self.inner.config.max_instances;
+        if !self.inner.dpis.try_reserve_live(limit) {
+            return Err(CoreError::TooManyInstances { limit });
+        }
+        let id = DpiId(self.inner.next_dpi.fetch_add(1, std::sync::atomic::Ordering::Relaxed));
+        let slot = DpiSlot::new(dp_name.to_string(), dpl::Instance::new(&dp.program));
+        self.inner.dpis.insert(id, Arc::new(slot));
+        stats::bump(&self.inner.stats.instantiations);
+        Ok(id)
+    }
+
+    /// **Suspend** a dpi: invocations are refused until resume. A dpi
+    /// that is mid-invocation (`Running`) suspends once the current
+    /// invocation returns; new invocations are refused immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoSuchInstance`] / [`CoreError::BadState`].
+    pub fn suspend(&self, dpi: DpiId) -> Result<(), CoreError> {
+        let slot = self.slot(dpi)?;
+        let mut observed = slot.state();
+        loop {
+            if !matches!(observed, DpiState::Ready | DpiState::Running) {
+                return Err(CoreError::BadState { dpi, state: observed, operation: "suspend" });
+            }
+            match slot.try_transition(observed, DpiState::Suspended) {
+                Ok(()) => return Ok(()),
+                Err(now) => observed = now,
+            }
+        }
+    }
+
+    /// **Resume** a suspended dpi.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoSuchInstance`] / [`CoreError::BadState`].
+    pub fn resume(&self, dpi: DpiId) -> Result<(), CoreError> {
+        let slot = self.slot(dpi)?;
+        slot.try_transition(DpiState::Suspended, DpiState::Ready)
+            .map_err(|state| CoreError::BadState { dpi, state, operation: "resume" })
+    }
+
+    /// **Terminate** a dpi (any non-terminated state). Its slot remains
+    /// visible as `Terminated` if the config keeps diagnostics, else it
+    /// is removed.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoSuchInstance`]; terminating twice is a
+    /// [`CoreError::BadState`].
+    pub fn terminate(&self, dpi: DpiId) -> Result<(), CoreError> {
+        let slot = self.slot(dpi)?;
+        if slot.force_terminate().is_none() {
+            return Err(CoreError::BadState {
+                dpi,
+                state: DpiState::Terminated,
+                operation: "terminate",
+            });
+        }
+        self.retire(dpi);
+        Ok(())
+    }
+
+    /// Bookkeeping after a slot reaches `Terminated`: return its
+    /// live-instance reservation and drop it from listings unless kept
+    /// for diagnostics. Call exactly once per termination.
+    pub(super) fn retire(&self, dpi: DpiId) {
+        self.inner.dpis.release_live();
+        if !self.inner.config.keep_terminated {
+            self.inner.dpis.remove(dpi);
+        }
+    }
+
+    /// Posts a message to `dpi`'s mailbox (read by its `recv()` service).
+    ///
+    /// Messages to a *suspended* dpi queue until resume (it cannot run,
+    /// but its mailbox stays open); only terminated dpis refuse them.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoSuchInstance`], or [`CoreError::BadState`] if the
+    /// dpi is terminated.
+    pub fn send_message(&self, dpi: DpiId, payload: &[u8]) -> Result<(), CoreError> {
+        let slot = self.slot(dpi)?;
+        let state = slot.state();
+        if state == DpiState::Terminated {
+            return Err(CoreError::BadState { dpi, state, operation: "message" });
+        }
+        slot.mailbox.lock().push_back(payload.to_vec());
+        Ok(())
+    }
+
+    /// Summaries of all instances, sorted by id.
+    pub fn list_instances(&self) -> Vec<DpiSummary> {
+        let mut out: Vec<DpiSummary> = self
+            .inner
+            .dpis
+            .snapshot()
+            .into_iter()
+            .map(|(id, slot)| DpiSummary { id, dp_name: slot.dp_name.clone(), state: slot.state() })
+            .collect();
+        out.sort_by_key(|s| s.id);
+        out
+    }
+
+    /// Detailed snapshot of one dpi.
+    pub fn dpi_info(&self, dpi: DpiId) -> Option<DpiInfo> {
+        let slot = self.inner.dpis.get(dpi)?;
+        let queued_messages = slot.mailbox.lock().len();
+        Some(DpiInfo {
+            id: dpi,
+            dp_name: slot.dp_name.clone(),
+            state: slot.state(),
+            queued_messages,
+        })
+    }
+
+    /// Reads a persistent global of a dpi (state inspection for tests
+    /// and diagnostics).
+    pub fn dpi_global(&self, dpi: DpiId, name: &str) -> Option<Value> {
+        let slot = self.inner.dpis.get(dpi)?;
+        let instance = slot.instance.lock();
+        instance.global(name).cloned()
+    }
+
+    /// Live (non-terminated) instance count.
+    pub fn live_instances(&self) -> usize {
+        self.inner.dpis.live()
+    }
+
+    pub(super) fn slot(&self, dpi: DpiId) -> Result<Arc<DpiSlot>, CoreError> {
+        self.inner.dpis.get(dpi).ok_or(CoreError::NoSuchInstance(dpi))
+    }
+}

@@ -1,0 +1,237 @@
+//! The elastic process runtime, split along its concurrency boundaries:
+//!
+//! - [`table`] — the sharded instance table and per-slot atomic state;
+//! - [`stats`] — lock-free lifetime counters;
+//! - [`events`] — bounded manager-facing notification/log queues;
+//! - [`lifecycle`] — instantiate / suspend / resume / terminate /
+//!   messaging / introspection;
+//! - [`invoke`] — running entry points and applying agent-queued
+//!   actions.
+//!
+//! This module keeps the constructor, configuration, delegation (the
+//! Translator front door) and the drain APIs.
+
+pub(crate) mod events;
+mod invoke;
+mod lifecycle;
+mod stats;
+mod table;
+
+#[cfg(test)]
+mod tests;
+
+pub use events::EventQueue;
+pub use stats::ProcessStats;
+
+use crate::services::{self, Notification, ServerCtx};
+use crate::{CoreError, Repository};
+use dpl::{Budget, HostRegistry, Value};
+use parking_lot::RwLock;
+use rds::{DpiId, DpiState};
+use snmp::MibStore;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use table::ShardedTable;
+
+/// Configuration of an elastic process.
+#[derive(Debug, Clone)]
+pub struct ElasticConfig {
+    /// Per-invocation resource budget for every dpi.
+    pub budget: Budget,
+    /// Maximum simultaneous live (non-terminated) instances.
+    pub max_instances: usize,
+    /// Keep terminated dpis visible in listings (diagnostics).
+    pub keep_terminated: bool,
+    /// Capacity of the manager-facing notification outbox; the oldest
+    /// entry is dropped (and counted) on overflow.
+    pub notification_capacity: usize,
+    /// Capacity of the agent log, with the same drop-oldest policy.
+    pub log_capacity: usize,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> ElasticConfig {
+        ElasticConfig {
+            budget: Budget::default(),
+            max_instances: 1024,
+            keep_terminated: true,
+            notification_capacity: 4096,
+            log_capacity: 4096,
+        }
+    }
+}
+
+/// Descriptive snapshot of one dpi.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DpiInfo {
+    /// Instance id.
+    pub id: DpiId,
+    /// Program it instantiates.
+    pub dp_name: String,
+    /// Current lifecycle state.
+    pub state: DpiState,
+    /// Messages waiting in its mailbox.
+    pub queued_messages: usize,
+}
+
+pub(in crate::process) struct Inner {
+    pub config: ElasticConfig,
+    pub registry: RwLock<HostRegistry<ServerCtx>>,
+    pub repository: Repository,
+    pub dpis: ShardedTable,
+    pub next_dpi: AtomicU64,
+    pub mib: MibStore,
+    pub outbox: Arc<EventQueue<Notification>>,
+    pub log: Arc<EventQueue<String>>,
+    pub ticks: Arc<AtomicU64>,
+    pub stats: stats::AtomicStats,
+}
+
+/// An elastic process: the runtime that accepts, translates, stores,
+/// instantiates and executes delegated programs.
+///
+/// Cheaply cloneable — clones share the same runtime, so one handle can
+/// serve RDS requests while another drives periodic agents.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Clone)]
+pub struct ElasticProcess {
+    pub(in crate::process) inner: Arc<Inner>,
+}
+
+impl fmt::Debug for ElasticProcess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ElasticProcess")
+            .field("programs", &self.inner.repository.len())
+            .field("instances", &self.inner.dpis.len())
+            .finish()
+    }
+}
+
+impl ElasticProcess {
+    /// Creates a process with a fresh, empty MIB.
+    pub fn new(config: ElasticConfig) -> ElasticProcess {
+        ElasticProcess::with_mib(config, MibStore::new())
+    }
+
+    /// Creates a process managing an existing MIB (the managed device's
+    /// instrumentation writes into the same store).
+    pub fn with_mib(config: ElasticConfig, mib: MibStore) -> ElasticProcess {
+        let outbox = Arc::new(EventQueue::new(config.notification_capacity));
+        let log = Arc::new(EventQueue::new(config.log_capacity));
+        ElasticProcess {
+            inner: Arc::new(Inner {
+                config,
+                registry: RwLock::new(services::standard_registry()),
+                repository: Repository::new(),
+                dpis: ShardedTable::new(),
+                next_dpi: AtomicU64::new(1),
+                mib,
+                outbox,
+                log,
+                ticks: Arc::new(AtomicU64::new(0)),
+                stats: stats::AtomicStats::default(),
+            }),
+        }
+    }
+
+    /// The shared MIB store.
+    pub fn mib(&self) -> &MibStore {
+        &self.inner.mib
+    }
+
+    /// The dp repository.
+    pub fn repository(&self) -> &Repository {
+        &self.inner.repository
+    }
+
+    /// Lifetime counters, including event-queue losses.
+    pub fn stats(&self) -> ProcessStats {
+        ProcessStats {
+            notifications_dropped: self.inner.outbox.dropped(),
+            log_dropped: self.inner.log.dropped(),
+            ..self.inner.stats.snapshot()
+        }
+    }
+
+    /// Registers an additional host service available to delegated
+    /// programs. Must be called before delegating programs that use it
+    /// (the Translator checks bindings at delegation time).
+    pub fn register_service<F>(&self, name: &str, arity: usize, f: F)
+    where
+        F: Fn(&mut ServerCtx, &[Value]) -> Result<Value, String> + Send + Sync + 'static,
+    {
+        self.inner.registry.write().register(name, arity, f);
+    }
+
+    /// Advances the server clock by `ticks` hundredths of a second.
+    /// (Simulations drive this; wall-clock embedders may mirror real
+    /// time.)
+    pub fn advance_ticks(&self, ticks: u64) {
+        self.inner.ticks.fetch_add(ticks, Ordering::Relaxed);
+    }
+
+    /// Current server clock.
+    pub fn ticks(&self) -> u64 {
+        self.inner.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Drains and returns notifications emitted by dpis since the last
+    /// drain (the manager-facing event stream).
+    pub fn drain_notifications(&self) -> Vec<Notification> {
+        self.inner.outbox.drain()
+    }
+
+    /// Drains and returns agent log lines.
+    pub fn drain_log(&self) -> Vec<String> {
+        self.inner.log.drain()
+    }
+
+    /// **Delegate**: translate `source` and store it as `name`.
+    ///
+    /// Re-delegating an existing name installs a new version; running
+    /// instances keep executing the version they were created from.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Translation`] if the Translator rejects the program.
+    pub fn delegate(&self, name: &str, source: &str) -> Result<(), CoreError> {
+        self.delegate_as(name, source, "local")
+    }
+
+    /// [`ElasticProcess::delegate`] with an explicit delegator handle
+    /// (used by the RDS front-end).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ElasticProcess::delegate`].
+    pub fn delegate_as(&self, name: &str, source: &str, principal: &str) -> Result<(), CoreError> {
+        let registry = self.inner.registry.read();
+        match dpl::compile_program(source, &registry) {
+            Ok(program) => {
+                self.inner.repository.store(name, source, program, principal);
+                stats::bump(&self.inner.stats.delegations_accepted);
+                Ok(())
+            }
+            Err(e) => {
+                stats::bump(&self.inner.stats.delegations_rejected);
+                Err(CoreError::Translation(e))
+            }
+        }
+    }
+
+    /// Removes a dp from the repository (running dpis are unaffected).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoSuchProgram`] if absent.
+    pub fn delete_program(&self, name: &str) -> Result<(), CoreError> {
+        self.inner.repository.delete(name).map(|_| ())
+    }
+
+    /// Sorted names of stored dps.
+    pub fn list_programs(&self) -> Vec<String> {
+        self.inner.repository.names()
+    }
+}

@@ -1,0 +1,79 @@
+//! Lock-free lifetime counters.
+//!
+//! The seed kept `ProcessStats` behind a `Mutex`, so every delegation,
+//! instantiation and invocation on every thread serialized on one lock
+//! just to bump a counter. [`AtomicStats`] makes each counter an
+//! independent `AtomicU64`; [`ProcessStats`] remains the plain snapshot
+//! handed to callers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters describing a process's lifetime activity (a point-in-time
+/// snapshot; see [`ElasticProcess::stats`](super::ElasticProcess::stats)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcessStats {
+    /// Programs accepted by the Translator.
+    pub delegations_accepted: u64,
+    /// Programs rejected by the Translator.
+    pub delegations_rejected: u64,
+    /// Instances created.
+    pub instantiations: u64,
+    /// Invocations completed successfully.
+    pub invocations_ok: u64,
+    /// Invocations that faulted.
+    pub invocations_failed: u64,
+    /// Notifications evicted from the bounded outbox before any manager
+    /// drained them.
+    pub notifications_dropped: u64,
+    /// Log lines evicted from the bounded agent log.
+    pub log_dropped: u64,
+}
+
+/// The live counters, each independently atomic.
+#[derive(Debug, Default)]
+pub(super) struct AtomicStats {
+    pub delegations_accepted: AtomicU64,
+    pub delegations_rejected: AtomicU64,
+    pub instantiations: AtomicU64,
+    pub invocations_ok: AtomicU64,
+    pub invocations_failed: AtomicU64,
+}
+
+impl AtomicStats {
+    /// Snapshots the counters. Each load is individually atomic; the
+    /// snapshot as a whole is not a consistent cut, which is fine for
+    /// monotone counters read for monitoring.
+    pub fn snapshot(&self) -> ProcessStats {
+        ProcessStats {
+            delegations_accepted: self.delegations_accepted.load(Ordering::Relaxed),
+            delegations_rejected: self.delegations_rejected.load(Ordering::Relaxed),
+            instantiations: self.instantiations.load(Ordering::Relaxed),
+            invocations_ok: self.invocations_ok.load(Ordering::Relaxed),
+            invocations_failed: self.invocations_failed.load(Ordering::Relaxed),
+            notifications_dropped: 0,
+            log_dropped: 0,
+        }
+    }
+}
+
+/// Bumps one counter by one.
+pub(super) fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = AtomicStats::default();
+        bump(&s.invocations_ok);
+        bump(&s.invocations_ok);
+        bump(&s.delegations_rejected);
+        let snap = s.snapshot();
+        assert_eq!(snap.invocations_ok, 2);
+        assert_eq!(snap.delegations_rejected, 1);
+        assert_eq!(snap.instantiations, 0);
+    }
+}

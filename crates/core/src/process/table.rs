@@ -1,0 +1,212 @@
+//! The sharded dpi table.
+//!
+//! The seed kept every instance in one `RwLock<HashMap>`, so any state
+//! transition write-locked the whole table and stalled every concurrent
+//! lookup. Here the map is split into [`SHARDS`] independently locked
+//! shards keyed by dpi id, and each slot's lifecycle state is an atomic
+//! — so lookups on different dpis never contend, and state transitions
+//! (suspend/resume/terminate, the invoke Running window) are lock-free
+//! CAS operations on the slot itself rather than table writes.
+//!
+//! Sequential ids round-robin across shards, so a burst of freshly
+//! instantiated dpis spreads evenly by construction.
+
+use parking_lot::{Mutex, RwLock};
+use rds::{DpiId, DpiState};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of independently locked table shards (power of two).
+pub(super) const SHARDS: usize = 16;
+
+/// A live instance slot. Shared out of the table as an `Arc` so callers
+/// operate on the slot without holding any shard lock.
+pub(super) struct DpiSlot {
+    pub dp_name: String,
+    /// Lifecycle state, encoded with [`DpiState::code`].
+    state: AtomicU8,
+    /// The VM instance; its own mutex serializes invocations per dpi
+    /// while different dpis run concurrently (the multithreaded elastic
+    /// process of the paper).
+    pub instance: Mutex<dpl::Instance>,
+    pub mailbox: Arc<Mutex<VecDeque<Vec<u8>>>>,
+}
+
+fn decode(code: u8) -> DpiState {
+    DpiState::from_code(i64::from(code)).expect("slot state codes are always valid")
+}
+
+impl DpiSlot {
+    pub fn new(dp_name: String, instance: dpl::Instance) -> DpiSlot {
+        DpiSlot {
+            dp_name,
+            state: AtomicU8::new(DpiState::Ready.code() as u8),
+            instance: Mutex::new(instance),
+            mailbox: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> DpiState {
+        decode(self.state.load(Ordering::Acquire))
+    }
+
+    /// Atomically moves `from -> to`; on failure returns the state
+    /// actually observed.
+    pub fn try_transition(&self, from: DpiState, to: DpiState) -> Result<(), DpiState> {
+        self.state
+            .compare_exchange(
+                from.code() as u8,
+                to.code() as u8,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .map(|_| ())
+            .map_err(decode)
+    }
+
+    /// Atomically terminates from any non-terminated state, returning
+    /// the state left behind (`None` when already terminated).
+    pub fn force_terminate(&self) -> Option<DpiState> {
+        let mut observed = self.state.load(Ordering::Acquire);
+        loop {
+            if decode(observed) == DpiState::Terminated {
+                return None;
+            }
+            match self.state.compare_exchange_weak(
+                observed,
+                DpiState::Terminated.code() as u8,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(prev) => return Some(decode(prev)),
+                Err(now) => observed = now,
+            }
+        }
+    }
+}
+
+/// The concurrent instance table: `SHARDS` locked maps plus an atomic
+/// census of live (non-terminated) instances for limit enforcement.
+pub(super) struct ShardedTable {
+    shards: Vec<RwLock<HashMap<DpiId, Arc<DpiSlot>>>>,
+    live: AtomicUsize,
+}
+
+impl ShardedTable {
+    pub fn new() -> ShardedTable {
+        ShardedTable {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            live: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard(&self, id: DpiId) -> &RwLock<HashMap<DpiId, Arc<DpiSlot>>> {
+        &self.shards[(id.0 as usize) & (SHARDS - 1)]
+    }
+
+    /// The slot for `id`, if present (terminated slots may linger for
+    /// diagnostics).
+    pub fn get(&self, id: DpiId) -> Option<Arc<DpiSlot>> {
+        self.shard(id).read().get(&id).cloned()
+    }
+
+    pub fn insert(&self, id: DpiId, slot: Arc<DpiSlot>) {
+        self.shard(id).write().insert(id, slot);
+    }
+
+    pub fn remove(&self, id: DpiId) {
+        self.shard(id).write().remove(&id);
+    }
+
+    /// Slots currently stored (any state), unordered.
+    pub fn snapshot(&self) -> Vec<(DpiId, Arc<DpiSlot>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let map = shard.read();
+            out.extend(map.iter().map(|(id, slot)| (*id, Arc::clone(slot))));
+        }
+        out
+    }
+
+    /// Entries stored across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Reserves one live-instance slot unless `limit` is reached.
+    /// Every successful reservation must be paired with exactly one
+    /// [`release_live`](ShardedTable::release_live) when the instance
+    /// terminates (or the reservation is abandoned).
+    pub fn try_reserve_live(&self, limit: usize) -> bool {
+        self.live
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| (n < limit).then_some(n + 1))
+            .is_ok()
+    }
+
+    /// Returns one live-instance reservation.
+    pub fn release_live(&self) {
+        self.live.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Live (non-terminated) instances.
+    pub fn live(&self) -> usize {
+        self.live.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot() -> Arc<DpiSlot> {
+        let reg: dpl::HostRegistry<()> = dpl::HostRegistry::with_stdlib();
+        let program = dpl::compile_program("fn main() { return 0; }", &reg).unwrap();
+        Arc::new(DpiSlot::new("t".to_string(), dpl::Instance::new(&program)))
+    }
+
+    #[test]
+    fn transitions_follow_cas_semantics() {
+        let s = slot();
+        assert_eq!(s.state(), DpiState::Ready);
+        assert_eq!(s.try_transition(DpiState::Suspended, DpiState::Ready), Err(DpiState::Ready));
+        s.try_transition(DpiState::Ready, DpiState::Suspended).unwrap();
+        assert_eq!(s.state(), DpiState::Suspended);
+        assert_eq!(s.force_terminate(), Some(DpiState::Suspended));
+        assert_eq!(s.force_terminate(), None);
+        assert_eq!(s.state(), DpiState::Terminated);
+    }
+
+    #[test]
+    fn ids_spread_across_shards_and_lookups_round_trip() {
+        let t = ShardedTable::new();
+        for i in 1..=64u64 {
+            t.insert(DpiId(i), slot());
+        }
+        assert_eq!(t.len(), 64);
+        for i in 1..=64u64 {
+            assert!(t.get(DpiId(i)).is_some(), "dpi-{i} lost");
+        }
+        assert!(t.get(DpiId(65)).is_none());
+        t.remove(DpiId(1));
+        assert_eq!(t.len(), 63);
+        // Sequential ids hit every shard.
+        let mut seen = [false; SHARDS];
+        for (id, _) in t.snapshot() {
+            seen[(id.0 as usize) & (SHARDS - 1)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn live_census_enforces_limits() {
+        let t = ShardedTable::new();
+        assert!(t.try_reserve_live(2));
+        assert!(t.try_reserve_live(2));
+        assert!(!t.try_reserve_live(2));
+        assert_eq!(t.live(), 2);
+        t.release_live();
+        assert!(t.try_reserve_live(2));
+    }
+}

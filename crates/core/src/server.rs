@@ -74,10 +74,9 @@ impl RdsHandler for Dispatcher {
                     };
                 }
                 let source = String::from_utf8_lossy(&source).into_owned();
-                to_response(
-                    self.process.delegate_as(&dp_name, &source, principal.handle()),
-                    |()| RdsResponse::Ok,
-                )
+                to_response(self.process.delegate_as(&dp_name, &source, principal.handle()), |()| {
+                    RdsResponse::Ok
+                })
             }
             RdsRequest::DeleteProgram { dp_name } => {
                 to_response(self.process.delete_program(&dp_name), |()| RdsResponse::Ok)
@@ -93,8 +92,12 @@ impl RdsHandler for Dispatcher {
                     value: convert::to_ber(&v),
                 })
             }
-            RdsRequest::Suspend { dpi } => to_response(self.process.suspend(dpi), |()| RdsResponse::Ok),
-            RdsRequest::Resume { dpi } => to_response(self.process.resume(dpi), |()| RdsResponse::Ok),
+            RdsRequest::Suspend { dpi } => {
+                to_response(self.process.suspend(dpi), |()| RdsResponse::Ok)
+            }
+            RdsRequest::Resume { dpi } => {
+                to_response(self.process.resume(dpi), |()| RdsResponse::Ok)
+            }
             RdsRequest::Terminate { dpi } => {
                 to_response(self.process.terminate(dpi), |()| RdsResponse::Ok)
             }

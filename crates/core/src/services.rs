@@ -11,6 +11,7 @@
 //! delegation begins (see [`ElasticProcess::register_service`](crate::ElasticProcess::register_service)).
 
 use crate::convert;
+use crate::process::EventQueue;
 use dpl::{HostRegistry, Value};
 use parking_lot::Mutex;
 use rds::DpiId;
@@ -74,10 +75,10 @@ pub struct ServerCtx {
     pub mib: MibStore,
     /// This dpi's inbound mailbox.
     pub mailbox: Arc<Mutex<VecDeque<Vec<u8>>>>,
-    /// Server-wide notification outbox.
-    pub outbox: Arc<Mutex<Vec<Notification>>>,
-    /// Server-wide agent log.
-    pub log: Arc<Mutex<Vec<String>>>,
+    /// Server-wide notification outbox (bounded, drop-oldest).
+    pub outbox: Arc<EventQueue<Notification>>,
+    /// Server-wide agent log (bounded, drop-oldest).
+    pub log: Arc<EventQueue<String>>,
     /// Server uptime in ticks (hundredths of a second, like sysUpTime).
     pub ticks: Arc<AtomicU64>,
     /// Actions to apply once this invocation returns.
@@ -107,10 +108,9 @@ pub fn standard_registry() -> HostRegistry<ServerCtx> {
     reg.register("mib_next", 1, |ctx, args| {
         let oid = parse_oid(&args[0])?;
         Ok(match ctx.mib.get_next(&oid) {
-            Some((next, v)) => Value::list(vec![
-                Value::Str(next.to_string()),
-                convert::from_ber(&v),
-            ]),
+            Some((next, v)) => {
+                Value::list(vec![Value::Str(next.to_string()), convert::from_ber(&v)])
+            }
             None => Value::Nil,
         })
     });
@@ -175,18 +175,16 @@ pub fn standard_registry() -> HostRegistry<ServerCtx> {
     });
 
     reg.register("notify", 1, |ctx, args| {
-        ctx.outbox.lock().push(Notification { dpi: ctx.dpi, value: args[0].clone() });
+        ctx.outbox.push(Notification { dpi: ctx.dpi, value: args[0].clone() });
         Ok(Value::Nil)
     });
 
     reg.register("log", 1, |ctx, args| {
-        ctx.log.lock().push(format!("{}: {}", ctx.dpi, args[0]));
+        ctx.log.push(format!("{}: {}", ctx.dpi, args[0]));
         Ok(Value::Nil)
     });
 
-    reg.register("now_ticks", 0, |ctx, _| {
-        Ok(Value::Int(ctx.ticks.load(Ordering::Relaxed) as i64))
-    });
+    reg.register("now_ticks", 0, |ctx, _| Ok(Value::Int(ctx.ticks.load(Ordering::Relaxed) as i64)));
 
     // Delegation *by* agents: queued, applied after the invocation
     // returns; outcomes arrive as notifications. An agent may thus
@@ -226,8 +224,8 @@ mod tests {
         ServerCtx {
             mib,
             mailbox: Arc::new(Mutex::new(VecDeque::new())),
-            outbox: Arc::new(Mutex::new(Vec::new())),
-            log: Arc::new(Mutex::new(Vec::new())),
+            outbox: Arc::new(EventQueue::new(1024)),
+            log: Arc::new(EventQueue::new(1024)),
             ticks: Arc::new(AtomicU64::new(500)),
             pending: Arc::new(Mutex::new(Vec::new())),
             dpi: DpiId(1),
@@ -244,11 +242,7 @@ mod tests {
     #[test]
     fn mib_get_reads_values() {
         let mut c = ctx();
-        let v = run(
-            "fn main() { return mib_get(\"1.3.6.1.4.1.45.1.3.2.1.0\"); }",
-            &mut c,
-        )
-        .unwrap();
+        let v = run("fn main() { return mib_get(\"1.3.6.1.4.1.45.1.3.2.1.0\"); }", &mut c).unwrap();
         assert_eq!(v, Value::Int(1234));
         let v = run("fn main() { return mib_get(\"1.9.9\"); }", &mut c).unwrap();
         assert_eq!(v, Value::Nil);
@@ -266,11 +260,8 @@ mod tests {
     #[test]
     fn mib_next_steps_through() {
         let mut c = ctx();
-        let v = run(
-            "fn main() { var r = mib_next(\"1.3.6.1.2.1.1\"); return r[0]; }",
-            &mut c,
-        )
-        .unwrap();
+        let v =
+            run("fn main() { var r = mib_next(\"1.3.6.1.2.1.1\"); return r[0]; }", &mut c).unwrap();
         assert_eq!(v, Value::Str("1.3.6.1.2.1.1.1.0".to_string()));
         let v = run("fn main() { return mib_next(\"2\"); }", &mut c).unwrap();
         assert_eq!(v, Value::Nil);
@@ -279,11 +270,9 @@ mod tests {
     #[test]
     fn mib_walk_returns_a_map() {
         let mut c = ctx();
-        let v = run(
-            "fn main() { var m = mib_walk(\"1.3.6.1.4.1.45\"); return len(keys(m)); }",
-            &mut c,
-        )
-        .unwrap();
+        let v =
+            run("fn main() { var m = mib_walk(\"1.3.6.1.4.1.45\"); return len(keys(m)); }", &mut c)
+                .unwrap();
         assert_eq!(v, Value::Int(4)); // four concentrator counters
     }
 
@@ -308,18 +297,12 @@ mod tests {
     fn mib_set_respects_write_protection() {
         let mut c = ctx();
         // sysDescr is read-only.
-        let err = run(
-            "fn main() { return mib_set(\"1.3.6.1.2.1.1.1.0\", \"owned\"); }",
-            &mut c,
-        )
-        .unwrap_err();
+        let err = run("fn main() { return mib_set(\"1.3.6.1.2.1.1.1.0\", \"owned\"); }", &mut c)
+            .unwrap_err();
         assert!(matches!(err, dpl::RuntimeError::Host { .. }));
         // sysName is writable.
-        let v = run(
-            "fn main() { return mib_set(\"1.3.6.1.2.1.1.5.0\", \"newname\"); }",
-            &mut c,
-        )
-        .unwrap();
+        let v = run("fn main() { return mib_set(\"1.3.6.1.2.1.1.5.0\", \"newname\"); }", &mut c)
+            .unwrap();
         assert_eq!(v, Value::Bool(true));
     }
 
@@ -348,7 +331,7 @@ mod tests {
     fn notify_lands_in_outbox_with_dpi_id() {
         let mut c = ctx();
         run("fn main() { notify([\"alert\", 99]); return 0; }", &mut c).unwrap();
-        let out = c.outbox.lock();
+        let out = c.outbox.snapshot();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].dpi, DpiId(1));
         assert_eq!(
@@ -361,7 +344,7 @@ mod tests {
     fn log_is_prefixed_with_dpi() {
         let mut c = ctx();
         run("fn main() { log(\"hello\"); return 0; }", &mut c).unwrap();
-        assert_eq!(c.log.lock()[0], "dpi-1: hello");
+        assert_eq!(c.log.snapshot()[0], "dpi-1: hello");
     }
 
     #[test]

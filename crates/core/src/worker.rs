@@ -131,8 +131,7 @@ mod tests {
         )
         .unwrap();
         let dpi = p.instantiate("sampler").unwrap();
-        let driver =
-            PeriodicDriver::start(p.clone(), dpi, "tick", Duration::from_micros(100));
+        let driver = PeriodicDriver::start(p.clone(), dpi, "tick", Duration::from_micros(100));
         while driver.runs() < 5 {
             std::thread::yield_now();
         }

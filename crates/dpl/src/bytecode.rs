@@ -42,9 +42,15 @@ pub(crate) enum Op {
     /// Short-circuit `||`: if top is true, leave it and jump; else pop.
     OrJump(u32),
     /// Call program function `func` with `argc` arguments on the stack.
-    Call { func: u16, argc: u8 },
+    Call {
+        func: u16,
+        argc: u8,
+    },
     /// Call host function `host` (program-level host table index).
-    CallHost { host: u16, argc: u8 },
+    CallHost {
+        host: u16,
+        argc: u8,
+    },
     /// Return with the top of stack as the value.
     Return,
     /// Discard the top of stack.
@@ -56,9 +62,15 @@ pub(crate) enum Op {
     /// Pop index then base; push `base[index]`.
     Index,
     /// Pop value and `depth` indices; mutate through local slot `slot`.
-    IndexSetLocal { slot: u16, depth: u8 },
+    IndexSetLocal {
+        slot: u16,
+        depth: u8,
+    },
     /// As above, through global slot `slot`.
-    IndexSetGlobal { slot: u16, depth: u8 },
+    IndexSetGlobal {
+        slot: u16,
+        depth: u8,
+    },
     /// Pop a value; push its iteration list (list as-is, map keys,
     /// str chars).
     IterList,

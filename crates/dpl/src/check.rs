@@ -111,10 +111,7 @@ impl<'a> Ctx<'a> {
             }
             StmtKind::Assign { name, value } => {
                 if !self.declared(name) {
-                    return Err(CheckError::UndefinedVariable {
-                        name: name.clone(),
-                        line: s.line,
-                    });
+                    return Err(CheckError::UndefinedVariable { name: name.clone(), line: s.line });
                 }
                 self.expr(value)
             }
@@ -294,8 +291,7 @@ mod tests {
 
     #[test]
     fn block_scoping_expires_locals() {
-        let err =
-            check_src("fn main(c) { if (c) { var x = 1; } return x; }").unwrap_err();
+        let err = check_src("fn main(c) { if (c) { var x = 1; } return x; }").unwrap_err();
         assert!(matches!(err, CheckError::UndefinedVariable { name, .. } if name == "x"));
     }
 

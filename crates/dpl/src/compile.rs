@@ -24,12 +24,8 @@ pub fn compile<C>(ast: &ProgramAst, registry: &HostRegistry<C>) -> Program {
     for (i, f) in ast.functions.iter().enumerate() {
         fn_by_name.insert(f.name.clone(), i);
     }
-    let global_slots: HashMap<&str, u16> = ast
-        .globals
-        .iter()
-        .enumerate()
-        .map(|(i, g)| (g.name.as_str(), i as u16))
-        .collect();
+    let global_slots: HashMap<&str, u16> =
+        ast.globals.iter().enumerate().map(|(i, g)| (g.name.as_str(), i as u16)).collect();
 
     let registry_has = |name: &str| registry.signature(name).is_some();
     let mut shared = Shared {
@@ -84,7 +80,9 @@ struct Shared<'a> {
 
 impl Shared<'_> {
     fn const_slot(&mut self, v: Value) -> u16 {
-        if let Some(i) = self.consts.iter().position(|c| ops::eq(c, &v) && c.type_name() == v.type_name()) {
+        if let Some(i) =
+            self.consts.iter().position(|c| ops::eq(c, &v) && c.type_name() == v.type_name())
+        {
             return i as u16;
         }
         self.consts.push(v);

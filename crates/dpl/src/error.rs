@@ -89,10 +89,9 @@ impl fmt::Display for CheckError {
             CheckError::UnknownFunction { name, line } => {
                 write!(f, "line {line}: call to unknown function `{name}` (not in the allowed set)")
             }
-            CheckError::WrongArity { name, expected, found, line } => write!(
-                f,
-                "line {line}: `{name}` expects {expected} argument(s), got {found}"
-            ),
+            CheckError::WrongArity { name, expected, found, line } => {
+                write!(f, "line {line}: `{name}` expects {expected} argument(s), got {found}")
+            }
             CheckError::UndefinedVariable { name, line } => {
                 write!(f, "line {line}: undefined variable `{name}`")
             }

@@ -262,9 +262,7 @@ pub mod stdlib {
                 None => -1,
             })),
             (Value::List(v), x) => Ok(Value::Int(
-                v.iter()
-                    .position(|item| crate::value::ops::eq(item, x))
-                    .map_or(-1, |i| i as i64),
+                v.iter().position(|item| crate::value::ops::eq(item, x)).map_or(-1, |i| i as i64),
             )),
             (a, _) => Err(err(format!("find: unsupported base {}", a.type_name()))),
         });
@@ -418,10 +416,7 @@ mod tests {
         );
         assert!(call("sort", &[Value::list(vec![Value::Int(1), Value::from("a")])]).is_err());
         assert_eq!(call("sum", &[Value::from(vec![1i64, 2, 3])]).unwrap(), Value::Int(6));
-        assert_eq!(
-            call("range", &[Value::Int(3)]).unwrap(),
-            Value::from(vec![0i64, 1, 2])
-        );
+        assert_eq!(call("range", &[Value::Int(3)]).unwrap(), Value::from(vec![0i64, 1, 2]));
         assert!(call("range", &[Value::Int(-1)]).is_err());
         assert_eq!(
             call("contains", &[Value::from(vec![1i64, 2]), Value::Int(2)]).unwrap(),

@@ -110,15 +110,9 @@ impl<'a, C> Interp<'a, C> {
         }
     }
 
-    fn call(
-        &mut self,
-        f: &'a FnDef,
-        args: Vec<Value>,
-        ctx: &mut C,
-    ) -> Result<Value, RuntimeError> {
+    fn call(&mut self, f: &'a FnDef, args: Vec<Value>, ctx: &mut C) -> Result<Value, RuntimeError> {
         self.depth_left = self.depth_left.checked_sub(1).ok_or(RuntimeError::StackOverflow)?;
-        let mut locals: HashMap<String, Value> =
-            f.params.iter().cloned().zip(args).collect();
+        let mut locals: HashMap<String, Value> = f.params.iter().cloned().zip(args).collect();
         let flow = self.block(&f.body, &mut locals, ctx)?;
         self.depth_left += 1;
         Ok(match flow {
@@ -294,10 +288,7 @@ impl<'a, C> Interp<'a, C> {
                         Value::Str(s) => s,
                         other => {
                             return Err(RuntimeError::TypeError {
-                                message: format!(
-                                    "map keys must be str, got {}",
-                                    other.type_name()
-                                ),
+                                message: format!("map keys must be str, got {}", other.type_name()),
                             })
                         }
                     };
@@ -344,12 +335,8 @@ impl<'a, C> Interp<'a, C> {
                     BinOp::Eq => Ok(Value::Bool(ops::eq(&l, &r))),
                     BinOp::Ne => Ok(Value::Bool(!ops::eq(&l, &r))),
                     BinOp::Lt => Ok(Value::Bool(ops::cmp(&l, &r)? == std::cmp::Ordering::Less)),
-                    BinOp::Le => {
-                        Ok(Value::Bool(ops::cmp(&l, &r)? != std::cmp::Ordering::Greater))
-                    }
-                    BinOp::Gt => {
-                        Ok(Value::Bool(ops::cmp(&l, &r)? == std::cmp::Ordering::Greater))
-                    }
+                    BinOp::Le => Ok(Value::Bool(ops::cmp(&l, &r)? != std::cmp::Ordering::Greater)),
+                    BinOp::Gt => Ok(Value::Bool(ops::cmp(&l, &r)? == std::cmp::Ordering::Greater)),
                     BinOp::Ge => Ok(Value::Bool(ops::cmp(&l, &r)? != std::cmp::Ordering::Less)),
                     BinOp::And | BinOp::Or => unreachable!("handled above"),
                 }
@@ -362,11 +349,9 @@ impl<'a, C> Interp<'a, C> {
                 if let Some(f) = self.ast.functions.iter().find(|f| &f.name == name) {
                     self.call(f, vals, ctx)
                 } else {
-                    let idx = self.registry.index_of(name).ok_or_else(|| {
-                        RuntimeError::Host {
-                            name: name.clone(),
-                            message: "not registered on this server".to_string(),
-                        }
+                    let idx = self.registry.index_of(name).ok_or_else(|| RuntimeError::Host {
+                        name: name.clone(),
+                        message: "not registered on this server".to_string(),
                     })?;
                     self.registry.call(idx, ctx, &vals)
                 }
@@ -440,11 +425,7 @@ mod tests {
                 vec![Value::from("c,a,b")],
             ),
             ("var g = 10; fn main() { g = g + 5; return g; }", "main", vec![]),
-            (
-                "fn main() { return false && (1 / 0 == 1) || true; }",
-                "main",
-                vec![],
-            ),
+            ("fn main() { return false && (1 / 0 == 1) || true; }", "main", vec![]),
         ];
         for (src, entry, args) in cases {
             let (vm, tree) = run_both(src, entry, &args);
@@ -455,8 +436,7 @@ mod tests {
     #[test]
     fn interpreter_enforces_fuel() {
         let reg: HostRegistry<()> = HostRegistry::with_stdlib();
-        let mut inst =
-            AstInstance::new("fn main() { while (true) { } return 0; }", &reg).unwrap();
+        let mut inst = AstInstance::new("fn main() { while (true) { } return 0; }", &reg).unwrap();
         let budget = Budget { fuel: 10_000, ..Budget::default() };
         let err = inst.invoke("main", &[], &mut (), &reg, budget).unwrap_err();
         assert_eq!(err, RuntimeError::OutOfFuel);

@@ -159,20 +159,62 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
             }
-            '(' => { push!(Tok::LParen); i += 1; }
-            ')' => { push!(Tok::RParen); i += 1; }
-            '{' => { push!(Tok::LBrace); i += 1; }
-            '}' => { push!(Tok::RBrace); i += 1; }
-            '[' => { push!(Tok::LBracket); i += 1; }
-            ']' => { push!(Tok::RBracket); i += 1; }
-            ',' => { push!(Tok::Comma); i += 1; }
-            ';' => { push!(Tok::Semicolon); i += 1; }
-            ':' => { push!(Tok::Colon); i += 1; }
-            '+' => { push!(Tok::Plus); i += 1; }
-            '-' => { push!(Tok::Minus); i += 1; }
-            '*' => { push!(Tok::Star); i += 1; }
-            '/' => { push!(Tok::Slash); i += 1; }
-            '%' => { push!(Tok::Percent); i += 1; }
+            '(' => {
+                push!(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                push!(Tok::RParen);
+                i += 1;
+            }
+            '{' => {
+                push!(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                push!(Tok::RBrace);
+                i += 1;
+            }
+            '[' => {
+                push!(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                push!(Tok::RBracket);
+                i += 1;
+            }
+            ',' => {
+                push!(Tok::Comma);
+                i += 1;
+            }
+            ';' => {
+                push!(Tok::Semicolon);
+                i += 1;
+            }
+            ':' => {
+                push!(Tok::Colon);
+                i += 1;
+            }
+            '+' => {
+                push!(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                push!(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                push!(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                push!(Tok::Slash);
+                i += 1;
+            }
+            '%' => {
+                push!(Tok::Percent);
+                i += 1;
+            }
             '=' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     push!(Tok::Eq);
@@ -269,10 +311,12 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                         b => {
                             // Collect a full UTF-8 scalar.
                             let ch_len = utf8_len(b);
-                            let chunk = std::str::from_utf8(&bytes[i..i + ch_len])
-                                .map_err(|_| LexError {
-                                    line,
-                                    message: "invalid UTF-8 in string".to_string(),
+                            let chunk =
+                                std::str::from_utf8(&bytes[i..i + ch_len]).map_err(|_| {
+                                    LexError {
+                                        line,
+                                        message: "invalid UTF-8 in string".to_string(),
+                                    }
                                 })?;
                             s.push_str(chunk);
                             i += ch_len;
@@ -311,9 +355,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &source[start..i];

@@ -80,10 +80,7 @@ pub use vm::{Budget, Instance, VmStats};
 /// let reg: HostRegistry<()> = HostRegistry::with_stdlib();
 /// assert!(compile_program("fn main() { return no_such_fn(); }", &reg).is_err());
 /// ```
-pub fn compile_program<C>(
-    source: &str,
-    registry: &HostRegistry<C>,
-) -> Result<Program, DplError> {
+pub fn compile_program<C>(source: &str, registry: &HostRegistry<C>) -> Result<Program, DplError> {
     let ast = parser::parse(source)?;
     check::check(&ast, &registry.signatures())?;
     Ok(compile::compile(&ast, registry))

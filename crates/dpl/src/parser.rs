@@ -129,9 +129,9 @@ impl Parser {
                     ast.functions.push(FnDef { name, params, body, line });
                 }
                 other => {
-                    return Err(self.err(format!(
-                        "expected `var` or `fn` at top level, found `{other}`"
-                    )))
+                    return Err(
+                        self.err(format!("expected `var` or `fn` at top level, found `{other}`"))
+                    )
                 }
             }
         }
@@ -185,11 +185,7 @@ impl Parser {
             }
             Tok::Return => {
                 self.bump();
-                let value = if self.peek() == &Tok::Semicolon {
-                    None
-                } else {
-                    Some(self.expr()?)
-                };
+                let value = if self.peek() == &Tok::Semicolon { None } else { Some(self.expr()?) };
                 self.eat(&Tok::Semicolon)?;
                 StmtKind::Return { value }
             }
@@ -219,11 +215,9 @@ impl Parser {
                     let value = self.expr()?;
                     self.eat(&Tok::Semicolon)?;
                     match e.kind {
-                        ExprKind::Index { base, index } => StmtKind::IndexAssign {
-                            base: *base,
-                            index: *index,
-                            value,
-                        },
+                        ExprKind::Index { base, index } => {
+                            StmtKind::IndexAssign { base: *base, index: *index, value }
+                        }
                         _ => {
                             return Err(ParseError {
                                 line,
@@ -373,12 +367,18 @@ impl Parser {
             Tok::Minus => {
                 self.bump();
                 let operand = self.unary()?;
-                Ok(Expr { kind: ExprKind::Unary { op: UnOp::Neg, operand: Box::new(operand) }, line })
+                Ok(Expr {
+                    kind: ExprKind::Unary { op: UnOp::Neg, operand: Box::new(operand) },
+                    line,
+                })
             }
             Tok::Bang => {
                 self.bump();
                 let operand = self.unary()?;
-                Ok(Expr { kind: ExprKind::Unary { op: UnOp::Not, operand: Box::new(operand) }, line })
+                Ok(Expr {
+                    kind: ExprKind::Unary { op: UnOp::Not, operand: Box::new(operand) },
+                    line,
+                })
             }
             _ => self.postfix(),
         }
@@ -391,10 +391,7 @@ impl Parser {
             self.bump();
             let index = self.expr()?;
             self.eat(&Tok::RBracket)?;
-            e = Expr {
-                kind: ExprKind::Index { base: Box::new(e), index: Box::new(index) },
-                line,
-            };
+            e = Expr { kind: ExprKind::Index { base: Box::new(e), index: Box::new(index) }, line };
         }
         Ok(e)
     }

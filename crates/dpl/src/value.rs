@@ -11,8 +11,7 @@ use std::sync::Arc;
 /// it in a loop is O(1) per access, while any mutation of a shared
 /// container copies it first ([`Arc::make_mut`]). This keeps delegated
 /// programs free of aliasing bugs without making table scans quadratic.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Value {
     /// 64-bit integer.
     Int(i64),
@@ -42,10 +41,7 @@ impl Value {
             Value::Str(s) => 1 + (s.len() as u64) / 8,
             Value::List(items) => 1 + items.iter().map(Value::cost).sum::<u64>(),
             Value::Map(map) => {
-                1 + map
-                    .iter()
-                    .map(|(k, v)| 1 + (k.len() as u64) / 8 + v.cost())
-                    .sum::<u64>()
+                1 + map.iter().map(|(k, v)| 1 + (k.len() as u64) / 8 + v.cost()).sum::<u64>()
             }
         }
     }
@@ -131,7 +127,6 @@ impl Value {
         Value::Map(Arc::new(entries))
     }
 }
-
 
 impl From<i64> for Value {
     fn from(v: i64) -> Value {
@@ -337,11 +332,9 @@ pub(crate) mod ops {
         match (a, b) {
             (Value::Str(x), Value::Str(y)) => Ok(x.cmp(y)),
             _ => match (a.as_f64(), b.as_f64()) {
-                (Some(x), Some(y)) => x
-                    .partial_cmp(&y)
-                    .ok_or_else(|| RuntimeError::TypeError {
-                        message: "NaN is not ordered".to_string(),
-                    }),
+                (Some(x), Some(y)) => x.partial_cmp(&y).ok_or_else(|| RuntimeError::TypeError {
+                    message: "NaN is not ordered".to_string(),
+                }),
                 _ => Err(type_error("<", a, b)),
             },
         }
@@ -359,17 +352,13 @@ pub(crate) mod ops {
                     message: format!("list index {i} out of bounds (len {})", items.len()),
                 })
             }
-            (Value::Map(map), Value::Str(k)) => {
-                Ok(map.get(k).cloned().unwrap_or(Value::Nil))
-            }
+            (Value::Map(map), Value::Str(k)) => Ok(map.get(k).cloned().unwrap_or(Value::Nil)),
             (Value::Str(s), Value::Int(i)) => {
                 let idx = usize::try_from(*i).map_err(|_| RuntimeError::BadIndex {
                     message: format!("negative string index {i}"),
                 })?;
                 s.chars().nth(idx).map(|c| Value::Str(c.to_string())).ok_or_else(|| {
-                    RuntimeError::BadIndex {
-                        message: format!("string index {i} out of bounds"),
-                    }
+                    RuntimeError::BadIndex { message: format!("string index {i} out of bounds") }
                 })
             }
             (b, i) => Err(RuntimeError::TypeError {
@@ -386,10 +375,9 @@ pub(crate) mod ops {
                     message: format!("negative list index {i}"),
                 })?;
                 let len = items.len();
-                let slot =
-                    Arc::make_mut(items).get_mut(idx).ok_or(RuntimeError::BadIndex {
-                        message: format!("list index {i} out of bounds (len {len})"),
-                    })?;
+                let slot = Arc::make_mut(items).get_mut(idx).ok_or(RuntimeError::BadIndex {
+                    message: format!("list index {i} out of bounds (len {len})"),
+                })?;
                 *slot = value;
                 Ok(())
             }
@@ -413,10 +401,7 @@ mod tests {
     fn arithmetic_type_rules() {
         assert_eq!(ops::add(Value::Int(2), Value::Int(3)).unwrap(), Value::Int(5));
         assert_eq!(ops::add(Value::Int(2), Value::Float(0.5)).unwrap(), Value::Float(2.5));
-        assert_eq!(
-            ops::add(Value::from("a"), Value::from("b")).unwrap(),
-            Value::from("ab")
-        );
+        assert_eq!(ops::add(Value::from("a"), Value::from("b")).unwrap(), Value::from("ab"));
         assert_eq!(
             ops::add(Value::from(vec![1i64]), Value::from(vec![2i64])).unwrap(),
             Value::from(vec![1i64, 2])
@@ -429,7 +414,10 @@ mod tests {
     fn division_guards() {
         assert_eq!(ops::div(Value::Int(7), Value::Int(2)).unwrap(), Value::Int(3));
         assert_eq!(ops::div(Value::Float(7.0), Value::Int(2)).unwrap(), Value::Float(3.5));
-        assert_eq!(ops::div(Value::Int(1), Value::Int(0)).unwrap_err(), RuntimeError::DivisionByZero);
+        assert_eq!(
+            ops::div(Value::Int(1), Value::Int(0)).unwrap_err(),
+            RuntimeError::DivisionByZero
+        );
         assert_eq!(
             ops::rem(Value::Int(1), Value::Int(0)).unwrap_err(),
             RuntimeError::DivisionByZero
@@ -439,14 +427,8 @@ mod tests {
 
     #[test]
     fn integer_overflow_wraps_not_panics() {
-        assert_eq!(
-            ops::add(Value::Int(i64::MAX), Value::Int(1)).unwrap(),
-            Value::Int(i64::MIN)
-        );
-        assert_eq!(
-            ops::mul(Value::Int(i64::MAX), Value::Int(2)).unwrap(),
-            Value::Int(-2)
-        );
+        assert_eq!(ops::add(Value::Int(i64::MAX), Value::Int(1)).unwrap(), Value::Int(i64::MIN));
+        assert_eq!(ops::mul(Value::Int(i64::MAX), Value::Int(2)).unwrap(), Value::Int(-2));
         assert_eq!(ops::neg(Value::Int(i64::MIN)).unwrap(), Value::Int(i64::MIN));
     }
 
@@ -471,14 +453,8 @@ mod tests {
     fn indexing_rules() {
         let list = Value::from(vec![10i64, 20]);
         assert_eq!(ops::index(&list, &Value::Int(1)).unwrap(), Value::Int(20));
-        assert!(matches!(
-            ops::index(&list, &Value::Int(5)),
-            Err(RuntimeError::BadIndex { .. })
-        ));
-        assert!(matches!(
-            ops::index(&list, &Value::Int(-1)),
-            Err(RuntimeError::BadIndex { .. })
-        ));
+        assert!(matches!(ops::index(&list, &Value::Int(5)), Err(RuntimeError::BadIndex { .. })));
+        assert!(matches!(ops::index(&list, &Value::Int(-1)), Err(RuntimeError::BadIndex { .. })));
         let mut m = BTreeMap::new();
         m.insert("k".to_string(), Value::Int(9));
         let map = Value::map(m);
@@ -517,10 +493,7 @@ mod tests {
         assert_eq!(Value::Float(2.0).to_string(), "2.0");
         assert_eq!(Value::Float(2.5).to_string(), "2.5");
         assert_eq!(Value::from(vec![1i64, 2]).to_string(), "[1, 2]");
-        assert_eq!(
-            Value::list(vec![Value::from("a")]).to_string(),
-            "[\"a\"]"
-        );
+        assert_eq!(Value::list(vec![Value::from("a")]).to_string(), "[\"a\"]");
         assert_eq!(Value::Nil.to_string(), "nil");
     }
 

@@ -134,10 +134,7 @@ impl Instance {
                 .ok_or_else(|| RuntimeError::NoSuchFunction { name: entry.to_string() })?;
             let f = &program.functions[fn_idx];
             if f.arity != args.len() {
-                return Err(RuntimeError::BadInvocation {
-                    expected: f.arity,
-                    found: args.len(),
-                });
+                return Err(RuntimeError::BadInvocation { expected: f.arity, found: args.len() });
             }
             vm.run(fn_idx, args.to_vec(), ctx)
         })();
@@ -449,9 +446,8 @@ impl<'a, C> Vm<'a, C> {
                             v
                         }
                         Value::Str(s) => {
-                            let v = Value::list(
-                                s.chars().map(|c| Value::Str(c.to_string())).collect(),
-                            );
+                            let v =
+                                Value::list(s.chars().map(|c| Value::Str(c.to_string())).collect());
                             self.charge_alloc(&v)?;
                             v
                         }
@@ -484,11 +480,7 @@ impl<'a, C> Vm<'a, C> {
 
 /// Navigates `root` through all but the last index, then assigns at the
 /// last index.
-fn index_set_path(
-    root: &mut Value,
-    indices: &[Value],
-    value: Value,
-) -> Result<(), RuntimeError> {
+fn index_set_path(root: &mut Value, indices: &[Value], value: Value) -> Result<(), RuntimeError> {
     let (last, path) = indices.split_last().expect("depth >= 1");
     let mut cur = root;
     for idx in path {
@@ -653,10 +645,7 @@ mod tests {
             run_main("fn main() { return true || (1 / 0 == 1); }").unwrap(),
             Value::Bool(true)
         );
-        assert_eq!(
-            run_main("fn main() { return true && false; }").unwrap(),
-            Value::Bool(false)
-        );
+        assert_eq!(run_main("fn main() { return true && false; }").unwrap(), Value::Bool(false));
     }
 
     #[test]
@@ -666,10 +655,8 @@ mod tests {
             Value::Int(12)
         );
         assert_eq!(
-            run_main(
-                "fn main() { var m = {\"a\": 1}; m[\"b\"] = 2; return m[\"a\"] + m[\"b\"]; }"
-            )
-            .unwrap(),
+            run_main("fn main() { var m = {\"a\": 1}; m[\"b\"] = 2; return m[\"a\"] + m[\"b\"]; }")
+                .unwrap(),
             Value::Int(3)
         );
         assert_eq!(
@@ -691,7 +678,10 @@ mod tests {
 
     #[test]
     fn runtime_faults_are_reported() {
-        assert_eq!(run_main("fn main() { return 1 / 0; }").unwrap_err(), RuntimeError::DivisionByZero);
+        assert_eq!(
+            run_main("fn main() { return 1 / 0; }").unwrap_err(),
+            RuntimeError::DivisionByZero
+        );
         assert!(matches!(
             run_main("fn main() { return [1][5]; }").unwrap_err(),
             RuntimeError::BadIndex { .. }
@@ -734,8 +724,9 @@ mod tests {
     #[test]
     fn call_depth_budget_stops_runaway_recursion() {
         let reg: HostRegistry<()> = HostRegistry::with_stdlib();
-        let program = compile_program("fn f(n) { return f(n + 1); } fn main() { return f(0); }", &reg)
-            .unwrap();
+        let program =
+            compile_program("fn f(n) { return f(n + 1); } fn main() { return f(0); }", &reg)
+                .unwrap();
         let mut inst = Instance::new(&program);
         let err = inst.invoke("main", &[], &mut (), &reg, Budget::default()).unwrap_err();
         assert_eq!(err, RuntimeError::StackOverflow);
@@ -757,10 +748,8 @@ mod tests {
     #[test]
     fn host_stdlib_integration() {
         assert_eq!(
-            run_main(
-                "fn main() { var parts = split(\"10.0.0.1\", \".\"); return len(parts); }"
-            )
-            .unwrap(),
+            run_main("fn main() { var parts = split(\"10.0.0.1\", \".\"); return len(parts); }")
+                .unwrap(),
             Value::Int(4)
         );
         assert_eq!(
@@ -805,9 +794,11 @@ mod tests {
     #[test]
     fn stats_are_recorded() {
         let reg: HostRegistry<()> = HostRegistry::with_stdlib();
-        let program =
-            compile_program("fn main() { var t = 0; for (i in range(100)) { t = t + i; } return t; }", &reg)
-                .unwrap();
+        let program = compile_program(
+            "fn main() { var t = 0; for (i in range(100)) { t = t + i; } return t; }",
+            &reg,
+        )
+        .unwrap();
         let mut inst = Instance::new(&program);
         let v = inst.invoke("main", &[], &mut (), &reg, Budget::default()).unwrap();
         assert_eq!(v, Value::Int(4950));

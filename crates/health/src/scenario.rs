@@ -242,17 +242,14 @@ mod tests {
         let trace = s.labeled_symptoms(500);
         type Sample = (Symptoms, Option<StressKind>);
         let mean = |pred: &dyn Fn(&Sample) -> bool, f: &dyn Fn(&Symptoms) -> f64| {
-            let xs: Vec<f64> =
-                trace.iter().filter(|t| pred(t)).map(|(sym, _)| f(sym)).collect();
+            let xs: Vec<f64> = trace.iter().filter(|t| pred(t)).map(|(sym, _)| f(sym)).collect();
             xs.iter().sum::<f64>() / xs.len().max(1) as f64
         };
         let healthy_util = mean(&|t| t.1.is_none(), &|s| s.utilization);
-        let congested_util =
-            mean(&|t| t.1 == Some(StressKind::Congestion), &|s| s.utilization);
+        let congested_util = mean(&|t| t.1 == Some(StressKind::Congestion), &|s| s.utilization);
         assert!(congested_util > healthy_util * 2.0);
         let healthy_bcast = mean(&|t| t.1.is_none(), &|s| s.broadcast_rate);
-        let storm_bcast =
-            mean(&|t| t.1 == Some(StressKind::BroadcastStorm), &|s| s.broadcast_rate);
+        let storm_bcast = mean(&|t| t.1 == Some(StressKind::BroadcastStorm), &|s| s.broadcast_rate);
         assert!(storm_bcast > healthy_bcast * 5.0);
     }
 

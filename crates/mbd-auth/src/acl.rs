@@ -107,10 +107,7 @@ impl Acl {
 
     /// Grants `op` to `who`, but only for the dp named `dp_name`.
     pub fn grant_scoped(&mut self, who: &Principal, op: Operation, dp_name: &str) {
-        self.scoped
-            .entry((who.clone(), op))
-            .or_default()
-            .insert(dp_name.to_string());
+        self.scoped.entry((who.clone(), op)).or_default().insert(dp_name.to_string());
     }
 
     /// Revokes all of `who`'s grants (scoped and unscoped).
@@ -128,11 +125,7 @@ impl Acl {
             return true;
         }
         if let Some(dp) = dp_name {
-            if self
-                .scoped
-                .get(&(who.clone(), op))
-                .is_some_and(|names| names.contains(dp))
-            {
+            if self.scoped.get(&(who.clone(), op)).is_some_and(|names| names.contains(dp)) {
                 return true;
             }
         }

@@ -42,10 +42,21 @@ pub trait Actor: Any {
 #[derive(Debug)]
 enum EventKind {
     /// Message arrival at a node (subject to the node's processing queue).
-    Deliver { to: NodeId, from: NodeId, bytes: Vec<u8> },
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        bytes: Vec<u8>,
+    },
     /// Message handling after the processing delay has elapsed.
-    Handle { to: NodeId, from: NodeId, bytes: Vec<u8> },
-    Timer { node: NodeId, token: TimerToken },
+    Handle {
+        to: NodeId,
+        from: NodeId,
+        bytes: Vec<u8>,
+    },
+    Timer {
+        node: NodeId,
+        token: TimerToken,
+    },
 }
 
 struct Scheduled {

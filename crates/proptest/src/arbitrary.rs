@@ -1,0 +1,100 @@
+//! `any::<T>()` — whole-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// A strategy over all values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite floats across magnitudes (no NaN/inf: the tests here
+        // feed these into arithmetic that assumes ordered values).
+        let mantissa = rng.unit_f64() * 2.0 - 1.0;
+        let exp = rng.below(61) as i32 - 30;
+        mantissa * 2f64.powi(exp)
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for b in &mut out {
+            *b = rng.next_u64() as u8;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_cover_sign_and_magnitude() {
+        let mut rng = TestRng::from_seed(5);
+        let s = any::<i64>();
+        let mut neg = false;
+        let mut pos = false;
+        for _ in 0..100 {
+            let v = s.gen_value(&mut rng);
+            neg |= v < 0;
+            pos |= v > 0;
+        }
+        assert!(neg && pos);
+    }
+
+    #[test]
+    fn arrays_vary() {
+        let mut rng = TestRng::from_seed(6);
+        let s = any::<[u8; 4]>();
+        let a = s.gen_value(&mut rng);
+        let b = s.gen_value(&mut rng);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,198 @@
+//! String strategies from a regex-like pattern.
+//!
+//! A `&'static str` is itself a strategy producing `String`s. The
+//! supported pattern language is the subset the workspace's tests use:
+//! character classes with ranges (`[a-zA-Z0-9_.-]`), `\PC` (any
+//! printable character), literal characters, and the quantifiers `{m}`,
+//! `{m,n}`, `*`, `+`, and `?`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Upper bound substituted for open-ended `*` / `+` quantifiers.
+const UNBOUNDED_MAX: usize = 64;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// One of an explicit pool of characters.
+    Class(Vec<char>),
+    /// Any printable character (`\PC`).
+    Printable,
+    /// Exactly this character.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut pool = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars.next().expect("unterminated character class");
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    pool.push(p);
+                }
+                return pool;
+            }
+            '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                let lo = pending.take().expect("range start");
+                let hi = chars.next().expect("range end");
+                assert!(lo <= hi, "descending class range {lo}-{hi}");
+                pool.extend(lo..=hi);
+            }
+            other => {
+                if let Some(p) = pending.take() {
+                    pool.push(p);
+                }
+                pending = Some(other);
+            }
+        }
+    }
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut min_txt = String::new();
+            let mut max_txt = None;
+            loop {
+                match chars.next().expect("unterminated quantifier") {
+                    '}' => break,
+                    ',' => max_txt = Some(String::new()),
+                    d => match &mut max_txt {
+                        Some(t) => t.push(d),
+                        None => min_txt.push(d),
+                    },
+                }
+            }
+            let min: usize = min_txt.parse().expect("quantifier minimum");
+            let max = match max_txt {
+                None => min,
+                Some(t) => t.parse().expect("quantifier maximum"),
+            };
+            (min, max)
+        }
+        Some('*') => {
+            chars.next();
+            (0, UNBOUNDED_MAX)
+        }
+        Some('+') => {
+            chars.next();
+            (1, UNBOUNDED_MAX)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => match chars.next().expect("dangling escape") {
+                'P' => {
+                    assert_eq!(chars.next(), Some('C'), "only \\PC is supported");
+                    Atom::Printable
+                }
+                esc => Atom::Literal(esc),
+            },
+            other => Atom::Literal(other),
+        };
+        let (min, max) = parse_quantifier(&mut chars);
+        assert!(min <= max, "descending quantifier in {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn gen_printable(rng: &mut TestRng) -> char {
+    // Mostly ASCII printables, with an occasional sampled non-ASCII
+    // printable so unicode handling gets exercised.
+    const EXOTIC: [char; 8] = ['é', 'ß', 'λ', 'Ж', '→', '系', '🙂', 'ñ'];
+    if rng.below(16) == 0 {
+        EXOTIC[rng.usize_in(0, EXOTIC.len())]
+    } else {
+        char::from_u32(0x20 + rng.below(0x5F) as u32).expect("ascii printable")
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = rng.usize_in(piece.min, piece.max + 1);
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Class(pool) => out.push(pool[rng.usize_in(0, pool.len())]),
+                    Atom::Printable => out.push(gen_printable(rng)),
+                    Atom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(7)
+    }
+
+    #[test]
+    fn class_with_ranges_and_trailing_dash() {
+        let s = "[a-zA-Z0-9_.-]{0,24}";
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = s.gen_value(&mut r);
+            assert!(v.len() <= 24);
+            assert!(v.chars().all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn fixed_and_bounded_quantifiers() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = "[a-z]{1,10}".gen_value(&mut r);
+            assert!((1..=10).contains(&v.len()));
+            assert!(v.chars().all(|c| c.is_ascii_lowercase()));
+        }
+        let head_tail = "[a-z][a-z0-9_]{0,10}".gen_value(&mut r);
+        assert!(head_tail.chars().next().unwrap().is_ascii_lowercase());
+    }
+
+    #[test]
+    fn printable_star_is_bounded_and_printable() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let v = "\\PC*".gen_value(&mut r);
+            assert!(v.chars().count() <= UNBOUNDED_MAX);
+            assert!(v.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut r = rng();
+        assert_eq!("dpi".gen_value(&mut r), "dpi");
+    }
+}

@@ -128,8 +128,7 @@ impl<T: Transport> RdsClient<T> {
     /// `Remote(RuntimeFault)` if the invocation faulted or exceeded its
     /// budget; `Remote(BadState)` if the dpi is suspended/terminated.
     pub fn invoke(&self, dpi: DpiId, entry: &str, args: &[BerValue]) -> Result<BerValue, RdsError> {
-        let req =
-            RdsRequest::Invoke { dpi, entry: entry.to_string(), args: args.to_vec() };
+        let req = RdsRequest::Invoke { dpi, entry: entry.to_string(), args: args.to_vec() };
         match self.roundtrip(&req)? {
             RdsResponse::Result { value } => Ok(value),
             other => Err(unexpected(&other)),
@@ -209,24 +208,24 @@ mod tests {
 
     fn demo_server() -> Arc<RdsServer<impl RdsHandler + Send + Sync>> {
         Arc::new(RdsServer::open(|_p: &Principal, req: RdsRequest| match req {
-            RdsRequest::DelegateProgram { dp_name, .. } if dp_name == "bad" => {
-                RdsResponse::Error {
-                    code: ErrorCode::TranslationFailed,
-                    message: "rejected".to_string(),
-                }
-            }
+            RdsRequest::DelegateProgram { dp_name, .. } if dp_name == "bad" => RdsResponse::Error {
+                code: ErrorCode::TranslationFailed,
+                message: "rejected".to_string(),
+            },
             RdsRequest::DelegateProgram { .. } => RdsResponse::Ok,
             RdsRequest::Instantiate { .. } => RdsResponse::Instantiated { dpi: DpiId(5) },
-            RdsRequest::Invoke { args, .. } => RdsResponse::Result {
-                value: BerValue::Integer(args.len() as i64),
-            },
+            RdsRequest::Invoke { args, .. } => {
+                RdsResponse::Result { value: BerValue::Integer(args.len() as i64) }
+            }
             RdsRequest::ListPrograms => RdsResponse::Programs { names: vec!["dp".to_string()] },
             RdsRequest::ListInstances => RdsResponse::Instances { instances: vec![] },
             _ => RdsResponse::Ok,
         }))
     }
 
-    fn client_for(server: Arc<RdsServer<impl RdsHandler + Send + Sync + 'static>>) -> RdsClient<LoopbackTransport> {
+    fn client_for(
+        server: Arc<RdsServer<impl RdsHandler + Send + Sync + 'static>>,
+    ) -> RdsClient<LoopbackTransport> {
         let transport = LoopbackTransport::new(move |bytes: &[u8]| server.process(bytes));
         RdsClient::new(transport, "mgr")
     }
@@ -252,10 +251,7 @@ mod tests {
     fn remote_errors_surface_typed() {
         let client = client_for(demo_server());
         let err = client.delegate("bad", "###").unwrap_err();
-        assert!(matches!(
-            err,
-            RdsError::Remote { code: ErrorCode::TranslationFailed, .. }
-        ));
+        assert!(matches!(err, RdsError::Remote { code: ErrorCode::TranslationFailed, .. }));
     }
 
     #[test]

@@ -38,8 +38,7 @@ fn unseal<'a>(bytes: &'a [u8], key: Option<&[u8]>) -> Result<&'a [u8], RdsError>
     })?;
     r.expect_end()?;
     if let Some(k) = key {
-        let expected: [u8; 16] =
-            digest.as_slice().try_into().map_err(|_| RdsError::BadDigest)?;
+        let expected: [u8; 16] = digest.as_slice().try_into().map_err(|_| RdsError::BadDigest)?;
         if !mbd_auth::verify_keyed_digest(k, payload, &expected) {
             return Err(RdsError::BadDigest);
         }
@@ -199,10 +198,7 @@ pub fn encode_response(resp: &RdsResponse, request_id: i64, key: Option<&[u8]>) 
 /// # Errors
 ///
 /// As for [`decode_request`].
-pub fn decode_response(
-    bytes: &[u8],
-    key: Option<&[u8]>,
-) -> Result<(RdsResponse, i64), RdsError> {
+pub fn decode_response(bytes: &[u8], key: Option<&[u8]>) -> Result<(RdsResponse, i64), RdsError> {
     let payload = unseal(bytes, key)?;
     let mut r = BerReader::new(payload);
     let out = r.read_sequence(|r| {
@@ -362,10 +358,7 @@ mod tests {
             let mut bytes = encode_request(&req, &Principal::new("mgr"), 1, Some(key));
             assert!(decode_request(&bytes, Some(key)).is_ok());
             // Wrong key fails.
-            assert_eq!(
-                decode_request(&bytes, Some(b"other")).unwrap_err(),
-                RdsError::BadDigest
-            );
+            assert_eq!(decode_request(&bytes, Some(b"other")).unwrap_err(), RdsError::BadDigest);
             // Bit-flip in the payload fails.
             let last = bytes.len() - 1;
             bytes[last] ^= 0x01;

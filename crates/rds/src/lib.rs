@@ -49,5 +49,5 @@ pub use client::RdsClient;
 pub use error::{ErrorCode, RdsError};
 pub use msg::{DpiId, DpiState, DpiSummary, RdsRequest, RdsResponse};
 pub use server::{RdsHandler, RdsServer};
-pub use tcp::{TcpServer, TcpTransport};
+pub use tcp::{TcpServer, TcpServerConfig, TcpTransport};
 pub use transport::{ChannelTransport, ChannelTransportServer, LoopbackTransport, Transport};

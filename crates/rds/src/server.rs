@@ -72,27 +72,27 @@ impl<H: RdsHandler> RdsServer<H> {
     /// Undecodable requests get an encoded `Error` response with request
     /// id 0 (there is nothing better to correlate with).
     pub fn process(&self, bytes: &[u8]) -> Vec<u8> {
-        let (request, principal, request_id) = match codec::decode_request(bytes, self.key.as_deref())
-        {
-            Ok(parts) => parts,
-            Err(crate::RdsError::BadDigest) => {
-                return codec::encode_response(
-                    &RdsResponse::Error {
-                        code: ErrorCode::AuthFailed,
-                        message: "digest verification failed".to_string(),
-                    },
-                    0,
-                    self.key.as_deref(),
-                )
-            }
-            Err(e) => {
-                return codec::encode_response(
-                    &RdsResponse::Error { code: ErrorCode::Internal, message: e.to_string() },
-                    0,
-                    self.key.as_deref(),
-                )
-            }
-        };
+        let (request, principal, request_id) =
+            match codec::decode_request(bytes, self.key.as_deref()) {
+                Ok(parts) => parts,
+                Err(crate::RdsError::BadDigest) => {
+                    return codec::encode_response(
+                        &RdsResponse::Error {
+                            code: ErrorCode::AuthFailed,
+                            message: "digest verification failed".to_string(),
+                        },
+                        0,
+                        self.key.as_deref(),
+                    )
+                }
+                Err(e) => {
+                    return codec::encode_response(
+                        &RdsResponse::Error { code: ErrorCode::Internal, message: e.to_string() },
+                        0,
+                        self.key.as_deref(),
+                    )
+                }
+            };
         let op = required_operation(&request);
         let response = if self.acl.allows(&principal, op, request.dp_name()) {
             self.handler.handle(&principal, request)
@@ -113,9 +113,7 @@ mod tests {
 
     fn echo_handler() -> impl RdsHandler {
         |_p: &Principal, req: RdsRequest| match req {
-            RdsRequest::ListPrograms => {
-                RdsResponse::Programs { names: vec!["seen".to_string()] }
-            }
+            RdsRequest::ListPrograms => RdsResponse::Programs { names: vec!["seen".to_string()] },
             RdsRequest::Instantiate { .. } => RdsResponse::Instantiated { dpi: DpiId(1) },
             _ => RdsResponse::Ok,
         }
@@ -137,12 +135,8 @@ mod tests {
         acl.grant(&Principal::new("viewer"), Operation::List);
         let server = RdsServer::with_policy(echo_handler(), acl, None);
 
-        let ok = codec::encode_request(
-            &RdsRequest::ListPrograms,
-            &Principal::new("viewer"),
-            1,
-            None,
-        );
+        let ok =
+            codec::encode_request(&RdsRequest::ListPrograms, &Principal::new("viewer"), 1, None);
         let (resp, _) = codec::decode_response(&server.process(&ok), None).unwrap();
         assert!(matches!(resp, RdsResponse::Programs { .. }));
 
@@ -176,7 +170,8 @@ mod tests {
                 None,
             )
         };
-        let (resp, _) = codec::decode_response(&server.process(&mk("allowed-dp", 1)), None).unwrap();
+        let (resp, _) =
+            codec::decode_response(&server.process(&mk("allowed-dp", 1)), None).unwrap();
         assert_eq!(resp, RdsResponse::Ok);
         let (resp, _) = codec::decode_response(&server.process(&mk("other-dp", 2)), None).unwrap();
         assert!(matches!(resp, RdsResponse::Error { code: ErrorCode::AccessDenied, .. }));

@@ -3,21 +3,33 @@
 //! Messages are framed with a 4-byte big-endian length prefix (BER
 //! messages are self-delimiting, but an explicit frame keeps the reader
 //! trivial and bounds allocation). One TCP connection carries a sequence
-//! of request/response exchanges; the client serializes its requests, the
-//! server handles each connection on its own thread — the same
-//! thread-per-conversation structure as the 1991 prototype's socket
-//! protocol component.
+//! of request/response exchanges; the client serializes its requests.
+//!
+//! The server dispatches connections onto a **bounded worker pool**
+//! instead of the 1991 prototype's thread-per-conversation structure: a
+//! fixed set of workers drains an accept queue, so a connection flood
+//! cannot exhaust server threads, and [`TcpServer::shutdown`] joins
+//! every worker before returning. A handler panic poisons only its own
+//! connection — the worker survives to serve the next one.
 
 use crate::{RdsError, Transport};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar};
+use std::time::Duration;
 
 /// Upper bound on a framed message (16 MiB) — a delegation request
 /// carrying a program will never legitimately approach this.
 pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Frame payloads are read in chunks of this size, so a hostile length
+/// prefix cannot make the server allocate [`MAX_FRAME`] bytes up front —
+/// memory grows only as payload bytes actually arrive.
+const READ_CHUNK: usize = 64 * 1024;
 
 fn io_err(e: std::io::Error) -> RdsError {
     RdsError::Transport { message: e.to_string() }
@@ -29,9 +41,8 @@ fn io_err(e: std::io::Error) -> RdsError {
 ///
 /// I/O errors, or an oversized frame.
 pub fn write_frame<W: Write>(w: &mut W, bytes: &[u8]) -> Result<(), RdsError> {
-    let len = u32::try_from(bytes.len()).map_err(|_| RdsError::Transport {
-        message: "frame too large".to_string(),
-    })?;
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| RdsError::Transport { message: "frame too large".to_string() })?;
     if len > MAX_FRAME {
         return Err(RdsError::Transport { message: "frame too large".to_string() });
     }
@@ -57,8 +68,18 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, RdsError> {
     if len > MAX_FRAME {
         return Err(RdsError::Transport { message: format!("oversized frame ({len} bytes)") });
     }
-    let mut buf = vec![0u8; len as usize];
-    r.read_exact(&mut buf).map_err(io_err)?;
+    // Incremental, capped reads: the length prefix is untrusted input,
+    // so never allocate the full claimed size before bytes arrive.
+    let mut buf = Vec::new();
+    let mut remaining = len as usize;
+    while remaining > 0 {
+        let take = remaining.min(READ_CHUNK);
+        let start = buf.len();
+        buf.reserve_exact(take);
+        buf.resize(start + take, 0);
+        r.read_exact(&mut buf[start..]).map_err(io_err)?;
+        remaining -= take;
+    }
     Ok(Some(buf))
 }
 
@@ -102,19 +123,65 @@ impl Transport for TcpTransport {
     }
 }
 
-/// Server side: accepts connections and answers each framed request with
-/// `respond`, one thread per connection.
-#[derive(Debug)]
+/// Sizing and timing of a [`TcpServer`]'s worker pool.
+#[derive(Debug, Clone)]
+pub struct TcpServerConfig {
+    /// Worker threads serving connections (each worker serves one
+    /// connection at a time, start to finish).
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a free worker; beyond
+    /// this the server drops new connections (and counts them).
+    pub backlog: usize,
+    /// How often an idle connection checks for shutdown.
+    pub idle_poll: Duration,
+    /// Deadline for a started frame to arrive completely.
+    pub frame_timeout: Duration,
+}
+
+impl Default for TcpServerConfig {
+    fn default() -> TcpServerConfig {
+        TcpServerConfig {
+            workers: 8,
+            backlog: 64,
+            idle_poll: Duration::from_millis(25),
+            frame_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// State shared between the accept loop, the workers and the handle.
+struct PoolShared {
+    stop: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    rejected: AtomicU64,
+    handler_panics: AtomicU64,
+}
+
+/// Server side: accepts connections into a bounded queue drained by a
+/// fixed pool of worker threads, each answering framed requests with
+/// `respond`.
 pub struct TcpServer {
     local: SocketAddr,
-    stop: Arc<AtomicBool>,
+    shared: Arc<PoolShared>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TcpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpServer")
+            .field("local", &self.local)
+            .field("workers", &self.workers.len())
+            .field("rejected", &self.connections_rejected())
+            .finish()
+    }
 }
 
 impl TcpServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// serving. `respond` runs on connection threads and must be
-    /// thread-safe.
+    /// serving with the default pool configuration. `respond` runs on
+    /// worker threads and must be thread-safe.
     ///
     /// # Errors
     ///
@@ -124,38 +191,65 @@ impl TcpServer {
         A: ToSocketAddrs,
         F: Fn(&[u8]) -> Vec<u8> + Send + Sync + 'static,
     {
+        TcpServer::spawn_with(addr, TcpServerConfig::default(), respond)
+    }
+
+    /// [`TcpServer::spawn`] with an explicit pool configuration.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures as [`RdsError::Transport`].
+    pub fn spawn_with<A, F>(
+        addr: A,
+        config: TcpServerConfig,
+        respond: F,
+    ) -> Result<TcpServer, RdsError>
+    where
+        A: ToSocketAddrs,
+        F: Fn(&[u8]) -> Vec<u8> + Send + Sync + 'static,
+    {
         let listener = TcpListener::bind(addr).map_err(io_err)?;
         let local = listener.local_addr().map_err(io_err)?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
+        let shared = Arc::new(PoolShared {
+            stop: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            rejected: AtomicU64::new(0),
+            handler_panics: AtomicU64::new(0),
+        });
         let respond = Arc::new(respond);
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let respond = Arc::clone(&respond);
+                let config = config.clone();
+                std::thread::spawn(move || worker_loop(&shared, &*respond, &config))
+            })
+            .collect();
+
+        let accept_shared = Arc::clone(&shared);
+        let backlog = config.backlog.max(1);
         let accept_thread = std::thread::spawn(move || {
-            // A short accept timeout lets the loop observe `stop`.
             for incoming in listener.incoming() {
-                if stop2.load(Ordering::Relaxed) {
+                if accept_shared.stop.load(Ordering::Relaxed) {
                     break;
                 }
                 let Ok(stream) = incoming else { continue };
-                let respond = Arc::clone(&respond);
-                let stop3 = Arc::clone(&stop2);
-                std::thread::spawn(move || {
-                    let mut stream = stream;
-                    let _ = stream.set_nodelay(true);
-                    while !stop3.load(Ordering::Relaxed) {
-                        match read_frame(&mut stream) {
-                            Ok(Some(req)) => {
-                                let resp = respond(&req);
-                                if write_frame(&mut stream, &resp).is_err() {
-                                    break;
-                                }
-                            }
-                            _ => break,
-                        }
-                    }
-                });
+                let mut queue = accept_shared.queue.lock();
+                if queue.len() >= backlog {
+                    drop(queue);
+                    accept_shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    continue; // dropping the stream closes it
+                }
+                queue.push_back(stream);
+                drop(queue);
+                accept_shared.ready.notify_one();
             }
+            accept_shared.ready.notify_all();
         });
-        Ok(TcpServer { local, stop, accept_thread: Some(accept_thread) })
+
+        Ok(TcpServer { local, shared, accept_thread: Some(accept_thread), workers })
     }
 
     /// The bound address (including the resolved ephemeral port).
@@ -163,16 +257,31 @@ impl TcpServer {
         self.local
     }
 
-    /// Signals shutdown and unblocks the accept loop.
+    /// Connections dropped because the accept queue was full.
+    pub fn connections_rejected(&self) -> u64 {
+        self.shared.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Handler panics survived (each cost its connection, not a worker).
+    pub fn handler_panics(&self) -> u64 {
+        self.shared.handler_panics.load(Ordering::Relaxed)
+    }
+
+    /// Signals shutdown, then joins the accept loop and every worker —
+    /// on return no server thread is running.
     pub fn shutdown(mut self) {
         self.stop_now();
     }
 
     fn stop_now(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        // Unblock accept() with a dummy connection.
+        self.shared.stop.store(true, Ordering::Relaxed);
+        // Unblock accept() with a dummy connection; wake idle workers.
         let _ = TcpStream::connect(self.local);
+        self.shared.ready.notify_all();
         if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
             let _ = h.join();
         }
     }
@@ -181,6 +290,88 @@ impl TcpServer {
 impl Drop for TcpServer {
     fn drop(&mut self) {
         self.stop_now();
+    }
+}
+
+/// One worker: pull connections off the shared queue until shutdown.
+fn worker_loop(
+    shared: &PoolShared,
+    respond: &(dyn Fn(&[u8]) -> Vec<u8> + Send + Sync),
+    config: &TcpServerConfig,
+) {
+    loop {
+        let next = {
+            let mut queue = shared.queue.lock();
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.stop.load(Ordering::Relaxed) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .ready
+                    .wait_timeout(queue, config.idle_poll)
+                    .expect("queue mutex cannot be poisoned");
+                queue = guard;
+            }
+        };
+        match next {
+            Some(mut stream) => {
+                let _ = serve_connection(&mut stream, respond, shared, config);
+            }
+            None => return,
+        }
+    }
+}
+
+/// Serves one connection until EOF, error, handler panic or shutdown.
+/// I/O errors are returned for diagnosis but isolated to this
+/// connection — the calling worker always survives.
+fn serve_connection(
+    stream: &mut TcpStream,
+    respond: &(dyn Fn(&[u8]) -> Vec<u8> + Send + Sync),
+    shared: &PoolShared,
+    config: &TcpServerConfig,
+) -> Result<(), RdsError> {
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(config.idle_poll)).map_err(io_err)?;
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        // Idle-poll for the next frame so shutdown is observed promptly;
+        // peek keeps a mid-frame timeout from corrupting the stream.
+        let mut probe = [0u8; 1];
+        match stream.peek(&mut probe) {
+            Ok(0) => return Ok(()), // clean EOF
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(e) => return Err(io_err(e)),
+        }
+        stream.set_read_timeout(Some(config.frame_timeout)).map_err(io_err)?;
+        let frame = read_frame(stream);
+        stream.set_read_timeout(Some(config.idle_poll)).map_err(io_err)?;
+        match frame {
+            Ok(Some(request)) => {
+                match catch_unwind(AssertUnwindSafe(|| respond(&request))) {
+                    Ok(response) => write_frame(stream, &response)?,
+                    Err(_) => {
+                        shared.handler_panics.fetch_add(1, Ordering::Relaxed);
+                        return Ok(()); // drop the connection, keep the worker
+                    }
+                }
+            }
+            Ok(None) => return Ok(()),
+            Err(e) => return Err(e),
+        }
     }
 }
 
@@ -214,6 +405,27 @@ mod tests {
         buf.truncate(6);
         let mut r = std::io::Cursor::new(buf);
         assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn hostile_length_prefix_fails_without_upfront_allocation() {
+        // Claims MAX_FRAME bytes but delivers three: the chunked reader
+        // must fail at the first short chunk, having allocated at most
+        // READ_CHUNK — not the 16 MiB the prefix promised.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAX_FRAME.to_be_bytes());
+        buf.extend_from_slice(b"abc");
+        let mut r = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn multi_chunk_frame_round_trips() {
+        let payload: Vec<u8> = (0..3 * READ_CHUNK + 17).map(|i| i as u8).collect();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), payload);
     }
 
     #[test]
@@ -255,19 +467,19 @@ mod tests {
         // Full protocol over a real socket with a handler that answers
         // ListPrograms.
         let server = TcpServer::spawn("127.0.0.1:0", {
-            let rds = crate::RdsServer::open(
-                |_p: &mbd_auth::Principal, req: crate::RdsRequest| match req {
-                    crate::RdsRequest::ListPrograms => crate::RdsResponse::Programs {
-                        names: vec!["over-tcp".to_string()],
+            let rds =
+                crate::RdsServer::open(
+                    |_p: &mbd_auth::Principal, req: crate::RdsRequest| match req {
+                        crate::RdsRequest::ListPrograms => {
+                            crate::RdsResponse::Programs { names: vec!["over-tcp".to_string()] }
+                        }
+                        _ => crate::RdsResponse::Ok,
                     },
-                    _ => crate::RdsResponse::Ok,
-                },
-            );
+                );
             move |bytes: &[u8]| rds.process(bytes)
         })
         .unwrap();
-        let client =
-            RdsClient::new(TcpTransport::connect(server.local_addr()).unwrap(), "tcp-mgr");
+        let client = RdsClient::new(TcpTransport::connect(server.local_addr()).unwrap(), "tcp-mgr");
         assert_eq!(client.list_programs().unwrap(), vec!["over-tcp".to_string()]);
         server.shutdown();
     }
@@ -280,5 +492,69 @@ mod tests {
         server.shutdown();
         // Either the write or the read must fail once the server is gone.
         assert!(t.request(&[2]).is_err() || t.request(&[3]).is_err());
+    }
+
+    #[test]
+    fn shutdown_joins_every_worker() {
+        let server = TcpServer::spawn_with(
+            "127.0.0.1:0",
+            TcpServerConfig { workers: 3, ..TcpServerConfig::default() },
+            |req| req.to_vec(),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        // Leave a connection open mid-conversation; shutdown must still
+        // return (workers observe the stop flag between frames).
+        let t = TcpTransport::connect(addr).unwrap();
+        t.request(&[7]).unwrap();
+        server.shutdown();
+        // The listener is gone: fresh connections are refused or die on
+        // first use.
+        match TcpTransport::connect(addr) {
+            Err(_) => {}
+            Ok(t2) => assert!(t2.request(&[1]).is_err()),
+        }
+    }
+
+    #[test]
+    fn handler_panic_poisons_only_its_connection() {
+        let server = TcpServer::spawn_with(
+            "127.0.0.1:0",
+            TcpServerConfig { workers: 2, ..TcpServerConfig::default() },
+            |req| {
+                assert!(req != [66], "poison request");
+                req.to_vec()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        let poisoned = TcpTransport::connect(addr).unwrap();
+        assert!(poisoned.request(&[66]).is_err(), "panicked handler drops the connection");
+
+        // The pool keeps serving new connections afterwards.
+        let healthy = TcpTransport::connect(addr).unwrap();
+        assert_eq!(healthy.request(&[1, 2]).unwrap(), vec![1, 2]);
+        assert_eq!(server.handler_panics(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pool_serves_more_clients_than_workers() {
+        let server = TcpServer::spawn_with(
+            "127.0.0.1:0",
+            TcpServerConfig { workers: 2, ..TcpServerConfig::default() },
+            |req| req.to_vec(),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        // Sequential conversations: each closes before the next starts,
+        // so two workers handle six clients.
+        for i in 0..6u8 {
+            let t = TcpTransport::connect(addr).unwrap();
+            assert_eq!(t.request(&[i]).unwrap(), vec![i]);
+        }
+        assert_eq!(server.connections_rejected(), 0);
+        server.shutdown();
     }
 }

@@ -57,10 +57,8 @@ impl SnmpAgent {
     pub fn handle_mut(&mut self, request: &[u8]) -> Option<Vec<u8>> {
         match self.handle_inner(request) {
             Some(m) => {
-                let is_err = m
-                    .pdu()
-                    .map(|p| p.error_status != ErrorStatus::NoError)
-                    .unwrap_or(false);
+                let is_err =
+                    m.pdu().map(|p| p.error_status != ErrorStatus::NoError).unwrap_or(false);
                 if is_err {
                     self.stats.errors += 1;
                 } else {
@@ -90,7 +88,11 @@ impl SnmpAgent {
             PduKind::SetRequest => self.do_set(&pdu),
             PduKind::GetResponse => return None,
         };
-        Some(Message { version: msg.version, community: msg.community, body: MessageBody::Pdu(response) })
+        Some(Message {
+            version: msg.version,
+            community: msg.community,
+            body: MessageBody::Pdu(response),
+        })
     }
 
     fn do_get(&self, pdu: &Pdu) -> Pdu {
@@ -197,9 +199,8 @@ mod tests {
     #[test]
     fn get_missing_reports_nosuchname_with_index() {
         let a = agent();
-        let resp = a
-            .handle(&req(PduKind::GetRequest, 2, &["1.3.6.1.2.1.1.1.0", "1.3.9.9"]))
-            .unwrap();
+        let resp =
+            a.handle(&req(PduKind::GetRequest, 2, &["1.3.6.1.2.1.1.1.0", "1.3.9.9"])).unwrap();
         let pdu = parse(resp);
         assert_eq!(pdu.error_status, ErrorStatus::NoSuchName);
         assert_eq!(pdu.error_index, 2);
@@ -214,9 +215,7 @@ mod tests {
         let resp = a.handle(&req(PduKind::GetNextRequest, 3, &["1.3.6.1.2.1.1"])).unwrap();
         let pdu = parse(resp);
         assert_eq!(pdu.varbinds[0].oid, oid("1.3.6.1.2.1.1.1.0"));
-        let resp = a
-            .handle(&req(PduKind::GetNextRequest, 4, &["1.3.6.1.2.1.1.1.0"]))
-            .unwrap();
+        let resp = a.handle(&req(PduKind::GetNextRequest, 4, &["1.3.6.1.2.1.1.1.0"])).unwrap();
         assert_eq!(parse(resp).varbinds[0].oid, oid("1.3.6.1.2.1.1.3.0"));
     }
 
@@ -298,11 +297,7 @@ mod tests {
     fn multi_varbind_get_preserves_order() {
         let a = agent();
         let resp = a
-            .handle(&req(
-                PduKind::GetRequest,
-                10,
-                &["1.3.6.1.2.1.1.3.0", "1.3.6.1.2.1.1.1.0"],
-            ))
+            .handle(&req(PduKind::GetRequest, 10, &["1.3.6.1.2.1.1.3.0", "1.3.6.1.2.1.1.1.0"]))
             .unwrap();
         let pdu = parse(resp);
         assert_eq!(pdu.varbinds[0].value, BerValue::TimeTicks(50));

@@ -43,9 +43,9 @@
 //! ```
 
 pub mod agent;
+mod error;
 pub mod manager;
 pub mod mib2;
-mod error;
 mod pdu;
 mod store;
 

@@ -107,12 +107,14 @@ impl SnmpManager {
         let msg = Message::decode(bytes)?;
         let pdu = match msg.body {
             MessageBody::Pdu(p) if p.kind == PduKind::GetResponse => p,
-            MessageBody::Pdu(p) => return Err(SnmpError::UnknownPduType(match p.kind {
-                PduKind::GetRequest => 0,
-                PduKind::GetNextRequest => 1,
-                PduKind::GetResponse => 2,
-                PduKind::SetRequest => 3,
-            })),
+            MessageBody::Pdu(p) => {
+                return Err(SnmpError::UnknownPduType(match p.kind {
+                    PduKind::GetRequest => 0,
+                    PduKind::GetNextRequest => 1,
+                    PduKind::GetResponse => 2,
+                    PduKind::SetRequest => 3,
+                }))
+            }
             MessageBody::Trap(_) => return Err(SnmpError::UnknownPduType(4)),
         };
         if !self.outstanding.remove(&pdu.request_id) {
@@ -152,9 +154,10 @@ impl SnmpManager {
             };
             match self.parse_response(&resp) {
                 Ok(vbs) => {
-                    let vb = vbs.into_iter().next().ok_or(SnmpError::Ber(
-                        ber::BerError::UnexpectedEof,
-                    ))?;
+                    let vb = vbs
+                        .into_iter()
+                        .next()
+                        .ok_or(SnmpError::Ber(ber::BerError::UnexpectedEof))?;
                     if !vb.oid.starts_with(prefix) {
                         return Ok(rows); // walked past the subtree
                     }

@@ -317,10 +317,12 @@ impl Message {
                         varbinds,
                     }))
                 })?,
-                (_, n) => return Err(ber::BerError::TagMismatch {
-                    expected: Tag::context(0),
-                    found: Tag::new(tag.class(), n),
-                }),
+                (_, n) => {
+                    return Err(ber::BerError::TagMismatch {
+                        expected: Tag::context(0),
+                        found: Tag::new(tag.class(), n),
+                    })
+                }
             };
             Ok((version, community, body))
         })?;
@@ -353,7 +355,13 @@ impl Message {
 }
 
 enum RawBody {
-    Pdu { kind: PduKind, request_id: i64, error_code: i64, error_index: i64, varbinds: Vec<VarBind> },
+    Pdu {
+        kind: PduKind,
+        request_id: i64,
+        error_code: i64,
+        error_index: i64,
+        varbinds: Vec<VarBind>,
+    },
     Trap(TrapPdu),
 }
 
@@ -401,9 +409,12 @@ mod tests {
 
     #[test]
     fn all_pdu_kinds_round_trip() {
-        for kind in
-            [PduKind::GetRequest, PduKind::GetNextRequest, PduKind::GetResponse, PduKind::SetRequest]
-        {
+        for kind in [
+            PduKind::GetRequest,
+            PduKind::GetNextRequest,
+            PduKind::GetResponse,
+            PduKind::SetRequest,
+        ] {
             let pdu = Pdu {
                 kind,
                 request_id: 7,

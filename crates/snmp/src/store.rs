@@ -392,10 +392,7 @@ mod tests {
         let snap = store.snapshot(&oid("1.3.6.1.2.1.2"));
         store.counter_add(&oid("1.3.6.1.2.1.2.2.1.10.1"), 100).unwrap();
         // The snapshot still sees the old value.
-        assert_eq!(
-            snap.get(&oid("1.3.6.1.2.1.2.2.1.10.1")),
-            Some(BerValue::Counter32(5))
-        );
+        assert_eq!(snap.get(&oid("1.3.6.1.2.1.2.2.1.10.1")), Some(BerValue::Counter32(5)));
         assert_eq!(snap.len(), 2);
     }
 

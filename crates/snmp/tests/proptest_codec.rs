@@ -5,12 +5,11 @@ use proptest::prelude::*;
 use snmp::{ErrorStatus, Message, MessageBody, MibStore, Pdu, PduKind, TrapPdu, VarBind};
 
 fn arb_oid() -> impl Strategy<Value = Oid> {
-    (0u32..3, 0u32..40, proptest::collection::vec(0u32..100_000, 0..8))
-        .prop_map(|(a, b, rest)| {
-            let mut arcs = vec![a, b];
-            arcs.extend(rest);
-            Oid::from(arcs)
-        })
+    (0u32..3, 0u32..40, proptest::collection::vec(0u32..100_000, 0..8)).prop_map(|(a, b, rest)| {
+        let mut arcs = vec![a, b];
+        arcs.extend(rest);
+        Oid::from(arcs)
+    })
 }
 
 fn arb_value() -> impl Strategy<Value = BerValue> {

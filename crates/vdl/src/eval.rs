@@ -109,11 +109,8 @@ impl ViewResult {
     /// Renders the result as an aligned text table (for examples/demos).
     pub fn to_table_string(&self) -> String {
         let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
-        let rendered: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|r| r.iter().map(CellValue::to_string).collect())
-            .collect();
+        let rendered: Vec<Vec<String>> =
+            self.rows.iter().map(|r| r.iter().map(CellValue::to_string).collect()).collect();
         for row in &rendered {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());
@@ -416,10 +413,7 @@ pub fn evaluate(view: &ViewDef, mib: &MibStore) -> Result<ViewResult, VdlError> 
             for l in &left_rows {
                 for r in &right_rows {
                     let scope = Scope {
-                        bindings: vec![
-                            (view.from.alias.as_str(), l),
-                            (binding.alias.as_str(), r),
-                        ],
+                        bindings: vec![(view.from.alias.as_str(), l), (binding.alias.as_str(), r)],
                     };
                     match eval_scalar(on, &scope)? {
                         CellValue::Bool(true) => scopes.push(scope),
@@ -505,9 +499,7 @@ fn order_and_limit(view: &ViewDef, columns: &[String], rows: &mut Vec<Vec<CellVa
         let keys: Vec<(usize, bool)> = view
             .order_by
             .iter()
-            .filter_map(|k| {
-                columns.iter().position(|c| c == &k.column).map(|i| (i, k.descending))
-            })
+            .filter_map(|k| columns.iter().position(|c| c == &k.column).map(|i| (i, k.descending)))
             .collect();
         rows.sort_by(|a, b| {
             for &(idx, desc) in &keys {
@@ -593,8 +585,12 @@ mod tests {
     fn group_by_counts() {
         let mib = MibStore::new();
         // tcpConnTable with two remotes, 3 + 1 connections.
-        for (port, remote) in [(1001u16, [10, 0, 0, 9]), (1002, [10, 0, 0, 9]),
-                               (1003, [10, 0, 0, 9]), (2001, [10, 0, 0, 7])] {
+        for (port, remote) in [
+            (1001u16, [10, 0, 0, 9]),
+            (1002, [10, 0, 0, 9]),
+            (1003, [10, 0, 0, 9]),
+            (2001, [10, 0, 0, 7]),
+        ] {
             mib2::install_tcp_conn(
                 &mib,
                 mib2::TcpConn {
@@ -736,12 +732,7 @@ mod order_limit_tests {
         }
         // The top row is the true maximum of the whole table.
         let full = run(&m, "view all from vc = 1.3.6.1.4.1.353.2.5.1 select vc.3 as d");
-        let max = full
-            .rows
-            .iter()
-            .map(|row| row[0].clone())
-            .max_by(|a, b| a.total_cmp(b))
-            .unwrap();
+        let max = full.rows.iter().map(|row| row[0].clone()).max_by(|a, b| a.total_cmp(b)).unwrap();
         assert_eq!(r.rows[0][1], max);
     }
 
@@ -789,10 +780,7 @@ mod order_limit_tests {
 
     #[test]
     fn unknown_order_column_rejected() {
-        let err = parse_view(
-            "view v from t = 1.2.3 select t.1 as x order by ghost",
-        )
-        .unwrap_err();
+        let err = parse_view("view v from t = 1.2.3 select t.1 as x order by ghost").unwrap_err();
         assert!(matches!(err, VdlError::Parse { .. }));
     }
 

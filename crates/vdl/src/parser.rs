@@ -162,20 +162,17 @@ impl<'a> Lexer<'a> {
                     }
                     let text = std::str::from_utf8(&self.src[start..self.pos]).expect("digits");
                     let tok = match dots {
-                        0 => Tok::Int(
-                            text.parse().map_err(|_| self.err("integer out of range"))?,
-                        ),
+                        0 => Tok::Int(text.parse().map_err(|_| self.err("integer out of range"))?),
                         1 => Tok::Float(text.parse().map_err(|_| self.err("bad float"))?),
-                        _ => Tok::Oid(
-                            text.parse().map_err(|_| self.err("malformed oid"))?,
-                        ),
+                        _ => Tok::Oid(text.parse().map_err(|_| self.err("malformed oid"))?),
                     };
                     out.push((tok, self.line));
                 }
                 c if c.is_ascii_alphabetic() || c == '_' => {
                     let start = self.pos;
                     while self.pos < self.src.len()
-                        && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+                        && (self.src[self.pos].is_ascii_alphanumeric()
+                            || self.src[self.pos] == b'_')
                     {
                         self.pos += 1;
                     }
@@ -607,10 +604,7 @@ mod tests {
 
     #[test]
     fn minimal_view_parses() {
-        let v = parse_view(
-            "view all_vcs from vc = 1.3.6.1.4.1.353.2.5.1 select vc.1",
-        )
-        .unwrap();
+        let v = parse_view("view all_vcs from vc = 1.3.6.1.4.1.353.2.5.1 select vc.1").unwrap();
         assert_eq!(v.name, "all_vcs");
         assert_eq!(v.from.alias, "vc");
         assert_eq!(v.from.entry.to_string(), "1.3.6.1.4.1.353.2.5.1");
@@ -640,10 +634,8 @@ mod tests {
 
     #[test]
     fn expressions_have_c_precedence() {
-        let v = parse_view(
-            "view x from a = 1.2.3 select a.1 + a.2 * 2 > 10 && a.3 == 1 as flag",
-        )
-        .unwrap();
+        let v = parse_view("view x from a = 1.2.3 select a.1 + a.2 * 2 > 10 && a.3 == 1 as flag")
+            .unwrap();
         match &v.select[0].expr {
             Expr::Binary { op: BinOp::And, .. } => {}
             other => panic!("expected &&, got {other:?}"),
@@ -666,8 +658,7 @@ mod tests {
 
     #[test]
     fn unknown_alias_rejected() {
-        let err =
-            parse_view("view x from a = 1.2.3 select b.1").unwrap_err();
+        let err = parse_view("view x from a = 1.2.3 select b.1").unwrap_err();
         assert_eq!(err, VdlError::UnknownAlias { alias: "b".to_string() });
         let err = parse_view("view x from a = 1.2.3 where z.1 == 1 select a.1").unwrap_err();
         assert!(matches!(err, VdlError::UnknownAlias { .. }));
@@ -683,8 +674,7 @@ mod tests {
 
     #[test]
     fn aggregate_in_where_rejected() {
-        let err =
-            parse_view("view x from a = 1.2.3 where sum(a.1) > 5 select a.1").unwrap_err();
+        let err = parse_view("view x from a = 1.2.3 where sum(a.1) > 5 select a.1").unwrap_err();
         assert!(matches!(err, VdlError::BadAggregation { .. }));
     }
 

@@ -167,13 +167,7 @@ pub fn to_vdl_text(view: &ViewDef) -> String {
         let keys: Vec<String> = view
             .order_by
             .iter()
-            .map(|k| {
-                if k.descending {
-                    format!("{} desc", k.column)
-                } else {
-                    k.column.clone()
-                }
-            })
+            .map(|k| if k.descending { format!("{} desc", k.column) } else { k.column.clone() })
             .collect();
         out.push_str(&format!("order by {}\n", keys.join(", ")));
     }
@@ -194,10 +188,7 @@ pub struct SpecSize {
 
 /// Measures a specification text.
 pub fn measure(spec: &str) -> SpecSize {
-    SpecSize {
-        lines: spec.lines().filter(|l| !l.trim().is_empty()).count(),
-        chars: spec.len(),
-    }
+    SpecSize { lines: spec.lines().filter(|l| !l.trim().is_empty()).count(), chars: spec.len() }
 }
 
 fn capitalize(s: &str) -> String {

@@ -109,8 +109,7 @@ mod tests {
         let mib = MibStore::new();
         let entry: Oid = "1.3.6.1.4.1.7.1".parse().unwrap();
         for idx in [5u32, 1, 3] {
-            mib.set_scalar(entry.child(1).child(idx), BerValue::Integer(i64::from(idx)))
-                .unwrap();
+            mib.set_scalar(entry.child(1).child(idx), BerValue::Integer(i64::from(idx))).unwrap();
         }
         let rows = read_table(&mib, &entry);
         let order: Vec<u32> = rows.iter().map(|r| r.index[0]).collect();

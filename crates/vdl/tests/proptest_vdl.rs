@@ -39,10 +39,7 @@ fn arb_store() -> impl Strategy<Value = MibStore> {
         let store = MibStore::new();
         let entry: ber::Oid = "1.3.6.1.4.1.77.1".parse().unwrap();
         for (col, row, v) in cells {
-            let _ = store.set_scalar(
-                entry.child(col).child(row),
-                BerValue::Integer(i64::from(v)),
-            );
+            let _ = store.set_scalar(entry.child(col).child(row), BerValue::Integer(i64::from(v)));
         }
         store
     })

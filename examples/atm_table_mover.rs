@@ -51,8 +51,7 @@ impl Actor for Walker {
             Ok(vbs) if vbs[0].oid.starts_with(&mib2::atm_vc_entry()) => {
                 self.rows += 1;
                 self.cursor = vbs[0].oid.clone();
-                let req =
-                    self.mgr.get_next_request(std::slice::from_ref(&self.cursor)).unwrap();
+                let req = self.mgr.get_next_request(std::slice::from_ref(&self.cursor)).unwrap();
                 ctx.send(self.switch, req);
             }
             _ => self.done = Some(ctx.now().as_secs_f64()),
@@ -148,8 +147,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mib = MibStore::new();
     mib2::install_atm_vc_table(&mib, SUBSCRIBERS)?;
     let mut sim = Simulator::new(1);
-    let switch =
-        sim.add_node("switch", SnmpSwitch { agent: SnmpAgent::new("public", mib) });
+    let switch = sim.add_node("switch", SnmpSwitch { agent: SnmpAgent::new("public", mib) });
     let mgr = sim.add_node(
         "manager",
         Walker {
@@ -167,9 +165,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (w.done.expect("walk finished"), w.rows)
     };
     let walk_bytes = sim.stats().wire_bytes;
-    println!(
-        "GetNext walk : {walk_rows} instances in {walk_time:.1} s, {walk_bytes} wire bytes"
-    );
+    println!("GetNext walk : {walk_rows} instances in {walk_time:.1} s, {walk_bytes} wire bytes");
 
     // --- Delegated filter over RDS. ---
     let process = ElasticProcess::new(ElasticConfig {
@@ -178,14 +174,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     mib2::install_atm_vc_table(process.mib(), SUBSCRIBERS)?;
     let mut sim = Simulator::new(2);
-    let switch = sim.add_node(
-        "switch",
-        MbdSwitch { server: mbd::core::MbdServer::open(process) },
-    );
-    let mgr = sim.add_node(
-        "manager",
-        Delegator { switch, phase: 0, next_id: 1, matches: 0, done: None },
-    );
+    let switch = sim.add_node("switch", MbdSwitch { server: mbd::core::MbdServer::open(process) });
+    let mgr =
+        sim.add_node("manager", Delegator { switch, phase: 0, next_id: 1, matches: 0, done: None });
     sim.connect(mgr, switch, LinkSpec::wan());
     sim.run();
     let (dlg_time, matches) = {
@@ -193,9 +184,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (d.done.expect("delegation finished"), d.matches)
     };
     let dlg_bytes = sim.stats().wire_bytes;
-    println!(
-        "Delegated    : {matches} matching rows in {dlg_time:.3} s, {dlg_bytes} wire bytes"
-    );
+    println!("Delegated    : {matches} matching rows in {dlg_time:.3} s, {dlg_bytes} wire bytes");
     println!(
         "\nspeedup {:.0}x, byte reduction {:.0}x",
         walk_time / dlg_time,

@@ -18,7 +18,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     mib.counter_add(&mib2::if_in_octets(2), 150_000)?;
     mib.counter_add(&mib2::if_in_octets(3), 9_900_000)?;
     mib.counter_add(&mib2::if_in_errors(3), 420)?;
-    for (remote, port) in [([10, 1, 1, 5], 40_001u16), ([10, 1, 1, 5], 40_002), ([172, 16, 0, 9], 52_222)] {
+    for (remote, port) in
+        [([10, 1, 1, 5], 40_001u16), ([10, 1, 1, 5], 40_002), ([172, 16, 0, 9], 52_222)]
+    {
         mib2::install_tcp_conn(
             &mib,
             mib2::TcpConn {

@@ -110,11 +110,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ...then asks for matches to a query sequence.
     let query = "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQAPILSRVGDGTQDNLSGAEKAVQ";
-    let result = process.invoke(
-        dpi,
-        "search",
-        &[Value::from(query), Value::Int(8), Value::Int(10)],
-    )?;
+    let result =
+        process.invoke(dpi, "search", &[Value::from(query), Value::Int(8), Value::Int(10)])?;
 
     println!("database: {} sequences, {} bytes total", database.len(), db_bytes);
     println!("query   : {query}");

@@ -79,8 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let index = process.invoke(dpi, "sample", &[10.0f64.into()])?;
         let notes = process.drain_notifications();
-        let events: Vec<String> =
-            notes.iter().map(|n| n.value.to_string()).collect();
+        let events: Vec<String> = notes.iter().map(|n| n.value.to_string()).collect();
         if !events.is_empty() || step % 20 == 0 {
             println!(
                 "{:<6} {:>8}  {} {}",

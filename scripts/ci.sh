@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, lints, build, and every test in the
+# workspace. CI and pre-push hooks should run exactly this script so
+# the two can never disagree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (tier-1: root package)"
+cargo test -q
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "ci: all gates passed"

@@ -54,11 +54,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("demo MIB installed ({} objects)", process.mib().len());
     }
     let authenticated = key.is_some();
-    let server = Arc::new(MbdServer::with_policy(
-        process.clone(),
-        mbd_auth::Acl::allow_by_default(),
-        key,
-    ));
+    let server =
+        Arc::new(MbdServer::with_policy(process.clone(), mbd_auth::Acl::allow_by_default(), key));
 
     let tcp = {
         let server = Arc::clone(&server);

@@ -38,9 +38,8 @@ fn delegated_agent_reads_device_mib_over_rds() {
 
 #[test]
 fn agent_faults_are_contained_and_reported_through_the_protocol() {
-    let client = loopback_client(Arc::new(MbdServer::open(ElasticProcess::new(
-        ElasticConfig::default(),
-    ))));
+    let client =
+        loopback_client(Arc::new(MbdServer::open(ElasticProcess::new(ElasticConfig::default()))));
     client.delegate("bomb", "fn main() { return [1][9]; }").unwrap();
     let dpi = client.instantiate("bomb").unwrap();
     let err = client.invoke(dpi, "main", &[]).unwrap_err();
@@ -146,9 +145,8 @@ fn periodic_driver_with_notifications_and_snmp_visibility() {
 
 #[test]
 fn redelegation_upgrades_an_agent_in_place() {
-    let client = loopback_client(Arc::new(MbdServer::open(ElasticProcess::new(
-        ElasticConfig::default(),
-    ))));
+    let client =
+        loopback_client(Arc::new(MbdServer::open(ElasticProcess::new(ElasticConfig::default()))));
     client.delegate("algo", "fn main(x) { return x + 1; }").unwrap();
     let v1 = client.instantiate("algo").unwrap();
     assert_eq!(client.invoke(v1, "main", &[BerValue::Integer(10)]).unwrap(), BerValue::Integer(11));

@@ -15,6 +15,7 @@ fn concurrent_mixed_workload_survives() {
         budget: dpl::Budget { fuel: 100_000, memory: 100_000, call_depth: 32 },
         max_instances: 4096,
         keep_terminated: true,
+        ..ElasticConfig::default()
     });
     p.delegate(
         "worker",
@@ -97,6 +98,127 @@ fn concurrent_mixed_workload_survives() {
         }
     }
     assert!(live_checked > 0, "at least one dpi should still be live");
+}
+
+/// Hammers every lifecycle verb from 8 threads over disjoint dpi sets
+/// and then checks the sharded table's census and atomic counters to
+/// the exact operation: nothing may be lost or double-counted across
+/// shards, reservations, faults and bounded-queue overflow.
+#[test]
+fn lifecycle_hammering_keeps_census_exact() {
+    let p = ElasticProcess::new(ElasticConfig {
+        max_instances: 48,
+        keep_terminated: false,
+        notification_capacity: 16,
+        log_capacity: 16,
+        ..ElasticConfig::default()
+    });
+    p.delegate(
+        "agent",
+        r#"fn work(n) {
+               notify(n);
+               if (n == 13) { return 1 / 0; }  // unlucky inputs fault
+               return n;
+           }"#,
+    )
+    .unwrap();
+
+    #[derive(Default)]
+    struct Tally {
+        instantiated: u64,
+        terminated: u64,
+        faulted: u64,
+        invoked_ok: u64,
+    }
+
+    let threads = 8;
+    let barrier = Arc::new(std::sync::Barrier::new(threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let p = p.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(1000 + t as u64);
+                // Disjoint ownership: only this thread touches its dpis,
+                // so each fault terminates exactly one tallied instance.
+                let mut mine: Vec<mbd::core::DpiId> = Vec::new();
+                let mut tally = Tally::default();
+                barrier.wait();
+                for _ in 0..300 {
+                    match rng.gen_range(0u32..10) {
+                        0..=2 => {
+                            if let Ok(dpi) = p.instantiate("agent") {
+                                mine.push(dpi);
+                                tally.instantiated += 1;
+                            } // else: at the max_instances ceiling
+                        }
+                        3..=6 => {
+                            if let Some(&dpi) = mine.last() {
+                                let n = rng.gen_range(0i64..20);
+                                match p.invoke(dpi, "work", &[Value::Int(n)]) {
+                                    Ok(_) => tally.invoked_ok += 1,
+                                    Err(mbd::core::CoreError::Runtime(_)) => {
+                                        tally.faulted += 1;
+                                        mine.pop(); // fault terminated it
+                                    }
+                                    Err(_) => {} // suspended: refused, no state change
+                                }
+                            }
+                        }
+                        7 => {
+                            if let Some(&dpi) = mine.last() {
+                                let _ = p.suspend(dpi);
+                                let _ = p.resume(dpi);
+                            }
+                        }
+                        _ => {
+                            if mine.len() > 2 {
+                                let dpi = mine.remove(0);
+                                p.terminate(dpi).expect("owned dpi terminates once");
+                                tally.terminated += 1;
+                            }
+                        }
+                    }
+                }
+                (tally, mine)
+            })
+        })
+        .collect();
+
+    let mut total = Tally::default();
+    let mut survivors = 0u64;
+    for h in handles {
+        let (tally, mine) = h.join().expect("no stress thread may panic");
+        total.instantiated += tally.instantiated;
+        total.terminated += tally.terminated;
+        total.faulted += tally.faulted;
+        total.invoked_ok += tally.invoked_ok;
+        survivors += mine.len() as u64;
+    }
+
+    // Census: every instantiation is either terminated, faulted, or
+    // still owned by a thread — and the runtime agrees exactly.
+    assert_eq!(total.instantiated, total.terminated + total.faulted + survivors);
+    assert_eq!(p.live_instances() as u64, survivors);
+    // keep_terminated = false: retired dpis left no ghost slots behind.
+    assert_eq!(p.list_instances().len() as u64, survivors);
+
+    // Counters: lock-free stats lost nothing under contention.
+    let stats = p.stats();
+    assert_eq!(stats.instantiations, total.instantiated);
+    assert_eq!(stats.invocations_ok, total.invoked_ok);
+    assert_eq!(stats.invocations_failed, total.faulted);
+    assert!(total.faulted > 0, "the n == 13 inputs must have faulted");
+
+    // Bounded queues: drop-oldest accounting balances to the exact
+    // number of notifications ever pushed (one per completed `work`).
+    let retained = p.drain_notifications().len() as u64;
+    assert_eq!(
+        stats.notifications_dropped + retained,
+        total.invoked_ok + total.faulted,
+        "every notification is either retained or counted as dropped"
+    );
+    assert!(retained <= 16, "outbox may never exceed its capacity");
 }
 
 #[test]

@@ -11,11 +11,8 @@ use std::sync::Arc;
 fn spawn_server(key: Option<Vec<u8>>) -> (TcpServer, ElasticProcess) {
     let process = ElasticProcess::new(ElasticConfig::default());
     mbd::snmp::mib2::install_system(process.mib(), "tcp device", "tcp1").unwrap();
-    let server = Arc::new(MbdServer::with_policy(
-        process.clone(),
-        mbd_auth::Acl::allow_by_default(),
-        key,
-    ));
+    let server =
+        Arc::new(MbdServer::with_policy(process.clone(), mbd_auth::Acl::allow_by_default(), key));
     let tcp = TcpServer::spawn("127.0.0.1:0", move |bytes| server.process_request(bytes)).unwrap();
     (tcp, process)
 }
@@ -25,9 +22,7 @@ fn full_stack_over_tcp() {
     let (tcp, _process) = spawn_server(None);
     let client = RdsClient::new(TcpTransport::connect(tcp.local_addr()).unwrap(), "tcp-mgr");
 
-    client
-        .delegate("sysname", r#"fn read() { return mib_get("1.3.6.1.2.1.1.1.0"); }"#)
-        .unwrap();
+    client.delegate("sysname", r#"fn read() { return mib_get("1.3.6.1.2.1.1.1.0"); }"#).unwrap();
     let dpi = client.instantiate("sysname").unwrap();
     assert_eq!(client.invoke(dpi, "read", &[]).unwrap(), BerValue::from("tcp device"));
     client.suspend(dpi).unwrap();

@@ -50,10 +50,7 @@ fn agent_reads_view_rows_as_values() {
     .unwrap();
     let dpi = p.instantiate("topper").unwrap();
     let v = p.invoke(dpi, "top_if", &[]).unwrap();
-    assert_eq!(
-        v,
-        Value::list(vec![Value::Str("eth3".to_string()), Value::Int(9_000_000)])
-    );
+    assert_eq!(v, Value::list(vec![Value::Str("eth3".to_string()), Value::Int(9_000_000)]));
 }
 
 #[test]
@@ -75,26 +72,17 @@ fn agent_materializes_a_view_for_snmp_consumers() {
         other => panic!("expected oid string, got {other:?}"),
     };
     // The materialized count cell is now plain MIB data.
-    assert_eq!(
-        p.mib().get(&root_oid.child(1).child(1)),
-        Some(ber::BerValue::Integer(4))
-    );
+    assert_eq!(p.mib().get(&root_oid.child(1).child(1)), Some(ber::BerValue::Integer(4)));
 }
 
 #[test]
 fn bad_view_text_is_a_host_error_not_a_crash() {
     let p = process_with_views();
-    p.delegate(
-        "clumsy",
-        r#"fn go() { view_define("x", "view x frm nonsense"); return 0; }"#,
-    )
-    .unwrap();
+    p.delegate("clumsy", r#"fn go() { view_define("x", "view x frm nonsense"); return 0; }"#)
+        .unwrap();
     let dpi = p.instantiate("clumsy").unwrap();
     let err = p.invoke(dpi, "go", &[]).unwrap_err();
-    assert!(matches!(
-        err,
-        mbd::core::CoreError::Runtime(mbd::dpl::RuntimeError::Host { .. })
-    ));
+    assert!(matches!(err, mbd::core::CoreError::Runtime(mbd::dpl::RuntimeError::Host { .. })));
     // Unknown view on eval likewise.
     p.delegate("curious", r#"fn go() { return view_eval("ghost"); }"#).unwrap();
     let dpi = p.instantiate("curious").unwrap();

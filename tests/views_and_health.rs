@@ -2,7 +2,9 @@
 //! the elastic process and the SNMP substrate.
 
 use mbd::core::{ElasticConfig, ElasticProcess};
-use mbd::health::{evaluate, lms_train, ConcentratorObserver, Scenario, ScenarioConfig, TrainConfig};
+use mbd::health::{
+    evaluate, lms_train, ConcentratorObserver, Scenario, ScenarioConfig, TrainConfig,
+};
 use mbd::snmp::{agent::SnmpAgent, manager::SnmpManager, mib2, MibStore};
 use mbd::vdl::{CellValue, Mcva};
 
@@ -113,9 +115,7 @@ fn observer_pipeline_feeds_training_and_the_trained_index_deploys_as_an_agent() 
     let total = 120u32;
     for step in 1..=total {
         workload.apply_step(process.mib());
-        let agent_says = process
-            .invoke(dpi, "classify", &[dpl::Value::Float(1.0)])
-            .unwrap();
+        let agent_says = process.invoke(dpi, "classify", &[dpl::Value::Float(1.0)]).unwrap();
         let sym = observer.sample(process.mib(), u64::from(step) * 100).unwrap();
         let rust_says = index.classify(&sym.as_vec());
         if agent_says == dpl::Value::Bool(rust_says) {
