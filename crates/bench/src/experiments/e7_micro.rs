@@ -164,6 +164,30 @@ pub fn run(iters: u32) -> (Report, Vec<MicroRow>) {
     let total = f64::from(per_thread) * 8.0;
     add("8-dpi concurrent invoke (1k loop), per-op", start.elapsed().as_secs_f64() * 1e6 / total);
 
+    // Telemetry self-cost: what PR 2's instrumentation spends per
+    // operation. The release-mode test below holds span enter/exit to
+    // the documented <100 ns budget.
+    {
+        let tel = mbd_telemetry::Telemetry::new();
+        let timer = tel.timer("bench.span");
+        let span_iters = iters.max(10_000);
+        add(
+            "telemetry: span enter/exit",
+            time_us(span_iters, || {
+                drop(timer.start());
+            }),
+        );
+        let hist = tel.histogram("bench.hist");
+        let mut v = 0u64;
+        add(
+            "telemetry: histogram record",
+            time_us(span_iters, || {
+                v = v.wrapping_add(97);
+                hist.record(v);
+            }),
+        );
+    }
+
     // Ablation: the same compute-bound program through the bytecode VM
     // vs the tree-walking interpreter (why the Translator compiles).
     {
@@ -204,12 +228,25 @@ mod tests {
     #[test]
     fn all_primitives_are_measured() {
         let (report, rows) = run(50);
-        assert_eq!(rows.len(), 12);
-        assert_eq!(report.rows.len(), 12);
+        assert_eq!(rows.len(), 14);
+        assert_eq!(report.rows.len(), 14);
         for r in &rows {
             assert!(r.mean_us > 0.0, "{} measured nothing", r.operation);
             assert!(r.mean_us < 1e6, "{} implausibly slow: {}us", r.operation, r.mean_us);
         }
+    }
+
+    /// The documented instrumentation budget: a span enter/exit (two
+    /// clock reads + one lock-free record) stays under 100 ns. Only
+    /// meaningful with optimizations on, so debug builds skip it.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn span_overhead_stays_under_budget() {
+        let (_, rows) = run(200);
+        let span = rows.iter().find(|r| r.operation == "telemetry: span enter/exit").unwrap();
+        assert!(span.mean_us < 0.1, "span enter/exit budget blown: {} us/op", span.mean_us);
+        let rec = rows.iter().find(|r| r.operation == "telemetry: histogram record").unwrap();
+        assert!(rec.mean_us < 0.1, "histogram record budget blown: {} us/op", rec.mean_us);
     }
 
     #[test]

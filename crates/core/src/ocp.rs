@@ -12,6 +12,9 @@
 
 use crate::ElasticProcess;
 use ber::{BerValue, Oid};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Root of the MbD server's self-description subtree
 /// (`enterprises.20100.1` — an unassigned private arc).
@@ -71,18 +74,82 @@ pub fn log_dropped() -> Oid {
     mbd_server_root().child(10).child(0)
 }
 
+/// Root of the server's self-instrumentation subtree
+/// (`enterprises.20100.4` — `mbdTelemetry`; `.2` is the v-mib, `.3`
+/// is conventionally free for agent-published results). Under it:
+///
+/// | arc | table | columns (`<entry>.<col>.<index>`) |
+/// |---|---|---|
+/// | `.1.1` | counters | `.1` name (OctetString), `.2` value (Counter32) |
+/// | `.2.1` | gauges | `.1` name (OctetString), `.2` value (Gauge32) |
+/// | `.3.1` | histogram summaries | `.1` name, `.2` count (Counter32), `.3` mean µs, `.4` p50 µs, `.5` p90 µs, `.6` p99 µs, `.7` max µs (Gauge32) |
+/// | `.4.1` | histogram buckets | index `<hist>.<bucket>`; `.1` upper bound µs (Gauge32), `.2` cumulative count (Counter32) |
+///
+/// Row indices are assigned on first sight of a metric name and never
+/// reused, so a delegated agent can cache the index it resolved from
+/// the name column. Only non-empty buckets get rows (log2 histograms
+/// have 64 buckets, most forever zero).
+pub fn mbd_telemetry_root() -> Oid {
+    "1.3.6.1.4.1.20100.4".parse().expect("static oid")
+}
+
+/// `mbdTelCounterEntry` — counter table rows live under here.
+pub fn telemetry_counter_entry() -> Oid {
+    mbd_telemetry_root().child(1).child(1)
+}
+
+/// `mbdTelGaugeEntry`.
+pub fn telemetry_gauge_entry() -> Oid {
+    mbd_telemetry_root().child(2).child(1)
+}
+
+/// `mbdTelHistEntry` — per-histogram summary rows.
+pub fn telemetry_hist_entry() -> Oid {
+    mbd_telemetry_root().child(3).child(1)
+}
+
+/// `mbdTelBucketEntry` — per-bucket cumulative counts.
+pub fn telemetry_bucket_entry() -> Oid {
+    mbd_telemetry_root().child(4).child(1)
+}
+
+/// Stable name → row-index maps for the telemetry tables. Indices are
+/// handed out in first-seen order and never reclaimed, so rows keep
+/// their OIDs across refreshes even as new metrics appear.
+#[derive(Debug, Default)]
+struct TelemetryIndices {
+    counters: BTreeMap<String, u32>,
+    gauges: BTreeMap<String, u32>,
+    histograms: BTreeMap<String, u32>,
+}
+
+fn index_for(map: &mut BTreeMap<String, u32>, name: &str) -> u32 {
+    if let Some(&i) = map.get(name) {
+        return i;
+    }
+    let next = map.len() as u32 + 1;
+    map.insert(name.to_string(), next);
+    next
+}
+
+/// Nanoseconds → microseconds as a Gauge32, saturating.
+fn gauge_us(ns: u64) -> BerValue {
+    BerValue::Gauge32(u32::try_from(ns / 1_000).unwrap_or(u32::MAX))
+}
+
 /// An elastic process visible to legacy SNMP managers.
 #[derive(Debug, Clone)]
 pub struct SnmpOcp {
     process: ElasticProcess,
     agent: snmp::agent::SnmpAgent,
+    telemetry_rows: Arc<Mutex<TelemetryIndices>>,
 }
 
 impl SnmpOcp {
     /// Creates the OCP, serving the process's MIB under `community`.
     pub fn new(process: ElasticProcess, community: &str) -> SnmpOcp {
         let agent = snmp::agent::SnmpAgent::new(community, process.mib().clone());
-        SnmpOcp { process, agent }
+        SnmpOcp { process, agent, telemetry_rows: Arc::new(Mutex::new(Default::default())) }
     }
 
     /// Refreshes the server-status subtree from runtime counters, then
@@ -122,6 +189,63 @@ impl SnmpOcp {
             BerValue::Counter32(stats.notifications_dropped as u32),
         );
         let _ = mib.set_scalar(log_dropped(), BerValue::Counter32(stats.log_dropped as u32));
+        self.refresh_telemetry();
+    }
+
+    /// Publishes the telemetry registry into the `mbdTelemetry` tables
+    /// (see [`mbd_telemetry_root`]). Delegated agents compute the
+    /// server's own health functions from this subtree with ordinary
+    /// `mib_get`/`mib_walk` — introspection needs no new protocol verb.
+    pub fn refresh_telemetry(&self) {
+        self.process.refresh_gauges();
+        let snap = self.process.telemetry().snapshot();
+        let mib = self.process.mib();
+        let mut rows = self.telemetry_rows.lock();
+
+        for (name, value) in &snap.counters {
+            let i = index_for(&mut rows.counters, name);
+            let _ = snmp::TableBuilder::new(mib, telemetry_counter_entry())
+                .row(&[i])
+                .col(1, BerValue::from(name.as_str()))
+                .col(2, BerValue::Counter32(*value as u32))
+                .finish();
+        }
+        for (name, value) in &snap.gauges {
+            let i = index_for(&mut rows.gauges, name);
+            let _ = snmp::TableBuilder::new(mib, telemetry_gauge_entry())
+                .row(&[i])
+                .col(1, BerValue::from(name.as_str()))
+                .col(2, BerValue::Gauge32(u32::try_from(*value).unwrap_or(u32::MAX)))
+                .finish();
+        }
+        for (name, hist) in &snap.histograms {
+            let i = index_for(&mut rows.histograms, name);
+            let _ = snmp::TableBuilder::new(mib, telemetry_hist_entry())
+                .row(&[i])
+                .col(1, BerValue::from(name.as_str()))
+                .col(2, BerValue::Counter32(hist.count() as u32))
+                .col(3, gauge_us(hist.mean_ns()))
+                .col(4, gauge_us(hist.p50_ns()))
+                .col(5, gauge_us(hist.p90_ns()))
+                .col(6, gauge_us(hist.p99_ns()))
+                .col(7, gauge_us(hist.max_ns))
+                .finish();
+            // Cumulative distribution, non-empty buckets only. Bucket
+            // counts are monotone, so rows never need retraction.
+            let mut cumulative = 0u64;
+            let mut b = snmp::TableBuilder::new(mib, telemetry_bucket_entry());
+            for (bucket, &count) in hist.counts.iter().enumerate() {
+                cumulative += count;
+                if count == 0 {
+                    continue;
+                }
+                b = b
+                    .row(&[i, bucket as u32])
+                    .col(1, gauge_us(mbd_telemetry::bucket_bound_ns(bucket)))
+                    .col(2, BerValue::Counter32(cumulative as u32));
+            }
+            let _ = b.finish();
+        }
     }
 }
 
@@ -200,6 +324,87 @@ mod tests {
         let _ = p.invoke(dpi, "main", &[]);
         ocp.refresh();
         assert_eq!(p.mib().get(&invocations_failed()), Some(BerValue::Counter32(1)));
+    }
+
+    #[test]
+    fn telemetry_subtree_exports_histograms_counters_and_gauges() {
+        let p = ElasticProcess::new(ElasticConfig::default());
+        p.delegate("a", "fn main() { notify(\"hi\"); return 0; }").unwrap();
+        let dpi = p.instantiate("a").unwrap();
+        p.invoke(dpi, "main", &[]).unwrap();
+        p.invoke(dpi, "main", &[]).unwrap();
+        let ocp = SnmpOcp::new(p.clone(), "public");
+        ocp.refresh();
+        let mib = p.mib();
+
+        // Find ep.invoke's histogram row by its name column.
+        let names = mib.walk(&telemetry_hist_entry().child(1));
+        let (name_oid, _) = names
+            .iter()
+            .find(|(_, v)| *v == BerValue::from("ep.invoke"))
+            .expect("ep.invoke summary row");
+        let idx = *name_oid.as_slice().last().unwrap();
+        let col = |c: u32| mib.get(&telemetry_hist_entry().child(c).child(idx)).unwrap();
+        assert_eq!(col(2), BerValue::Counter32(2), "count column");
+        assert!(matches!(col(6), BerValue::Gauge32(_)), "p99 column");
+        // Its cumulative bucket rows exist and end at the total count.
+        let buckets = mib.walk(&telemetry_bucket_entry().child(2).child(idx));
+        assert!(!buckets.is_empty());
+        assert_eq!(buckets.last().unwrap().1, BerValue::Counter32(2));
+
+        // The refreshed queue-depth gauge is visible with its name.
+        let gauges = mib.walk(&telemetry_gauge_entry().child(1));
+        let (g_oid, _) = gauges
+            .iter()
+            .find(|(_, v)| *v == BerValue::from("ep.notifications_queued"))
+            .expect("gauge row");
+        let g_idx = *g_oid.as_slice().last().unwrap();
+        assert_eq!(
+            mib.get(&telemetry_gauge_entry().child(2).child(g_idx)),
+            Some(BerValue::Gauge32(2))
+        );
+    }
+
+    #[test]
+    fn telemetry_row_indices_are_stable_across_refreshes() {
+        let p = ElasticProcess::new(ElasticConfig::default());
+        p.delegate("a", "fn main() { return 0; }").unwrap();
+        let ocp = SnmpOcp::new(p.clone(), "public");
+        ocp.refresh();
+        let find_invoke_row = || {
+            p.mib()
+                .walk(&telemetry_hist_entry().child(1))
+                .into_iter()
+                .find(|(_, v)| *v == BerValue::from("ep.delegate"))
+                .map(|(oid, _)| oid)
+        };
+        let before = find_invoke_row().expect("row after first refresh");
+        // New metrics appearing later must not shift existing rows.
+        let dpi = p.instantiate("a").unwrap();
+        p.invoke(dpi, "main", &[]).unwrap();
+        ocp.refresh();
+        assert_eq!(find_invoke_row().unwrap(), before);
+    }
+
+    #[test]
+    fn snmp_manager_walks_the_telemetry_subtree_cleanly() {
+        let p = ElasticProcess::new(ElasticConfig::default());
+        p.delegate("a", "fn main() { return 0; }").unwrap();
+        let dpi = p.instantiate("a").unwrap();
+        p.invoke(dpi, "main", &[]).unwrap();
+        let ocp = SnmpOcp::new(p.clone(), "public");
+        let mut mgr = SnmpManager::new("public");
+        let rows = mgr.walk(&mbd_telemetry_root(), |req| ocp.handle(req)).unwrap();
+        // Every row sits under the telemetry root and has a value.
+        assert!(!rows.is_empty());
+        for vb in &rows {
+            assert!(vb.oid.starts_with(&mbd_telemetry_root()), "{} escaped the subtree", vb.oid);
+        }
+        // Counter, gauge, histogram and bucket tables all have rows.
+        for arc in 1..=4u32 {
+            let prefix = mbd_telemetry_root().child(arc);
+            assert!(rows.iter().any(|vb| vb.oid.starts_with(&prefix)), "no rows under table {arc}");
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@ impl ElasticProcess {
     /// in which case the dpi is terminated, the paper's fault-isolation
     /// rule: a faulty agent dies, the server survives.
     pub fn invoke(&self, dpi: DpiId, entry: &str, args: &[Value]) -> Result<Value, CoreError> {
+        let _span = self.inner.metrics.invoke.start();
         let slot = self.slot(dpi)?;
         // Refuse early without queueing on the instance lock; `Running`
         // falls through and waits its turn behind the current holder.

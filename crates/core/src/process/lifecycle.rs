@@ -19,6 +19,7 @@ impl ElasticProcess {
     ///
     /// [`CoreError::NoSuchProgram`] or [`CoreError::TooManyInstances`].
     pub fn instantiate(&self, dp_name: &str) -> Result<DpiId, CoreError> {
+        let _span = self.inner.metrics.instantiate.start();
         let dp = self
             .inner
             .repository
@@ -43,6 +44,7 @@ impl ElasticProcess {
     ///
     /// [`CoreError::NoSuchInstance`] / [`CoreError::BadState`].
     pub fn suspend(&self, dpi: DpiId) -> Result<(), CoreError> {
+        let _span = self.inner.metrics.suspend.start();
         let slot = self.slot(dpi)?;
         let mut observed = slot.state();
         loop {
@@ -51,7 +53,12 @@ impl ElasticProcess {
             }
             match slot.try_transition(observed, DpiState::Suspended) {
                 Ok(()) => return Ok(()),
-                Err(now) => observed = now,
+                Err(now) => {
+                    // Lost the CAS to a concurrent transition; count the
+                    // retry so contention is visible in telemetry.
+                    self.inner.metrics.state_retries.inc();
+                    observed = now;
+                }
             }
         }
     }
@@ -62,6 +69,7 @@ impl ElasticProcess {
     ///
     /// [`CoreError::NoSuchInstance`] / [`CoreError::BadState`].
     pub fn resume(&self, dpi: DpiId) -> Result<(), CoreError> {
+        let _span = self.inner.metrics.resume.start();
         let slot = self.slot(dpi)?;
         slot.try_transition(DpiState::Suspended, DpiState::Ready)
             .map_err(|state| CoreError::BadState { dpi, state, operation: "resume" })
@@ -76,6 +84,7 @@ impl ElasticProcess {
     /// [`CoreError::NoSuchInstance`]; terminating twice is a
     /// [`CoreError::BadState`].
     pub fn terminate(&self, dpi: DpiId) -> Result<(), CoreError> {
+        let _span = self.inner.metrics.terminate.start();
         let slot = self.slot(dpi)?;
         if slot.force_terminate().is_none() {
             return Err(CoreError::BadState {

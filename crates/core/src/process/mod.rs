@@ -26,6 +26,7 @@ pub use stats::ProcessStats;
 use crate::services::{self, Notification, ServerCtx};
 use crate::{CoreError, Repository};
 use dpl::{Budget, HostRegistry, Value};
+use mbd_telemetry::{Counter, Gauge, Telemetry, Timer};
 use parking_lot::RwLock;
 use rds::{DpiId, DpiState};
 use snmp::MibStore;
@@ -75,6 +76,44 @@ pub struct DpiInfo {
     pub queued_messages: usize,
 }
 
+/// Pre-resolved runtime metrics (`ep.*`): one latency histogram per
+/// lifecycle verb, plus contention and backpressure signals. Resolved
+/// once at construction so recording on the hot paths is lock-free.
+pub(in crate::process) struct EpMetrics {
+    pub delegate: Timer,
+    pub instantiate: Timer,
+    pub invoke: Timer,
+    pub suspend: Timer,
+    pub resume: Timer,
+    pub terminate: Timer,
+    /// `ep.state_retries` — CAS retries on slot state transitions
+    /// (suspend racing invoke's Running window).
+    pub state_retries: Counter,
+    /// `ep.notifications_queued` — outbox depth at last refresh.
+    pub notifications_queued: Gauge,
+    /// `ep.log_queued` — agent-log depth at last refresh.
+    pub log_queued: Gauge,
+    /// `ep.live_instances` — non-terminated dpis at last refresh.
+    pub live_instances: Gauge,
+}
+
+impl EpMetrics {
+    fn new(telemetry: &Telemetry) -> EpMetrics {
+        EpMetrics {
+            delegate: telemetry.timer("ep.delegate"),
+            instantiate: telemetry.timer("ep.instantiate"),
+            invoke: telemetry.timer("ep.invoke"),
+            suspend: telemetry.timer("ep.suspend"),
+            resume: telemetry.timer("ep.resume"),
+            terminate: telemetry.timer("ep.terminate"),
+            state_retries: telemetry.counter("ep.state_retries"),
+            notifications_queued: telemetry.gauge("ep.notifications_queued"),
+            log_queued: telemetry.gauge("ep.log_queued"),
+            live_instances: telemetry.gauge("ep.live_instances"),
+        }
+    }
+}
+
 pub(in crate::process) struct Inner {
     pub config: ElasticConfig,
     pub registry: RwLock<HostRegistry<ServerCtx>>,
@@ -86,6 +125,8 @@ pub(in crate::process) struct Inner {
     pub log: Arc<EventQueue<String>>,
     pub ticks: Arc<AtomicU64>,
     pub stats: stats::AtomicStats,
+    pub telemetry: Telemetry,
+    pub metrics: EpMetrics,
 }
 
 /// An elastic process: the runtime that accepts, translates, stores,
@@ -120,6 +161,8 @@ impl ElasticProcess {
     pub fn with_mib(config: ElasticConfig, mib: MibStore) -> ElasticProcess {
         let outbox = Arc::new(EventQueue::new(config.notification_capacity));
         let log = Arc::new(EventQueue::new(config.log_capacity));
+        let telemetry = Telemetry::new();
+        let metrics = EpMetrics::new(&telemetry);
         ElasticProcess {
             inner: Arc::new(Inner {
                 config,
@@ -132,8 +175,26 @@ impl ElasticProcess {
                 log,
                 ticks: Arc::new(AtomicU64::new(0)),
                 stats: stats::AtomicStats::default(),
+                telemetry,
+                metrics,
             }),
         }
+    }
+
+    /// The process's telemetry domain. Transports and embedders share
+    /// it (e.g. pass a clone to `TcpServerConfig.telemetry`) so one
+    /// snapshot covers the whole server.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
+    }
+
+    /// Refreshes point-in-time gauges (`ep.notifications_queued`,
+    /// `ep.log_queued`, `ep.live_instances`). Called by exporters
+    /// before reading a snapshot; cheap enough for every poll.
+    pub fn refresh_gauges(&self) {
+        self.inner.metrics.notifications_queued.set(self.inner.outbox.len() as u64);
+        self.inner.metrics.log_queued.set(self.inner.log.len() as u64);
+        self.inner.metrics.live_instances.set(self.inner.dpis.live() as u64);
     }
 
     /// The shared MIB store.
@@ -207,6 +268,7 @@ impl ElasticProcess {
     ///
     /// As for [`ElasticProcess::delegate`].
     pub fn delegate_as(&self, name: &str, source: &str, principal: &str) -> Result<(), CoreError> {
+        let _span = self.inner.metrics.delegate.start();
         let registry = self.inner.registry.read();
         match dpl::compile_program(source, &registry) {
             Ok(program) => {

@@ -455,3 +455,55 @@ mod inter_dpi_messaging_tests {
         }
     }
 }
+
+mod telemetry_tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_verbs_record_latency_histograms() {
+        let p = process();
+        p.delegate("t", "fn main() { return 1; }").unwrap();
+        let dpi = p.instantiate("t").unwrap();
+        p.invoke(dpi, "main", &[]).unwrap();
+        p.invoke(dpi, "main", &[]).unwrap();
+        p.suspend(dpi).unwrap();
+        p.resume(dpi).unwrap();
+        p.terminate(dpi).unwrap();
+        let snap = p.telemetry().snapshot();
+        assert_eq!(snap.histogram("ep.delegate").unwrap().count(), 1);
+        assert_eq!(snap.histogram("ep.instantiate").unwrap().count(), 1);
+        assert_eq!(snap.histogram("ep.invoke").unwrap().count(), 2);
+        assert_eq!(snap.histogram("ep.suspend").unwrap().count(), 1);
+        assert_eq!(snap.histogram("ep.resume").unwrap().count(), 1);
+        assert_eq!(snap.histogram("ep.terminate").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn failed_operations_still_record_latency() {
+        let p = process();
+        assert!(p.instantiate("ghost").is_err());
+        assert!(p.invoke(DpiId(99), "main", &[]).is_err());
+        let snap = p.telemetry().snapshot();
+        assert_eq!(snap.histogram("ep.instantiate").unwrap().count(), 1);
+        assert_eq!(snap.histogram("ep.invoke").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn refresh_gauges_reports_queue_depths_and_live_instances() {
+        let p = process();
+        p.delegate("n", r#"fn go() { notify("hot"); log("line"); return 0; }"#).unwrap();
+        let dpi = p.instantiate("n").unwrap();
+        p.invoke(dpi, "go", &[]).unwrap();
+        p.refresh_gauges();
+        let snap = p.telemetry().snapshot();
+        assert_eq!(snap.gauge("ep.notifications_queued"), Some(1));
+        assert_eq!(snap.gauge("ep.log_queued"), Some(1));
+        assert_eq!(snap.gauge("ep.live_instances"), Some(1));
+        p.drain_notifications();
+        p.terminate(dpi).unwrap();
+        p.refresh_gauges();
+        let snap = p.telemetry().snapshot();
+        assert_eq!(snap.gauge("ep.notifications_queued"), Some(0));
+        assert_eq!(snap.gauge("ep.live_instances"), Some(0));
+    }
+}

@@ -117,12 +117,16 @@ impl RdsHandler for Dispatcher {
 impl MbdServer {
     /// A server with open access (the first prototype's trivial policy).
     pub fn open(process: ElasticProcess) -> MbdServer {
-        MbdServer { rds: RdsServer::open(Dispatcher { process }) }
+        let telemetry = process.telemetry().clone();
+        MbdServer { rds: RdsServer::open(Dispatcher { process }).instrument(&telemetry) }
     }
 
     /// A server with an ACL and optional keyed-digest authentication.
     pub fn with_policy(process: ElasticProcess, acl: Acl, key: Option<Vec<u8>>) -> MbdServer {
-        MbdServer { rds: RdsServer::with_policy(Dispatcher { process }, acl, key) }
+        let telemetry = process.telemetry().clone();
+        MbdServer {
+            rds: RdsServer::with_policy(Dispatcher { process }, acl, key).instrument(&telemetry),
+        }
     }
 
     /// Handles one encoded RDS request.

@@ -46,6 +46,8 @@ pub struct ConcentratorObserver {
     prev: Option<Counters>,
     /// Errored-frame counter OID (defaults to `ifInErrors.1`).
     error_oid: ber::Oid,
+    /// `health.sample` latency, when instrumented.
+    timer: Option<mbd_telemetry::Timer>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,7 +72,16 @@ impl ConcentratorObserver {
             capacity_bytes_per_sec: capacity_bps as f64 / 8.0,
             prev: None,
             error_oid: mib2::if_in_errors(1),
+            timer: None,
         }
+    }
+
+    /// Records each [`sample`](ConcentratorObserver::sample) call's
+    /// latency into `telemetry` as `health.sample`.
+    #[must_use]
+    pub fn instrument(mut self, telemetry: &mbd_telemetry::Telemetry) -> ConcentratorObserver {
+        self.timer = Some(telemetry.timer("health.sample"));
+        self
     }
 
     fn read(mib: &MibStore, ticks: u64, error_oid: &ber::Oid) -> Counters {
@@ -89,6 +100,7 @@ impl ConcentratorObserver {
     /// on the first call (nothing to diff against) and for zero-length
     /// intervals.
     pub fn sample(&mut self, mib: &MibStore, ticks: u64) -> Option<Symptoms> {
+        let _span = self.timer.as_ref().map(mbd_telemetry::Timer::start);
         let cur = Self::read(mib, ticks, &self.error_oid);
         let prev = self.prev.replace(cur);
         let prev = prev?;

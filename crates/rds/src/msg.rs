@@ -148,6 +148,23 @@ impl RdsRequest {
         }
     }
 
+    /// The verb name used for per-verb telemetry metrics
+    /// (`rds.verb.<name>`).
+    pub fn verb(&self) -> &'static str {
+        match self {
+            RdsRequest::DelegateProgram { .. } => "delegate",
+            RdsRequest::DeleteProgram { .. } => "delete",
+            RdsRequest::Instantiate { .. } => "instantiate",
+            RdsRequest::Invoke { .. } => "invoke",
+            RdsRequest::Suspend { .. } => "suspend",
+            RdsRequest::Resume { .. } => "resume",
+            RdsRequest::Terminate { .. } => "terminate",
+            RdsRequest::SendMessage { .. } => "send_message",
+            RdsRequest::ListPrograms => "list_programs",
+            RdsRequest::ListInstances => "list_instances",
+        }
+    }
+
     /// The dp name this request targets, if it names one directly.
     pub fn dp_name(&self) -> Option<&str> {
         match self {

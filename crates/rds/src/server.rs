@@ -1,5 +1,38 @@
 use crate::{codec, ErrorCode, RdsRequest, RdsResponse};
 use mbd_auth::{Acl, Operation, Principal};
+use mbd_telemetry::{Telemetry, Timer};
+
+/// Pre-resolved timers for the protocol front-end: BER decode time plus
+/// one latency histogram per RDS verb (`rds.decode`, `rds.verb.<name>`
+/// — resolved once here so the per-request cost is a clock read and a
+/// lock-free record).
+#[derive(Debug, Clone)]
+struct RdsTimers {
+    decode: Timer,
+    /// Indexed by [`RdsRequest::op_tag`].
+    verbs: [Timer; 10],
+}
+
+impl RdsTimers {
+    fn new(telemetry: &Telemetry) -> RdsTimers {
+        let verb = |name: &str| telemetry.timer(&format!("rds.verb.{name}"));
+        RdsTimers {
+            decode: telemetry.timer("rds.decode"),
+            verbs: [
+                verb("delegate"),
+                verb("delete"),
+                verb("instantiate"),
+                verb("invoke"),
+                verb("suspend"),
+                verb("resume"),
+                verb("terminate"),
+                verb("send_message"),
+                verb("list_programs"),
+                verb("list_instances"),
+            ],
+        }
+    }
+}
 
 /// The application half of an RDS server: given an authenticated,
 /// authorized request, produce a response. The elastic process runtime
@@ -25,6 +58,7 @@ pub struct RdsServer<H> {
     handler: H,
     acl: Acl,
     key: Option<Vec<u8>>,
+    timers: Option<RdsTimers>,
 }
 
 impl<H: std::fmt::Debug> std::fmt::Debug for RdsServer<H> {
@@ -54,12 +88,21 @@ impl<H: RdsHandler> RdsServer<H> {
     /// A server with the prototype's trivial access control (any handle
     /// may do anything) and no digest authentication.
     pub fn open(handler: H) -> RdsServer<H> {
-        RdsServer { handler, acl: Acl::allow_by_default(), key: None }
+        RdsServer { handler, acl: Acl::allow_by_default(), key: None, timers: None }
     }
 
     /// A server enforcing `acl`, optionally requiring keyed digests.
     pub fn with_policy(handler: H, acl: Acl, key: Option<Vec<u8>>) -> RdsServer<H> {
-        RdsServer { handler, acl, key }
+        RdsServer { handler, acl, key, timers: None }
+    }
+
+    /// Records decode time and per-verb request latency into
+    /// `telemetry` (`rds.decode`, `rds.verb.<name>`) for every request
+    /// this server processes.
+    #[must_use]
+    pub fn instrument(mut self, telemetry: &Telemetry) -> RdsServer<H> {
+        self.timers = Some(RdsTimers::new(telemetry));
+        self
     }
 
     /// The handler (for embedding servers that need to reach through).
@@ -72,27 +115,32 @@ impl<H: RdsHandler> RdsServer<H> {
     /// Undecodable requests get an encoded `Error` response with request
     /// id 0 (there is nothing better to correlate with).
     pub fn process(&self, bytes: &[u8]) -> Vec<u8> {
-        let (request, principal, request_id) =
-            match codec::decode_request(bytes, self.key.as_deref()) {
-                Ok(parts) => parts,
-                Err(crate::RdsError::BadDigest) => {
-                    return codec::encode_response(
-                        &RdsResponse::Error {
-                            code: ErrorCode::AuthFailed,
-                            message: "digest verification failed".to_string(),
-                        },
-                        0,
-                        self.key.as_deref(),
-                    )
-                }
-                Err(e) => {
-                    return codec::encode_response(
-                        &RdsResponse::Error { code: ErrorCode::Internal, message: e.to_string() },
-                        0,
-                        self.key.as_deref(),
-                    )
-                }
-            };
+        let decode_span = self.timers.as_ref().map(|t| t.decode.start());
+        let decoded = codec::decode_request(bytes, self.key.as_deref());
+        drop(decode_span);
+        let (request, principal, request_id) = match decoded {
+            Ok(parts) => parts,
+            Err(crate::RdsError::BadDigest) => {
+                return codec::encode_response(
+                    &RdsResponse::Error {
+                        code: ErrorCode::AuthFailed,
+                        message: "digest verification failed".to_string(),
+                    },
+                    0,
+                    self.key.as_deref(),
+                )
+            }
+            Err(e) => {
+                return codec::encode_response(
+                    &RdsResponse::Error { code: ErrorCode::Internal, message: e.to_string() },
+                    0,
+                    self.key.as_deref(),
+                )
+            }
+        };
+        // The verb span covers authorization, dispatch and response
+        // encoding — everything the server does for a decoded request.
+        let verb_span = self.timers.as_ref().map(|t| t.verbs[request.op_tag() as usize].start());
         let op = required_operation(&request);
         let response = if self.acl.allows(&principal, op, request.dp_name()) {
             self.handler.handle(&principal, request)
@@ -102,7 +150,9 @@ impl<H: RdsHandler> RdsServer<H> {
                 message: format!("{principal} may not {op}"),
             }
         };
-        codec::encode_response(&response, request_id, self.key.as_deref())
+        let encoded = codec::encode_response(&response, request_id, self.key.as_deref());
+        drop(verb_span);
+        encoded
     }
 }
 
@@ -186,6 +236,41 @@ mod tests {
         let (resp, id) = codec::decode_response(&resp_bytes, Some(b"k")).unwrap();
         assert_eq!(id, 0);
         assert!(matches!(resp, RdsResponse::Error { code: ErrorCode::AuthFailed, .. }));
+    }
+
+    #[test]
+    fn instrumented_server_records_decode_and_per_verb_latency() {
+        let tel = Telemetry::new();
+        let server = RdsServer::open(echo_handler()).instrument(&tel);
+        let req = codec::encode_request(&RdsRequest::ListPrograms, &Principal::new("m"), 1, None);
+        server.process(&req);
+        server.process(&req);
+        let snap = tel.snapshot();
+        assert_eq!(snap.histogram("rds.verb.list_programs").unwrap().count(), 2);
+        assert_eq!(snap.histogram("rds.decode").unwrap().count(), 2);
+        assert!(snap.histogram("rds.verb.invoke").unwrap().is_empty());
+        // Undecodable bytes cost a decode attempt but reach no verb.
+        server.process(b"not ber");
+        let snap = tel.snapshot();
+        assert_eq!(snap.histogram("rds.decode").unwrap().count(), 3);
+        let verbs: u64 = snap
+            .histograms
+            .iter()
+            .filter(|(n, _)| n.starts_with("rds.verb."))
+            .map(|(_, h)| h.count())
+            .sum();
+        assert_eq!(verbs, 2);
+    }
+
+    #[test]
+    fn denied_requests_still_count_toward_their_verb() {
+        let tel = Telemetry::new();
+        let server =
+            RdsServer::with_policy(echo_handler(), Acl::deny_by_default(), None).instrument(&tel);
+        let req = codec::encode_request(&RdsRequest::ListPrograms, &Principal::new("m"), 1, None);
+        let (resp, _) = codec::decode_response(&server.process(&req), None).unwrap();
+        assert!(matches!(resp, RdsResponse::Error { code: ErrorCode::AccessDenied, .. }));
+        assert_eq!(tel.snapshot().histogram("rds.verb.list_programs").unwrap().count(), 1);
     }
 
     #[test]

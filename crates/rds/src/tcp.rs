@@ -13,6 +13,7 @@
 //! connection — the worker survives to serve the next one.
 
 use crate::{RdsError, Transport};
+use mbd_telemetry::{Counter, Gauge, Telemetry, Timer};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -20,7 +21,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Upper bound on a framed message (16 MiB) — a delegation request
 /// carrying a program will never legitimately approach this.
@@ -136,6 +137,11 @@ pub struct TcpServerConfig {
     pub idle_poll: Duration,
     /// Deadline for a started frame to arrive completely.
     pub frame_timeout: Duration,
+    /// Telemetry domain the server records into (`rds.tcp.*`); `None`
+    /// keeps a private domain readable only through the handle's
+    /// accessors. Share the embedding server's domain so a single
+    /// snapshot sees transport and runtime together.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl Default for TcpServerConfig {
@@ -145,6 +151,37 @@ impl Default for TcpServerConfig {
             backlog: 64,
             idle_poll: Duration::from_millis(25),
             frame_timeout: Duration::from_secs(5),
+            telemetry: None,
+        }
+    }
+}
+
+/// Pre-resolved transport metrics, shared by the accept loop and the
+/// workers.
+struct TcpMetrics {
+    /// `rds.tcp.queue_wait` — accepted-to-picked-up latency.
+    queue_wait: Timer,
+    /// `rds.tcp.request` — one frame's respond() latency.
+    request: Timer,
+    /// `rds.tcp.active_connections` — connections currently being
+    /// served by a worker.
+    active: Gauge,
+    /// `rds.tcp.handler_panics` — mirrors
+    /// [`TcpServer::handler_panics`].
+    panics: Counter,
+    /// `rds.tcp.connections_rejected` — mirrors
+    /// [`TcpServer::connections_rejected`].
+    rejected: Counter,
+}
+
+impl TcpMetrics {
+    fn new(telemetry: &Telemetry) -> TcpMetrics {
+        TcpMetrics {
+            queue_wait: telemetry.timer("rds.tcp.queue_wait"),
+            request: telemetry.timer("rds.tcp.request"),
+            active: telemetry.gauge("rds.tcp.active_connections"),
+            panics: telemetry.counter("rds.tcp.handler_panics"),
+            rejected: telemetry.counter("rds.tcp.connections_rejected"),
         }
     }
 }
@@ -152,10 +189,13 @@ impl Default for TcpServerConfig {
 /// State shared between the accept loop, the workers and the handle.
 struct PoolShared {
     stop: AtomicBool,
-    queue: Mutex<VecDeque<TcpStream>>,
+    /// Accepted connections waiting for a worker, stamped with their
+    /// accept time so `rds.tcp.queue_wait` measures pool saturation.
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     ready: Condvar,
     rejected: AtomicU64,
     handler_panics: AtomicU64,
+    metrics: TcpMetrics,
 }
 
 /// Server side: accepts connections into a bounded queue drained by a
@@ -210,12 +250,14 @@ impl TcpServer {
     {
         let listener = TcpListener::bind(addr).map_err(io_err)?;
         let local = listener.local_addr().map_err(io_err)?;
+        let telemetry = config.telemetry.clone().unwrap_or_default();
         let shared = Arc::new(PoolShared {
             stop: AtomicBool::new(false),
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
             rejected: AtomicU64::new(0),
             handler_panics: AtomicU64::new(0),
+            metrics: TcpMetrics::new(&telemetry),
         });
         let respond = Arc::new(respond);
 
@@ -240,9 +282,10 @@ impl TcpServer {
                 if queue.len() >= backlog {
                     drop(queue);
                     accept_shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    accept_shared.metrics.rejected.inc();
                     continue; // dropping the stream closes it
                 }
-                queue.push_back(stream);
+                queue.push_back((stream, Instant::now()));
                 drop(queue);
                 accept_shared.ready.notify_one();
             }
@@ -303,8 +346,8 @@ fn worker_loop(
         let next = {
             let mut queue = shared.queue.lock();
             loop {
-                if let Some(stream) = queue.pop_front() {
-                    break Some(stream);
+                if let Some(entry) = queue.pop_front() {
+                    break Some(entry);
                 }
                 if shared.stop.load(Ordering::Relaxed) {
                     break None;
@@ -317,8 +360,11 @@ fn worker_loop(
             }
         };
         match next {
-            Some(mut stream) => {
+            Some((mut stream, accepted_at)) => {
+                shared.metrics.queue_wait.record_duration(accepted_at.elapsed());
+                shared.metrics.active.inc();
                 let _ = serve_connection(&mut stream, respond, shared, config);
+                shared.metrics.active.dec();
             }
             None => return,
         }
@@ -361,10 +407,14 @@ fn serve_connection(
         stream.set_read_timeout(Some(config.idle_poll)).map_err(io_err)?;
         match frame {
             Ok(Some(request)) => {
-                match catch_unwind(AssertUnwindSafe(|| respond(&request))) {
+                let span = shared.metrics.request.start();
+                let outcome = catch_unwind(AssertUnwindSafe(|| respond(&request)));
+                drop(span);
+                match outcome {
                     Ok(response) => write_frame(stream, &response)?,
                     Err(_) => {
                         shared.handler_panics.fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.panics.inc();
                         return Ok(()); // drop the connection, keep the worker
                     }
                 }
@@ -537,6 +587,47 @@ mod tests {
         assert_eq!(healthy.request(&[1, 2]).unwrap(), vec![1, 2]);
         assert_eq!(server.handler_panics(), 1);
         server.shutdown();
+    }
+
+    #[test]
+    fn shared_telemetry_sees_transport_metrics() {
+        let tel = Telemetry::new();
+        let server = TcpServer::spawn_with(
+            "127.0.0.1:0",
+            TcpServerConfig { telemetry: Some(tel.clone()), ..TcpServerConfig::default() },
+            |req| req.to_vec(),
+        )
+        .unwrap();
+        let t = TcpTransport::connect(server.local_addr()).unwrap();
+        t.request(&[1]).unwrap();
+        t.request(&[2]).unwrap();
+        drop(t);
+        server.shutdown();
+        let snap = tel.snapshot();
+        assert_eq!(snap.histogram("rds.tcp.request").unwrap().count(), 2);
+        assert_eq!(snap.histogram("rds.tcp.queue_wait").unwrap().count(), 1);
+        assert_eq!(snap.counter("rds.tcp.handler_panics"), Some(0));
+        assert_eq!(snap.counter("rds.tcp.connections_rejected"), Some(0));
+        // All workers are joined, so no connection is active.
+        assert_eq!(snap.gauge("rds.tcp.active_connections"), Some(0));
+    }
+
+    #[test]
+    fn handler_panics_reach_shared_telemetry() {
+        let tel = Telemetry::new();
+        let server = TcpServer::spawn_with(
+            "127.0.0.1:0",
+            TcpServerConfig { telemetry: Some(tel.clone()), ..TcpServerConfig::default() },
+            |req| {
+                assert!(req != [66], "poison request");
+                req.to_vec()
+            },
+        )
+        .unwrap();
+        let poisoned = TcpTransport::connect(server.local_addr()).unwrap();
+        assert!(poisoned.request(&[66]).is_err());
+        server.shutdown();
+        assert_eq!(tel.snapshot().counter("rds.tcp.handler_panics"), Some(1));
     }
 
     #[test]

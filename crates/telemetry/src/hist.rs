@@ -1,0 +1,313 @@
+//! Lock-free log-bucketed latency histograms.
+//!
+//! A [`Histogram`] is a fixed array of atomic bucket counters plus an
+//! atomic sum and max: recording a sample is three relaxed atomic ops
+//! and never takes a lock, so hot paths (the RDS request loop, the
+//! invoke path) can record on every operation. Buckets are powers of
+//! two in nanoseconds — quantiles read from a [`HistSnapshot`] are
+//! exact to within a factor of two, which is the right resolution for
+//! "is p99 invoke latency over its threshold", not for timing ALU ops.
+//!
+//! Snapshots are plain data: they [`merge`](HistSnapshot::merge)
+//! associatively, so per-shard or per-server histograms can be combined
+//! by a delegated agent exactly like SNMP counters can be summed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: bucket 0 holds zero-valued samples, bucket `i`
+/// (1..=62) holds samples in `[2^(i-1), 2^i)` ns, bucket 63 saturates.
+pub const BUCKETS: usize = 64;
+
+/// Index of the saturating top bucket.
+const TOP: usize = BUCKETS - 1;
+
+fn bucket_of(value_ns: u64) -> usize {
+    if value_ns == 0 {
+        0
+    } else {
+        // 1 → bucket 1, 2..3 → 2, 4..7 → 3, …, capped at TOP.
+        (64 - value_ns.leading_zeros() as usize).min(TOP)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` in nanoseconds (used when
+/// reporting quantiles; the top bucket has no finite bound).
+pub fn bucket_bound_ns(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ if i >= TOP => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// A lock-free histogram of nanosecond latencies.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Wait-free: three relaxed atomic RMW ops.
+    pub fn record(&self, value_ns: u64) {
+        self.counts[bucket_of(value_ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(value_ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(value_ns, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy. Each load is individually atomic; a
+    /// concurrent `record` may be partially visible (count without sum),
+    /// which monotone monitoring reads tolerate by design.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (out, c) in counts.iter_mut().zip(&self.counts) {
+            *out = c.load(Ordering::Relaxed);
+        }
+        HistSnapshot {
+            counts,
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A mergeable point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts (see [`bucket_bound_ns`] for bounds).
+    pub counts: [u64; BUCKETS],
+    /// Sum of all recorded values.
+    pub sum_ns: u64,
+    /// Largest recorded value.
+    pub max_ns: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> HistSnapshot {
+        HistSnapshot { counts: [0; BUCKETS], sum_ns: 0, max_ns: 0 }
+    }
+}
+
+impl HistSnapshot {
+    /// An empty snapshot (the identity for [`merge`](HistSnapshot::merge)).
+    pub fn empty() -> HistSnapshot {
+        HistSnapshot::default()
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Mean in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, reported as the upper
+    /// bound of the bucket containing that rank (the recorded max for
+    /// the saturating top bucket, and never above the max). 0 when
+    /// empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        // Rank of the q-th sample, 1-based, clamped to [1, n].
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bound_ns(i).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median (see [`quantile_ns`](HistSnapshot::quantile_ns)).
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90_ns(&self) -> u64 {
+        self.quantile_ns(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// Element-wise combination: counts and sums add, maxes take the
+    /// max. Associative and commutative with [`empty`](HistSnapshot::empty)
+    /// as identity, so shard- or server-level snapshots fold in any
+    /// order.
+    pub fn merge(&self, other: &HistSnapshot) -> HistSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (out, (a, b)) in counts.iter_mut().zip(self.counts.iter().zip(&other.counts)) {
+            *out = a.wrapping_add(*b);
+        }
+        HistSnapshot {
+            counts,
+            sum_ns: self.sum_ns.wrapping_add(other.sum_ns),
+            max_ns: self.max_ns.max(other.max_ns),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), TOP);
+    }
+
+    #[test]
+    fn bounds_cover_their_buckets() {
+        for v in [0u64, 1, 2, 3, 7, 100, 4096, 1 << 40] {
+            let b = bucket_of(v);
+            assert!(v <= bucket_bound_ns(b), "{v} above bound of bucket {b}");
+            if b > 0 {
+                assert!(v > bucket_bound_ns(b - 1), "{v} not above bound of bucket {}", b - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_reports_zeroes() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean_ns(), 0);
+        assert_eq!(s.p50_ns(), 0);
+        assert_eq!(s.p99_ns(), 0);
+        assert_eq!(s.max_ns, 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let h = Histogram::new();
+        h.record(1500);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.sum_ns, 1500);
+        assert_eq!(s.max_ns, 1500);
+        // Every quantile is the single sample's value, clamped to max.
+        assert_eq!(s.p50_ns(), 1500);
+        assert_eq!(s.p99_ns(), 1500);
+        assert_eq!(s.quantile_ns(0.0), 1500);
+        assert_eq!(s.quantile_ns(1.0), 1500);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_distribution() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(1_000); // ~1 µs
+        }
+        h.record(1_000_000); // one 1 ms outlier
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        // p50/p90 are in the 1 µs bucket (bound < 2 µs); p99 too (the
+        // 99th of 100 samples is still a 1 µs one); max shows the spike.
+        assert!(s.p50_ns() >= 1_000 && s.p50_ns() < 2_048);
+        assert!(s.p90_ns() < 2_048);
+        assert!(s.p99_ns() < 2_048);
+        assert_eq!(s.max_ns, 1_000_000);
+        assert_eq!(s.quantile_ns(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn saturating_top_bucket_reports_recorded_max() {
+        let h = Histogram::new();
+        h.record(u64::MAX / 2);
+        h.record(u64::MAX / 2);
+        let s = h.snapshot();
+        assert_eq!(s.counts[TOP], 2);
+        // The top bucket has no finite bound; quantiles clamp to max.
+        assert_eq!(s.p99_ns(), u64::MAX / 2);
+    }
+
+    #[test]
+    fn merge_is_associative_and_has_identity() {
+        let mk = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let a = mk(&[1, 10, 100]);
+        let b = mk(&[5, 500_000]);
+        let c = mk(&[0, u64::MAX]);
+        assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        assert_eq!(a.merge(&HistSnapshot::empty()), a);
+        assert_eq!(HistSnapshot::empty().merge(&a), a);
+        assert_eq!(a.merge(&b).count(), 5);
+    }
+
+    #[test]
+    fn concurrent_record_during_snapshot_is_safe() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        h.record(t * 1000 + (n % 97));
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        // Snapshots taken mid-storm must stay internally monotone.
+        let mut last = 0u64;
+        for _ in 0..200 {
+            let s = h.snapshot();
+            let count = s.count();
+            assert!(count >= last, "count went backwards: {count} < {last}");
+            last = count;
+        }
+        stop.store(true, Ordering::Relaxed);
+        let written: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(h.snapshot().count(), written);
+    }
+}

@@ -1,0 +1,209 @@
+//! Self-instrumentation for the MbD server.
+//!
+//! The paper's payoff is *delegated health functions* computed next to
+//! the data — which makes the MbD server itself the one device it could
+//! not manage: nothing measured its latencies, queue depths or per-verb
+//! load. This crate is the vendored-shim-style (zero external deps)
+//! telemetry substrate that closes that gap:
+//!
+//! - [`hist`] — lock-free log-bucketed latency [`Histogram`]s with
+//!   mergeable [`HistSnapshot`]s and p50/p90/p99/max;
+//! - [`registry`] — named [`Counter`]s, [`Gauge`]s and histograms
+//!   behind one [`Registry`];
+//! - [`span`] — RAII [`Timer`]/[`Span`] pairs recording into the
+//!   registry, optionally emitting structured [`TraceEvent`]s;
+//! - [`trace`] — the bounded drop-oldest [`TraceRing`] (the same queue
+//!   discipline as the elastic process's notification outbox).
+//!
+//! A [`Telemetry`] handle ties these together and is cheaply cloneable:
+//! the elastic process, the RDS front-end and the health observers all
+//! record into one registry, which the OCP adapter then exports as the
+//! `mbdTelemetry` SNMP subtree — so a *delegated agent can compute the
+//! server's own health function* from ordinary MIB gets.
+//!
+//! # Examples
+//!
+//! ```
+//! use mbd_telemetry::Telemetry;
+//!
+//! let tel = Telemetry::new();
+//! let invoke = tel.timer("rds.verb.invoke");
+//! for _ in 0..100 {
+//!     let _span = invoke.start(); // records on drop
+//! }
+//! tel.counter("rds.tcp.handler_panics").inc();
+//!
+//! let snap = tel.snapshot();
+//! assert_eq!(snap.histogram("rds.verb.invoke").unwrap().count(), 100);
+//! assert!(snap.histogram("rds.verb.invoke").unwrap().p99_ns() > 0);
+//! println!("{}", snap.to_text());
+//! ```
+
+pub mod hist;
+pub mod registry;
+pub mod span;
+pub mod trace;
+
+pub use hist::{bucket_bound_ns, HistSnapshot, Histogram, BUCKETS};
+pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
+pub use span::{OwnedSpan, Span, Timer};
+pub use trace::{TraceEvent, TraceRing};
+
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+#[derive(Debug)]
+pub(crate) struct TelemetryInner {
+    pub(crate) registry: Registry,
+    pub(crate) ring: OnceLock<Arc<TraceRing>>,
+    pub(crate) epoch: Instant,
+}
+
+/// A shared handle to one telemetry domain (registry + trace ring).
+///
+/// Clones share the same registry, like an
+/// [`ElasticProcess`](https://docs.rs) handle shares its runtime: give
+/// every layer of one server the same `Telemetry` and a single snapshot
+/// sees the whole server.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    inner: Arc<TelemetryInner>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// A fresh, empty telemetry domain (tracing off).
+    pub fn new() -> Telemetry {
+        Telemetry {
+            inner: Arc::new(TelemetryInner {
+                registry: Registry::new(),
+                ring: OnceLock::new(),
+                epoch: Instant::now(),
+            }),
+        }
+    }
+
+    /// The counter named `name` (created on first use).
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner.registry.counter(name)
+    }
+
+    /// The gauge named `name` (created on first use).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner.registry.gauge(name)
+    }
+
+    /// The histogram named `name` (created on first use).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.inner.registry.histogram(name)
+    }
+
+    /// A pre-resolved timing handle for `name` — resolve once, then
+    /// [`Timer::start`] per operation on the hot path.
+    pub fn timer(&self, name: &str) -> Timer {
+        Timer {
+            name: Arc::from(name),
+            hist: self.inner.registry.histogram(name),
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Starts a span for `name`, resolving the metric now (convenient
+    /// for cold paths; hot paths should hold a [`Timer`]).
+    pub fn span(&self, name: &str) -> OwnedSpan {
+        OwnedSpan { timer: self.timer(name), start: Instant::now(), finished: false }
+    }
+
+    /// Turns on structured tracing with a drop-oldest ring of
+    /// `capacity` events. Returns `false` (leaving the original ring in
+    /// place) if tracing was already enabled.
+    pub fn enable_tracing(&self, capacity: usize) -> bool {
+        self.inner.ring.set(Arc::new(TraceRing::new(capacity))).is_ok()
+    }
+
+    /// Whether [`enable_tracing`](Telemetry::enable_tracing) happened.
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner.ring.get().is_some()
+    }
+
+    /// Drains the trace ring (empty when tracing is off).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.inner.ring.get().map(|r| r.drain()).unwrap_or_default()
+    }
+
+    /// Trace events evicted before being drained.
+    pub fn trace_dropped(&self) -> u64 {
+        self.inner.ring.get().map(|r| r.dropped()).unwrap_or(0)
+    }
+
+    /// Nanoseconds since this telemetry domain was created (the time
+    /// base of [`TraceEvent::start_ns`]).
+    pub fn elapsed_ns(&self) -> u64 {
+        span::saturating_ns(self.inner.epoch.elapsed())
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        self.inner.registry.snapshot()
+    }
+
+    /// The human-readable stats dump
+    /// ([`RegistrySnapshot::to_text`] of a fresh snapshot).
+    pub fn snapshot_text(&self) -> String {
+        self.snapshot().to_text()
+    }
+}
+
+/// Starts an RAII span on a [`Telemetry`] handle:
+/// `let _guard = span!(tel, "rds.verb.invoke");`
+#[macro_export]
+macro_rules! span {
+    ($telemetry:expr, $name:expr) => {
+        $crate::Telemetry::span(&$telemetry, $name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_registry() {
+        let a = Telemetry::new();
+        let b = a.clone();
+        a.counter("shared").inc();
+        b.counter("shared").add(2);
+        assert_eq!(a.snapshot().counter("shared"), Some(3));
+    }
+
+    #[test]
+    fn span_macro_times_a_block() {
+        let tel = Telemetry::new();
+        {
+            let _guard = span!(tel, "macro.block");
+        }
+        assert_eq!(tel.snapshot().histogram("macro.block").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn snapshot_text_roundtrips_names() {
+        let tel = Telemetry::new();
+        tel.gauge("ep.live_instances").set(12);
+        let text = tel.snapshot_text();
+        assert!(text.contains("ep.live_instances"));
+        assert!(text.contains("12"));
+    }
+
+    #[test]
+    fn distinct_domains_are_isolated() {
+        let a = Telemetry::new();
+        let b = Telemetry::new();
+        a.counter("x").inc();
+        assert_eq!(b.snapshot().counter("x"), None);
+    }
+}

@@ -1,0 +1,312 @@
+//! The named-metric registry.
+//!
+//! A [`Registry`] maps stable metric names to counters, gauges and
+//! histograms. Lookup takes a read lock once; the returned handles are
+//! plain `Arc`s whose updates are lock-free, so hot paths resolve their
+//! metrics at construction time and never touch the registry again.
+//!
+//! Naming scheme (see DESIGN.md §7): dot-separated, lowercase,
+//! `<layer>.<thing>[.<detail>]` — e.g. `rds.verb.invoke`,
+//! `ep.notification_queue_depth`, `health.sample`.
+
+use crate::hist::{HistSnapshot, Histogram};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotone counter handle (lock-free, cheaply cloneable).
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a level that can move both ways.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the level.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Increments the level (e.g. a connection opened).
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements the level, saturating at zero.
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)));
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The name → metric map.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+fn kind_mismatch(name: &str, want: &str, have: &str) -> ! {
+    panic!("telemetry metric `{name}` is a {have}, requested as a {want}")
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn get_or_insert<T: Clone>(
+        &self,
+        name: &str,
+        want: &'static str,
+        extract: impl Fn(&Metric) -> Option<T>,
+        make: impl FnOnce() -> Metric,
+    ) -> T {
+        if let Some(m) = self.metrics.read().get(name) {
+            return extract(m).unwrap_or_else(|| kind_mismatch(name, want, m.kind()));
+        }
+        let mut map = self.metrics.write();
+        let m = map.entry(name.to_string()).or_insert_with(make);
+        extract(m).unwrap_or_else(|| kind_mismatch(name, want, m.kind()))
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` already names a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.get_or_insert(
+            name,
+            "counter",
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            || Metric::Counter(Counter::default()),
+        )
+    }
+
+    /// The gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` already names a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.get_or_insert(
+            name,
+            "gauge",
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            || Metric::Gauge(Gauge::default()),
+        )
+    }
+
+    /// The histogram named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` already names a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            "histogram",
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+            || Metric::Histogram(Arc::new(Histogram::new())),
+        )
+    }
+
+    /// A point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let map = self.metrics.read();
+        let mut snap = RegistrySnapshot::default();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snap
+    }
+}
+
+/// Everything a registry held at one instant, sorted by name per kind.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, level)` for every gauge.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, snapshot)` for every histogram.
+    pub histograms: Vec<(String, HistSnapshot)>,
+}
+
+impl RegistrySnapshot {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge level by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Renders the human-readable stats dump (`mbd-server --stats`
+    /// prints exactly this).
+    pub fn to_text(&self) -> String {
+        let us = |ns: u64| ns as f64 / 1_000.0;
+        let mut out = String::new();
+        let _ = writeln!(out, "== telemetry snapshot ==");
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<40} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<40} {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "histograms:{:>34}{:>10}{:>10}{:>10}{:>10}{:>10}",
+                "count", "mean_us", "p50_us", "p90_us", "p99_us", "max_us"
+            );
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<40} {:>8} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+                    h.count(),
+                    us(h.mean_ns()),
+                    us(h.p50_ns()),
+                    us(h.p90_ns()),
+                    us(h.p99_ns()),
+                    us(h.max_ns),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("x").get(), 3);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways_and_saturates() {
+        let r = Registry::new();
+        let g = r.gauge("depth");
+        g.set(5);
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 5);
+        g.set(0);
+        g.dec();
+        assert_eq!(g.get(), 0, "dec saturates at zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter, requested as a gauge")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_lookupable() {
+        let r = Registry::new();
+        r.counter("b.count").add(7);
+        r.counter("a.count").add(1);
+        r.gauge("z.depth").set(3);
+        r.histogram("m.lat").record(1000);
+        let s = r.snapshot();
+        assert_eq!(s.counters[0].0, "a.count");
+        assert_eq!(s.counter("b.count"), Some(7));
+        assert_eq!(s.gauge("z.depth"), Some(3));
+        assert_eq!(s.histogram("m.lat").unwrap().count(), 1);
+        assert_eq!(s.counter("missing"), None);
+    }
+
+    #[test]
+    fn text_dump_mentions_every_metric() {
+        let r = Registry::new();
+        r.counter("rds.tcp.handler_panics").inc();
+        r.gauge("ep.notification_queue_depth").set(4);
+        r.histogram("rds.verb.invoke").record(123_456);
+        let text = r.snapshot().to_text();
+        assert!(text.contains("rds.tcp.handler_panics"));
+        assert!(text.contains("ep.notification_queue_depth"));
+        assert!(text.contains("rds.verb.invoke"));
+        assert!(text.contains("p99_us"));
+    }
+}

@@ -1,0 +1,182 @@
+//! RAII timing spans.
+//!
+//! A [`Timer`] is a pre-resolved handle to one latency histogram (plus
+//! the owning telemetry's trace ring, if enabled): hot paths build
+//! their timers once, then [`Timer::start`] each operation — enter/exit
+//! costs two clock reads and one lock-free record, well under the
+//! 100 ns/op budget (measured by the E7 micro series).
+//!
+//! Dropping a [`Span`] records it; [`Span::finish`] records explicitly
+//! and returns the duration for callers that also want the number.
+
+use crate::hist::Histogram;
+use crate::TelemetryInner;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A pre-resolved handle for timing one named operation.
+#[derive(Debug, Clone)]
+pub struct Timer {
+    pub(crate) name: Arc<str>,
+    pub(crate) hist: Arc<Histogram>,
+    pub(crate) inner: Arc<TelemetryInner>,
+}
+
+impl Timer {
+    /// Starts a span; it records into this timer's histogram when
+    /// dropped or finished.
+    pub fn start(&self) -> Span<'_> {
+        Span { timer: self, start: Instant::now(), finished: false }
+    }
+
+    /// The metric name this timer records under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records an already-measured duration (for callers that time
+    /// around something a guard cannot scope, e.g. queue wait).
+    pub fn record_ns(&self, duration_ns: u64) {
+        self.hist.record(duration_ns);
+    }
+
+    /// [`record_ns`](Timer::record_ns) for a [`Duration`](std::time::Duration)
+    /// (saturating at `u64::MAX` ns).
+    pub fn record_duration(&self, duration: std::time::Duration) {
+        self.hist.record(saturating_ns(duration));
+    }
+
+    fn record_span(&self, start: Instant) -> u64 {
+        let duration_ns = saturating_ns(start.elapsed());
+        self.hist.record(duration_ns);
+        // One atomic load when tracing is off; the ring only exists
+        // after `enable_tracing`.
+        if let Some(ring) = self.inner.ring.get() {
+            let start_ns = saturating_ns(start.duration_since(self.inner.epoch));
+            ring.push(&self.name, start_ns, duration_ns);
+        }
+        duration_ns
+    }
+}
+
+pub(crate) fn saturating_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// An in-flight timed operation; records on drop.
+#[derive(Debug)]
+#[must_use = "a span records when dropped — binding it to `_` ends it immediately"]
+pub struct Span<'a> {
+    timer: &'a Timer,
+    start: Instant,
+    finished: bool,
+}
+
+impl Span<'_> {
+    /// Ends the span now, returning the recorded duration in
+    /// nanoseconds.
+    pub fn finish(mut self) -> u64 {
+        self.finished = true;
+        self.timer.record_span(self.start)
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = self.timer.record_span(self.start);
+        }
+    }
+}
+
+/// A span that owns its timer (returned by
+/// [`Telemetry::span`](crate::Telemetry::span), which resolves the
+/// metric by name at enter time).
+#[derive(Debug)]
+#[must_use = "a span records when dropped — binding it to `_` ends it immediately"]
+pub struct OwnedSpan {
+    pub(crate) timer: Timer,
+    pub(crate) start: Instant,
+    pub(crate) finished: bool,
+}
+
+impl OwnedSpan {
+    /// Ends the span now, returning the recorded duration in
+    /// nanoseconds.
+    pub fn finish(mut self) -> u64 {
+        self.finished = true;
+        self.timer.record_span(self.start)
+    }
+}
+
+impl Drop for OwnedSpan {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = self.timer.record_span(self.start);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Telemetry;
+
+    #[test]
+    fn span_records_into_its_histogram() {
+        let tel = Telemetry::new();
+        let timer = tel.timer("op.test");
+        {
+            let _span = timer.start();
+            std::hint::black_box(());
+        }
+        timer.start().finish();
+        let snap = tel.snapshot();
+        assert_eq!(snap.histogram("op.test").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn finish_returns_a_plausible_duration() {
+        let tel = Telemetry::new();
+        let timer = tel.timer("op.sleepy");
+        let span = timer.start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let ns = span.finish();
+        assert!(ns >= 1_000_000, "slept 2 ms but measured {ns} ns");
+        assert!(tel.snapshot().histogram("op.sleepy").unwrap().max_ns >= 1_000_000);
+    }
+
+    #[test]
+    fn record_ns_feeds_the_same_histogram() {
+        let tel = Telemetry::new();
+        let timer = tel.timer("op.manual");
+        timer.record_ns(500);
+        timer.record_ns(1500);
+        let snap = tel.snapshot();
+        let h = snap.histogram("op.manual").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum_ns, 2000);
+    }
+
+    #[test]
+    fn tracing_captures_span_events_in_order() {
+        let tel = Telemetry::new();
+        assert!(tel.enable_tracing(16));
+        assert!(!tel.enable_tracing(32), "second enable is a no-op");
+        tel.span("a").finish();
+        tel.span("b").finish();
+        let events = tel.trace_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "a");
+        assert_eq!(events[1].name, "b");
+        assert!(events[1].start_ns >= events[0].start_ns);
+        assert_eq!(tel.trace_dropped(), 0);
+    }
+
+    #[test]
+    fn spans_without_tracing_only_touch_histograms() {
+        let tel = Telemetry::new();
+        tel.span("quiet").finish();
+        assert!(tel.trace_events().is_empty());
+        assert_eq!(tel.snapshot().histogram("quiet").unwrap().count(), 1);
+    }
+}

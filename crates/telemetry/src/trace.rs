@@ -1,0 +1,138 @@
+//! The bounded structured-trace ring.
+//!
+//! When tracing is enabled, every finished span also emits a
+//! [`TraceEvent`] into a [`TraceRing`] — a drop-oldest bounded queue
+//! with a loss counter, the same backpressure discipline as the elastic
+//! process's notification outbox: a trace consumer that stops draining
+//! costs bounded memory and an honest drop count, never the server.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One finished span, as recorded into the ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotone per-ring sequence number (gaps mean drops).
+    pub seq: u64,
+    /// The span's metric name (e.g. `rds.verb.invoke`).
+    pub name: String,
+    /// Span start, in nanoseconds since the owning
+    /// [`Telemetry`](crate::Telemetry) was created.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// A drop-oldest bounded ring of [`TraceEvent`]s.
+pub struct TraceRing {
+    inner: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+    next_seq: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl TraceRing {
+    /// An empty ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            inner: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            next_seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends an event, evicting (and counting) the oldest at capacity.
+    pub fn push(&self, name: &str, start_ns: u64, duration_ns: u64) {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let event = TraceEvent { seq, name: name.to_string(), start_ns, duration_ns };
+        let mut q = self.inner.lock();
+        if q.len() >= self.capacity {
+            q.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(event);
+    }
+
+    /// Removes and returns everything queued, oldest first.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.inner.lock().drain(..).collect()
+    }
+
+    /// A copy of the queued events without draining.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.inner.lock().iter().cloned().collect()
+    }
+
+    /// Events currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_sequenced_and_ordered() {
+        let r = TraceRing::new(8);
+        r.push("a", 0, 10);
+        r.push("b", 5, 20);
+        let events = r.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[1].name, "b");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let r = TraceRing::new(3);
+        for i in 0..10 {
+            r.push("x", i, 1);
+        }
+        let events = r.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 7, "oldest surviving event");
+        assert_eq!(r.dropped(), 7);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let r = TraceRing::new(0);
+        r.push("a", 0, 1);
+        r.push("b", 1, 1);
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.snapshot()[0].name, "b");
+        assert_eq!(r.dropped(), 1);
+    }
+}

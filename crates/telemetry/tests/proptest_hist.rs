@@ -1,0 +1,89 @@
+//! Property tests for the lock-free histogram: merge forms a
+//! commutative monoid, quantiles are monotone and bracketed by the
+//! recorded samples, and snapshots agree with a reference computation.
+
+use mbd_telemetry::{HistSnapshot, Histogram};
+use proptest::prelude::*;
+
+fn snap_of(vals: &[u64]) -> HistSnapshot {
+    let h = Histogram::new();
+    for &v in vals {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(0u64),
+            1u64..1_000,
+            1_000u64..10_000_000,
+            (0u32..63).prop_map(|s| 1u64 << s),
+            Just(u64::MAX),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative(a in arb_samples(), b in arb_samples(), c in arb_samples()) {
+        let (sa, sb, sc) = (snap_of(&a), snap_of(&b), snap_of(&c));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+    }
+
+    #[test]
+    fn merge_is_commutative_with_identity(a in arb_samples(), b in arb_samples()) {
+        let (sa, sb) = (snap_of(&a), snap_of(&b));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+        prop_assert_eq!(sa.merge(&HistSnapshot::empty()), sa);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_concatenation(a in arb_samples(), b in arb_samples()) {
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(snap_of(&a).merge(&snap_of(&b)), snap_of(&both));
+    }
+
+    #[test]
+    fn count_sum_max_match_reference(vals in arb_samples()) {
+        let s = snap_of(&vals);
+        prop_assert_eq!(s.count(), vals.len() as u64);
+        let sum: u64 = vals.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(s.sum_ns, sum);
+        prop_assert_eq!(s.max_ns, vals.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(vals in arb_samples()) {
+        let s = snap_of(&vals);
+        let qs = [0.0, 0.25, 0.5, 0.9, 0.99, 1.0];
+        let mut prev = 0u64;
+        for &q in &qs {
+            let v = s.quantile_ns(q);
+            prop_assert!(v >= prev, "quantile({q}) = {v} below quantile of smaller q = {prev}");
+            prop_assert!(v <= s.max_ns, "quantile({q}) = {v} above max {}", s.max_ns);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn quantile_brackets_true_rank_within_a_bucket(vals in arb_samples()) {
+        prop_assume!(!vals.is_empty());
+        let s = snap_of(&vals);
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        for (q, idx) in [(0.5, sorted.len().div_ceil(2) - 1), (1.0, sorted.len() - 1)] {
+            let truth = sorted[idx];
+            let est = s.quantile_ns(q);
+            // Log2 buckets: the estimate is the bucket's inclusive upper
+            // bound, so truth <= est < 2 * truth (clamped at the max).
+            prop_assert!(est >= truth, "q{q}: est {est} < true {truth}");
+            if est != s.max_ns {
+                prop_assert!(est < truth.saturating_mul(2), "q{q}: est {est} >= 2x true {truth}");
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Self-instrumentation by delegation: the server monitors itself.
+//!
+//! PR 2's telemetry layer exports the server's own latency histograms,
+//! counters and gauges as the `mbdTelemetry` OCP subtree
+//! (`enterprises.20100.4`). That closes a loop the paper only gestures
+//! at: the *same* delegation machinery that manages network devices can
+//! manage the management server, because its introspection data is
+//! ordinary MIB data. Here a delegated agent computes a health function
+//! over the server's own p99 invoke latency and notification-queue
+//! depth — using nothing but `mib_walk`/`mib_get` — and notifies the
+//! manager on degradation transitions.
+//!
+//! Run with: `cargo run --example self_health`
+
+use mbd::core::ocp::SnmpOcp;
+use mbd::core::{ElasticConfig, ElasticProcess, MbdServer};
+use mbd::rds::{LoopbackTransport, RdsClient};
+use std::sync::Arc;
+
+/// The delegated self-health agent. It resolves histogram and gauge
+/// rows by *name* (the name columns of the telemetry tables), so it
+/// survives metrics appearing in any order.
+const SELF_HEALTH: &str = r#"
+var alarmed = false;
+
+// Index arc of the row whose name-column value equals `name`.
+fn row_index(column_oid, name) {
+    var names = mib_walk(column_oid);
+    for (oid in names) {
+        if (names[oid] == name) {
+            var parts = split(oid, ".");
+            return parts[len(parts) - 1];
+        }
+    }
+    return "";
+}
+
+// The server health function: degraded when p99 invoke latency (µs)
+// or the undrained-notification backlog crosses its threshold.
+fn check(p99_limit_us, queue_limit) {
+    var hist = "1.3.6.1.4.1.20100.4.3.1";
+    var gauges = "1.3.6.1.4.1.20100.4.2.1";
+    var h = row_index(hist + ".1", "ep.invoke");
+    var g = row_index(gauges + ".1", "ep.notifications_queued");
+    if (h == "" || g == "") {
+        return ["no-data", 0, 0];
+    }
+    var p99 = mib_get(hist + ".6." + h);
+    var depth = mib_get(gauges + ".2." + g);
+    var degraded = p99 > p99_limit_us || depth > queue_limit;
+    if (degraded && !alarmed) {
+        alarmed = true;
+        notify(["server degraded", p99, depth]);
+    }
+    if (!degraded && alarmed) {
+        alarmed = false;
+        notify(["server recovered", p99, depth]);
+    }
+    if (degraded) { return ["degraded", p99, depth]; }
+    return ["healthy", p99, depth];
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let process = ElasticProcess::new(ElasticConfig::default());
+    let server = Arc::new(MbdServer::open(process.clone()));
+
+    // A manager drives ordinary RDS traffic so the latency histograms
+    // have something to say.
+    let s = Arc::clone(&server);
+    let client =
+        RdsClient::new(LoopbackTransport::new(move |b: &[u8]| s.process_request(b)), "noc");
+    client.delegate(
+        "work",
+        "fn main(n) { var s = 0; for (i in range(n)) { s = s + i; } return s; }",
+    )?;
+    let worker = client.instantiate("work")?;
+    for _ in 0..50 {
+        client.invoke(worker, "main", &[mbd::ber::BerValue::Integer(200)])?;
+    }
+
+    // The OCP publishes the telemetry registry into the shared MIB.
+    let ocp = SnmpOcp::new(process.clone(), "public");
+    ocp.refresh();
+
+    // Delegate the health agent to the server it is judging.
+    process.delegate("self-health", SELF_HEALTH)?;
+    let dpi = process.instantiate("self-health")?;
+
+    // Generous thresholds: healthy.
+    let verdict = process.invoke(dpi, "check", &[10_000_000.into(), 100.into()])?;
+    println!("lenient thresholds : {verdict}");
+
+    // Impossible thresholds: the agent raises a degradation event.
+    ocp.refresh();
+    let verdict = process.invoke(dpi, "check", &[0.into(), 0.into()])?;
+    println!("strict thresholds  : {verdict}");
+    for n in process.drain_notifications() {
+        println!("notification from {}: {}", n.dpi, n.value);
+    }
+
+    // The same numbers, straight off the registry.
+    println!("\n{}", process.telemetry().snapshot_text());
+    Ok(())
+}

@@ -14,6 +14,58 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> telemetry smoke: integration tests (histograms + OCP walk)"
+# Drives RDS verbs through the protocol front-end, asserts non-zero
+# per-verb latency histograms, and walks the mbdTelemetry OCP subtree
+# with the legacy SNMP manager engine.
+cargo test --release -q --test telemetry
+
+echo "==> telemetry smoke: live server binary"
+SMOKE_DIR="$(mktemp -d)"
+SMOKE_LOG="$SMOKE_DIR/server.log"
+SMOKE_PORT=$((21000 + RANDOM % 20000))
+echo 'fn main() { return 41 + 1; }' > "$SMOKE_DIR/work.dpl"
+./target/release/mbd-server --listen "127.0.0.1:$SMOKE_PORT" --stats 1 \
+    > "$SMOKE_LOG" 2>&1 &
+SMOKE_PID=$!
+cleanup_smoke() {
+    kill "$SMOKE_PID" 2>/dev/null || true
+    rm -rf "$SMOKE_DIR"
+}
+trap cleanup_smoke EXIT
+MBDCTL=(./target/release/mbdctl --server "127.0.0.1:$SMOKE_PORT")
+for _ in $(seq 1 50); do
+    "${MBDCTL[@]}" programs >/dev/null 2>&1 && break
+    sleep 0.1
+done
+"${MBDCTL[@]}" delegate smoke "$SMOKE_DIR/work.dpl" >/dev/null
+SMOKE_DPI="$("${MBDCTL[@]}" instantiate smoke)"
+for _ in 1 2 3 4 5; do
+    "${MBDCTL[@]}" invoke "$SMOKE_DPI" main >/dev/null
+done
+"${MBDCTL[@]}" suspend "$SMOKE_DPI" >/dev/null
+"${MBDCTL[@]}" resume "$SMOKE_DPI" >/dev/null
+sleep 2 # let a --stats tick print the filled histograms
+kill "$SMOKE_PID" 2>/dev/null || true
+wait "$SMOKE_PID" 2>/dev/null || true
+for metric in 'rds\.verb\.invoke +5 ' 'ep\.invoke +5 ' \
+    'rds\.verb\.suspend +1 ' 'rds\.tcp\.request +[1-9]'; do
+    grep -Eq "  $metric" "$SMOKE_LOG" || {
+        echo "smoke FAILED: \`$metric\` not in the server's --stats output:"
+        cat "$SMOKE_LOG"
+        exit 1
+    }
+done
+echo "smoke ok: per-verb histograms filled ($(grep -c 'telemetry snapshot' "$SMOKE_LOG") stats ticks)"
+
+echo "==> telemetry smoke: self-health example"
+cargo run --release -q --example self_health > "$SMOKE_DIR/self_health.out"
+grep -q "server degraded" "$SMOKE_DIR/self_health.out" || {
+    echo "smoke FAILED: self_health example did not raise a degradation event"
+    cat "$SMOKE_DIR/self_health.out"
+    exit 1
+}
+
 echo "==> cargo test (tier-1: root package)"
 cargo test -q
 

@@ -2,7 +2,7 @@
 //!
 //! ```console
 //! mbd-server [--listen 127.0.0.1:4700] [--key SECRET] [--demo-mib]
-//!            [--snmp 127.0.0.1:1161] [--community public]
+//!            [--snmp 127.0.0.1:1161] [--community public] [--stats SECS]
 //! ```
 //!
 //! With `--demo-mib` the server's MIB is pre-populated with the MIB-II
@@ -14,9 +14,14 @@
 //! OCP adapter: device data, delegated agents' published objects, and
 //! the server's own status subtree, e.g.
 //! `snmpwalk -v1 -c public 127.0.0.1:1161 1.3.6.1.4.1.20100.1`.
+//!
+//! With `--stats SECS` the server prints its own telemetry registry
+//! (per-verb latency histograms, transport counters, queue-depth
+//! gauges) every SECS seconds. The same numbers are exported as the
+//! `mbdTelemetry` subtree (`enterprises.20100.4`) over `--snmp`.
 
 use mbd::core::{ElasticConfig, ElasticProcess, MbdServer};
-use mbd::rds::TcpServer;
+use mbd::rds::{TcpServer, TcpServerConfig};
 use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,6 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut demo_mib = false;
     let mut snmp_listen: Option<String> = None;
     let mut community = "public".to_string();
+    let mut stats_every: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -34,10 +40,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--demo-mib" => demo_mib = true,
             "--snmp" => snmp_listen = Some(args.next().ok_or("--snmp needs an address")?),
             "--community" => community = args.next().ok_or("--community needs a name")?,
+            "--stats" => {
+                let secs: u64 =
+                    args.next().ok_or("--stats needs an interval in seconds")?.parse()?;
+                stats_every = Some(secs.max(1));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: mbd-server [--listen ADDR] [--key SECRET] [--demo-mib] \
-                     [--snmp ADDR] [--community NAME]"
+                     [--snmp ADDR] [--community NAME] [--stats SECS]"
                 );
                 return Ok(());
             }
@@ -57,9 +68,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let server =
         Arc::new(MbdServer::with_policy(process.clone(), mbd_auth::Acl::allow_by_default(), key));
 
+    // The transport records into the process's telemetry domain, so one
+    // snapshot (and one OCP subtree) covers rds.tcp.*, rds.verb.* and
+    // the ep.* runtime metrics together.
     let tcp = {
         let server = Arc::clone(&server);
-        TcpServer::spawn(listen.as_str(), move |bytes| server.process_request(bytes))?
+        let config = TcpServerConfig {
+            telemetry: Some(process.telemetry().clone()),
+            ..TcpServerConfig::default()
+        };
+        TcpServer::spawn_with(listen.as_str(), config, move |bytes| server.process_request(bytes))?
     };
     println!(
         "mbd-server listening on {} (auth: {})",
@@ -84,15 +102,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("press ctrl-c to stop");
 
-    // Periodically surface agent notifications and log lines.
+    // Periodically surface agent notifications, log lines, and (with
+    // --stats) the server's own telemetry registry.
+    let mut seconds: u64 = 0;
     loop {
         std::thread::sleep(std::time::Duration::from_secs(1));
+        seconds += 1;
         process.advance_ticks(100);
         for note in process.drain_notifications() {
             println!("[notify] {}: {}", note.dpi, note.value);
         }
         for line in process.drain_log() {
             println!("[agent]  {line}");
+        }
+        if let Some(every) = stats_every {
+            if seconds.is_multiple_of(every) {
+                println!("[stats]\n{}", process.telemetry().snapshot_text());
+            }
         }
     }
 }

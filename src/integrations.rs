@@ -70,8 +70,13 @@ fn result_to_value(result: &ViewResult) -> Value {
 /// # }
 /// ```
 pub fn install_view_services(process: &ElasticProcess, mcva: Mcva) {
+    // View evaluation runs inside agent invocations; per-operation
+    // timers make its cost visible separately from `ep.invoke`.
+    let telemetry = process.telemetry();
     let m = mcva.clone();
+    let timer = telemetry.timer("vdl.define");
     process.register_service("view_define", 2, move |_, args| {
+        let _span = timer.start();
         let name = args[0].as_str().ok_or("view_define: name must be str")?;
         let text = args[1].as_str().ok_or("view_define: text must be str")?;
         // Agents may redefine freely: drop any previous definition.
@@ -81,20 +86,26 @@ pub fn install_view_services(process: &ElasticProcess, mcva: Mcva) {
     });
 
     let m = mcva.clone();
+    let timer = telemetry.timer("vdl.eval");
     process.register_service("view_eval", 1, move |_, args| {
+        let _span = timer.start();
         let name = args[0].as_str().ok_or("view_eval: name must be str")?;
         let result = m.evaluate(name).map_err(|e| e.to_string())?;
         Ok(result_to_value(&result))
     });
 
     let m = mcva.clone();
+    let timer = telemetry.timer("vdl.eval_snapshot");
     process.register_service("view_eval_snapshot", 1, move |_, args| {
+        let _span = timer.start();
         let name = args[0].as_str().ok_or("view_eval_snapshot: name must be str")?;
         let result = m.evaluate_snapshot(name).map_err(|e| e.to_string())?;
         Ok(result_to_value(&result))
     });
 
+    let timer = telemetry.timer("vdl.materialize");
     process.register_service("view_materialize", 1, move |_, args| {
+        let _span = timer.start();
         let name = args[0].as_str().ok_or("view_materialize: name must be str")?;
         let root = mcva.materialize(name).map_err(|e| e.to_string())?;
         Ok(Value::Str(root.to_string()))

@@ -21,6 +21,10 @@
 //!   run on.
 //! - [`ber`] — the shared ASN.1 BER codec.
 //! - [`auth`] — MD5 digests and handle-based access control.
+//! - [`telemetry`] — self-instrumentation: lock-free latency
+//!   histograms, counters/gauges, and tracing spans, exported through
+//!   the `mbdTelemetry` OCP subtree so agents can be delegated against
+//!   the server's own health (see `examples/self_health.rs`).
 //!
 //! # Quickstart
 //!
@@ -47,6 +51,7 @@ pub use dpl;
 pub use health;
 pub use mbd_auth as auth;
 pub use mbd_core as core;
+pub use mbd_telemetry as telemetry;
 pub use netsim;
 pub use rds;
 pub use snmp;
