@@ -188,6 +188,24 @@ pub fn run(iters: u32) -> (Report, Vec<MicroRow>) {
         );
     }
 
+    // Accounting self-cost: what PR 3's per-dpi resource account spends
+    // on every invocation (a handful of relaxed atomic adds plus the
+    // trace stamp). The release-mode test below holds it to the
+    // documented <150 ns budget.
+    {
+        let account = mbd_core::DpiAccount::default();
+        let acct_iters = iters.max(10_000);
+        let mut trace = 0u64;
+        add(
+            "accounting: record invocation",
+            time_us(acct_iters, || {
+                trace = trace.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                account.touch_trace(trace);
+                account.record_invocation(true, 1_000, 42);
+            }),
+        );
+    }
+
     // Ablation: the same compute-bound program through the bytecode VM
     // vs the tree-walking interpreter (why the Translator compiles).
     {
@@ -228,8 +246,8 @@ mod tests {
     #[test]
     fn all_primitives_are_measured() {
         let (report, rows) = run(50);
-        assert_eq!(rows.len(), 14);
-        assert_eq!(report.rows.len(), 14);
+        assert_eq!(rows.len(), 15);
+        assert_eq!(report.rows.len(), 15);
         for r in &rows {
             assert!(r.mean_us > 0.0, "{} measured nothing", r.operation);
             assert!(r.mean_us < 1e6, "{} implausibly slow: {}us", r.operation, r.mean_us);
@@ -247,6 +265,17 @@ mod tests {
         assert!(span.mean_us < 0.1, "span enter/exit budget blown: {} us/op", span.mean_us);
         let rec = rows.iter().find(|r| r.operation == "telemetry: histogram record").unwrap();
         assert!(rec.mean_us < 0.1, "histogram record budget blown: {} us/op", rec.mean_us);
+    }
+
+    /// The documented accounting budget: charging one invocation to a
+    /// dpi's resource account (atomic adds + trace stamp) stays under
+    /// 150 ns. Only meaningful with optimizations on.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn accounting_overhead_stays_under_budget() {
+        let (_, rows) = run(200);
+        let acct = rows.iter().find(|r| r.operation == "accounting: record invocation").unwrap();
+        assert!(acct.mean_us < 0.15, "accounting budget blown: {} us/op", acct.mean_us);
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! The audit journal: a bounded ring of structured accountability
+//! records.
+//!
+//! Delegated code is only trustworthy when its actions are accountable —
+//! the journal records every RDS operation, lifecycle transition, quota
+//! breach and handler panic, each stamped with the trace id of the
+//! request that caused it, so a manager can reconstruct *who did what to
+//! which dpi and how it ended* after the fact.
+//!
+//! Storage follows the server's uniform backpressure discipline: a
+//! drop-oldest ring with a monotone sequence counter, so a journal
+//! nobody reads costs bounded memory, and gaps in `seq` are an honest
+//! record of eviction.
+
+use parking_lot::Mutex;
+use rds::AuditRecord;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A bounded drop-oldest ring of [`AuditRecord`]s.
+pub struct Journal {
+    ring: Mutex<VecDeque<AuditRecord>>,
+    capacity: usize,
+    next_seq: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Journal {
+    /// An empty journal holding at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> Journal {
+        Journal {
+            ring: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            next_seq: AtomicU64::new(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends a record, assigning and returning its sequence number
+    /// (evicting the oldest record at capacity).
+    #[allow(clippy::too_many_arguments)] // one argument per AuditRecord field
+    pub fn record(
+        &self,
+        ticks: u64,
+        trace_id: u64,
+        principal: &str,
+        verb: &str,
+        dpi: u64,
+        ok: bool,
+        detail: &str,
+    ) -> u64 {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let rec = AuditRecord {
+            seq,
+            ticks,
+            trace_id,
+            principal: principal.to_string(),
+            verb: verb.to_string(),
+            dpi,
+            ok,
+            detail: detail.to_string(),
+        };
+        let mut ring = self.ring.lock();
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(rec);
+        seq
+    }
+
+    /// The newest `max` records, oldest first (all of them when `max`
+    /// is 0 or exceeds the ring).
+    pub fn tail(&self, max: usize) -> Vec<AuditRecord> {
+        let ring = self.ring.lock();
+        let take = if max == 0 { ring.len() } else { max.min(ring.len()) };
+        ring.iter().skip(ring.len() - take).cloned().collect()
+    }
+
+    /// Records with `seq > after`, oldest first — the incremental read
+    /// used by `mbd-server --journal` to append only new records.
+    pub fn since(&self, after: u64) -> Vec<AuditRecord> {
+        self.ring.lock().iter().filter(|r| r.seq > after).cloned().collect()
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records evicted since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Journal")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(j: &Journal, n: u64) {
+        for i in 0..n {
+            j.record(i, 0x100 + i, "mgr", "invoke", 1, true, "");
+        }
+    }
+
+    #[test]
+    fn records_are_sequenced_from_one() {
+        let j = Journal::new(8);
+        assert_eq!(j.record(5, 7, "mgr", "delegate", 0, true, ""), 1);
+        assert_eq!(j.record(6, 8, "mgr", "instantiate", 0, true, ""), 2);
+        let tail = j.tail(0);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].seq, 1);
+        assert_eq!(tail[0].verb, "delegate");
+        assert_eq!(tail[1].trace_id, 8);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let j = Journal::new(3);
+        fill(&j, 10);
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 7);
+        let tail = j.tail(0);
+        assert_eq!(tail[0].seq, 8, "oldest surviving record");
+        assert_eq!(tail[2].seq, 10);
+    }
+
+    #[test]
+    fn tail_returns_the_newest_records() {
+        let j = Journal::new(16);
+        fill(&j, 5);
+        let tail = j.tail(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].seq, 4);
+        assert_eq!(tail[1].seq, 5);
+        assert_eq!(j.tail(99).len(), 5);
+    }
+
+    #[test]
+    fn since_is_incremental() {
+        let j = Journal::new(16);
+        fill(&j, 5);
+        assert_eq!(j.since(0).len(), 5);
+        assert_eq!(j.since(3).iter().map(|r| r.seq).collect::<Vec<_>>(), vec![4, 5]);
+        assert!(j.since(5).is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let j = Journal::new(0);
+        fill(&j, 2);
+        assert_eq!(j.capacity(), 1);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.tail(0)[0].seq, 2);
+    }
+}

@@ -47,16 +47,21 @@ pub mod ocp;
 pub mod services;
 
 mod error;
+mod journal;
 mod process;
 mod repository;
 mod server;
 mod worker;
 
 pub use error::CoreError;
-pub use process::{DpiInfo, ElasticConfig, ElasticProcess, EventQueue, ProcessStats};
+pub use journal::Journal;
+pub use process::{
+    DpiAccount, DpiAccountRow, DpiAccountSnapshot, DpiInfo, DpiQuota, ElasticConfig,
+    ElasticProcess, EventQueue, ProcessStats,
+};
 pub use repository::{Repository, StoredDp};
 pub use server::MbdServer;
 pub use services::{Notification, PendingAction, ServerCtx};
 pub use worker::PeriodicDriver;
 
-pub use rds::{DpiId, DpiState};
+pub use rds::{AuditRecord, DpiId, DpiState};

@@ -113,6 +113,38 @@ pub fn telemetry_bucket_entry() -> Oid {
     mbd_telemetry_root().child(4).child(1)
 }
 
+/// Root of the per-dpi accounting subtree (`enterprises.20100.5` —
+/// `mbdDpiAccounting`). One row per live dpi under
+/// [`accounting_entry`], indexed by dpi id
+/// (`<entry>.<col>.<dpi>`):
+///
+/// | col | object | type |
+/// |---|---|---|
+/// | `.1` | dp name | OctetString |
+/// | `.2` | lifecycle state code | Integer |
+/// | `.3` | invocations ok | Counter32 |
+/// | `.4` | invocations failed | Counter32 |
+/// | `.5` | busy time µs | Counter32 |
+/// | `.6` | VM fuel | Counter32 |
+/// | `.7` | RDS bytes in | Counter32 |
+/// | `.8` | RDS bytes out | Counter32 |
+/// | `.9` | notifications emitted | Counter32 |
+/// | `.10` | log lines emitted | Counter32 |
+/// | `.11` | queue evictions charged | Counter32 |
+/// | `.12` | last trace id, 16 hex digits | OctetString |
+///
+/// Rows are refreshed for live dpis only; a terminated dpi's row keeps
+/// its last published values (rows are never retracted, matching the
+/// telemetry tables).
+pub fn mbd_accounting_root() -> Oid {
+    "1.3.6.1.4.1.20100.5".parse().expect("static oid")
+}
+
+/// `mbdDpiAcctEntry` — accounting rows live under here.
+pub fn accounting_entry() -> Oid {
+    mbd_accounting_root().child(1).child(1)
+}
+
 /// Stable name → row-index maps for the telemetry tables. Indices are
 /// handed out in first-seen order and never reclaimed, so rows keep
 /// their OIDs across refreshes even as new metrics appear.
@@ -190,6 +222,34 @@ impl SnmpOcp {
         );
         let _ = mib.set_scalar(log_dropped(), BerValue::Counter32(stats.log_dropped as u32));
         self.refresh_telemetry();
+        self.refresh_accounting();
+    }
+
+    /// Publishes per-dpi resource accounts into the `mbdDpiAccounting`
+    /// table (see [`mbd_accounting_root`]), one row per live dpi indexed
+    /// by dpi id. A manager — or a delegated watchdog agent — reads who
+    /// is consuming what with ordinary `mib_walk`.
+    pub fn refresh_accounting(&self) {
+        let mib = self.process.mib();
+        let c32 = |v: u64| BerValue::Counter32(u32::try_from(v).unwrap_or(u32::MAX));
+        for row in self.process.account_rows() {
+            let a = row.account;
+            let _ = snmp::TableBuilder::new(mib, accounting_entry())
+                .row(&[row.id.0 as u32])
+                .col(1, BerValue::from(row.dp_name.as_str()))
+                .col(2, BerValue::Integer(row.state.code()))
+                .col(3, c32(a.invocations_ok))
+                .col(4, c32(a.invocations_failed))
+                .col(5, c32(a.busy_ns / 1_000))
+                .col(6, c32(a.vm_fuel))
+                .col(7, c32(a.bytes_in))
+                .col(8, c32(a.bytes_out))
+                .col(9, c32(a.notifications))
+                .col(10, c32(a.log_lines))
+                .col(11, c32(a.queue_drops))
+                .col(12, BerValue::from(format!("{:016x}", a.last_trace_id).as_str()))
+                .finish();
+        }
     }
 
     /// Publishes the telemetry registry into the `mbdTelemetry` tables
@@ -404,6 +464,47 @@ mod tests {
         for arc in 1..=4u32 {
             let prefix = mbd_telemetry_root().child(arc);
             assert!(rows.iter().any(|vb| vb.oid.starts_with(&prefix)), "no rows under table {arc}");
+        }
+    }
+
+    #[test]
+    fn accounting_table_reports_per_dpi_usage() {
+        let p = ElasticProcess::new(ElasticConfig::default());
+        p.delegate("w", "fn main() { log(\"x\"); return 0; }").unwrap();
+        let a = p.instantiate("w").unwrap();
+        let b = p.instantiate("w").unwrap();
+        p.invoke(a, "main", &[]).unwrap();
+        p.invoke(a, "main", &[]).unwrap();
+        p.invoke(b, "main", &[]).unwrap();
+        let ocp = SnmpOcp::new(p.clone(), "public");
+        ocp.refresh();
+        let mib = p.mib();
+        let col =
+            |c: u32, id: crate::DpiId| mib.get(&accounting_entry().child(c).child(id.0 as u32));
+        assert_eq!(col(1, a), Some(BerValue::from("w")));
+        assert_eq!(col(3, a), Some(BerValue::Counter32(2)));
+        assert_eq!(col(3, b), Some(BerValue::Counter32(1)));
+        assert_eq!(col(4, a), Some(BerValue::Counter32(0)));
+        assert_eq!(col(10, a), Some(BerValue::Counter32(2)), "two log lines");
+        // Untraced local invocations leave an all-zero last trace id.
+        assert_eq!(col(12, a), Some(BerValue::from("0000000000000000")));
+        // Fuel was consumed and published.
+        assert!(matches!(col(6, a), Some(BerValue::Counter32(f)) if f > 0));
+    }
+
+    #[test]
+    fn snmp_manager_walks_the_accounting_subtree() {
+        let p = ElasticProcess::new(ElasticConfig::default());
+        p.delegate("w", "fn main() { return 0; }").unwrap();
+        let dpi = p.instantiate("w").unwrap();
+        p.invoke(dpi, "main", &[]).unwrap();
+        let ocp = SnmpOcp::new(p.clone(), "public");
+        let mut mgr = SnmpManager::new("public");
+        let rows = mgr.walk(&mbd_accounting_root(), |req| ocp.handle(req)).unwrap();
+        // Twelve columns for the one live dpi.
+        assert_eq!(rows.len(), 12);
+        for vb in &rows {
+            assert!(vb.oid.starts_with(&mbd_accounting_root()), "{} escaped", vb.oid);
         }
     }
 

@@ -1,0 +1,233 @@
+//! Per-dpi resource accounting.
+//!
+//! The paper's premise is that delegated programs are *controlled*
+//! remote computations — which requires the server to account for what
+//! each dpi consumes, not just for aggregate process totals. A
+//! [`DpiAccount`] hangs off every table slot and is maintained with the
+//! same lock-free discipline as `ProcessStats`: plain relaxed atomic
+//! counters, bumped on the invoke/notify/log hot paths, snapshot on
+//! demand by the `mbdDpiAccounting` OCP table.
+//!
+//! An optional [`DpiQuota`] turns the account from observation into
+//! enforcement: after each invocation the runtime checks the account
+//! against the quota and suspends the dpi on the first breached
+//! dimension (the runaway-agent brake).
+
+use rds::{DpiId, DpiState};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free per-dpi resource counters. All fields are cumulative over
+/// the dpi's lifetime; writers use relaxed atomics so accounting adds no
+/// synchronization to the paths it measures.
+#[derive(Debug, Default)]
+pub struct DpiAccount {
+    /// Invocations that returned a value.
+    pub invocations_ok: AtomicU64,
+    /// Invocations that faulted (the dpi is terminated on fault, so at
+    /// most one — unless the embedder resurrects state).
+    pub invocations_failed: AtomicU64,
+    /// Nanoseconds spent executing this dpi's invocations (wall time of
+    /// the VM call on its serving thread — per-dpi invocations are
+    /// serialized, so this is also its CPU-thread time upper bound).
+    pub busy_ns: AtomicU64,
+    /// VM fuel consumed across invocations (the DPL budget unit — the
+    /// platform-neutral CPU proxy).
+    pub vm_fuel: AtomicU64,
+    /// Request bytes attributed to this dpi at the RDS boundary.
+    pub bytes_in: AtomicU64,
+    /// Response bytes attributed to this dpi at the RDS boundary.
+    pub bytes_out: AtomicU64,
+    /// Notifications this dpi emitted.
+    pub notifications: AtomicU64,
+    /// Log lines this dpi emitted.
+    pub log_lines: AtomicU64,
+    /// Outbox/log entries evicted because this dpi pushed into a full
+    /// queue (the eviction is charged to the pusher).
+    pub queue_drops: AtomicU64,
+    /// Trace id of the last request that touched this dpi (0 = none).
+    pub last_trace_id: AtomicU64,
+}
+
+impl DpiAccount {
+    /// Records one finished invocation.
+    pub fn record_invocation(&self, ok: bool, busy_ns: u64, fuel: u64) {
+        if ok {
+            self.invocations_ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.invocations_failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
+        self.vm_fuel.fetch_add(fuel, Ordering::Relaxed);
+    }
+
+    /// Stamps the trace id of the request currently touching this dpi
+    /// (0 is ignored, so untraced requests do not erase the last trace).
+    pub fn touch_trace(&self, trace_id: u64) {
+        if trace_id != 0 {
+            self.last_trace_id.store(trace_id, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> DpiAccountSnapshot {
+        DpiAccountSnapshot {
+            invocations_ok: self.invocations_ok.load(Ordering::Relaxed),
+            invocations_failed: self.invocations_failed.load(Ordering::Relaxed),
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+            vm_fuel: self.vm_fuel.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            notifications: self.notifications.load(Ordering::Relaxed),
+            log_lines: self.log_lines.load(Ordering::Relaxed),
+            queue_drops: self.queue_drops.load(Ordering::Relaxed),
+            last_trace_id: self.last_trace_id.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value copy of a [`DpiAccount`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DpiAccountSnapshot {
+    /// See [`DpiAccount::invocations_ok`].
+    pub invocations_ok: u64,
+    /// See [`DpiAccount::invocations_failed`].
+    pub invocations_failed: u64,
+    /// See [`DpiAccount::busy_ns`].
+    pub busy_ns: u64,
+    /// See [`DpiAccount::vm_fuel`].
+    pub vm_fuel: u64,
+    /// See [`DpiAccount::bytes_in`].
+    pub bytes_in: u64,
+    /// See [`DpiAccount::bytes_out`].
+    pub bytes_out: u64,
+    /// See [`DpiAccount::notifications`].
+    pub notifications: u64,
+    /// See [`DpiAccount::log_lines`].
+    pub log_lines: u64,
+    /// See [`DpiAccount::queue_drops`].
+    pub queue_drops: u64,
+    /// See [`DpiAccount::last_trace_id`].
+    pub last_trace_id: u64,
+}
+
+/// One row of the accounting table: a dpi's identity plus a snapshot of
+/// its account (what `mbdDpiAccounting` publishes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DpiAccountRow {
+    /// Instance id (the table row index).
+    pub id: DpiId,
+    /// Program the dpi instantiates.
+    pub dp_name: String,
+    /// Lifecycle state at snapshot time.
+    pub state: DpiState,
+    /// The resource counters.
+    pub account: DpiAccountSnapshot,
+}
+
+/// Cumulative per-dpi resource limits. `None` means unlimited. Checked
+/// after each invocation; the first breached dimension suspends the dpi
+/// (an admin `resume` re-arms it, and it will trip again on the next
+/// invocation unless the quota is raised or cleared).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DpiQuota {
+    /// Maximum total invocations (ok + failed).
+    pub max_invocations: Option<u64>,
+    /// Maximum cumulative execution nanoseconds.
+    pub max_busy_ns: Option<u64>,
+    /// Maximum cumulative VM fuel.
+    pub max_vm_fuel: Option<u64>,
+    /// Maximum notifications emitted.
+    pub max_notifications: Option<u64>,
+    /// Maximum log lines emitted.
+    pub max_log_lines: Option<u64>,
+}
+
+impl DpiQuota {
+    /// The first breached dimension as `(name, limit, actual)`, or
+    /// `None` while the account is within every limit.
+    pub fn breached(&self, account: &DpiAccount) -> Option<(&'static str, u64, u64)> {
+        let over = |limit: Option<u64>, actual: u64| match limit {
+            Some(l) if actual > l => Some(l),
+            _ => None,
+        };
+        let invocations = account.invocations_ok.load(Ordering::Relaxed)
+            + account.invocations_failed.load(Ordering::Relaxed);
+        if let Some(l) = over(self.max_invocations, invocations) {
+            return Some(("invocations", l, invocations));
+        }
+        let busy = account.busy_ns.load(Ordering::Relaxed);
+        if let Some(l) = over(self.max_busy_ns, busy) {
+            return Some(("busy_ns", l, busy));
+        }
+        let fuel = account.vm_fuel.load(Ordering::Relaxed);
+        if let Some(l) = over(self.max_vm_fuel, fuel) {
+            return Some(("vm_fuel", l, fuel));
+        }
+        let notifications = account.notifications.load(Ordering::Relaxed);
+        if let Some(l) = over(self.max_notifications, notifications) {
+            return Some(("notifications", l, notifications));
+        }
+        let log_lines = account.log_lines.load(Ordering::Relaxed);
+        if let Some(l) = over(self.max_log_lines, log_lines) {
+            return Some(("log_lines", l, log_lines));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_invocation_accumulates() {
+        let a = DpiAccount::default();
+        a.record_invocation(true, 100, 7);
+        a.record_invocation(false, 50, 3);
+        let s = a.snapshot();
+        assert_eq!(s.invocations_ok, 1);
+        assert_eq!(s.invocations_failed, 1);
+        assert_eq!(s.busy_ns, 150);
+        assert_eq!(s.vm_fuel, 10);
+    }
+
+    #[test]
+    fn touch_trace_ignores_zero() {
+        let a = DpiAccount::default();
+        a.touch_trace(0xAB);
+        a.touch_trace(0);
+        assert_eq!(a.snapshot().last_trace_id, 0xAB);
+    }
+
+    #[test]
+    fn default_quota_never_breaches() {
+        let a = DpiAccount::default();
+        a.record_invocation(true, u64::MAX / 2, u64::MAX / 2);
+        assert_eq!(DpiQuota::default().breached(&a), None);
+    }
+
+    #[test]
+    fn quota_reports_first_breached_dimension() {
+        let a = DpiAccount::default();
+        for _ in 0..5 {
+            a.record_invocation(true, 1_000, 10);
+        }
+        let q = DpiQuota { max_invocations: Some(3), max_busy_ns: Some(1), ..DpiQuota::default() };
+        assert_eq!(q.breached(&a), Some(("invocations", 3, 5)));
+        let q = DpiQuota { max_busy_ns: Some(4_999), ..DpiQuota::default() };
+        assert_eq!(q.breached(&a), Some(("busy_ns", 4_999, 5_000)));
+        let q = DpiQuota { max_vm_fuel: Some(50), ..DpiQuota::default() };
+        assert_eq!(q.breached(&a), None, "exactly at the limit is not a breach");
+    }
+
+    #[test]
+    fn notification_and_log_quotas() {
+        let a = DpiAccount::default();
+        a.notifications.fetch_add(4, Ordering::Relaxed);
+        a.log_lines.fetch_add(9, Ordering::Relaxed);
+        let q = DpiQuota { max_notifications: Some(3), ..DpiQuota::default() };
+        assert_eq!(q.breached(&a), Some(("notifications", 3, 4)));
+        let q = DpiQuota { max_log_lines: Some(8), ..DpiQuota::default() };
+        assert_eq!(q.breached(&a), Some(("log_lines", 8, 9)));
+    }
+}

@@ -29,15 +29,18 @@ impl<T> EventQueue<T> {
         }
     }
 
-    /// Appends `item`, evicting the oldest entry (and counting it
-    /// dropped) when the queue is at capacity.
-    pub fn push(&self, item: T) {
+    /// Appends `item`. At capacity the oldest entry is evicted, counted
+    /// dropped, and returned so the caller can attribute the loss.
+    pub fn push(&self, item: T) -> Option<T> {
         let mut q = self.inner.lock();
-        if q.len() >= self.capacity {
-            q.pop_front();
+        let evicted = if q.len() >= self.capacity {
             self.dropped.fetch_add(1, Ordering::Relaxed);
-        }
+            q.pop_front()
+        } else {
+            None
+        };
         q.push_back(item);
+        evicted
     }
 
     /// Removes and returns everything queued, oldest first.
@@ -110,6 +113,15 @@ mod tests {
         // Draining resets contents but not the loss counter.
         q.drain();
         assert_eq!(q.dropped(), 7);
+    }
+
+    #[test]
+    fn push_returns_the_evicted_entry() {
+        let q = EventQueue::new(2);
+        assert_eq!(q.push(1), None);
+        assert_eq!(q.push(2), None);
+        assert_eq!(q.push(3), Some(1));
+        assert_eq!(q.snapshot(), vec![2, 3]);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Running entry points and applying agent-queued actions.
 
+use super::table::DpiSlot;
 use super::{stats, ElasticProcess};
 use crate::services::{Notification, PendingAction, ServerCtx};
 use crate::CoreError;
@@ -7,6 +8,7 @@ use dpl::Value;
 use parking_lot::Mutex;
 use rds::{DpiId, DpiState};
 use std::sync::Arc;
+use std::time::Instant;
 
 impl ElasticProcess {
     /// **Invoke**: run `entry(args)` on `dpi` under the configured budget.
@@ -32,6 +34,7 @@ impl ElasticProcess {
             }
             DpiState::Ready | DpiState::Running => {}
         }
+        slot.account.touch_trace(mbd_telemetry::current_trace_id());
         let pending = Arc::new(Mutex::new(Vec::new()));
         let mut ctx = ServerCtx {
             mib: self.inner.mib.clone(),
@@ -41,9 +44,10 @@ impl ElasticProcess {
             ticks: Arc::clone(&self.inner.ticks),
             pending: Arc::clone(&pending),
             dpi,
+            account: Arc::clone(&slot.account),
         };
         let registry = self.inner.registry.read();
-        let result = {
+        let (result, busy_ns, fuel) = {
             // The per-slot instance mutex serializes this dpi; no table
             // lock is held, so other dpis stay fully available.
             let mut instance = slot.instance.lock();
@@ -52,15 +56,22 @@ impl ElasticProcess {
             if let Err(state) = slot.try_transition(DpiState::Ready, DpiState::Running) {
                 return Err(CoreError::BadState { dpi, state, operation: "invoke" });
             }
+            let started = Instant::now();
             let r = instance.invoke(entry, args, &mut ctx, &registry, self.inner.config.budget);
+            let busy_ns = started.elapsed().as_nanos() as u64;
+            let fuel = instance.last_stats().fuel_used;
             // Return to Ready unless an admin retargeted the state
             // (e.g. suspended us mid-run) — their transition wins.
             let _ = slot.try_transition(DpiState::Running, DpiState::Ready);
-            r
+            (r, busy_ns, fuel)
         };
+        slot.account.record_invocation(result.is_ok(), busy_ns, fuel);
         let outcome = match result {
             Ok(v) => {
                 stats::bump(&self.inner.stats.invocations_ok);
+                // The account may have crossed its quota during this
+                // invocation (time, fuel, notify/log emissions).
+                self.enforce_quota(dpi, &slot);
                 Ok(v)
             }
             Err(e) => {
@@ -69,6 +80,7 @@ impl ElasticProcess {
                 if slot.force_terminate().is_some() {
                     self.retire(dpi);
                 }
+                self.journal_event("lifecycle.fault", dpi, false, &e.to_string());
                 Err(CoreError::Runtime(e))
             }
         };
@@ -79,6 +91,35 @@ impl ElasticProcess {
             self.apply_pending(dpi, action);
         }
         outcome
+    }
+
+    /// Suspends `dpi` if its account has crossed the armed quota,
+    /// journaling the breach and notifying the manager with the trace id
+    /// of the request that tripped it.
+    fn enforce_quota(&self, dpi: DpiId, slot: &DpiSlot) {
+        let Some(quota) = *slot.quota.lock() else { return };
+        let Some((dimension, limit, actual)) = quota.breached(&slot.account) else { return };
+        // Only a Ready dpi is suspended here; if an admin already moved
+        // the state (or the dpi terminated), their transition stands.
+        if slot.try_transition(DpiState::Ready, DpiState::Suspended).is_err() {
+            return;
+        }
+        self.inner.metrics.quota_breaches.inc();
+        let detail = format!("{dimension}: {actual} > {limit}");
+        self.journal_event("quota.breach", dpi, false, &detail);
+        let note = Notification {
+            dpi,
+            value: Value::list(vec![
+                Value::Str("quota-breach".to_string()),
+                Value::Str(dimension.to_string()),
+                Value::Int(limit as i64),
+                Value::Int(actual as i64),
+            ]),
+            trace_id: mbd_telemetry::current_trace_id(),
+        };
+        if self.inner.outbox.push(note).is_some() {
+            slot.account.queue_drops.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
     }
 
     /// Applies one agent-queued action, reporting the outcome as a
@@ -121,6 +162,7 @@ impl ElasticProcess {
                 ]),
             },
         };
-        self.inner.outbox.push(Notification { dpi: requester, value });
+        let trace_id = mbd_telemetry::current_trace_id();
+        self.inner.outbox.push(Notification { dpi: requester, value, trace_id });
     }
 }

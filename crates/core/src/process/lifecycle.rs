@@ -31,8 +31,10 @@ impl ElasticProcess {
         }
         let id = DpiId(self.inner.next_dpi.fetch_add(1, std::sync::atomic::Ordering::Relaxed));
         let slot = DpiSlot::new(dp_name.to_string(), dpl::Instance::new(&dp.program));
+        *slot.quota.lock() = self.inner.config.quota;
         self.inner.dpis.insert(id, Arc::new(slot));
         stats::bump(&self.inner.stats.instantiations);
+        self.journal_event("lifecycle.instantiate", id, true, dp_name);
         Ok(id)
     }
 
@@ -52,7 +54,10 @@ impl ElasticProcess {
                 return Err(CoreError::BadState { dpi, state: observed, operation: "suspend" });
             }
             match slot.try_transition(observed, DpiState::Suspended) {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    self.journal_event("lifecycle.suspend", dpi, true, "");
+                    return Ok(());
+                }
                 Err(now) => {
                     // Lost the CAS to a concurrent transition; count the
                     // retry so contention is visible in telemetry.
@@ -72,6 +77,7 @@ impl ElasticProcess {
         let _span = self.inner.metrics.resume.start();
         let slot = self.slot(dpi)?;
         slot.try_transition(DpiState::Suspended, DpiState::Ready)
+            .map(|()| self.journal_event("lifecycle.resume", dpi, true, ""))
             .map_err(|state| CoreError::BadState { dpi, state, operation: "resume" })
     }
 
@@ -94,6 +100,7 @@ impl ElasticProcess {
             });
         }
         self.retire(dpi);
+        self.journal_event("lifecycle.terminate", dpi, true, "");
         Ok(())
     }
 

@@ -11,6 +11,7 @@
 //! This module keeps the constructor, configuration, delegation (the
 //! Translator front door) and the drain APIs.
 
+mod account;
 pub(crate) mod events;
 mod invoke;
 mod lifecycle;
@@ -20,9 +21,11 @@ mod table;
 #[cfg(test)]
 mod tests;
 
+pub use account::{DpiAccount, DpiAccountRow, DpiAccountSnapshot, DpiQuota};
 pub use events::EventQueue;
 pub use stats::ProcessStats;
 
+use crate::journal::Journal;
 use crate::services::{self, Notification, ServerCtx};
 use crate::{CoreError, Repository};
 use dpl::{Budget, HostRegistry, Value};
@@ -49,6 +52,13 @@ pub struct ElasticConfig {
     pub notification_capacity: usize,
     /// Capacity of the agent log, with the same drop-oldest policy.
     pub log_capacity: usize,
+    /// Capacity of the audit journal (drop-oldest; gaps in `seq` record
+    /// eviction).
+    pub journal_capacity: usize,
+    /// Resource quota armed on every newly instantiated dpi (`None` =
+    /// unlimited; per-dpi overrides via
+    /// [`ElasticProcess::set_quota`]).
+    pub quota: Option<DpiQuota>,
 }
 
 impl Default for ElasticConfig {
@@ -59,6 +69,8 @@ impl Default for ElasticConfig {
             keep_terminated: true,
             notification_capacity: 4096,
             log_capacity: 4096,
+            journal_capacity: 1024,
+            quota: None,
         }
     }
 }
@@ -95,6 +107,8 @@ pub(in crate::process) struct EpMetrics {
     pub log_queued: Gauge,
     /// `ep.live_instances` — non-terminated dpis at last refresh.
     pub live_instances: Gauge,
+    /// `ep.quota_breaches` — dpis suspended for exceeding their quota.
+    pub quota_breaches: Counter,
 }
 
 impl EpMetrics {
@@ -110,6 +124,7 @@ impl EpMetrics {
             notifications_queued: telemetry.gauge("ep.notifications_queued"),
             log_queued: telemetry.gauge("ep.log_queued"),
             live_instances: telemetry.gauge("ep.live_instances"),
+            quota_breaches: telemetry.counter("ep.quota_breaches"),
         }
     }
 }
@@ -127,6 +142,7 @@ pub(in crate::process) struct Inner {
     pub stats: stats::AtomicStats,
     pub telemetry: Telemetry,
     pub metrics: EpMetrics,
+    pub journal: Arc<Journal>,
 }
 
 /// An elastic process: the runtime that accepts, translates, stores,
@@ -163,6 +179,7 @@ impl ElasticProcess {
         let log = Arc::new(EventQueue::new(config.log_capacity));
         let telemetry = Telemetry::new();
         let metrics = EpMetrics::new(&telemetry);
+        let journal = Arc::new(Journal::new(config.journal_capacity));
         ElasticProcess {
             inner: Arc::new(Inner {
                 config,
@@ -177,6 +194,7 @@ impl ElasticProcess {
                 stats: stats::AtomicStats::default(),
                 telemetry,
                 metrics,
+                journal,
             }),
         }
     }
@@ -200,6 +218,76 @@ impl ElasticProcess {
     /// The shared MIB store.
     pub fn mib(&self) -> &MibStore {
         &self.inner.mib
+    }
+
+    /// The audit journal: every RDS operation, lifecycle transition,
+    /// quota breach and handler panic, each stamped with its trace id.
+    pub fn journal(&self) -> &Arc<Journal> {
+        &self.inner.journal
+    }
+
+    /// Point-in-time copy of a dpi's resource account, if the dpi is
+    /// (still) in the table.
+    pub fn dpi_account(&self, dpi: DpiId) -> Option<DpiAccountSnapshot> {
+        self.inner.dpis.get(dpi).map(|slot| slot.account.snapshot())
+    }
+
+    /// Accounting rows for every live (non-terminated) dpi, sorted by
+    /// id — the source of the `mbdDpiAccounting` OCP table.
+    pub fn account_rows(&self) -> Vec<DpiAccountRow> {
+        let mut rows: Vec<DpiAccountRow> = self
+            .inner
+            .dpis
+            .snapshot()
+            .into_iter()
+            .filter_map(|(id, slot)| {
+                let state = slot.state();
+                (state != DpiState::Terminated).then(|| DpiAccountRow {
+                    id,
+                    dp_name: slot.dp_name.clone(),
+                    state,
+                    account: slot.account.snapshot(),
+                })
+            })
+            .collect();
+        rows.sort_by_key(|r| r.id);
+        rows
+    }
+
+    /// Arms (or, with `None`, clears) a dpi's resource quota. The quota
+    /// is checked after each invocation; a breach suspends the dpi.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoSuchInstance`].
+    pub fn set_quota(&self, dpi: DpiId, quota: Option<DpiQuota>) -> Result<(), CoreError> {
+        let slot = self.slot(dpi)?;
+        *slot.quota.lock() = quota;
+        Ok(())
+    }
+
+    /// Attributes RDS frame bytes to a dpi's account — wire-boundary
+    /// accounting done by the RDS front-end's audit sink, so the cost of
+    /// a request rides the dpi it targeted.
+    pub(crate) fn charge_rds_bytes(&self, dpi: DpiId, bytes_in: u64, bytes_out: u64) {
+        if let Some(slot) = self.inner.dpis.get(dpi) {
+            slot.account.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
+            slot.account.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a runtime-originated journal entry (principal `server`)
+    /// stamped with the ambient trace id.
+    pub(in crate::process) fn journal_event(&self, verb: &str, dpi: DpiId, ok: bool, detail: &str) {
+        self.inner.journal.record(
+            self.ticks(),
+            mbd_telemetry::current_trace_id(),
+            "server",
+            verb,
+            dpi.0,
+            ok,
+            detail,
+        );
     }
 
     /// The dp repository.

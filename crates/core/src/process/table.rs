@@ -11,6 +11,7 @@
 //! Sequential ids round-robin across shards, so a burst of freshly
 //! instantiated dpis spreads evenly by construction.
 
+use super::account::{DpiAccount, DpiQuota};
 use parking_lot::{Mutex, RwLock};
 use rds::{DpiId, DpiState};
 use std::collections::{HashMap, VecDeque};
@@ -31,6 +32,11 @@ pub(super) struct DpiSlot {
     /// process of the paper).
     pub instance: Mutex<dpl::Instance>,
     pub mailbox: Arc<Mutex<VecDeque<Vec<u8>>>>,
+    /// Lock-free lifetime resource counters for this dpi.
+    pub account: Arc<DpiAccount>,
+    /// Optional cumulative resource quota; checked after every
+    /// invocation, breach suspends the dpi.
+    pub quota: Mutex<Option<DpiQuota>>,
 }
 
 fn decode(code: u8) -> DpiState {
@@ -44,6 +50,8 @@ impl DpiSlot {
             state: AtomicU8::new(DpiState::Ready.code() as u8),
             instance: Mutex::new(instance),
             mailbox: Arc::new(Mutex::new(VecDeque::new())),
+            account: Arc::new(DpiAccount::default()),
+            quota: Mutex::new(None),
         }
     }
 

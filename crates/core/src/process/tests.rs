@@ -507,3 +507,108 @@ mod telemetry_tests {
         assert_eq!(snap.gauge("ep.live_instances"), Some(0));
     }
 }
+
+mod accounting_tests {
+    use super::*;
+
+    #[test]
+    fn invocations_accumulate_in_the_dpi_account() {
+        let p = process();
+        p.delegate("w", "fn main() { var i = 0; while (i < 100) { i = i + 1; } return i; }")
+            .unwrap();
+        let dpi = p.instantiate("w").unwrap();
+        p.invoke(dpi, "main", &[]).unwrap();
+        p.invoke(dpi, "main", &[]).unwrap();
+        let acct = p.dpi_account(dpi).unwrap();
+        assert_eq!(acct.invocations_ok, 2);
+        assert_eq!(acct.invocations_failed, 0);
+        assert!(acct.busy_ns > 0, "wall time of the VM call is recorded");
+        assert!(acct.vm_fuel > 0, "fuel consumed by the loop is recorded");
+        assert_eq!(p.dpi_account(DpiId(99)), None);
+    }
+
+    #[test]
+    fn faulting_invocation_is_accounted_and_journaled() {
+        let p = process();
+        p.delegate("f", "fn main() { return 1 / 0; }").unwrap();
+        let dpi = p.instantiate("f").unwrap();
+        assert!(p.invoke(dpi, "main", &[]).is_err());
+        let acct = p.dpi_account(dpi).unwrap();
+        assert_eq!(acct.invocations_failed, 1);
+        let records = p.journal().tail(0);
+        assert!(records.iter().any(|r| r.verb == "lifecycle.fault" && r.dpi == dpi.0 && !r.ok));
+    }
+
+    #[test]
+    fn quota_breach_suspends_notifies_and_journals() {
+        let p = ElasticProcess::new(ElasticConfig {
+            quota: Some(DpiQuota { max_invocations: Some(2), ..DpiQuota::default() }),
+            ..ElasticConfig::default()
+        });
+        p.delegate("f", "fn main() { return 1; }").unwrap();
+        let dpi = p.instantiate("f").unwrap();
+        p.invoke(dpi, "main", &[]).unwrap();
+        p.invoke(dpi, "main", &[]).unwrap();
+        // The third invocation crosses the limit (3 > 2) and trips the brake.
+        p.invoke(dpi, "main", &[]).unwrap();
+        assert_eq!(p.dpi_info(dpi).unwrap().state, DpiState::Suspended);
+        assert!(matches!(p.invoke(dpi, "main", &[]), Err(CoreError::BadState { .. })));
+
+        let notes = p.drain_notifications();
+        let breach = notes.iter().find(|n| n.dpi == dpi).expect("breach notification");
+        match &breach.value {
+            Value::List(items) => {
+                assert_eq!(items[0], Value::Str("quota-breach".to_string()));
+                assert_eq!(items[1], Value::Str("invocations".to_string()));
+            }
+            other => panic!("unexpected notification payload {other:?}"),
+        }
+        let records = p.journal().tail(0);
+        assert!(records.iter().any(|r| r.verb == "quota.breach" && r.dpi == dpi.0 && !r.ok));
+        assert_eq!(p.telemetry().snapshot().counter("ep.quota_breaches"), Some(1));
+
+        // Resume re-arms the same quota: the next invocation trips again.
+        p.resume(dpi).unwrap();
+        p.invoke(dpi, "main", &[]).unwrap();
+        assert_eq!(p.dpi_info(dpi).unwrap().state, DpiState::Suspended);
+
+        // Clearing the quota lets it run freely.
+        p.set_quota(dpi, None).unwrap();
+        p.resume(dpi).unwrap();
+        p.invoke(dpi, "main", &[]).unwrap();
+        assert_eq!(p.dpi_info(dpi).unwrap().state, DpiState::Ready);
+    }
+
+    #[test]
+    fn set_quota_arms_a_single_dpi() {
+        let p = process();
+        p.delegate("f", "fn main() { return 1; }").unwrap();
+        let a = p.instantiate("f").unwrap();
+        let b = p.instantiate("f").unwrap();
+        p.set_quota(a, Some(DpiQuota { max_invocations: Some(0), ..DpiQuota::default() })).unwrap();
+        assert!(p.set_quota(DpiId(99), None).is_err());
+        p.invoke(a, "main", &[]).unwrap();
+        p.invoke(b, "main", &[]).unwrap();
+        assert_eq!(p.dpi_info(a).unwrap().state, DpiState::Suspended);
+        assert_eq!(p.dpi_info(b).unwrap().state, DpiState::Ready);
+    }
+
+    #[test]
+    fn lifecycle_transitions_are_journaled() {
+        let p = process();
+        p.delegate("f", "fn main() { return 1; }").unwrap();
+        let dpi = p.instantiate("f").unwrap();
+        p.suspend(dpi).unwrap();
+        p.resume(dpi).unwrap();
+        p.terminate(dpi).unwrap();
+        let verbs: Vec<String> = p.journal().tail(0).into_iter().map(|r| r.verb).collect();
+        for verb in [
+            "lifecycle.instantiate",
+            "lifecycle.suspend",
+            "lifecycle.resume",
+            "lifecycle.terminate",
+        ] {
+            assert!(verbs.iter().any(|v| v == verb), "missing {verb} in {verbs:?}");
+        }
+    }
+}

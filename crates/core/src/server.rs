@@ -1,6 +1,7 @@
 use crate::{convert, CoreError, ElasticProcess};
 use mbd_auth::{Acl, Principal};
-use rds::{ErrorCode, RdsHandler, RdsRequest, RdsResponse, RdsServer};
+use rds::{AuditEvent, DpiId, ErrorCode, RdsHandler, RdsRequest, RdsResponse, RdsServer};
+use std::sync::Arc;
 
 /// The MbD server: an [`ElasticProcess`] behind the RDS protocol.
 ///
@@ -110,22 +111,51 @@ impl RdsHandler for Dispatcher {
             RdsRequest::ListInstances => {
                 RdsResponse::Instances { instances: self.process.list_instances() }
             }
+            RdsRequest::ReadJournal { max_records } => {
+                RdsResponse::Journal { records: self.process.journal().tail(max_records as usize) }
+            }
         }
     }
+}
+
+/// The audit sink wired into [`RdsServer`]: every request (and every
+/// decode failure) becomes a journal record, and the frame bytes are
+/// charged to the targeted dpi's account.
+fn audit_sink(process: ElasticProcess) -> Arc<dyn Fn(AuditEvent) + Send + Sync> {
+    Arc::new(move |e: AuditEvent| {
+        if e.dpi != 0 {
+            process.charge_rds_bytes(DpiId(e.dpi), e.bytes_in, e.bytes_out);
+        }
+        process.journal().record(
+            process.ticks(),
+            e.trace_id,
+            &e.principal,
+            &e.verb,
+            e.dpi,
+            e.ok,
+            &e.detail,
+        );
+    })
 }
 
 impl MbdServer {
     /// A server with open access (the first prototype's trivial policy).
     pub fn open(process: ElasticProcess) -> MbdServer {
         let telemetry = process.telemetry().clone();
-        MbdServer { rds: RdsServer::open(Dispatcher { process }).instrument(&telemetry) }
+        let audit = audit_sink(process.clone());
+        MbdServer {
+            rds: RdsServer::open(Dispatcher { process }).instrument(&telemetry).with_audit(audit),
+        }
     }
 
     /// A server with an ACL and optional keyed-digest authentication.
     pub fn with_policy(process: ElasticProcess, acl: Acl, key: Option<Vec<u8>>) -> MbdServer {
         let telemetry = process.telemetry().clone();
+        let audit = audit_sink(process.clone());
         MbdServer {
-            rds: RdsServer::with_policy(Dispatcher { process }, acl, key).instrument(&telemetry),
+            rds: RdsServer::with_policy(Dispatcher { process }, acl, key)
+                .instrument(&telemetry)
+                .with_audit(audit),
         }
     }
 
@@ -261,6 +291,48 @@ mod tests {
         assert_eq!(c.invoke(dpi, "main", &[BerValue::Integer(9)]).unwrap(), BerValue::Integer(81));
         drop(c);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn requests_are_journaled_with_traces_and_bytes_charged() {
+        let process = ElasticProcess::new(ElasticConfig::default());
+        let server = Arc::new(MbdServer::open(process.clone()));
+        let transport = LoopbackTransport::new(move |bytes: &[u8]| server.process_request(bytes));
+        let c = RdsClient::new(transport, "mgr");
+        c.delegate("f", "fn main() { return 7; }").unwrap();
+        let dpi = c.instantiate("f").unwrap();
+        c.invoke(dpi, "main", &[]).unwrap();
+        let trace = c.last_trace_id();
+        assert_ne!(trace, 0);
+
+        // The invoke landed in the journal under the client's trace id...
+        let records = c.read_journal(0).unwrap();
+        let inv = records.iter().find(|r| r.verb == "invoke").expect("invoke journaled");
+        assert_eq!(inv.trace_id, trace);
+        assert_eq!(inv.principal, "mgr");
+        assert_eq!(inv.dpi, dpi.0);
+        assert!(inv.ok);
+        // ...the runtime's own lifecycle entries carry principal `server`...
+        assert!(records
+            .iter()
+            .any(|r| r.verb == "lifecycle.instantiate" && r.principal == "server"));
+        // ...and frame bytes plus the trace were charged to the dpi's account.
+        let acct = process.dpi_account(dpi).unwrap();
+        assert!(acct.bytes_in > 0 && acct.bytes_out > 0);
+        assert_eq!(acct.last_trace_id, trace);
+        assert_eq!(acct.invocations_ok, 1);
+    }
+
+    #[test]
+    fn journal_reads_ride_the_protocol_end_to_end() {
+        let c = client();
+        c.delegate("f", "fn main() { return 0; }").unwrap();
+        // Cap the read: only the newest record comes back, and the read
+        // that fetched it is itself journaled on the next read.
+        let one = c.read_journal(1).unwrap();
+        assert_eq!(one.len(), 1);
+        let next = c.read_journal(0).unwrap();
+        assert!(next.iter().any(|r| r.verb == "read_journal" && r.principal == "mgr"));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! delegation begins (see [`ElasticProcess::register_service`](crate::ElasticProcess::register_service)).
 
 use crate::convert;
-use crate::process::EventQueue;
+use crate::process::{DpiAccount, EventQueue};
 use dpl::{HostRegistry, Value};
 use parking_lot::Mutex;
 use rds::DpiId;
@@ -33,6 +33,9 @@ pub struct Notification {
     pub dpi: DpiId,
     /// The computed payload.
     pub value: Value,
+    /// Trace id of the request whose invocation emitted this event
+    /// (0 when the invocation was untraced — e.g. a periodic driver).
+    pub trace_id: u64,
 }
 
 /// A runtime action an agent requested through `dp_delegate` /
@@ -85,6 +88,9 @@ pub struct ServerCtx {
     pub pending: Arc<Mutex<Vec<PendingAction>>>,
     /// The invoking instance's id.
     pub dpi: DpiId,
+    /// The invoking instance's resource account (notify/log/eviction
+    /// counters are charged here as the services run).
+    pub account: Arc<DpiAccount>,
 }
 
 fn parse_oid(v: &Value) -> Result<Oid, String> {
@@ -175,12 +181,28 @@ pub fn standard_registry() -> HostRegistry<ServerCtx> {
     });
 
     reg.register("notify", 1, |ctx, args| {
-        ctx.outbox.push(Notification { dpi: ctx.dpi, value: args[0].clone() });
+        let trace_id = mbd_telemetry::current_trace_id();
+        ctx.account.notifications.fetch_add(1, Ordering::Relaxed);
+        let note = Notification { dpi: ctx.dpi, value: args[0].clone(), trace_id };
+        if ctx.outbox.push(note).is_some() {
+            // Drop-oldest eviction is charged to the pushing dpi.
+            ctx.account.queue_drops.fetch_add(1, Ordering::Relaxed);
+        }
         Ok(Value::Nil)
     });
 
     reg.register("log", 1, |ctx, args| {
-        ctx.log.push(format!("{}: {}", ctx.dpi, args[0]));
+        let trace_id = mbd_telemetry::current_trace_id();
+        ctx.account.log_lines.fetch_add(1, Ordering::Relaxed);
+        // Untraced invocations keep the bare legacy prefix.
+        let line = if trace_id == 0 {
+            format!("{}: {}", ctx.dpi, args[0])
+        } else {
+            format!("{} [{trace_id:016x}]: {}", ctx.dpi, args[0])
+        };
+        if ctx.log.push(line).is_some() {
+            ctx.account.queue_drops.fetch_add(1, Ordering::Relaxed);
+        }
         Ok(Value::Nil)
     });
 
@@ -229,6 +251,7 @@ mod tests {
             ticks: Arc::new(AtomicU64::new(500)),
             pending: Arc::new(Mutex::new(Vec::new())),
             dpi: DpiId(1),
+            account: Arc::new(DpiAccount::default()),
         }
     }
 
@@ -345,6 +368,34 @@ mod tests {
         let mut c = ctx();
         run("fn main() { log(\"hello\"); return 0; }", &mut c).unwrap();
         assert_eq!(c.log.snapshot()[0], "dpi-1: hello");
+    }
+
+    #[test]
+    fn traced_invocations_stamp_notify_and_log() {
+        let mut c = ctx();
+        let _scope = mbd_telemetry::enter_trace(0xAB);
+        run("fn main() { notify(1); log(\"hi\"); return 0; }", &mut c).unwrap();
+        assert_eq!(c.outbox.snapshot()[0].trace_id, 0xAB);
+        assert_eq!(c.log.snapshot()[0], "dpi-1 [00000000000000ab]: hi");
+    }
+
+    #[test]
+    fn notify_and_log_are_charged_to_the_account() {
+        let mut c = ctx();
+        run("fn main() { notify(1); notify(2); log(\"x\"); return 0; }", &mut c).unwrap();
+        let snap = c.account.snapshot();
+        assert_eq!(snap.notifications, 2);
+        assert_eq!(snap.log_lines, 1);
+        assert_eq!(snap.queue_drops, 0);
+    }
+
+    #[test]
+    fn queue_eviction_is_charged_to_the_pusher() {
+        let mut c = ctx();
+        c.log = Arc::new(EventQueue::new(1));
+        run("fn main() { log(\"a\"); log(\"b\"); log(\"c\"); return 0; }", &mut c).unwrap();
+        assert_eq!(c.account.snapshot().queue_drops, 2);
+        assert_eq!(c.log.snapshot(), vec!["dpi-1: c"]);
     }
 
     #[test]

@@ -1,7 +1,26 @@
-use crate::{codec, DpiId, DpiSummary, RdsError, RdsRequest, RdsResponse, Transport};
+use crate::{
+    codec, AuditRecord, DpiId, DpiSummary, RdsError, RdsRequest, RdsResponse, TraceContext,
+    Transport,
+};
 use ber::BerValue;
 use mbd_auth::Principal;
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// The splitmix64 finalizer — a cheap, well-mixed hash used to derive
+/// per-request trace ids from a wall-clock seed and a counter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn wall_clock_seed() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5EED)
+}
 
 /// A delegating manager's stub for one elastic process.
 ///
@@ -27,6 +46,8 @@ pub struct RdsClient<T> {
     principal: Principal,
     key: Option<Vec<u8>>,
     next_id: AtomicI64,
+    trace_seed: u64,
+    last_trace: AtomicU64,
 }
 
 impl<T: std::fmt::Debug> std::fmt::Debug for RdsClient<T> {
@@ -47,6 +68,8 @@ impl<T: Transport> RdsClient<T> {
             principal: Principal::new(principal),
             key: None,
             next_id: AtomicI64::new(1),
+            trace_seed: wall_clock_seed(),
+            last_trace: AtomicU64::new(0),
         }
     }
 
@@ -57,6 +80,8 @@ impl<T: Transport> RdsClient<T> {
             principal: Principal::new(principal),
             key: Some(key),
             next_id: AtomicI64::new(1),
+            trace_seed: wall_clock_seed(),
+            last_trace: AtomicU64::new(0),
         }
     }
 
@@ -65,11 +90,32 @@ impl<T: Transport> RdsClient<T> {
         &self.principal
     }
 
+    /// The trace id of the most recent request this client sent (0
+    /// before the first request). Correlate it with the server's
+    /// telemetry spans, `mbdDpiAccounting` row, and audit journal.
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace.load(Ordering::Relaxed)
+    }
+
+    /// A fresh non-zero trace id for request `id`.
+    fn fresh_trace_id(&self, id: i64) -> u64 {
+        let mixed = splitmix64(self.trace_seed ^ (id as u64).rotate_left(32));
+        if mixed == 0 {
+            1
+        } else {
+            mixed
+        }
+    }
+
     fn roundtrip(&self, req: &RdsRequest) -> Result<RdsResponse, RdsError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let bytes = codec::encode_request(req, &self.principal, id, self.key.as_deref());
+        let trace = TraceContext { trace_id: self.fresh_trace_id(id), parent_span_id: 0 };
+        self.last_trace.store(trace.trace_id, Ordering::Relaxed);
+        let bytes =
+            codec::encode_request_traced(req, &self.principal, id, self.key.as_deref(), trace);
         let resp_bytes = self.transport.request(&bytes)?;
-        let (resp, resp_id) = codec::decode_response(&resp_bytes, self.key.as_deref())?;
+        let (resp, resp_id, _echo) =
+            codec::decode_response_traced(&resp_bytes, self.key.as_deref())?;
         if let RdsResponse::Error { code, message } = resp {
             return Err(RdsError::Remote { code, message });
         }
@@ -194,6 +240,20 @@ impl<T: Transport> RdsClient<T> {
             other => Err(unexpected(&other)),
         }
     }
+
+    /// Reads up to `max_records` of the newest audit-journal records
+    /// (oldest first).
+    ///
+    /// # Errors
+    ///
+    /// `Remote(AccessDenied)` without `list` rights; transport/codec
+    /// errors otherwise.
+    pub fn read_journal(&self, max_records: u32) -> Result<Vec<AuditRecord>, RdsError> {
+        match self.roundtrip(&RdsRequest::ReadJournal { max_records })? {
+            RdsResponse::Journal { records } => Ok(records),
+            other => Err(unexpected(&other)),
+        }
+    }
 }
 
 fn unexpected(resp: &RdsResponse) -> RdsError {
@@ -282,6 +342,43 @@ mod tests {
             bad.delegate("dp", "x").unwrap_err(),
             RdsError::BadDigest | RdsError::Remote { .. }
         ));
+    }
+
+    #[test]
+    fn every_request_carries_a_fresh_nonzero_trace_id() {
+        let client = client_for(demo_server());
+        assert_eq!(client.last_trace_id(), 0, "no request sent yet");
+        client.list_programs().unwrap();
+        let first = client.last_trace_id();
+        client.list_programs().unwrap();
+        let second = client.last_trace_id();
+        assert_ne!(first, 0);
+        assert_ne!(second, 0);
+        assert_ne!(first, second, "each request gets its own trace id");
+    }
+
+    #[test]
+    fn read_journal_round_trips() {
+        let record = crate::AuditRecord {
+            seq: 9,
+            ticks: 100,
+            trace_id: 0xFEED,
+            principal: "mgr".to_string(),
+            verb: "invoke".to_string(),
+            dpi: 2,
+            ok: true,
+            detail: String::new(),
+        };
+        let rec = record.clone();
+        let server = Arc::new(RdsServer::open(move |_: &Principal, req: RdsRequest| match req {
+            RdsRequest::ReadJournal { max_records } => {
+                assert_eq!(max_records, 16);
+                RdsResponse::Journal { records: vec![rec.clone()] }
+            }
+            _ => RdsResponse::Ok,
+        }));
+        let client = client_for(server);
+        assert_eq!(client.read_journal(16).unwrap(), vec![record]);
     }
 
     #[test]

@@ -8,42 +8,121 @@
 //!
 //! Request payload: `SEQUENCE { version, request-id, principal, [op]{...} }`.
 //! Response payload: `SEQUENCE { version, request-id, [tag]{...} }`.
+//!
+//! # Trace context
+//!
+//! A frame may carry an optional [`TraceContext`]. The pre-trace payload
+//! sequences are *closed*: the original decoders call `expect_end()`
+//! inside every sequence, so appending a field anywhere in the payload
+//! would break them. The digest octet string is the one field whose
+//! *content* old receivers never parse structurally, so the trace rides
+//! there as a suffix:
+//!
+//! ```text
+//! digest-field := legacy-digest ‖ trace-suffix
+//! legacy-digest := ""            (unkeyed)  |  16-byte MD5 (keyed)
+//! trace-suffix  := ""  |  "MBDT" ‖ trace_id:u64be ‖ parent_span_id:u64be
+//! ```
+//!
+//! Field lengths 0/16/20/36 disambiguate the four combinations. An unset
+//! trace emits no suffix, so untraced frames are byte-identical to the
+//! legacy format. When keyed, the digest is `MD5(key ‖ trace-suffix ‖
+//! payload)` — the trace bytes are authenticated (with an empty suffix
+//! this degenerates to the legacy digest). Compatibility matrix: old
+//! frames always decode here; traced frames decode on old *unkeyed*
+//! receivers (they skip digest content); traced frames are rejected by
+//! old *keyed* receivers, which require exactly 16 digest bytes — keyed
+//! fleets must upgrade receivers before enabling tracing on senders.
 
-use crate::{DpiId, DpiState, DpiSummary, ErrorCode, RdsError, RdsRequest, RdsResponse};
+use crate::{
+    AuditRecord, DpiId, DpiState, DpiSummary, ErrorCode, RdsError, RdsRequest, RdsResponse,
+    TraceContext,
+};
 use ber::{BerReader, BerWriter, Tag};
 use mbd_auth::Principal;
 
 /// Protocol version this implementation speaks.
 pub const RDS_VERSION: i64 = 1;
 
-fn seal(payload: Vec<u8>, key: Option<&[u8]>) -> Vec<u8> {
-    let digest: Vec<u8> = match key {
-        Some(k) => mbd_auth::keyed_digest(k, &payload).to_vec(),
+/// Marks the start of a trace-context suffix in the digest field.
+const TRACE_MAGIC: &[u8; 4] = b"MBDT";
+/// Encoded trace-suffix length: magic + two big-endian u64s.
+const TRACE_SUFFIX_LEN: usize = 20;
+
+fn trace_suffix(trace: TraceContext) -> Vec<u8> {
+    if !trace.is_set() {
+        return Vec::new();
+    }
+    let mut s = Vec::with_capacity(TRACE_SUFFIX_LEN);
+    s.extend_from_slice(TRACE_MAGIC);
+    s.extend_from_slice(&trace.trace_id.to_be_bytes());
+    s.extend_from_slice(&trace.parent_span_id.to_be_bytes());
+    s
+}
+
+/// Splits a digest field into `(legacy-digest, raw-suffix, trace)`.
+fn split_trace(field: &[u8]) -> (&[u8], &[u8], TraceContext) {
+    if field.len() >= TRACE_SUFFIX_LEN {
+        let at = field.len() - TRACE_SUFFIX_LEN;
+        let (legacy, suffix) = field.split_at(at);
+        if &suffix[..TRACE_MAGIC.len()] == TRACE_MAGIC {
+            let trace = TraceContext {
+                trace_id: u64::from_be_bytes(suffix[4..12].try_into().expect("8 bytes")),
+                parent_span_id: u64::from_be_bytes(suffix[12..20].try_into().expect("8 bytes")),
+            };
+            return (legacy, suffix, trace);
+        }
+    }
+    (field, &[], TraceContext::default())
+}
+
+fn seal_traced(payload: Vec<u8>, key: Option<&[u8]>, trace: TraceContext) -> Vec<u8> {
+    let suffix = trace_suffix(trace);
+    let mut field: Vec<u8> = match key {
+        Some(k) => {
+            let mut signed = Vec::with_capacity(suffix.len() + payload.len());
+            signed.extend_from_slice(&suffix);
+            signed.extend_from_slice(&payload);
+            mbd_auth::keyed_digest(k, &signed).to_vec()
+        }
         None => Vec::new(),
     };
+    field.extend_from_slice(&suffix);
     let mut w = BerWriter::new();
     w.write_sequence(|w| {
-        w.write_octet_string(&digest);
+        w.write_octet_string(&field);
         w.write_raw(&payload);
     });
     w.into_bytes()
 }
 
-fn unseal<'a>(bytes: &'a [u8], key: Option<&[u8]>) -> Result<&'a [u8], RdsError> {
+#[cfg(test)]
+fn seal(payload: Vec<u8>, key: Option<&[u8]>) -> Vec<u8> {
+    seal_traced(payload, key, TraceContext::default())
+}
+
+fn unseal_traced<'a>(
+    bytes: &'a [u8],
+    key: Option<&[u8]>,
+) -> Result<(&'a [u8], TraceContext), RdsError> {
     let mut r = BerReader::new(bytes);
-    let (digest, payload) = r.read_sequence(|r| {
-        let digest = r.read_octet_string()?.to_vec();
+    let (field, payload) = r.read_sequence(|r| {
+        let field = r.read_octet_string()?.to_vec();
         let payload = r.read_raw_value()?;
-        Ok((digest, payload))
+        Ok((field, payload))
     })?;
     r.expect_end()?;
+    let (digest, suffix, trace) = split_trace(&field);
     if let Some(k) = key {
-        let expected: [u8; 16] = digest.as_slice().try_into().map_err(|_| RdsError::BadDigest)?;
-        if !mbd_auth::verify_keyed_digest(k, payload, &expected) {
+        let expected: [u8; 16] = digest.try_into().map_err(|_| RdsError::BadDigest)?;
+        let mut signed = Vec::with_capacity(suffix.len() + payload.len());
+        signed.extend_from_slice(suffix);
+        signed.extend_from_slice(payload);
+        if !mbd_auth::verify_keyed_digest(k, &signed, &expected) {
             return Err(RdsError::BadDigest);
         }
     }
-    Ok(payload)
+    Ok((payload, trace))
 }
 
 /// Encodes a request.
@@ -54,6 +133,18 @@ pub fn encode_request(
     principal: &Principal,
     request_id: i64,
     key: Option<&[u8]>,
+) -> Vec<u8> {
+    encode_request_traced(req, principal, request_id, key, TraceContext::default())
+}
+
+/// Encodes a request carrying `trace` (see the module docs for the
+/// backward-compatible layout; an unset trace yields the legacy frame).
+pub fn encode_request_traced(
+    req: &RdsRequest,
+    principal: &Principal,
+    request_id: i64,
+    key: Option<&[u8]>,
+    trace: TraceContext,
 ) -> Vec<u8> {
     let mut w = BerWriter::new();
     w.write_sequence(|w| {
@@ -88,9 +179,12 @@ pub fn encode_request(
                 w.write_octet_string(payload);
             }
             RdsRequest::ListPrograms | RdsRequest::ListInstances => {}
+            RdsRequest::ReadJournal { max_records } => {
+                w.write_i64(i64::from(*max_records));
+            }
         });
     });
-    seal(w.into_bytes(), key)
+    seal_traced(w.into_bytes(), key, trace)
 }
 
 /// Decodes and (if `key` is given) authenticates a request.
@@ -105,7 +199,21 @@ pub fn decode_request(
     bytes: &[u8],
     key: Option<&[u8]>,
 ) -> Result<(RdsRequest, Principal, i64), RdsError> {
-    let payload = unseal(bytes, key)?;
+    decode_request_traced(bytes, key).map(|(req, p, id, _)| (req, p, id))
+}
+
+/// [`decode_request`], additionally returning the frame's trace context
+/// (unset for legacy frames).
+///
+/// # Errors
+///
+/// As for [`decode_request`]; a tampered trace suffix fails keyed
+/// authentication with [`RdsError::BadDigest`].
+pub fn decode_request_traced(
+    bytes: &[u8],
+    key: Option<&[u8]>,
+) -> Result<(RdsRequest, Principal, i64, TraceContext), RdsError> {
+    let (payload, trace) = unseal_traced(bytes, key)?;
     let mut r = BerReader::new(payload);
     let out = r.read_sequence(|r| {
         let _version = r.read_i64()?;
@@ -142,6 +250,9 @@ pub fn decode_request(
                 }),
                 8 => Some(RdsRequest::ListPrograms),
                 9 => Some(RdsRequest::ListInstances),
+                10 => Some(RdsRequest::ReadJournal {
+                    max_records: r.read_i64()?.clamp(0, i64::from(u32::MAX)) as u32,
+                }),
                 _ => {
                     // Drain so expect_end passes; flag after.
                     while !r.at_end() {
@@ -156,11 +267,22 @@ pub fn decode_request(
     r.expect_end()?;
     let (req, principal, request_id, op) = out;
     let req = req.ok_or(RdsError::UnknownOperation(op))?;
-    Ok((req, Principal::new(principal), request_id))
+    Ok((req, Principal::new(principal), request_id, trace))
 }
 
 /// Encodes a response to request `request_id`.
 pub fn encode_response(resp: &RdsResponse, request_id: i64, key: Option<&[u8]>) -> Vec<u8> {
+    encode_response_traced(resp, request_id, key, TraceContext::default())
+}
+
+/// Encodes a response echoing `trace` back to the requester (an unset
+/// trace yields the legacy frame).
+pub fn encode_response_traced(
+    resp: &RdsResponse,
+    request_id: i64,
+    key: Option<&[u8]>,
+    trace: TraceContext,
+) -> Vec<u8> {
     let mut w = BerWriter::new();
     w.write_sequence(|w| {
         w.write_i64(RDS_VERSION);
@@ -187,9 +309,23 @@ pub fn encode_response(resp: &RdsResponse, request_id: i64, key: Option<&[u8]>) 
                 w.write_i64(code.code());
                 w.write_octet_string(message.as_bytes());
             }
+            RdsResponse::Journal { records } => w.write_sequence(|w| {
+                for rec in records {
+                    w.write_sequence(|w| {
+                        w.write_i64(rec.seq as i64);
+                        w.write_i64(rec.ticks as i64);
+                        w.write_i64(rec.trace_id as i64);
+                        w.write_octet_string(rec.principal.as_bytes());
+                        w.write_octet_string(rec.verb.as_bytes());
+                        w.write_i64(rec.dpi as i64);
+                        w.write_i64(i64::from(rec.ok));
+                        w.write_octet_string(rec.detail.as_bytes());
+                    });
+                }
+            }),
         });
     });
-    seal(w.into_bytes(), key)
+    seal_traced(w.into_bytes(), key, trace)
 }
 
 /// Decodes and (if keyed) authenticates a response; returns it with its
@@ -199,7 +335,20 @@ pub fn encode_response(resp: &RdsResponse, request_id: i64, key: Option<&[u8]>) 
 ///
 /// As for [`decode_request`].
 pub fn decode_response(bytes: &[u8], key: Option<&[u8]>) -> Result<(RdsResponse, i64), RdsError> {
-    let payload = unseal(bytes, key)?;
+    decode_response_traced(bytes, key).map(|(resp, id, _)| (resp, id))
+}
+
+/// [`decode_response`], additionally returning the echoed trace context
+/// (unset for legacy frames).
+///
+/// # Errors
+///
+/// As for [`decode_response`].
+pub fn decode_response_traced(
+    bytes: &[u8],
+    key: Option<&[u8]>,
+) -> Result<(RdsResponse, i64, TraceContext), RdsError> {
+    let (payload, trace) = unseal_traced(bytes, key)?;
     let mut r = BerReader::new(payload);
     let out = r.read_sequence(|r| {
         let _version = r.read_i64()?;
@@ -239,6 +388,26 @@ pub fn decode_response(bytes: &[u8], key: Option<&[u8]>) -> Result<(RdsResponse,
                     code: ErrorCode::from_code(r.read_i64()?),
                     message: read_string(r)?,
                 }),
+                6 => Some(RdsResponse::Journal {
+                    records: r.read_sequence(|r| {
+                        let mut out = Vec::new();
+                        while !r.at_end() {
+                            out.push(r.read_sequence(|r| {
+                                Ok(AuditRecord {
+                                    seq: r.read_i64()? as u64,
+                                    ticks: r.read_i64()? as u64,
+                                    trace_id: r.read_i64()? as u64,
+                                    principal: read_string(r)?,
+                                    verb: read_string(r)?,
+                                    dpi: r.read_i64()? as u64,
+                                    ok: r.read_i64()? != 0,
+                                    detail: read_string(r)?,
+                                })
+                            })?);
+                        }
+                        Ok(out)
+                    })?,
+                }),
                 _ => {
                     while !r.at_end() {
                         r.read_value()?;
@@ -252,7 +421,7 @@ pub fn decode_response(bytes: &[u8], key: Option<&[u8]>) -> Result<(RdsResponse,
     r.expect_end()?;
     let (resp, request_id, op) = out;
     let resp = resp.ok_or(RdsError::UnknownOperation(op))?;
-    Ok((resp, request_id))
+    Ok((resp, request_id, trace))
 }
 
 fn read_string(r: &mut BerReader<'_>) -> Result<String, ber::BerError> {
@@ -304,6 +473,7 @@ mod tests {
             RdsRequest::SendMessage { dpi: DpiId(7), payload: vec![1, 2, 3] },
             RdsRequest::ListPrograms,
             RdsRequest::ListInstances,
+            RdsRequest::ReadJournal { max_records: 64 },
         ]
     }
 
@@ -326,6 +496,30 @@ mod tests {
             RdsResponse::Error {
                 code: ErrorCode::NoSuchProgram,
                 message: "dp `x` unknown".to_string(),
+            },
+            RdsResponse::Journal {
+                records: vec![
+                    AuditRecord {
+                        seq: 1,
+                        ticks: 200,
+                        trace_id: 0xDEAD_BEEF,
+                        principal: "mgr".to_string(),
+                        verb: "invoke".to_string(),
+                        dpi: 3,
+                        ok: true,
+                        detail: String::new(),
+                    },
+                    AuditRecord {
+                        seq: 2,
+                        ticks: 201,
+                        trace_id: 0,
+                        principal: "server".to_string(),
+                        verb: "quota.breach".to_string(),
+                        dpi: 3,
+                        ok: false,
+                        detail: "busy_ns 1000 > 500".to_string(),
+                    },
+                ],
             },
         ]
     }
@@ -411,5 +605,167 @@ mod tests {
         let small = delegation_wire_cost("dp", b"fn main() {}");
         let big = delegation_wire_cost("dp", &vec![b'x'; 10_000]);
         assert!(big > small + 9_000);
+    }
+
+    // ---- trace-context backward compatibility ----------------------------
+
+    const TRACE: TraceContext = TraceContext { trace_id: 0x1122_3344_5566_7788, parent_span_id: 9 };
+
+    /// The pre-trace sealer, reimplemented exactly as released: digest is
+    /// empty or `MD5(key ‖ payload)`, nothing else in the field.
+    fn old_seal(payload: Vec<u8>, key: Option<&[u8]>) -> Vec<u8> {
+        let digest: Vec<u8> = match key {
+            Some(k) => mbd_auth::keyed_digest(k, &payload).to_vec(),
+            None => Vec::new(),
+        };
+        let mut w = BerWriter::new();
+        w.write_sequence(|w| {
+            w.write_octet_string(&digest);
+            w.write_raw(&payload);
+        });
+        w.into_bytes()
+    }
+
+    /// The pre-trace unsealer, reimplemented exactly as released: a keyed
+    /// receiver requires the digest field to be exactly 16 bytes.
+    fn old_unseal(bytes: &[u8], key: Option<&[u8]>) -> Result<Vec<u8>, RdsError> {
+        let mut r = BerReader::new(bytes);
+        let (digest, payload) = r.read_sequence(|r| {
+            let digest = r.read_octet_string()?.to_vec();
+            let payload = r.read_raw_value()?.to_vec();
+            Ok((digest, payload))
+        })?;
+        r.expect_end()?;
+        if let Some(k) = key {
+            let expected: [u8; 16] =
+                digest.as_slice().try_into().map_err(|_| RdsError::BadDigest)?;
+            if !mbd_auth::verify_keyed_digest(k, &payload, &expected) {
+                return Err(RdsError::BadDigest);
+            }
+        }
+        Ok(payload)
+    }
+
+    #[test]
+    fn traced_requests_round_trip() {
+        for key in [None, Some(b"shared-secret".as_slice())] {
+            for req in all_requests() {
+                let bytes = encode_request_traced(&req, &Principal::new("mgr"), 5, key, TRACE);
+                let (decoded, principal, id, trace) = decode_request_traced(&bytes, key).unwrap();
+                assert_eq!(decoded, req);
+                assert_eq!(principal.handle(), "mgr");
+                assert_eq!(id, 5);
+                assert_eq!(trace, TRACE);
+            }
+        }
+    }
+
+    #[test]
+    fn traced_responses_round_trip() {
+        for key in [None, Some(b"shared-secret".as_slice())] {
+            for resp in all_responses() {
+                let bytes = encode_response_traced(&resp, 8, key, TRACE);
+                let (decoded, id, trace) = decode_response_traced(&bytes, key).unwrap();
+                assert_eq!(decoded, resp);
+                assert_eq!(id, 8);
+                assert_eq!(trace, TRACE);
+            }
+        }
+    }
+
+    #[test]
+    fn unset_trace_is_byte_identical_to_legacy_frames() {
+        for key in [None, Some(b"k".as_slice())] {
+            for req in all_requests() {
+                let principal = Principal::new("mgr");
+                let legacy = encode_request(&req, &principal, 3, key);
+                let traced =
+                    encode_request_traced(&req, &principal, 3, key, TraceContext::default());
+                assert_eq!(legacy, traced);
+            }
+        }
+    }
+
+    #[test]
+    fn old_frames_decode_with_unset_trace() {
+        // Old client → new server: legacy frames must decode and report
+        // no trace, keyed or not.
+        for key in [None, Some(b"k".as_slice())] {
+            let payload = {
+                let mut w = BerWriter::new();
+                w.write_sequence(|w| {
+                    w.write_i64(RDS_VERSION);
+                    w.write_i64(11);
+                    w.write_octet_string(b"mgr");
+                    w.write_constructed(Tag::context(8), |_| {});
+                });
+                w.into_bytes()
+            };
+            let bytes = old_seal(payload, key);
+            let (req, _, id, trace) = decode_request_traced(&bytes, key).unwrap();
+            assert_eq!(req, RdsRequest::ListPrograms);
+            assert_eq!(id, 11);
+            assert!(!trace.is_set());
+        }
+    }
+
+    #[test]
+    fn old_unkeyed_decoder_accepts_traced_frames() {
+        // New client → old server (no key): old receivers ignore the
+        // digest field's content, so the trace suffix passes through.
+        let req = RdsRequest::ListInstances;
+        let bytes = encode_request_traced(&req, &Principal::new("m"), 4, None, TRACE);
+        let payload = old_unseal(&bytes, None).unwrap();
+        // The payload itself is unchanged legacy BER: the old request
+        // decoder (today's, fed a re-sealed legacy frame) accepts it.
+        let (decoded, _, id) = decode_request(&old_seal(payload, None), None).unwrap();
+        assert_eq!(decoded, req);
+        assert_eq!(id, 4);
+    }
+
+    #[test]
+    fn old_keyed_decoder_rejects_traced_frames() {
+        // The documented gap: a 36-byte digest field fails the old
+        // receiver's exact-16-byte check. Keyed fleets upgrade receivers
+        // before enabling tracing on senders.
+        let key = b"shared-secret";
+        let bytes = encode_request_traced(
+            &RdsRequest::ListPrograms,
+            &Principal::new("m"),
+            4,
+            Some(key),
+            TRACE,
+        );
+        assert_eq!(old_unseal(&bytes, Some(key)).unwrap_err(), RdsError::BadDigest);
+        // Untraced frames from the new encoder still pass.
+        let bytes = encode_request(&RdsRequest::ListPrograms, &Principal::new("m"), 4, Some(key));
+        assert!(old_unseal(&bytes, Some(key)).is_ok());
+    }
+
+    #[test]
+    fn trace_suffix_is_authenticated_when_keyed() {
+        let key = b"shared-secret";
+        let mut bytes = encode_request_traced(
+            &RdsRequest::ListPrograms,
+            &Principal::new("m"),
+            4,
+            Some(key),
+            TRACE,
+        );
+        // Flip a bit inside the trace id (right after the magic marker).
+        let magic_at = bytes
+            .windows(TRACE_MAGIC.len())
+            .position(|w| w == TRACE_MAGIC)
+            .expect("traced frame carries the magic");
+        bytes[magic_at + TRACE_MAGIC.len()] ^= 0x01;
+        assert_eq!(decode_request_traced(&bytes, Some(key)).unwrap_err(), RdsError::BadDigest);
+    }
+
+    #[test]
+    fn trace_rides_responses_too() {
+        let bytes = encode_response_traced(&RdsResponse::Ok, 2, None, TRACE);
+        assert!(old_unseal(&bytes, None).is_ok(), "old unkeyed receivers accept traced responses");
+        let (_, _, trace) = decode_response_traced(&bytes, None).unwrap();
+        assert_eq!(trace, TRACE);
     }
 }

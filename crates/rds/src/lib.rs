@@ -47,7 +47,7 @@ mod transport;
 
 pub use client::RdsClient;
 pub use error::{ErrorCode, RdsError};
-pub use msg::{DpiId, DpiState, DpiSummary, RdsRequest, RdsResponse};
-pub use server::{RdsHandler, RdsServer};
+pub use msg::{AuditRecord, DpiId, DpiState, DpiSummary, RdsRequest, RdsResponse, TraceContext};
+pub use server::{AuditEvent, RdsHandler, RdsServer};
 pub use tcp::{TcpServer, TcpServerConfig, TcpTransport};
 pub use transport::{ChannelTransport, ChannelTransportServer, LoopbackTransport, Transport};

@@ -1,6 +1,61 @@
 use ber::BerValue;
 use std::fmt;
 
+/// End-to-end correlation context carried (optionally) by every RDS
+/// frame: one delegation is one trace from the manager's request to the
+/// dpi effects it causes (telemetry spans, notifications, agent log
+/// lines, journal records).
+///
+/// A zero `trace_id` means "no trace" — the codec then emits exactly the
+/// legacy frame layout, byte for byte, so untraced messages remain
+/// indistinguishable from pre-trace implementations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// The request's correlation id (0 = unset).
+    pub trace_id: u64,
+    /// The caller's span id, for managers relaying on behalf of a
+    /// larger traced operation (0 = this request is the root).
+    pub parent_span_id: u64,
+}
+
+impl TraceContext {
+    /// Whether any trace context is present.
+    pub fn is_set(&self) -> bool {
+        self.trace_id != 0 || self.parent_span_id != 0
+    }
+}
+
+impl fmt::Display for TraceContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.trace_id)
+    }
+}
+
+/// One structured entry of the server's audit journal: an RDS operation,
+/// lifecycle transition, quota breach or handler panic, with enough
+/// context to answer "who did what to which dpi, under which trace, and
+/// how did it end".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// Monotone journal sequence number (gaps mean drop-oldest evictions).
+    pub seq: u64,
+    /// Server clock (hundredths of a second) when recorded.
+    pub ticks: u64,
+    /// Trace id of the request that caused this event (0 = none).
+    pub trace_id: u64,
+    /// Acting principal handle (`server` for internally caused events).
+    pub principal: String,
+    /// What happened: an RDS verb name, `decode_fail.<kind>`,
+    /// `lifecycle.<transition>`, `quota.breach` or `panic`.
+    pub verb: String,
+    /// Target instance id (0 = no dpi involved).
+    pub dpi: u64,
+    /// Whether the operation succeeded.
+    pub ok: bool,
+    /// Outcome detail (error text, breach dimension, …).
+    pub detail: String,
+}
+
 /// Identifies a delegated program instance (dpi) on one server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DpiId(pub u64);
@@ -129,6 +184,11 @@ pub enum RdsRequest {
     ListPrograms,
     /// List instances and their states.
     ListInstances,
+    /// Read the tail of the server's audit journal.
+    ReadJournal {
+        /// Upper bound on returned records (newest win).
+        max_records: u32,
+    },
 }
 
 impl RdsRequest {
@@ -145,6 +205,7 @@ impl RdsRequest {
             RdsRequest::SendMessage { .. } => 7,
             RdsRequest::ListPrograms => 8,
             RdsRequest::ListInstances => 9,
+            RdsRequest::ReadJournal { .. } => 10,
         }
     }
 
@@ -162,6 +223,7 @@ impl RdsRequest {
             RdsRequest::SendMessage { .. } => "send_message",
             RdsRequest::ListPrograms => "list_programs",
             RdsRequest::ListInstances => "list_instances",
+            RdsRequest::ReadJournal { .. } => "read_journal",
         }
     }
 
@@ -171,6 +233,18 @@ impl RdsRequest {
             RdsRequest::DelegateProgram { dp_name, .. }
             | RdsRequest::DeleteProgram { dp_name }
             | RdsRequest::Instantiate { dp_name } => Some(dp_name),
+            _ => None,
+        }
+    }
+
+    /// The dpi this request targets, if it names one directly.
+    pub fn dpi(&self) -> Option<DpiId> {
+        match self {
+            RdsRequest::Invoke { dpi, .. }
+            | RdsRequest::Suspend { dpi }
+            | RdsRequest::Resume { dpi }
+            | RdsRequest::Terminate { dpi }
+            | RdsRequest::SendMessage { dpi, .. } => Some(*dpi),
             _ => None,
         }
     }
@@ -208,6 +282,11 @@ pub enum RdsResponse {
         /// Detail text.
         message: String,
     },
+    /// `ReadJournal` result.
+    Journal {
+        /// Audit records, oldest first.
+        records: Vec<AuditRecord>,
+    },
 }
 
 impl RdsResponse {
@@ -220,6 +299,7 @@ impl RdsResponse {
             RdsResponse::Programs { .. } => 3,
             RdsResponse::Instances { .. } => 4,
             RdsResponse::Error { .. } => 5,
+            RdsResponse::Journal { .. } => 6,
         }
     }
 }
@@ -253,6 +333,7 @@ mod tests {
             RdsRequest::SendMessage { dpi: DpiId(0), payload: vec![] },
             RdsRequest::ListPrograms,
             RdsRequest::ListInstances,
+            RdsRequest::ReadJournal { max_records: 0 },
         ];
         let mut tags: Vec<u8> = reqs.iter().map(RdsRequest::op_tag).collect();
         tags.dedup();
@@ -270,5 +351,24 @@ mod tests {
     fn displays() {
         assert_eq!(DpiId(3).to_string(), "dpi-3");
         assert_eq!(DpiState::Suspended.to_string(), "suspended");
+        assert_eq!(
+            TraceContext { trace_id: 0xAB, parent_span_id: 0 }.to_string(),
+            "00000000000000ab"
+        );
+    }
+
+    #[test]
+    fn dpi_extraction() {
+        let r = RdsRequest::Suspend { dpi: DpiId(4) };
+        assert_eq!(r.dpi(), Some(DpiId(4)));
+        assert_eq!(RdsRequest::ListInstances.dpi(), None);
+        assert_eq!(RdsRequest::Instantiate { dp_name: "x".into() }.dpi(), None);
+    }
+
+    #[test]
+    fn trace_context_is_set() {
+        assert!(!TraceContext::default().is_set());
+        assert!(TraceContext { trace_id: 1, parent_span_id: 0 }.is_set());
+        assert!(TraceContext { trace_id: 0, parent_span_id: 2 }.is_set());
     }
 }

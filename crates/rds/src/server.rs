@@ -1,16 +1,21 @@
-use crate::{codec, ErrorCode, RdsRequest, RdsResponse};
+use crate::{codec, ErrorCode, RdsRequest, RdsResponse, TraceContext};
 use mbd_auth::{Acl, Operation, Principal};
-use mbd_telemetry::{Telemetry, Timer};
+use mbd_telemetry::{Counter, Telemetry, Timer};
+use std::sync::Arc;
 
 /// Pre-resolved timers for the protocol front-end: BER decode time plus
 /// one latency histogram per RDS verb (`rds.decode`, `rds.verb.<name>`
 /// — resolved once here so the per-request cost is a clock read and a
-/// lock-free record).
+/// lock-free record), plus per-error-kind decode-failure counters
+/// (`rds.decode_fail.<kind>`).
 #[derive(Debug, Clone)]
 struct RdsTimers {
     decode: Timer,
     /// Indexed by [`RdsRequest::op_tag`].
-    verbs: [Timer; 10],
+    verbs: [Timer; 11],
+    decode_fail_bad_digest: Counter,
+    decode_fail_codec: Counter,
+    decode_fail_unknown_op: Counter,
 }
 
 impl RdsTimers {
@@ -29,9 +34,44 @@ impl RdsTimers {
                 verb("send_message"),
                 verb("list_programs"),
                 verb("list_instances"),
+                verb("read_journal"),
             ],
+            decode_fail_bad_digest: telemetry.counter("rds.decode_fail.bad_digest"),
+            decode_fail_codec: telemetry.counter("rds.decode_fail.codec"),
+            decode_fail_unknown_op: telemetry.counter("rds.decode_fail.unknown_op"),
         }
     }
+
+    fn decode_fail(&self, kind: &str) -> &Counter {
+        match kind {
+            "bad_digest" => &self.decode_fail_bad_digest,
+            "unknown_op" => &self.decode_fail_unknown_op,
+            _ => &self.decode_fail_codec,
+        }
+    }
+}
+
+/// One processed request (or decode failure), as reported to the audit
+/// sink installed with [`RdsServer::with_audit`] — the raw material of
+/// the audit journal and of per-dpi byte accounting.
+#[derive(Debug, Clone)]
+pub struct AuditEvent {
+    /// Trace id of the request (0 for untraced or undecodable frames).
+    pub trace_id: u64,
+    /// Claimed principal handle (empty if the frame never decoded).
+    pub principal: String,
+    /// Verb name, or `decode_fail.<kind>` for undecodable frames.
+    pub verb: String,
+    /// Target dpi id (0 = the request names no dpi).
+    pub dpi: u64,
+    /// Whether the response was non-`Error`.
+    pub ok: bool,
+    /// Error text when `ok` is false, empty otherwise.
+    pub detail: String,
+    /// Encoded request frame length.
+    pub bytes_in: u64,
+    /// Encoded response frame length.
+    pub bytes_out: u64,
 }
 
 /// The application half of an RDS server: given an authenticated,
@@ -40,6 +80,21 @@ impl RdsTimers {
 pub trait RdsHandler {
     /// Handles one request from `principal`.
     fn handle(&self, principal: &Principal, request: RdsRequest) -> RdsResponse;
+
+    /// Handles one request with its wire trace context. The front-end
+    /// has already set the thread's current trace id
+    /// ([`mbd_telemetry::current_trace_id`]) for the duration of the
+    /// call; the default implementation ignores the explicit context and
+    /// delegates to [`RdsHandler::handle`].
+    fn handle_traced(
+        &self,
+        principal: &Principal,
+        request: RdsRequest,
+        trace: TraceContext,
+    ) -> RdsResponse {
+        let _ = trace;
+        self.handle(principal, request)
+    }
 }
 
 impl<F> RdsHandler for F
@@ -59,6 +114,7 @@ pub struct RdsServer<H> {
     acl: Acl,
     key: Option<Vec<u8>>,
     timers: Option<RdsTimers>,
+    audit: Option<Arc<dyn Fn(AuditEvent) + Send + Sync>>,
 }
 
 impl<H: std::fmt::Debug> std::fmt::Debug for RdsServer<H> {
@@ -80,7 +136,9 @@ fn required_operation(req: &RdsRequest) -> Operation {
         RdsRequest::Suspend { .. } | RdsRequest::Resume { .. } | RdsRequest::Terminate { .. } => {
             Operation::Control
         }
-        RdsRequest::ListPrograms | RdsRequest::ListInstances => Operation::List,
+        RdsRequest::ListPrograms | RdsRequest::ListInstances | RdsRequest::ReadJournal { .. } => {
+            Operation::List
+        }
     }
 }
 
@@ -88,12 +146,21 @@ impl<H: RdsHandler> RdsServer<H> {
     /// A server with the prototype's trivial access control (any handle
     /// may do anything) and no digest authentication.
     pub fn open(handler: H) -> RdsServer<H> {
-        RdsServer { handler, acl: Acl::allow_by_default(), key: None, timers: None }
+        RdsServer { handler, acl: Acl::allow_by_default(), key: None, timers: None, audit: None }
     }
 
     /// A server enforcing `acl`, optionally requiring keyed digests.
     pub fn with_policy(handler: H, acl: Acl, key: Option<Vec<u8>>) -> RdsServer<H> {
-        RdsServer { handler, acl, key, timers: None }
+        RdsServer { handler, acl, key, timers: None, audit: None }
+    }
+
+    /// Installs an audit sink called once per processed request (and
+    /// once per undecodable frame) with the request's trace id,
+    /// principal, verb, target dpi, outcome and frame sizes.
+    #[must_use]
+    pub fn with_audit(mut self, sink: Arc<dyn Fn(AuditEvent) + Send + Sync>) -> RdsServer<H> {
+        self.audit = Some(sink);
+        self
     }
 
     /// Records decode time and per-verb request latency into
@@ -113,45 +180,84 @@ impl<H: RdsHandler> RdsServer<H> {
     /// Processes one encoded request into an encoded response.
     ///
     /// Undecodable requests get an encoded `Error` response with request
-    /// id 0 (there is nothing better to correlate with).
+    /// id 0 (there is nothing better to correlate with); the error kind
+    /// is distinguished by the `rds.decode_fail.<kind>` counters and the
+    /// audit event.
     pub fn process(&self, bytes: &[u8]) -> Vec<u8> {
         let decode_span = self.timers.as_ref().map(|t| t.decode.start());
-        let decoded = codec::decode_request(bytes, self.key.as_deref());
+        let decoded = codec::decode_request_traced(bytes, self.key.as_deref());
         drop(decode_span);
-        let (request, principal, request_id) = match decoded {
+        let (request, principal, request_id, trace) = match decoded {
             Ok(parts) => parts,
-            Err(crate::RdsError::BadDigest) => {
-                return codec::encode_response(
-                    &RdsResponse::Error {
-                        code: ErrorCode::AuthFailed,
-                        message: "digest verification failed".to_string(),
-                    },
-                    0,
-                    self.key.as_deref(),
-                )
-            }
-            Err(e) => {
-                return codec::encode_response(
-                    &RdsResponse::Error { code: ErrorCode::Internal, message: e.to_string() },
-                    0,
-                    self.key.as_deref(),
-                )
-            }
+            Err(e) => return self.decode_failure(bytes, &e),
         };
+        // Everything the request causes on this thread — spans,
+        // notifications, log lines, journal records — is stamped with
+        // its trace id until the guard drops.
+        let _trace_scope = mbd_telemetry::enter_trace(trace.trace_id);
+        let verb = request.verb();
+        let dpi = request.dpi().map_or(0, |d| d.0);
         // The verb span covers authorization, dispatch and response
         // encoding — everything the server does for a decoded request.
         let verb_span = self.timers.as_ref().map(|t| t.verbs[request.op_tag() as usize].start());
         let op = required_operation(&request);
         let response = if self.acl.allows(&principal, op, request.dp_name()) {
-            self.handler.handle(&principal, request)
+            self.handler.handle_traced(&principal, request, trace)
         } else {
             RdsResponse::Error {
                 code: ErrorCode::AccessDenied,
                 message: format!("{principal} may not {op}"),
             }
         };
-        let encoded = codec::encode_response(&response, request_id, self.key.as_deref());
+        let encoded =
+            codec::encode_response_traced(&response, request_id, self.key.as_deref(), trace);
         drop(verb_span);
+        if let Some(sink) = &self.audit {
+            let (ok, detail) = match &response {
+                RdsResponse::Error { code, message } => (false, format!("{code}: {message}")),
+                _ => (true, String::new()),
+            };
+            sink(AuditEvent {
+                trace_id: trace.trace_id,
+                principal: principal.handle().to_string(),
+                verb: verb.to_string(),
+                dpi,
+                ok,
+                detail,
+                bytes_in: bytes.len() as u64,
+                bytes_out: encoded.len() as u64,
+            });
+        }
+        encoded
+    }
+
+    fn decode_failure(&self, bytes: &[u8], err: &crate::RdsError) -> Vec<u8> {
+        let (kind, code, message) = match err {
+            crate::RdsError::BadDigest => {
+                ("bad_digest", ErrorCode::AuthFailed, "digest verification failed".to_string())
+            }
+            crate::RdsError::UnknownOperation(_) => {
+                ("unknown_op", ErrorCode::Internal, err.to_string())
+            }
+            _ => ("codec", ErrorCode::Internal, err.to_string()),
+        };
+        if let Some(t) = &self.timers {
+            t.decode_fail(kind).inc();
+        }
+        let encoded =
+            codec::encode_response(&RdsResponse::Error { code, message }, 0, self.key.as_deref());
+        if let Some(sink) = &self.audit {
+            sink(AuditEvent {
+                trace_id: 0,
+                principal: String::new(),
+                verb: format!("decode_fail.{kind}"),
+                dpi: 0,
+                ok: false,
+                detail: err.to_string(),
+                bytes_in: bytes.len() as u64,
+                bytes_out: encoded.len() as u64,
+            });
+        }
         encoded
     }
 }
@@ -279,6 +385,108 @@ mod tests {
         let resp_bytes = server.process(b"not ber");
         let (resp, _) = codec::decode_response(&resp_bytes, None).unwrap();
         assert!(matches!(resp, RdsResponse::Error { code: ErrorCode::Internal, .. }));
+    }
+
+    #[test]
+    fn decode_failures_count_per_error_kind() {
+        let tel = Telemetry::new();
+        let server =
+            RdsServer::with_policy(echo_handler(), Acl::allow_by_default(), Some(b"k".to_vec()))
+                .instrument(&tel);
+        // Codec garbage.
+        server.process(b"not ber");
+        // Missing digest against a keyed server.
+        let unsigned =
+            codec::encode_request(&RdsRequest::ListPrograms, &Principal::new("m"), 1, None);
+        server.process(&unsigned);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("rds.decode_fail.codec"), Some(1));
+        assert_eq!(snap.counter("rds.decode_fail.bad_digest"), Some(1));
+        assert_eq!(snap.counter("rds.decode_fail.unknown_op"), Some(0));
+    }
+
+    #[test]
+    fn audit_sink_sees_requests_and_decode_failures() {
+        use std::sync::Mutex;
+        let events: Arc<Mutex<Vec<AuditEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        let server = RdsServer::open(echo_handler())
+            .with_audit(Arc::new(move |ev| sink.lock().unwrap().push(ev)));
+
+        let trace = TraceContext { trace_id: 0xC0FFEE, parent_span_id: 0 };
+        let req = codec::encode_request_traced(
+            &RdsRequest::Suspend { dpi: DpiId(7) },
+            &Principal::new("mgr"),
+            1,
+            None,
+            trace,
+        );
+        let resp = server.process(&req);
+        server.process(b"junk");
+
+        let events = events.lock().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].verb, "suspend");
+        assert_eq!(events[0].trace_id, 0xC0FFEE);
+        assert_eq!(events[0].principal, "mgr");
+        assert_eq!(events[0].dpi, 7);
+        assert!(events[0].ok);
+        assert_eq!(events[0].bytes_in, req.len() as u64);
+        assert_eq!(events[0].bytes_out, resp.len() as u64);
+        assert_eq!(events[1].verb, "decode_fail.codec");
+        assert!(!events[1].ok);
+        assert_eq!(events[1].trace_id, 0);
+    }
+
+    #[test]
+    fn trace_context_is_echoed_and_set_for_the_handler() {
+        let server = RdsServer::open(|_p: &Principal, _req: RdsRequest| RdsResponse::Result {
+            value: ber::BerValue::Integer(mbd_telemetry::current_trace_id() as i64),
+        });
+        let trace = TraceContext { trace_id: 0xAB, parent_span_id: 3 };
+        let req = codec::encode_request_traced(
+            &RdsRequest::ListPrograms,
+            &Principal::new("m"),
+            9,
+            None,
+            trace,
+        );
+        let (resp, id, echoed) =
+            codec::decode_response_traced(&server.process(&req), None).unwrap();
+        assert_eq!(id, 9);
+        assert_eq!(echoed, trace, "server echoes the request's trace context");
+        assert_eq!(
+            resp,
+            RdsResponse::Result { value: ber::BerValue::Integer(0xAB) },
+            "handler ran with the thread-local trace id set"
+        );
+        assert_eq!(mbd_telemetry::current_trace_id(), 0, "guard dropped after process()");
+    }
+
+    #[test]
+    fn read_journal_requires_list_rights() {
+        let mut acl = Acl::deny_by_default();
+        acl.grant(&Principal::new("viewer"), Operation::List);
+        let server = RdsServer::with_policy(
+            |_p: &Principal, req: RdsRequest| match req {
+                RdsRequest::ReadJournal { .. } => RdsResponse::Journal { records: vec![] },
+                _ => RdsResponse::Ok,
+            },
+            acl,
+            None,
+        );
+        let mk = |who: &str| {
+            codec::encode_request(
+                &RdsRequest::ReadJournal { max_records: 5 },
+                &Principal::new(who),
+                1,
+                None,
+            )
+        };
+        let (resp, _) = codec::decode_response(&server.process(&mk("viewer")), None).unwrap();
+        assert_eq!(resp, RdsResponse::Journal { records: vec![] });
+        let (resp, _) = codec::decode_response(&server.process(&mk("stranger")), None).unwrap();
+        assert!(matches!(resp, RdsResponse::Error { code: ErrorCode::AccessDenied, .. }));
     }
 
     #[test]

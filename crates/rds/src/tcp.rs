@@ -125,7 +125,7 @@ impl Transport for TcpTransport {
 }
 
 /// Sizing and timing of a [`TcpServer`]'s worker pool.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct TcpServerConfig {
     /// Worker threads serving connections (each worker serves one
     /// connection at a time, start to finish).
@@ -142,6 +142,23 @@ pub struct TcpServerConfig {
     /// accessors. Share the embedding server's domain so a single
     /// snapshot sees transport and runtime together.
     pub telemetry: Option<Telemetry>,
+    /// Called once per survived handler panic (after the panic counter
+    /// is bumped), so the embedding server can journal the event. Runs
+    /// on the worker thread that caught the panic.
+    pub on_panic: Option<Arc<dyn Fn() + Send + Sync>>,
+}
+
+impl std::fmt::Debug for TcpServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpServerConfig")
+            .field("workers", &self.workers)
+            .field("backlog", &self.backlog)
+            .field("idle_poll", &self.idle_poll)
+            .field("frame_timeout", &self.frame_timeout)
+            .field("telemetry", &self.telemetry)
+            .field("on_panic", &self.on_panic.as_ref().map(|_| "Fn"))
+            .finish()
+    }
 }
 
 impl Default for TcpServerConfig {
@@ -152,6 +169,7 @@ impl Default for TcpServerConfig {
             idle_poll: Duration::from_millis(25),
             frame_timeout: Duration::from_secs(5),
             telemetry: None,
+            on_panic: None,
         }
     }
 }
@@ -415,6 +433,9 @@ fn serve_connection(
                     Err(_) => {
                         shared.handler_panics.fetch_add(1, Ordering::Relaxed);
                         shared.metrics.panics.inc();
+                        if let Some(hook) = &config.on_panic {
+                            hook();
+                        }
                         return Ok(()); // drop the connection, keep the worker
                     }
                 }
@@ -628,6 +649,30 @@ mod tests {
         assert!(poisoned.request(&[66]).is_err());
         server.shutdown();
         assert_eq!(tel.snapshot().counter("rds.tcp.handler_panics"), Some(1));
+    }
+
+    #[test]
+    fn on_panic_hook_fires_per_survived_panic() {
+        let fired = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&fired);
+        let server = TcpServer::spawn_with(
+            "127.0.0.1:0",
+            TcpServerConfig {
+                on_panic: Some(Arc::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                })),
+                ..TcpServerConfig::default()
+            },
+            |req| {
+                assert!(req != [66], "poison request");
+                req.to_vec()
+            },
+        )
+        .unwrap();
+        let poisoned = TcpTransport::connect(server.local_addr()).unwrap();
+        assert!(poisoned.request(&[66]).is_err());
+        server.shutdown();
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use ber::BerValue;
 use mbd_auth::Principal;
 use proptest::prelude::*;
-use rds::{codec, DpiId, RdsRequest, RdsResponse, RdsServer};
+use rds::{codec, DpiId, RdsRequest, RdsResponse, RdsServer, TraceContext};
 
 fn arb_name() -> impl Strategy<Value = String> {
     "[a-zA-Z0-9_.-]{0,24}"
@@ -56,6 +56,42 @@ proptest! {
         if key_a != key_b {
             prop_assert!(codec::decode_request(&bytes, Some(&key_b)).is_err());
         }
+    }
+
+    #[test]
+    fn trace_context_rides_any_request(
+        req in arb_request(),
+        trace_id in any::<u64>(),
+        parent_span_id in any::<u64>(),
+        keyed in any::<bool>(),
+    ) {
+        let trace = TraceContext { trace_id, parent_span_id };
+        let key: Option<&[u8]> = if keyed { Some(b"trace-key") } else { None };
+        let bytes = codec::encode_request_traced(&req, &Principal::new("t"), 7, key, trace);
+        let (decoded, _, id, got) = codec::decode_request_traced(&bytes, key).unwrap();
+        prop_assert_eq!(decoded, req.clone());
+        prop_assert_eq!(id, 7);
+        prop_assert_eq!(got, trace);
+        if !trace.is_set() {
+            // An unset trace produces the byte-identical legacy frame.
+            let legacy = codec::encode_request(&req, &Principal::new("t"), 7, key);
+            prop_assert_eq!(bytes, legacy);
+        }
+    }
+
+    #[test]
+    fn legacy_decoder_accepts_traced_unkeyed_frames(
+        req in arb_request(),
+        trace_id in 1..u64::MAX,
+    ) {
+        // Unkeyed traced frames stay readable through the legacy entry
+        // point: the trace suffix rides the (otherwise empty) digest
+        // field and is simply dropped.
+        let trace = TraceContext { trace_id, parent_span_id: 0 };
+        let bytes = codec::encode_request_traced(&req, &Principal::new("t"), 3, None, trace);
+        let (decoded, _, id) = codec::decode_request(&bytes, None).unwrap();
+        prop_assert_eq!(decoded, req);
+        prop_assert_eq!(id, 3);
     }
 
     #[test]

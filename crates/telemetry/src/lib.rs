@@ -47,7 +47,7 @@ pub mod trace;
 pub use hist::{bucket_bound_ns, HistSnapshot, Histogram, BUCKETS};
 pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
 pub use span::{OwnedSpan, Span, Timer};
-pub use trace::{TraceEvent, TraceRing};
+pub use trace::{current_trace_id, enter_trace, TraceEvent, TraceRing, TraceScope};
 
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;

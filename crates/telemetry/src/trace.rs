@@ -1,15 +1,55 @@
-//! The bounded structured-trace ring.
+//! The bounded structured-trace ring and the thread-local trace context.
 //!
 //! When tracing is enabled, every finished span also emits a
 //! [`TraceEvent`] into a [`TraceRing`] — a drop-oldest bounded queue
 //! with a loss counter, the same backpressure discipline as the elastic
 //! process's notification outbox: a trace consumer that stops draining
 //! costs bounded memory and an honest drop count, never the server.
+//!
+//! Every event is stamped with the **current trace id** — a thread-local
+//! correlation id set by the request front-end ([`enter_trace`]) for the
+//! duration of one dispatched request, so a span sample can be tied back
+//! to the RDS request that caused it. Zero means "no trace".
 
 use parking_lot::Mutex;
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+thread_local! {
+    static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The trace id of the request this thread is currently serving
+/// (0 = none). Set with [`enter_trace`]; read by span recording and by
+/// anything that wants to correlate its output with the in-flight
+/// request (notifications, log lines, journal records).
+pub fn current_trace_id() -> u64 {
+    CURRENT_TRACE.with(Cell::get)
+}
+
+/// Sets the thread's current trace id for the lifetime of the returned
+/// guard (restoring the previous id on drop, so nested dispatch —
+/// e.g. an agent invoking back into the runtime — keeps the outermost
+/// request's id after the inner scope ends).
+#[must_use = "the trace id is reset when the guard drops — binding to `_` clears it immediately"]
+pub fn enter_trace(trace_id: u64) -> TraceScope {
+    TraceScope { prev: CURRENT_TRACE.with(|c| c.replace(trace_id)) }
+}
+
+/// RAII guard restoring the previous thread-local trace id (see
+/// [`enter_trace`]).
+#[derive(Debug)]
+pub struct TraceScope {
+    prev: u64,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|c| c.set(self.prev));
+    }
+}
 
 /// One finished span, as recorded into the ring.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +63,9 @@ pub struct TraceEvent {
     pub start_ns: u64,
     /// Span duration in nanoseconds.
     pub duration_ns: u64,
+    /// The thread's [`current_trace_id`] when the span finished
+    /// (0 = recorded outside any traced request).
+    pub trace_id: u64,
 }
 
 /// A drop-oldest bounded ring of [`TraceEvent`]s.
@@ -44,10 +87,17 @@ impl TraceRing {
         }
     }
 
-    /// Appends an event, evicting (and counting) the oldest at capacity.
+    /// Appends an event stamped with the thread's [`current_trace_id`],
+    /// evicting (and counting) the oldest at capacity.
     pub fn push(&self, name: &str, start_ns: u64, duration_ns: u64) {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
-        let event = TraceEvent { seq, name: name.to_string(), start_ns, duration_ns };
+        let event = TraceEvent {
+            seq,
+            name: name.to_string(),
+            start_ns,
+            duration_ns,
+            trace_id: current_trace_id(),
+        };
         let mut q = self.inner.lock();
         if q.len() >= self.capacity {
             q.pop_front();
@@ -134,5 +184,34 @@ mod tests {
         assert_eq!(r.capacity(), 1);
         assert_eq!(r.snapshot()[0].name, "b");
         assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn events_capture_the_current_trace_id() {
+        let r = TraceRing::new(8);
+        r.push("outside", 0, 1);
+        {
+            let _scope = enter_trace(0xABCD);
+            r.push("inside", 1, 1);
+        }
+        r.push("after", 2, 1);
+        let events = r.drain();
+        assert_eq!(events[0].trace_id, 0);
+        assert_eq!(events[1].trace_id, 0xABCD);
+        assert_eq!(events[2].trace_id, 0, "scope must reset on drop");
+    }
+
+    #[test]
+    fn trace_scopes_nest_and_restore() {
+        assert_eq!(current_trace_id(), 0);
+        let outer = enter_trace(7);
+        assert_eq!(current_trace_id(), 7);
+        {
+            let _inner = enter_trace(9);
+            assert_eq!(current_trace_id(), 9);
+        }
+        assert_eq!(current_trace_id(), 7, "inner scope restores the outer id");
+        drop(outer);
+        assert_eq!(current_trace_id(), 0);
     }
 }

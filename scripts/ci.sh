@@ -45,7 +45,37 @@ for _ in 1 2 3 4 5; do
 done
 "${MBDCTL[@]}" suspend "$SMOKE_DPI" >/dev/null
 "${MBDCTL[@]}" resume "$SMOKE_DPI" >/dev/null
-sleep 2 # let a --stats tick print the filled histograms
+sleep 2 # let a --stats tick print the filled histograms (and refresh OCP)
+
+# A delegated watchdog agent walks its own server's mbdDpiAccounting
+# subtree (enterprises.20100.5) — the accounting rows must be there.
+echo 'fn count() { return len(mib_walk("1.3.6.1.4.1.20100.5")); }' > "$SMOKE_DIR/walker.dpl"
+"${MBDCTL[@]}" delegate walker "$SMOKE_DIR/walker.dpl" >/dev/null
+WALKER_DPI="$("${MBDCTL[@]}" instantiate walker)"
+ACCT_ROWS="$("${MBDCTL[@]}" invoke "$WALKER_DPI" count)"
+[ "$ACCT_ROWS" -gt 0 ] 2>/dev/null || {
+    echo "smoke FAILED: delegated walk of 20100.5 saw no accounting rows (got \`$ACCT_ROWS\`)"
+    exit 1
+}
+
+# The audit journal must have recorded the driven verbs, each under a
+# non-zero trace id minted by mbdctl.
+JOURNAL_OUT="$SMOKE_DIR/journal.txt"
+"${MBDCTL[@]}" journal > "$JOURNAL_OUT"
+for verb in delegate instantiate invoke suspend resume; do
+    grep -Eq "trace=0{16} .* verb=$verb " "$JOURNAL_OUT" && {
+        echo "smoke FAILED: journal has an untraced \`$verb\` record:"
+        grep " verb=$verb " "$JOURNAL_OUT"
+        exit 1
+    }
+    grep -Eq "trace=[0-9a-f]{16} principal=mbdctl verb=$verb " "$JOURNAL_OUT" || {
+        echo "smoke FAILED: journal is missing a traced \`$verb\` record:"
+        cat "$JOURNAL_OUT"
+        exit 1
+    }
+done
+echo "smoke ok: $ACCT_ROWS accounting rows walked, $(wc -l < "$JOURNAL_OUT") journal records traced"
+
 kill "$SMOKE_PID" 2>/dev/null || true
 wait "$SMOKE_PID" 2>/dev/null || true
 for metric in 'rds\.verb\.invoke +5 ' 'ep\.invoke +5 ' \

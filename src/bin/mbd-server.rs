@@ -3,6 +3,7 @@
 //! ```console
 //! mbd-server [--listen 127.0.0.1:4700] [--key SECRET] [--demo-mib]
 //!            [--snmp 127.0.0.1:1161] [--community public] [--stats SECS]
+//!            [--journal PATH]
 //! ```
 //!
 //! With `--demo-mib` the server's MIB is pre-populated with the MIB-II
@@ -19,10 +20,52 @@
 //! (per-verb latency histograms, transport counters, queue-depth
 //! gauges) every SECS seconds. The same numbers are exported as the
 //! `mbdTelemetry` subtree (`enterprises.20100.4`) over `--snmp`.
+//!
+//! With `--journal PATH` the audit journal — every RDS operation,
+//! lifecycle transition, quota breach and survived panic, each with its
+//! trace id — is appended to PATH as one JSON object per line (records
+//! already evicted from the bounded in-memory ring are not recovered).
+//! Per-dpi resource accounts are republished into the
+//! `mbdDpiAccounting` subtree (`enterprises.20100.5`) every second, so
+//! both SNMP managers and delegated watchdog agents can read them.
 
-use mbd::core::{ElasticConfig, ElasticProcess, MbdServer};
+use mbd::core::{AuditRecord, ElasticConfig, ElasticProcess, MbdServer};
 use mbd::rds::{TcpServer, TcpServerConfig};
+use std::io::Write;
 use std::sync::Arc;
+
+/// Minimal JSON string escaping for journal fields (quotes, backslashes
+/// and control characters; everything else passes through).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_line(r: &AuditRecord) -> String {
+    format!(
+        "{{\"seq\":{},\"ticks\":{},\"trace\":\"{:016x}\",\"principal\":\"{}\",\
+         \"verb\":\"{}\",\"dpi\":{},\"ok\":{},\"detail\":\"{}\"}}",
+        r.seq,
+        r.ticks,
+        r.trace_id,
+        json_escape(&r.principal),
+        json_escape(&r.verb),
+        r.dpi,
+        r.ok,
+        json_escape(&r.detail),
+    )
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut listen = "127.0.0.1:4700".to_string();
@@ -31,6 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut snmp_listen: Option<String> = None;
     let mut community = "public".to_string();
     let mut stats_every: Option<u64> = None;
+    let mut journal_path: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -45,10 +89,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     args.next().ok_or("--stats needs an interval in seconds")?.parse()?;
                 stats_every = Some(secs.max(1));
             }
+            "--journal" => journal_path = Some(args.next().ok_or("--journal needs a path")?),
             "--help" | "-h" => {
                 println!(
                     "usage: mbd-server [--listen ADDR] [--key SECRET] [--demo-mib] \
-                     [--snmp ADDR] [--community NAME] [--stats SECS]"
+                     [--snmp ADDR] [--community NAME] [--stats SECS] [--journal PATH]"
                 );
                 return Ok(());
             }
@@ -73,8 +118,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the ep.* runtime metrics together.
     let tcp = {
         let server = Arc::clone(&server);
+        // A connection handler that panics (and is survived by the
+        // transport) leaves an audit trail too.
+        let panic_process = process.clone();
         let config = TcpServerConfig {
             telemetry: Some(process.telemetry().clone()),
+            on_panic: Some(Arc::new(move || {
+                panic_process.journal().record(
+                    panic_process.ticks(),
+                    0,
+                    "server",
+                    "panic",
+                    0,
+                    false,
+                    "connection handler panicked; connection dropped",
+                );
+            })),
             ..TcpServerConfig::default()
         };
         TcpServer::spawn_with(listen.as_str(), config, move |bytes| server.process_request(bytes))?
@@ -85,9 +144,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if authenticated { "md5 keyed digest" } else { "none" }
     );
 
-    // Optional legacy SNMP plane over UDP, via the OCP adapter.
+    // The OCP adapter publishes server status, telemetry and per-dpi
+    // accounting into the shared MIB. It always exists (delegated
+    // agents read the subtrees via mib_walk even without SNMP); the UDP
+    // plane for legacy managers is optional.
+    let ocp = mbd::core::ocp::SnmpOcp::new(process.clone(), &community);
     if let Some(addr) = snmp_listen {
-        let ocp = mbd::core::ocp::SnmpOcp::new(process.clone(), &community);
+        let ocp = ocp.clone();
         let socket = std::net::UdpSocket::bind(addr.as_str())?;
         println!("snmp agent (community `{community}`) on udp {}", socket.local_addr()?);
         std::thread::spawn(move || {
@@ -100,20 +163,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         });
     }
+    let mut journal_out = match &journal_path {
+        Some(path) => {
+            let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+            println!("audit journal appending to {path}");
+            Some(file)
+        }
+        None => None,
+    };
     println!("press ctrl-c to stop");
 
-    // Periodically surface agent notifications, log lines, and (with
-    // --stats) the server's own telemetry registry.
+    // Periodically surface agent notifications, log lines, new journal
+    // records, and (with --stats) the server's own telemetry registry.
     let mut seconds: u64 = 0;
+    let mut journal_seq: u64 = 0;
     loop {
         std::thread::sleep(std::time::Duration::from_secs(1));
         seconds += 1;
         process.advance_ticks(100);
+        ocp.refresh();
         for note in process.drain_notifications() {
-            println!("[notify] {}: {}", note.dpi, note.value);
+            if note.trace_id == 0 {
+                println!("[notify] {}: {}", note.dpi, note.value);
+            } else {
+                println!("[notify] {} [{:016x}]: {}", note.dpi, note.trace_id, note.value);
+            }
         }
         for line in process.drain_log() {
             println!("[agent]  {line}");
+        }
+        if let Some(out) = &mut journal_out {
+            for record in process.journal().since(journal_seq) {
+                journal_seq = record.seq;
+                writeln!(out, "{}", json_line(&record))?;
+            }
+            out.flush()?;
         }
         if let Some(every) = stats_every {
             if seconds.is_multiple_of(every) {

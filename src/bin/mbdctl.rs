@@ -12,7 +12,13 @@
 //!   send DPI PAYLOAD            post to the instance's mailbox
 //!   programs                    list stored programs
 //!   instances                   list instances and their states
+//!   journal [MAX]               read the server's audit journal (newest
+//!                               MAX records; all retained when omitted)
 //! ```
+//!
+//! Every request carries a fresh trace id; `journal` shows which trace
+//! caused which operation (`trace=` is all zeros only for records whose
+//! cause was untraced, e.g. server-internal events before any request).
 
 use ber::BerValue;
 use mbd::rds::{DpiId, RdsClient, TcpTransport};
@@ -46,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--key" => key = Some(args.next().ok_or("--key needs a secret")?.into_bytes()),
             "--principal" => principal = args.next().ok_or("--principal needs a name")?,
             "--help" | "-h" => {
-                println!("see `mbdctl` module docs; commands: delegate delete instantiate invoke suspend resume terminate send programs instances");
+                println!("see `mbdctl` module docs; commands: delegate delete instantiate invoke suspend resume terminate send programs instances journal");
                 return Ok(());
             }
             other => {
@@ -95,6 +101,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("instances", []) => {
             for i in client.list_instances()? {
                 println!("{}\t{}\t{}", i.id, i.dp_name, i.state);
+            }
+        }
+        ("journal", rest @ ([] | [_])) => {
+            let max: u32 = match rest {
+                [m] => m.parse().map_err(|_| format!("bad record count `{m}`"))?,
+                _ => 0,
+            };
+            for r in client.read_journal(max)? {
+                println!(
+                    "seq={} ticks={} trace={:016x} principal={} verb={} dpi={} {} detail={}",
+                    r.seq,
+                    r.ticks,
+                    r.trace_id,
+                    r.principal,
+                    r.verb,
+                    r.dpi,
+                    if r.ok { "ok" } else { "err" },
+                    r.detail,
+                );
             }
         }
         (cmd, _) => return Err(format!("bad command or arguments: `{cmd}` (try --help)").into()),

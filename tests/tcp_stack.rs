@@ -4,17 +4,22 @@
 //! delegation-by-agents over the protocol.
 
 use ber::BerValue;
-use mbd::core::{ElasticConfig, ElasticProcess, MbdServer};
-use mbd::rds::{RdsClient, TcpServer, TcpTransport};
+use mbd::core::{DpiQuota, ElasticConfig, ElasticProcess, MbdServer};
+use mbd::rds::{codec, RdsClient, RdsRequest, RdsResponse, TcpServer, TcpTransport, Transport};
+use mbd_auth::Principal;
 use std::sync::Arc;
 
-fn spawn_server(key: Option<Vec<u8>>) -> (TcpServer, ElasticProcess) {
-    let process = ElasticProcess::new(ElasticConfig::default());
+fn spawn_server_with(config: ElasticConfig, key: Option<Vec<u8>>) -> (TcpServer, ElasticProcess) {
+    let process = ElasticProcess::new(config);
     mbd::snmp::mib2::install_system(process.mib(), "tcp device", "tcp1").unwrap();
     let server =
         Arc::new(MbdServer::with_policy(process.clone(), mbd_auth::Acl::allow_by_default(), key));
     let tcp = TcpServer::spawn("127.0.0.1:0", move |bytes| server.process_request(bytes)).unwrap();
     (tcp, process)
+}
+
+fn spawn_server(key: Option<Vec<u8>>) -> (TcpServer, ElasticProcess) {
+    spawn_server_with(ElasticConfig::default(), key)
 }
 
 #[test]
@@ -77,6 +82,116 @@ fn agent_side_delegation_visible_to_remote_manager() {
 
     // And the outcome notifications were recorded server-side.
     assert_eq!(process.drain_notifications().len(), 2);
+    tcp.shutdown();
+}
+
+#[test]
+fn one_request_carries_one_trace_id_everywhere() {
+    let (tcp, process) = spawn_server(None);
+    process.telemetry().enable_tracing(256);
+    let client = RdsClient::new(TcpTransport::connect(tcp.local_addr()).unwrap(), "noc");
+    client.delegate("t", r#"fn main() { log("ping"); return 1; }"#).unwrap();
+    let dpi = client.instantiate("t").unwrap();
+    client.invoke(dpi, "main", &[]).unwrap();
+    let trace = client.last_trace_id();
+    assert_ne!(trace, 0);
+
+    // (a) The server's telemetry spans — protocol and runtime layers —
+    // finished under the request's trace id.
+    let events = process.telemetry().trace_events();
+    assert!(
+        events.iter().any(|e| e.name == "rds.verb.invoke" && e.trace_id == trace),
+        "rds span missing trace {trace:016x}: {events:?}"
+    );
+    assert!(
+        events.iter().any(|e| e.name == "ep.invoke" && e.trace_id == trace),
+        "runtime span missing trace {trace:016x}"
+    );
+    // (b) The dpi's accounting row shows the same trace as last toucher.
+    assert_eq!(process.dpi_account(dpi).unwrap().last_trace_id, trace);
+    // (c) The audit journal records the request under the trace.
+    let records = client.read_journal(0).unwrap();
+    assert!(records.iter().any(|r| r.verb == "invoke" && r.trace_id == trace && r.dpi == dpi.0));
+    // (d) The agent's log line is prefixed with the trace.
+    let log = process.drain_log();
+    assert!(
+        log.iter().any(|l| l.contains(&format!("[{trace:016x}]"))),
+        "no traced log line in {log:?}"
+    );
+    tcp.shutdown();
+}
+
+#[test]
+fn legacy_untraced_frames_interoperate_over_tcp() {
+    let (tcp, _process) = spawn_server(None);
+    // A pre-trace manager encodes with the legacy envelope (no trace
+    // context) and still round-trips against the traced server.
+    let old_mgr = TcpTransport::connect(tcp.local_addr()).unwrap();
+    let req = codec::encode_request(
+        &RdsRequest::DelegateProgram {
+            dp_name: "old".to_string(),
+            language: "dpl".to_string(),
+            source: b"fn main() { return 4; }".to_vec(),
+        },
+        &Principal::new("legacy"),
+        1,
+        None,
+    );
+    let resp = old_mgr.request(&req).unwrap();
+    let (decoded, id) = codec::decode_response(&resp, None).unwrap();
+    assert_eq!(id, 1);
+    assert!(matches!(decoded, RdsResponse::Ok));
+
+    // A modern traced client shares the same server and program.
+    let client = RdsClient::new(TcpTransport::connect(tcp.local_addr()).unwrap(), "new");
+    let dpi = client.instantiate("old").unwrap();
+    assert_eq!(client.invoke(dpi, "main", &[]).unwrap(), BerValue::Integer(4));
+
+    // The journal keeps both stories apart: the legacy request carries
+    // trace 0, the modern ones a real trace id.
+    let records = client.read_journal(0).unwrap();
+    assert!(records
+        .iter()
+        .any(|r| r.verb == "delegate" && r.trace_id == 0 && r.principal == "legacy" && r.ok));
+    assert!(records.iter().any(|r| r.verb == "invoke" && r.trace_id != 0 && r.principal == "new"));
+    tcp.shutdown();
+}
+
+#[test]
+fn quota_breach_over_tcp_correlates_by_trace() {
+    let config = ElasticConfig {
+        quota: Some(DpiQuota { max_invocations: Some(2), ..DpiQuota::default() }),
+        ..ElasticConfig::default()
+    };
+    let (tcp, process) = spawn_server_with(config, None);
+    let client = RdsClient::new(TcpTransport::connect(tcp.local_addr()).unwrap(), "noc");
+    client.delegate("f", "fn main() { return 1; }").unwrap();
+    let dpi = client.instantiate("f").unwrap();
+    client.invoke(dpi, "main", &[]).unwrap();
+    client.invoke(dpi, "main", &[]).unwrap();
+    // The third invocation crosses the limit and trips the brake.
+    client.invoke(dpi, "main", &[]).unwrap();
+    let tripping_trace = client.last_trace_id();
+    assert!(client.invoke(dpi, "main", &[]).is_err(), "suspended dpi refuses invocations");
+
+    let instances = client.list_instances().unwrap();
+    assert_eq!(
+        instances.iter().find(|i| i.id == dpi).unwrap().state,
+        mbd::rds::DpiState::Suspended
+    );
+
+    // Notification and journal entry both carry the tripping trace.
+    let notes = process.drain_notifications();
+    let breach = notes.iter().find(|n| n.dpi == dpi).expect("breach notification");
+    assert_eq!(breach.trace_id, tripping_trace);
+    let records = client.read_journal(0).unwrap();
+    let journaled = records
+        .iter()
+        .find(|r| r.verb == "quota.breach" && r.dpi == dpi.0)
+        .expect("breach journaled");
+    assert_eq!(journaled.trace_id, tripping_trace);
+    assert!(!journaled.ok);
+    assert!(journaled.detail.contains("invocations"));
     tcp.shutdown();
 }
 
