@@ -6,8 +6,9 @@
 //! simulated. Byte counts on links are therefore real BER-encoded
 //! message sizes.
 
+use ber::BerValue;
 use mbd_core::{ElasticProcess, MbdServer};
-use netsim::{Actor, Context, NodeId, SimTime, TimerToken};
+use netsim::{Actor, Context, NodeId, SimDuration, SimTime, TimerToken};
 use rds::{codec, DpiId, RdsError, RdsRequest, RdsResponse};
 use snmp::agent::SnmpAgent;
 
@@ -51,6 +52,11 @@ impl MbdDeviceActor {
     /// The underlying elastic process.
     pub fn process(&self) -> &ElasticProcess {
         self.server.process()
+    }
+
+    /// The RDS front-end (e.g. to read [`MbdServer::dedup_hits`]).
+    pub fn server(&self) -> &MbdServer {
+        &self.server
     }
 }
 
@@ -98,6 +104,166 @@ impl RdsSimClient {
         match resp {
             RdsResponse::Instantiated { dpi } => Some(*dpi),
             _ => None,
+        }
+    }
+}
+
+/// Where a [`RetryingManagerActor`] is in its delegation workflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ManagerStep {
+    Delegate,
+    Instantiate,
+    Invoke,
+    Terminate,
+    Done,
+}
+
+/// The request currently awaiting an answer: the manager retransmits
+/// these **identical bytes** on every timeout, so the server's
+/// duplicate-suppression cache recognizes re-deliveries and replays the
+/// original response instead of re-executing the effect.
+#[derive(Debug)]
+struct PendingRequest {
+    id: i64,
+    bytes: Vec<u8>,
+    attempts: u32,
+    timer: TimerToken,
+}
+
+/// A manager that survives partitions: each workflow step is
+/// retransmitted on a fixed timeout until its response arrives (or the
+/// attempt budget runs out), driving delegate → instantiate → invoke →
+/// terminate to completion across a lossy or partitioned link on the
+/// simulator's virtual clock.
+///
+/// Duplicate or stale responses (a re-delivered answer for an earlier
+/// attempt) are matched by request id and ignored, mirroring
+/// [`rds::RdsClient`]'s behaviour over real sockets.
+#[derive(Debug)]
+pub struct RetryingManagerActor {
+    device: NodeId,
+    client: RdsSimClient,
+    retry_after: SimDuration,
+    max_attempts: u32,
+    step: ManagerStep,
+    pending: Option<PendingRequest>,
+    /// Retransmissions sent (counterpart of `rds.retries`).
+    pub retries: u64,
+    /// The instantiated dpi, once `Instantiate` converges.
+    pub dpi: Option<DpiId>,
+    /// The invocation result, once `Invoke` converges.
+    pub result: Option<BerValue>,
+    /// Whether the full workflow converged.
+    pub done: bool,
+    /// Whether some step exhausted its attempt budget.
+    pub gave_up: bool,
+}
+
+impl RetryingManagerActor {
+    /// A manager driving `device`, retransmitting every `retry_after`
+    /// with at most `max_attempts` deliveries per step.
+    pub fn new(
+        device: NodeId,
+        principal: &str,
+        retry_after: SimDuration,
+        max_attempts: u32,
+    ) -> RetryingManagerActor {
+        RetryingManagerActor {
+            device,
+            client: RdsSimClient::new(principal),
+            retry_after,
+            max_attempts,
+            step: ManagerStep::Delegate,
+            pending: None,
+            retries: 0,
+            dpi: None,
+            result: None,
+            done: false,
+            gave_up: false,
+        }
+    }
+
+    fn send_step(&mut self, ctx: &mut Context<'_>, req: &RdsRequest) {
+        let (id, bytes) = self.client.encode(req);
+        ctx.send(self.device, bytes.clone());
+        let timer = ctx.set_timer(self.retry_after);
+        self.pending = Some(PendingRequest { id, bytes, attempts: 1, timer });
+    }
+
+    fn advance(&mut self, ctx: &mut Context<'_>, resp: RdsResponse) {
+        match (self.step, resp) {
+            (ManagerStep::Delegate, RdsResponse::Ok) => {
+                self.step = ManagerStep::Instantiate;
+                self.send_step(ctx, &RdsRequest::Instantiate { dp_name: "sq".to_string() });
+            }
+            (ManagerStep::Instantiate, RdsResponse::Instantiated { dpi }) => {
+                self.dpi = Some(dpi);
+                self.step = ManagerStep::Invoke;
+                self.send_step(
+                    ctx,
+                    &RdsRequest::Invoke {
+                        dpi,
+                        entry: "main".to_string(),
+                        args: vec![BerValue::Integer(9)],
+                    },
+                );
+            }
+            (ManagerStep::Invoke, RdsResponse::Result { value }) => {
+                self.result = Some(value);
+                let dpi = self.dpi.expect("invoke implies a dpi");
+                self.step = ManagerStep::Terminate;
+                self.send_step(ctx, &RdsRequest::Terminate { dpi });
+            }
+            (ManagerStep::Terminate, RdsResponse::Ok) => {
+                self.step = ManagerStep::Done;
+                self.done = true;
+            }
+            (step, other) => panic!("unexpected response in {step:?}: {other:?}"),
+        }
+    }
+}
+
+impl Actor for RetryingManagerActor {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.send_step(
+            ctx,
+            &RdsRequest::DelegateProgram {
+                dp_name: "sq".to_string(),
+                language: "dpl".to_string(),
+                source: b"fn main(x) { return x * x; }".to_vec(),
+            },
+        );
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, _: NodeId, bytes: Vec<u8>) {
+        // A response damaged or re-delivered for a superseded attempt is
+        // simply ignored; the retransmission timer covers us.
+        let Ok((resp, id)) = self.client.decode(&bytes) else { return };
+        let Some(pending) = &self.pending else { return };
+        if id != pending.id {
+            return;
+        }
+        self.pending = None;
+        self.advance(ctx, resp);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+        let Some(pending) = &mut self.pending else { return };
+        if pending.timer != token {
+            return; // A timer for an attempt that has since been answered.
+        }
+        if pending.attempts >= self.max_attempts {
+            self.gave_up = true;
+            self.pending = None;
+            return;
+        }
+        pending.attempts += 1;
+        self.retries += 1;
+        let bytes = pending.bytes.clone();
+        ctx.send(self.device, bytes);
+        let timer = ctx.set_timer(self.retry_after);
+        if let Some(pending) = &mut self.pending {
+            pending.timer = timer;
         }
     }
 }
@@ -220,6 +386,55 @@ mod tests {
         assert_eq!(sim.actor::<DelegatingManager>(mgr).result, Some(BerValue::Integer(144)));
         // Three round trips on a 100 ms-RTT link.
         assert!(sim.now().as_secs_f64() >= 0.3);
+    }
+
+    #[test]
+    fn retrying_manager_converges_through_partition_and_heal() {
+        let process = ElasticProcess::new(ElasticConfig::default());
+        let mut sim = Simulator::new(42);
+        let dev = sim.add_node("mbd", MbdDeviceActor::from_process(process.clone()));
+        let mgr = sim.add_node(
+            "manager",
+            RetryingManagerActor::new(dev, "noc", SimDuration::from_millis(150), 60),
+        );
+        sim.connect(mgr, dev, LinkSpec::wan());
+
+        // Let the delegation land cleanly, then partition the link
+        // completely: every retransmission during this window is lost.
+        sim.run_for(SimDuration::from_millis(120));
+        sim.connect(mgr, dev, LinkSpec::wan().with_loss(1.0));
+        sim.run_for(SimDuration::from_secs(2));
+
+        // Heal into a still-lossy link: requests sometimes arrive while
+        // their responses drop, so the server sees duplicate deliveries
+        // and must answer them from the dedup cache.
+        sim.connect(mgr, dev, LinkSpec::wan().with_loss(0.5));
+        sim.run_for(SimDuration::from_secs(20));
+
+        // Full heal; the workflow must now drain to completion.
+        sim.connect(mgr, dev, LinkSpec::wan());
+        sim.run();
+
+        let m = sim.actor::<RetryingManagerActor>(mgr);
+        assert!(m.done, "workflow must converge after the heal");
+        assert!(!m.gave_up, "attempt budget must outlast the partition");
+        assert_eq!(m.result, Some(BerValue::Integer(81)));
+        assert!(m.retries > 0, "the partition must have forced retransmissions");
+
+        // Exactly-once effects despite every re-delivery.
+        let stats = process.stats();
+        assert_eq!(stats.delegations_accepted, 1);
+        assert_eq!(stats.instantiations, 1);
+        assert_eq!(stats.invocations_ok, 1);
+        let dedup_hits = sim.actor::<MbdDeviceActor>(dev).server().dedup_hits();
+        assert!(dedup_hits > 0, "duplicate deliveries must be answered from the cache");
+        let replays = process
+            .journal()
+            .tail(0)
+            .into_iter()
+            .filter(|r| r.verb == "duplicate_replayed")
+            .count() as u64;
+        assert_eq!(replays, dedup_hits, "every replay is journalled");
     }
 
     #[test]

@@ -140,23 +140,47 @@ fn audit_sink(process: ElasticProcess) -> Arc<dyn Fn(AuditEvent) + Send + Sync> 
 
 impl MbdServer {
     /// A server with open access (the first prototype's trivial policy).
+    ///
+    /// Duplicate suppression is on by default
+    /// ([`rds::DEFAULT_DEDUP_CAPACITY`] responses per principal), so a
+    /// retrying manager gets exactly-once effects; tune or disable it
+    /// with [`MbdServer::with_dedup_capacity`].
     pub fn open(process: ElasticProcess) -> MbdServer {
         let telemetry = process.telemetry().clone();
         let audit = audit_sink(process.clone());
         MbdServer {
-            rds: RdsServer::open(Dispatcher { process }).instrument(&telemetry).with_audit(audit),
+            rds: RdsServer::open(Dispatcher { process })
+                .instrument(&telemetry)
+                .with_audit(audit)
+                .with_dedup(rds::DEFAULT_DEDUP_CAPACITY),
         }
     }
 
-    /// A server with an ACL and optional keyed-digest authentication.
+    /// A server with an ACL and optional keyed-digest authentication
+    /// (duplicate suppression on, as in [`MbdServer::open`]).
     pub fn with_policy(process: ElasticProcess, acl: Acl, key: Option<Vec<u8>>) -> MbdServer {
         let telemetry = process.telemetry().clone();
         let audit = audit_sink(process.clone());
         MbdServer {
             rds: RdsServer::with_policy(Dispatcher { process }, acl, key)
                 .instrument(&telemetry)
-                .with_audit(audit),
+                .with_audit(audit)
+                .with_dedup(rds::DEFAULT_DEDUP_CAPACITY),
         }
+    }
+
+    /// Overrides the duplicate-suppression cache's per-principal
+    /// capacity (0 disables suppression entirely).
+    #[must_use]
+    pub fn with_dedup_capacity(mut self, capacity: usize) -> MbdServer {
+        self.rds = self.rds.with_dedup(capacity);
+        self
+    }
+
+    /// Retried frames answered from the dedup cache instead of
+    /// re-executing (see [`RdsServer::dedup_hits`]).
+    pub fn dedup_hits(&self) -> u64 {
+        self.rds.dedup_hits()
     }
 
     /// Handles one encoded RDS request.
@@ -333,6 +357,65 @@ mod tests {
         assert_eq!(one.len(), 1);
         let next = c.read_journal(0).unwrap();
         assert!(next.iter().any(|r| r.verb == "read_journal" && r.principal == "mgr"));
+    }
+
+    #[test]
+    fn retried_frames_replay_instead_of_reexecuting() {
+        use rds::{codec, Transport};
+        let process = ElasticProcess::new(ElasticConfig::default());
+        let server = Arc::new(MbdServer::open(process.clone()));
+        let s = Arc::clone(&server);
+        let transport = LoopbackTransport::new(move |bytes: &[u8]| s.process_request(bytes));
+
+        let c = RdsClient::new(
+            LoopbackTransport::new({
+                let s = Arc::clone(&server);
+                move |bytes: &[u8]| s.process_request(bytes)
+            }),
+            "mgr",
+        );
+        c.delegate("f", "fn main() { return 1; }").unwrap();
+
+        // A manager whose instantiate response was lost re-sends the
+        // identical frame: the server must not create a second dpi.
+        let frame = codec::encode_request(
+            &RdsRequest::Instantiate { dp_name: "f".to_string() },
+            &Principal::new("mgr"),
+            99,
+            None,
+        );
+        let first = transport.request(&frame).unwrap();
+        let retry = transport.request(&frame).unwrap();
+        assert_eq!(first, retry, "byte-identical replay");
+        assert_eq!(process.stats().instantiations, 1, "the effect ran exactly once");
+        assert_eq!(server.dedup_hits(), 1);
+
+        // The replay is accountable: journaled as duplicate_replayed
+        // under the original verb.
+        let records = process.journal().tail(0);
+        let replayed =
+            records.iter().find(|r| r.verb == "duplicate_replayed").expect("replay journaled");
+        assert_eq!(replayed.principal, "mgr");
+        assert_eq!(replayed.detail, "instantiate");
+        assert!(replayed.ok);
+    }
+
+    #[test]
+    fn dedup_can_be_disabled() {
+        let process = ElasticProcess::new(ElasticConfig::default());
+        let server = MbdServer::open(process.clone()).with_dedup_capacity(0);
+        use rds::codec;
+        process.delegate("f", "fn main() { return 1; }").unwrap();
+        let frame = codec::encode_request(
+            &RdsRequest::Instantiate { dp_name: "f".to_string() },
+            &Principal::new("mgr"),
+            1,
+            None,
+        );
+        server.process_request(&frame);
+        server.process_request(&frame);
+        assert_eq!(process.stats().instantiations, 2, "no suppression when disabled");
+        assert_eq!(server.dedup_hits(), 0);
     }
 
     #[test]

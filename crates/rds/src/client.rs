@@ -1,25 +1,26 @@
+use crate::retry::splitmix64;
 use crate::{
-    codec, AuditRecord, DpiId, DpiSummary, RdsError, RdsRequest, RdsResponse, TraceContext,
-    Transport,
+    codec, AuditRecord, DpiId, DpiSummary, RdsError, RdsRequest, RdsResponse, RetryPolicy,
+    TraceContext, Transport,
 };
 use ber::BerValue;
 use mbd_auth::Principal;
+use mbd_telemetry::{Counter, Telemetry};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
 
-/// The splitmix64 finalizer — a cheap, well-mixed hash used to derive
-/// per-request trace ids from a wall-clock seed and a counter.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
+/// Distinguishes clients constructed in the same wall-clock instant (or
+/// after the clock fallback): each construction consumes one value, and
+/// the seed mixes it in, so two clients can never share a trace-id
+/// stream.
+static CLIENT_SEQ: AtomicU64 = AtomicU64::new(1);
 
-fn wall_clock_seed() -> u64 {
-    std::time::SystemTime::now()
+fn trace_seed() -> u64 {
+    let wall = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_nanos() as u64)
-        .unwrap_or(0x5EED)
+        .unwrap_or(0x5EED);
+    splitmix64(wall) ^ splitmix64(CLIENT_SEQ.fetch_add(1, Ordering::Relaxed))
 }
 
 /// A delegating manager's stub for one elastic process.
@@ -48,6 +49,9 @@ pub struct RdsClient<T> {
     next_id: AtomicI64,
     trace_seed: u64,
     last_trace: AtomicU64,
+    retry: RetryPolicy,
+    retries: AtomicU64,
+    retry_counter: Option<Counter>,
 }
 
 impl<T: std::fmt::Debug> std::fmt::Debug for RdsClient<T> {
@@ -68,8 +72,11 @@ impl<T: Transport> RdsClient<T> {
             principal: Principal::new(principal),
             key: None,
             next_id: AtomicI64::new(1),
-            trace_seed: wall_clock_seed(),
+            trace_seed: trace_seed(),
             last_trace: AtomicU64::new(0),
+            retry: RetryPolicy::none(),
+            retries: AtomicU64::new(0),
+            retry_counter: None,
         }
     }
 
@@ -80,14 +87,49 @@ impl<T: Transport> RdsClient<T> {
             principal: Principal::new(principal),
             key: Some(key),
             next_id: AtomicI64::new(1),
-            trace_seed: wall_clock_seed(),
+            trace_seed: trace_seed(),
             last_trace: AtomicU64::new(0),
+            retry: RetryPolicy::none(),
+            retries: AtomicU64::new(0),
+            retry_counter: None,
         }
+    }
+
+    /// Installs a retry policy: delivery failures (transport errors,
+    /// damaged responses, `Busy` sheds) are retried with the policy's
+    /// backoff until its attempt or deadline budget runs out. Retries
+    /// re-send the **identical encoded frame** — same request id and
+    /// trace id — so a server with duplicate suppression replays the
+    /// original response instead of re-executing the effect.
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> RdsClient<T> {
+        self.retry = policy;
+        self
+    }
+
+    /// Counts this client's retries into `telemetry` as `rds.retries`
+    /// (also readable via [`RdsClient::retries`]).
+    #[must_use]
+    pub fn instrument(mut self, telemetry: &Telemetry) -> RdsClient<T> {
+        self.retry_counter = Some(telemetry.counter("rds.retries"));
+        self
+    }
+
+    /// Re-sent frames since this client was created.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
     }
 
     /// This client's principal handle.
     pub fn principal(&self) -> &Principal {
         &self.principal
+    }
+
+    /// The underlying transport — e.g. to read a
+    /// [`FaultTransport`](crate::FaultTransport)'s injection counters or
+    /// a [`TcpTransport`](crate::TcpTransport)'s reconnect count.
+    pub fn transport(&self) -> &T {
+        &self.transport
     }
 
     /// The trace id of the most recent request this client sent (0
@@ -111,9 +153,39 @@ impl<T: Transport> RdsClient<T> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let trace = TraceContext { trace_id: self.fresh_trace_id(id), parent_span_id: 0 };
         self.last_trace.store(trace.trace_id, Ordering::Relaxed);
+        // Encoded once: every attempt re-sends these exact bytes, so the
+        // request id and trace id are stable across retries and the
+        // server's dedup cache can recognize a replay.
         let bytes =
             codec::encode_request_traced(req, &self.principal, id, self.key.as_deref(), trace);
-        let resp_bytes = self.transport.request(&bytes)?;
+        let started = Instant::now();
+        let mut attempt = 1u32;
+        loop {
+            match self.exchange(&bytes, id) {
+                Ok(resp) => return Ok(resp),
+                Err(err) => {
+                    let out_of_attempts = attempt >= self.retry.max_attempts.max(1);
+                    let expired = self.retry.deadline.is_some_and(|d| started.elapsed() >= d);
+                    if out_of_attempts || expired || !RetryPolicy::is_retryable(&err) {
+                        return Err(err);
+                    }
+                    let backoff = self.retry.backoff_for(attempt);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    attempt += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    if let Some(counter) = &self.retry_counter {
+                        counter.inc();
+                    }
+                }
+            }
+        }
+    }
+
+    /// One send/receive of an already-encoded frame.
+    fn exchange(&self, bytes: &[u8], id: i64) -> Result<RdsResponse, RdsError> {
+        let resp_bytes = self.transport.request(bytes)?;
         let (resp, resp_id, _echo) =
             codec::decode_response_traced(&resp_bytes, self.key.as_deref())?;
         if let RdsResponse::Error { code, message } = resp {
@@ -379,6 +451,123 @@ mod tests {
         }));
         let client = client_for(server);
         assert_eq!(client.read_journal(16).unwrap(), vec![record]);
+    }
+
+    /// A transport that fails the first `failures` requests, then
+    /// delegates to a demo server.
+    fn flaky_transport(
+        failures: u64,
+        server: Arc<RdsServer<impl RdsHandler + Send + Sync + 'static>>,
+    ) -> LoopbackTransport {
+        use std::sync::atomic::AtomicU64;
+        let remaining = AtomicU64::new(failures);
+        LoopbackTransport::new(move |bytes: &[u8]| {
+            if remaining
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                panic!("simulated transport failure");
+            }
+            server.process(bytes)
+        })
+    }
+
+    /// LoopbackTransport propagates handler panics as panics, so wrap it
+    /// to surface them as transport errors instead.
+    struct Catching(LoopbackTransport);
+    impl Transport for Catching {
+        fn request(&self, bytes: &[u8]) -> Result<Vec<u8>, RdsError> {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.0.request(bytes)))
+                .unwrap_or_else(|_| Err(RdsError::Transport { message: "link failed".to_string() }))
+        }
+    }
+
+    fn fast_retry(attempts: u32) -> crate::RetryPolicy {
+        crate::RetryPolicy {
+            max_attempts: attempts,
+            base_backoff: std::time::Duration::ZERO,
+            max_backoff: std::time::Duration::ZERO,
+            deadline: None,
+            jitter_seed: 1,
+        }
+    }
+
+    #[test]
+    fn retry_policy_survives_transient_transport_failures() {
+        let t = Catching(flaky_transport(2, demo_server()));
+        let client = RdsClient::new(t, "mgr").with_retry(fast_retry(4));
+        assert_eq!(client.list_programs().unwrap(), vec!["dp".to_string()]);
+        assert_eq!(client.retries(), 2, "two failures cost two retries");
+    }
+
+    #[test]
+    fn attempts_are_bounded() {
+        let t = Catching(flaky_transport(10, demo_server()));
+        let client = RdsClient::new(t, "mgr").with_retry(fast_retry(3));
+        assert!(matches!(client.list_programs().unwrap_err(), RdsError::Transport { .. }));
+        assert_eq!(client.retries(), 2, "3 attempts = first try + 2 retries");
+    }
+
+    #[test]
+    fn remote_errors_are_not_retried() {
+        let client = client_for(demo_server());
+        let client = client.with_retry(fast_retry(5));
+        assert!(matches!(
+            client.delegate("bad", "###").unwrap_err(),
+            RdsError::Remote { code: ErrorCode::TranslationFailed, .. }
+        ));
+        assert_eq!(client.retries(), 0, "an authoritative answer is final");
+    }
+
+    #[test]
+    fn an_expired_deadline_stops_retrying() {
+        let t = Catching(flaky_transport(10, demo_server()));
+        let policy =
+            crate::RetryPolicy { deadline: Some(std::time::Duration::ZERO), ..fast_retry(5) };
+        let client = RdsClient::new(t, "mgr").with_retry(policy);
+        assert!(client.list_programs().is_err());
+        assert_eq!(client.retries(), 0, "deadline expired before the first retry");
+    }
+
+    #[test]
+    fn retries_reach_shared_telemetry() {
+        let tel = mbd_telemetry::Telemetry::new();
+        let t = Catching(flaky_transport(1, demo_server()));
+        let client = RdsClient::new(t, "mgr").with_retry(fast_retry(4)).instrument(&tel);
+        client.list_programs().unwrap();
+        assert_eq!(tel.snapshot().counter("rds.retries"), Some(1));
+    }
+
+    #[test]
+    fn retries_preserve_request_and_trace_ids() {
+        use parking_lot::Mutex;
+        // Record every frame the transport carries; fail the first one.
+        let frames: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen = Arc::clone(&frames);
+        let server = demo_server();
+        let t = Catching(LoopbackTransport::new(move |bytes: &[u8]| {
+            seen.lock().push(bytes.to_vec());
+            if seen.lock().len() == 1 {
+                panic!("first delivery lost");
+            }
+            server.process(bytes)
+        }));
+        let client = RdsClient::new(t, "mgr").with_retry(fast_retry(3));
+        client.list_programs().unwrap();
+        let frames = frames.lock();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0], frames[1], "the retry re-sends the identical frame");
+    }
+
+    #[test]
+    fn concurrent_clients_mint_distinct_trace_streams() {
+        // Even when constructed back-to-back (same wall-clock nanosecond
+        // on a coarse clock), the process-wide counter keeps seeds apart.
+        let a = client_for(demo_server());
+        let b = client_for(demo_server());
+        a.list_programs().unwrap();
+        b.list_programs().unwrap();
+        assert_ne!(a.last_trace_id(), b.last_trace_id());
     }
 
     #[test]

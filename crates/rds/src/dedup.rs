@@ -1,0 +1,219 @@
+//! Exactly-once request semantics: a bounded per-principal
+//! duplicate-suppression cache.
+//!
+//! A lost *response* is indistinguishable from a lost *request*, so a
+//! retrying manager may re-send a frame whose effect already executed.
+//! Naively re-running `Instantiate` would create a second dpi; re-running
+//! `Terminate` would answer `BadState`. The cache keys each processed
+//! request on `(principal, request_id)` and remembers the **encoded
+//! response**, so a retried frame is answered by replaying the original
+//! bytes — the effect runs at most once, and the manager cannot tell a
+//! replay from a first answer (they are byte-identical, trace echo
+//! included, because retries re-send the identical frame).
+//!
+//! A fingerprint of the full request frame guards the id-reuse hazard: a
+//! restarted manager that reuses id 1 for a *different* request hashes
+//! differently, misses, and executes normally. Eviction is drop-oldest
+//! per principal (insertion order), and the principal table itself is
+//! bounded the same way, so memory stays bounded no matter how many
+//! managers or ids appear.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Entries retained per principal by default.
+pub const DEFAULT_DEDUP_CAPACITY: usize = 128;
+
+/// Distinct principals tracked at once (drop-oldest beyond this).
+const MAX_PRINCIPALS: usize = 64;
+
+/// A cheap stable fingerprint of a request frame (FNV-1a 64) used to
+/// distinguish a true retry (identical bytes) from request-id reuse.
+pub fn frame_fingerprint(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Responses already sent to one principal, keyed by request id.
+struct PrincipalEntries {
+    /// request id → (request fingerprint, encoded response).
+    map: HashMap<i64, (u64, Vec<u8>)>,
+    /// Insertion order for drop-oldest eviction.
+    order: VecDeque<i64>,
+}
+
+/// Bounded duplicate-suppression cache (see the module docs).
+pub struct DedupCache {
+    inner: Mutex<DedupInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    insertions: AtomicU64,
+}
+
+struct DedupInner {
+    principals: HashMap<String, PrincipalEntries>,
+    principal_order: VecDeque<String>,
+}
+
+impl DedupCache {
+    /// A cache retaining at most `capacity` responses per principal
+    /// (min 1).
+    pub fn new(capacity: usize) -> DedupCache {
+        DedupCache {
+            inner: Mutex::new(DedupInner {
+                principals: HashMap::new(),
+                principal_order: VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a previously sent response for `(principal, request_id)`.
+    /// Returns the encoded response only when `fingerprint` matches the
+    /// stored one — id reuse with different bytes is a miss, not a
+    /// replay.
+    pub fn lookup(&self, principal: &str, request_id: i64, fingerprint: u64) -> Option<Vec<u8>> {
+        let inner = self.inner.lock();
+        let entries = inner.principals.get(principal)?;
+        let (stored_fp, response) = entries.map.get(&request_id)?;
+        if *stored_fp != fingerprint {
+            return None;
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(response.clone())
+    }
+
+    /// Remembers the encoded `response` for `(principal, request_id)`,
+    /// evicting the principal's oldest entry at capacity (and the oldest
+    /// principal when the principal table itself is full).
+    pub fn store(&self, principal: &str, request_id: i64, fingerprint: u64, response: &[u8]) {
+        let mut inner = self.inner.lock();
+        if !inner.principals.contains_key(principal) {
+            if inner.principals.len() >= MAX_PRINCIPALS {
+                if let Some(oldest) = inner.principal_order.pop_front() {
+                    inner.principals.remove(&oldest);
+                }
+            }
+            inner.principal_order.push_back(principal.to_string());
+            inner.principals.insert(
+                principal.to_string(),
+                PrincipalEntries { map: HashMap::new(), order: VecDeque::new() },
+            );
+        }
+        let entries = inner.principals.get_mut(principal).expect("just inserted");
+        if entries.map.insert(request_id, (fingerprint, response.to_vec())).is_none() {
+            entries.order.push_back(request_id);
+            if entries.order.len() > self.capacity {
+                if let Some(evicted) = entries.order.pop_front() {
+                    entries.map.remove(&evicted);
+                }
+            }
+        }
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Replays served from the cache since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Responses remembered since creation (including overwrites).
+    pub fn insertions(&self) -> u64 {
+        self.insertions.load(Ordering::Relaxed)
+    }
+
+    /// The per-principal capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl std::fmt::Debug for DedupCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DedupCache")
+            .field("capacity", &self.capacity)
+            .field("hits", &self.hits())
+            .field("insertions", &self.insertions())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_requires_matching_fingerprint() {
+        let cache = DedupCache::new(8);
+        let fp = frame_fingerprint(b"request-1");
+        cache.store("mgr", 1, fp, b"response-1");
+        assert_eq!(cache.lookup("mgr", 1, fp), Some(b"response-1".to_vec()));
+        assert_eq!(cache.hits(), 1);
+        // Same id, different bytes: a restarted manager reusing ids.
+        assert_eq!(cache.lookup("mgr", 1, frame_fingerprint(b"other")), None);
+        // Different principal or id: miss.
+        assert_eq!(cache.lookup("other", 1, fp), None);
+        assert_eq!(cache.lookup("mgr", 2, fp), None);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn eviction_is_drop_oldest_per_principal() {
+        let cache = DedupCache::new(2);
+        for id in 1..=3i64 {
+            cache.store("mgr", id, id as u64, b"r");
+        }
+        assert_eq!(cache.lookup("mgr", 1, 1), None, "oldest entry evicted");
+        assert!(cache.lookup("mgr", 2, 2).is_some());
+        assert!(cache.lookup("mgr", 3, 3).is_some());
+        // Another principal has its own budget.
+        cache.store("peer", 9, 9, b"r");
+        assert!(cache.lookup("peer", 9, 9).is_some());
+        assert!(cache.lookup("mgr", 3, 3).is_some());
+    }
+
+    #[test]
+    fn overwriting_an_id_does_not_grow_the_ring() {
+        let cache = DedupCache::new(2);
+        cache.store("mgr", 1, 1, b"a");
+        cache.store("mgr", 1, 2, b"b");
+        cache.store("mgr", 2, 2, b"r");
+        // Id 1 was overwritten in place, so ids 1 and 2 both fit.
+        assert_eq!(cache.lookup("mgr", 1, 2), Some(b"b".to_vec()));
+        assert!(cache.lookup("mgr", 2, 2).is_some());
+        assert_eq!(cache.insertions(), 3);
+    }
+
+    #[test]
+    fn principal_table_is_bounded() {
+        let cache = DedupCache::new(4);
+        for i in 0..(MAX_PRINCIPALS + 5) {
+            cache.store(&format!("mgr-{i}"), 1, 1, b"r");
+        }
+        assert_eq!(cache.lookup("mgr-0", 1, 1), None, "oldest principal evicted");
+        assert!(cache.lookup(&format!("mgr-{}", MAX_PRINCIPALS + 4), 1, 1).is_some());
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let cache = DedupCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.store("mgr", 1, 1, b"a");
+        cache.store("mgr", 2, 2, b"b");
+        assert_eq!(cache.lookup("mgr", 1, 1), None);
+        assert!(cache.lookup("mgr", 2, 2).is_some());
+    }
+
+    #[test]
+    fn fingerprints_differ_on_any_byte() {
+        assert_ne!(frame_fingerprint(b"abc"), frame_fingerprint(b"abd"));
+        assert_ne!(frame_fingerprint(b""), frame_fingerprint(b"\0"));
+    }
+}

@@ -21,6 +21,9 @@ pub enum ErrorCode {
     RuntimeFault,
     /// Anything else.
     Internal,
+    /// The server is overloaded and shed this request before doing any
+    /// work — safe to retry after a backoff.
+    Busy,
 }
 
 impl ErrorCode {
@@ -35,6 +38,7 @@ impl ErrorCode {
             ErrorCode::AuthFailed => 6,
             ErrorCode::RuntimeFault => 7,
             ErrorCode::Internal => 8,
+            ErrorCode::Busy => 9,
         }
     }
 
@@ -48,8 +52,17 @@ impl ErrorCode {
             5 => ErrorCode::AccessDenied,
             6 => ErrorCode::AuthFailed,
             7 => ErrorCode::RuntimeFault,
+            9 => ErrorCode::Busy,
             _ => ErrorCode::Internal,
         }
+    }
+
+    /// Whether a request that failed with this code may safely be
+    /// retried verbatim. Only [`ErrorCode::Busy`] qualifies: the server
+    /// promises it shed the request before executing any effect. Every
+    /// other code is an answer, not a delivery failure.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::Busy)
     }
 }
 
@@ -64,6 +77,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::AuthFailed => "authentication failed",
             ErrorCode::RuntimeFault => "runtime fault",
             ErrorCode::Internal => "internal error",
+            ErrorCode::Busy => "server busy",
         };
         f.write_str(s)
     }
@@ -145,10 +159,19 @@ mod tests {
             ErrorCode::AuthFailed,
             ErrorCode::RuntimeFault,
             ErrorCode::Internal,
+            ErrorCode::Busy,
         ] {
             assert_eq!(ErrorCode::from_code(c.code()), c);
         }
         assert_eq!(ErrorCode::from_code(999), ErrorCode::Internal);
+    }
+
+    #[test]
+    fn only_busy_is_retryable() {
+        assert!(ErrorCode::Busy.is_retryable());
+        for c in [ErrorCode::BadState, ErrorCode::RuntimeFault, ErrorCode::Internal] {
+            assert!(!c.is_retryable(), "{c:?} must not be retried");
+        }
     }
 
     #[test]

@@ -1,0 +1,332 @@
+//! Deterministic fault injection for any [`Transport`].
+//!
+//! [`FaultTransport`] wraps a transport and, driven by a seeded
+//! splitmix64 stream, injects the classic unreliable-channel faults:
+//! dropped requests, dropped responses (the effect executed but the
+//! answer is lost — the case that makes naive retry double-execute),
+//! duplicated deliveries, delays, truncated responses and broken
+//! connections. The schedule is a pure function of the seed, so every
+//! chaos run replays bit-for-bit, and a bounded **fault budget**
+//! guarantees the channel eventually heals — the property the chaos
+//! proptest relies on to demand convergence for *every* seed.
+
+use crate::retry::splitmix64;
+use crate::{RdsError, Transport};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The fault kinds a [`FaultTransport`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The request never reaches the server.
+    DropRequest,
+    /// The server executes the request but the response is lost.
+    DropResponse,
+    /// The request is delivered twice (the second delivery's response is
+    /// returned — with server-side dedup it is a byte-identical replay).
+    Duplicate,
+    /// Delivery succeeds after a short deterministic delay.
+    Delay,
+    /// The response arrives damaged (truncated to half its length).
+    Truncate,
+    /// The connection breaks: this request is lost and the next one
+    /// fails too before the channel heals.
+    Disconnect,
+}
+
+const FAULT_KINDS: [Fault; 6] = [
+    Fault::DropRequest,
+    Fault::DropResponse,
+    Fault::Duplicate,
+    Fault::Delay,
+    Fault::Truncate,
+    Fault::Disconnect,
+];
+
+/// Shape of a [`FaultTransport`]'s schedule.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Probability (per mille, 0..=1000) that a request draws a fault.
+    pub fault_per_mille: u32,
+    /// Faults injected in total before the channel heals for good. A
+    /// finite budget makes convergence provable: a client retrying more
+    /// than `max_faults` times must eventually see a clean exchange.
+    pub max_faults: u32,
+    /// Upper bound on an injected [`Fault::Delay`] (the actual delay is
+    /// deterministic per seed, 1..=this in milliseconds).
+    pub max_delay_ms: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig { fault_per_mille: 400, max_faults: 6, max_delay_ms: 2 }
+    }
+}
+
+/// A [`Transport`] decorator injecting deterministic faults (see the
+/// module docs).
+pub struct FaultTransport<T> {
+    inner: T,
+    config: FaultConfig,
+    /// Position in the seeded splitmix64 stream; advanced per decision.
+    cursor: AtomicU64,
+    seed: u64,
+    /// Faults injected so far (stops at `config.max_faults`).
+    injected: AtomicU64,
+    /// Requests that must still fail because of an earlier Disconnect.
+    broken: AtomicU64,
+    drops: AtomicU64,
+    duplicates: AtomicU64,
+    delays: AtomicU64,
+    truncations: AtomicU64,
+    disconnects: AtomicU64,
+}
+
+impl<T> FaultTransport<T> {
+    /// Wraps `inner` with the fault schedule derived from `seed`.
+    pub fn new(inner: T, seed: u64, config: FaultConfig) -> FaultTransport<T> {
+        FaultTransport {
+            inner,
+            config,
+            cursor: AtomicU64::new(0),
+            seed,
+            injected: AtomicU64::new(0),
+            broken: AtomicU64::new(0),
+            drops: AtomicU64::new(0),
+            duplicates: AtomicU64::new(0),
+            delays: AtomicU64::new(0),
+            truncations: AtomicU64::new(0),
+            disconnects: AtomicU64::new(0),
+        }
+    }
+
+    /// Total faults injected.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Requests or responses dropped (incl. truncations and the lost
+    /// deliveries of disconnects).
+    pub fn drops(&self) -> u64 {
+        self.drops.load(Ordering::Relaxed)
+    }
+
+    /// Requests delivered twice.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates.load(Ordering::Relaxed)
+    }
+
+    /// Requests delayed.
+    pub fn delays(&self) -> u64 {
+        self.delays.load(Ordering::Relaxed)
+    }
+
+    /// Responses truncated.
+    pub fn truncations(&self) -> u64 {
+        self.truncations.load(Ordering::Relaxed)
+    }
+
+    /// Connections broken.
+    pub fn disconnects(&self) -> u64 {
+        self.disconnects.load(Ordering::Relaxed)
+    }
+
+    /// The next value of the seeded decision stream.
+    fn draw(&self) -> u64 {
+        let pos = self.cursor.fetch_add(1, Ordering::Relaxed);
+        splitmix64(self.seed.wrapping_add(pos.wrapping_mul(0xA076_1D64_78BD_642F)))
+    }
+
+    /// Decides the fault (if any) for the current request, consuming
+    /// budget. `None` means deliver cleanly.
+    fn next_fault(&self) -> Option<Fault> {
+        if self.injected.load(Ordering::Relaxed) >= u64::from(self.config.max_faults) {
+            return None;
+        }
+        let roll = self.draw() % 1000;
+        if roll >= u64::from(self.config.fault_per_mille.min(1000)) {
+            return None;
+        }
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        Some(FAULT_KINDS[(self.draw() % FAULT_KINDS.len() as u64) as usize])
+    }
+
+    fn lost(&self, what: &str) -> RdsError {
+        self.drops.fetch_add(1, Ordering::Relaxed);
+        RdsError::Transport { message: format!("fault injected: {what}") }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for FaultTransport<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultTransport")
+            .field("inner", &self.inner)
+            .field("seed", &self.seed)
+            .field("injected", &self.injected())
+            .finish()
+    }
+}
+
+impl<T: Transport> Transport for FaultTransport<T> {
+    fn request(&self, bytes: &[u8]) -> Result<Vec<u8>, RdsError> {
+        // A broken connection fails requests until its breakage is spent
+        // — but only while fault budget remains, so the channel always
+        // heals once the budget is exhausted.
+        if self.broken.load(Ordering::Relaxed) > 0 {
+            if self.injected.load(Ordering::Relaxed) < u64::from(self.config.max_faults) {
+                self.broken.fetch_sub(1, Ordering::Relaxed);
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return Err(self.lost("connection still broken"));
+            }
+            self.broken.store(0, Ordering::Relaxed);
+        }
+        match self.next_fault() {
+            None => self.inner.request(bytes),
+            Some(Fault::DropRequest) => Err(self.lost("request dropped")),
+            Some(Fault::DropResponse) => {
+                // The server-side effect happens; the answer is lost.
+                let _ = self.inner.request(bytes)?;
+                Err(self.lost("response dropped"))
+            }
+            Some(Fault::Duplicate) => {
+                self.duplicates.fetch_add(1, Ordering::Relaxed);
+                let _ = self.inner.request(bytes)?;
+                self.inner.request(bytes)
+            }
+            Some(Fault::Delay) => {
+                self.delays.fetch_add(1, Ordering::Relaxed);
+                let ms = 1 + self.draw() % self.config.max_delay_ms.max(1);
+                std::thread::sleep(Duration::from_millis(ms));
+                self.inner.request(bytes)
+            }
+            Some(Fault::Truncate) => {
+                self.truncations.fetch_add(1, Ordering::Relaxed);
+                let resp = self.inner.request(bytes)?;
+                Ok(resp[..resp.len() / 2].to_vec())
+            }
+            Some(Fault::Disconnect) => {
+                self.disconnects.fetch_add(1, Ordering::Relaxed);
+                self.broken.store(1, Ordering::Relaxed);
+                Err(self.lost("connection broken"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LoopbackTransport;
+    use std::sync::Arc;
+
+    fn echo() -> LoopbackTransport {
+        LoopbackTransport::new(|bytes: &[u8]| bytes.to_vec())
+    }
+
+    #[test]
+    fn clean_when_probability_is_zero() {
+        let t = FaultTransport::new(
+            echo(),
+            1,
+            FaultConfig { fault_per_mille: 0, ..FaultConfig::default() },
+        );
+        for _ in 0..50 {
+            assert_eq!(t.request(&[1, 2]).unwrap(), vec![1, 2]);
+        }
+        assert_eq!(t.injected(), 0);
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let t = FaultTransport::new(
+                echo(),
+                seed,
+                FaultConfig { max_delay_ms: 1, ..FaultConfig::default() },
+            );
+            (0..30).map(|i| t.request(&[i]).is_ok()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+        assert_ne!(run(7), run(8), "different seeds diverge");
+    }
+
+    #[test]
+    fn budget_exhaustion_heals_the_channel() {
+        let t = FaultTransport::new(
+            echo(),
+            3,
+            FaultConfig { fault_per_mille: 1000, max_faults: 5, max_delay_ms: 1 },
+        );
+        // Eventually every request succeeds — the budget is finite.
+        let mut failures = 0;
+        for i in 0..40u8 {
+            if t.request(&[i]).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(t.injected() <= 5);
+        assert!(failures <= 5, "at most one failure per budgeted fault");
+        assert_eq!(t.request(&[99]).unwrap(), vec![99], "healed channel is clean");
+    }
+
+    #[test]
+    fn disconnect_breaks_the_next_request_too() {
+        // Force Disconnect deterministically by scanning seeds.
+        for seed in 0..200u64 {
+            let t = FaultTransport::new(
+                echo(),
+                seed,
+                FaultConfig { fault_per_mille: 1000, max_faults: 10, max_delay_ms: 1 },
+            );
+            let _ = t.request(&[1]);
+            if t.disconnects() == 1 && t.injected() == 1 {
+                assert!(t.request(&[2]).is_err(), "follow-on request fails while broken");
+                assert_eq!(t.injected(), 2, "the follow-on failure consumes budget");
+                return;
+            }
+        }
+        panic!("no seed in 0..200 drew Disconnect first — schedule generator is broken");
+    }
+
+    #[test]
+    fn duplicate_delivers_twice_to_the_inner_transport() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        for seed in 0..400u64 {
+            let deliveries = Arc::new(AtomicU64::new(0));
+            let seen = Arc::clone(&deliveries);
+            let inner = LoopbackTransport::new(move |bytes: &[u8]| {
+                seen.fetch_add(1, Ordering::Relaxed);
+                bytes.to_vec()
+            });
+            let t = FaultTransport::new(
+                inner,
+                seed,
+                FaultConfig { fault_per_mille: 1000, max_faults: 1, max_delay_ms: 1 },
+            );
+            let out = t.request(&[5]);
+            if t.duplicates() == 1 {
+                assert_eq!(deliveries.load(Ordering::Relaxed), 2);
+                assert_eq!(out.unwrap(), vec![5]);
+                return;
+            }
+        }
+        panic!("no seed in 0..400 drew Duplicate first");
+    }
+
+    #[test]
+    fn truncate_damages_the_response() {
+        for seed in 0..400u64 {
+            let t = FaultTransport::new(
+                echo(),
+                seed,
+                FaultConfig { fault_per_mille: 1000, max_faults: 1, max_delay_ms: 1 },
+            );
+            let out = t.request(&[1, 2, 3, 4]);
+            if t.truncations() == 1 {
+                assert_eq!(out.unwrap(), vec![1, 2], "half the response survives");
+                return;
+            }
+        }
+        panic!("no seed in 0..400 drew Truncate first");
+    }
+}

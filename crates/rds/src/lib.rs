@@ -22,6 +22,17 @@
 //! [`ChannelTransport`] (cross-thread, used by the threaded MbD server)
 //! provided. Performance experiments run the same codec over `netsim`.
 //!
+//! The session layer is fault-tolerant (see `docs/RDS.md`): clients
+//! retry delivery failures under a [`RetryPolicy`] (bounded attempts,
+//! seeded-jitter backoff, per-request deadline), re-sending identical
+//! frames; servers suppress the resulting duplicates with a bounded
+//! per-principal [`DedupCache`] that replays the original encoded
+//! response (exactly-once effects); a saturated [`TcpServer`] sheds
+//! connections with an explicit `Busy` frame and exposes its
+//! [`ServerHealth`]; and [`FaultTransport`] injects deterministic
+//! seeded faults (drop, duplicate, delay, truncate, disconnect) around
+//! any transport for chaos testing.
+//!
 //! # Examples
 //!
 //! ```
@@ -40,14 +51,20 @@ pub mod codec;
 pub mod tcp;
 
 mod client;
+mod dedup;
 mod error;
+mod fault;
 mod msg;
+mod retry;
 mod server;
 mod transport;
 
 pub use client::RdsClient;
+pub use dedup::{frame_fingerprint, DedupCache, DEFAULT_DEDUP_CAPACITY};
 pub use error::{ErrorCode, RdsError};
+pub use fault::{Fault, FaultConfig, FaultTransport};
 pub use msg::{AuditRecord, DpiId, DpiState, DpiSummary, RdsRequest, RdsResponse, TraceContext};
+pub use retry::RetryPolicy;
 pub use server::{AuditEvent, RdsHandler, RdsServer};
-pub use tcp::{TcpServer, TcpServerConfig, TcpTransport};
+pub use tcp::{ServerHealth, TcpServer, TcpServerConfig, TcpTransport};
 pub use transport::{ChannelTransport, ChannelTransportServer, LoopbackTransport, Transport};

@@ -1,3 +1,4 @@
+use crate::dedup::{frame_fingerprint, DedupCache};
 use crate::{codec, ErrorCode, RdsRequest, RdsResponse, TraceContext};
 use mbd_auth::{Acl, Operation, Principal};
 use mbd_telemetry::{Counter, Telemetry, Timer};
@@ -16,6 +17,9 @@ struct RdsTimers {
     decode_fail_bad_digest: Counter,
     decode_fail_codec: Counter,
     decode_fail_unknown_op: Counter,
+    /// `rds.dedup_hits` — retried frames answered from the
+    /// duplicate-suppression cache instead of re-executing.
+    dedup_hits: Counter,
 }
 
 impl RdsTimers {
@@ -39,6 +43,7 @@ impl RdsTimers {
             decode_fail_bad_digest: telemetry.counter("rds.decode_fail.bad_digest"),
             decode_fail_codec: telemetry.counter("rds.decode_fail.codec"),
             decode_fail_unknown_op: telemetry.counter("rds.decode_fail.unknown_op"),
+            dedup_hits: telemetry.counter("rds.dedup_hits"),
         }
     }
 
@@ -115,6 +120,7 @@ pub struct RdsServer<H> {
     key: Option<Vec<u8>>,
     timers: Option<RdsTimers>,
     audit: Option<Arc<dyn Fn(AuditEvent) + Send + Sync>>,
+    dedup: Option<DedupCache>,
 }
 
 impl<H: std::fmt::Debug> std::fmt::Debug for RdsServer<H> {
@@ -146,12 +152,38 @@ impl<H: RdsHandler> RdsServer<H> {
     /// A server with the prototype's trivial access control (any handle
     /// may do anything) and no digest authentication.
     pub fn open(handler: H) -> RdsServer<H> {
-        RdsServer { handler, acl: Acl::allow_by_default(), key: None, timers: None, audit: None }
+        RdsServer {
+            handler,
+            acl: Acl::allow_by_default(),
+            key: None,
+            timers: None,
+            audit: None,
+            dedup: None,
+        }
     }
 
     /// A server enforcing `acl`, optionally requiring keyed digests.
     pub fn with_policy(handler: H, acl: Acl, key: Option<Vec<u8>>) -> RdsServer<H> {
-        RdsServer { handler, acl, key, timers: None, audit: None }
+        RdsServer { handler, acl, key, timers: None, audit: None, dedup: None }
+    }
+
+    /// Enables exactly-once duplicate suppression: each processed
+    /// request's encoded response is remembered under
+    /// `(principal, request id)` (at most `capacity` per principal,
+    /// drop-oldest), and a retried frame — identical bytes — is answered
+    /// by replaying the remembered response instead of re-executing the
+    /// effect. Replays are journaled as `duplicate_replayed` and counted
+    /// as `rds.dedup_hits`. `capacity` 0 disables suppression.
+    #[must_use]
+    pub fn with_dedup(mut self, capacity: usize) -> RdsServer<H> {
+        self.dedup = (capacity > 0).then(|| DedupCache::new(capacity));
+        self
+    }
+
+    /// Retried frames answered from the dedup cache (0 when duplicate
+    /// suppression is disabled).
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup.as_ref().map_or(0, DedupCache::hits)
     }
 
     /// Installs an audit sink called once per processed request (and
@@ -197,6 +229,33 @@ impl<H: RdsHandler> RdsServer<H> {
         let _trace_scope = mbd_telemetry::enter_trace(trace.trace_id);
         let verb = request.verb();
         let dpi = request.dpi().map_or(0, |d| d.0);
+        // Duplicate suppression: a retried frame (identical bytes under
+        // the same principal and request id) is answered with the
+        // response already sent — the effect ran at most once. Request
+        // id 0 is reserved for undecodable frames and never cached.
+        let fingerprint = self.dedup.as_ref().map(|_| frame_fingerprint(bytes));
+        if let (Some(cache), Some(fp)) = (&self.dedup, fingerprint) {
+            if request_id != 0 {
+                if let Some(replay) = cache.lookup(principal.handle(), request_id, fp) {
+                    if let Some(t) = &self.timers {
+                        t.dedup_hits.inc();
+                    }
+                    if let Some(sink) = &self.audit {
+                        sink(AuditEvent {
+                            trace_id: trace.trace_id,
+                            principal: principal.handle().to_string(),
+                            verb: "duplicate_replayed".to_string(),
+                            dpi,
+                            ok: true,
+                            detail: verb.to_string(),
+                            bytes_in: bytes.len() as u64,
+                            bytes_out: replay.len() as u64,
+                        });
+                    }
+                    return replay;
+                }
+            }
+        }
         // The verb span covers authorization, dispatch and response
         // encoding — everything the server does for a decoded request.
         let verb_span = self.timers.as_ref().map(|t| t.verbs[request.op_tag() as usize].start());
@@ -212,6 +271,11 @@ impl<H: RdsHandler> RdsServer<H> {
         let encoded =
             codec::encode_response_traced(&response, request_id, self.key.as_deref(), trace);
         drop(verb_span);
+        if let (Some(cache), Some(fp)) = (&self.dedup, fingerprint) {
+            if request_id != 0 {
+                cache.store(principal.handle(), request_id, fp, &encoded);
+            }
+        }
         if let Some(sink) = &self.audit {
             let (ok, detail) = match &response {
                 RdsResponse::Error { code, message } => (false, format!("{code}: {message}")),
@@ -487,6 +551,122 @@ mod tests {
         assert_eq!(resp, RdsResponse::Journal { records: vec![] });
         let (resp, _) = codec::decode_response(&server.process(&mk("stranger")), None).unwrap();
         assert!(matches!(resp, RdsResponse::Error { code: ErrorCode::AccessDenied, .. }));
+    }
+
+    #[test]
+    fn duplicate_frame_replays_without_reexecuting() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let executions = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&executions);
+        let server = RdsServer::open(move |_p: &Principal, _req: RdsRequest| {
+            RdsResponse::Instantiated { dpi: DpiId(seen.fetch_add(1, Ordering::Relaxed) + 1) }
+        })
+        .with_dedup(16);
+        let req = codec::encode_request(
+            &RdsRequest::Instantiate { dp_name: "x".to_string() },
+            &Principal::new("mgr"),
+            1,
+            None,
+        );
+        let first = server.process(&req);
+        let replay = server.process(&req);
+        assert_eq!(first, replay, "byte-identical replay, not a second execution");
+        assert_eq!(executions.load(Ordering::Relaxed), 1);
+        assert_eq!(server.dedup_hits(), 1);
+    }
+
+    #[test]
+    fn distinct_requests_under_a_reused_id_are_not_replayed() {
+        let server = RdsServer::open(echo_handler()).with_dedup(16);
+        let mk = |name: &str| {
+            codec::encode_request(
+                &RdsRequest::Instantiate { dp_name: name.to_string() },
+                &Principal::new("mgr"),
+                1,
+                None,
+            )
+        };
+        // A restarted manager reuses id 1 for a different request: the
+        // frame fingerprint differs, so it executes normally.
+        server.process(&mk("first"));
+        server.process(&mk("second"));
+        assert_eq!(server.dedup_hits(), 0);
+    }
+
+    #[test]
+    fn dedup_is_per_principal() {
+        let server = RdsServer::open(echo_handler()).with_dedup(16);
+        let mk = |who: &str| {
+            codec::encode_request(&RdsRequest::ListPrograms, &Principal::new(who), 1, None)
+        };
+        server.process(&mk("alice"));
+        server.process(&mk("bob"));
+        assert_eq!(server.dedup_hits(), 0, "same id, different principals: no replay");
+        server.process(&mk("alice"));
+        assert_eq!(server.dedup_hits(), 1);
+    }
+
+    #[test]
+    fn replays_count_and_journal_as_duplicate_replayed() {
+        use std::sync::Mutex;
+        let tel = Telemetry::new();
+        let events: Arc<Mutex<Vec<AuditEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        let server = RdsServer::open(echo_handler())
+            .instrument(&tel)
+            .with_dedup(16)
+            .with_audit(Arc::new(move |ev| sink.lock().unwrap().push(ev)));
+        let trace = TraceContext { trace_id: 0xD0D0, parent_span_id: 0 };
+        let req = codec::encode_request_traced(
+            &RdsRequest::Suspend { dpi: DpiId(3) },
+            &Principal::new("mgr"),
+            7,
+            None,
+            trace,
+        );
+        server.process(&req);
+        server.process(&req);
+        assert_eq!(tel.snapshot().counter("rds.dedup_hits"), Some(1));
+        let events = events.lock().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].verb, "duplicate_replayed");
+        assert_eq!(events[1].detail, "suspend", "the replayed verb is recorded");
+        assert_eq!(events[1].trace_id, 0xD0D0);
+        assert_eq!(events[1].dpi, 3);
+        assert!(events[1].ok);
+    }
+
+    #[test]
+    fn error_responses_are_replayed_too() {
+        // A faulted Invoke must not re-execute on retry: the *error* is
+        // the remembered answer.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let executions = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&executions);
+        let server = RdsServer::open(move |_p: &Principal, _req: RdsRequest| {
+            seen.fetch_add(1, Ordering::Relaxed);
+            RdsResponse::Error { code: ErrorCode::RuntimeFault, message: "boom".to_string() }
+        })
+        .with_dedup(16);
+        let req = codec::encode_request(
+            &RdsRequest::Invoke { dpi: DpiId(1), entry: "f".to_string(), args: vec![] },
+            &Principal::new("mgr"),
+            2,
+            None,
+        );
+        let a = server.process(&req);
+        let b = server.process(&req);
+        assert_eq!(a, b);
+        assert_eq!(executions.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_dedup() {
+        let server = RdsServer::open(echo_handler()).with_dedup(0);
+        let req = codec::encode_request(&RdsRequest::ListPrograms, &Principal::new("m"), 1, None);
+        server.process(&req);
+        server.process(&req);
+        assert_eq!(server.dedup_hits(), 0);
     }
 
     #[test]

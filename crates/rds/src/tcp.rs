@@ -19,7 +19,7 @@ use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar};
 use std::time::{Duration, Instant};
 
@@ -84,15 +84,24 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, RdsError> {
     Ok(Some(buf))
 }
 
-/// Client side: a persistent connection to an RDS server over TCP.
+/// Client side: a persistent connection to an RDS server over TCP that
+/// **re-dials on broken connections**.
 ///
 /// The connection serializes exchanges under a lock, so one
 /// `TcpTransport` may be shared by threads (each request waits its turn,
-/// as with the prototype's single connection per manager).
+/// as with the prototype's single connection per manager). When an
+/// exchange fails mid-flight the transport discards the connection
+/// (its framing state is unknown), dials the peer once more and re-sends
+/// the same frame — the caller's request-id stream is untouched, so a
+/// deduplicating server recognizes any effect that already executed.
+/// Reconnects are counted ([`TcpTransport::reconnects`]) and optionally
+/// recorded into telemetry as `rds.reconnects`.
 #[derive(Debug)]
 pub struct TcpTransport {
-    stream: Mutex<TcpStream>,
+    stream: Mutex<Option<TcpStream>>,
     peer: SocketAddr,
+    reconnects: AtomicU64,
+    reconnect_counter: Option<Counter>,
 }
 
 impl TcpTransport {
@@ -102,25 +111,130 @@ impl TcpTransport {
     ///
     /// Connection failures as [`RdsError::Transport`].
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<TcpTransport, RdsError> {
-        let stream = TcpStream::connect(addr).map_err(io_err)?;
-        stream.set_nodelay(true).map_err(io_err)?;
+        let stream = dial(&addr)?;
         let peer = stream.peer_addr().map_err(io_err)?;
-        Ok(TcpTransport { stream: Mutex::new(stream), peer })
+        Ok(TcpTransport {
+            stream: Mutex::new(Some(stream)),
+            peer,
+            reconnects: AtomicU64::new(0),
+            reconnect_counter: None,
+        })
+    }
+
+    /// Counts this transport's re-dials into `telemetry` as
+    /// `rds.reconnects` (also readable via [`TcpTransport::reconnects`]).
+    #[must_use]
+    pub fn instrument(mut self, telemetry: &Telemetry) -> TcpTransport {
+        self.reconnect_counter = Some(telemetry.counter("rds.reconnects"));
+        self
     }
 
     /// The server's address.
     pub fn peer_addr(&self) -> SocketAddr {
         self.peer
     }
+
+    /// Successful re-dials after the initial connection.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    fn count_reconnect(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+        if let Some(counter) = &self.reconnect_counter {
+            counter.inc();
+        }
+    }
+}
+
+fn dial<A: ToSocketAddrs>(addr: &A) -> Result<TcpStream, RdsError> {
+    let stream = TcpStream::connect(addr).map_err(io_err)?;
+    stream.set_nodelay(true).map_err(io_err)?;
+    Ok(stream)
+}
+
+fn exchange(stream: &mut TcpStream, bytes: &[u8]) -> Result<Vec<u8>, RdsError> {
+    write_frame(stream, bytes)?;
+    read_frame(stream)?
+        .ok_or_else(|| RdsError::Transport { message: "server closed the connection".to_string() })
 }
 
 impl Transport for TcpTransport {
     fn request(&self, bytes: &[u8]) -> Result<Vec<u8>, RdsError> {
-        let mut stream = self.stream.lock();
-        write_frame(&mut *stream, bytes)?;
-        read_frame(&mut *stream)?.ok_or_else(|| RdsError::Transport {
-            message: "server closed the connection".to_string(),
-        })
+        let mut guard = self.stream.lock();
+        let redialed = guard.is_none();
+        if guard.is_none() {
+            *guard = Some(dial(&self.peer)?);
+            self.count_reconnect();
+        }
+        let stream = guard.as_mut().expect("stream just ensured");
+        match exchange(stream, bytes) {
+            Ok(resp) => Ok(resp),
+            Err(first_err) => {
+                // The connection's framing state is unknown — drop it.
+                // If it was freshly dialed, the peer is likely down;
+                // otherwise re-dial once and re-send the same frame.
+                *guard = None;
+                if redialed {
+                    return Err(first_err);
+                }
+                *guard = Some(dial(&self.peer)?);
+                self.count_reconnect();
+                let stream = guard.as_mut().expect("stream just ensured");
+                match exchange(stream, bytes) {
+                    Ok(resp) => Ok(resp),
+                    Err(e) => {
+                        *guard = None;
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A [`TcpServer`]'s coarse health, derived from accept-queue pressure
+/// and the shutdown flag, surfaced through the `rds.tcp.health` gauge
+/// (and thus the `mbdTelemetry` OCP subtree) so delegated agents can
+/// observe the transport's own state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerHealth {
+    /// Normal operation: the accept queue has headroom.
+    Accepting,
+    /// Overloaded: the accept queue is at least half full; new
+    /// connections may be shed with `Busy`.
+    Degraded,
+    /// Shutting down: no new connections will be served.
+    Draining,
+}
+
+impl ServerHealth {
+    /// Stable gauge value (0 accepting · 1 degraded · 2 draining).
+    pub fn code(self) -> u8 {
+        match self {
+            ServerHealth::Accepting => 0,
+            ServerHealth::Degraded => 1,
+            ServerHealth::Draining => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> ServerHealth {
+        match code {
+            1 => ServerHealth::Degraded,
+            2 => ServerHealth::Draining,
+            _ => ServerHealth::Accepting,
+        }
+    }
+}
+
+impl std::fmt::Display for ServerHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ServerHealth::Accepting => "accepting",
+            ServerHealth::Degraded => "degraded",
+            ServerHealth::Draining => "draining",
+        };
+        f.write_str(s)
     }
 }
 
@@ -146,6 +260,15 @@ pub struct TcpServerConfig {
     /// is bumped), so the embedding server can journal the event. Runs
     /// on the worker thread that caught the panic.
     pub on_panic: Option<Arc<dyn Fn() + Send + Sync>>,
+    /// Frame written to a connection shed at saturation (before the
+    /// seed's silent close). `None` uses the default: an unkeyed
+    /// `Busy` error response with request id 0. A keyed server should
+    /// supply a keyed encoding so its clients can verify the digest.
+    pub shed_response: Option<Vec<u8>>,
+    /// Called once per shed connection (after the shed counter is
+    /// bumped), so the embedding server can journal the overload. Runs
+    /// on the accept thread.
+    pub on_shed: Option<Arc<dyn Fn() + Send + Sync>>,
 }
 
 impl std::fmt::Debug for TcpServerConfig {
@@ -157,6 +280,8 @@ impl std::fmt::Debug for TcpServerConfig {
             .field("frame_timeout", &self.frame_timeout)
             .field("telemetry", &self.telemetry)
             .field("on_panic", &self.on_panic.as_ref().map(|_| "Fn"))
+            .field("shed_response", &self.shed_response.as_ref().map(Vec::len))
+            .field("on_shed", &self.on_shed.as_ref().map(|_| "Fn"))
             .finish()
     }
 }
@@ -170,8 +295,24 @@ impl Default for TcpServerConfig {
             frame_timeout: Duration::from_secs(5),
             telemetry: None,
             on_panic: None,
+            shed_response: None,
+            on_shed: None,
         }
     }
+}
+
+/// The default shed frame: an unkeyed `Busy` error under request id 0
+/// (undecodable-frame convention — the shed happens before any request
+/// is read, so there is no id to correlate with).
+pub fn default_shed_response() -> Vec<u8> {
+    crate::codec::encode_response(
+        &crate::RdsResponse::Error {
+            code: crate::ErrorCode::Busy,
+            message: "server overloaded, retry later".to_string(),
+        },
+        0,
+        None,
+    )
 }
 
 /// Pre-resolved transport metrics, shared by the accept loop and the
@@ -190,6 +331,12 @@ struct TcpMetrics {
     /// `rds.tcp.connections_rejected` — mirrors
     /// [`TcpServer::connections_rejected`].
     rejected: Counter,
+    /// `rds.shed` — connections answered with an explicit `Busy` frame
+    /// at saturation (same events as `rejected`; this is the
+    /// protocol-level name the retry layer watches).
+    shed: Counter,
+    /// `rds.tcp.health` — current [`ServerHealth`] code.
+    health: Gauge,
 }
 
 impl TcpMetrics {
@@ -200,6 +347,8 @@ impl TcpMetrics {
             active: telemetry.gauge("rds.tcp.active_connections"),
             panics: telemetry.counter("rds.tcp.handler_panics"),
             rejected: telemetry.counter("rds.tcp.connections_rejected"),
+            shed: telemetry.counter("rds.shed"),
+            health: telemetry.gauge("rds.tcp.health"),
         }
     }
 }
@@ -213,7 +362,30 @@ struct PoolShared {
     ready: Condvar,
     rejected: AtomicU64,
     handler_panics: AtomicU64,
+    health: AtomicU8,
+    /// Queue depth at which health degrades (half the backlog, min 1).
+    degraded_at: usize,
     metrics: TcpMetrics,
+}
+
+impl PoolShared {
+    /// Recomputes health from queue `depth` (call after push/pop); the
+    /// draining state, once entered, is terminal.
+    fn update_health(&self, depth: usize) {
+        let next = if self.stop.load(Ordering::Relaxed) {
+            ServerHealth::Draining
+        } else if depth >= self.degraded_at {
+            ServerHealth::Degraded
+        } else {
+            ServerHealth::Accepting
+        };
+        self.set_health(next);
+    }
+
+    fn set_health(&self, next: ServerHealth) {
+        self.health.store(next.code(), Ordering::Relaxed);
+        self.metrics.health.set(u64::from(next.code()));
+    }
 }
 
 /// Server side: accepts connections into a bounded queue drained by a
@@ -269,14 +441,18 @@ impl TcpServer {
         let listener = TcpListener::bind(addr).map_err(io_err)?;
         let local = listener.local_addr().map_err(io_err)?;
         let telemetry = config.telemetry.clone().unwrap_or_default();
+        let backlog = config.backlog.max(1);
         let shared = Arc::new(PoolShared {
             stop: AtomicBool::new(false),
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
             rejected: AtomicU64::new(0),
             handler_panics: AtomicU64::new(0),
+            health: AtomicU8::new(ServerHealth::Accepting.code()),
+            degraded_at: (backlog / 2).max(1),
             metrics: TcpMetrics::new(&telemetry),
         });
+        shared.set_health(ServerHealth::Accepting);
         let respond = Arc::new(respond);
 
         let workers = (0..config.workers.max(1))
@@ -289,24 +465,45 @@ impl TcpServer {
             .collect();
 
         let accept_shared = Arc::clone(&shared);
-        let backlog = config.backlog.max(1);
+        let shed_frame = config.shed_response.clone().unwrap_or_else(default_shed_response);
+        let on_shed = config.on_shed.clone();
         let accept_thread = std::thread::spawn(move || {
             for incoming in listener.incoming() {
                 if accept_shared.stop.load(Ordering::Relaxed) {
                     break;
                 }
-                let Ok(stream) = incoming else { continue };
+                let Ok(mut stream) = incoming else { continue };
                 let mut queue = accept_shared.queue.lock();
                 if queue.len() >= backlog {
                     drop(queue);
                     accept_shared.rejected.fetch_add(1, Ordering::Relaxed);
                     accept_shared.metrics.rejected.inc();
+                    accept_shared.metrics.shed.inc();
+                    // Graceful degradation: instead of the seed's silent
+                    // close, tell the client *why* — an explicit `Busy`
+                    // frame it can classify as retryable. Best-effort
+                    // with short timeouts so a slow peer cannot stall
+                    // the accept loop. The drain read consumes the
+                    // request the client already sent, so closing emits
+                    // FIN rather than an RST that could discard the
+                    // `Busy` frame from the peer's receive buffer.
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+                    let _ = write_frame(&mut stream, &shed_frame);
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+                    let mut sink = [0u8; 4096];
+                    let _ = stream.read(&mut sink);
+                    if let Some(hook) = &on_shed {
+                        hook();
+                    }
                     continue; // dropping the stream closes it
                 }
                 queue.push_back((stream, Instant::now()));
+                let depth = queue.len();
                 drop(queue);
+                accept_shared.update_health(depth);
                 accept_shared.ready.notify_one();
             }
+            accept_shared.set_health(ServerHealth::Draining);
             accept_shared.ready.notify_all();
         });
 
@@ -323,6 +520,17 @@ impl TcpServer {
         self.shared.rejected.load(Ordering::Relaxed)
     }
 
+    /// Connections answered with an explicit `Busy` frame at saturation
+    /// (the protocol-level view of [`TcpServer::connections_rejected`]).
+    pub fn sheds(&self) -> u64 {
+        self.shared.rejected.load(Ordering::Relaxed)
+    }
+
+    /// The server's current coarse health.
+    pub fn health(&self) -> ServerHealth {
+        ServerHealth::from_code(self.shared.health.load(Ordering::Relaxed))
+    }
+
     /// Handler panics survived (each cost its connection, not a worker).
     pub fn handler_panics(&self) -> u64 {
         self.shared.handler_panics.load(Ordering::Relaxed)
@@ -336,6 +544,7 @@ impl TcpServer {
 
     fn stop_now(&mut self) {
         self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.set_health(ServerHealth::Draining);
         // Unblock accept() with a dummy connection; wake idle workers.
         let _ = TcpStream::connect(self.local);
         self.shared.ready.notify_all();
@@ -365,6 +574,9 @@ fn worker_loop(
             let mut queue = shared.queue.lock();
             loop {
                 if let Some(entry) = queue.pop_front() {
+                    let depth = queue.len();
+                    drop(queue);
+                    shared.update_health(depth);
                     break Some(entry);
                 }
                 if shared.stop.load(Ordering::Relaxed) {
@@ -606,7 +818,10 @@ mod tests {
         // The pool keeps serving new connections afterwards.
         let healthy = TcpTransport::connect(addr).unwrap();
         assert_eq!(healthy.request(&[1, 2]).unwrap(), vec![1, 2]);
-        assert_eq!(server.handler_panics(), 1);
+        // The reconnecting transport re-delivered the poison frame once
+        // on a fresh connection, so the handler panicked twice.
+        assert_eq!(server.handler_panics(), 2);
+        assert_eq!(poisoned.reconnects(), 1);
         server.shutdown();
     }
 
@@ -648,7 +863,8 @@ mod tests {
         let poisoned = TcpTransport::connect(server.local_addr()).unwrap();
         assert!(poisoned.request(&[66]).is_err());
         server.shutdown();
-        assert_eq!(tel.snapshot().counter("rds.tcp.handler_panics"), Some(1));
+        // Two deliveries (initial + transparent reconnect), two panics.
+        assert_eq!(tel.snapshot().counter("rds.tcp.handler_panics"), Some(2));
     }
 
     #[test]
@@ -672,7 +888,136 @@ mod tests {
         let poisoned = TcpTransport::connect(server.local_addr()).unwrap();
         assert!(poisoned.request(&[66]).is_err());
         server.shutdown();
-        assert_eq!(fired.load(Ordering::Relaxed), 1);
+        // Two deliveries (initial + transparent reconnect), two panics.
+        assert_eq!(fired.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn reconnecting_transport_survives_a_dropped_connection() {
+        // The handler panics on the poison frame, dropping the
+        // connection server-side; the next request on the same transport
+        // transparently re-dials.
+        let server = TcpServer::spawn("127.0.0.1:0", |req| {
+            assert!(req != [66], "poison request");
+            req.to_vec()
+        })
+        .unwrap();
+        let t = TcpTransport::connect(server.local_addr()).unwrap();
+        assert_eq!(t.request(&[1]).unwrap(), vec![1]);
+        let _ = t.request(&[66]); // kills both connection attempts
+        let before = t.reconnects();
+        assert_eq!(t.request(&[2]).unwrap(), vec![2], "later requests heal the transport");
+        assert!(t.reconnects() > before);
+        server.shutdown();
+    }
+
+    #[test]
+    fn reconnects_reach_shared_telemetry() {
+        let tel = Telemetry::new();
+        let server = TcpServer::spawn("127.0.0.1:0", |req| {
+            assert!(req != [66], "poison request");
+            req.to_vec()
+        })
+        .unwrap();
+        let t = TcpTransport::connect(server.local_addr()).unwrap().instrument(&tel);
+        let _ = t.request(&[66]);
+        t.request(&[1]).unwrap();
+        server.shutdown();
+        let counted = tel.snapshot().counter("rds.reconnects").unwrap_or(0);
+        assert_eq!(counted, t.reconnects());
+        assert!(counted >= 1);
+    }
+
+    #[test]
+    fn saturated_pool_sheds_with_an_explicit_busy_frame() {
+        let sheds_seen = Arc::new(AtomicU64::new(0));
+        let hook_counter = Arc::clone(&sheds_seen);
+        let server = TcpServer::spawn_with(
+            "127.0.0.1:0",
+            TcpServerConfig {
+                workers: 1,
+                backlog: 1,
+                on_shed: Some(Arc::new(move || {
+                    hook_counter.fetch_add(1, Ordering::Relaxed);
+                })),
+                ..TcpServerConfig::default()
+            },
+            |req| {
+                if req == [9] {
+                    std::thread::sleep(Duration::from_millis(600));
+                }
+                req.to_vec()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        assert_eq!(server.health(), ServerHealth::Accepting);
+
+        // Occupy the single worker…
+        let blocker = std::thread::spawn(move || {
+            let t = TcpTransport::connect(addr).unwrap();
+            t.request(&[9]).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(150));
+        // …fill the backlog…
+        let _queued = TcpTransport::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(server.health(), ServerHealth::Degraded, "queue at capacity degrades health");
+
+        // …and the next connection is shed with an explicit Busy frame
+        // instead of a silent close.
+        let shed = TcpTransport::connect(addr).unwrap();
+        let frame = shed.request(&[2]).expect("shed frame arrives before the close");
+        let (resp, id) = crate::codec::decode_response(&frame, None).unwrap();
+        assert_eq!(id, 0, "no request id to correlate with");
+        assert!(
+            matches!(resp, crate::RdsResponse::Error { code: crate::ErrorCode::Busy, .. }),
+            "got {resp:?}"
+        );
+        assert_eq!(server.sheds(), 1);
+        // The hook runs on the accept thread after the shed frame's
+        // drain read, so it may trail the client's receipt briefly.
+        for _ in 0..100 {
+            if sheds_seen.load(Ordering::Relaxed) == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(sheds_seen.load(Ordering::Relaxed), 1, "on_shed hook fired");
+
+        blocker.join().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn sheds_reach_shared_telemetry_and_health_reaches_the_gauge() {
+        let tel = Telemetry::new();
+        let server = TcpServer::spawn_with(
+            "127.0.0.1:0",
+            TcpServerConfig { telemetry: Some(tel.clone()), ..TcpServerConfig::default() },
+            |req| req.to_vec(),
+        )
+        .unwrap();
+        let t = TcpTransport::connect(server.local_addr()).unwrap();
+        t.request(&[1]).unwrap();
+        drop(t);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("rds.shed"), Some(0));
+        assert_eq!(snap.gauge("rds.tcp.health"), Some(0), "accepting");
+        server.shutdown();
+        assert_eq!(
+            tel.snapshot().gauge("rds.tcp.health"),
+            Some(u64::from(ServerHealth::Draining.code()))
+        );
+    }
+
+    #[test]
+    fn health_codes_round_trip() {
+        for h in [ServerHealth::Accepting, ServerHealth::Degraded, ServerHealth::Draining] {
+            assert_eq!(ServerHealth::from_code(h.code()), h);
+        }
+        assert_eq!(ServerHealth::Accepting.to_string(), "accepting");
+        assert_eq!(ServerHealth::Draining.to_string(), "draining");
     }
 
     #[test]

@@ -96,6 +96,31 @@ grep -q "server degraded" "$SMOKE_DIR/self_health.out" || {
     exit 1
 }
 
+echo "==> chaos smoke: seeded fault injection (exactly-once under retries)"
+# A fixed-seed fault schedule (drops, delays, dedup replays) driven
+# through the retrying client; the example exits non-zero unless the
+# workflow converges exactly-once AND the schedule forced at least one
+# retry and one dedup replay.
+cargo run --release -q --example fault_injection 3 > "$SMOKE_DIR/chaos.out" || {
+    echo "chaos smoke FAILED:"
+    cat "$SMOKE_DIR/chaos.out"
+    exit 1
+}
+grep -q "chaos ok: exactly-once held" "$SMOKE_DIR/chaos.out" || {
+    echo "chaos smoke FAILED: no convergence line:"
+    cat "$SMOKE_DIR/chaos.out"
+    exit 1
+}
+grep -E "client retries  : [1-9]" "$SMOKE_DIR/chaos.out" >/dev/null || {
+    echo "chaos smoke FAILED: zero retries — schedule did not bite"
+    exit 1
+}
+grep -E "dedup replays   : [1-9]" "$SMOKE_DIR/chaos.out" >/dev/null || {
+    echo "chaos smoke FAILED: zero dedup replays — schedule did not bite"
+    exit 1
+}
+echo "chaos smoke ok: $(grep 'chaos ok' "$SMOKE_DIR/chaos.out")"
+
 echo "==> cargo test (tier-1: root package)"
 cargo test -q
 

@@ -3,7 +3,8 @@
 //! ```console
 //! mbd-server [--listen 127.0.0.1:4700] [--key SECRET] [--demo-mib]
 //!            [--snmp 127.0.0.1:1161] [--community public] [--stats SECS]
-//!            [--journal PATH]
+//!            [--journal PATH] [--workers N] [--backlog N]
+//!            [--frame-timeout-ms MS] [--idle-poll-ms MS] [--dedup CAP]
 //! ```
 //!
 //! With `--demo-mib` the server's MIB is pre-populated with the MIB-II
@@ -28,6 +29,14 @@
 //! Per-dpi resource accounts are republished into the
 //! `mbdDpiAccounting` subtree (`enterprises.20100.5`) every second, so
 //! both SNMP managers and delegated watchdog agents can read them.
+//!
+//! The transport knobs tune the fault-tolerant session layer (see
+//! `docs/RDS.md`): `--workers`/`--backlog` size the connection pool
+//! (beyond the backlog, connections are shed with an explicit `Busy`
+//! frame, which retrying clients back off on), `--frame-timeout-ms` and
+//! `--idle-poll-ms` bound slow and idle peers, and `--dedup CAP` sizes
+//! the per-principal duplicate-suppression cache (`--dedup 0` disables
+//! exactly-once replay entirely).
 
 use mbd::core::{AuditRecord, ElasticConfig, ElasticProcess, MbdServer};
 use mbd::rds::{TcpServer, TcpServerConfig};
@@ -75,6 +84,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut community = "public".to_string();
     let mut stats_every: Option<u64> = None;
     let mut journal_path: Option<String> = None;
+    let defaults = TcpServerConfig::default();
+    let mut workers = defaults.workers;
+    let mut backlog = defaults.backlog;
+    let mut frame_timeout = defaults.frame_timeout;
+    let mut idle_poll = defaults.idle_poll;
+    let mut dedup_capacity = mbd::rds::DEFAULT_DEDUP_CAPACITY;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -90,10 +105,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 stats_every = Some(secs.max(1));
             }
             "--journal" => journal_path = Some(args.next().ok_or("--journal needs a path")?),
+            "--workers" => {
+                workers = args.next().ok_or("--workers needs a count")?.parse::<usize>()?.max(1);
+            }
+            "--backlog" => {
+                backlog = args.next().ok_or("--backlog needs a count")?.parse()?;
+            }
+            "--frame-timeout-ms" => {
+                let ms: u64 =
+                    args.next().ok_or("--frame-timeout-ms needs milliseconds")?.parse()?;
+                frame_timeout = std::time::Duration::from_millis(ms.max(1));
+            }
+            "--idle-poll-ms" => {
+                let ms: u64 = args.next().ok_or("--idle-poll-ms needs milliseconds")?.parse()?;
+                idle_poll = std::time::Duration::from_millis(ms.max(1));
+            }
+            "--dedup" => {
+                dedup_capacity =
+                    args.next().ok_or("--dedup needs a per-principal capacity")?.parse()?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: mbd-server [--listen ADDR] [--key SECRET] [--demo-mib] \
-                     [--snmp ADDR] [--community NAME] [--stats SECS] [--journal PATH]"
+                     [--snmp ADDR] [--community NAME] [--stats SECS] [--journal PATH] \
+                     [--workers N] [--backlog N] [--frame-timeout-ms MS] \
+                     [--idle-poll-ms MS] [--dedup CAP]"
                 );
                 return Ok(());
             }
@@ -110,8 +146,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("demo MIB installed ({} objects)", process.mib().len());
     }
     let authenticated = key.is_some();
-    let server =
-        Arc::new(MbdServer::with_policy(process.clone(), mbd_auth::Acl::allow_by_default(), key));
+    let server = Arc::new(
+        MbdServer::with_policy(process.clone(), mbd_auth::Acl::allow_by_default(), key.clone())
+            .with_dedup_capacity(dedup_capacity),
+    );
 
     // The transport records into the process's telemetry domain, so one
     // snapshot (and one OCP subtree) covers rds.tcp.*, rds.verb.* and
@@ -121,7 +159,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // A connection handler that panics (and is survived by the
         // transport) leaves an audit trail too.
         let panic_process = process.clone();
+        let shed_process = process.clone();
+        // A keyed server sheds with a keyed Busy frame so retrying
+        // clients can verify the digest before backing off.
+        let shed_response = key.as_deref().map(|key| {
+            mbd::rds::codec::encode_response(
+                &mbd::rds::RdsResponse::Error {
+                    code: mbd::rds::ErrorCode::Busy,
+                    message: "server overloaded, retry later".to_string(),
+                },
+                0,
+                Some(key),
+            )
+        });
         let config = TcpServerConfig {
+            workers,
+            backlog,
+            frame_timeout,
+            idle_poll,
             telemetry: Some(process.telemetry().clone()),
             on_panic: Some(Arc::new(move || {
                 panic_process.journal().record(
@@ -134,14 +189,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     "connection handler panicked; connection dropped",
                 );
             })),
-            ..TcpServerConfig::default()
+            shed_response,
+            on_shed: Some(Arc::new(move || {
+                shed_process.journal().record(
+                    shed_process.ticks(),
+                    0,
+                    "server",
+                    "shed",
+                    0,
+                    false,
+                    "connection pool saturated; request shed with Busy",
+                );
+            })),
         };
         TcpServer::spawn_with(listen.as_str(), config, move |bytes| server.process_request(bytes))?
     };
     println!(
-        "mbd-server listening on {} (auth: {})",
+        "mbd-server listening on {} (auth: {}, {} workers, backlog {}, dedup {})",
         tcp.local_addr(),
-        if authenticated { "md5 keyed digest" } else { "none" }
+        if authenticated { "md5 keyed digest" } else { "none" },
+        workers,
+        backlog,
+        if dedup_capacity == 0 { "off".to_string() } else { format!("{dedup_capacity}/principal") },
     );
 
     // The OCP adapter publishes server status, telemetry and per-dpi

@@ -1,7 +1,8 @@
 //! `mbdctl` — a manager's command-line client for an MbD server.
 //!
 //! ```console
-//! mbdctl [--server 127.0.0.1:4700] [--key SECRET] [--principal NAME] COMMAND
+//! mbdctl [--server 127.0.0.1:4700] [--key SECRET] [--principal NAME]
+//!        [--retries N] [--backoff-ms MS] [--deadline-ms MS] COMMAND
 //!
 //! commands:
 //!   delegate NAME FILE          translate + store FILE's DPL source as NAME
@@ -19,9 +20,17 @@
 //! Every request carries a fresh trace id; `journal` shows which trace
 //! caused which operation (`trace=` is all zeros only for records whose
 //! cause was untraced, e.g. server-internal events before any request).
+//!
+//! With `--retries N` delivery failures (broken connections, damaged
+//! frames, `Busy` sheds) are retried up to N extra attempts, re-sending
+//! the identical frame so the server's duplicate-suppression cache
+//! replays rather than re-executes (see `docs/RDS.md`); `--backoff-ms`
+//! sets the base of the exponential backoff between attempts, and
+//! `--deadline-ms` bounds the whole request, retries included.
 
 use ber::BerValue;
-use mbd::rds::{DpiId, RdsClient, TcpTransport};
+use mbd::rds::{DpiId, RdsClient, RetryPolicy, TcpTransport};
+use std::time::Duration;
 
 fn parse_arg(s: &str) -> BerValue {
     if let Ok(i) = s.parse::<i64>() {
@@ -43,6 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut server = "127.0.0.1:4700".to_string();
     let mut key: Option<Vec<u8>> = None;
     let mut principal = "mbdctl".to_string();
+    let mut retry = RetryPolicy::none();
     let mut rest: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -51,6 +61,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--server" => server = args.next().ok_or("--server needs an address")?,
             "--key" => key = Some(args.next().ok_or("--key needs a secret")?.into_bytes()),
             "--principal" => principal = args.next().ok_or("--principal needs a name")?,
+            "--retries" => {
+                let n: u32 = args.next().ok_or("--retries needs a count")?.parse()?;
+                let defaults = RetryPolicy::default();
+                retry = RetryPolicy {
+                    max_attempts: n + 1,
+                    base_backoff: if retry.base_backoff.is_zero() {
+                        defaults.base_backoff
+                    } else {
+                        retry.base_backoff
+                    },
+                    max_backoff: defaults.max_backoff,
+                    ..retry
+                };
+            }
+            "--backoff-ms" => {
+                let ms: u64 = args.next().ok_or("--backoff-ms needs milliseconds")?.parse()?;
+                retry.base_backoff = Duration::from_millis(ms);
+                retry.max_backoff = retry.max_backoff.max(Duration::from_millis(ms));
+            }
+            "--deadline-ms" => {
+                let ms: u64 = args.next().ok_or("--deadline-ms needs milliseconds")?.parse()?;
+                retry.deadline = Some(Duration::from_millis(ms));
+            }
             "--help" | "-h" => {
                 println!("see `mbdctl` module docs; commands: delegate delete instantiate invoke suspend resume terminate send programs instances journal");
                 return Ok(());
@@ -67,7 +100,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let client = match key {
         Some(k) => RdsClient::with_key(transport, &principal, k),
         None => RdsClient::new(transport, &principal),
-    };
+    }
+    .with_retry(retry);
 
     match (command.as_str(), rest) {
         ("delegate", [name, file]) => {

@@ -1,0 +1,132 @@
+//! Chaos: seeded fault schedules against the fault-tolerant session
+//! layer.
+//!
+//! A [`FaultTransport`] (drops, duplicates, delays, truncations,
+//! disconnects — all deterministic per seed) sits between a retrying
+//! [`RdsClient`] and an [`MbdServer`] with duplicate suppression on.
+//! The property under test is the tentpole guarantee: for **every**
+//! seed, a retried management workflow converges to exactly-once
+//! server-side effects.
+//!
+//! Convergence is provable, not probabilistic: the fault budget
+//! (`FaultConfig::max_faults`, 6) is strictly below the client's
+//! attempt bound (8), and a disconnect's follow-on failure also
+//! consumes budget, so no schedule can outlast the retry loop.
+
+use mbd::core::{ElasticConfig, ElasticProcess, MbdServer};
+use mbd::rds::{FaultConfig, FaultTransport, LoopbackTransport, RdsClient, RetryPolicy};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A stateful agent: double-execution of `bump` is visible in the
+/// returned running total, not just in the counters.
+const PROGRAM: &str = "var total = 0; fn bump(x) { total = total + x; return total; }";
+
+/// Eight attempts, no backoff (the loopback channel heals by budget,
+/// not by time), no deadline — convergence must come from the retry
+/// bound alone.
+fn chaos_policy(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 8,
+        base_backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+        deadline: None,
+        jitter_seed: seed,
+    }
+}
+
+type ChaosClient = RdsClient<FaultTransport<LoopbackTransport>>;
+
+fn harness(seed: u64) -> (ChaosClient, ElasticProcess, Arc<MbdServer>) {
+    let process =
+        ElasticProcess::new(ElasticConfig { keep_terminated: true, ..Default::default() });
+    let server = Arc::new(MbdServer::open(process.clone()));
+    let loopback = {
+        let server = Arc::clone(&server);
+        LoopbackTransport::new(move |bytes: &[u8]| server.process_request(bytes))
+    };
+    let faulty = FaultTransport::new(loopback, seed, FaultConfig::default());
+    let client = RdsClient::new(faulty, "chaos-mgr")
+        .with_retry(chaos_policy(seed))
+        .instrument(process.telemetry());
+    (client, process, server)
+}
+
+/// Runs the canonical workflow — delegate, instantiate, invoke x3,
+/// terminate — and asserts exactly-once effects everywhere they are
+/// observable.
+fn run_workflow(seed: u64) -> (u64, u64) {
+    let (client, process, server) = harness(seed);
+
+    client.delegate("chaos", PROGRAM).expect("delegate converges");
+    let dpi = client.instantiate("chaos").expect("instantiate converges");
+    for round in 1..=3i64 {
+        let total = client.invoke(dpi, "bump", &[ber::BerValue::Integer(1)]).expect("invoke");
+        // The running total is the sharpest exactly-once probe: a
+        // double-executed bump would overshoot it immediately.
+        assert_eq!(total, ber::BerValue::Integer(round), "seed {seed}: bump ran more than once");
+    }
+    client.terminate(dpi).expect("terminate converges");
+
+    let stats = process.stats();
+    assert_eq!(stats.delegations_accepted, 1, "seed {seed}: delegation not exactly-once");
+    assert_eq!(stats.instantiations, 1, "seed {seed}: instantiation not exactly-once");
+    assert_eq!(stats.invocations_ok, 3, "seed {seed}: invocations not exactly-once");
+    assert_eq!(stats.invocations_failed, 0, "seed {seed}");
+
+    // The per-dpi account agrees, and the live census is empty again.
+    let account = process.dpi_account(dpi).expect("diagnostic slot survives terminate");
+    assert_eq!(account.invocations_ok, 3, "seed {seed}: dpi account disagrees");
+    let live = process
+        .list_instances()
+        .into_iter()
+        .filter(|s| s.state != mbd::rds::DpiState::Terminated)
+        .count();
+    assert_eq!(live, 0, "seed {seed}: the census must drain after terminate");
+
+    (client.retries(), server.dedup_hits())
+}
+
+proptest! {
+    /// Any seeded fault schedule converges to exactly-once effects.
+    #[test]
+    fn any_fault_schedule_converges_to_exactly_once(seed in any::<u64>()) {
+        run_workflow(seed);
+    }
+}
+
+/// A deterministic run whose schedule actually exercises the machinery:
+/// scan seeds until one forces both retries and dedup replays, then
+/// require the full observability trail for it.
+#[test]
+fn faults_surface_as_retries_dedup_hits_and_journal_records() {
+    for seed in 0..256u64 {
+        let (client, process, server) = harness(seed);
+        client.delegate("chaos", PROGRAM).expect("delegate converges");
+        let dpi = client.instantiate("chaos").expect("instantiate converges");
+        for _ in 0..3 {
+            client.invoke(dpi, "bump", &[ber::BerValue::Integer(1)]).expect("invoke converges");
+        }
+        client.terminate(dpi).expect("terminate converges");
+        if client.retries() == 0 || server.dedup_hits() == 0 {
+            continue;
+        }
+
+        // Counters flow into the shared telemetry registry...
+        let snapshot = process.telemetry().snapshot();
+        assert_eq!(snapshot.counter("rds.retries"), Some(client.retries()));
+        assert_eq!(snapshot.counter("rds.dedup_hits"), Some(server.dedup_hits()));
+        // ...and every replay is journalled without re-execution.
+        let replays = process
+            .journal()
+            .tail(0)
+            .into_iter()
+            .filter(|r| r.verb == "duplicate_replayed")
+            .count() as u64;
+        assert_eq!(replays, server.dedup_hits(), "each dedup hit leaves a journal record");
+        assert_eq!(process.stats().invocations_ok, 3, "replays must not re-execute");
+        return;
+    }
+    panic!("no seed in 0..256 produced both a retry and a dedup hit — schedules too tame");
+}

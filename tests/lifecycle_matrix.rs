@@ -29,7 +29,8 @@ fn fixture(keep_terminated: bool) -> (RdsClient<LoopbackTransport>, ElasticProce
     (client, process)
 }
 
-/// Every RDS verb that targets an existing dpi.
+/// Every RDS verb that targets an existing dpi, plus the process-level
+/// `ReadJournal` diagnostic (legal in every state, never a transition).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Verb {
     Invoke,
@@ -37,10 +38,11 @@ enum Verb {
     Resume,
     Terminate,
     Message,
+    ReadJournal,
 }
 
-const VERBS: [Verb; 5] =
-    [Verb::Invoke, Verb::Suspend, Verb::Resume, Verb::Terminate, Verb::Message];
+const VERBS: [Verb; 6] =
+    [Verb::Invoke, Verb::Suspend, Verb::Resume, Verb::Terminate, Verb::Message, Verb::ReadJournal];
 
 fn apply(client: &RdsClient<LoopbackTransport>, dpi: DpiId, verb: Verb) -> Result<(), RdsError> {
     match verb {
@@ -49,6 +51,7 @@ fn apply(client: &RdsClient<LoopbackTransport>, dpi: DpiId, verb: Verb) -> Resul
         Verb::Resume => client.resume(dpi),
         Verb::Terminate => client.terminate(dpi),
         Verb::Message => client.send_message(dpi, b"ping"),
+        Verb::ReadJournal => client.read_journal(8).map(|_| ()),
     }
 }
 
@@ -56,6 +59,9 @@ fn apply(client: &RdsClient<LoopbackTransport>, dpi: DpiId, verb: Verb) -> Resul
 /// state does the dpi hold afterwards? (Illegal verbs must not move it.)
 fn matrix(state: DpiState, verb: Verb) -> (bool, DpiState) {
     match (state, verb) {
+        // ReadJournal is a process-level diagnostic: legal everywhere,
+        // and it never moves the dpi.
+        (_, Verb::ReadJournal) => (true, state),
         (DpiState::Ready, Verb::Invoke | Verb::Message) => (true, DpiState::Ready),
         (DpiState::Ready, Verb::Suspend) => (true, DpiState::Suspended),
         (DpiState::Ready, Verb::Resume) => (false, DpiState::Ready),
@@ -115,6 +121,9 @@ fn without_diagnostics_a_terminated_dpi_vanishes_entirely() {
     assert_eq!(reported_state(&process, dpi), None, "no ghost slot may remain");
     for verb in VERBS {
         match apply(&client, dpi, verb) {
+            // ReadJournal never targets the dpi, so it keeps working even
+            // after the instance's slot is gone.
+            Ok(()) => assert_eq!(verb, Verb::ReadJournal, "{verb:?} on a removed dpi succeeded"),
             Err(RdsError::Remote { code, .. }) => {
                 assert_eq!(code, ErrorCode::NoSuchInstance, "{verb:?} on a removed dpi");
             }
@@ -126,7 +135,7 @@ fn without_diagnostics_a_terminated_dpi_vanishes_entirely() {
 proptest! {
     #[test]
     fn random_verb_sequences_never_leave_the_matrix(
-        verbs in proptest::collection::vec(0usize..5, 1..60),
+        verbs in proptest::collection::vec(0usize..6, 1..60),
     ) {
         let (client, process) = fixture(true);
         let dpi = client.instantiate("noop").expect("instantiates");
