@@ -1,0 +1,9 @@
+//! E10: regenerates the dpl VM hot-path cost table (shared code,
+//! cached resolution, tight dispatch) with reconstruction baselines.
+fn main() -> std::io::Result<()> {
+    let out = mbd_bench::report::default_out_dir();
+    let (report, _) = mbd_bench::experiments::e10_vm::run(2000);
+    let path = report.emit(&out)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,269 @@
+//! **E10 — dpl VM hot-path costs** (table).
+//!
+//! The shared-code / cached-resolution / tight-dispatch overhaul (see
+//! DESIGN.md §9) claims three wins: instantiating the Nth dpi of one dp
+//! is an `Arc` clone instead of a deep program copy, invoking with warm
+//! resolution caches skips the per-call host-table and entry-point
+//! lookups, and the dispatch loop executes bytecode at a lower ns/op.
+//! This experiment measures all three against *reconstruction
+//! baselines* — series that re-impose the pre-change cost inside the
+//! current runtime (deep-cloning the program per instance; dropping the
+//! resolution caches before every invocation) — so `BENCH_E10.json`
+//! carries the before/after trajectory even though the seed code is
+//! gone.
+//!
+//! Rows:
+//! - `dispatch: <kernel> ns/op` — wall time per executed VM instruction
+//!   (fuel unit) on arithmetic-, branch- and table-heavy kernels;
+//! - `instantiate @N shared/recon us` — mean per-dpi instantiation
+//!   latency when N dpis of one dp are created, shared-code vs
+//!   deep-clone; plus the `speedup x` row the acceptance gate reads;
+//! - `resident code KiB @N` — modeled bytecode+charge-table footprint
+//!   (shared keeps one copy; reconstruction keeps N);
+//! - `invoke: warm/cold us` — trivial entry with caches warm vs cleared
+//!   every call, and the `overhead reduction %` row;
+//! - `throughput: T-thread kinv/s` — concurrent invocations of distinct
+//!   dpis of one dp through the sharded process table.
+
+use crate::report::Report;
+use dpl::Value;
+use mbd_core::{ElasticConfig, ElasticProcess};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Arithmetic-heavy kernel: long straight-line blocks, few branches —
+/// the best case for block-batched fuel charging.
+const ARITH: &str = "fn main(n) { var t = 1; var i = 0; \
+                     while (i < n) { t = t + i * 3 - i / 2 + i % 7; i = i + 1; } return t; }";
+/// Branch-heavy kernel: short blocks, every iteration takes a
+/// conditional — the worst case for block batching.
+const LOOP: &str = "fn main(n) { var t = 0; var i = 0; \
+                    while (i < n) { if (i % 3 == 0) { t = t + 1; } else { t = t - 1; } \
+                    i = i + 1; } return t; }";
+/// Table kernel: list index reads and in-place writes.
+const TABLE: &str = "fn main(n) { var xs = [0, 1, 2, 3, 4, 5, 6, 7]; var i = 0; var t = 0; \
+                     while (i < n) { xs[i % 8] = t; t = t + xs[(i + 3) % 8]; i = i + 1; } \
+                     return t; }";
+const TRIVIAL: &str = "fn main() { return 0; }";
+
+/// Dpi-population sizes for the instantiation series.
+const DPI_COUNTS: [usize; 3] = [1, 256, 1024];
+
+/// One measured metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmRow {
+    /// Metric label.
+    pub metric: String,
+    /// Measured value (unit is part of the label).
+    pub value: f64,
+}
+
+fn compile(src: &str) -> Arc<dpl::Program> {
+    let reg: dpl::HostRegistry<()> = dpl::HostRegistry::with_stdlib();
+    Arc::new(dpl::compile_program(src, &reg).expect("kernel compiles"))
+}
+
+/// Compiles the realistic health-agent dp, stubbing the two server
+/// services it calls (only its code shape matters here — the
+/// instantiation series never invokes it).
+fn compile_health_agent() -> Arc<dpl::Program> {
+    let mut reg: dpl::HostRegistry<()> = dpl::HostRegistry::with_stdlib();
+    reg.register("mib_get", 1, |_, _| Ok(Value::Int(0)));
+    reg.register("notify", 1, |_, _| Ok(Value::Nil));
+    Arc::new(dpl::compile_program(super::e2_traffic::HEALTH_AGENT, &reg).expect("agent compiles"))
+}
+
+/// Mean wall nanoseconds per executed VM instruction (fuel unit).
+fn dispatch_ns_per_op(src: &str, loop_n: i64, reps: u32) -> f64 {
+    let reg: dpl::HostRegistry<()> = dpl::HostRegistry::with_stdlib();
+    let program = compile(src);
+    let big = dpl::Budget { fuel: u64::MAX / 2, memory: u64::MAX / 2, call_depth: 64 };
+    let mut inst = dpl::Instance::new(program);
+    let args = [Value::Int(loop_n)];
+    inst.invoke("main", &args, &mut (), &reg, big).expect("kernel runs");
+    let ops_per_run = inst.last_stats().fuel_used;
+    let start = Instant::now();
+    for _ in 0..reps {
+        inst.invoke("main", &args, &mut (), &reg, big).expect("kernel runs");
+    }
+    let ns = start.elapsed().as_secs_f64() * 1e9;
+    ns / (ops_per_run as f64 * f64::from(reps))
+}
+
+/// Mean per-dpi instantiation latency (microseconds) for `count` dpis of
+/// one dp. `deep_clone` re-imposes the pre-change cost: every instance
+/// gets its own copy of the compiled program.
+fn instantiate_us(program: &Arc<dpl::Program>, count: usize, deep_clone: bool) -> f64 {
+    let start = Instant::now();
+    let mut dpis = Vec::with_capacity(count);
+    for _ in 0..count {
+        let code =
+            if deep_clone { Arc::new(program.as_ref().clone()) } else { Arc::clone(program) };
+        dpis.push(dpl::Instance::new(code));
+    }
+    let us = start.elapsed().as_secs_f64() * 1e6 / count as f64;
+    drop(dpis);
+    us
+}
+
+/// Modeled resident bytecode footprint: instruction and charge-table
+/// bytes per program copy (constants/names excluded — the point is the
+/// per-copy cost that sharing removes).
+fn code_bytes(program: &dpl::Program) -> f64 {
+    let per_op = std::mem::size_of::<u64>() as f64 + std::mem::size_of::<u32>() as f64;
+    program.code_size() as f64 * per_op
+}
+
+/// Runs the experiment with `iters` controlling repetition counts.
+pub fn run(iters: u32) -> (Report, Vec<VmRow>) {
+    let mut rows: Vec<VmRow> = Vec::new();
+    let mut add = |metric: &str, value: f64| {
+        rows.push(VmRow { metric: metric.to_string(), value });
+    };
+    let reps = iters.max(20);
+
+    // Dispatch ns/op on the three kernels.
+    add("dispatch: arith kernel ns/op", dispatch_ns_per_op(ARITH, 2_000, reps.min(400)));
+    add("dispatch: branch kernel ns/op", dispatch_ns_per_op(LOOP, 2_000, reps.min(400)));
+    add("dispatch: table kernel ns/op", dispatch_ns_per_op(TABLE, 2_000, reps.min(400)));
+
+    // Instantiation: shared code vs per-instance deep clone, and the
+    // modeled resident footprint of the code at each population size.
+    let health = compile_health_agent();
+    for &count in &DPI_COUNTS {
+        let shared = instantiate_us(&health, count, false);
+        let recon = instantiate_us(&health, count, true);
+        add(&format!("instantiate @{count} shared us"), shared);
+        add(&format!("instantiate @{count} recon us"), recon);
+        add(&format!("instantiate @{count} speedup x"), recon / shared);
+        add(&format!("resident code KiB @{count} shared"), code_bytes(&health) / 1024.0);
+        add(
+            &format!("resident code KiB @{count} recon"),
+            code_bytes(&health) * count as f64 / 1024.0,
+        );
+    }
+
+    // Per-invocation overhead: warm resolution caches vs the
+    // reconstruction baseline that re-resolves hosts and the entry point
+    // on every call (the seed's behavior).
+    {
+        let reg: dpl::HostRegistry<()> = dpl::HostRegistry::with_stdlib();
+        let program = compile(TRIVIAL);
+        let budget = dpl::Budget::default();
+        let mut inst = dpl::Instance::new(Arc::clone(&program));
+        inst.invoke("main", &[], &mut (), &reg, budget).expect("runs");
+        let n = reps.max(2_000);
+        let start = Instant::now();
+        for _ in 0..n {
+            inst.invoke("main", &[], &mut (), &reg, budget).expect("runs");
+        }
+        let warm = start.elapsed().as_secs_f64() * 1e6 / f64::from(n);
+        let start = Instant::now();
+        for _ in 0..n {
+            inst.clear_resolution_caches();
+            inst.invoke("main", &[], &mut (), &reg, budget).expect("runs");
+        }
+        let cold = start.elapsed().as_secs_f64() * 1e6 / f64::from(n);
+        add("invoke: warm-cache trivial us", warm);
+        add("invoke: cold-resolution trivial us", cold);
+        add("invoke: overhead reduction %", (1.0 - warm / cold) * 100.0);
+    }
+
+    // Concurrent invoke throughput through the sharded process table:
+    // T threads, each hammering its own dpi of one shared dp.
+    {
+        let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(8);
+        let p = ElasticProcess::new(ElasticConfig::default());
+        p.delegate("kernel", LOOP).expect("translates");
+        let dpis: Vec<_> = (0..threads).map(|_| p.instantiate("kernel").expect("ok")).collect();
+        let per_thread = reps.clamp(50, 400);
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for &d in &dpis {
+                let p = p.clone();
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        p.invoke(d, "main", &[Value::Int(1_000)]).expect("runs");
+                    }
+                });
+            }
+        });
+        let total = f64::from(per_thread) * threads as f64;
+        let invs_per_sec = total / start.elapsed().as_secs_f64();
+        add(&format!("throughput: {threads}-thread kinv/s"), invs_per_sec / 1e3);
+    }
+
+    let mut report = Report::new(
+        "E10",
+        "E10: dpl VM hot-path costs (shared code, cached resolution, tight dispatch)",
+        &["metric", "value"],
+    );
+    for r in &rows {
+        report.push(vec![r.metric.clone(), format!("{:.3}", r.value)]);
+    }
+    (report, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find<'a>(rows: &'a [VmRow], metric: &str) -> &'a VmRow {
+        rows.iter().find(|r| r.metric == metric).unwrap_or_else(|| panic!("missing {metric}"))
+    }
+
+    #[test]
+    fn all_metrics_are_measured() {
+        let (report, rows) = run(30);
+        assert_eq!(report.rows.len(), rows.len());
+        // 3 dispatch + 5 per dpi count + 3 invoke + 1 throughput.
+        assert_eq!(rows.len(), 3 + DPI_COUNTS.len() * 5 + 3 + 1);
+        for r in &rows {
+            assert!(r.value.is_finite(), "{} is not finite", r.metric);
+            assert!(r.value > 0.0, "{} measured nothing: {}", r.metric, r.value);
+        }
+    }
+
+    #[test]
+    fn shared_code_keeps_one_resident_copy() {
+        let (_, rows) = run(20);
+        let shared = find(&rows, "resident code KiB @1024 shared").value;
+        let recon = find(&rows, "resident code KiB @1024 recon").value;
+        assert!((recon / shared - 1024.0).abs() < 1e-6, "recon must scale with N");
+    }
+
+    /// The acceptance gate: with code shared, instantiating the Nth dpi
+    /// of one dp must be at least 2x faster than the deep-clone
+    /// reconstruction baseline. Only meaningful with optimizations on.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn shared_instantiation_beats_reconstruction_2x() {
+        let (_, rows) = run(100);
+        let speedup = find(&rows, "instantiate @1024 speedup x").value;
+        assert!(speedup >= 2.0, "shared instantiation speedup only {speedup:.2}x");
+    }
+
+    /// Warm resolution caches must make invocations measurably cheaper
+    /// than the re-resolve-every-call reconstruction baseline.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn warm_caches_reduce_invocation_overhead() {
+        let (_, rows) = run(200);
+        let warm = find(&rows, "invoke: warm-cache trivial us").value;
+        let cold = find(&rows, "invoke: cold-resolution trivial us").value;
+        assert!(warm < cold, "warm {warm:.3}us must undercut cold {cold:.3}us");
+    }
+
+    /// Dispatch budget rows: the tight loop must execute kernel bytecode
+    /// under 300 ns per instruction on any plausible hardware. Only
+    /// meaningful with optimizations on.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn dispatch_stays_under_budget() {
+        let (_, rows) = run(200);
+        for kernel in ["arith", "branch", "table"] {
+            let row = find(&rows, &format!("dispatch: {kernel} kernel ns/op"));
+            assert!(row.value < 300.0, "{}: {:.1} ns/op over budget", row.metric, row.value);
+        }
+    }
+}

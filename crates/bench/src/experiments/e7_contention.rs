@@ -47,10 +47,11 @@ struct SingleLockRuntime {
 impl SingleLockRuntime {
     fn new(n_dpis: usize) -> SingleLockRuntime {
         let registry: dpl::HostRegistry<()> = dpl::HostRegistry::with_stdlib();
-        let program = dpl::compile_program(KERNEL, &registry).expect("kernel compiles");
+        let program =
+            std::sync::Arc::new(dpl::compile_program(KERNEL, &registry).expect("kernel compiles"));
         let mut dpis = HashMap::new();
         for id in 0..n_dpis as u64 {
-            dpis.insert(id, Mutex::new(dpl::Instance::new(&program)));
+            dpis.insert(id, Mutex::new(dpl::Instance::new(std::sync::Arc::clone(&program))));
         }
         SingleLockRuntime {
             registry,

@@ -245,7 +245,7 @@ pub fn run(iters: u32) -> (Report, Vec<MicroRow>) {
         let reg: dpl::HostRegistry<()> = dpl::HostRegistry::with_stdlib();
         let big = dpl::Budget { fuel: u64::MAX / 2, memory: u64::MAX / 2, call_depth: 256 };
         let program = dpl::compile_program(COMPUTE, &reg).expect("compiles");
-        let mut vm = dpl::Instance::new(&program);
+        let mut vm = dpl::Instance::new(std::sync::Arc::new(program));
         add(
             "ablation: VM 10k loop",
             time_us(iters.min(200), || {

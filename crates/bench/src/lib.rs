@@ -18,6 +18,7 @@
 //! | [`experiments::e7_micro`] | elastic-process microcosts | `exp_micro` |
 //! | [`experiments::e8_vdl_size`] | VDL vs SMI-extension spec economy | `exp_vdl_size` |
 //! | [`experiments::e9_transient`] | transient-phenomenon detection | `exp_transient` |
+//! | [`experiments::e10_vm`] | dpl VM hot-path costs vs reconstruction baselines | `exp_vm` |
 
 pub mod experiments;
 pub mod report;

@@ -46,7 +46,11 @@ impl ElasticProcess {
             dpi,
             account: Arc::clone(&slot.account),
         };
-        let registry = self.inner.registry.read();
+        // Snapshot the registry (one Arc clone) instead of holding the
+        // read lock across the VM run: a long-running dpi no longer
+        // blocks `register_service`'s write lock, and `delegate_as` /
+        // other invokes never serialize behind this one.
+        let registry = self.registry_snapshot();
         let (result, busy_ns, fuel) = {
             // The per-slot instance mutex serializes this dpi; no table
             // lock is held, so other dpis stay fully available.

@@ -30,7 +30,9 @@ impl ElasticProcess {
             return Err(CoreError::TooManyInstances { limit });
         }
         let id = DpiId(self.inner.next_dpi.fetch_add(1, std::sync::atomic::Ordering::Relaxed));
-        let slot = DpiSlot::new(dp_name.to_string(), dpl::Instance::new(&dp.program));
+        // Shared-code instantiation: the dpi holds an `Arc` to the stored
+        // dp's compiled program — no per-instance deep clone of the code.
+        let slot = DpiSlot::new(dp_name.to_string(), dpl::Instance::new(Arc::clone(&dp.program)));
         *slot.quota.lock() = self.inner.config.quota;
         self.inner.dpis.insert(id, Arc::new(slot));
         stats::bump(&self.inner.stats.instantiations);

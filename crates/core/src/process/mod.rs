@@ -131,7 +131,12 @@ impl EpMetrics {
 
 pub(in crate::process) struct Inner {
     pub config: ElasticConfig,
-    pub registry: RwLock<HostRegistry<ServerCtx>>,
+    /// The host-service registry, behind an `Arc` so hot paths snapshot
+    /// it (one `Arc` clone under a briefly-held read lock) instead of
+    /// holding the lock across compilation or a whole VM run.
+    /// `register_service` swaps in a rebuilt registry, which bumps the
+    /// registry generation and invalidates per-dpi resolution caches.
+    pub registry: RwLock<Arc<HostRegistry<ServerCtx>>>,
     pub repository: Repository,
     pub dpis: ShardedTable,
     pub next_dpi: AtomicU64,
@@ -183,7 +188,7 @@ impl ElasticProcess {
         ElasticProcess {
             inner: Arc::new(Inner {
                 config,
-                registry: RwLock::new(services::standard_registry()),
+                registry: RwLock::new(Arc::new(services::standard_registry())),
                 repository: Repository::new(),
                 dpis: ShardedTable::new(),
                 next_dpi: AtomicU64::new(1),
@@ -311,7 +316,19 @@ impl ElasticProcess {
     where
         F: Fn(&mut ServerCtx, &[Value]) -> Result<Value, String> + Send + Sync + 'static,
     {
-        self.inner.registry.write().register(name, arity, f);
+        // Clone-modify-swap: in-flight invocations keep their snapshot;
+        // the new registry carries a fresh generation, so dpi resolution
+        // caches re-validate on their next invocation.
+        let mut guard = self.inner.registry.write();
+        let mut next = HostRegistry::clone(&guard);
+        next.register(name, arity, f);
+        *guard = Arc::new(next);
+    }
+
+    /// One-`Arc`-clone snapshot of the host registry; callers run against
+    /// it without holding the lock.
+    pub(in crate::process) fn registry_snapshot(&self) -> Arc<HostRegistry<ServerCtx>> {
+        Arc::clone(&self.inner.registry.read())
     }
 
     /// Advances the server clock by `ticks` hundredths of a second.
@@ -357,7 +374,7 @@ impl ElasticProcess {
     /// As for [`ElasticProcess::delegate`].
     pub fn delegate_as(&self, name: &str, source: &str, principal: &str) -> Result<(), CoreError> {
         let _span = self.inner.metrics.delegate.start();
-        let registry = self.inner.registry.read();
+        let registry = self.registry_snapshot();
         match dpl::compile_program(source, &registry) {
             Ok(program) => {
                 self.inner.repository.store(name, source, program, principal);

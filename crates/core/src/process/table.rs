@@ -171,7 +171,7 @@ mod tests {
     fn slot() -> Arc<DpiSlot> {
         let reg: dpl::HostRegistry<()> = dpl::HostRegistry::with_stdlib();
         let program = dpl::compile_program("fn main() { return 0; }", &reg).unwrap();
-        Arc::new(DpiSlot::new("t".to_string(), dpl::Instance::new(&program)))
+        Arc::new(DpiSlot::new("t".to_string(), dpl::Instance::new(std::sync::Arc::new(program))))
     }
 
     #[test]

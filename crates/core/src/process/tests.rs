@@ -216,6 +216,73 @@ fn redelegation_hot_swaps_for_new_instances() {
 }
 
 #[test]
+fn dpis_share_one_compiled_code_object() {
+    let p = process();
+    p.delegate("f", "var n = 0; fn main() { n = n + 1; return n; }").unwrap();
+    let a = p.instantiate("f").unwrap();
+    let b = p.instantiate("f").unwrap();
+    let stored = p.repository().lookup("f").unwrap();
+    {
+        let slot_a = p.inner.dpis.get(a).unwrap();
+        let slot_b = p.inner.dpis.get(b).unwrap();
+        let inst_a = slot_a.instance.lock();
+        let inst_b = slot_b.instance.lock();
+        // Both dpis and the repository reference one code object.
+        assert!(Arc::ptr_eq(inst_a.program_shared(), inst_b.program_shared()));
+        assert!(Arc::ptr_eq(inst_a.program_shared(), &stored.program));
+    }
+    // Shared code, private state.
+    assert_eq!(p.invoke(a, "main", &[]).unwrap(), Value::Int(1));
+    assert_eq!(p.invoke(a, "main", &[]).unwrap(), Value::Int(2));
+    assert_eq!(p.invoke(b, "main", &[]).unwrap(), Value::Int(1));
+}
+
+#[test]
+fn redelegation_leaves_running_dpis_on_their_version() {
+    let p = process();
+    p.delegate("f", "var total = 0; fn main(x) { total = total + x; return total; }").unwrap();
+    let old = p.instantiate("f").unwrap();
+    assert_eq!(p.invoke(old, "main", &[Value::Int(5)]).unwrap(), Value::Int(5));
+    let old_program = {
+        let slot = p.inner.dpis.get(old).unwrap();
+        let inst = slot.instance.lock();
+        Arc::clone(inst.program_shared())
+    };
+    p.delegate("f", "var total = 0; fn main(x) { total = total - x; return total; }").unwrap();
+    // The repository now serves version 2 with a different code object...
+    let stored = p.repository().lookup("f").unwrap();
+    assert_eq!(stored.version, 2);
+    assert!(!Arc::ptr_eq(&stored.program, &old_program));
+    // ...but the running dpi keeps its code and its accumulated state.
+    assert_eq!(p.invoke(old, "main", &[Value::Int(3)]).unwrap(), Value::Int(8));
+    {
+        let slot = p.inner.dpis.get(old).unwrap();
+        let inst = slot.instance.lock();
+        assert!(Arc::ptr_eq(inst.program_shared(), &old_program));
+    }
+    // New instances pick up the new version.
+    let fresh = p.instantiate("f").unwrap();
+    assert_eq!(p.invoke(fresh, "main", &[Value::Int(3)]).unwrap(), Value::Int(-3));
+}
+
+#[test]
+fn service_registration_invalidates_dpi_resolution_caches() {
+    let p = process();
+    p.delegate("f", "fn main() { return len([1, 2]); }").unwrap();
+    let dpi = p.instantiate("f").unwrap();
+    // Warm the dpi's host-resolution cache...
+    assert_eq!(p.invoke(dpi, "main", &[]).unwrap(), Value::Int(2));
+    // ...swap in an extended registry (new generation)...
+    p.register_service("later", 0, |_, _| Ok(Value::Int(9)));
+    // ...and the dpi transparently re-resolves against the new snapshot.
+    assert_eq!(p.invoke(dpi, "main", &[]).unwrap(), Value::Int(2));
+    // Programs delegated after the swap see the new binding.
+    p.delegate("g", "fn main() { return later(); }").unwrap();
+    let g = p.instantiate("g").unwrap();
+    assert_eq!(p.invoke(g, "main", &[]).unwrap(), Value::Int(9));
+}
+
+#[test]
 fn custom_services_extend_the_allowed_set() {
     let p = process();
     // Before registration the binding is rejected...

@@ -11,8 +11,10 @@ pub struct StoredDp {
     pub name: String,
     /// Original source text (kept for re-translation and auditing).
     pub source: String,
-    /// Compiled form shared by all instances.
-    pub program: dpl::Program,
+    /// Compiled form shared by all instances: every dpi instantiated from
+    /// this dp holds a reference to this one code object, and lookups
+    /// never deep-clone it.
+    pub program: Arc<dpl::Program>,
     /// Monotonic version, bumped on re-delegation under the same name.
     pub version: u32,
     /// Handle of the delegating principal.
@@ -28,7 +30,7 @@ pub struct StoredDp {
 /// scheduler all reference it.
 #[derive(Clone, Default)]
 pub struct Repository {
-    inner: Arc<RwLock<BTreeMap<String, StoredDp>>>,
+    inner: Arc<RwLock<BTreeMap<String, Arc<StoredDp>>>>,
 }
 
 impl fmt::Debug for Repository {
@@ -51,18 +53,20 @@ impl Repository {
         let version = map.get(name).map_or(1, |old| old.version + 1);
         map.insert(
             name.to_string(),
-            StoredDp {
+            Arc::new(StoredDp {
                 name: name.to_string(),
                 source: source.to_string(),
-                program,
+                program: Arc::new(program),
                 version,
                 delegated_by: delegated_by.to_string(),
-            },
+            }),
         );
     }
 
-    /// Looks up a dp by name.
-    pub fn lookup(&self, name: &str) -> Option<StoredDp> {
+    /// Looks up a dp by name. The returned handle shares the stored entry
+    /// (and its compiled program) — no deep clone. Re-delegation replaces
+    /// the entry, so holders of an old handle keep the old version.
+    pub fn lookup(&self, name: &str) -> Option<Arc<StoredDp>> {
         self.inner.read().get(name).cloned()
     }
 
@@ -71,7 +75,7 @@ impl Repository {
     /// # Errors
     ///
     /// [`CoreError::NoSuchProgram`] if absent.
-    pub fn delete(&self, name: &str) -> Result<StoredDp, CoreError> {
+    pub fn delete(&self, name: &str) -> Result<Arc<StoredDp>, CoreError> {
         self.inner
             .write()
             .remove(name)

@@ -258,7 +258,7 @@ mod tests {
     fn run(src: &str, ctx: &mut ServerCtx) -> Result<Value, dpl::RuntimeError> {
         let reg = standard_registry();
         let program = dpl::compile_program(src, &reg).expect("compiles");
-        let mut inst = Instance::new(&program);
+        let mut inst = Instance::new(std::sync::Arc::new(program));
         inst.invoke("main", &[], ctx, &reg, Budget::default())
     }
 

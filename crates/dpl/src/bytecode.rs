@@ -4,7 +4,11 @@ use std::fmt;
 
 /// One VM instruction. Jump targets are absolute indices within the
 /// enclosing function's code.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Op` is deliberately `Copy` (every payload is a small scalar): the
+/// dispatch loop reads instructions by value, so fetching the next op is
+/// a plain load instead of a `clone()` call per instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) enum Op {
     /// Push constant `consts[i]`.
     Const(u16),
@@ -96,6 +100,70 @@ pub(crate) struct Function {
     pub arity: usize,
     pub n_locals: usize,
     pub code: Vec<Op>,
+    /// `charge[pc]` — total fuel cost of the straight-line run starting
+    /// at `pc` and ending at (and including) the end of its basic block.
+    /// The VM charges this once per block entry instead of doing a
+    /// checked add + branch per instruction; see
+    /// [`compute_charge_table`].
+    pub charge: Vec<u32>,
+}
+
+impl Function {
+    /// Builds a function, deriving the per-block fuel charge table from
+    /// the code.
+    pub fn new(name: String, arity: usize, n_locals: usize, code: Vec<Op>) -> Function {
+        let charge = compute_charge_table(&code);
+        Function { name, arity, n_locals, code, charge }
+    }
+}
+
+/// The fuel price of one instruction — the unit established by the seed
+/// VM (one per instruction, plus two extra for a program call and four
+/// extra for a host call).
+pub(crate) fn op_fuel(op: Op) -> u32 {
+    match op {
+        Op::Call { .. } => 3,
+        Op::CallHost { .. } => 5,
+        _ => 1,
+    }
+}
+
+/// Computes, for every pc, the summed fuel cost of the instructions from
+/// `pc` through the end of the basic block containing it.
+///
+/// Block boundaries are the classic leaders: the function entry, every
+/// jump target, and the instruction after any control transfer (jumps,
+/// branches, calls — a call resumes there, so it must start a block —
+/// and returns). Because the VM only ever *enters* code at a leader
+/// (function entry, taken branch, branch fall-through, call return), it
+/// can charge `charge[entry_pc]` once and then execute the whole block
+/// without per-instruction fuel checks; every executed instruction is
+/// charged exactly once, so total fuel on a completed run is identical
+/// to per-instruction charging. Abort points move only within a basic
+/// block (documented in `docs/DPL.md`).
+pub(crate) fn compute_charge_table(code: &[Op]) -> Vec<u32> {
+    let mut leader = vec![false; code.len() + 1];
+    if !code.is_empty() {
+        leader[0] = true;
+    }
+    for (pc, op) in code.iter().enumerate() {
+        match op {
+            Op::Jump(t) | Op::JumpIfFalse(t) | Op::AndJump(t) | Op::OrJump(t) => {
+                leader[*t as usize] = true;
+                leader[pc + 1] = true;
+            }
+            Op::Call { .. } | Op::CallHost { .. } | Op::Return => {
+                leader[pc + 1] = true;
+            }
+            _ => {}
+        }
+    }
+    let mut charge = vec![0u32; code.len()];
+    for pc in (0..code.len()).rev() {
+        let rest = if pc + 1 < code.len() && !leader[pc + 1] { charge[pc + 1] } else { 0 };
+        charge[pc] = op_fuel(code[pc]).saturating_add(rest);
+    }
+    charge
 }
 
 /// A compiled delegated program: constants, functions, global slots and

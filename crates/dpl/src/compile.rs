@@ -51,12 +51,8 @@ pub fn compile<C>(ast: &ProgramAst, registry: &HostRegistry<C>) -> Program {
     init.emit(Op::Nil);
     init.emit(Op::Return);
     let init_fn = functions.len();
-    functions.push(Function {
-        name: "#init".to_string(),
-        arity: 0,
-        n_locals: init.max_slots,
-        code: init.code,
-    });
+    let (init_code, init_slots) = (init.code, init.max_slots);
+    functions.push(Function::new("#init".to_string(), 0, init_slots, init_code));
 
     let Shared { consts, host_names, .. } = shared;
     Program {
@@ -107,7 +103,7 @@ fn compile_fn(shared: &mut Shared<'_>, f: &FnDef) -> Function {
     // Implicit `return nil;`.
     c.emit(Op::Nil);
     c.emit(Op::Return);
-    Function { name: f.name.clone(), arity: f.params.len(), n_locals: c.max_slots, code: c.code }
+    Function::new(f.name.clone(), f.params.len(), c.max_slots, c.code)
 }
 
 struct LoopCtx {

@@ -22,10 +22,26 @@ pub struct Signature {
     pub arity: usize,
 }
 
-type HostFn<C> = Box<dyn Fn(&mut C, &[Value]) -> Result<Value, String> + Send + Sync>;
+type HostFn<C> = std::sync::Arc<dyn Fn(&mut C, &[Value]) -> Result<Value, String> + Send + Sync>;
+
+/// Source of globally unique registry generations: every construction
+/// and every mutation stamps the registry with a fresh value, so two
+/// registries (or two revisions of one) never share a generation and a
+/// cached resolution can be validated with a single integer compare.
+static NEXT_GENERATION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn fresh_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
 
 /// The set of host functions available to delegated programs on one
 /// server, over an embedder-chosen context type `C`.
+///
+/// Cloning is cheap (the function objects are `Arc`-shared) and the
+/// clone keeps the original's [`generation`](HostRegistry::generation):
+/// a clone is the same function set, so resolution caches keyed on the
+/// generation stay valid across it. Registering into either copy stamps
+/// that copy with a fresh generation.
 ///
 /// # Examples
 ///
@@ -44,17 +60,31 @@ type HostFn<C> = Box<dyn Fn(&mut C, &[Value]) -> Result<Value, String> + Send + 
 pub struct HostRegistry<C> {
     fns: Vec<(Signature, HostFn<C>)>,
     by_name: HashMap<String, usize>,
+    generation: u64,
 }
 
 impl<C> fmt::Debug for HostRegistry<C> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("HostRegistry").field("functions", &self.fns.len()).finish()
+        f.debug_struct("HostRegistry")
+            .field("functions", &self.fns.len())
+            .field("generation", &self.generation)
+            .finish()
+    }
+}
+
+impl<C> Clone for HostRegistry<C> {
+    fn clone(&self) -> HostRegistry<C> {
+        HostRegistry {
+            fns: self.fns.clone(),
+            by_name: self.by_name.clone(),
+            generation: self.generation,
+        }
     }
 }
 
 impl<C> Default for HostRegistry<C> {
     fn default() -> HostRegistry<C> {
-        HostRegistry { fns: Vec::new(), by_name: HashMap::new() }
+        HostRegistry { fns: Vec::new(), by_name: HashMap::new(), generation: fresh_generation() }
     }
 }
 
@@ -78,12 +108,22 @@ impl<C> HostRegistry<C> {
         F: Fn(&mut C, &[Value]) -> Result<Value, String> + Send + Sync + 'static,
     {
         let sig = Signature { name: name.to_string(), arity };
+        let f: HostFn<C> = std::sync::Arc::new(f);
         if let Some(&idx) = self.by_name.get(name) {
-            self.fns[idx] = (sig, Box::new(f));
+            self.fns[idx] = (sig, f);
         } else {
             self.by_name.insert(name.to_string(), self.fns.len());
-            self.fns.push((sig, Box::new(f)));
+            self.fns.push((sig, f));
         }
+        self.generation = fresh_generation();
+    }
+
+    /// An opaque stamp identifying this exact function set. Changes on
+    /// every [`register`](HostRegistry::register); equal stamps mean the
+    /// same names at the same indices, so cached name→index resolutions
+    /// (see [`Instance`](crate::Instance)) remain valid.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// All signatures, for the static checker.

@@ -48,23 +48,25 @@ impl AstInstance {
         registry: &HostRegistry<C>,
         budget: Budget,
     ) -> Result<Value, RuntimeError> {
-        let ast = self.ast.clone();
+        // `ast` and `globals` are disjoint fields, so the interpreter can
+        // borrow the AST in place — no per-invocation deep clone.
         let mut interp = Interp {
-            ast: &ast,
+            ast: &self.ast,
             registry,
             globals: &mut self.globals,
             fuel_left: budget.fuel,
             depth_left: budget.call_depth,
         };
         if !self.initialized {
-            for g in &ast.globals {
+            for g in &self.ast.globals {
                 let mut locals = HashMap::new();
                 let v = interp.expr(&g.init, &mut locals, ctx)?;
                 interp.globals.insert(g.name.clone(), v);
             }
             self.initialized = true;
         }
-        let f = ast
+        let f = self
+            .ast
             .functions
             .iter()
             .find(|f| f.name == entry)
@@ -390,7 +392,7 @@ mod tests {
     fn run_both(src: &str, entry: &str, args: &[Value]) -> (Value, Value) {
         let reg: HostRegistry<()> = HostRegistry::with_stdlib();
         let program = crate::compile_program(src, &reg).expect("compiles");
-        let mut vm = Instance::new(&program);
+        let mut vm = Instance::new(std::sync::Arc::new(program));
         let vm_result = vm.invoke(entry, args, &mut (), &reg, Budget::default()).expect("vm runs");
         let mut tree = AstInstance::new(src, &reg).expect("parses");
         let tree_result =
@@ -478,7 +480,7 @@ mod tests {
                    return t; }";
         let reg: HostRegistry<()> = HostRegistry::with_stdlib();
         let program = crate::compile_program(src, &reg).unwrap();
-        let mut vm = Instance::new(&program);
+        let mut vm = Instance::new(std::sync::Arc::new(program));
         let mut tree = AstInstance::new(src, &reg).unwrap();
         let big = Budget { fuel: u64::MAX / 2, memory: u64::MAX / 2, call_depth: 64 };
 

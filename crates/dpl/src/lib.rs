@@ -37,7 +37,7 @@
 //!     "#,
 //!     &registry,
 //! )?;
-//! let mut dpi = Instance::new(&program);
+//! let mut dpi = Instance::new(std::sync::Arc::new(program));
 //! dpi.invoke("add", &[Value::Int(2)], &mut (), &registry, Budget::default())?;
 //! let v = dpi.invoke("add", &[Value::Int(3)], &mut (), &registry, Budget::default())?;
 //! assert_eq!(v, Value::Int(5)); // state persisted across invocations
@@ -62,7 +62,7 @@ pub use bytecode::{FunctionInfo, Program};
 pub use error::{CheckError, DplError, LexError, ParseError, RuntimeError};
 pub use host::{HostRegistry, Signature};
 pub use value::Value;
-pub use vm::{Budget, Instance, VmStats};
+pub use vm::{Budget, Entry, Instance, VmStats};
 
 /// Front-to-back translation: parse, check against `registry`, compile.
 ///

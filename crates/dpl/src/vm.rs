@@ -11,6 +11,7 @@ use crate::bytecode::{Op, Program};
 use crate::host::HostRegistry;
 use crate::value::ops;
 use crate::{RuntimeError, Value};
+use std::sync::Arc;
 
 /// Resource limits for one invocation.
 ///
@@ -53,34 +54,74 @@ pub struct VmStats {
     pub host_calls: u64,
 }
 
-/// A delegated program *instance* (dpi): compiled code plus persistent
-/// global state.
+/// A pre-resolved entry point: the function's index and arity, looked up
+/// once (via [`Instance::entry`]) and reusable across invocations without
+/// any per-call string hashing.
 ///
-/// Instances of the same [`Program`] share code but have independent
-/// state, exactly like the paper's dpis instantiated from one dp. Global
-/// initializers run lazily on the first invocation (they may call host
-/// functions, which need a context).
+/// A handle is tied to the [`Program`] it was resolved against; instances
+/// sharing one `Arc<Program>` can share handles. [`Instance::invoke_entry`]
+/// re-validates the index bounds, but a handle resolved against an
+/// unrelated program of the same shape is the caller's bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    index: u32,
+    arity: u32,
+}
+
+/// A delegated program *instance* (dpi): shared compiled code plus
+/// persistent private global state.
+///
+/// Instances of the same [`Program`] share one code object (the `Arc`
+/// passed to [`Instance::new`]) but have independent state, exactly like
+/// the paper's dpis instantiated from one dp. Global initializers run
+/// lazily on the first invocation (they may call host functions, which
+/// need a context).
+///
+/// Name resolution is cached per instance: the program's host-function
+/// table is mapped to registry indices once and re-validated only when
+/// the registry's generation changes, and the most recent entry-point
+/// lookup is memoized ([`Instance::entry`] /
+/// [`Instance::invoke_entry`] skip the string lookup entirely).
 #[derive(Debug, Clone)]
 pub struct Instance {
-    program: std::sync::Arc<Program>,
+    program: Arc<Program>,
     globals: Vec<Value>,
     initialized: bool,
     last_stats: VmStats,
+    /// Program host-table index → registry index, valid while the
+    /// registry generation equals `host_map_generation`.
+    host_map: Vec<usize>,
+    host_map_generation: Option<u64>,
+    /// Memo of the most recent string entry-point resolution.
+    last_entry: Option<(Box<str>, Entry)>,
 }
 
 impl Instance {
-    /// Creates a fresh instance of `program`.
-    pub fn new(program: &Program) -> Instance {
+    /// Creates a fresh instance sharing `program`'s compiled code.
+    ///
+    /// N instances of one dp hold N `Arc` references to a single code
+    /// object; instantiation allocates only the per-dpi global slots.
+    pub fn new(program: Arc<Program>) -> Instance {
+        let globals = vec![Value::Nil; program.global_names.len()];
         Instance {
-            program: std::sync::Arc::new(program.clone()),
-            globals: vec![Value::Nil; program.global_names.len()],
+            program,
+            globals,
             initialized: false,
             last_stats: VmStats::default(),
+            host_map: Vec::new(),
+            host_map_generation: None,
+            last_entry: None,
         }
     }
 
     /// The program this instance runs.
     pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The shared compiled-code object. Two instances of the same dp
+    /// satisfy `Arc::ptr_eq(a.program_shared(), b.program_shared())`.
+    pub fn program_shared(&self) -> &Arc<Program> {
         &self.program
     }
 
@@ -93,6 +134,24 @@ impl Instance {
     pub fn global(&self, name: &str) -> Option<&Value> {
         let idx = self.program.global_names.iter().position(|n| n == name)?;
         self.globals.get(idx)
+    }
+
+    /// Resolves `name` to a reusable [`Entry`] handle, or `None` if the
+    /// program does not define it.
+    pub fn entry(&self, name: &str) -> Option<Entry> {
+        let &idx = self.program.fn_by_name.get(name)?;
+        Some(Entry { index: idx as u32, arity: self.program.functions[idx].arity as u32 })
+    }
+
+    /// Drops the cached host map and entry memo so the next invocation
+    /// re-resolves everything from scratch. Exists for the `e10_vm`
+    /// bench, which uses it to reconstruct the pre-cache per-invocation
+    /// cost as a baseline series; correctness never requires calling it
+    /// (generation tracking invalidates the cache automatically).
+    pub fn clear_resolution_caches(&mut self) {
+        self.host_map = Vec::new();
+        self.host_map_generation = None;
+        self.last_entry = None;
     }
 
     /// Invokes `entry` with `args` under `budget`, using `registry` for
@@ -113,13 +172,49 @@ impl Instance {
         registry: &HostRegistry<C>,
         budget: Budget,
     ) -> Result<Value, RuntimeError> {
-        let program = std::sync::Arc::clone(&self.program);
-        let host_map = resolve_hosts(&program, registry)?;
+        let handle = match &self.last_entry {
+            Some((name, h)) if &**name == entry => *h,
+            _ => {
+                let h = self
+                    .entry(entry)
+                    .ok_or_else(|| RuntimeError::NoSuchFunction { name: entry.to_string() })?;
+                self.last_entry = Some((entry.into(), h));
+                h
+            }
+        };
+        self.invoke_entry(handle, args, ctx, registry, budget)
+    }
+
+    /// Invokes a pre-resolved entry point, skipping the name lookup. This
+    /// is the hot path for callers that invoke the same function
+    /// repeatedly (the RDS `Invoke` verb, the health observer).
+    ///
+    /// Entry resolution and arity validation happen before the lazy
+    /// global-initializer run, so a bad invocation fails without
+    /// executing any program code.
+    pub fn invoke_entry<C>(
+        &mut self,
+        entry: Entry,
+        args: &[Value],
+        ctx: &mut C,
+        registry: &HostRegistry<C>,
+        budget: Budget,
+    ) -> Result<Value, RuntimeError> {
+        let fn_idx = entry.index as usize;
+        let arity = match self.program.functions.get(fn_idx) {
+            Some(f) => f.arity,
+            None => return Err(RuntimeError::NoSuchFunction { name: format!("#fn{fn_idx}") }),
+        };
+        if arity != args.len() {
+            return Err(RuntimeError::BadInvocation { expected: arity, found: args.len() });
+        }
+        self.ensure_host_map(registry)?;
+        let program = Arc::clone(&self.program);
         let mut vm = Vm {
             program: &program,
             globals: &mut self.globals,
             registry,
-            host_map: &host_map,
+            host_map: &self.host_map,
             budget,
             stats: VmStats::default(),
         };
@@ -128,40 +223,43 @@ impl Instance {
                 vm.run(program.init_fn, Vec::new(), ctx)?;
                 self.initialized = true;
             }
-            let &fn_idx = program
-                .fn_by_name
-                .get(entry)
-                .ok_or_else(|| RuntimeError::NoSuchFunction { name: entry.to_string() })?;
-            let f = &program.functions[fn_idx];
-            if f.arity != args.len() {
-                return Err(RuntimeError::BadInvocation { expected: f.arity, found: args.len() });
-            }
             vm.run(fn_idx, args.to_vec(), ctx)
         })();
         self.last_stats = vm.stats;
         result
     }
+
+    /// Maps the program's host-function table to registry indices,
+    /// reusing the cached map while the registry generation is unchanged.
+    fn ensure_host_map<C>(&mut self, registry: &HostRegistry<C>) -> Result<(), RuntimeError> {
+        if self.host_map_generation == Some(registry.generation()) {
+            return Ok(());
+        }
+        self.host_map.clear();
+        self.host_map.reserve(self.program.host_names.len());
+        for name in &self.program.host_names {
+            match registry.index_of(name) {
+                Some(i) => self.host_map.push(i),
+                None => {
+                    self.host_map_generation = None;
+                    return Err(RuntimeError::Host {
+                        name: name.clone(),
+                        message: "not registered on this server".to_string(),
+                    });
+                }
+            }
+        }
+        self.host_map_generation = Some(registry.generation());
+        Ok(())
+    }
 }
 
-fn resolve_hosts<C>(
-    program: &Program,
-    registry: &HostRegistry<C>,
-) -> Result<Vec<usize>, RuntimeError> {
-    program
-        .host_names
-        .iter()
-        .map(|name| {
-            registry.index_of(name).ok_or_else(|| RuntimeError::Host {
-                name: name.clone(),
-                message: "not registered on this server".to_string(),
-            })
-        })
-        .collect()
-}
-
+/// Caller-saved state parked while a callee runs: the caller's function
+/// index, resume ip, and locals. The *current* frame lives in `run`'s
+/// locals, not in this vector.
 struct Frame {
     func: usize,
-    ip: usize,
+    ret_ip: usize,
     locals: Vec<Value>,
 }
 
@@ -205,14 +303,31 @@ impl<'a, C> Vm<'a, C> {
         Ok(())
     }
 
+    /// Executes `entry` to completion.
+    ///
+    /// The dispatch loop keeps the current function's code, charge table,
+    /// instruction cursor and locals in machine-register-friendly locals
+    /// (not behind `frames.last_mut()`), fetches each `Op` by value
+    /// (`Op: Copy` — no per-instruction clone), and charges fuel once per
+    /// basic block from the precomputed [`Function::charge`] table: at
+    /// function entry, at every branch target or fall-through, on call
+    /// entry, and on return/host-call resume. Completed runs charge
+    /// exactly what per-instruction accounting charged; aborts move only
+    /// within one basic block (see `docs/DPL.md`).
     fn run(&mut self, entry: usize, args: Vec<Value>, ctx: &mut C) -> Result<Value, RuntimeError> {
+        let program = self.program;
         let mut stack: Vec<Value> = Vec::with_capacity(32);
         let mut frames: Vec<Frame> = Vec::with_capacity(8);
-        let f = &self.program.functions[entry];
+        let entry_fn = &program.functions[entry];
         let mut locals = args;
-        locals.resize(f.n_locals, Value::Nil);
-        frames.push(Frame { func: entry, ip: 0, locals });
+        locals.resize(entry_fn.n_locals, Value::Nil);
+        let mut func = entry;
+        let mut code: &[Op] = &entry_fn.code;
+        let mut charge: &[u32] = &entry_fn.charge;
+        let mut ip = 0usize;
         self.stats.max_depth = self.stats.max_depth.max(1);
+        debug_assert!(!code.is_empty(), "compiler emits an epilogue");
+        self.charge_fuel(u64::from(charge[0]))?;
 
         macro_rules! pop {
             () => {
@@ -221,27 +336,24 @@ impl<'a, C> Vm<'a, C> {
         }
 
         loop {
-            let frame = frames.last_mut().expect("at least one frame");
-            let code = &self.program.functions[frame.func].code;
-            debug_assert!(frame.ip < code.len(), "fell off function end");
-            let op = code[frame.ip].clone();
-            frame.ip += 1;
-            self.charge_fuel(1)?;
+            debug_assert!(ip < code.len(), "fell off function end");
+            let op = code[ip];
+            ip += 1;
             match op {
                 Op::Const(i) => {
-                    let v = self.program.consts[i as usize].clone();
+                    let v = program.consts[i as usize].clone();
                     self.charge_clone(&v)?;
                     stack.push(v);
                 }
                 Op::Nil => stack.push(Value::Nil),
                 Op::Bool(b) => stack.push(Value::Bool(b)),
                 Op::LoadLocal(i) => {
-                    let v = frame.locals[i as usize].clone();
+                    let v = locals[i as usize].clone();
                     self.charge_clone(&v)?;
                     stack.push(v);
                 }
                 Op::StoreLocal(i) => {
-                    frame.locals[i as usize] = pop!();
+                    locals[i as usize] = pop!();
                 }
                 Op::LoadGlobal(i) => {
                     let v = self.globals[i as usize].clone();
@@ -317,48 +429,58 @@ impl<'a, C> Vm<'a, C> {
                     stack.push(Value::Bool(ops::cmp(&a, &b)? != std::cmp::Ordering::Less));
                 }
                 Op::Jump(t) => {
-                    let frame = frames.last_mut().expect("frame");
-                    frame.ip = t as usize;
+                    ip = t as usize;
+                    self.charge_fuel(u64::from(charge[ip]))?;
                 }
                 Op::JumpIfFalse(t) => {
                     let cond = pop!().as_condition()?;
                     if !cond {
-                        let frame = frames.last_mut().expect("frame");
-                        frame.ip = t as usize;
+                        ip = t as usize;
                     }
+                    self.charge_fuel(u64::from(charge[ip]))?;
                 }
                 Op::AndJump(t) => {
                     let top = stack.last().expect("stack").clone();
                     if !top.as_condition()? {
-                        let frame = frames.last_mut().expect("frame");
-                        frame.ip = t as usize;
+                        ip = t as usize;
                     } else {
                         stack.pop();
                     }
+                    self.charge_fuel(u64::from(charge[ip]))?;
                 }
                 Op::OrJump(t) => {
                     let top = stack.last().expect("stack").clone();
                     if top.as_condition()? {
-                        let frame = frames.last_mut().expect("frame");
-                        frame.ip = t as usize;
+                        ip = t as usize;
                     } else {
                         stack.pop();
                     }
+                    self.charge_fuel(u64::from(charge[ip]))?;
                 }
-                Op::Call { func, argc } => {
-                    self.charge_fuel(2)?;
-                    if frames.len() as u32 >= self.budget.call_depth {
+                Op::Call { func: callee, argc } => {
+                    // The current frame is not in `frames`, so the depth
+                    // about to be reached is `frames.len() + 2`; this is
+                    // the same limit the seed enforced.
+                    if frames.len() as u32 + 1 >= self.budget.call_depth {
                         return Err(RuntimeError::StackOverflow);
                     }
-                    let f = &self.program.functions[func as usize];
+                    let f = &program.functions[callee as usize];
                     let split = stack.len() - argc as usize;
-                    let mut locals: Vec<Value> = stack.split_off(split);
-                    locals.resize(f.n_locals, Value::Nil);
-                    frames.push(Frame { func: func as usize, ip: 0, locals });
-                    self.stats.max_depth = self.stats.max_depth.max(frames.len() as u32);
+                    let mut callee_locals: Vec<Value> = stack.split_off(split);
+                    callee_locals.resize(f.n_locals, Value::Nil);
+                    frames.push(Frame {
+                        func,
+                        ret_ip: ip,
+                        locals: std::mem::replace(&mut locals, callee_locals),
+                    });
+                    func = callee as usize;
+                    code = &f.code;
+                    charge = &f.charge;
+                    ip = 0;
+                    self.stats.max_depth = self.stats.max_depth.max(frames.len() as u32 + 1);
+                    self.charge_fuel(u64::from(charge[0]))?;
                 }
                 Op::CallHost { host, argc } => {
-                    self.charge_fuel(4)?;
                     self.stats.host_calls += 1;
                     let split = stack.len() - argc as usize;
                     let args: Vec<Value> = stack.split_off(split);
@@ -366,14 +488,25 @@ impl<'a, C> Vm<'a, C> {
                     let v = self.registry.call(idx, ctx, &args)?;
                     self.charge_alloc(&v)?;
                     stack.push(v);
+                    // A host call ends its basic block; charge the
+                    // resumption block.
+                    self.charge_fuel(u64::from(charge[ip]))?;
                 }
                 Op::Return => {
                     let v = pop!();
-                    frames.pop();
-                    if frames.is_empty() {
-                        return Ok(v);
+                    match frames.pop() {
+                        None => return Ok(v),
+                        Some(caller) => {
+                            func = caller.func;
+                            ip = caller.ret_ip;
+                            locals = caller.locals;
+                            let f = &program.functions[func];
+                            code = &f.code;
+                            charge = &f.charge;
+                            stack.push(v);
+                            self.charge_fuel(u64::from(charge[ip]))?;
+                        }
                     }
-                    stack.push(v);
                 }
                 Op::Pop => {
                     let _ = pop!();
@@ -421,8 +554,7 @@ impl<'a, C> Vm<'a, C> {
                     let value = pop!();
                     let split = stack.len() - depth as usize;
                     let indices: Vec<Value> = stack.split_off(split);
-                    let frame = frames.last_mut().expect("frame");
-                    let root = &mut frame.locals[slot as usize];
+                    let root = &mut locals[slot as usize];
                     index_set_path(root, &indices, value)?;
                 }
                 Op::IndexSetGlobal { slot, depth } => {
@@ -519,7 +651,7 @@ mod tests {
     fn run(src: &str, entry: &str, args: &[Value]) -> Result<Value, RuntimeError> {
         let reg: HostRegistry<()> = HostRegistry::with_stdlib();
         let program = compile_program(src, &reg).expect("program compiles");
-        let mut inst = Instance::new(&program);
+        let mut inst = Instance::new(Arc::new(program));
         inst.invoke(entry, args, &mut (), &reg, Budget::default())
     }
 
@@ -613,8 +745,9 @@ mod tests {
         let program =
             compile_program("var hits = 0; fn bump() { hits = hits + 1; return hits; }", &reg)
                 .unwrap();
-        let mut a = Instance::new(&program);
-        let mut b = Instance::new(&program);
+        let program = Arc::new(program);
+        let mut a = Instance::new(Arc::clone(&program));
+        let mut b = Instance::new(program);
         for _ in 0..3 {
             a.invoke("bump", &[], &mut (), &reg, Budget::default()).unwrap();
         }
@@ -700,7 +833,7 @@ mod tests {
     fn fuel_budget_stops_infinite_loops() {
         let reg: HostRegistry<()> = HostRegistry::with_stdlib();
         let program = compile_program("fn main() { while (true) { } return 0; }", &reg).unwrap();
-        let mut inst = Instance::new(&program);
+        let mut inst = Instance::new(Arc::new(program));
         let budget = Budget { fuel: 10_000, ..Budget::default() };
         let err = inst.invoke("main", &[], &mut (), &reg, budget).unwrap_err();
         assert_eq!(err, RuntimeError::OutOfFuel);
@@ -715,7 +848,7 @@ mod tests {
             &reg,
         )
         .unwrap();
-        let mut inst = Instance::new(&program);
+        let mut inst = Instance::new(Arc::new(program));
         let budget = Budget { memory: 100_000, ..Budget::default() };
         let err = inst.invoke("main", &[], &mut (), &reg, budget).unwrap_err();
         assert_eq!(err, RuntimeError::OutOfMemory);
@@ -727,7 +860,7 @@ mod tests {
         let program =
             compile_program("fn f(n) { return f(n + 1); } fn main() { return f(0); }", &reg)
                 .unwrap();
-        let mut inst = Instance::new(&program);
+        let mut inst = Instance::new(Arc::new(program));
         let err = inst.invoke("main", &[], &mut (), &reg, Budget::default()).unwrap_err();
         assert_eq!(err, RuntimeError::StackOverflow);
         assert!(inst.last_stats().max_depth <= Budget::default().call_depth);
@@ -774,7 +907,7 @@ mod tests {
         )
         .unwrap();
         let mut ctx = Ctx { log: Vec::new() };
-        let mut inst = Instance::new(&program);
+        let mut inst = Instance::new(Arc::new(program));
         inst.invoke("main", &[], &mut ctx, &reg, Budget::default()).unwrap();
         assert_eq!(ctx.log, vec!["tick 0", "tick 1", "tick 2"]);
         assert!(inst.last_stats().host_calls >= 6); // range + str*3 + log*3
@@ -786,7 +919,7 @@ mod tests {
         reg_full.register("extra", 0, |_, _| Ok(Value::Int(1)));
         let program = compile_program("fn main() { return extra(); }", &reg_full).unwrap();
         let reg_bare: HostRegistry<()> = HostRegistry::with_stdlib();
-        let mut inst = Instance::new(&program);
+        let mut inst = Instance::new(Arc::new(program));
         let err = inst.invoke("main", &[], &mut (), &reg_bare, Budget::default()).unwrap_err();
         assert!(matches!(err, RuntimeError::Host { name, .. } if name == "extra"));
     }
@@ -799,7 +932,7 @@ mod tests {
             &reg,
         )
         .unwrap();
-        let mut inst = Instance::new(&program);
+        let mut inst = Instance::new(Arc::new(program));
         let v = inst.invoke("main", &[], &mut (), &reg, Budget::default()).unwrap();
         assert_eq!(v, Value::Int(4950));
         let stats = inst.last_stats();
@@ -817,7 +950,7 @@ mod tests {
             &reg,
         )
         .unwrap();
-        let mut inst = Instance::new(&program);
+        let mut inst = Instance::new(Arc::new(program));
         let v = inst.invoke("main", &[], &mut (), &reg, Budget::default()).unwrap();
         assert_eq!(v, Value::Int(0));
         // main + down(50), down(49), ..., down(0) = 52 frames.

@@ -43,7 +43,7 @@ fn arb_program() -> impl Strategy<Value = String> {
 fn run_vm(src: &str, args: &[Value]) -> Result<Value, dpl::RuntimeError> {
     let reg: HostRegistry<()> = HostRegistry::with_stdlib();
     let program = dpl::compile_program(src, &reg).expect("generated programs compile");
-    let mut inst = Instance::new(&program);
+    let mut inst = Instance::new(std::sync::Arc::new(program));
     inst.invoke("main", args, &mut (), &reg, Budget::default())
 }
 
@@ -123,8 +123,9 @@ proptest! {
         let reg: HostRegistry<()> = HostRegistry::with_stdlib();
         let program = dpl::compile_program(&src, &reg).expect("compiles");
         let args = [Value::Int(a), Value::Int(0), Value::Int(1)];
-        let mut i1 = Instance::new(&program);
-        let mut i2 = Instance::new(&program);
+        let program = std::sync::Arc::new(program);
+        let mut i1 = Instance::new(std::sync::Arc::clone(&program));
+        let mut i2 = Instance::new(program);
         let r1a = i1.invoke("main", &args, &mut (), &reg, Budget::default());
         let r2 = i2.invoke("main", &args, &mut (), &reg, Budget::default());
         let r1b = i1.invoke("main", &args, &mut (), &reg, Budget::default());

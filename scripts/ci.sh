@@ -121,6 +121,22 @@ grep -E "dedup replays   : [1-9]" "$SMOKE_DIR/chaos.out" >/dev/null || {
 }
 echo "chaos smoke ok: $(grep 'chaos ok' "$SMOKE_DIR/chaos.out")"
 
+echo "==> vm smoke: E10 hot-path budgets (release-gated) + artifacts"
+# The release-only budget tests assert the shared-code instantiation
+# speedup (>= 2x vs the deep-clone reconstruction baseline), the
+# warm-vs-cold resolution-cache win, and the dispatch ns/op ceiling.
+cargo test --release -q -p mbd-bench --lib e10
+cargo run --release -q -p mbd-bench --bin exp_vm >/dev/null
+[ -s bench/out/BENCH_E10.json ] && [ -s bench/out/E10.csv ] || {
+    echo "vm smoke FAILED: exp_vm did not write bench/out/BENCH_E10.json + E10.csv"
+    exit 1
+}
+grep -q '"instantiate @1024 speedup x"' bench/out/BENCH_E10.json || {
+    echo "vm smoke FAILED: BENCH_E10.json is missing the instantiation speedup series"
+    exit 1
+}
+echo "vm smoke ok: $(grep -c '"metric"' bench/out/BENCH_E10.json) E10 metrics written"
+
 echo "==> cargo test (tier-1: root package)"
 cargo test -q
 
