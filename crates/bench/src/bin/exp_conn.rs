@@ -1,0 +1,11 @@
+//! E11: connection scaling of the event-driven front-end — open-connection
+//! ceiling, active-request latency vs idle connection count (reactor vs a
+//! thread-per-connection baseline), and pipelined vs serial throughput.
+fn main() -> std::io::Result<()> {
+    let out = mbd_bench::report::default_out_dir();
+    let (report, _) =
+        mbd_bench::experiments::e11_conn::run(&[256, 1000, 2500, 5000, 10_000], 400, 2000);
+    let path = report.emit(&out)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

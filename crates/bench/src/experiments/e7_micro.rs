@@ -224,14 +224,15 @@ pub fn run(iters: u32) -> (Report, Vec<MicroRow>) {
             None,
         );
         let fp = rds::frame_fingerprint(&frame);
-        cache.store("bench", 99, fp, &frame);
+        assert!(matches!(cache.begin("bench", 99, fp), rds::DedupOutcome::Execute));
+        cache.complete("bench", 99, fp, &frame);
         let dedup_iters = iters.max(10_000);
         let mut hits = 0u64;
         add(
             "dedup: fingerprint + cache lookup",
             time_us(dedup_iters, || {
                 let fp = rds::frame_fingerprint(&frame);
-                if cache.lookup("bench", 99, fp).is_some() {
+                if matches!(cache.begin("bench", 99, fp), rds::DedupOutcome::Replay(_)) {
                     hits += 1;
                 }
             }),

@@ -1,6 +1,7 @@
 //! One module per experiment in the evaluation (DESIGN.md §4).
 
 pub mod e10_vm;
+pub mod e11_conn;
 pub mod e1_poll_ceiling;
 pub mod e2_traffic;
 pub mod e3_tables;

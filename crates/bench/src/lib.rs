@@ -19,6 +19,7 @@
 //! | [`experiments::e8_vdl_size`] | VDL vs SMI-extension spec economy | `exp_vdl_size` |
 //! | [`experiments::e9_transient`] | transient-phenomenon detection | `exp_transient` |
 //! | [`experiments::e10_vm`] | dpl VM hot-path costs vs reconstruction baselines | `exp_vm` |
+//! | [`experiments::e11_conn`] | connection scaling of the reactor front-end | `exp_conn` |
 
 pub mod experiments;
 pub mod report;

@@ -15,7 +15,7 @@ use std::time::Instant;
 /// stream.
 static CLIENT_SEQ: AtomicU64 = AtomicU64::new(1);
 
-fn trace_seed() -> u64 {
+pub(crate) fn trace_seed() -> u64 {
     let wall = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_nanos() as u64)

@@ -424,6 +424,39 @@ pub fn decode_response_traced(
     Ok((resp, request_id, trace))
 }
 
+/// Extracts just the request id from an encoded frame without
+/// authenticating or fully decoding it — requests and responses share
+/// the `SEQUENCE { version, request-id, … }` payload prefix. The
+/// reactor uses this so a shed `Busy` frame can name the request it
+/// sheds; `None` for frames that are not RDS messages at all.
+pub fn peek_request_id(bytes: &[u8]) -> Option<i64> {
+    fn skip_rest(r: &mut BerReader<'_>) -> Result<(), ber::BerError> {
+        while !r.at_end() {
+            r.read_raw_value()?;
+        }
+        Ok(())
+    }
+    let mut r = BerReader::new(bytes);
+    let id = r
+        .read_sequence(|r| {
+            let _digest = r.read_octet_string()?;
+            let payload = r.read_raw_value()?;
+            let mut p = BerReader::new(payload);
+            let id = p.read_sequence(|p| {
+                let _version = p.read_i64()?;
+                let id = p.read_i64()?;
+                skip_rest(p)?;
+                Ok(id)
+            })?;
+            p.expect_end()?;
+            skip_rest(r)?;
+            Ok(id)
+        })
+        .ok()?;
+    r.expect_end().ok()?;
+    Some(id)
+}
+
 fn read_string(r: &mut BerReader<'_>) -> Result<String, ber::BerError> {
     Ok(String::from_utf8_lossy(r.read_octet_string()?).into_owned())
 }

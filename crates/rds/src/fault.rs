@@ -213,6 +213,186 @@ impl<T: Transport> Transport for FaultTransport<T> {
     }
 }
 
+/// [`FaultDuplex`]'s analogue of [`FaultTransport`] for the pipelined
+/// path: wraps a [`FrameDuplex`](crate::FrameDuplex) and injects the
+/// same seeded, budgeted fault kinds at frame granularity. Because the
+/// halves are decoupled, the faults map differently: a dropped request
+/// is swallowed at send (the pipeline's stall probe recovers it), a
+/// dropped or truncated *response* is applied to the next received
+/// frame, and a disconnect breaks the channel until the pipeline
+/// reconnects. The schedule is a pure function of the seed and the
+/// budget is finite, so every run replays bit-for-bit and the channel
+/// provably heals.
+pub struct FaultDuplex<D> {
+    inner: D,
+    config: FaultConfig,
+    cursor: u64,
+    seed: u64,
+    injected: u64,
+    /// The channel is broken until the next `reconnect`.
+    broken: bool,
+    /// Responses to swallow on arrival.
+    drop_recvs: u32,
+    /// Responses to truncate on arrival.
+    truncate_recvs: u32,
+    drops: u64,
+    duplicates: u64,
+    delays: u64,
+    truncations: u64,
+    disconnects: u64,
+}
+
+impl<D> FaultDuplex<D> {
+    /// Wraps `inner` with the fault schedule derived from `seed`.
+    pub fn new(inner: D, seed: u64, config: FaultConfig) -> FaultDuplex<D> {
+        FaultDuplex {
+            inner,
+            config,
+            cursor: 0,
+            seed,
+            injected: 0,
+            broken: false,
+            drop_recvs: 0,
+            truncate_recvs: 0,
+            drops: 0,
+            duplicates: 0,
+            delays: 0,
+            truncations: 0,
+            disconnects: 0,
+        }
+    }
+
+    /// Total faults injected.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Frames swallowed (requests at send, responses at receive).
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Request frames delivered twice.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Sends delayed.
+    pub fn delays(&self) -> u64 {
+        self.delays
+    }
+
+    /// Response frames damaged.
+    pub fn truncations(&self) -> u64 {
+        self.truncations
+    }
+
+    /// Connections broken.
+    pub fn disconnects(&self) -> u64 {
+        self.disconnects
+    }
+
+    fn draw(&mut self) -> u64 {
+        let pos = self.cursor;
+        self.cursor += 1;
+        splitmix64(self.seed.wrapping_add(pos.wrapping_mul(0xA076_1D64_78BD_642F)))
+    }
+
+    fn next_fault(&mut self) -> Option<Fault> {
+        if self.injected >= u64::from(self.config.max_faults) {
+            return None;
+        }
+        let roll = self.draw() % 1000;
+        if roll >= u64::from(self.config.fault_per_mille.min(1000)) {
+            return None;
+        }
+        self.injected += 1;
+        Some(FAULT_KINDS[(self.draw() % FAULT_KINDS.len() as u64) as usize])
+    }
+}
+
+impl<D: std::fmt::Debug> std::fmt::Debug for FaultDuplex<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultDuplex")
+            .field("inner", &self.inner)
+            .field("seed", &self.seed)
+            .field("injected", &self.injected)
+            .finish()
+    }
+}
+
+impl<D: crate::FrameDuplex> crate::FrameDuplex for FaultDuplex<D> {
+    fn send_frame(&mut self, bytes: &[u8]) -> Result<(), RdsError> {
+        if self.broken {
+            return Err(RdsError::Transport { message: "fault injected: channel broken".into() });
+        }
+        match self.next_fault() {
+            None => self.inner.send_frame(bytes),
+            Some(Fault::DropRequest) => {
+                // Swallowed silently: the pipeline's stall probe will
+                // re-send it — exactly the lost-datagram shape.
+                self.drops += 1;
+                Ok(())
+            }
+            Some(Fault::DropResponse) => {
+                self.inner.send_frame(bytes)?;
+                self.drop_recvs += 1;
+                Ok(())
+            }
+            Some(Fault::Duplicate) => {
+                self.duplicates += 1;
+                self.inner.send_frame(bytes)?;
+                self.inner.send_frame(bytes)
+            }
+            Some(Fault::Delay) => {
+                self.delays += 1;
+                let ms = 1 + self.draw() % self.config.max_delay_ms.max(1);
+                std::thread::sleep(Duration::from_millis(ms));
+                self.inner.send_frame(bytes)
+            }
+            Some(Fault::Truncate) => {
+                self.inner.send_frame(bytes)?;
+                self.truncate_recvs += 1;
+                Ok(())
+            }
+            Some(Fault::Disconnect) => {
+                self.disconnects += 1;
+                self.broken = true;
+                Err(RdsError::Transport { message: "fault injected: connection broken".into() })
+            }
+        }
+    }
+
+    fn recv_frame(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, RdsError> {
+        if self.broken {
+            return Err(RdsError::Transport { message: "fault injected: channel broken".into() });
+        }
+        let frame = self.inner.recv_frame(timeout)?;
+        let Some(mut frame) = frame else { return Ok(None) };
+        if self.drop_recvs > 0 {
+            // The effect executed server-side; its answer evaporates.
+            self.drop_recvs -= 1;
+            self.drops += 1;
+            return Ok(None);
+        }
+        if self.truncate_recvs > 0 {
+            self.truncate_recvs -= 1;
+            self.truncations += 1;
+            frame.truncate(frame.len() / 2);
+        }
+        Ok(Some(frame))
+    }
+
+    fn reconnect(&mut self) -> Result<(), RdsError> {
+        self.broken = false;
+        // Pending drop/truncate markers referred to replies of the dead
+        // connection.
+        self.drop_recvs = 0;
+        self.truncate_recvs = 0;
+        self.inner.reconnect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,10 +28,18 @@
 //! frames; servers suppress the resulting duplicates with a bounded
 //! per-principal [`DedupCache`] that replays the original encoded
 //! response (exactly-once effects); a saturated [`TcpServer`] sheds
-//! connections with an explicit `Busy` frame and exposes its
-//! [`ServerHealth`]; and [`FaultTransport`] injects deterministic
-//! seeded faults (drop, duplicate, delay, truncate, disconnect) around
-//! any transport for chaos testing.
+//! individual requests with an explicit `Busy` frame carrying the shed
+//! request's id and exposes its [`ServerHealth`]; and
+//! [`FaultTransport`] / [`FaultDuplex`] inject deterministic seeded
+//! faults (drop, duplicate, delay, truncate, disconnect) around any
+//! channel for chaos testing.
+//!
+//! Over TCP the server is a readiness-driven [`reactor`]: one event
+//! loop owns every socket (idle connections cost a file descriptor,
+//! not a thread) and a bounded worker pool executes handlers. A
+//! connection may *pipeline* requests — many in flight, answered out
+//! of order, matched by request id — via the windowed [`RdsPipeline`]
+//! client; the serial [`RdsClient`] keeps working unchanged.
 //!
 //! # Examples
 //!
@@ -48,6 +56,7 @@
 //! ```
 
 pub mod codec;
+pub mod reactor;
 pub mod tcp;
 
 mod client;
@@ -55,15 +64,17 @@ mod dedup;
 mod error;
 mod fault;
 mod msg;
+mod pipeline;
 mod retry;
 mod server;
 mod transport;
 
 pub use client::RdsClient;
-pub use dedup::{frame_fingerprint, DedupCache, DEFAULT_DEDUP_CAPACITY};
+pub use dedup::{frame_fingerprint, DedupCache, DedupOutcome, DEFAULT_DEDUP_CAPACITY};
 pub use error::{ErrorCode, RdsError};
-pub use fault::{Fault, FaultConfig, FaultTransport};
+pub use fault::{Fault, FaultConfig, FaultDuplex, FaultTransport};
 pub use msg::{AuditRecord, DpiId, DpiState, DpiSummary, RdsRequest, RdsResponse, TraceContext};
+pub use pipeline::{FrameDuplex, RdsPipeline, TcpDuplex};
 pub use retry::RetryPolicy;
 pub use server::{AuditEvent, RdsHandler, RdsServer};
 pub use tcp::{ServerHealth, TcpServer, TcpServerConfig, TcpTransport};

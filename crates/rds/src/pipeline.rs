@@ -1,0 +1,855 @@
+//! Pipelined RDS client: N requests in flight on one connection.
+//!
+//! [`crate::RdsClient`] is strictly serial — each verb blocks until its
+//! response returns, so one connection's throughput is bounded by the
+//! round-trip time. The reactor server completes requests out of order
+//! (replies are matched by request id, not position), which this module
+//! exploits from the client side:
+//!
+//! * [`FrameDuplex`] — a frame channel whose send and receive halves
+//!   are decoupled (unlike [`crate::Transport`], which is lockstep);
+//! * [`TcpDuplex`] — the TCP implementation, reusing the reactor's
+//!   [`FrameAssembler`](crate::reactor::FrameAssembler) for incremental
+//!   reassembly and able to re-dial its peer;
+//! * [`RdsPipeline`] — a windowed client: up to `window` encoded
+//!   requests outstanding, replies accepted in any order, with the same
+//!   fault-tolerance contract as the serial client — every re-send is
+//!   the **identical encoded frame** (same request id, same trace id),
+//!   so the server's dedup cache replays instead of re-executing, and
+//!   `Busy` sheds back off under the configured [`RetryPolicy`].
+//!
+//! Late or duplicated replies (a retried request can be answered twice)
+//! are recognized by id and dropped silently; an undecodable reply means
+//! the stream's framing can no longer be trusted, so the pipeline
+//! reconnects and re-sends everything still pending. See `docs/RDS.md`
+//! for the full framing/pipelining state machine.
+
+use crate::reactor::FrameAssembler;
+use crate::retry::splitmix64;
+use crate::tcp::write_frame;
+use crate::{codec, RdsError, RdsRequest, RdsResponse, RetryPolicy, TraceContext};
+use mbd_auth::Principal;
+use mbd_telemetry::{Counter, Telemetry};
+use std::collections::{HashMap, VecDeque};
+use std::io::Read;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+fn io_err(e: std::io::Error) -> RdsError {
+    RdsError::Transport { message: e.to_string() }
+}
+
+/// A bidirectional frame channel with decoupled halves: frames are sent
+/// without awaiting a reply, and received in whatever order the peer
+/// produces them.
+pub trait FrameDuplex {
+    /// Queues/writes one frame toward the peer.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures as [`RdsError::Transport`].
+    fn send_frame(&mut self, bytes: &[u8]) -> Result<(), RdsError>;
+
+    /// Waits up to `timeout` for one frame; `Ok(None)` when none
+    /// arrived in time (the connection is still fine). A zero timeout
+    /// is a pure poll: return whatever is already available without
+    /// waiting at all.
+    ///
+    /// # Errors
+    ///
+    /// A broken or closed connection — after which [`reconnect`]
+    /// (if supported) must be called before further use.
+    ///
+    /// [`reconnect`]: FrameDuplex::reconnect
+    fn recv_frame(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, RdsError>;
+
+    /// Re-establishes the channel after an error. Implementations that
+    /// cannot (e.g. an accepted socket) keep the default.
+    ///
+    /// # Errors
+    ///
+    /// [`RdsError::Transport`] when unsupported or the peer is gone.
+    fn reconnect(&mut self) -> Result<(), RdsError> {
+        Err(RdsError::Transport { message: "this duplex cannot reconnect".to_string() })
+    }
+}
+
+/// [`FrameDuplex`] over TCP: blocking writes, timeout-bounded reads
+/// through a [`FrameAssembler`] (a read deadline may split a frame; the
+/// assembler keeps the partial bytes), and re-dialing of the original
+/// peer on demand.
+#[derive(Debug)]
+pub struct TcpDuplex {
+    stream: Option<TcpStream>,
+    peer: SocketAddr,
+    assembler: FrameAssembler,
+    /// Complete frames read but not yet handed out.
+    ready: VecDeque<Vec<u8>>,
+    reconnects: u64,
+}
+
+impl TcpDuplex {
+    /// Connects to an RDS server.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures as [`RdsError::Transport`].
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<TcpDuplex, RdsError> {
+        let stream = TcpStream::connect(addr).map_err(io_err)?;
+        stream.set_nodelay(true).map_err(io_err)?;
+        let peer = stream.peer_addr().map_err(io_err)?;
+        Ok(TcpDuplex {
+            stream: Some(stream),
+            peer,
+            assembler: FrameAssembler::new(),
+            ready: VecDeque::new(),
+            reconnects: 0,
+        })
+    }
+
+    /// The server's address.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Successful re-dials after the initial connection.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+}
+
+impl FrameDuplex for TcpDuplex {
+    fn send_frame(&mut self, bytes: &[u8]) -> Result<(), RdsError> {
+        let stream = self
+            .stream
+            .as_mut()
+            .ok_or_else(|| RdsError::Transport { message: "not connected".to_string() })?;
+        write_frame(stream, bytes).inspect_err(|_| self.stream = None)
+    }
+
+    fn recv_frame(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, RdsError> {
+        if let Some(frame) = self.ready.pop_front() {
+            return Ok(Some(frame));
+        }
+        // A zero timeout is a pure poll: read in nonblocking mode so a
+        // quiet socket costs nothing (a 1 ms "short" read timeout per
+        // poll would dominate a pipelined submit loop).
+        let nonblocking = timeout.is_zero();
+        let deadline = Instant::now() + timeout;
+        loop {
+            let Some(stream) = self.stream.as_mut() else {
+                return Err(RdsError::Transport { message: "not connected".to_string() });
+            };
+            if nonblocking {
+                stream.set_nonblocking(true).map_err(io_err)?;
+            } else {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Ok(None);
+                }
+                // set_read_timeout rejects zero; 1 ms is the floor.
+                stream
+                    .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+                    .map_err(io_err)?;
+            }
+            let mut chunk = [0u8; 64 * 1024];
+            let read = stream.read(&mut chunk);
+            if nonblocking {
+                // Leave the socket blocking for send_frame and for any
+                // later timed receive.
+                stream.set_nonblocking(false).map_err(io_err)?;
+            }
+            match read {
+                Ok(0) => {
+                    self.stream = None;
+                    return Err(RdsError::Transport {
+                        message: "server closed the connection".to_string(),
+                    });
+                }
+                Ok(n) => match self.assembler.push(&chunk[..n]) {
+                    Ok(frames) => {
+                        self.ready.extend(frames);
+                        if let Some(frame) = self.ready.pop_front() {
+                            return Ok(Some(frame));
+                        }
+                        // Partial frame — keep reading until the deadline.
+                    }
+                    Err(e) => {
+                        self.stream = None;
+                        return Err(e);
+                    }
+                },
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    self.stream = None;
+                    return Err(io_err(e));
+                }
+            }
+        }
+    }
+
+    fn reconnect(&mut self) -> Result<(), RdsError> {
+        self.stream = None;
+        // Any partial frame belonged to the dead connection; complete
+        // frames already assembled are still valid responses.
+        self.assembler = FrameAssembler::new();
+        let stream = TcpStream::connect(self.peer).map_err(io_err)?;
+        stream.set_nodelay(true).map_err(io_err)?;
+        self.stream = Some(stream);
+        self.reconnects += 1;
+        Ok(())
+    }
+}
+
+struct Pending {
+    /// The exact encoded frame — every re-send repeats these bytes.
+    frame: Vec<u8>,
+    started: Instant,
+    /// Send attempts so far (first send included).
+    attempts: u32,
+}
+
+/// A windowed, fault-tolerant pipelining client (see the module docs).
+///
+/// # Examples
+///
+/// ```no_run
+/// use rds::{RdsPipeline, RdsRequest, TcpDuplex};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let duplex = TcpDuplex::connect("127.0.0.1:4700")?;
+/// let mut pipe = RdsPipeline::new(duplex, "noc-mgr").with_window(8);
+/// for _ in 0..100 {
+///     pipe.submit(&RdsRequest::ListPrograms)?;
+/// }
+/// for (id, result) in pipe.drain() {
+///     println!("#{id}: {:?}", result?);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub struct RdsPipeline<D> {
+    duplex: D,
+    principal: Principal,
+    key: Option<Vec<u8>>,
+    next_id: i64,
+    window: usize,
+    retry: RetryPolicy,
+    /// How long one blocking receive waits before the pipeline treats
+    /// the stream as stalled and re-probes (re-sends) what is pending.
+    recv_timeout: Duration,
+    pending: HashMap<i64, Pending>,
+    completed: Vec<(i64, Result<RdsResponse, RdsError>)>,
+    trace_seed: u64,
+    retries: u64,
+    retry_counter: Option<Counter>,
+}
+
+impl<D: std::fmt::Debug> std::fmt::Debug for RdsPipeline<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RdsPipeline")
+            .field("duplex", &self.duplex)
+            .field("principal", &self.principal)
+            .field("window", &self.window)
+            .field("in_flight", &self.pending.len())
+            .finish()
+    }
+}
+
+impl<D: FrameDuplex> RdsPipeline<D> {
+    /// Creates an unauthenticated pipeline acting as `principal`, with
+    /// a window of 8 and no retries.
+    pub fn new(duplex: D, principal: &str) -> RdsPipeline<D> {
+        RdsPipeline {
+            duplex,
+            principal: Principal::new(principal),
+            key: None,
+            next_id: 1,
+            window: 8,
+            retry: RetryPolicy::none(),
+            recv_timeout: Duration::from_secs(5),
+            pending: HashMap::new(),
+            completed: Vec::new(),
+            trace_seed: crate::client::trace_seed(),
+            retries: 0,
+            retry_counter: None,
+        }
+    }
+
+    /// Creates a pipeline that signs requests with `key` (MD5 keyed
+    /// digest).
+    pub fn with_key(duplex: D, principal: &str, key: Vec<u8>) -> RdsPipeline<D> {
+        let mut p = RdsPipeline::new(duplex, principal);
+        p.key = Some(key);
+        p
+    }
+
+    /// Bounds the in-flight window: [`submit`](RdsPipeline::submit)
+    /// blocks (completing older requests) once `window` requests are
+    /// outstanding. A window of 1 degenerates to the serial client.
+    #[must_use]
+    pub fn with_window(mut self, window: usize) -> RdsPipeline<D> {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Installs a retry policy, with the same semantics as
+    /// [`crate::RdsClient::with_retry`]: delivery failures (stalled
+    /// stream, broken connection, damaged reply, `Busy` shed) re-send
+    /// the identical encoded frame until the attempt or deadline budget
+    /// runs out — dedup-safe by construction.
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> RdsPipeline<D> {
+        self.retry = policy;
+        self
+    }
+
+    /// How long a blocking receive waits before the stream counts as
+    /// stalled and pending frames are re-probed (default 5 s).
+    #[must_use]
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> RdsPipeline<D> {
+        self.recv_timeout = timeout.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Counts this pipeline's re-sends into `telemetry` as
+    /// `rds.retries` (also readable via [`RdsPipeline::retries`]).
+    #[must_use]
+    pub fn instrument(mut self, telemetry: &Telemetry) -> RdsPipeline<D> {
+        self.retry_counter = Some(telemetry.counter("rds.retries"));
+        self
+    }
+
+    /// Requests submitted but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Frames re-sent since this pipeline was created.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// The underlying duplex — e.g. to read a [`TcpDuplex`]'s reconnect
+    /// count.
+    pub fn duplex(&self) -> &D {
+        &self.duplex
+    }
+
+    fn count_retry(&mut self) {
+        self.retries += 1;
+        if let Some(counter) = &self.retry_counter {
+            counter.inc();
+        }
+    }
+
+    /// Encodes and sends `req`, returning its request id immediately;
+    /// the response is collected later by [`drain`](RdsPipeline::drain)
+    /// (or an interleaved blocking receive when the window is full).
+    ///
+    /// # Errors
+    ///
+    /// Unrecoverable transport failures; per-request failures surface
+    /// in `drain`'s results instead.
+    pub fn submit(&mut self, req: &RdsRequest) -> Result<i64, RdsError> {
+        while self.pending.len() >= self.window {
+            self.pump(true)?;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let mixed = splitmix64(self.trace_seed ^ (id as u64).rotate_left(32));
+        let trace = TraceContext { trace_id: mixed.max(1), parent_span_id: 0 };
+        let bytes =
+            codec::encode_request_traced(req, &self.principal, id, self.key.as_deref(), trace);
+        self.pending.insert(id, Pending { frame: bytes, started: Instant::now(), attempts: 1 });
+        let frame = self.pending[&id].frame.clone();
+        if self.duplex.send_frame(&frame).is_err() {
+            self.recover()?;
+        }
+        Ok(id)
+    }
+
+    /// Completes every outstanding request and returns all collected
+    /// `(request id, result)` pairs in submission (= id) order. Requests
+    /// that exhausted their retry budget yield `Err` entries; the call
+    /// itself never fails.
+    pub fn drain(&mut self) -> Vec<(i64, Result<RdsResponse, RdsError>)> {
+        while !self.pending.is_empty() {
+            if let Err(e) = self.pump(true) {
+                // recover() already expired what it could; an error here
+                // means the channel is gone for good — fail the rest.
+                let msg = e.to_string();
+                let mut dead: Vec<i64> = self.pending.drain().map(|(id, _)| id).collect();
+                dead.sort_unstable();
+                for id in dead {
+                    self.completed.push((
+                        id,
+                        Err(RdsError::Transport { message: format!("connection lost: {msg}") }),
+                    ));
+                }
+            }
+        }
+        self.completed.sort_by_key(|(id, _)| *id);
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Collects any responses that have already arrived without
+    /// blocking; pairs are in submission order.
+    pub fn poll_completed(&mut self) -> Vec<(i64, Result<RdsResponse, RdsError>)> {
+        // Drain everything immediately available, then hand out results.
+        loop {
+            let before = (self.pending.len(), self.completed.len());
+            let _ = self.pump(false);
+            if (self.pending.len(), self.completed.len()) == before {
+                break;
+            }
+        }
+        self.completed.sort_by_key(|(id, _)| *id);
+        std::mem::take(&mut self.completed)
+    }
+
+    /// One receive step: `block` waits up to the recv timeout, else
+    /// returns immediately when no frame is ready.
+    fn pump(&mut self, block: bool) -> Result<(), RdsError> {
+        let timeout = if block { self.recv_timeout } else { Duration::ZERO };
+        match self.duplex.recv_frame(timeout) {
+            Ok(Some(frame)) => self.dispatch(&frame),
+            Ok(None) => {
+                if block {
+                    self.on_stall()
+                } else {
+                    Ok(())
+                }
+            }
+            Err(_) => self.recover(),
+        }
+    }
+
+    /// Routes one received frame to its pending request.
+    fn dispatch(&mut self, frame: &[u8]) -> Result<(), RdsError> {
+        let Ok((resp, id, _trace)) = codec::decode_response_traced(frame, self.key.as_deref())
+        else {
+            // Damaged or unverifiable bytes: the stream's framing can no
+            // longer be trusted — resynchronize wholesale.
+            return self.recover();
+        };
+        if !self.pending.contains_key(&id) {
+            // A stale reply: a re-sent request was answered twice, or the
+            // request already expired locally. Ignoring it is what makes
+            // retries safe — ids are never reused within a pipeline.
+            return Ok(());
+        }
+        match resp {
+            RdsResponse::Error { code, message } => {
+                let err = RdsError::Remote { code, message };
+                let entry = &self.pending[&id];
+                let expired = self.retry.deadline.is_some_and(|d| entry.started.elapsed() >= d);
+                let exhausted = entry.attempts >= self.retry.max_attempts.max(1);
+                if RetryPolicy::is_retryable(&err) && !expired && !exhausted {
+                    // Busy: the server promises no effect happened. Back
+                    // off, then re-send the identical frame.
+                    let backoff = self.retry.backoff_for(entry.attempts);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    let frame = entry.frame.clone();
+                    self.pending.get_mut(&id).expect("checked above").attempts += 1;
+                    self.count_retry();
+                    if self.duplex.send_frame(&frame).is_err() {
+                        return self.recover();
+                    }
+                } else {
+                    self.pending.remove(&id);
+                    self.completed.push((id, Err(err)));
+                }
+            }
+            other => {
+                self.pending.remove(&id);
+                self.completed.push((id, Ok(other)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Nothing arrived for a full recv window: assume in-flight frames
+    /// (or their replies) were lost and re-probe, expiring requests
+    /// whose budget ran out. Re-sent bytes are identical, so a server
+    /// that *did* execute them replays from its dedup cache.
+    fn on_stall(&mut self) -> Result<(), RdsError> {
+        let mut resend = Vec::new();
+        for (&id, entry) in &self.pending {
+            let expired = self.retry.deadline.is_some_and(|d| entry.started.elapsed() >= d);
+            if expired || entry.attempts >= self.retry.max_attempts.max(1) {
+                resend.push((id, None));
+            } else {
+                resend.push((id, Some(entry.frame.clone())));
+            }
+        }
+        resend.sort_unstable_by_key(|(id, _)| *id);
+        for (id, frame) in resend {
+            match frame {
+                None => {
+                    let entry = self.pending.remove(&id).expect("collected from pending");
+                    self.completed.push((
+                        id,
+                        Err(RdsError::Transport {
+                            message: format!(
+                                "request {id} got no response after {} attempt(s)",
+                                entry.attempts
+                            ),
+                        }),
+                    ));
+                }
+                Some(frame) => {
+                    self.pending.get_mut(&id).expect("still pending").attempts += 1;
+                    self.count_retry();
+                    if self.duplex.send_frame(&frame).is_err() {
+                        return self.recover();
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The connection failed: expire out-of-budget requests, reconnect,
+    /// and re-send everything still pending (byte-identical).
+    ///
+    /// # Errors
+    ///
+    /// When reconnecting keeps failing until no pending request has
+    /// budget left (the last connect error).
+    fn recover(&mut self) -> Result<(), RdsError> {
+        loop {
+            // Expire requests whose budget is gone.
+            let mut expired: Vec<i64> = self
+                .pending
+                .iter()
+                .filter(|(_, e)| {
+                    e.attempts >= self.retry.max_attempts.max(1)
+                        || self.retry.deadline.is_some_and(|d| e.started.elapsed() >= d)
+                })
+                .map(|(&id, _)| id)
+                .collect();
+            expired.sort_unstable();
+            for id in expired {
+                let entry = self.pending.remove(&id).expect("collected from pending");
+                self.completed.push((
+                    id,
+                    Err(RdsError::Transport {
+                        message: format!(
+                            "connection lost; request {id} out of budget after {} attempt(s)",
+                            entry.attempts
+                        ),
+                    }),
+                ));
+            }
+            if self.pending.is_empty() {
+                return Ok(());
+            }
+            let min_attempts =
+                self.pending.values().map(|e| e.attempts).min().expect("pending non-empty");
+            let backoff = self.retry.backoff_for(min_attempts);
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+            match self.duplex.reconnect() {
+                Ok(()) => {
+                    let mut ids: Vec<i64> = self.pending.keys().copied().collect();
+                    ids.sort_unstable();
+                    let mut send_failed = false;
+                    for id in ids {
+                        let frame = self.pending[&id].frame.clone();
+                        self.pending.get_mut(&id).expect("still pending").attempts += 1;
+                        self.count_retry();
+                        if self.duplex.send_frame(&frame).is_err() {
+                            send_failed = true;
+                            break;
+                        }
+                    }
+                    if !send_failed {
+                        return Ok(());
+                    }
+                    // Fresh connection died mid-resend — loop and expire
+                    // by the budgets just spent.
+                }
+                Err(e) => {
+                    // A failed reconnect consumes one attempt from every
+                    // pending request, so this loop terminates.
+                    for entry in self.pending.values_mut() {
+                        entry.attempts += 1;
+                    }
+                    let all_spent =
+                        self.pending.values().all(|p| p.attempts >= self.retry.max_attempts.max(1));
+                    if all_spent {
+                        let mut ids: Vec<i64> = self.pending.drain().map(|(id, _)| id).collect();
+                        ids.sort_unstable();
+                        for id in ids {
+                            self.completed.push((
+                                id,
+                                Err(RdsError::Transport {
+                                    message: format!("connection lost: {e}"),
+                                }),
+                            ));
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::{TcpServer, TcpServerConfig};
+    use crate::{ErrorCode, RdsServer};
+    use std::sync::Arc;
+
+    fn rds_tcp_server(workers: usize, backlog: usize) -> TcpServer {
+        TcpServer::spawn_with(
+            "127.0.0.1:0",
+            TcpServerConfig { workers, backlog, ..TcpServerConfig::default() },
+            {
+                let rds = Arc::new(RdsServer::open(|_p: &Principal, req: RdsRequest| match req {
+                    RdsRequest::ReadJournal { max_records } => {
+                        std::thread::sleep(Duration::from_millis(u64::from(max_records % 4) * 5));
+                        RdsResponse::Ok
+                    }
+                    RdsRequest::ListPrograms => {
+                        RdsResponse::Programs { names: vec!["dp".to_string()] }
+                    }
+                    _ => RdsResponse::Ok,
+                }));
+                move |bytes: &[u8]| rds.process(bytes)
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn window_of_requests_completes_out_of_order_delivery() {
+        let server = rds_tcp_server(4, 64);
+        let duplex = TcpDuplex::connect(server.local_addr()).unwrap();
+        let mut pipe = RdsPipeline::new(duplex, "mgr").with_window(8);
+        let mut submitted = Vec::new();
+        for i in 0..40u32 {
+            submitted.push(pipe.submit(&RdsRequest::ReadJournal { max_records: i }).unwrap());
+        }
+        let results = pipe.drain();
+        assert_eq!(results.len(), 40);
+        let ids: Vec<i64> = results.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, submitted, "drain returns submission order");
+        for (id, result) in results {
+            assert!(matches!(result, Ok(RdsResponse::Ok)), "#{id}: {result:?}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let server = rds_tcp_server(2, 64);
+        let duplex = TcpDuplex::connect(server.local_addr()).unwrap();
+        let mut pipe = RdsPipeline::new(duplex, "mgr").with_window(3);
+        for i in 0..10u32 {
+            pipe.submit(&RdsRequest::ReadJournal { max_records: i }).unwrap();
+            assert!(pipe.in_flight() <= 3, "window respected");
+        }
+        assert_eq!(pipe.drain().len(), 10);
+        server.shutdown();
+    }
+
+    #[test]
+    fn window_of_one_degenerates_to_serial() {
+        let server = rds_tcp_server(2, 64);
+        let duplex = TcpDuplex::connect(server.local_addr()).unwrap();
+        let mut pipe = RdsPipeline::new(duplex, "mgr").with_window(1);
+        for _ in 0..5 {
+            pipe.submit(&RdsRequest::ListPrograms).unwrap();
+        }
+        let results = pipe.drain();
+        assert!(results.iter().all(|(_, r)| matches!(r, Ok(RdsResponse::Programs { .. }))));
+        server.shutdown();
+    }
+
+    #[test]
+    fn busy_sheds_are_retried_with_identical_frames() {
+        // One worker, one queue slot: a window of 6 slow requests
+        // guarantees sheds. With retries enabled every request must
+        // still complete exactly once.
+        let server = TcpServer::spawn_with(
+            "127.0.0.1:0",
+            TcpServerConfig { workers: 1, backlog: 1, ..TcpServerConfig::default() },
+            {
+                let rds = Arc::new(RdsServer::open(|_p: &Principal, _req: RdsRequest| {
+                    std::thread::sleep(Duration::from_millis(20));
+                    RdsResponse::Ok
+                }));
+                move |bytes: &[u8]| rds.process(bytes)
+            },
+        )
+        .unwrap();
+        let duplex = TcpDuplex::connect(server.local_addr()).unwrap();
+        let mut pipe = RdsPipeline::new(duplex, "mgr").with_window(6).with_retry(RetryPolicy {
+            max_attempts: 50,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(40),
+            deadline: Some(Duration::from_secs(30)),
+            jitter_seed: 11,
+        });
+        for _ in 0..12 {
+            pipe.submit(&RdsRequest::ListInstances).unwrap();
+        }
+        let results = pipe.drain();
+        assert_eq!(results.len(), 12);
+        for (id, result) in &results {
+            assert!(matches!(result, Ok(RdsResponse::Ok)), "#{id}: {result:?}");
+        }
+        assert!(server.sheds() > 0, "the tiny tier must have shed something");
+        assert!(pipe.retries() >= server.sheds(), "every shed was retried");
+        server.shutdown();
+    }
+
+    #[test]
+    fn busy_without_retry_budget_surfaces_as_remote_error() {
+        let server = TcpServer::spawn_with(
+            "127.0.0.1:0",
+            TcpServerConfig { workers: 1, backlog: 1, ..TcpServerConfig::default() },
+            {
+                let rds = Arc::new(RdsServer::open(|_p: &Principal, _req: RdsRequest| {
+                    std::thread::sleep(Duration::from_millis(150));
+                    RdsResponse::Ok
+                }));
+                move |bytes: &[u8]| rds.process(bytes)
+            },
+        )
+        .unwrap();
+        let duplex = TcpDuplex::connect(server.local_addr()).unwrap();
+        let mut pipe = RdsPipeline::new(duplex, "mgr").with_window(8);
+        for _ in 0..8 {
+            pipe.submit(&RdsRequest::ListInstances).unwrap();
+        }
+        let results = pipe.drain();
+        let busy = results
+            .iter()
+            .filter(|(_, r)| matches!(r, Err(RdsError::Remote { code: ErrorCode::Busy, .. })))
+            .count();
+        assert!(busy > 0, "no retry policy: sheds surface to the caller");
+        assert_eq!(results.len(), 8, "every request gets exactly one outcome");
+        server.shutdown();
+    }
+
+    #[test]
+    fn reconnect_resends_pending_and_dedup_keeps_effects_exactly_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // Handler counts executions; the server's dedup cache must absorb
+        // the re-sent frames after we kill the connection mid-window.
+        let executions = Arc::new(AtomicU64::new(0));
+        let counted = Arc::clone(&executions);
+        let server = TcpServer::spawn_with(
+            "127.0.0.1:0",
+            TcpServerConfig { workers: 2, ..TcpServerConfig::default() },
+            {
+                let rds = Arc::new(RdsServer::open(move |_p: &Principal, req: RdsRequest| {
+                    if matches!(req, RdsRequest::SendMessage { .. }) {
+                        counted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    RdsResponse::Ok
+                }));
+                move |bytes: &[u8]| rds.process(bytes)
+            },
+        )
+        .unwrap();
+        let duplex = TcpDuplex::connect(server.local_addr()).unwrap();
+        let mut pipe = RdsPipeline::new(duplex, "mgr")
+            .with_window(4)
+            .with_recv_timeout(Duration::from_millis(200))
+            .with_retry(RetryPolicy {
+                max_attempts: 6,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(10),
+                deadline: Some(Duration::from_secs(10)),
+                jitter_seed: 3,
+            });
+        let dpi = crate::DpiId(1);
+        for i in 0..4u8 {
+            pipe.submit(&RdsRequest::SendMessage { dpi, payload: vec![i] }).unwrap();
+        }
+        // Let the server answer, then stall the stream so the pipeline
+        // re-probes; dedup replays rather than re-executes.
+        std::thread::sleep(Duration::from_millis(50));
+        for i in 4..8u8 {
+            pipe.submit(&RdsRequest::SendMessage { dpi, payload: vec![i] }).unwrap();
+        }
+        let results = pipe.drain();
+        assert_eq!(results.len(), 8);
+        for (id, result) in &results {
+            assert!(matches!(result, Ok(RdsResponse::Ok)), "#{id}: {result:?}");
+        }
+        assert_eq!(executions.load(Ordering::Relaxed), 8, "exactly-once effects");
+        server.shutdown();
+    }
+
+    #[test]
+    fn keyed_pipeline_round_trips() {
+        let key = b"secret".to_vec();
+        let server = TcpServer::spawn("127.0.0.1:0", {
+            let rds = Arc::new(RdsServer::with_policy(
+                |_p: &Principal, _req: RdsRequest| RdsResponse::Ok,
+                mbd_auth::Acl::allow_by_default(),
+                Some(b"secret".to_vec()),
+            ));
+            move |bytes: &[u8]| rds.process(bytes)
+        })
+        .unwrap();
+        let duplex = TcpDuplex::connect(server.local_addr()).unwrap();
+        let mut pipe = RdsPipeline::with_key(duplex, "mgr", key).with_window(4);
+        for _ in 0..8 {
+            pipe.submit(&RdsRequest::ListInstances).unwrap();
+        }
+        let results = pipe.drain();
+        assert!(results.iter().all(|(_, r)| r.is_ok()), "{results:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stale_duplicate_replies_are_ignored() {
+        // A duplex that duplicates every response frame.
+        struct Doubling(TcpDuplex, VecDeque<Vec<u8>>);
+        impl FrameDuplex for Doubling {
+            fn send_frame(&mut self, bytes: &[u8]) -> Result<(), RdsError> {
+                self.0.send_frame(bytes)
+            }
+            fn recv_frame(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, RdsError> {
+                if let Some(f) = self.1.pop_front() {
+                    return Ok(Some(f));
+                }
+                let out = self.0.recv_frame(timeout)?;
+                if let Some(f) = &out {
+                    self.1.push_back(f.clone());
+                }
+                Ok(out)
+            }
+            fn reconnect(&mut self) -> Result<(), RdsError> {
+                self.0.reconnect()
+            }
+        }
+        let server = rds_tcp_server(2, 64);
+        let duplex = Doubling(TcpDuplex::connect(server.local_addr()).unwrap(), VecDeque::new());
+        let mut pipe = RdsPipeline::new(duplex, "mgr").with_window(4);
+        for _ in 0..10 {
+            pipe.submit(&RdsRequest::ListPrograms).unwrap();
+        }
+        let results = pipe.drain();
+        assert_eq!(results.len(), 10, "duplicates add no extra outcomes");
+        assert!(results.iter().all(|(_, r)| r.is_ok()));
+        server.shutdown();
+    }
+}

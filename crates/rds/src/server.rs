@@ -1,4 +1,4 @@
-use crate::dedup::{frame_fingerprint, DedupCache};
+use crate::dedup::{frame_fingerprint, DedupCache, DedupOutcome};
 use crate::{codec, ErrorCode, RdsRequest, RdsResponse, TraceContext};
 use mbd_auth::{Acl, Operation, Principal};
 use mbd_telemetry::{Counter, Telemetry, Timer};
@@ -123,6 +123,26 @@ pub struct RdsServer<H> {
     dedup: Option<DedupCache>,
 }
 
+/// An armed single-flight claim on `(principal, request id)`: dropped
+/// without being disarmed (the handler unwound), it releases the claim
+/// so blocked duplicates and later retries can execute the request for
+/// real.
+struct DedupClaim<'a> {
+    cache: &'a DedupCache,
+    principal: String,
+    request_id: i64,
+    fingerprint: u64,
+    armed: bool,
+}
+
+impl Drop for DedupClaim<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.cache.abandon(&self.principal, self.request_id, self.fingerprint);
+        }
+    }
+}
+
 impl<H: std::fmt::Debug> std::fmt::Debug for RdsServer<H> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RdsServer")
@@ -231,28 +251,47 @@ impl<H: RdsHandler> RdsServer<H> {
         let dpi = request.dpi().map_or(0, |d| d.0);
         // Duplicate suppression: a retried frame (identical bytes under
         // the same principal and request id) is answered with the
-        // response already sent — the effect ran at most once. Request
+        // response already sent — the effect ran at most once. Admission
+        // is single-flight: a byte-identical copy arriving while the
+        // first is still executing (pipelined duplicate delivery) waits
+        // inside `begin` and replays that execution's response. Request
         // id 0 is reserved for undecodable frames and never cached.
         let fingerprint = self.dedup.as_ref().map(|_| frame_fingerprint(bytes));
+        let mut claim = None;
         if let (Some(cache), Some(fp)) = (&self.dedup, fingerprint) {
             if request_id != 0 {
-                if let Some(replay) = cache.lookup(principal.handle(), request_id, fp) {
-                    if let Some(t) = &self.timers {
-                        t.dedup_hits.inc();
+                match cache.begin(principal.handle(), request_id, fp) {
+                    DedupOutcome::Replay(replay) => {
+                        if let Some(t) = &self.timers {
+                            t.dedup_hits.inc();
+                        }
+                        if let Some(sink) = &self.audit {
+                            sink(AuditEvent {
+                                trace_id: trace.trace_id,
+                                principal: principal.handle().to_string(),
+                                verb: "duplicate_replayed".to_string(),
+                                dpi,
+                                ok: true,
+                                detail: verb.to_string(),
+                                bytes_in: bytes.len() as u64,
+                                bytes_out: replay.len() as u64,
+                            });
+                        }
+                        return replay;
                     }
-                    if let Some(sink) = &self.audit {
-                        sink(AuditEvent {
-                            trace_id: trace.trace_id,
+                    DedupOutcome::Execute => {
+                        // Held until `complete` disarms it: a panicking
+                        // handler must release the claim so retries can
+                        // execute for real instead of waiting on a slot
+                        // that will never resolve.
+                        claim = Some(DedupClaim {
+                            cache,
                             principal: principal.handle().to_string(),
-                            verb: "duplicate_replayed".to_string(),
-                            dpi,
-                            ok: true,
-                            detail: verb.to_string(),
-                            bytes_in: bytes.len() as u64,
-                            bytes_out: replay.len() as u64,
+                            request_id,
+                            fingerprint: fp,
+                            armed: true,
                         });
                     }
-                    return replay;
                 }
             }
         }
@@ -271,10 +310,9 @@ impl<H: RdsHandler> RdsServer<H> {
         let encoded =
             codec::encode_response_traced(&response, request_id, self.key.as_deref(), trace);
         drop(verb_span);
-        if let (Some(cache), Some(fp)) = (&self.dedup, fingerprint) {
-            if request_id != 0 {
-                cache.store(principal.handle(), request_id, fp, &encoded);
-            }
+        if let Some(mut claim) = claim {
+            claim.cache.complete(&claim.principal, request_id, claim.fingerprint, &encoded);
+            claim.armed = false;
         }
         if let Some(sink) = &self.audit {
             let (ok, detail) = match &response {

@@ -3,32 +3,36 @@
 //! Messages are framed with a 4-byte big-endian length prefix (BER
 //! messages are self-delimiting, but an explicit frame keeps the reader
 //! trivial and bounds allocation). One TCP connection carries a sequence
-//! of request/response exchanges; the client serializes its requests.
+//! of request/response exchanges; a serial client awaits each reply, a
+//! pipelining client ([`crate::RdsPipeline`]) keeps several requests in
+//! flight and matches replies by request id.
 //!
-//! The server dispatches connections onto a **bounded worker pool**
-//! instead of the 1991 prototype's thread-per-conversation structure: a
-//! fixed set of workers drains an accept queue, so a connection flood
-//! cannot exhaust server threads, and [`TcpServer::shutdown`] joins
-//! every worker before returning. A handler panic poisons only its own
-//! connection — the worker survives to serve the next one.
+//! The server side lives in [`crate::reactor`]: a readiness-driven
+//! event loop owns every socket and hands complete frames to a bounded
+//! execution tier, so idle connections cost a file descriptor instead
+//! of a thread. This module keeps the wire-level pieces — framing
+//! helpers, the re-dialing [`TcpTransport`] client, [`ServerHealth`]
+//! and [`TcpServerConfig`] — and re-exports [`TcpServer`] so the
+//! public path is unchanged from the worker-pool era. Frames are
+//! byte-identical to the blocking implementation.
 
 use crate::{RdsError, Transport};
-use mbd_telemetry::{Counter, Gauge, Telemetry, Timer};
+use mbd_telemetry::{Counter, Telemetry};
 use parking_lot::Mutex;
-use std::collections::VecDeque;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Condvar};
-use std::time::{Duration, Instant};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+pub use crate::reactor::TcpServer;
 
 /// Upper bound on a framed message (16 MiB) — a delegation request
 /// carrying a program will never legitimately approach this.
 pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
 
 /// Frame payloads are read in chunks of this size, so a hostile length
-/// prefix cannot make the server allocate [`MAX_FRAME`] bytes up front —
+/// prefix cannot make the reader allocate [`MAX_FRAME`] bytes up front —
 /// memory grows only as payload bytes actually arrive.
 const READ_CHUNK: usize = 64 * 1024;
 
@@ -193,16 +197,17 @@ impl Transport for TcpTransport {
     }
 }
 
-/// A [`TcpServer`]'s coarse health, derived from accept-queue pressure
-/// and the shutdown flag, surfaced through the `rds.tcp.health` gauge
-/// (and thus the `mbdTelemetry` OCP subtree) so delegated agents can
-/// observe the transport's own state.
+/// A [`TcpServer`]'s coarse health, derived from execution-queue
+/// pressure, the connection-table fill and the shutdown flag, surfaced
+/// through the `rds.tcp.health` gauge (and thus the `mbdTelemetry` OCP
+/// subtree) so delegated agents can observe the transport's own state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServerHealth {
-    /// Normal operation: the accept queue has headroom.
+    /// Normal operation: the execution queue has headroom.
     Accepting,
-    /// Overloaded: the accept queue is at least half full; new
-    /// connections may be shed with `Busy`.
+    /// Overloaded: the execution queue is at least half full (or the
+    /// connection table is at capacity); requests may be shed with
+    /// `Busy`.
     Degraded,
     /// Shutting down: no new connections will be served.
     Draining,
@@ -218,7 +223,7 @@ impl ServerHealth {
         }
     }
 
-    fn from_code(code: u8) -> ServerHealth {
+    pub(crate) fn from_code(code: u8) -> ServerHealth {
         match code {
             1 => ServerHealth::Degraded,
             2 => ServerHealth::Draining,
@@ -238,19 +243,36 @@ impl std::fmt::Display for ServerHealth {
     }
 }
 
-/// Sizing and timing of a [`TcpServer`]'s worker pool.
+/// Sizing and timing of a [`TcpServer`]: the reactor front-end and its
+/// execution tier.
 #[derive(Clone)]
 pub struct TcpServerConfig {
-    /// Worker threads serving connections (each worker serves one
-    /// connection at a time, start to finish).
+    /// Execution-tier worker threads (each runs one request handler at
+    /// a time; none owns a socket).
     pub workers: usize,
-    /// Accepted connections allowed to wait for a free worker; beyond
-    /// this the server drops new connections (and counts them).
+    /// Requests allowed to queue for a free worker; beyond this the
+    /// reactor sheds the *request* with an explicit `Busy` frame
+    /// carrying its id (the connection survives).
     pub backlog: usize,
-    /// How often an idle connection checks for shutdown.
+    /// The reactor's tick: poll timeout, timeout-sweep cadence, and
+    /// health-gauge refresh interval.
     pub idle_poll: Duration,
     /// Deadline for a started frame to arrive completely.
     pub frame_timeout: Duration,
+    /// Close connections with no traffic and no in-flight work for
+    /// this long; `None` (the default) keeps idle managers connected
+    /// indefinitely — they cost one fd each, not a thread.
+    pub idle_timeout: Option<Duration>,
+    /// Connection-table capacity; a connection beyond it is answered
+    /// with `Busy` (request id 0) and closed at accept.
+    pub max_connections: usize,
+    /// Per-connection pipelining window: requests in flight (executing
+    /// or queued) per connection before the reactor stops reading from
+    /// it (pure backpressure, never an error).
+    pub max_in_flight_per_conn: usize,
+    /// On shutdown, how long the reactor keeps delivering in-flight
+    /// completions before closing every socket regardless.
+    pub drain_deadline: Duration,
     /// Telemetry domain the server records into (`rds.tcp.*`); `None`
     /// keeps a private domain readable only through the handle's
     /// accessors. Share the embedding server's domain so a single
@@ -258,16 +280,17 @@ pub struct TcpServerConfig {
     pub telemetry: Option<Telemetry>,
     /// Called once per survived handler panic (after the panic counter
     /// is bumped), so the embedding server can journal the event. Runs
-    /// on the worker thread that caught the panic.
+    /// on the execution-tier worker that caught the panic.
     pub on_panic: Option<Arc<dyn Fn() + Send + Sync>>,
-    /// Frame written to a connection shed at saturation (before the
-    /// seed's silent close). `None` uses the default: an unkeyed
-    /// `Busy` error response with request id 0. A keyed server should
-    /// supply a keyed encoding so its clients can verify the digest.
-    pub shed_response: Option<Vec<u8>>,
-    /// Called once per shed connection (after the shed counter is
-    /// bumped), so the embedding server can journal the overload. Runs
-    /// on the accept thread.
+    /// Builds the frame written for a shed request, given the shed
+    /// request's id (0 when nothing was read, i.e. an over-cap
+    /// connection). `None` uses [`default_shed_response`]: an unkeyed
+    /// `Busy` error response. A keyed server should supply a keyed
+    /// encoding so its clients can verify the digest.
+    pub shed_response: Option<Arc<dyn Fn(i64) -> Vec<u8> + Send + Sync>>,
+    /// Called once per shed (after the shed counter is bumped), so the
+    /// embedding server can journal the overload. Runs on the reactor
+    /// thread.
     pub on_shed: Option<Arc<dyn Fn() + Send + Sync>>,
 }
 
@@ -278,9 +301,13 @@ impl std::fmt::Debug for TcpServerConfig {
             .field("backlog", &self.backlog)
             .field("idle_poll", &self.idle_poll)
             .field("frame_timeout", &self.frame_timeout)
+            .field("idle_timeout", &self.idle_timeout)
+            .field("max_connections", &self.max_connections)
+            .field("max_in_flight_per_conn", &self.max_in_flight_per_conn)
+            .field("drain_deadline", &self.drain_deadline)
             .field("telemetry", &self.telemetry)
             .field("on_panic", &self.on_panic.as_ref().map(|_| "Fn"))
-            .field("shed_response", &self.shed_response.as_ref().map(Vec::len))
+            .field("shed_response", &self.shed_response.as_ref().map(|_| "Fn"))
             .field("on_shed", &self.on_shed.as_ref().map(|_| "Fn"))
             .finish()
     }
@@ -293,6 +320,10 @@ impl Default for TcpServerConfig {
             backlog: 64,
             idle_poll: Duration::from_millis(25),
             frame_timeout: Duration::from_secs(5),
+            idle_timeout: None,
+            max_connections: 8192,
+            max_in_flight_per_conn: 32,
+            drain_deadline: Duration::from_secs(2),
             telemetry: None,
             on_panic: None,
             shed_response: None,
@@ -301,367 +332,25 @@ impl Default for TcpServerConfig {
     }
 }
 
-/// The default shed frame: an unkeyed `Busy` error under request id 0
-/// (undecodable-frame convention — the shed happens before any request
-/// is read, so there is no id to correlate with).
-pub fn default_shed_response() -> Vec<u8> {
+/// The default shed frame: an unkeyed `Busy` error response under the
+/// shed request's id (0 when the shed happened before any request was
+/// read, e.g. an over-cap connection at accept).
+pub fn default_shed_response(request_id: i64) -> Vec<u8> {
     crate::codec::encode_response(
         &crate::RdsResponse::Error {
             code: crate::ErrorCode::Busy,
             message: "server overloaded, retry later".to_string(),
         },
-        0,
+        request_id,
         None,
     )
-}
-
-/// Pre-resolved transport metrics, shared by the accept loop and the
-/// workers.
-struct TcpMetrics {
-    /// `rds.tcp.queue_wait` — accepted-to-picked-up latency.
-    queue_wait: Timer,
-    /// `rds.tcp.request` — one frame's respond() latency.
-    request: Timer,
-    /// `rds.tcp.active_connections` — connections currently being
-    /// served by a worker.
-    active: Gauge,
-    /// `rds.tcp.handler_panics` — mirrors
-    /// [`TcpServer::handler_panics`].
-    panics: Counter,
-    /// `rds.tcp.connections_rejected` — mirrors
-    /// [`TcpServer::connections_rejected`].
-    rejected: Counter,
-    /// `rds.shed` — connections answered with an explicit `Busy` frame
-    /// at saturation (same events as `rejected`; this is the
-    /// protocol-level name the retry layer watches).
-    shed: Counter,
-    /// `rds.tcp.health` — current [`ServerHealth`] code.
-    health: Gauge,
-}
-
-impl TcpMetrics {
-    fn new(telemetry: &Telemetry) -> TcpMetrics {
-        TcpMetrics {
-            queue_wait: telemetry.timer("rds.tcp.queue_wait"),
-            request: telemetry.timer("rds.tcp.request"),
-            active: telemetry.gauge("rds.tcp.active_connections"),
-            panics: telemetry.counter("rds.tcp.handler_panics"),
-            rejected: telemetry.counter("rds.tcp.connections_rejected"),
-            shed: telemetry.counter("rds.shed"),
-            health: telemetry.gauge("rds.tcp.health"),
-        }
-    }
-}
-
-/// State shared between the accept loop, the workers and the handle.
-struct PoolShared {
-    stop: AtomicBool,
-    /// Accepted connections waiting for a worker, stamped with their
-    /// accept time so `rds.tcp.queue_wait` measures pool saturation.
-    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
-    ready: Condvar,
-    rejected: AtomicU64,
-    handler_panics: AtomicU64,
-    health: AtomicU8,
-    /// Queue depth at which health degrades (half the backlog, min 1).
-    degraded_at: usize,
-    metrics: TcpMetrics,
-}
-
-impl PoolShared {
-    /// Recomputes health from queue `depth` (call after push/pop); the
-    /// draining state, once entered, is terminal.
-    fn update_health(&self, depth: usize) {
-        let next = if self.stop.load(Ordering::Relaxed) {
-            ServerHealth::Draining
-        } else if depth >= self.degraded_at {
-            ServerHealth::Degraded
-        } else {
-            ServerHealth::Accepting
-        };
-        self.set_health(next);
-    }
-
-    fn set_health(&self, next: ServerHealth) {
-        self.health.store(next.code(), Ordering::Relaxed);
-        self.metrics.health.set(u64::from(next.code()));
-    }
-}
-
-/// Server side: accepts connections into a bounded queue drained by a
-/// fixed pool of worker threads, each answering framed requests with
-/// `respond`.
-pub struct TcpServer {
-    local: SocketAddr,
-    shared: Arc<PoolShared>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
-}
-
-impl std::fmt::Debug for TcpServer {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TcpServer")
-            .field("local", &self.local)
-            .field("workers", &self.workers.len())
-            .field("rejected", &self.connections_rejected())
-            .finish()
-    }
-}
-
-impl TcpServer {
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// serving with the default pool configuration. `respond` runs on
-    /// worker threads and must be thread-safe.
-    ///
-    /// # Errors
-    ///
-    /// Bind failures as [`RdsError::Transport`].
-    pub fn spawn<A, F>(addr: A, respond: F) -> Result<TcpServer, RdsError>
-    where
-        A: ToSocketAddrs,
-        F: Fn(&[u8]) -> Vec<u8> + Send + Sync + 'static,
-    {
-        TcpServer::spawn_with(addr, TcpServerConfig::default(), respond)
-    }
-
-    /// [`TcpServer::spawn`] with an explicit pool configuration.
-    ///
-    /// # Errors
-    ///
-    /// Bind failures as [`RdsError::Transport`].
-    pub fn spawn_with<A, F>(
-        addr: A,
-        config: TcpServerConfig,
-        respond: F,
-    ) -> Result<TcpServer, RdsError>
-    where
-        A: ToSocketAddrs,
-        F: Fn(&[u8]) -> Vec<u8> + Send + Sync + 'static,
-    {
-        let listener = TcpListener::bind(addr).map_err(io_err)?;
-        let local = listener.local_addr().map_err(io_err)?;
-        let telemetry = config.telemetry.clone().unwrap_or_default();
-        let backlog = config.backlog.max(1);
-        let shared = Arc::new(PoolShared {
-            stop: AtomicBool::new(false),
-            queue: Mutex::new(VecDeque::new()),
-            ready: Condvar::new(),
-            rejected: AtomicU64::new(0),
-            handler_panics: AtomicU64::new(0),
-            health: AtomicU8::new(ServerHealth::Accepting.code()),
-            degraded_at: (backlog / 2).max(1),
-            metrics: TcpMetrics::new(&telemetry),
-        });
-        shared.set_health(ServerHealth::Accepting);
-        let respond = Arc::new(respond);
-
-        let workers = (0..config.workers.max(1))
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                let respond = Arc::clone(&respond);
-                let config = config.clone();
-                std::thread::spawn(move || worker_loop(&shared, &*respond, &config))
-            })
-            .collect();
-
-        let accept_shared = Arc::clone(&shared);
-        let shed_frame = config.shed_response.clone().unwrap_or_else(default_shed_response);
-        let on_shed = config.on_shed.clone();
-        let accept_thread = std::thread::spawn(move || {
-            for incoming in listener.incoming() {
-                if accept_shared.stop.load(Ordering::Relaxed) {
-                    break;
-                }
-                let Ok(mut stream) = incoming else { continue };
-                let mut queue = accept_shared.queue.lock();
-                if queue.len() >= backlog {
-                    drop(queue);
-                    accept_shared.rejected.fetch_add(1, Ordering::Relaxed);
-                    accept_shared.metrics.rejected.inc();
-                    accept_shared.metrics.shed.inc();
-                    // Graceful degradation: instead of the seed's silent
-                    // close, tell the client *why* — an explicit `Busy`
-                    // frame it can classify as retryable. Best-effort
-                    // with short timeouts so a slow peer cannot stall
-                    // the accept loop. The drain read consumes the
-                    // request the client already sent, so closing emits
-                    // FIN rather than an RST that could discard the
-                    // `Busy` frame from the peer's receive buffer.
-                    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
-                    let _ = write_frame(&mut stream, &shed_frame);
-                    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-                    let mut sink = [0u8; 4096];
-                    let _ = stream.read(&mut sink);
-                    if let Some(hook) = &on_shed {
-                        hook();
-                    }
-                    continue; // dropping the stream closes it
-                }
-                queue.push_back((stream, Instant::now()));
-                let depth = queue.len();
-                drop(queue);
-                accept_shared.update_health(depth);
-                accept_shared.ready.notify_one();
-            }
-            accept_shared.set_health(ServerHealth::Draining);
-            accept_shared.ready.notify_all();
-        });
-
-        Ok(TcpServer { local, shared, accept_thread: Some(accept_thread), workers })
-    }
-
-    /// The bound address (including the resolved ephemeral port).
-    pub fn local_addr(&self) -> SocketAddr {
-        self.local
-    }
-
-    /// Connections dropped because the accept queue was full.
-    pub fn connections_rejected(&self) -> u64 {
-        self.shared.rejected.load(Ordering::Relaxed)
-    }
-
-    /// Connections answered with an explicit `Busy` frame at saturation
-    /// (the protocol-level view of [`TcpServer::connections_rejected`]).
-    pub fn sheds(&self) -> u64 {
-        self.shared.rejected.load(Ordering::Relaxed)
-    }
-
-    /// The server's current coarse health.
-    pub fn health(&self) -> ServerHealth {
-        ServerHealth::from_code(self.shared.health.load(Ordering::Relaxed))
-    }
-
-    /// Handler panics survived (each cost its connection, not a worker).
-    pub fn handler_panics(&self) -> u64 {
-        self.shared.handler_panics.load(Ordering::Relaxed)
-    }
-
-    /// Signals shutdown, then joins the accept loop and every worker —
-    /// on return no server thread is running.
-    pub fn shutdown(mut self) {
-        self.stop_now();
-    }
-
-    fn stop_now(&mut self) {
-        self.shared.stop.store(true, Ordering::Relaxed);
-        self.shared.set_health(ServerHealth::Draining);
-        // Unblock accept() with a dummy connection; wake idle workers.
-        let _ = TcpStream::connect(self.local);
-        self.shared.ready.notify_all();
-        if let Some(h) = self.accept_thread.take() {
-            let _ = h.join();
-        }
-        for h in self.workers.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
-impl Drop for TcpServer {
-    fn drop(&mut self) {
-        self.stop_now();
-    }
-}
-
-/// One worker: pull connections off the shared queue until shutdown.
-fn worker_loop(
-    shared: &PoolShared,
-    respond: &(dyn Fn(&[u8]) -> Vec<u8> + Send + Sync),
-    config: &TcpServerConfig,
-) {
-    loop {
-        let next = {
-            let mut queue = shared.queue.lock();
-            loop {
-                if let Some(entry) = queue.pop_front() {
-                    let depth = queue.len();
-                    drop(queue);
-                    shared.update_health(depth);
-                    break Some(entry);
-                }
-                if shared.stop.load(Ordering::Relaxed) {
-                    break None;
-                }
-                let (guard, _) = shared
-                    .ready
-                    .wait_timeout(queue, config.idle_poll)
-                    .expect("queue mutex cannot be poisoned");
-                queue = guard;
-            }
-        };
-        match next {
-            Some((mut stream, accepted_at)) => {
-                shared.metrics.queue_wait.record_duration(accepted_at.elapsed());
-                shared.metrics.active.inc();
-                let _ = serve_connection(&mut stream, respond, shared, config);
-                shared.metrics.active.dec();
-            }
-            None => return,
-        }
-    }
-}
-
-/// Serves one connection until EOF, error, handler panic or shutdown.
-/// I/O errors are returned for diagnosis but isolated to this
-/// connection — the calling worker always survives.
-fn serve_connection(
-    stream: &mut TcpStream,
-    respond: &(dyn Fn(&[u8]) -> Vec<u8> + Send + Sync),
-    shared: &PoolShared,
-    config: &TcpServerConfig,
-) -> Result<(), RdsError> {
-    let _ = stream.set_nodelay(true);
-    stream.set_read_timeout(Some(config.idle_poll)).map_err(io_err)?;
-    loop {
-        if shared.stop.load(Ordering::Relaxed) {
-            return Ok(());
-        }
-        // Idle-poll for the next frame so shutdown is observed promptly;
-        // peek keeps a mid-frame timeout from corrupting the stream.
-        let mut probe = [0u8; 1];
-        match stream.peek(&mut probe) {
-            Ok(0) => return Ok(()), // clean EOF
-            Ok(_) => {}
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                continue;
-            }
-            Err(e) => return Err(io_err(e)),
-        }
-        stream.set_read_timeout(Some(config.frame_timeout)).map_err(io_err)?;
-        let frame = read_frame(stream);
-        stream.set_read_timeout(Some(config.idle_poll)).map_err(io_err)?;
-        match frame {
-            Ok(Some(request)) => {
-                let span = shared.metrics.request.start();
-                let outcome = catch_unwind(AssertUnwindSafe(|| respond(&request)));
-                drop(span);
-                match outcome {
-                    Ok(response) => write_frame(stream, &response)?,
-                    Err(_) => {
-                        shared.handler_panics.fetch_add(1, Ordering::Relaxed);
-                        shared.metrics.panics.inc();
-                        if let Some(hook) = &config.on_panic {
-                            hook();
-                        }
-                        return Ok(()); // drop the connection, keep the worker
-                    }
-                }
-            }
-            Ok(None) => return Ok(()),
-            Err(e) => return Err(e),
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::RdsClient;
+    use std::time::Instant;
 
     #[test]
     fn frame_round_trip() {
@@ -778,7 +467,7 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_joins_every_worker() {
+    fn shutdown_returns_with_connections_open() {
         let server = TcpServer::spawn_with(
             "127.0.0.1:0",
             TcpServerConfig { workers: 3, ..TcpServerConfig::default() },
@@ -787,7 +476,7 @@ mod tests {
         .unwrap();
         let addr = server.local_addr();
         // Leave a connection open mid-conversation; shutdown must still
-        // return (workers observe the stop flag between frames).
+        // return (the reactor closes it during the bounded drain).
         let t = TcpTransport::connect(addr).unwrap();
         t.request(&[7]).unwrap();
         server.shutdown();
@@ -797,6 +486,41 @@ mod tests {
             Err(_) => {}
             Ok(t2) => assert!(t2.request(&[1]).is_err()),
         }
+    }
+
+    #[test]
+    fn shutdown_with_many_idle_connections_is_bounded() {
+        // The old pool could hang joining a worker parked in a blocking
+        // read; the reactor owes shutdown a bounded drain no matter how
+        // many idle peers are connected.
+        let server = TcpServer::spawn_with(
+            "127.0.0.1:0",
+            TcpServerConfig {
+                workers: 2,
+                drain_deadline: Duration::from_millis(500),
+                ..TcpServerConfig::default()
+            },
+            |req| req.to_vec(),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let idle: Vec<std::net::TcpStream> =
+            (0..64).map(|_| std::net::TcpStream::connect(addr).unwrap()).collect();
+        // Wait until the reactor has actually registered them.
+        for _ in 0..200 {
+            if server.open_connections() == idle.len() as u64 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(server.open_connections(), idle.len() as u64);
+        let begin = Instant::now();
+        server.shutdown();
+        assert!(
+            begin.elapsed() < Duration::from_secs(2),
+            "shutdown took {:?} with idle connections",
+            begin.elapsed()
+        );
     }
 
     #[test]
@@ -815,7 +539,7 @@ mod tests {
         let poisoned = TcpTransport::connect(addr).unwrap();
         assert!(poisoned.request(&[66]).is_err(), "panicked handler drops the connection");
 
-        // The pool keeps serving new connections afterwards.
+        // The server keeps serving new connections afterwards.
         let healthy = TcpTransport::connect(addr).unwrap();
         assert_eq!(healthy.request(&[1, 2]).unwrap(), vec![1, 2]);
         // The reconnecting transport re-delivered the poison frame once
@@ -841,10 +565,12 @@ mod tests {
         server.shutdown();
         let snap = tel.snapshot();
         assert_eq!(snap.histogram("rds.tcp.request").unwrap().count(), 2);
-        assert_eq!(snap.histogram("rds.tcp.queue_wait").unwrap().count(), 1);
+        // queue_wait is per *request* now (execution-tier wait), not
+        // per connection.
+        assert_eq!(snap.histogram("rds.tcp.queue_wait").unwrap().count(), 2);
         assert_eq!(snap.counter("rds.tcp.handler_panics"), Some(0));
         assert_eq!(snap.counter("rds.tcp.connections_rejected"), Some(0));
-        // All workers are joined, so no connection is active.
+        // Every socket is closed, so no connection is active.
         assert_eq!(snap.gauge("rds.tcp.active_connections"), Some(0));
     }
 
@@ -929,7 +655,7 @@ mod tests {
     }
 
     #[test]
-    fn saturated_pool_sheds_with_an_explicit_busy_frame() {
+    fn saturated_execution_tier_sheds_the_request_not_the_connection() {
         let sheds_seen = Arc::new(AtomicU64::new(0));
         let hook_counter = Arc::clone(&sheds_seen);
         let server = TcpServer::spawn_with(
@@ -959,33 +685,194 @@ mod tests {
             t.request(&[9]).unwrap();
         });
         std::thread::sleep(Duration::from_millis(150));
-        // …fill the backlog…
-        let _queued = TcpTransport::connect(addr).unwrap();
+        // …fill the one-deep execution queue with a second slow request…
+        let filler = std::thread::spawn(move || {
+            let t = TcpTransport::connect(addr).unwrap();
+            t.request(&[9]).unwrap();
+        });
         std::thread::sleep(Duration::from_millis(150));
         assert_eq!(server.health(), ServerHealth::Degraded, "queue at capacity degrades health");
 
-        // …and the next connection is shed with an explicit Busy frame
-        // instead of a silent close.
+        // …and the next request is shed with an explicit Busy frame.
+        // The connection survives (request-level shedding).
         let shed = TcpTransport::connect(addr).unwrap();
-        let frame = shed.request(&[2]).expect("shed frame arrives before the close");
+        let frame = shed.request(&[2]).expect("shed frame arrives on the live connection");
         let (resp, id) = crate::codec::decode_response(&frame, None).unwrap();
-        assert_eq!(id, 0, "no request id to correlate with");
+        assert_eq!(id, 0, "a raw (non-RDS) frame has no request id to correlate with");
         assert!(
             matches!(resp, crate::RdsResponse::Error { code: crate::ErrorCode::Busy, .. }),
             "got {resp:?}"
         );
         assert_eq!(server.sheds(), 1);
-        // The hook runs on the accept thread after the shed frame's
-        // drain read, so it may trail the client's receipt briefly.
+        assert_eq!(sheds_seen.load(Ordering::Relaxed), 1, "on_shed hook fired");
+
+        blocker.join().unwrap();
+        filler.join().unwrap();
+        // The shed connection is still usable once the tier drains.
+        assert_eq!(shed.request(&[5]).unwrap(), vec![5]);
+        assert_eq!(shed.reconnects(), 0, "shedding never cost the connection");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shed_busy_frame_carries_the_request_id() {
+        // RDS-encoded requests pipelined on one raw connection: the
+        // worker is busy with #1, #2 waits in the one-deep queue, #3 is
+        // shed — and its Busy frame must carry id 3, out of order,
+        // before the slow responses to #1 and #2.
+        let server = TcpServer::spawn_with(
+            "127.0.0.1:0",
+            TcpServerConfig { workers: 1, backlog: 1, ..TcpServerConfig::default() },
+            {
+                let rds =
+                    crate::RdsServer::open(|_p: &mbd_auth::Principal, _req: crate::RdsRequest| {
+                        std::thread::sleep(Duration::from_millis(400));
+                        crate::RdsResponse::Ok
+                    });
+                move |bytes: &[u8]| rds.process(bytes)
+            },
+        )
+        .unwrap();
+        let principal = mbd_auth::Principal::new("pipeliner");
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        for id in 1..=3i64 {
+            let frame = crate::codec::encode_request(
+                &crate::RdsRequest::ListPrograms,
+                &principal,
+                id,
+                None,
+            );
+            write_frame(&mut stream, &frame).unwrap();
+            // Stagger so #1 is *executing* and #2 is queued when #3
+            // arrives — otherwise which request fills the one-deep
+            // queue is a race.
+            std::thread::sleep(Duration::from_millis(120));
+        }
+        let mut ids = Vec::new();
+        for _ in 0..3 {
+            let frame = read_frame(&mut stream).unwrap().expect("three responses");
+            let (resp, id) = crate::codec::decode_response(&frame, None).unwrap();
+            if matches!(resp, crate::RdsResponse::Error { code: crate::ErrorCode::Busy, .. }) {
+                assert_eq!(id, 3, "the shed Busy frame names the request it sheds");
+            }
+            ids.push(id);
+        }
+        assert_eq!(ids[0], 3, "the shed reply overtakes the slow executions");
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3], "every request is answered exactly once");
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_all_complete_on_one_connection() {
+        let server = TcpServer::spawn_with(
+            "127.0.0.1:0",
+            TcpServerConfig { workers: 4, ..TcpServerConfig::default() },
+            {
+                let rds =
+                    crate::RdsServer::open(|_p: &mbd_auth::Principal, req: crate::RdsRequest| {
+                        match req {
+                            crate::RdsRequest::ReadJournal { max_records } => {
+                                // Stagger completions so replies interleave.
+                                std::thread::sleep(Duration::from_millis(
+                                    u64::from(max_records % 3) * 20,
+                                ));
+                                crate::RdsResponse::Ok
+                            }
+                            _ => crate::RdsResponse::Ok,
+                        }
+                    });
+                move |bytes: &[u8]| rds.process(bytes)
+            },
+        )
+        .unwrap();
+        let principal = mbd_auth::Principal::new("pipeliner");
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        const N: i64 = 24;
+        for id in 1..=N {
+            let req = crate::RdsRequest::ReadJournal { max_records: id as u32 };
+            let frame = crate::codec::encode_request(&req, &principal, id, None);
+            write_frame(&mut stream, &frame).unwrap();
+        }
+        let mut ids = Vec::new();
+        for _ in 0..N {
+            let frame = read_frame(&mut stream).unwrap().expect("a response per request");
+            let (resp, id) = crate::codec::decode_response(&frame, None).unwrap();
+            assert!(matches!(resp, crate::RdsResponse::Ok), "got {resp:?}");
+            ids.push(id);
+        }
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1..=N).collect::<Vec<_>>(), "each id answered exactly once");
+        server.shutdown();
+    }
+
+    #[test]
+    fn over_cap_connection_is_shed_at_accept_with_id_zero() {
+        let server = TcpServer::spawn_with(
+            "127.0.0.1:0",
+            TcpServerConfig { max_connections: 1, ..TcpServerConfig::default() },
+            |req| req.to_vec(),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let keeper = TcpTransport::connect(addr).unwrap();
+        keeper.request(&[1]).unwrap();
+
+        // The table is full: the next connection gets Busy-and-close.
+        let mut shed = TcpStream::connect(addr).unwrap();
+        let frame = read_frame(&mut shed).unwrap().expect("busy frame before close");
+        let (resp, id) = crate::codec::decode_response(&frame, None).unwrap();
+        assert_eq!(id, 0);
+        assert!(matches!(resp, crate::RdsResponse::Error { code: crate::ErrorCode::Busy, .. }));
+        assert_eq!(server.connections_rejected(), 1);
+
+        // The established connection is unaffected.
+        assert_eq!(keeper.request(&[2]).unwrap(), vec![2]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_timeout_reaps_parked_connections() {
+        let server = TcpServer::spawn_with(
+            "127.0.0.1:0",
+            TcpServerConfig {
+                idle_timeout: Some(Duration::from_millis(80)),
+                idle_poll: Duration::from_millis(10),
+                ..TcpServerConfig::default()
+            },
+            |req| req.to_vec(),
+        )
+        .unwrap();
+        let t = TcpTransport::connect(server.local_addr()).unwrap();
+        t.request(&[1]).unwrap();
         for _ in 0..100 {
-            if sheds_seen.load(Ordering::Relaxed) == 1 {
+            if server.open_connections() == 0 {
                 break;
             }
             std::thread::sleep(Duration::from_millis(10));
         }
-        assert_eq!(sheds_seen.load(Ordering::Relaxed), 1, "on_shed hook fired");
+        assert_eq!(server.open_connections(), 0, "idle connection reaped without a thread");
+        // The re-dialing transport simply reconnects on next use.
+        assert_eq!(t.request(&[2]).unwrap(), vec![2]);
+        assert_eq!(t.reconnects(), 1);
+        server.shutdown();
+    }
 
-        blocker.join().unwrap();
+    #[test]
+    fn oversized_frame_poisons_only_that_connection() {
+        let server = TcpServer::spawn("127.0.0.1:0", |req| req.to_vec()).unwrap();
+        let addr = server.local_addr();
+        let mut hostile = TcpStream::connect(addr).unwrap();
+        hostile.write_all(&(MAX_FRAME + 1).to_be_bytes()).unwrap();
+        hostile.write_all(b"abc").unwrap();
+        // The server drops the poisoned connection…
+        let mut probe = Vec::new();
+        hostile.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        assert!(matches!(hostile.read_to_end(&mut probe), Ok(0)), "connection closed");
+        // …and keeps serving others.
+        let t = TcpTransport::connect(addr).unwrap();
+        assert_eq!(t.request(&[4]).unwrap(), vec![4]);
         server.shutdown();
     }
 
@@ -1021,7 +908,7 @@ mod tests {
     }
 
     #[test]
-    fn pool_serves_more_clients_than_workers() {
+    fn reactor_serves_more_clients_than_workers() {
         let server = TcpServer::spawn_with(
             "127.0.0.1:0",
             TcpServerConfig { workers: 2, ..TcpServerConfig::default() },
@@ -1029,11 +916,13 @@ mod tests {
         )
         .unwrap();
         let addr = server.local_addr();
-        // Sequential conversations: each closes before the next starts,
-        // so two workers handle six clients.
-        for i in 0..6u8 {
-            let t = TcpTransport::connect(addr).unwrap();
-            assert_eq!(t.request(&[i]).unwrap(), vec![i]);
+        // Six *simultaneous* connections over two workers: with the old
+        // pool the extras would queue whole-connection; the reactor
+        // serves them all concurrently.
+        let transports: Vec<TcpTransport> =
+            (0..6).map(|_| TcpTransport::connect(addr).unwrap()).collect();
+        for (i, t) in transports.iter().enumerate() {
+            assert_eq!(t.request(&[i as u8]).unwrap(), vec![i as u8]);
         }
         assert_eq!(server.connections_rejected(), 0);
         server.shutdown();

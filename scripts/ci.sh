@@ -28,8 +28,10 @@ echo 'fn main() { return 41 + 1; }' > "$SMOKE_DIR/work.dpl"
 ./target/release/mbd-server --listen "127.0.0.1:$SMOKE_PORT" --stats 1 \
     > "$SMOKE_LOG" 2>&1 &
 SMOKE_PID=$!
+FLOOD_PID=""
 cleanup_smoke() {
     kill "$SMOKE_PID" 2>/dev/null || true
+    [ -n "$FLOOD_PID" ] && kill "$FLOOD_PID" 2>/dev/null || true
     rm -rf "$SMOKE_DIR"
 }
 trap cleanup_smoke EXIT
@@ -120,6 +122,80 @@ grep -E "dedup replays   : [1-9]" "$SMOKE_DIR/chaos.out" >/dev/null || {
     exit 1
 }
 echo "chaos smoke ok: $(grep 'chaos ok' "$SMOKE_DIR/chaos.out")"
+
+echo "==> conn smoke: reactor front-end under an idle-connection flood"
+# In-process first: 3000 idle connections against the E11 configuration
+# (reactor + fixed 4-worker tier); the example asserts the gauges
+# directly — all connections registered, health accepting, zero sheds,
+# bounded drain — and drives every RDS verb under the flood.
+cargo run --release -q --example conn_flood 3000 > "$SMOKE_DIR/flood.out" || {
+    echo "conn smoke FAILED:"
+    cat "$SMOKE_DIR/flood.out"
+    exit 1
+}
+grep -q "conn flood ok" "$SMOKE_DIR/flood.out" || {
+    echo "conn smoke FAILED: no convergence line:"
+    cat "$SMOKE_DIR/flood.out"
+    exit 1
+}
+
+# Then against the real binary: a 4-worker mbd-server takes the same
+# flood, and its own --stats gauges must stay in the accepting band.
+FLOOD_PORT=$((21000 + RANDOM % 20000))
+FLOOD_LOG="$SMOKE_DIR/flood_server.log"
+./target/release/mbd-server --listen "127.0.0.1:$FLOOD_PORT" --workers 4 \
+    --max-conns 6000 --stats 1 > "$FLOOD_LOG" 2>&1 &
+FLOOD_PID=$!
+for _ in $(seq 1 50); do
+    ./target/release/mbdctl --server "127.0.0.1:$FLOOD_PORT" programs >/dev/null 2>&1 && break
+    sleep 0.1
+done
+cargo run --release -q --example conn_flood 3000 "127.0.0.1:$FLOOD_PORT" \
+    > "$SMOKE_DIR/flood_binary.out" || {
+    echo "conn smoke FAILED against mbd-server:"
+    cat "$SMOKE_DIR/flood_binary.out"
+    exit 1
+}
+sleep 2 # let a --stats tick record the post-flood gauges
+kill "$FLOOD_PID" 2>/dev/null || true
+wait "$FLOOD_PID" 2>/dev/null || true
+FLOOD_PID=""
+grep -Eq "rds\.tcp\.health +0" "$FLOOD_LOG" || {
+    echo "conn smoke FAILED: health gauge never reported accepting (0):"
+    cat "$FLOOD_LOG"
+    exit 1
+}
+if grep -Eq "rds\.tcp\.health +[1-9]" "$FLOOD_LOG"; then
+    echo "conn smoke FAILED: health gauge left the accepting band under an idle flood:"
+    grep -E "rds\.tcp\.health" "$FLOOD_LOG"
+    exit 1
+fi
+if grep -Eq "rds\.shed +[1-9]" "$FLOOD_LOG"; then
+    echo "conn smoke FAILED: idle connections caused request sheds:"
+    grep -E "rds\.shed" "$FLOOD_LOG"
+    exit 1
+fi
+echo "conn smoke ok: $(grep 'conn flood ok' "$SMOKE_DIR/flood_binary.out")"
+
+echo "==> conn smoke: E11 scaling gate (release-gated) + artifacts"
+# The release-only gate holds 5000 connections open against the fixed
+# 4-worker tier and compares active-request p99 with an in-test
+# thread-per-connection baseline at 256 connections.
+cargo test --release -q -p mbd-bench --lib e11
+cargo run --release -q -p mbd-bench --bin exp_conn >/dev/null
+[ -s bench/out/BENCH_E11.json ] && [ -s bench/out/E11.csv ] || {
+    echo "conn smoke FAILED: exp_conn did not write bench/out/BENCH_E11.json + E11.csv"
+    exit 1
+}
+grep -q '"section": "ceiling"' bench/out/BENCH_E11.json || {
+    echo "conn smoke FAILED: BENCH_E11.json is missing the open-connection ceiling row"
+    exit 1
+}
+grep -q '"frontend": "threaded"' bench/out/BENCH_E11.json || {
+    echo "conn smoke FAILED: BENCH_E11.json is missing the thread-per-connection baseline"
+    exit 1
+}
+echo "conn smoke ok: $(grep -c '"section"' bench/out/BENCH_E11.json) E11 rows written"
 
 echo "==> vm smoke: E10 hot-path budgets (release-gated) + artifacts"
 # The release-only budget tests assert the shared-code instantiation

@@ -5,6 +5,8 @@
 //!            [--snmp 127.0.0.1:1161] [--community public] [--stats SECS]
 //!            [--journal PATH] [--workers N] [--backlog N]
 //!            [--frame-timeout-ms MS] [--idle-poll-ms MS] [--dedup CAP]
+//!            [--max-conns N] [--max-in-flight N] [--idle-timeout-ms MS]
+//!            [--drain-deadline-ms MS]
 //! ```
 //!
 //! With `--demo-mib` the server's MIB is pre-populated with the MIB-II
@@ -30,13 +32,19 @@
 //! `mbdDpiAccounting` subtree (`enterprises.20100.5`) every second, so
 //! both SNMP managers and delegated watchdog agents can read them.
 //!
-//! The transport knobs tune the fault-tolerant session layer (see
-//! `docs/RDS.md`): `--workers`/`--backlog` size the connection pool
-//! (beyond the backlog, connections are shed with an explicit `Busy`
-//! frame, which retrying clients back off on), `--frame-timeout-ms` and
-//! `--idle-poll-ms` bound slow and idle peers, and `--dedup CAP` sizes
-//! the per-principal duplicate-suppression cache (`--dedup 0` disables
-//! exactly-once replay entirely).
+//! The transport knobs tune the event-driven front-end and the
+//! fault-tolerant session layer (see `docs/RDS.md` and `DESIGN.md`
+//! §10): `--workers` sizes the execution tier, `--backlog` its request
+//! queue (beyond it a *request* is shed with an explicit `Busy` frame
+//! carrying its id, which retrying clients back off on), `--max-conns`
+//! caps the reactor's connection table (over-cap connections get
+//! `Busy` at accept), `--max-in-flight` bounds one connection's
+//! pipelining window, `--frame-timeout-ms` and `--idle-timeout-ms`
+//! bound slow and idle peers (idle reaping is off by default — an idle
+//! manager costs one fd, not a thread), `--drain-deadline-ms` bounds
+//! shutdown, and `--dedup CAP` sizes the per-principal
+//! duplicate-suppression cache (`--dedup 0` disables exactly-once
+//! replay entirely).
 
 use mbd::core::{AuditRecord, ElasticConfig, ElasticProcess, MbdServer};
 use mbd::rds::{TcpServer, TcpServerConfig};
@@ -89,6 +97,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut backlog = defaults.backlog;
     let mut frame_timeout = defaults.frame_timeout;
     let mut idle_poll = defaults.idle_poll;
+    let mut idle_timeout = defaults.idle_timeout;
+    let mut max_connections = defaults.max_connections;
+    let mut max_in_flight = defaults.max_in_flight_per_conn;
+    let mut drain_deadline = defaults.drain_deadline;
     let mut dedup_capacity = mbd::rds::DEFAULT_DEDUP_CAPACITY;
 
     let mut args = std::env::args().skip(1);
@@ -120,6 +132,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let ms: u64 = args.next().ok_or("--idle-poll-ms needs milliseconds")?.parse()?;
                 idle_poll = std::time::Duration::from_millis(ms.max(1));
             }
+            "--idle-timeout-ms" => {
+                let ms: u64 = args.next().ok_or("--idle-timeout-ms needs milliseconds")?.parse()?;
+                idle_timeout =
+                    if ms == 0 { None } else { Some(std::time::Duration::from_millis(ms)) };
+            }
+            "--max-conns" => {
+                max_connections =
+                    args.next().ok_or("--max-conns needs a count")?.parse::<usize>()?.max(1);
+            }
+            "--max-in-flight" => {
+                max_in_flight =
+                    args.next().ok_or("--max-in-flight needs a count")?.parse::<usize>()?.max(1);
+            }
+            "--drain-deadline-ms" => {
+                let ms: u64 =
+                    args.next().ok_or("--drain-deadline-ms needs milliseconds")?.parse()?;
+                drain_deadline = std::time::Duration::from_millis(ms);
+            }
             "--dedup" => {
                 dedup_capacity =
                     args.next().ok_or("--dedup needs a per-principal capacity")?.parse()?;
@@ -129,7 +159,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     "usage: mbd-server [--listen ADDR] [--key SECRET] [--demo-mib] \
                      [--snmp ADDR] [--community NAME] [--stats SECS] [--journal PATH] \
                      [--workers N] [--backlog N] [--frame-timeout-ms MS] \
-                     [--idle-poll-ms MS] [--dedup CAP]"
+                     [--idle-poll-ms MS] [--dedup CAP] [--max-conns N] \
+                     [--max-in-flight N] [--idle-timeout-ms MS] [--drain-deadline-ms MS]"
                 );
                 return Ok(());
             }
@@ -160,23 +191,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // transport) leaves an audit trail too.
         let panic_process = process.clone();
         let shed_process = process.clone();
-        // A keyed server sheds with a keyed Busy frame so retrying
-        // clients can verify the digest before backing off.
-        let shed_response = key.as_deref().map(|key| {
-            mbd::rds::codec::encode_response(
-                &mbd::rds::RdsResponse::Error {
-                    code: mbd::rds::ErrorCode::Busy,
-                    message: "server overloaded, retry later".to_string(),
-                },
-                0,
-                Some(key),
-            )
-        });
+        // A keyed server sheds with a keyed Busy frame (under the shed
+        // request's own id) so retrying clients can verify the digest
+        // before backing off.
+        let shed_response: Option<Arc<dyn Fn(i64) -> Vec<u8> + Send + Sync>> =
+            key.clone().map(|key| {
+                Arc::new(move |request_id: i64| {
+                    mbd::rds::codec::encode_response(
+                        &mbd::rds::RdsResponse::Error {
+                            code: mbd::rds::ErrorCode::Busy,
+                            message: "server overloaded, retry later".to_string(),
+                        },
+                        request_id,
+                        Some(key.as_slice()),
+                    )
+                }) as Arc<dyn Fn(i64) -> Vec<u8> + Send + Sync>
+            });
         let config = TcpServerConfig {
             workers,
             backlog,
             frame_timeout,
             idle_poll,
+            idle_timeout,
+            max_connections,
+            max_in_flight_per_conn: max_in_flight,
+            drain_deadline,
             telemetry: Some(process.telemetry().clone()),
             on_panic: Some(Arc::new(move || {
                 panic_process.journal().record(
@@ -198,18 +237,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     "shed",
                     0,
                     false,
-                    "connection pool saturated; request shed with Busy",
+                    "execution tier saturated; request shed with Busy",
                 );
             })),
         };
+        // The reactor holds one fd per open connection; lift the
+        // process's descriptor ceiling toward --max-conns (best-effort —
+        // headroom covers the listener, waker pipe and journal).
+        mbd::rds::reactor::raise_nofile_limit(max_connections as u64 + 512);
         TcpServer::spawn_with(listen.as_str(), config, move |bytes| server.process_request(bytes))?
     };
     println!(
-        "mbd-server listening on {} (auth: {}, {} workers, backlog {}, dedup {})",
+        "mbd-server listening on {} (auth: {}, {} workers, backlog {}, max-conns {}, dedup {})",
         tcp.local_addr(),
         if authenticated { "md5 keyed digest" } else { "none" },
         workers,
         backlog,
+        max_connections,
         if dedup_capacity == 0 { "off".to_string() } else { format!("{dedup_capacity}/principal") },
     );
 

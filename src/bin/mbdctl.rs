@@ -2,7 +2,8 @@
 //!
 //! ```console
 //! mbdctl [--server 127.0.0.1:4700] [--key SECRET] [--principal NAME]
-//!        [--retries N] [--backoff-ms MS] [--deadline-ms MS] COMMAND
+//!        [--retries N] [--backoff-ms MS] [--deadline-ms MS]
+//!        [--pipeline N] [--repeat R] COMMAND
 //!
 //! commands:
 //!   delegate NAME FILE          translate + store FILE's DPL source as NAME
@@ -27,9 +28,19 @@
 //! replays rather than re-executes (see `docs/RDS.md`); `--backoff-ms`
 //! sets the base of the exponential backoff between attempts, and
 //! `--deadline-ms` bounds the whole request, retries included.
+//!
+//! With `--pipeline N` the command runs through the pipelined client:
+//! up to N requests in flight on one connection, replies accepted out
+//! of order, `--repeat R` issuing the command R times (each repetition
+//! is its own request id, so effects execute R times; retried frames
+//! within one repetition stay byte-identical and dedup-safe). The
+//! retry flags apply per repetition unchanged. A summary line reports
+//! throughput, re-sends and reconnects.
 
 use ber::BerValue;
-use mbd::rds::{DpiId, RdsClient, RetryPolicy, TcpTransport};
+use mbd::rds::{
+    DpiId, RdsClient, RdsPipeline, RdsRequest, RdsResponse, RetryPolicy, TcpDuplex, TcpTransport,
+};
 use std::time::Duration;
 
 fn parse_arg(s: &str) -> BerValue {
@@ -48,11 +59,110 @@ fn parse_dpi(s: &str) -> Result<DpiId, String> {
     digits.parse::<u64>().map(DpiId).map_err(|_| format!("bad dpi id `{s}`"))
 }
 
+/// Maps a CLI command to the request it issues, for the pipelined path.
+fn build_request(command: &str, rest: &[String]) -> Result<RdsRequest, Box<dyn std::error::Error>> {
+    Ok(match (command, rest) {
+        ("delegate", [name, file]) => RdsRequest::DelegateProgram {
+            dp_name: name.clone(),
+            language: "dpl".to_string(),
+            source: std::fs::read_to_string(file)?.into_bytes(),
+        },
+        ("delete", [name]) => RdsRequest::DeleteProgram { dp_name: name.clone() },
+        ("instantiate", [name]) => RdsRequest::Instantiate { dp_name: name.clone() },
+        ("invoke", [dpi, entry, args @ ..]) => RdsRequest::Invoke {
+            dpi: parse_dpi(dpi)?,
+            entry: entry.clone(),
+            args: args.iter().map(|s| parse_arg(s)).collect(),
+        },
+        ("suspend", [dpi]) => RdsRequest::Suspend { dpi: parse_dpi(dpi)? },
+        ("resume", [dpi]) => RdsRequest::Resume { dpi: parse_dpi(dpi)? },
+        ("terminate", [dpi]) => RdsRequest::Terminate { dpi: parse_dpi(dpi)? },
+        ("send", [dpi, payload]) => {
+            RdsRequest::SendMessage { dpi: parse_dpi(dpi)?, payload: payload.as_bytes().to_vec() }
+        }
+        ("programs", []) => RdsRequest::ListPrograms,
+        ("instances", []) => RdsRequest::ListInstances,
+        ("journal", rest @ ([] | [_])) => RdsRequest::ReadJournal {
+            max_records: match rest {
+                [m] => m.parse().map_err(|_| format!("bad record count `{m}`"))?,
+                _ => 0,
+            },
+        },
+        (cmd, _) => return Err(format!("bad command or arguments: `{cmd}` (try --help)").into()),
+    })
+}
+
+/// Runs the command `repeat` times with up to `window` requests in
+/// flight; prints one line per reply plus a summary.
+fn run_pipelined(
+    server: &str,
+    key: Option<Vec<u8>>,
+    principal: &str,
+    retry: RetryPolicy,
+    window: usize,
+    repeat: usize,
+    req: &RdsRequest,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let duplex = TcpDuplex::connect(server)?;
+    let mut pipe = match key {
+        Some(k) => RdsPipeline::with_key(duplex, principal, k),
+        None => RdsPipeline::new(duplex, principal),
+    }
+    .with_window(window)
+    .with_retry(retry);
+    let started = std::time::Instant::now();
+    for _ in 0..repeat {
+        pipe.submit(req)?;
+    }
+    let results = pipe.drain();
+    let elapsed = started.elapsed();
+    let mut failed = 0usize;
+    for (id, result) in &results {
+        match result {
+            Ok(RdsResponse::Ok) => {}
+            Ok(RdsResponse::Instantiated { dpi }) => println!("#{id}: {dpi}"),
+            Ok(RdsResponse::Result { value }) => println!("#{id}: {value}"),
+            Ok(RdsResponse::Programs { names }) => println!("#{id}: {}", names.join(" ")),
+            Ok(RdsResponse::Instances { instances }) => {
+                println!("#{id}: {} instance(s)", instances.len());
+            }
+            Ok(RdsResponse::Journal { records }) => {
+                println!("#{id}: {} journal record(s)", records.len());
+            }
+            Ok(RdsResponse::Error { code, message }) => {
+                failed += 1;
+                eprintln!("#{id}: remote error ({code}): {message}");
+            }
+            Err(e) => {
+                failed += 1;
+                eprintln!("#{id}: {e}");
+            }
+        }
+    }
+    let per_sec = results.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "{} request(s), {} ok, {} failed, window {}, {:.1}/s, {} re-send(s), {} reconnect(s)",
+        results.len(),
+        results.len() - failed,
+        failed,
+        window,
+        per_sec,
+        pipe.retries(),
+        pipe.duplex().reconnects(),
+    );
+    if failed > 0 {
+        return Err(format!("{failed} request(s) failed").into());
+    }
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut server = "127.0.0.1:4700".to_string();
     let mut key: Option<Vec<u8>> = None;
     let mut principal = "mbdctl".to_string();
     let mut retry = RetryPolicy::none();
+    let mut pipeline: Option<usize> = None;
+    let mut repeat: usize = 1;
     let mut rest: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -84,6 +194,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let ms: u64 = args.next().ok_or("--deadline-ms needs milliseconds")?.parse()?;
                 retry.deadline = Some(Duration::from_millis(ms));
             }
+            "--pipeline" => {
+                let n: usize = args.next().ok_or("--pipeline needs a window size")?.parse()?;
+                pipeline = Some(n.max(1));
+            }
+            "--repeat" => {
+                repeat = args.next().ok_or("--repeat needs a count")?.parse::<usize>()?.max(1);
+            }
             "--help" | "-h" => {
                 println!("see `mbdctl` module docs; commands: delegate delete instantiate invoke suspend resume terminate send programs instances journal");
                 return Ok(());
@@ -95,6 +212,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let (command, rest) = rest.split_first().ok_or("missing command (try --help)")?;
+
+    if let Some(window) = pipeline {
+        let req = build_request(command, rest)?;
+        return run_pipelined(&server, key, &principal, retry, window, repeat, &req);
+    }
+    if repeat != 1 {
+        return Err("--repeat needs --pipeline".into());
+    }
 
     let transport = TcpTransport::connect(server.as_str())?;
     let client = match key {

@@ -14,7 +14,10 @@
 //! consumes budget, so no schedule can outlast the retry loop.
 
 use mbd::core::{ElasticConfig, ElasticProcess, MbdServer};
-use mbd::rds::{FaultConfig, FaultTransport, LoopbackTransport, RdsClient, RetryPolicy};
+use mbd::rds::{
+    FaultConfig, FaultDuplex, FaultTransport, LoopbackTransport, RdsClient, RdsPipeline,
+    RdsRequest, RdsResponse, RetryPolicy, TcpDuplex, TcpServer,
+};
 use proptest::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
@@ -94,6 +97,108 @@ proptest! {
     fn any_fault_schedule_converges_to_exactly_once(seed in any::<u64>()) {
         run_workflow(seed);
     }
+}
+
+/// The same convergence property through the *reactor* path: a
+/// [`FaultDuplex`] (same seeded fault kinds, frame-granular) sits
+/// between a windowed [`RdsPipeline`] and a real event-driven
+/// [`TcpServer`], with multiple requests in flight and out-of-order
+/// completion. Every seed must still produce exactly-once effects.
+fn run_pipelined_workflow(seed: u64) {
+    let process =
+        ElasticProcess::new(ElasticConfig { keep_terminated: true, ..Default::default() });
+    let server = Arc::new(MbdServer::open(process.clone()));
+    let tcp = {
+        let server = Arc::clone(&server);
+        TcpServer::spawn("127.0.0.1:0", move |bytes| server.process_request(bytes)).unwrap()
+    };
+    let duplex = FaultDuplex::new(
+        TcpDuplex::connect(tcp.local_addr()).unwrap(),
+        seed,
+        FaultConfig::default(),
+    );
+    let mut pipe = RdsPipeline::new(duplex, "chaos-pipe")
+        .with_window(4)
+        // The stall probe is the only time-based recovery here (a
+        // swallowed frame makes no noise); keep it tight.
+        .with_recv_timeout(Duration::from_millis(100))
+        .with_retry(chaos_policy(seed));
+
+    let expect_all_ok = |results: Vec<(i64, Result<RdsResponse, mbd::rds::RdsError>)>| {
+        results
+            .into_iter()
+            .map(|(id, r)| r.unwrap_or_else(|e| panic!("seed {seed}: request {id}: {e}")))
+            .collect::<Vec<_>>()
+    };
+
+    // Order-dependent setup runs with the window effectively serial.
+    pipe.submit(&RdsRequest::DelegateProgram {
+        dp_name: "chaos".to_string(),
+        language: "dpl".to_string(),
+        source: PROGRAM.as_bytes().to_vec(),
+    })
+    .expect("delegate submit");
+    expect_all_ok(pipe.drain());
+    pipe.submit(&RdsRequest::Instantiate { dp_name: "chaos".to_string() })
+        .expect("instantiate submit");
+    let dpi = match expect_all_ok(pipe.drain()).pop() {
+        Some(RdsResponse::Instantiated { dpi }) => dpi,
+        other => panic!("seed {seed}: expected Instantiated, got {other:?}"),
+    };
+
+    // Six bumps in flight at once: executions interleave arbitrarily,
+    // so the running totals come back as a permutation of 1..=6 — any
+    // double execution would overshoot and break the set.
+    const BUMPS: i64 = 6;
+    for _ in 0..BUMPS {
+        pipe.submit(&RdsRequest::Invoke {
+            dpi,
+            entry: "bump".to_string(),
+            args: vec![ber::BerValue::Integer(1)],
+        })
+        .expect("invoke submit");
+    }
+    let mut totals: Vec<i64> = expect_all_ok(pipe.drain())
+        .into_iter()
+        .map(|resp| match resp {
+            RdsResponse::Result { value: ber::BerValue::Integer(total) } => total,
+            other => panic!("seed {seed}: expected integer result, got {other:?}"),
+        })
+        .collect();
+    totals.sort_unstable();
+    assert_eq!(totals, (1..=BUMPS).collect::<Vec<_>>(), "seed {seed}: bumps not exactly-once");
+
+    pipe.submit(&RdsRequest::Terminate { dpi }).expect("terminate submit");
+    expect_all_ok(pipe.drain());
+
+    let stats = process.stats();
+    assert_eq!(stats.delegations_accepted, 1, "seed {seed}: delegation not exactly-once");
+    assert_eq!(stats.instantiations, 1, "seed {seed}: instantiation not exactly-once");
+    assert_eq!(stats.invocations_ok, BUMPS as u64, "seed {seed}: invocations not exactly-once");
+    tcp.shutdown();
+}
+
+proptest! {
+    // Each case runs a real TCP reactor; fewer cases than the loopback
+    // property, same per-seed determinism.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any seeded fault schedule converges to exactly-once effects when
+    /// pipelined through the reactor.
+    #[test]
+    fn pipelined_reactor_path_converges_to_exactly_once(seed in any::<u64>()) {
+        run_pipelined_workflow(seed);
+    }
+}
+
+/// Regression: this seed's schedule duplicated the delegate frame, and
+/// the reactor pipelined both copies to two workers at once — a
+/// lookup-then-store dedup cache missed on both and delegated twice.
+/// Single-flight admission (`DedupCache::begin`) makes the second copy
+/// wait for the first execution and replay its response.
+#[test]
+fn concurrent_duplicate_delivery_stays_exactly_once() {
+    run_pipelined_workflow(4_990_920_121_278_408_718);
 }
 
 /// A deterministic run whose schedule actually exercises the machinery:

@@ -5,7 +5,10 @@
 
 use ber::BerValue;
 use mbd::core::{DpiQuota, ElasticConfig, ElasticProcess, MbdServer};
-use mbd::rds::{codec, RdsClient, RdsRequest, RdsResponse, TcpServer, TcpTransport, Transport};
+use mbd::rds::{
+    codec, RdsClient, RdsPipeline, RdsRequest, RdsResponse, ServerHealth, TcpDuplex, TcpServer,
+    TcpTransport, Transport,
+};
 use mbd_auth::Principal;
 use std::sync::Arc;
 
@@ -205,4 +208,75 @@ fn many_sequential_exchanges_on_one_connection() {
         assert_eq!(client.invoke(dpi, "bump", &[]).unwrap(), BerValue::Integer(expected));
     }
     tcp.shutdown();
+}
+
+#[test]
+fn pipelined_invocations_over_the_full_stack() {
+    // A stateful agent bumped 50 times through a window of 8: replies
+    // arrive out of order, but exactly-once execution means the
+    // returned totals form exactly the set 1..=50.
+    let (tcp, process) = spawn_server(None);
+    let serial = RdsClient::new(TcpTransport::connect(tcp.local_addr()).unwrap(), "mgr");
+    serial.delegate("inc", "var n = 0; fn bump() { n = n + 1; return n; }").unwrap();
+    let dpi = serial.instantiate("inc").unwrap();
+
+    let mut pipe =
+        RdsPipeline::new(TcpDuplex::connect(tcp.local_addr()).unwrap(), "pipe-mgr").with_window(8);
+    const N: i64 = 50;
+    for _ in 0..N {
+        pipe.submit(&RdsRequest::Invoke { dpi, entry: "bump".to_string(), args: Vec::new() })
+            .unwrap();
+    }
+    let mut totals: Vec<i64> = pipe
+        .drain()
+        .into_iter()
+        .map(|(id, result)| match result {
+            Ok(RdsResponse::Result { value: BerValue::Integer(total) }) => total,
+            other => panic!("request {id}: unexpected {other:?}"),
+        })
+        .collect();
+    totals.sort_unstable();
+    assert_eq!(totals, (1..=N).collect::<Vec<_>>(), "each bump executed exactly once");
+    // The serial client and the pipeline saw the same agent.
+    assert_eq!(serial.invoke(dpi, "bump", &[]).unwrap(), BerValue::Integer(N + 1));
+    assert_eq!(process.stats().invocations_ok, (N + 1) as u64);
+    tcp.shutdown();
+}
+
+#[test]
+fn hundreds_of_idle_connections_do_not_starve_active_ones() {
+    // The reactor decouples open connections from worker threads: with
+    // the old thread-per-served-connection pool this test would park
+    // forever behind the idle peers.
+    let (tcp, _process) = spawn_server(None);
+    let addr = tcp.local_addr();
+    let idle: Vec<std::net::TcpStream> =
+        (0..512).map(|_| std::net::TcpStream::connect(addr).unwrap()).collect();
+    // Wait for the reactor to register them all.
+    for _ in 0..400 {
+        if tcp.open_connections() >= idle.len() as u64 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(tcp.open_connections(), idle.len() as u64);
+    assert_eq!(tcp.health(), ServerHealth::Accepting, "idle load is not overload");
+    assert_eq!(tcp.connections_rejected(), 0);
+
+    // Full protocol still round-trips promptly on a fresh connection.
+    let client = RdsClient::new(TcpTransport::connect(addr).unwrap(), "active");
+    client.delegate("f", "fn main() { return 7; }").unwrap();
+    let dpi = client.instantiate("f").unwrap();
+    assert_eq!(client.invoke(dpi, "main", &[]).unwrap(), BerValue::Integer(7));
+    assert_eq!(tcp.sheds(), 0);
+
+    // Shutdown stays bounded with every idle socket still open.
+    let begin = std::time::Instant::now();
+    tcp.shutdown();
+    assert!(
+        begin.elapsed() < std::time::Duration::from_secs(3),
+        "drain took {:?} with 512 idle connections",
+        begin.elapsed()
+    );
+    drop(idle);
 }
