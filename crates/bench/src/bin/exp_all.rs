@@ -14,6 +14,7 @@ fn main() -> std::io::Result<()> {
     ex::e9_transient::run().0.emit(&out)?;
     ex::e10_vm::run(500).0.emit(&out)?;
     ex::e11_conn::run(&[256, 1000, 2500, 5000], 200, 1000).0.emit(&out)?;
+    ex::e12_profile::run(&[1, 8, 32], 1000).0.emit(&out)?;
     println!("all experiments written to {}", out.display());
     Ok(())
 }

@@ -1,0 +1,10 @@
+//! E12: observability overhead — pipelined invoke throughput with span
+//! tracing and VM block profiling on vs off, plus the sample counts
+//! proving the profiler ran.
+fn main() -> std::io::Result<()> {
+    let out = mbd_bench::report::default_out_dir();
+    let (report, _) = mbd_bench::experiments::e12_profile::run(&[1, 8, 32], 2000);
+    let path = report.emit(&out)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -145,6 +145,33 @@ pub fn accounting_entry() -> Oid {
     mbd_accounting_root().child(1).child(1)
 }
 
+/// Root of the VM profiler subtree (`enterprises.20100.6` —
+/// `mbdProfile`). One row per (dpi, rank) under [`profile_entry`],
+/// hottest (most-sampled) block first
+/// (`<entry>.<col>.<dpi>.<rank>`):
+///
+/// | col | object | type |
+/// |---|---|---|
+/// | `.1` | call stack, `;`-joined function names | OctetString |
+/// | `.2` | sampled block's leader instruction index | Gauge32 |
+/// | `.3` | samples | Counter32 |
+/// | `.4` | attributed VM fuel | Counter32 |
+/// | `.5` | attributed wall time µs | Counter32 |
+///
+/// Ranks are positional (re-sorted hottest-first on every refresh);
+/// as in the other tables rows are never retracted, so a rank beyond
+/// the current row count keeps its last published values. Empty unless
+/// the process enables profiling
+/// ([`ElasticConfig::profile_sample`](crate::ElasticConfig) > 0).
+pub fn mbd_profile_root() -> Oid {
+    "1.3.6.1.4.1.20100.6".parse().expect("static oid")
+}
+
+/// `mbdProfileEntry` — profile rows live under here.
+pub fn profile_entry() -> Oid {
+    mbd_profile_root().child(1).child(1)
+}
+
 /// Stable name → row-index maps for the telemetry tables. Indices are
 /// handed out in first-seen order and never reclaimed, so rows keep
 /// their OIDs across refreshes even as new metrics appear.
@@ -223,6 +250,7 @@ impl SnmpOcp {
         let _ = mib.set_scalar(log_dropped(), BerValue::Counter32(stats.log_dropped as u32));
         self.refresh_telemetry();
         self.refresh_accounting();
+        self.refresh_profile();
     }
 
     /// Publishes per-dpi resource accounts into the `mbdDpiAccounting`
@@ -248,6 +276,32 @@ impl SnmpOcp {
                 .col(10, c32(a.log_lines))
                 .col(11, c32(a.queue_drops))
                 .col(12, BerValue::from(format!("{:016x}", a.last_trace_id).as_str()))
+                .finish();
+        }
+    }
+
+    /// Publishes the VM profiler's aggregated block samples into the
+    /// `mbdProfile` table (see [`mbd_profile_root`]): what each dpi's
+    /// delegated code spends its fuel and wall time *on*, readable by
+    /// the same `mib_walk` a delegated watchdog agent already uses.
+    pub fn refresh_profile(&self) {
+        let mib = self.process.mib();
+        let c32 = |v: u64| BerValue::Counter32(u32::try_from(v).unwrap_or(u32::MAX));
+        let mut rank = 0u32;
+        let mut last_dpi = 0u64;
+        for (dpi, row) in self.process.profile_rows() {
+            if dpi != last_dpi {
+                last_dpi = dpi;
+                rank = 0;
+            }
+            rank += 1;
+            let _ = snmp::TableBuilder::new(mib, profile_entry())
+                .row(&[dpi as u32, rank])
+                .col(1, BerValue::from(row.stack.join(";").as_str()))
+                .col(2, BerValue::Gauge32(row.leader_ip))
+                .col(3, c32(row.samples))
+                .col(4, c32(row.fuel))
+                .col(5, c32(row.wall_ns / 1_000))
                 .finish();
         }
     }
@@ -506,6 +560,40 @@ mod tests {
         for vb in &rows {
             assert!(vb.oid.starts_with(&mbd_accounting_root()), "{} escaped", vb.oid);
         }
+    }
+
+    #[test]
+    fn profile_subtree_exports_block_samples_per_dpi() {
+        let p =
+            ElasticProcess::new(ElasticConfig { profile_sample: 1, ..ElasticConfig::default() });
+        p.delegate("hot", "fn main(n) { var i = 0; while (i < n) { i = i + 1; } return i; }")
+            .unwrap();
+        let dpi = p.instantiate("hot").unwrap();
+        p.invoke(dpi, "main", &[dpl::Value::Int(2_000)]).unwrap();
+        let ocp = SnmpOcp::new(p.clone(), "public");
+        let mut mgr = SnmpManager::new("public");
+        let rows = mgr.walk(&mbd_profile_root(), |req| ocp.handle(req)).unwrap();
+        assert!(!rows.is_empty(), "profiled dpi published no rows");
+        for vb in &rows {
+            assert!(vb.oid.starts_with(&mbd_profile_root()), "{} escaped", vb.oid);
+        }
+        // The hottest row (rank 1) names main's loop and carries weight.
+        let mib = p.mib();
+        let col = |c: u32| mib.get(&profile_entry().child(c).child(dpi.0 as u32).child(1));
+        assert_eq!(col(1), Some(BerValue::from("main")));
+        assert!(matches!(col(3), Some(BerValue::Counter32(s)) if s > 1_000));
+        assert!(matches!(col(4), Some(BerValue::Counter32(f)) if f > 0));
+    }
+
+    #[test]
+    fn unprofiled_process_publishes_no_profile_rows() {
+        let p = ElasticProcess::new(ElasticConfig::default());
+        p.delegate("f", "fn main() { return 0; }").unwrap();
+        let dpi = p.instantiate("f").unwrap();
+        p.invoke(dpi, "main", &[]).unwrap();
+        let ocp = SnmpOcp::new(p.clone(), "public");
+        ocp.refresh();
+        assert!(p.mib().walk(&mbd_profile_root()).is_empty());
     }
 
     #[test]

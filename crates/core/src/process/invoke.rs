@@ -62,7 +62,11 @@ impl ElasticProcess {
             }
             let started = Instant::now();
             let r = instance.invoke(entry, args, &mut ctx, &registry, self.inner.config.budget);
-            let busy_ns = started.elapsed().as_nanos() as u64;
+            let vm_done = Instant::now();
+            // `ep.vm_run` as a retroactive child of `ep.invoke`: the VM
+            // portion of the invocation, excluding dispatch and lock wait.
+            self.inner.metrics.vm_run.record_interval(started, vm_done);
+            let busy_ns = vm_done.duration_since(started).as_nanos() as u64;
             let fuel = instance.last_stats().fuel_used;
             // Return to Ready unless an admin retargeted the state
             // (e.g. suspended us mid-run) — their transition wins.
@@ -111,6 +115,13 @@ impl ElasticProcess {
         self.inner.metrics.quota_breaches.inc();
         let detail = format!("{dimension}: {actual} > {limit}");
         self.journal_event("quota.breach", dpi, false, &detail);
+        // Flight recorder: freeze the recent span stream under the
+        // tripping request's trace id (no-op unless a trace store is
+        // armed).
+        self.inner.telemetry.flight_freeze(
+            mbd_telemetry::current_trace_id(),
+            &format!("quota breach dpi-{}: {detail}", dpi.0),
+        );
         let note = Notification {
             dpi,
             value: Value::list(vec![

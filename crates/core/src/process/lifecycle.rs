@@ -32,7 +32,11 @@ impl ElasticProcess {
         let id = DpiId(self.inner.next_dpi.fetch_add(1, std::sync::atomic::Ordering::Relaxed));
         // Shared-code instantiation: the dpi holds an `Arc` to the stored
         // dp's compiled program — no per-instance deep clone of the code.
-        let slot = DpiSlot::new(dp_name.to_string(), dpl::Instance::new(Arc::clone(&dp.program)));
+        let mut instance = dpl::Instance::new(Arc::clone(&dp.program));
+        if self.inner.config.profile_sample > 0 {
+            instance.enable_profiling(self.inner.config.profile_sample);
+        }
+        let slot = DpiSlot::new(dp_name.to_string(), instance);
         *slot.quota.lock() = self.inner.config.quota;
         self.inner.dpis.insert(id, Arc::new(slot));
         stats::bump(&self.inner.stats.instantiations);

@@ -59,6 +59,10 @@ pub struct ElasticConfig {
     /// unlimited; per-dpi overrides via
     /// [`ElasticProcess::set_quota`]).
     pub quota: Option<DpiQuota>,
+    /// VM profiler sampling period: every `profile_sample`-th
+    /// fuel-charge site records a basic-block sample on newly
+    /// instantiated dpis (0 = profiling off).
+    pub profile_sample: u32,
 }
 
 impl Default for ElasticConfig {
@@ -71,6 +75,7 @@ impl Default for ElasticConfig {
             log_capacity: 4096,
             journal_capacity: 1024,
             quota: None,
+            profile_sample: 0,
         }
     }
 }
@@ -95,6 +100,10 @@ pub(in crate::process) struct EpMetrics {
     pub delegate: Timer,
     pub instantiate: Timer,
     pub invoke: Timer,
+    /// `ep.vm_run` — time spent inside the dpl VM proper (a child of
+    /// `ep.invoke` in span trees; the difference is dispatch overhead:
+    /// slot lookup, state CAS, registry snapshot, lock wait).
+    pub vm_run: Timer,
     pub suspend: Timer,
     pub resume: Timer,
     pub terminate: Timer,
@@ -117,6 +126,7 @@ impl EpMetrics {
             delegate: telemetry.timer("ep.delegate"),
             instantiate: telemetry.timer("ep.instantiate"),
             invoke: telemetry.timer("ep.invoke"),
+            vm_run: telemetry.timer("ep.vm_run"),
             suspend: telemetry.timer("ep.suspend"),
             resume: telemetry.timer("ep.resume"),
             terminate: telemetry.timer("ep.terminate"),
@@ -257,6 +267,52 @@ impl ElasticProcess {
             .collect();
         rows.sort_by_key(|r| r.id);
         rows
+    }
+
+    /// Folded-stack profile lines for one dpi (`dpi` = its id) or every
+    /// profiled dpi (`dpi` = 0, each line prefixed `dpi-N;`), hottest
+    /// first within each dpi. Empty when profiling is off
+    /// ([`ElasticConfig::profile_sample`] = 0) or nothing has run.
+    pub fn profile_stacks(&self, dpi: u64) -> Vec<String> {
+        let mut slots = self.inner.dpis.snapshot();
+        slots.sort_by_key(|(id, _)| *id);
+        let mut out = Vec::new();
+        for (id, slot) in slots {
+            if dpi != 0 && id.0 != dpi {
+                continue;
+            }
+            let instance = slot.instance.lock();
+            if !instance.profiling_enabled() {
+                continue;
+            }
+            let lines = instance.profile_folded();
+            drop(instance);
+            if dpi == 0 {
+                out.extend(lines.into_iter().map(|l| format!("dpi-{};{l}", id.0)));
+            } else {
+                out.extend(lines);
+            }
+        }
+        out
+    }
+
+    /// Per-block profile rows for every profiled dpi, sorted by dpi id
+    /// and hottest-first within each — the source of the `mbdProfile`
+    /// OCP table.
+    pub fn profile_rows(&self) -> Vec<(u64, dpl::BlockProfile)> {
+        let mut slots = self.inner.dpis.snapshot();
+        slots.sort_by_key(|(id, _)| *id);
+        let mut out = Vec::new();
+        for (id, slot) in slots {
+            let instance = slot.instance.lock();
+            if !instance.profiling_enabled() {
+                continue;
+            }
+            let rows = instance.profile_rows();
+            drop(instance);
+            out.extend(rows.into_iter().map(|row| (id.0, row)));
+        }
+        out
     }
 
     /// Arms (or, with `None`, clears) a dpi's resource quota. The quota

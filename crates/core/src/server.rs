@@ -114,6 +114,46 @@ impl RdsHandler for Dispatcher {
             RdsRequest::ReadJournal { max_records } => {
                 RdsResponse::Journal { records: self.process.journal().tail(max_records as usize) }
             }
+            RdsRequest::ReadProfile { trace_id, dpi } => {
+                // Span tree: the requested trace (0 = most recently
+                // retained, anomalous first) from the tail-sampling store.
+                let tree = self.process.telemetry().trace_store().and_then(|store| {
+                    if trace_id == 0 {
+                        store.latest()
+                    } else {
+                        store.tree(trace_id)
+                    }
+                });
+                let (trace_id, kept, spans) = match tree {
+                    Some(t) => {
+                        let kept = if t.reason.is_empty() {
+                            t.kept.label().to_string()
+                        } else {
+                            format!("{}: {}", t.kept.label(), t.reason)
+                        };
+                        let spans = t
+                            .spans
+                            .iter()
+                            .map(|s| rds::SpanRecord {
+                                trace_id: s.trace_id,
+                                span_id: s.span_id,
+                                parent_span_id: s.parent_span_id,
+                                name: s.name.clone(),
+                                start_ns: s.start_ns,
+                                duration_ns: s.duration_ns,
+                            })
+                            .collect();
+                        (t.trace_id, kept, spans)
+                    }
+                    None => (0, String::new(), Vec::new()),
+                };
+                RdsResponse::Profile {
+                    trace_id,
+                    kept,
+                    spans,
+                    stacks: self.process.profile_stacks(dpi),
+                }
+            }
         }
     }
 }

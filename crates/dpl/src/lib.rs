@@ -55,12 +55,14 @@ mod ast;
 mod bytecode;
 mod error;
 mod lexer;
+mod profile;
 mod value;
 mod vm;
 
 pub use bytecode::{FunctionInfo, Program};
 pub use error::{CheckError, DplError, LexError, ParseError, RuntimeError};
 pub use host::{HostRegistry, Signature};
+pub use profile::{BlockProfile, Profile};
 pub use value::Value;
 pub use vm::{Budget, Entry, Instance, VmStats};
 

@@ -9,6 +9,7 @@
 
 use crate::bytecode::{Op, Program};
 use crate::host::HostRegistry;
+use crate::profile::{BlockProfile, Profile};
 use crate::value::ops;
 use crate::{RuntimeError, Value};
 use std::sync::Arc;
@@ -94,6 +95,8 @@ pub struct Instance {
     host_map_generation: Option<u64>,
     /// Memo of the most recent string entry-point resolution.
     last_entry: Option<(Box<str>, Entry)>,
+    /// Sampling profiler state, if enabled for this instance.
+    profile: Option<Box<Profile>>,
 }
 
 impl Instance {
@@ -111,6 +114,7 @@ impl Instance {
             host_map: Vec::new(),
             host_map_generation: None,
             last_entry: None,
+            profile: None,
         }
     }
 
@@ -128,6 +132,35 @@ impl Instance {
     /// Counters from the most recent invocation.
     pub fn last_stats(&self) -> VmStats {
         self.last_stats
+    }
+
+    /// Turns on (or re-arms, discarding prior samples) the sampling
+    /// profiler at one sample per `sample_every` basic-block entries;
+    /// `0` turns profiling off.
+    pub fn enable_profiling(&mut self, sample_every: u32) {
+        self.profile =
+            if sample_every == 0 { None } else { Some(Box::new(Profile::new(sample_every))) };
+    }
+
+    /// Whether this instance is being profiled.
+    pub fn profiling_enabled(&self) -> bool {
+        self.profile.is_some()
+    }
+
+    /// Total profile samples recorded (0 when profiling is off).
+    pub fn profile_samples(&self) -> u64 {
+        self.profile.as_ref().map(|p| p.samples()).unwrap_or(0)
+    }
+
+    /// The aggregated profile, hottest block first (empty when
+    /// profiling is off).
+    pub fn profile_rows(&self) -> Vec<BlockProfile> {
+        self.profile.as_ref().map(|p| p.rows(&self.program)).unwrap_or_default()
+    }
+
+    /// The profile as folded-stack lines for flamegraph tooling.
+    pub fn profile_folded(&self) -> Vec<String> {
+        self.profile.as_ref().map(|p| p.folded(&self.program)).unwrap_or_default()
     }
 
     /// Reads a persistent global by name (dpi state inspection).
@@ -209,7 +242,15 @@ impl Instance {
             return Err(RuntimeError::BadInvocation { expected: arity, found: args.len() });
         }
         self.ensure_host_map(registry)?;
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.begin_invocation();
+        }
         let program = Arc::clone(&self.program);
+        // The sampling countdown lives in a plain Vm field while the VM
+        // runs (one memory decrement per block, profiled or not) and
+        // syncs back to the profiler at invocation boundaries so the
+        // 1-in-N phase carries across invocations.
+        let sample_countdown = self.profile.as_deref().map(|p| p.countdown()).unwrap_or(u32::MAX);
         let mut vm = Vm {
             program: &program,
             globals: &mut self.globals,
@@ -217,6 +258,8 @@ impl Instance {
             host_map: &self.host_map,
             budget,
             stats: VmStats::default(),
+            profiler: self.profile.as_deref_mut(),
+            sample_countdown,
         };
         let result = (|| {
             if !self.initialized {
@@ -226,6 +269,10 @@ impl Instance {
             vm.run(fn_idx, args.to_vec(), ctx)
         })();
         self.last_stats = vm.stats;
+        let sample_countdown = vm.sample_countdown;
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.set_countdown(sample_countdown);
+        }
         result
     }
 
@@ -270,9 +317,30 @@ struct Vm<'a, C> {
     host_map: &'a [usize],
     budget: Budget,
     stats: VmStats,
+    /// Sampling profiler hook, consulted only when `sample_countdown`
+    /// fires.
+    profiler: Option<&'a mut Profile>,
+    /// Blocks until the next profile sample; `u32::MAX` when profiling
+    /// is off, so the per-block cost is one decrement either way.
+    sample_countdown: u32,
 }
 
 impl<'a, C> Vm<'a, C> {
+    /// The sampled-block slow path: reloads the countdown and, when a
+    /// profiler is attached, records the sample. (Without one, this
+    /// fires at most once per ~4 billion blocks — the `u32::MAX`
+    /// sentinel wrapping around — and just re-arms the sentinel.)
+    #[cold]
+    fn record_sample(&mut self, stack: Vec<u32>, leader_ip: u32) {
+        match self.profiler.as_deref_mut() {
+            Some(p) => {
+                self.sample_countdown = p.sample_every();
+                p.record(stack, leader_ip, self.stats.fuel_used);
+            }
+            None => self.sample_countdown = u32::MAX,
+        }
+    }
+
     fn charge_fuel(&mut self, amount: u64) -> Result<(), RuntimeError> {
         self.stats.fuel_used += amount;
         if self.stats.fuel_used > self.budget.fuel {
@@ -334,6 +402,24 @@ impl<'a, C> Vm<'a, C> {
                 stack.pop().expect("compiler guarantees stack discipline")
             };
         }
+
+        // Profiler hook, invoked at every block-entry charge site. One
+        // plain countdown decrement per block — identical whether
+        // profiling is on (counts down from `sample_every`) or off
+        // (counts down from `u32::MAX`, i.e. never fires in practice) —
+        // with the profiler lookup, stack allocation and clock read
+        // confined to the sampled 1-in-N entries.
+        macro_rules! sample {
+            ($leader:expr) => {
+                self.sample_countdown -= 1;
+                if self.sample_countdown == 0 {
+                    let mut s: Vec<u32> = frames.iter().map(|f| f.func as u32).collect();
+                    s.push(func as u32);
+                    self.record_sample(s, $leader as u32);
+                }
+            };
+        }
+        sample!(0usize);
 
         loop {
             debug_assert!(ip < code.len(), "fell off function end");
@@ -431,6 +517,7 @@ impl<'a, C> Vm<'a, C> {
                 Op::Jump(t) => {
                     ip = t as usize;
                     self.charge_fuel(u64::from(charge[ip]))?;
+                    sample!(ip);
                 }
                 Op::JumpIfFalse(t) => {
                     let cond = pop!().as_condition()?;
@@ -438,6 +525,7 @@ impl<'a, C> Vm<'a, C> {
                         ip = t as usize;
                     }
                     self.charge_fuel(u64::from(charge[ip]))?;
+                    sample!(ip);
                 }
                 Op::AndJump(t) => {
                     let top = stack.last().expect("stack").clone();
@@ -447,6 +535,7 @@ impl<'a, C> Vm<'a, C> {
                         stack.pop();
                     }
                     self.charge_fuel(u64::from(charge[ip]))?;
+                    sample!(ip);
                 }
                 Op::OrJump(t) => {
                     let top = stack.last().expect("stack").clone();
@@ -456,6 +545,7 @@ impl<'a, C> Vm<'a, C> {
                         stack.pop();
                     }
                     self.charge_fuel(u64::from(charge[ip]))?;
+                    sample!(ip);
                 }
                 Op::Call { func: callee, argc } => {
                     // The current frame is not in `frames`, so the depth
@@ -479,6 +569,7 @@ impl<'a, C> Vm<'a, C> {
                     ip = 0;
                     self.stats.max_depth = self.stats.max_depth.max(frames.len() as u32 + 1);
                     self.charge_fuel(u64::from(charge[0]))?;
+                    sample!(0usize);
                 }
                 Op::CallHost { host, argc } => {
                     self.stats.host_calls += 1;
@@ -491,6 +582,7 @@ impl<'a, C> Vm<'a, C> {
                     // A host call ends its basic block; charge the
                     // resumption block.
                     self.charge_fuel(u64::from(charge[ip]))?;
+                    sample!(ip);
                 }
                 Op::Return => {
                     let v = pop!();
@@ -505,6 +597,7 @@ impl<'a, C> Vm<'a, C> {
                             charge = &f.charge;
                             stack.push(v);
                             self.charge_fuel(u64::from(charge[ip]))?;
+                            sample!(ip);
                         }
                     }
                 }

@@ -326,6 +326,30 @@ impl<T: Transport> RdsClient<T> {
             other => Err(unexpected(&other)),
         }
     }
+
+    /// Reads a retained span tree (`trace_id` 0 = the most recently
+    /// retained, anomalous trees first) and the VM profiler's folded
+    /// stacks (`dpi` 0 = all profiled instances). Returns the whole
+    /// [`RdsResponse::Profile`] payload as
+    /// `(trace_id, kept, spans, stacks)`.
+    ///
+    /// # Errors
+    ///
+    /// `Remote(AccessDenied)` without `list` rights; transport/codec
+    /// errors otherwise.
+    #[allow(clippy::type_complexity)]
+    pub fn read_profile(
+        &self,
+        trace_id: u64,
+        dpi: u64,
+    ) -> Result<(u64, String, Vec<crate::SpanRecord>, Vec<String>), RdsError> {
+        match self.roundtrip(&RdsRequest::ReadProfile { trace_id, dpi })? {
+            RdsResponse::Profile { trace_id, kept, spans, stacks } => {
+                Ok((trace_id, kept, spans, stacks))
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
 }
 
 fn unexpected(resp: &RdsResponse) -> RdsError {

@@ -182,6 +182,10 @@ pub fn encode_request_traced(
             RdsRequest::ReadJournal { max_records } => {
                 w.write_i64(i64::from(*max_records));
             }
+            RdsRequest::ReadProfile { trace_id, dpi } => {
+                w.write_i64(*trace_id as i64);
+                w.write_i64(*dpi as i64);
+            }
         });
     });
     seal_traced(w.into_bytes(), key, trace)
@@ -253,6 +257,10 @@ pub fn decode_request_traced(
                 10 => Some(RdsRequest::ReadJournal {
                     max_records: r.read_i64()?.clamp(0, i64::from(u32::MAX)) as u32,
                 }),
+                11 => Some(RdsRequest::ReadProfile {
+                    trace_id: r.read_i64()? as u64,
+                    dpi: r.read_i64()? as u64,
+                }),
                 _ => {
                     // Drain so expect_end passes; flag after.
                     while !r.at_end() {
@@ -323,6 +331,27 @@ pub fn encode_response_traced(
                     });
                 }
             }),
+            RdsResponse::Profile { trace_id, kept, spans, stacks } => {
+                w.write_i64(*trace_id as i64);
+                w.write_octet_string(kept.as_bytes());
+                w.write_sequence(|w| {
+                    for s in spans {
+                        w.write_sequence(|w| {
+                            w.write_i64(s.trace_id as i64);
+                            w.write_i64(s.span_id as i64);
+                            w.write_i64(s.parent_span_id as i64);
+                            w.write_octet_string(s.name.as_bytes());
+                            w.write_i64(s.start_ns as i64);
+                            w.write_i64(s.duration_ns as i64);
+                        });
+                    }
+                });
+                w.write_sequence(|w| {
+                    for line in stacks {
+                        w.write_octet_string(line.as_bytes());
+                    }
+                });
+            }
         });
     });
     seal_traced(w.into_bytes(), key, trace)
@@ -387,6 +416,33 @@ pub fn decode_response_traced(
                 5 => Some(RdsResponse::Error {
                     code: ErrorCode::from_code(r.read_i64()?),
                     message: read_string(r)?,
+                }),
+                7 => Some(RdsResponse::Profile {
+                    trace_id: r.read_i64()? as u64,
+                    kept: read_string(r)?,
+                    spans: r.read_sequence(|r| {
+                        let mut out = Vec::new();
+                        while !r.at_end() {
+                            out.push(r.read_sequence(|r| {
+                                Ok(crate::SpanRecord {
+                                    trace_id: r.read_i64()? as u64,
+                                    span_id: r.read_i64()? as u64,
+                                    parent_span_id: r.read_i64()? as u64,
+                                    name: read_string(r)?,
+                                    start_ns: r.read_i64()? as u64,
+                                    duration_ns: r.read_i64()? as u64,
+                                })
+                            })?);
+                        }
+                        Ok(out)
+                    })?,
+                    stacks: r.read_sequence(|r| {
+                        let mut out = Vec::new();
+                        while !r.at_end() {
+                            out.push(read_string(r)?);
+                        }
+                        Ok(out)
+                    })?,
                 }),
                 6 => Some(RdsResponse::Journal {
                     records: r.read_sequence(|r| {
@@ -507,6 +563,7 @@ mod tests {
             RdsRequest::ListPrograms,
             RdsRequest::ListInstances,
             RdsRequest::ReadJournal { max_records: 64 },
+            RdsRequest::ReadProfile { trace_id: 0xFEED, dpi: 3 },
         ]
     }
 
@@ -553,6 +610,29 @@ mod tests {
                         detail: "busy_ns 1000 > 500".to_string(),
                     },
                 ],
+            },
+            RdsResponse::Profile {
+                trace_id: 0xFACE,
+                kept: "slow".to_string(),
+                spans: vec![
+                    crate::SpanRecord {
+                        trace_id: 0xFACE,
+                        span_id: 2,
+                        parent_span_id: 1,
+                        name: "ep.invoke".to_string(),
+                        start_ns: 500,
+                        duration_ns: 900,
+                    },
+                    crate::SpanRecord {
+                        trace_id: 0xFACE,
+                        span_id: 1,
+                        parent_span_id: 0,
+                        name: "rds.request".to_string(),
+                        start_ns: 100,
+                        duration_ns: 2_000,
+                    },
+                ],
+                stacks: vec!["dpi-3;main;leaf@12 340".to_string()],
             },
         ]
     }

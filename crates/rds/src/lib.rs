@@ -73,7 +73,9 @@ pub use client::RdsClient;
 pub use dedup::{frame_fingerprint, DedupCache, DedupOutcome, DEFAULT_DEDUP_CAPACITY};
 pub use error::{ErrorCode, RdsError};
 pub use fault::{Fault, FaultConfig, FaultDuplex, FaultTransport};
-pub use msg::{AuditRecord, DpiId, DpiState, DpiSummary, RdsRequest, RdsResponse, TraceContext};
+pub use msg::{
+    AuditRecord, DpiId, DpiState, DpiSummary, RdsRequest, RdsResponse, SpanRecord, TraceContext,
+};
 pub use pipeline::{FrameDuplex, RdsPipeline, TcpDuplex};
 pub use retry::RetryPolicy;
 pub use server::{AuditEvent, RdsHandler, RdsServer};

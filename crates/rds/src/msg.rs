@@ -114,6 +114,24 @@ impl fmt::Display for DpiState {
     }
 }
 
+/// One span of a [`RdsResponse::Profile`] tree: a named interval with a
+/// parent edge, enough to reconstruct the request's waterfall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's id (unique within the server's telemetry domain).
+    pub span_id: u64,
+    /// The enclosing span's id (0 = root).
+    pub parent_span_id: u64,
+    /// Operation name (`rds.request`, `ep.invoke`, …).
+    pub name: String,
+    /// Start offset, ns since the server's telemetry epoch.
+    pub start_ns: u64,
+    /// Duration in ns.
+    pub duration_ns: u64,
+}
+
 /// One row of a `ListInstances` response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DpiSummary {
@@ -189,6 +207,15 @@ pub enum RdsRequest {
         /// Upper bound on returned records (newest win).
         max_records: u32,
     },
+    /// Read a retained span tree and/or the VM profiler's folded stacks.
+    ReadProfile {
+        /// Trace id of the span tree to fetch (0 = the most recently
+        /// retained tree, anomalous trees first).
+        trace_id: u64,
+        /// Restrict the folded stacks to one dpi (0 = all profiled
+        /// dpis, each line prefixed `dpi-N;`).
+        dpi: u64,
+    },
 }
 
 impl RdsRequest {
@@ -206,6 +233,7 @@ impl RdsRequest {
             RdsRequest::ListPrograms => 8,
             RdsRequest::ListInstances => 9,
             RdsRequest::ReadJournal { .. } => 10,
+            RdsRequest::ReadProfile { .. } => 11,
         }
     }
 
@@ -224,6 +252,7 @@ impl RdsRequest {
             RdsRequest::ListPrograms => "list_programs",
             RdsRequest::ListInstances => "list_instances",
             RdsRequest::ReadJournal { .. } => "read_journal",
+            RdsRequest::ReadProfile { .. } => "read_profile",
         }
     }
 
@@ -287,6 +316,19 @@ pub enum RdsResponse {
         /// Audit records, oldest first.
         records: Vec<AuditRecord>,
     },
+    /// `ReadProfile` result.
+    Profile {
+        /// Trace id of the returned tree (0 = no tree retained).
+        trace_id: u64,
+        /// Why the tree was retained (`slow`, `error`, `frozen`,
+        /// `reservoir`; the flight recorder appends its trigger, e.g.
+        /// `frozen: p99 breach`). Empty when no tree matched.
+        kept: String,
+        /// The tree's spans, in ring (completion) order.
+        spans: Vec<SpanRecord>,
+        /// Folded-stack lines from the VM profiler, hottest first.
+        stacks: Vec<String>,
+    },
 }
 
 impl RdsResponse {
@@ -300,6 +342,7 @@ impl RdsResponse {
             RdsResponse::Instances { .. } => 4,
             RdsResponse::Error { .. } => 5,
             RdsResponse::Journal { .. } => 6,
+            RdsResponse::Profile { .. } => 7,
         }
     }
 }
@@ -334,6 +377,7 @@ mod tests {
             RdsRequest::ListPrograms,
             RdsRequest::ListInstances,
             RdsRequest::ReadJournal { max_records: 0 },
+            RdsRequest::ReadProfile { trace_id: 0, dpi: 0 },
         ];
         let mut tags: Vec<u8> = reqs.iter().map(RdsRequest::op_tag).collect();
         tags.dedup();

@@ -98,12 +98,24 @@ pub(crate) struct ReadOutcome {
     pub eof: bool,
 }
 
+/// A complete frame waiting for a free in-flight slot, carrying the
+/// socket-read interval that produced it (feeds the request's
+/// `rds.conn.read` span).
+pub(crate) struct ParkedFrame {
+    pub bytes: Vec<u8>,
+    /// When reading toward this frame began: the prior partial read if
+    /// one was pending, else the read pass that completed it.
+    pub recv_start: Instant,
+    /// When the frame was completely assembled.
+    pub recv_done: Instant,
+}
+
 /// One live connection owned by the reactor.
 pub(crate) struct Connection {
     pub stream: TcpStream,
     pub assembler: FrameAssembler,
     /// Complete frames waiting for a free in-flight slot.
-    pub parked_frames: VecDeque<Vec<u8>>,
+    pub parked_frames: VecDeque<ParkedFrame>,
     /// Queued wire bytes (each entry is one length-prefixed response);
     /// the front entry may be partially written.
     write_queue: VecDeque<Vec<u8>>,

@@ -28,6 +28,10 @@ pub(crate) struct Job {
     /// The reactor token of the connection that sent the frame.
     pub token: usize,
     pub frame: Vec<u8>,
+    /// Socket-read interval that produced the frame (from the reactor;
+    /// becomes the request's `rds.conn.read` span).
+    pub recv_start: Instant,
+    pub recv_done: Instant,
     /// When the reactor queued it — `rds.tcp.queue_wait` measures
     /// execution-tier saturation from here.
     pub enqueued: Instant,
@@ -148,6 +152,14 @@ fn worker_loop(shared: &ExecShared) {
             }
         };
         shared.metrics.queue_wait.record_duration(job.enqueued.elapsed());
+        // Hand the reactor-side timing to the RDS front-end, which
+        // stitches it into the request's span tree with exact intervals.
+        crate::server::set_job_timing(crate::server::JobTiming {
+            recv_start: job.recv_start,
+            recv_done: job.recv_done,
+            enqueued: job.enqueued,
+            dequeued: Instant::now(),
+        });
         let span = shared.metrics.request.start();
         let outcome = catch_unwind(AssertUnwindSafe(|| (shared.respond)(&job.frame)));
         drop(span);

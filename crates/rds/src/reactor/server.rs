@@ -361,9 +361,15 @@ impl Reactor {
         {
             let Some(conn) = self.conns.get_mut(&token) else { return };
             if ev.readable && !conn.peer_closed {
+                // The read interval attributed to frames completed by
+                // this pass starts at the prior partial read, if any.
+                let read_began = conn.frame_started.unwrap_or_else(Instant::now);
                 match conn.read_ready() {
                     Ok(outcome) => {
-                        conn.parked_frames.extend(outcome.frames);
+                        let recv_done = Instant::now();
+                        conn.parked_frames.extend(outcome.frames.into_iter().map(|bytes| {
+                            super::conn::ParkedFrame { bytes, recv_start: read_began, recv_done }
+                        }));
                         if outcome.eof {
                             conn.peer_closed = true;
                         }
@@ -392,17 +398,23 @@ impl Reactor {
     fn pump(&mut self, token: usize) {
         let max_in_flight = self.config.max_in_flight_per_conn.max(1);
         loop {
-            let frame = {
+            let parked = {
                 let Some(conn) = self.conns.get_mut(&token) else { return };
                 if conn.in_flight >= max_in_flight {
                     return;
                 }
                 match conn.parked_frames.pop_front() {
-                    Some(frame) => frame,
+                    Some(parked) => parked,
                     None => return,
                 }
             };
-            match self.executor.submit(Job { token, frame, enqueued: Instant::now() }) {
+            match self.executor.submit(Job {
+                token,
+                frame: parked.bytes,
+                recv_start: parked.recv_start,
+                recv_done: parked.recv_done,
+                enqueued: Instant::now(),
+            }) {
                 Ok(()) => {
                     self.outstanding += 1;
                     if let Some(conn) = self.conns.get_mut(&token) {

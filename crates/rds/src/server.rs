@@ -2,18 +2,67 @@ use crate::dedup::{frame_fingerprint, DedupCache, DedupOutcome};
 use crate::{codec, ErrorCode, RdsRequest, RdsResponse, TraceContext};
 use mbd_auth::{Acl, Operation, Principal};
 use mbd_telemetry::{Counter, Telemetry, Timer};
+use std::cell::Cell;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Cross-thread timing for one request, measured on the reactor side
+/// (socket read interval, executor queue wait) and handed to the worker
+/// that processes the frame. Carried as [`Instant`]s, not offsets, so
+/// the receiving telemetry domain can place them on its own epoch.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct JobTiming {
+    /// When the frame's first bytes were read off the socket.
+    pub(crate) recv_start: Instant,
+    /// When the frame was completely assembled.
+    pub(crate) recv_done: Instant,
+    /// When the frame entered the executor queue.
+    pub(crate) enqueued: Instant,
+    /// When a worker picked it up.
+    pub(crate) dequeued: Instant,
+}
+
+thread_local! {
+    /// Set by the executor's worker loop just before `process`, taken by
+    /// `process` to stitch reactor-side intervals into the request tree.
+    static JOB_TIMING: Cell<Option<JobTiming>> = const { Cell::new(None) };
+}
+
+/// Stages reactor-side timing for the next `process` call on this thread.
+pub(crate) fn set_job_timing(timing: JobTiming) {
+    JOB_TIMING.with(|t| t.set(Some(timing)));
+}
+
+fn take_job_timing() -> Option<JobTiming> {
+    JOB_TIMING.with(Cell::take)
+}
 
 /// Pre-resolved timers for the protocol front-end: BER decode time plus
 /// one latency histogram per RDS verb (`rds.decode`, `rds.verb.<name>`
 /// — resolved once here so the per-request cost is a clock read and a
 /// lock-free record), plus per-error-kind decode-failure counters
 /// (`rds.decode_fail.<kind>`).
+///
+/// When tracing is enabled on the telemetry domain, these timers also
+/// emit the request's span tree: `rds.request` is the server-side root,
+/// with `rds.conn.read`, `rds.conn.queue_wait` (from the reactor's
+/// [`JobTiming`]), `rds.decode`, `rds.verb.<name>` and `rds.encode` as
+/// children, and whatever the handler records (e.g. `ep.invoke` →
+/// `ep.vm_run`) nested below the verb.
 #[derive(Debug, Clone)]
 struct RdsTimers {
+    /// The owning domain, for trace capture and tail-sampling retention.
+    telemetry: Telemetry,
+    /// `rds.request` — the server-side root span of every request.
+    request: Timer,
     decode: Timer,
+    encode: Timer,
+    /// Socket-read interval of the frame (reactor path only).
+    conn_read: Timer,
+    /// Executor queue wait, from the job's explicit enqueue timestamp.
+    conn_queue: Timer,
     /// Indexed by [`RdsRequest::op_tag`].
-    verbs: [Timer; 11],
+    verbs: [Timer; 12],
     decode_fail_bad_digest: Counter,
     decode_fail_codec: Counter,
     decode_fail_unknown_op: Counter,
@@ -26,7 +75,12 @@ impl RdsTimers {
     fn new(telemetry: &Telemetry) -> RdsTimers {
         let verb = |name: &str| telemetry.timer(&format!("rds.verb.{name}"));
         RdsTimers {
+            telemetry: telemetry.clone(),
+            request: telemetry.timer("rds.request"),
             decode: telemetry.timer("rds.decode"),
+            encode: telemetry.timer("rds.encode"),
+            conn_read: telemetry.timer("rds.conn.read"),
+            conn_queue: telemetry.timer("rds.conn.queue_wait"),
             verbs: [
                 verb("delegate"),
                 verb("delete"),
@@ -39,6 +93,7 @@ impl RdsTimers {
                 verb("list_programs"),
                 verb("list_instances"),
                 verb("read_journal"),
+                verb("read_profile"),
             ],
             decode_fail_bad_digest: telemetry.counter("rds.decode_fail.bad_digest"),
             decode_fail_codec: telemetry.counter("rds.decode_fail.codec"),
@@ -162,9 +217,10 @@ fn required_operation(req: &RdsRequest) -> Operation {
         RdsRequest::Suspend { .. } | RdsRequest::Resume { .. } | RdsRequest::Terminate { .. } => {
             Operation::Control
         }
-        RdsRequest::ListPrograms | RdsRequest::ListInstances | RdsRequest::ReadJournal { .. } => {
-            Operation::List
-        }
+        RdsRequest::ListPrograms
+        | RdsRequest::ListInstances
+        | RdsRequest::ReadJournal { .. }
+        | RdsRequest::ReadProfile { .. } => Operation::List,
     }
 }
 
@@ -236,17 +292,45 @@ impl<H: RdsHandler> RdsServer<H> {
     /// is distinguished by the `rds.decode_fail.<kind>` counters and the
     /// audit event.
     pub fn process(&self, bytes: &[u8]) -> Vec<u8> {
-        let decode_span = self.timers.as_ref().map(|t| t.decode.start());
+        // Reactor-side timing, staged by the worker loop before this
+        // call (None on direct/in-process transports). Taken up front so
+        // a stale value can never leak into a later request.
+        let timing = take_job_timing();
+        // Decode is measured with raw instants, not a guard: the trace
+        // id is unknown until the frame decodes, so its span is emitted
+        // retroactively under the request root below.
+        let decode_start = Instant::now();
         let decoded = codec::decode_request_traced(bytes, self.key.as_deref());
-        drop(decode_span);
+        let decode_end = Instant::now();
         let (request, principal, request_id, trace) = match decoded {
             Ok(parts) => parts,
-            Err(e) => return self.decode_failure(bytes, &e),
+            Err(e) => {
+                if let Some(t) = &self.timers {
+                    t.decode.record_interval(decode_start, decode_end);
+                }
+                return self.decode_failure(bytes, &e);
+            }
         };
         // Everything the request causes on this thread — spans,
         // notifications, log lines, journal records — is stamped with
-        // its trace id until the guard drops.
-        let _trace_scope = mbd_telemetry::enter_trace(trace.trace_id);
+        // its trace id until the guard drops; the wire parent seeds the
+        // span stack so relayed requests nest under their caller.
+        let _trace_scope =
+            mbd_telemetry::enter_trace_with_parent(trace.trace_id, trace.parent_span_id);
+        if let Some(t) = &self.timers {
+            t.telemetry.begin_trace_capture();
+        }
+        // The server-side root span: socket read, queue wait and decode
+        // already happened, so they are stitched in as children with
+        // their exact measured intervals.
+        let root_span = self.timers.as_ref().map(|t| t.request.start());
+        if let Some(t) = &self.timers {
+            if let Some(j) = timing {
+                t.conn_read.record_interval(j.recv_start, j.recv_done);
+                t.conn_queue.record_interval(j.enqueued, j.dequeued);
+            }
+            t.decode.record_interval(decode_start, decode_end);
+        }
         let verb = request.verb();
         let dpi = request.dpi().map_or(0, |d| d.0);
         // Duplicate suppression: a retried frame (identical bytes under
@@ -277,6 +361,10 @@ impl<H: RdsHandler> RdsServer<H> {
                                 bytes_out: replay.len() as u64,
                             });
                         }
+                        if let Some(t) = &self.timers {
+                            let duration_ns = root_span.map_or(0, mbd_telemetry::Span::finish);
+                            t.telemetry.finish_trace(trace.trace_id, duration_ns, false);
+                        }
                         return replay;
                     }
                     DedupOutcome::Execute => {
@@ -295,8 +383,9 @@ impl<H: RdsHandler> RdsServer<H> {
                 }
             }
         }
-        // The verb span covers authorization, dispatch and response
-        // encoding — everything the server does for a decoded request.
+        // The verb span covers authorization and dispatch; response
+        // encoding gets its own span so the tree separates handler time
+        // from serialization time.
         let verb_span = self.timers.as_ref().map(|t| t.verbs[request.op_tag() as usize].start());
         let op = required_operation(&request);
         let response = if self.acl.allows(&principal, op, request.dp_name()) {
@@ -307,13 +396,16 @@ impl<H: RdsHandler> RdsServer<H> {
                 message: format!("{principal} may not {op}"),
             }
         };
+        drop(verb_span);
+        let encode_span = self.timers.as_ref().map(|t| t.encode.start());
         let encoded =
             codec::encode_response_traced(&response, request_id, self.key.as_deref(), trace);
-        drop(verb_span);
+        drop(encode_span);
         if let Some(mut claim) = claim {
             claim.cache.complete(&claim.principal, request_id, claim.fingerprint, &encoded);
             claim.armed = false;
         }
+        let errored = matches!(response, RdsResponse::Error { .. });
         if let Some(sink) = &self.audit {
             let (ok, detail) = match &response {
                 RdsResponse::Error { code, message } => (false, format!("{code}: {message}")),
@@ -329,6 +421,12 @@ impl<H: RdsHandler> RdsServer<H> {
                 bytes_in: bytes.len() as u64,
                 bytes_out: encoded.len() as u64,
             });
+        }
+        // Close the root and offer the completed tree to the
+        // tail-sampling store (kept if slow, errored, or by reservoir).
+        if let Some(t) = &self.timers {
+            let duration_ns = root_span.map_or(0, mbd_telemetry::Span::finish);
+            t.telemetry.finish_trace(trace.trace_id, duration_ns, errored);
         }
         encoded
     }

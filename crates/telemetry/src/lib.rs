@@ -11,9 +11,13 @@
 //! - [`registry`] — named [`Counter`]s, [`Gauge`]s and histograms
 //!   behind one [`Registry`];
 //! - [`span`] — RAII [`Timer`]/[`Span`] pairs recording into the
-//!   registry, optionally emitting structured [`TraceEvent`]s;
+//!   registry, optionally emitting structured [`TraceEvent`]s with
+//!   parent edges (span trees);
 //! - [`trace`] — the bounded drop-oldest [`TraceRing`] (the same queue
-//!   discipline as the elastic process's notification outbox).
+//!   discipline as the elastic process's notification outbox), span-id
+//!   context and interned span names;
+//! - [`store`] — tail-sampled retention of completed span trees plus
+//!   the flight recorder's frozen snapshots.
 //!
 //! A [`Telemetry`] handle ties these together and is cheaply cloneable:
 //! the elastic process, the RDS front-end and the health observers all
@@ -42,12 +46,17 @@
 pub mod hist;
 pub mod registry;
 pub mod span;
+pub mod store;
 pub mod trace;
 
 pub use hist::{bucket_bound_ns, HistSnapshot, Histogram, BUCKETS};
 pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
 pub use span::{OwnedSpan, Span, Timer};
-pub use trace::{current_trace_id, enter_trace, TraceEvent, TraceRing, TraceScope};
+pub use store::{Keep, TraceStore, TraceStoreConfig, TraceTree};
+pub use trace::{
+    current_span_id, current_trace_id, enter_trace, enter_trace_with_parent, next_span_id,
+    NameTable, TraceEvent, TraceRing, TraceScope,
+};
 
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -56,6 +65,8 @@ use std::time::Instant;
 pub(crate) struct TelemetryInner {
     pub(crate) registry: Registry,
     pub(crate) ring: OnceLock<Arc<TraceRing>>,
+    pub(crate) store: OnceLock<Arc<TraceStore>>,
+    pub(crate) names: Arc<NameTable>,
     pub(crate) epoch: Instant,
 }
 
@@ -83,6 +94,8 @@ impl Telemetry {
             inner: Arc::new(TelemetryInner {
                 registry: Registry::new(),
                 ring: OnceLock::new(),
+                store: OnceLock::new(),
+                names: Arc::new(NameTable::default()),
                 epoch: Instant::now(),
             }),
         }
@@ -104,10 +117,12 @@ impl Telemetry {
     }
 
     /// A pre-resolved timing handle for `name` — resolve once, then
-    /// [`Timer::start`] per operation on the hot path.
+    /// [`Timer::start`] per operation on the hot path. The name is
+    /// interned here, so recording a span is allocation-free.
     pub fn timer(&self, name: &str) -> Timer {
         Timer {
             name: Arc::from(name),
+            name_id: self.inner.names.intern(name),
             hist: self.inner.registry.histogram(name),
             inner: Arc::clone(&self.inner),
         }
@@ -116,14 +131,25 @@ impl Telemetry {
     /// Starts a span for `name`, resolving the metric now (convenient
     /// for cold paths; hot paths should hold a [`Timer`]).
     pub fn span(&self, name: &str) -> OwnedSpan {
-        OwnedSpan { timer: self.timer(name), start: Instant::now(), finished: false }
+        let timer = self.timer(name);
+        let ctx = if self.inner.ring.get().is_some() {
+            let id = trace::next_span_id();
+            let parent = trace::push_span(id);
+            Some((id, parent))
+        } else {
+            None
+        };
+        OwnedSpan { timer, start: Instant::now(), finished: false, ctx }
     }
 
     /// Turns on structured tracing with a drop-oldest ring of
     /// `capacity` events. Returns `false` (leaving the original ring in
     /// place) if tracing was already enabled.
     pub fn enable_tracing(&self, capacity: usize) -> bool {
-        self.inner.ring.set(Arc::new(TraceRing::new(capacity))).is_ok()
+        self.inner
+            .ring
+            .set(Arc::new(TraceRing::with_names(capacity, Arc::clone(&self.inner.names))))
+            .is_ok()
     }
 
     /// Whether [`enable_tracing`](Telemetry::enable_tracing) happened.
@@ -131,9 +157,75 @@ impl Telemetry {
         self.inner.ring.get().is_some()
     }
 
+    /// Turns on tail-sampled span-tree retention (see [`TraceStore`]).
+    /// Requires (and implies nothing about) tracing: enable both to get
+    /// trees. Returns `false` if a store was already installed.
+    pub fn enable_trace_store(&self, config: TraceStoreConfig) -> bool {
+        self.inner.store.set(Arc::new(TraceStore::new(config))).is_ok()
+    }
+
+    /// The tail-sampling store, if enabled.
+    pub fn trace_store(&self) -> Option<Arc<TraceStore>> {
+        self.inner.store.get().cloned()
+    }
+
+    /// Arms per-thread span capture for one request (no-op unless both
+    /// tracing and the trace store are enabled). Pair with
+    /// [`Telemetry::finish_trace`].
+    pub fn begin_trace_capture(&self) {
+        if self.inner.ring.get().is_some() && self.inner.store.get().is_some() {
+            trace::begin_capture();
+        }
+    }
+
+    /// Ends a request's span capture and offers the collected tree to
+    /// the tail-sampling store with the request's outcome. Returns the
+    /// retention decision (None when capture was never armed).
+    ///
+    /// Name resolution (and the per-span allocations it implies) only
+    /// happens for trees the store decides to retain — a healthy request
+    /// the reservoir thins out costs one atomic and nothing else here.
+    pub fn finish_trace(&self, trace_id: u64, duration_ns: u64, errored: bool) -> Option<Keep> {
+        let raw = trace::take_capture();
+        let (ring, store) = (self.inner.ring.get()?, self.inner.store.get()?);
+        if raw.is_empty() {
+            return None;
+        }
+        // The staged batch becomes ring history (the flight recorder's
+        // view) under one lock, whatever the store decides below.
+        ring.append_raw(&raw);
+        let kept = store.offer_with(trace_id, duration_ns, errored, || ring.resolve_all(&raw));
+        trace::recycle_capture(raw);
+        Some(kept)
+    }
+
+    /// The flight recorder's freeze: snapshots the current ring
+    /// contents (without draining them) and files them in the trace
+    /// store as a frozen tree under `trace_id`. Returns the number of
+    /// spans frozen (0 when tracing or the store is off).
+    ///
+    /// A freeze fired mid-request on the request's own thread (e.g. a
+    /// quota breach) also includes the spans its in-progress capture
+    /// has staged but not yet flushed to the ring.
+    pub fn flight_freeze(&self, trace_id: u64, reason: &str) -> usize {
+        let (Some(ring), Some(store)) = (self.inner.ring.get(), self.inner.store.get()) else {
+            return 0;
+        };
+        let mut spans = ring.snapshot();
+        spans.extend(ring.resolve_all(&trace::capture_snapshot()));
+        let n = spans.len();
+        store.freeze(trace_id, reason, spans);
+        n
+    }
+
     /// Drains the trace ring (empty when tracing is off).
     pub fn trace_events(&self) -> Vec<TraceEvent> {
         self.inner.ring.get().map(|r| r.drain()).unwrap_or_default()
+    }
+
+    /// A copy of the trace ring without draining it.
+    pub fn trace_snapshot(&self) -> Vec<TraceEvent> {
+        self.inner.ring.get().map(|r| r.snapshot()).unwrap_or_default()
     }
 
     /// Trace events evicted before being drained.
@@ -205,5 +297,52 @@ mod tests {
         let b = Telemetry::new();
         a.counter("x").inc();
         assert_eq!(b.snapshot().counter("x"), None);
+    }
+
+    #[test]
+    fn capture_offers_a_tree_to_the_store() {
+        let tel = Telemetry::new();
+        tel.enable_tracing(64);
+        tel.enable_trace_store(TraceStoreConfig::default());
+        let timer = tel.timer("req.root");
+        let child = tel.timer("req.child");
+        tel.begin_trace_capture();
+        {
+            let _scope = enter_trace(0xCAFE);
+            let root = timer.start();
+            child.start().finish();
+            root.finish();
+        }
+        assert_eq!(tel.finish_trace(0xCAFE, 1_000, false), Some(Keep::Reservoir));
+        let tree = tel.trace_store().unwrap().tree(0xCAFE).expect("tree retained");
+        assert_eq!(tree.spans.len(), 2);
+        let root = tree.spans.iter().find(|s| s.name == "req.root").unwrap();
+        let child = tree.spans.iter().find(|s| s.name == "req.child").unwrap();
+        assert_eq!(child.parent_span_id, root.span_id);
+    }
+
+    #[test]
+    fn flight_freeze_snapshots_without_draining() {
+        let tel = Telemetry::new();
+        tel.enable_tracing(64);
+        tel.enable_trace_store(TraceStoreConfig::default());
+        {
+            let _scope = enter_trace(0xF1);
+            tel.timer("work").start().finish();
+        }
+        let frozen = tel.flight_freeze(0xF1, "p99 breach");
+        assert_eq!(frozen, 1);
+        assert_eq!(tel.trace_snapshot().len(), 1, "the ring still holds its events");
+        let tree = tel.trace_store().unwrap().tree(0xF1).unwrap();
+        assert_eq!(tree.kept, Keep::Frozen);
+        assert_eq!(tree.reason, "p99 breach");
+    }
+
+    #[test]
+    fn finish_without_capture_is_none() {
+        let tel = Telemetry::new();
+        tel.enable_tracing(16);
+        tel.enable_trace_store(TraceStoreConfig::default());
+        assert_eq!(tel.finish_trace(1, 1, false), None);
     }
 }

@@ -8,9 +8,14 @@
 //!
 //! Dropping a [`Span`] records it; [`Span::finish`] records explicitly
 //! and returns the duration for callers that also want the number.
+//!
+//! When tracing is on, a live span is also the thread's *innermost*
+//! span: spans that finish inside it record it as their parent, so the
+//! flat ring reconstructs into per-request trees. Timer names are
+//! interned once at construction, so recording allocates nothing.
 
 use crate::hist::Histogram;
-use crate::TelemetryInner;
+use crate::{trace, TelemetryInner};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -18,6 +23,7 @@ use std::time::Instant;
 #[derive(Debug, Clone)]
 pub struct Timer {
     pub(crate) name: Arc<str>,
+    pub(crate) name_id: u32,
     pub(crate) hist: Arc<Histogram>,
     pub(crate) inner: Arc<TelemetryInner>,
 }
@@ -26,12 +32,24 @@ impl Timer {
     /// Starts a span; it records into this timer's histogram when
     /// dropped or finished.
     pub fn start(&self) -> Span<'_> {
-        Span { timer: self, start: Instant::now(), finished: false }
+        Span { timer: self, start: Instant::now(), finished: false, ctx: self.enter_ctx() }
     }
 
     /// The metric name this timer records under.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// When tracing is on, allocates a span id and makes it the
+    /// thread's innermost span, returning `(span_id, parent)`.
+    fn enter_ctx(&self) -> Option<(u64, u64)> {
+        if self.inner.ring.get().is_some() {
+            let id = trace::next_span_id();
+            let parent = trace::push_span(id);
+            Some((id, parent))
+        } else {
+            None
+        }
     }
 
     /// Records an already-measured duration (for callers that time
@@ -46,14 +64,44 @@ impl Timer {
         self.hist.record(saturating_ns(duration));
     }
 
-    fn record_span(&self, start: Instant) -> u64 {
+    /// Records a span whose interval was measured externally — e.g. on
+    /// the reactor thread, before the request's trace id was known —
+    /// as a child of *this* thread's innermost span. The request
+    /// front-end uses this to stitch cross-thread work (socket reads,
+    /// queue wait) into the request's tree with exact timestamps
+    /// instead of racing guards across threads. Returns the recorded
+    /// span's id (0 when tracing is off).
+    pub fn record_interval(&self, start: Instant, end: Instant) -> u64 {
+        let duration_ns = saturating_ns(end.saturating_duration_since(start));
+        self.hist.record(duration_ns);
+        if let Some(ring) = self.inner.ring.get() {
+            let span_id = trace::next_span_id();
+            let start_ns = saturating_ns(start.saturating_duration_since(self.inner.epoch));
+            ring.push_id(self.name_id, span_id, trace::current_span_id(), start_ns, duration_ns);
+            span_id
+        } else {
+            0
+        }
+    }
+
+    fn record_span(&self, start: Instant, ctx: Option<(u64, u64)>) -> u64 {
         let duration_ns = saturating_ns(start.elapsed());
         self.hist.record(duration_ns);
         // One atomic load when tracing is off; the ring only exists
         // after `enable_tracing`.
         if let Some(ring) = self.inner.ring.get() {
-            let start_ns = saturating_ns(start.duration_since(self.inner.epoch));
-            ring.push(&self.name, start_ns, duration_ns);
+            let (span_id, parent) =
+                ctx.unwrap_or_else(|| (trace::next_span_id(), trace::current_span_id()));
+            let start_ns = saturating_ns(start.saturating_duration_since(self.inner.epoch));
+            ring.push_id(self.name_id, span_id, parent, start_ns, duration_ns);
+        }
+        if let Some((span_id, parent)) = ctx {
+            // Restore only if we are still the innermost span on this
+            // thread — an owned span dropped on another thread must not
+            // clobber that thread's context.
+            if trace::current_span_id() == span_id {
+                trace::pop_span(parent);
+            }
         }
         duration_ns
     }
@@ -70,6 +118,7 @@ pub struct Span<'a> {
     timer: &'a Timer,
     start: Instant,
     finished: bool,
+    ctx: Option<(u64, u64)>,
 }
 
 impl Span<'_> {
@@ -77,14 +126,19 @@ impl Span<'_> {
     /// nanoseconds.
     pub fn finish(mut self) -> u64 {
         self.finished = true;
-        self.timer.record_span(self.start)
+        self.timer.record_span(self.start, self.ctx)
+    }
+
+    /// This span's id (0 when tracing is off).
+    pub fn span_id(&self) -> u64 {
+        self.ctx.map(|(id, _)| id).unwrap_or(0)
     }
 }
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
         if !self.finished {
-            let _ = self.timer.record_span(self.start);
+            let _ = self.timer.record_span(self.start, self.ctx);
         }
     }
 }
@@ -98,6 +152,7 @@ pub struct OwnedSpan {
     pub(crate) timer: Timer,
     pub(crate) start: Instant,
     pub(crate) finished: bool,
+    pub(crate) ctx: Option<(u64, u64)>,
 }
 
 impl OwnedSpan {
@@ -105,14 +160,19 @@ impl OwnedSpan {
     /// nanoseconds.
     pub fn finish(mut self) -> u64 {
         self.finished = true;
-        self.timer.record_span(self.start)
+        self.timer.record_span(self.start, self.ctx)
+    }
+
+    /// This span's id (0 when tracing is off).
+    pub fn span_id(&self) -> u64 {
+        self.ctx.map(|(id, _)| id).unwrap_or(0)
     }
 }
 
 impl Drop for OwnedSpan {
     fn drop(&mut self) {
         if !self.finished {
-            let _ = self.timer.record_span(self.start);
+            let _ = self.timer.record_span(self.start, self.ctx);
         }
     }
 }
@@ -178,5 +238,49 @@ mod tests {
         tel.span("quiet").finish();
         assert!(tel.trace_events().is_empty());
         assert_eq!(tel.snapshot().histogram("quiet").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn nested_spans_record_parent_edges() {
+        let tel = Telemetry::new();
+        tel.enable_tracing(16);
+        let outer_timer = tel.timer("outer");
+        let inner_timer = tel.timer("inner");
+        let outer = outer_timer.start();
+        let outer_id = outer.span_id();
+        assert_ne!(outer_id, 0);
+        inner_timer.start().finish();
+        outer.finish();
+        let events = tel.trace_events();
+        let inner = events.iter().find(|e| e.name == "inner").unwrap();
+        let outer = events.iter().find(|e| e.name == "outer").unwrap();
+        assert_eq!(inner.parent_span_id, outer.span_id);
+        assert_eq!(outer.span_id, outer_id);
+        assert_eq!(outer.parent_span_id, 0, "outermost span is a root");
+    }
+
+    #[test]
+    fn record_interval_is_a_child_with_explicit_timestamps() {
+        let tel = Telemetry::new();
+        tel.enable_tracing(16);
+        let root = tel.timer("root");
+        let io = tel.timer("io.read");
+        let t0 = std::time::Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let t1 = std::time::Instant::now();
+        let guard = root.start();
+        let child_id = io.record_interval(t0, t1);
+        assert_ne!(child_id, 0);
+        guard.finish();
+        let events = tel.trace_events();
+        let io_ev = events.iter().find(|e| e.name == "io.read").unwrap();
+        let root_ev = events.iter().find(|e| e.name == "root").unwrap();
+        assert_eq!(io_ev.span_id, child_id);
+        assert_eq!(io_ev.parent_span_id, root_ev.span_id);
+        assert!(io_ev.duration_ns >= 1_000_000, "explicit interval preserved");
+        assert!(
+            io_ev.start_ns <= root_ev.start_ns,
+            "retroactive child may start before its parent"
+        );
     }
 }

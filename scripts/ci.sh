@@ -29,9 +29,11 @@ echo 'fn main() { return 41 + 1; }' > "$SMOKE_DIR/work.dpl"
     > "$SMOKE_LOG" 2>&1 &
 SMOKE_PID=$!
 FLOOD_PID=""
+PROF_PID=""
 cleanup_smoke() {
     kill "$SMOKE_PID" 2>/dev/null || true
     [ -n "$FLOOD_PID" ] && kill "$FLOOD_PID" 2>/dev/null || true
+    [ -n "$PROF_PID" ] && kill "$PROF_PID" 2>/dev/null || true
     rm -rf "$SMOKE_DIR"
 }
 trap cleanup_smoke EXIT
@@ -89,6 +91,60 @@ for metric in 'rds\.verb\.invoke +5 ' 'ep\.invoke +5 ' \
     }
 done
 echo "smoke ok: per-verb histograms filled ($(grep -c 'telemetry snapshot' "$SMOKE_LOG") stats ticks)"
+
+echo "==> profile smoke: span trees + VM profiler over a live server"
+# Boots a profiled server (1-in-16 block sampling), drives a looping dp,
+# and asserts the three observability surfaces: `mbdctl profile` shows
+# the span waterfall with the VM-run span, `--folded` emits non-empty
+# folded stacks attributing samples to the dp's entry function, and a
+# delegated agent walks the mbdProfile OCP subtree (enterprises.20100.6).
+# --slow-ms 1 classifies the multi-ms spin invokes as slow, so they land
+# in the always-kept anomaly ring and `mbdctl profile` (latest tree) sees
+# the last invoke regardless of the normal reservoir's 1-in-N thinning.
+PROF_PORT=$((21000 + RANDOM % 20000))
+PROF_LOG="$SMOKE_DIR/profile_server.log"
+./target/release/mbd-server --listen "127.0.0.1:$PROF_PORT" \
+    --profile-sample 16 --slow-ms 1 --stats 1 > "$PROF_LOG" 2>&1 &
+PROF_PID=$!
+PROFCTL=(./target/release/mbdctl --server "127.0.0.1:$PROF_PORT")
+for _ in $(seq 1 50); do
+    "${PROFCTL[@]}" programs >/dev/null 2>&1 && break
+    sleep 0.1
+done
+echo 'fn main(n) { var t = 0; var i = 0; while (i < n) { t = t + i; i = i + 1; } return t; }' \
+    > "$SMOKE_DIR/spin.dpl"
+"${PROFCTL[@]}" delegate spin "$SMOKE_DIR/spin.dpl" >/dev/null
+PROF_DPI="$("${PROFCTL[@]}" instantiate spin)"
+for _ in 1 2 3 4 5; do
+    "${PROFCTL[@]}" invoke "$PROF_DPI" main 20000 >/dev/null
+done
+
+"${PROFCTL[@]}" profile > "$SMOKE_DIR/profile.txt"
+grep -q "ep.vm_run" "$SMOKE_DIR/profile.txt" || {
+    echo "profile smoke FAILED: span tree is missing the ep.vm_run span:"
+    cat "$SMOKE_DIR/profile.txt"
+    exit 1
+}
+"${PROFCTL[@]}" profile --folded > "$SMOKE_DIR/folded.txt"
+grep -Eq "main@[0-9]+ [1-9]" "$SMOKE_DIR/folded.txt" || {
+    echo "profile smoke FAILED: no folded stack attributes samples to main:"
+    cat "$SMOKE_DIR/folded.txt"
+    exit 1
+}
+
+sleep 2 # let a --stats tick refresh the OCP tree with the profile rows
+echo 'fn count() { return len(mib_walk("1.3.6.1.4.1.20100.6")); }' > "$SMOKE_DIR/pwalker.dpl"
+"${PROFCTL[@]}" delegate pwalker "$SMOKE_DIR/pwalker.dpl" >/dev/null
+PWALK_DPI="$("${PROFCTL[@]}" instantiate pwalker)"
+PROF_ROWS="$("${PROFCTL[@]}" invoke "$PWALK_DPI" count)"
+[ "$PROF_ROWS" -gt 0 ] 2>/dev/null || {
+    echo "profile smoke FAILED: delegated walk of 20100.6 saw no profile rows (got \`$PROF_ROWS\`)"
+    exit 1
+}
+kill "$PROF_PID" 2>/dev/null || true
+wait "$PROF_PID" 2>/dev/null || true
+PROF_PID=""
+echo "profile smoke ok: $(wc -l < "$SMOKE_DIR/folded.txt") folded stacks, $PROF_ROWS mbdProfile leaves walked"
 
 echo "==> telemetry smoke: self-health example"
 cargo run --release -q --example self_health > "$SMOKE_DIR/self_health.out"
@@ -212,6 +268,26 @@ grep -q '"instantiate @1024 speedup x"' bench/out/BENCH_E10.json || {
     exit 1
 }
 echo "vm smoke ok: $(grep -c '"metric"' bench/out/BENCH_E10.json) E10 metrics written"
+
+echo "==> profile smoke: E12 observability-overhead gate (release-gated) + artifacts"
+# The release-only gate prices tracing + tail sampling + 1-in-64 VM
+# block profiling against the unobserved baseline on the pipelined
+# invoke workload: under 3% throughput cost, best of three per side.
+cargo test --release -q -p mbd-bench --lib e12
+cargo run --release -q -p mbd-bench --bin exp_profile >/dev/null
+[ -s bench/out/BENCH_E12.json ] && [ -s bench/out/E12.csv ] || {
+    echo "profile smoke FAILED: exp_profile did not write bench/out/BENCH_E12.json + E12.csv"
+    exit 1
+}
+grep -q '"mode": "trace+profile"' bench/out/BENCH_E12.json || {
+    echo "profile smoke FAILED: BENCH_E12.json is missing the trace+profile series"
+    exit 1
+}
+grep -q '"mode": "off"' bench/out/BENCH_E12.json || {
+    echo "profile smoke FAILED: BENCH_E12.json is missing the unobserved baseline"
+    exit 1
+}
+echo "profile smoke ok: $(grep -c '"mode"' bench/out/BENCH_E12.json) E12 rows written"
 
 echo "==> cargo test (tier-1: root package)"
 cargo test -q

@@ -6,7 +6,7 @@
 //!            [--journal PATH] [--workers N] [--backlog N]
 //!            [--frame-timeout-ms MS] [--idle-poll-ms MS] [--dedup CAP]
 //!            [--max-conns N] [--max-in-flight N] [--idle-timeout-ms MS]
-//!            [--drain-deadline-ms MS]
+//!            [--drain-deadline-ms MS] [--profile-sample N] [--slow-ms MS]
 //! ```
 //!
 //! With `--demo-mib` the server's MIB is pre-populated with the MIB-II
@@ -31,6 +31,22 @@
 //! Per-dpi resource accounts are republished into the
 //! `mbdDpiAccounting` subtree (`enterprises.20100.5`) every second, so
 //! both SNMP managers and delegated watchdog agents can read them.
+//!
+//! The server always runs with span-tree tracing and tail-sampled
+//! retention armed: every request is captured as a waterfall (reactor
+//! read → queue wait → decode → verb → VM run → encode), and full trees
+//! are retained for slow (`--slow-ms`, default 50), errored or frozen
+//! requests plus a reservoir of normal ones. The flight recorder
+//! freezes the recent span stream on anomalies — a handler panic, a
+//! shed burst, a quota breach, or the `rds.request` p99 crossing the
+//! slow threshold — filing it under the tripping trace id. Fetch trees
+//! with `mbdctl profile [TRACE_ID]`.
+//!
+//! With `--profile-sample N` every newly instantiated dpi runs under
+//! the sampling VM profiler (one sample per N basic-block entries;
+//! see `docs/TELEMETRY.md`). Folded stacks are served by `mbdctl
+//! profile --folded` and the `mbdProfile` subtree
+//! (`enterprises.20100.6`) over `--snmp`.
 //!
 //! The transport knobs tune the event-driven front-end and the
 //! fault-tolerant session layer (see `docs/RDS.md` and `DESIGN.md`
@@ -102,6 +118,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut max_in_flight = defaults.max_in_flight_per_conn;
     let mut drain_deadline = defaults.drain_deadline;
     let mut dedup_capacity = mbd::rds::DEFAULT_DEDUP_CAPACITY;
+    let mut profile_sample: u32 = 0;
+    let mut slow_ms: u64 = 50;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -154,13 +172,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 dedup_capacity =
                     args.next().ok_or("--dedup needs a per-principal capacity")?.parse()?;
             }
+            "--profile-sample" => {
+                profile_sample =
+                    args.next().ok_or("--profile-sample needs a 1-in-N rate (0 = off)")?.parse()?;
+            }
+            "--slow-ms" => {
+                slow_ms = args
+                    .next()
+                    .ok_or("--slow-ms needs a latency threshold in milliseconds")?
+                    .parse::<u64>()?
+                    .max(1);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: mbd-server [--listen ADDR] [--key SECRET] [--demo-mib] \
                      [--snmp ADDR] [--community NAME] [--stats SECS] [--journal PATH] \
                      [--workers N] [--backlog N] [--frame-timeout-ms MS] \
                      [--idle-poll-ms MS] [--dedup CAP] [--max-conns N] \
-                     [--max-in-flight N] [--idle-timeout-ms MS] [--drain-deadline-ms MS]"
+                     [--max-in-flight N] [--idle-timeout-ms MS] [--drain-deadline-ms MS] \
+                     [--profile-sample N] [--slow-ms MS]"
                 );
                 return Ok(());
             }
@@ -168,7 +198,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let process = ElasticProcess::new(ElasticConfig::default());
+    let process = ElasticProcess::new(ElasticConfig { profile_sample, ..ElasticConfig::default() });
+    // Span trees and the flight recorder are always on: the ring is
+    // bounded, capture is per-request, and tail sampling keeps only
+    // anomalous trees plus a small reservoir.
+    let slow_ns = slow_ms.saturating_mul(1_000_000);
+    process.telemetry().enable_tracing(4096);
+    process.telemetry().enable_trace_store(mbd::telemetry::TraceStoreConfig {
+        slow_ns,
+        ..mbd::telemetry::TraceStoreConfig::default()
+    });
     if demo_mib {
         mbd::snmp::mib2::install_system(process.mib(), "mbd demo device", "demo")?;
         mbd::snmp::mib2::install_interfaces(process.mib(), 4, 10_000_000)?;
@@ -227,6 +266,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     false,
                     "connection handler panicked; connection dropped",
                 );
+                // Flight recorder: a panic is always worth a snapshot of
+                // the span stream that led up to it.
+                panic_process.telemetry().flight_freeze(0, "handler panic");
             })),
             shed_response,
             on_shed: Some(Arc::new(move || {
@@ -239,6 +281,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     false,
                     "execution tier saturated; request shed with Busy",
                 );
+                // Freeze on the first shed of a burst (and every 256th
+                // after): one snapshot per overload episode, not one per
+                // shed request.
+                static SHEDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+                if SHEDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed).is_multiple_of(256) {
+                    shed_process.telemetry().flight_freeze(0, "shed burst");
+                }
             })),
         };
         // The reactor holds one fd per open connection; lift the
@@ -290,11 +339,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // records, and (with --stats) the server's own telemetry registry.
     let mut seconds: u64 = 0;
     let mut journal_seq: u64 = 0;
+    let mut last_p99_freeze: u64 = 0;
     loop {
         std::thread::sleep(std::time::Duration::from_secs(1));
         seconds += 1;
         process.advance_ticks(100);
         ocp.refresh();
+        // Flight recorder, latency trigger: when the rds.request p99
+        // crosses the slow threshold, freeze the recent span stream (at
+        // most once per 30 s — one snapshot per episode).
+        if seconds >= last_p99_freeze + 30 {
+            if let Some(h) = process.telemetry().snapshot().histogram("rds.request") {
+                if h.count() > 0 && h.p99_ns() >= slow_ns {
+                    last_p99_freeze = seconds;
+                    let n = process
+                        .telemetry()
+                        .flight_freeze(0, &format!("p99 breach: {} ms", h.p99_ns() / 1_000_000));
+                    println!("[flight] rds.request p99 over {slow_ms} ms; froze {n} spans");
+                }
+            }
+        }
         for note in process.drain_notifications() {
             if note.trace_id == 0 {
                 println!("[notify] {}: {}", note.dpi, note.value);

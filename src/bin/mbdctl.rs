@@ -16,6 +16,13 @@
 //!   instances                   list instances and their states
 //!   journal [MAX]               read the server's audit journal (newest
 //!                               MAX records; all retained when omitted)
+//!   profile [TRACE_ID] [--dpi N] [--folded]
+//!                               fetch the retained span tree for a trace
+//!                               (hex id; omitted = the newest retained,
+//!                               anomalous first) and the VM profiler's
+//!                               folded stacks; --folded prints only the
+//!                               stacks (flamegraph.pl input), --dpi N
+//!                               narrows stacks to one instance
 //! ```
 //!
 //! Every request carries a fresh trace id; `journal` shows which trace
@@ -59,6 +66,72 @@ fn parse_dpi(s: &str) -> Result<DpiId, String> {
     digits.parse::<u64>().map(DpiId).map_err(|_| format!("bad dpi id `{s}`"))
 }
 
+/// `profile [TRACE_ID] [--dpi N] [--folded]` → (trace_id, dpi, folded).
+fn parse_profile_args(rest: &[String]) -> Result<(u64, u64, bool), String> {
+    let mut trace_id = 0u64;
+    let mut dpi = 0u64;
+    let mut folded = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--folded" => folded = true,
+            "--dpi" => {
+                let v = it.next().ok_or("--dpi needs an instance id")?;
+                dpi = parse_dpi(v)?.0;
+            }
+            hex => {
+                trace_id = u64::from_str_radix(hex.trim_start_matches("0x"), 16)
+                    .map_err(|_| format!("bad trace id `{hex}` (want hex)"))?;
+            }
+        }
+    }
+    Ok((trace_id, dpi, folded))
+}
+
+/// Renders a span tree as an indented waterfall: children under their
+/// parents, each with its offset from the tree's first span and its
+/// duration.
+fn print_span_tree(spans: &[mbd::rds::SpanRecord]) {
+    let base = spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+    let known: std::collections::HashSet<u64> = spans.iter().map(|s| s.span_id).collect();
+    // Completion order in, start order out within each parent.
+    let mut children: std::collections::HashMap<u64, Vec<&mbd::rds::SpanRecord>> =
+        std::collections::HashMap::new();
+    let mut roots: Vec<&mbd::rds::SpanRecord> = Vec::new();
+    for s in spans {
+        if s.parent_span_id != 0 && known.contains(&s.parent_span_id) {
+            children.entry(s.parent_span_id).or_default().push(s);
+        } else {
+            roots.push(s);
+        }
+    }
+    for list in children.values_mut() {
+        list.sort_by_key(|s| s.start_ns);
+    }
+    roots.sort_by_key(|s| s.start_ns);
+    fn walk(
+        s: &mbd::rds::SpanRecord,
+        depth: usize,
+        base: u64,
+        children: &std::collections::HashMap<u64, Vec<&mbd::rds::SpanRecord>>,
+    ) {
+        println!(
+            "{:indent$}{:<24} +{:>8.3} ms  {:>10.3} ms",
+            "",
+            s.name,
+            (s.start_ns - base) as f64 / 1e6,
+            s.duration_ns as f64 / 1e6,
+            indent = depth * 2,
+        );
+        for c in children.get(&s.span_id).into_iter().flatten() {
+            walk(c, depth + 1, base, children);
+        }
+    }
+    for r in roots {
+        walk(r, 1, base, &children);
+    }
+}
+
 /// Maps a CLI command to the request it issues, for the pipelined path.
 fn build_request(command: &str, rest: &[String]) -> Result<RdsRequest, Box<dyn std::error::Error>> {
     Ok(match (command, rest) {
@@ -88,6 +161,10 @@ fn build_request(command: &str, rest: &[String]) -> Result<RdsRequest, Box<dyn s
                 _ => 0,
             },
         },
+        ("profile", rest) => {
+            let (trace_id, dpi, _folded) = parse_profile_args(rest)?;
+            RdsRequest::ReadProfile { trace_id, dpi }
+        }
         (cmd, _) => return Err(format!("bad command or arguments: `{cmd}` (try --help)").into()),
     })
 }
@@ -128,6 +205,13 @@ fn run_pipelined(
             }
             Ok(RdsResponse::Journal { records }) => {
                 println!("#{id}: {} journal record(s)", records.len());
+            }
+            Ok(RdsResponse::Profile { trace_id, spans, stacks, .. }) => {
+                println!(
+                    "#{id}: trace {trace_id:016x}, {} span(s), {} stack line(s)",
+                    spans.len(),
+                    stacks.len(),
+                );
             }
             Ok(RdsResponse::Error { code, message }) => {
                 failed += 1;
@@ -202,7 +286,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 repeat = args.next().ok_or("--repeat needs a count")?.parse::<usize>()?.max(1);
             }
             "--help" | "-h" => {
-                println!("see `mbdctl` module docs; commands: delegate delete instantiate invoke suspend resume terminate send programs instances journal");
+                println!("see `mbdctl` module docs; commands: delegate delete instantiate invoke suspend resume terminate send programs instances journal profile");
                 return Ok(());
             }
             other => {
@@ -279,6 +363,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     if r.ok { "ok" } else { "err" },
                     r.detail,
                 );
+            }
+        }
+        ("profile", rest) => {
+            let (trace_id, dpi, folded) = parse_profile_args(rest)?;
+            let (tid, kept, spans, stacks) = client.read_profile(trace_id, dpi)?;
+            if folded {
+                for line in &stacks {
+                    println!("{line}");
+                }
+            } else {
+                if tid == 0 && spans.is_empty() {
+                    println!("no retained span tree (is the server tracing?)");
+                } else {
+                    println!("trace {tid:016x} kept={kept}");
+                    print_span_tree(&spans);
+                }
+                if !stacks.is_empty() {
+                    println!("vm profile ({} stack line(s)):", stacks.len());
+                    for line in &stacks {
+                        println!("  {line}");
+                    }
+                }
             }
         }
         (cmd, _) => return Err(format!("bad command or arguments: `{cmd}` (try --help)").into()),

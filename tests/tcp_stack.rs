@@ -125,6 +125,99 @@ fn one_request_carries_one_trace_id_everywhere() {
 }
 
 #[test]
+fn read_profile_returns_the_full_waterfall_for_a_slow_request() {
+    // Profiling on (1-in-4 sampling) and a tail-sampling store whose
+    // slow threshold retains every traced request.
+    let config = ElasticConfig { profile_sample: 4, ..ElasticConfig::default() };
+    let (tcp, process) = spawn_server_with(config, None);
+    process.telemetry().enable_tracing(1024);
+    process.telemetry().enable_trace_store(mbd::telemetry::TraceStoreConfig {
+        slow_ns: 1,
+        ..mbd::telemetry::TraceStoreConfig::default()
+    });
+
+    let client = RdsClient::new(TcpTransport::connect(tcp.local_addr()).unwrap(), "prof-mgr");
+    client
+        .delegate(
+            "spin",
+            "fn main(n) { var i = 0; var t = 0; \
+             while (i < n) { i = i + 1; t = t + i; } return t; }",
+        )
+        .unwrap();
+    let dpi = client.instantiate("spin").unwrap();
+    client.invoke(dpi, "main", &[BerValue::Integer(30_000)]).unwrap();
+    let trace = client.last_trace_id();
+    assert_ne!(trace, 0);
+
+    let (tid, kept, spans, stacks) = client.read_profile(trace, dpi.0).unwrap();
+    assert_eq!(tid, trace, "the requested tree came back");
+    assert_eq!(kept, "slow", "a 30k-iteration invoke crosses the 1 ns threshold");
+
+    // Every stage of the waterfall is present, under the one trace id.
+    let find = |name: &str| {
+        spans
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("span `{name}` missing from {spans:?}"))
+    };
+    let root = find("rds.request");
+    let conn_read = find("rds.conn.read");
+    let queue_wait = find("rds.conn.queue_wait");
+    let decode = find("rds.decode");
+    let verb = find("rds.verb.invoke");
+    let ep_invoke = find("ep.invoke");
+    let vm_run = find("ep.vm_run");
+    let encode = find("rds.encode");
+    for s in &spans {
+        assert_eq!(s.trace_id, trace, "span {} carries a foreign trace", s.name);
+    }
+
+    // Parent edges reconstruct the tree: transport and codec stages hang
+    // off the request root, the runtime stages nest through the verb.
+    for child in [conn_read, queue_wait, decode, verb, encode] {
+        assert_eq!(child.parent_span_id, root.span_id, "{} not a child of the root", child.name);
+    }
+    assert_eq!(ep_invoke.parent_span_id, verb.span_id);
+    assert_eq!(vm_run.parent_span_id, ep_invoke.span_id);
+
+    // The root's direct children tile the request without overlap:
+    // read ends before the queue wait starts, which ends before decode
+    // starts, and so on through encode.
+    let mut stages = [conn_read, queue_wait, decode, verb, encode];
+    stages.sort_by_key(|s| s.start_ns);
+    for pair in stages.windows(2) {
+        assert!(
+            pair[0].start_ns + pair[0].duration_ns <= pair[1].start_ns,
+            "stages `{}` and `{}` overlap",
+            pair[0].name,
+            pair[1].name,
+        );
+    }
+    // And the VM run sits inside the invoke span.
+    assert!(vm_run.start_ns >= ep_invoke.start_ns);
+    assert!(
+        vm_run.start_ns + vm_run.duration_ns <= ep_invoke.start_ns + ep_invoke.duration_ns + 1_000,
+        "vm_run escapes ep.invoke"
+    );
+
+    // The VM profiler attributed the loop: folded stacks exist and the
+    // dominant weight is in `main`.
+    assert!(!stacks.is_empty(), "profiling enabled but no folded stacks");
+    let weight = |line: &str| -> u64 { line.rsplit(' ').next().unwrap().parse().unwrap_or(0) };
+    let total: u64 = stacks.iter().map(|l| weight(l)).sum();
+    let in_main: u64 = stacks.iter().filter(|l| l.starts_with("main@")).map(|l| weight(l)).sum();
+    assert!(total > 0);
+    assert!(in_main * 10 >= total * 8, "main's loop holds {in_main}/{total} samples, want >= 80%");
+
+    // trace_id 0 = newest retained tree; the ReadProfile that fetched
+    // the first tree is itself traced, so just assert we get one.
+    let (latest_tid, _, latest_spans, _) = client.read_profile(0, 0).unwrap();
+    assert_ne!(latest_tid, 0);
+    assert!(!latest_spans.is_empty());
+    tcp.shutdown();
+}
+
+#[test]
 fn legacy_untraced_frames_interoperate_over_tcp() {
     let (tcp, _process) = spawn_server(None);
     // A pre-trace manager encodes with the legacy envelope (no trace
