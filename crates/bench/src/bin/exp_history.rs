@@ -1,0 +1,11 @@
+//! E13: metrics history + alert engine overhead — pipelined invoke
+//! throughput with the time-series sampler and alert rules on vs off,
+//! plus the sweep counts proving the collector ran.
+fn main() -> std::io::Result<()> {
+    let out = mbd_bench::report::default_out_dir();
+    let (report, _) = mbd_bench::experiments::e13_history::run(&[1, 8, 32], 2000);
+    let path = report.emit(&out)?;
+    let mirrored = mbd_bench::report::mirror_bench_json(&out)?;
+    println!("wrote {} (+{mirrored} BENCH_*.json mirrored to the repo root)", path.display());
+    Ok(())
+}

@@ -172,6 +172,55 @@ pub fn profile_entry() -> Oid {
     mbd_profile_root().child(1).child(1)
 }
 
+/// Root of the metrics-history subtree (`enterprises.20100.7` —
+/// `mbdHistory` + `mbdAlerts`). Empty unless the process's telemetry
+/// enables retained history
+/// ([`Telemetry::enable_history`](mbd_telemetry::Telemetry::enable_history)).
+///
+/// `mbdHistoryEntry` (`.1.1`) — one row per retained series
+/// (`<entry>.<col>.<index>`, index assigned on first sight and never
+/// reused, like the telemetry tables). The windowed columns summarise
+/// the trailing 60 s of 1 s samples, so a delegated agent reads a
+/// ready-made window instead of buffering its own:
+///
+/// | col | object | type |
+/// |---|---|---|
+/// | `.1` | series name | OctetString |
+/// | `.2` | kind: `rate` \| `gauge` \| `quantile` | OctetString |
+/// | `.3` | latest sample | Gauge32 |
+/// | `.4` | 60 s average | Gauge32 |
+/// | `.5` | 60 s minimum | Gauge32 |
+/// | `.6` | 60 s maximum | Gauge32 |
+/// | `.7` | points pushed into the series' rings | Counter32 |
+///
+/// `quantile` series are published in **microseconds** (their native
+/// nanoseconds saturate Gauge32); rates and gauges are raw.
+///
+/// `mbdAlertsEntry` (`.2.1`) — one row per configured alert rule,
+/// indexed by rule position (1-based, stable for the server's life):
+///
+/// | col | object | type |
+/// |---|---|---|
+/// | `.1` | rule text | OctetString |
+/// | `.2` | watched series name | OctetString |
+/// | `.3` | firing (0/1) | Integer |
+/// | `.4` | last evaluated value (µs for quantiles) | Gauge32 |
+/// | `.5` | firing-since, seconds (0 = not firing) | Gauge32 |
+/// | `.6` | lifetime fire count | Counter32 |
+pub fn mbd_history_root() -> Oid {
+    "1.3.6.1.4.1.20100.7".parse().expect("static oid")
+}
+
+/// `mbdHistoryEntry` — per-series windowed summary rows live under here.
+pub fn history_entry() -> Oid {
+    mbd_history_root().child(1).child(1)
+}
+
+/// `mbdAlertsEntry` — per-rule alert state rows live under here.
+pub fn alerts_entry() -> Oid {
+    mbd_history_root().child(2).child(1)
+}
+
 /// Stable name → row-index maps for the telemetry tables. Indices are
 /// handed out in first-seen order and never reclaimed, so rows keep
 /// their OIDs across refreshes even as new metrics appear.
@@ -180,6 +229,7 @@ struct TelemetryIndices {
     counters: BTreeMap<String, u32>,
     gauges: BTreeMap<String, u32>,
     histograms: BTreeMap<String, u32>,
+    history: BTreeMap<String, u32>,
 }
 
 fn index_for(map: &mut BTreeMap<String, u32>, name: &str) -> u32 {
@@ -251,6 +301,69 @@ impl SnmpOcp {
         self.refresh_telemetry();
         self.refresh_accounting();
         self.refresh_profile();
+        self.refresh_history();
+        self.refresh_alerts();
+    }
+
+    /// Publishes per-series windowed summaries of the retained metrics
+    /// history into the `mbdHistory` table (see [`mbd_history_root`]):
+    /// the trailing 60 s min/avg/max plus the latest sample, computed
+    /// in-server — the windowed view the paper's delegated health
+    /// functions want, with no agent-side buffering. No-op when history
+    /// is off.
+    pub fn refresh_history(&self) {
+        let telemetry = self.process.telemetry();
+        let Some(history) = telemetry.history() else { return };
+        let mib = self.process.mib();
+        let now_s = telemetry.elapsed_ns() / 1_000_000_000;
+        let mut rows = self.telemetry_rows.lock();
+        for series in history.query("", 60, 1, now_s) {
+            let scale = |v: u64| match series.kind {
+                mbd_telemetry::SeriesKind::Quantile => gauge_us(v),
+                _ => BerValue::Gauge32(u32::try_from(v).unwrap_or(u32::MAX)),
+            };
+            let n = series.points.len() as u64;
+            let sum: u128 = series.points.iter().map(|p| u128::from(p.avg)).sum();
+            let avg = (sum / u128::from(n.max(1))) as u64;
+            let min = series.points.iter().map(|p| p.min).min().unwrap_or(0);
+            let max = series.points.iter().map(|p| p.max).max().unwrap_or(0);
+            let last = series.points.last().map_or(0, |p| p.last);
+            let i = index_for(&mut rows.history, &series.name);
+            let _ = snmp::TableBuilder::new(mib, history_entry())
+                .row(&[i])
+                .col(1, BerValue::from(series.name.as_str()))
+                .col(2, BerValue::from(series.kind.as_str()))
+                .col(3, scale(last))
+                .col(4, scale(avg))
+                .col(5, scale(min))
+                .col(6, scale(max))
+                .col(7, BerValue::Counter32(history.total_pushed() as u32))
+                .finish();
+        }
+    }
+
+    /// Publishes every alert rule's state into the `mbdAlerts` table
+    /// (see [`mbd_history_root`]), one row per rule in configuration
+    /// order. No-op when no alert engine is installed.
+    pub fn refresh_alerts(&self) {
+        let Some(engine) = self.process.telemetry().alerts() else { return };
+        let mib = self.process.mib();
+        for (i, st) in engine.states().iter().enumerate() {
+            let scale = if st.metric.ends_with(".p50") || st.metric.ends_with(".p99") {
+                gauge_us(st.value)
+            } else {
+                BerValue::Gauge32(u32::try_from(st.value).unwrap_or(u32::MAX))
+            };
+            let _ = snmp::TableBuilder::new(mib, alerts_entry())
+                .row(&[i as u32 + 1])
+                .col(1, BerValue::from(st.rule.as_str()))
+                .col(2, BerValue::from(st.metric.as_str()))
+                .col(3, BerValue::Integer(i64::from(st.firing)))
+                .col(4, scale)
+                .col(5, BerValue::Gauge32(u32::try_from(st.since_s).unwrap_or(u32::MAX)))
+                .col(6, BerValue::Counter32(u32::try_from(st.fired_count).unwrap_or(u32::MAX)))
+                .finish();
+        }
     }
 
     /// Publishes per-dpi resource accounts into the `mbdDpiAccounting`
@@ -594,6 +707,91 @@ mod tests {
         let ocp = SnmpOcp::new(p.clone(), "public");
         ocp.refresh();
         assert!(p.mib().walk(&mbd_profile_root()).is_empty());
+    }
+
+    #[test]
+    fn history_subtree_exports_windowed_summaries() {
+        let p = ElasticProcess::new(ElasticConfig::default());
+        let tel = p.telemetry();
+        tel.enable_history(mbd_telemetry::HistoryConfig::default());
+        // Three deterministic gauge samples: window min 3, max 9, last 9.
+        let h = tel.history().unwrap();
+        for (t, v) in [(1u64, 3u64), (2, 6), (3, 9)] {
+            h.record("ep.backlog", mbd_telemetry::SeriesKind::Gauge, t, v);
+        }
+        let ocp = SnmpOcp::new(p.clone(), "public");
+        ocp.refresh();
+        let mib = p.mib();
+        let names = mib.walk(&history_entry().child(1));
+        let (oid, _) = names
+            .iter()
+            .find(|(_, v)| *v == BerValue::from("ep.backlog"))
+            .expect("series row published");
+        let idx = *oid.as_slice().last().unwrap();
+        let col = |c: u32| mib.get(&history_entry().child(c).child(idx)).unwrap();
+        assert_eq!(col(2), BerValue::from("gauge"));
+        assert_eq!(col(3), BerValue::Gauge32(9), "last");
+        assert_eq!(col(4), BerValue::Gauge32(6), "avg");
+        assert_eq!(col(5), BerValue::Gauge32(3), "min");
+        assert_eq!(col(6), BerValue::Gauge32(9), "max");
+    }
+
+    #[test]
+    fn alerts_subtree_tracks_rule_state() {
+        let p = ElasticProcess::new(ElasticConfig::default());
+        let tel = p.telemetry();
+        tel.enable_history(mbd_telemetry::HistoryConfig::default());
+        tel.enable_alerts(vec![
+            mbd_telemetry::AlertRule::parse("ep.backlog>10:for=1,clear=1").unwrap()
+        ]);
+        let ocp = SnmpOcp::new(p.clone(), "public");
+        ocp.refresh();
+        let mib = p.mib();
+        let col = |c: u32| mib.get(&alerts_entry().child(c).child(1)).unwrap();
+        assert_eq!(col(3), BerValue::Integer(0), "not firing before data");
+        // Drive a breach and re-evaluate.
+        tel.gauge("ep.backlog").set(99);
+        let edges = tel.sample_and_evaluate();
+        assert_eq!(edges.len(), 1);
+        ocp.refresh();
+        assert_eq!(col(1), BerValue::from("ep.backlog>10:for=1,clear=1"));
+        assert_eq!(col(2), BerValue::from("ep.backlog"));
+        assert_eq!(col(3), BerValue::Integer(1), "firing");
+        assert_eq!(col(4), BerValue::Gauge32(99));
+        assert_eq!(col(6), BerValue::Counter32(1));
+    }
+
+    #[test]
+    fn snmp_manager_walks_the_history_subtree() {
+        let p = ElasticProcess::new(ElasticConfig::default());
+        let tel = p.telemetry();
+        tel.enable_history(mbd_telemetry::HistoryConfig::default());
+        tel.enable_alerts(vec![
+            mbd_telemetry::AlertRule::parse("ep.live_instances>100:for=2").unwrap()
+        ]);
+        p.delegate("w", "fn main() { return 0; }").unwrap();
+        let dpi = p.instantiate("w").unwrap();
+        p.invoke(dpi, "main", &[]).unwrap();
+        p.refresh_gauges();
+        tel.sample_and_evaluate();
+        let ocp = SnmpOcp::new(p.clone(), "public");
+        let mut mgr = SnmpManager::new("public");
+        let rows = mgr.walk(&mbd_history_root(), |req| ocp.handle(req)).unwrap();
+        assert!(!rows.is_empty(), "history subtree published no rows");
+        for vb in &rows {
+            assert!(vb.oid.starts_with(&mbd_history_root()), "{} escaped", vb.oid);
+        }
+        // Both the history table and the alerts table have rows.
+        assert!(rows.iter().any(|vb| vb.oid.starts_with(&history_entry())));
+        assert!(rows.iter().any(|vb| vb.oid.starts_with(&alerts_entry())));
+    }
+
+    #[test]
+    fn history_off_publishes_no_rows() {
+        let p = ElasticProcess::new(ElasticConfig::default());
+        let ocp = SnmpOcp::new(p.clone(), "public");
+        ocp.refresh();
+        assert!(p.mib().walk(&mbd_history_root()).is_empty());
     }
 
     #[test]

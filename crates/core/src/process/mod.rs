@@ -405,6 +405,16 @@ impl ElasticProcess {
         self.inner.outbox.drain()
     }
 
+    /// Raises a server-originated notification into the same bounded
+    /// outbox dpis emit through (dpi 0 marks the server itself) — the
+    /// alert engine's fire/clear edges ride the ordinary manager-facing
+    /// event stream.
+    pub fn raise_notification(&self, value: Value, trace_id: u64) {
+        // Drop-oldest eviction is already accounted by the queue itself
+        // (surfaces as `notifications_dropped` in the stats).
+        let _ = self.inner.outbox.push(Notification { dpi: DpiId(0), value, trace_id });
+    }
+
     /// Drains and returns agent log lines.
     pub fn drain_log(&self) -> Vec<String> {
         self.inner.log.drain()

@@ -154,6 +154,46 @@ impl RdsHandler for Dispatcher {
                     stacks: self.process.profile_stacks(dpi),
                 }
             }
+            RdsRequest::ReadMetrics { pattern, range_s, res_s } => {
+                let telemetry = self.process.telemetry();
+                let now_s = telemetry.elapsed_ns() / 1_000_000_000;
+                let series = telemetry
+                    .history()
+                    .map(|h| h.query(&pattern, u64::from(range_s), u64::from(res_s).max(1), now_s))
+                    .unwrap_or_default()
+                    .into_iter()
+                    .map(|s| rds::MetricSeries {
+                        name: s.name,
+                        kind: s.kind.as_str().to_string(),
+                        points: s
+                            .points
+                            .iter()
+                            .map(|p| rds::MetricPoint {
+                                t_s: p.t_s,
+                                min: p.min,
+                                max: p.max,
+                                avg: p.avg,
+                                last: p.last,
+                            })
+                            .collect(),
+                    })
+                    .collect();
+                let alerts = telemetry
+                    .alerts()
+                    .map(|a| a.states())
+                    .unwrap_or_default()
+                    .into_iter()
+                    .map(|a| rds::AlertStatus {
+                        rule: a.rule,
+                        metric: a.metric,
+                        firing: a.firing,
+                        value: a.value,
+                        since_s: a.since_s,
+                        fired_count: a.fired_count,
+                    })
+                    .collect();
+                RdsResponse::Metrics { now_s, series, alerts }
+            }
         }
     }
 }

@@ -350,6 +350,30 @@ impl<T: Transport> RdsClient<T> {
             other => Err(unexpected(&other)),
         }
     }
+
+    /// Reads retained metrics history: series whose names match the
+    /// `*`-glob `pattern` (empty = all), restricted to the trailing
+    /// `range_s` seconds (0 = everything) at ring resolution `res_s`
+    /// (1, 10 or 60). Returns the whole [`RdsResponse::Metrics`]
+    /// payload as `(now_s, series, alerts)`.
+    ///
+    /// # Errors
+    ///
+    /// `Remote(AccessDenied)` without `list` rights; transport/codec
+    /// errors otherwise.
+    #[allow(clippy::type_complexity)]
+    pub fn read_metrics(
+        &self,
+        pattern: &str,
+        range_s: u32,
+        res_s: u32,
+    ) -> Result<(u64, Vec<crate::MetricSeries>, Vec<crate::AlertStatus>), RdsError> {
+        let req = RdsRequest::ReadMetrics { pattern: pattern.to_string(), range_s, res_s };
+        match self.roundtrip(&req)? {
+            RdsResponse::Metrics { now_s, series, alerts } => Ok((now_s, series, alerts)),
+            other => Err(unexpected(&other)),
+        }
+    }
 }
 
 fn unexpected(resp: &RdsResponse) -> RdsError {

@@ -186,6 +186,11 @@ pub fn encode_request_traced(
                 w.write_i64(*trace_id as i64);
                 w.write_i64(*dpi as i64);
             }
+            RdsRequest::ReadMetrics { pattern, range_s, res_s } => {
+                w.write_octet_string(pattern.as_bytes());
+                w.write_i64(i64::from(*range_s));
+                w.write_i64(i64::from(*res_s));
+            }
         });
     });
     seal_traced(w.into_bytes(), key, trace)
@@ -260,6 +265,11 @@ pub fn decode_request_traced(
                 11 => Some(RdsRequest::ReadProfile {
                     trace_id: r.read_i64()? as u64,
                     dpi: r.read_i64()? as u64,
+                }),
+                12 => Some(RdsRequest::ReadMetrics {
+                    pattern: read_string(r)?,
+                    range_s: r.read_i64()?.clamp(0, i64::from(u32::MAX)) as u32,
+                    res_s: r.read_i64()?.clamp(0, i64::from(u32::MAX)) as u32,
                 }),
                 _ => {
                     // Drain so expect_end passes; flag after.
@@ -349,6 +359,40 @@ pub fn encode_response_traced(
                 w.write_sequence(|w| {
                     for line in stacks {
                         w.write_octet_string(line.as_bytes());
+                    }
+                });
+            }
+            RdsResponse::Metrics { now_s, series, alerts } => {
+                w.write_i64(*now_s as i64);
+                w.write_sequence(|w| {
+                    for s in series {
+                        w.write_sequence(|w| {
+                            w.write_octet_string(s.name.as_bytes());
+                            w.write_octet_string(s.kind.as_bytes());
+                            w.write_sequence(|w| {
+                                for p in &s.points {
+                                    w.write_sequence(|w| {
+                                        w.write_i64(p.t_s as i64);
+                                        w.write_i64(p.min as i64);
+                                        w.write_i64(p.max as i64);
+                                        w.write_i64(p.avg as i64);
+                                        w.write_i64(p.last as i64);
+                                    });
+                                }
+                            });
+                        });
+                    }
+                });
+                w.write_sequence(|w| {
+                    for a in alerts {
+                        w.write_sequence(|w| {
+                            w.write_octet_string(a.rule.as_bytes());
+                            w.write_octet_string(a.metric.as_bytes());
+                            w.write_i64(i64::from(a.firing));
+                            w.write_i64(a.value as i64);
+                            w.write_i64(a.since_s as i64);
+                            w.write_i64(a.fired_count as i64);
+                        });
                     }
                 });
             }
@@ -464,6 +508,51 @@ pub fn decode_response_traced(
                         Ok(out)
                     })?,
                 }),
+                8 => Some(RdsResponse::Metrics {
+                    now_s: r.read_i64()? as u64,
+                    series: r.read_sequence(|r| {
+                        let mut out = Vec::new();
+                        while !r.at_end() {
+                            out.push(r.read_sequence(|r| {
+                                let name = read_string(r)?;
+                                let kind = read_string(r)?;
+                                let points = r.read_sequence(|r| {
+                                    let mut pts = Vec::new();
+                                    while !r.at_end() {
+                                        pts.push(r.read_sequence(|r| {
+                                            Ok(crate::MetricPoint {
+                                                t_s: r.read_i64()? as u64,
+                                                min: r.read_i64()? as u64,
+                                                max: r.read_i64()? as u64,
+                                                avg: r.read_i64()? as u64,
+                                                last: r.read_i64()? as u64,
+                                            })
+                                        })?);
+                                    }
+                                    Ok(pts)
+                                })?;
+                                Ok(crate::MetricSeries { name, kind, points })
+                            })?);
+                        }
+                        Ok(out)
+                    })?,
+                    alerts: r.read_sequence(|r| {
+                        let mut out = Vec::new();
+                        while !r.at_end() {
+                            out.push(r.read_sequence(|r| {
+                                Ok(crate::AlertStatus {
+                                    rule: read_string(r)?,
+                                    metric: read_string(r)?,
+                                    firing: r.read_i64()? != 0,
+                                    value: r.read_i64()? as u64,
+                                    since_s: r.read_i64()? as u64,
+                                    fired_count: r.read_i64()? as u64,
+                                })
+                            })?);
+                        }
+                        Ok(out)
+                    })?,
+                }),
                 _ => {
                     while !r.at_end() {
                         r.read_value()?;
@@ -564,6 +653,7 @@ mod tests {
             RdsRequest::ListInstances,
             RdsRequest::ReadJournal { max_records: 64 },
             RdsRequest::ReadProfile { trace_id: 0xFEED, dpi: 3 },
+            RdsRequest::ReadMetrics { pattern: "rds.verb.*".to_string(), range_s: 120, res_s: 10 },
         ]
     }
 
@@ -633,6 +723,38 @@ mod tests {
                     },
                 ],
                 stacks: vec!["dpi-3;main;leaf@12 340".to_string()],
+            },
+            RdsResponse::Metrics {
+                now_s: 95,
+                series: vec![
+                    crate::MetricSeries {
+                        name: "rds.request".to_string(),
+                        kind: "rate".to_string(),
+                        points: vec![
+                            crate::MetricPoint { t_s: 93, min: 10, max: 10, avg: 10, last: 10 },
+                            crate::MetricPoint { t_s: 94, min: 12, max: 12, avg: 12, last: 12 },
+                        ],
+                    },
+                    crate::MetricSeries {
+                        name: "rds.request.p99".to_string(),
+                        kind: "quantile".to_string(),
+                        points: vec![crate::MetricPoint {
+                            t_s: 90,
+                            min: 8_000,
+                            max: 131_000,
+                            avg: 40_000,
+                            last: 9_000,
+                        }],
+                    },
+                ],
+                alerts: vec![crate::AlertStatus {
+                    rule: "rds.request.p99>50ms:for=2".to_string(),
+                    metric: "rds.request.p99".to_string(),
+                    firing: true,
+                    value: 131_000,
+                    since_s: 91,
+                    fired_count: 2,
+                }],
             },
         ]
     }

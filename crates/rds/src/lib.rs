@@ -74,7 +74,8 @@ pub use dedup::{frame_fingerprint, DedupCache, DedupOutcome, DEFAULT_DEDUP_CAPAC
 pub use error::{ErrorCode, RdsError};
 pub use fault::{Fault, FaultConfig, FaultDuplex, FaultTransport};
 pub use msg::{
-    AuditRecord, DpiId, DpiState, DpiSummary, RdsRequest, RdsResponse, SpanRecord, TraceContext,
+    AlertStatus, AuditRecord, DpiId, DpiState, DpiSummary, MetricPoint, MetricSeries, RdsRequest,
+    RdsResponse, SpanRecord, TraceContext,
 };
 pub use pipeline::{FrameDuplex, RdsPipeline, TcpDuplex};
 pub use retry::RetryPolicy;

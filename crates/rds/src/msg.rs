@@ -132,6 +132,47 @@ pub struct SpanRecord {
     pub duration_ns: u64,
 }
 
+/// One retained sample (or downsampled bucket) of a
+/// [`MetricSeries`]. At 1 s resolution `min == max == avg == last`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricPoint {
+    /// Window start, seconds since the server's telemetry epoch.
+    pub t_s: u64,
+    pub min: u64,
+    pub max: u64,
+    pub avg: u64,
+    pub last: u64,
+}
+
+/// One series of a [`RdsResponse::Metrics`] response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSeries {
+    /// Series name (`rds.request` for a counter rate,
+    /// `rds.request.p99` for a histogram quantile, …).
+    pub name: String,
+    /// `rate` | `gauge` | `quantile` (quantiles are nanoseconds).
+    pub kind: String,
+    /// Points, oldest first.
+    pub points: Vec<MetricPoint>,
+}
+
+/// One alert rule's state in a [`RdsResponse::Metrics`] response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlertStatus {
+    /// The rule as configured (`rds.request.p99>50ms@10s:for=2`).
+    pub rule: String,
+    /// The series the rule watches.
+    pub metric: String,
+    /// Currently firing.
+    pub firing: bool,
+    /// Most recently evaluated value.
+    pub value: u64,
+    /// When the current firing episode began (0 when not firing).
+    pub since_s: u64,
+    /// Lifetime fire count.
+    pub fired_count: u64,
+}
+
 /// One row of a `ListInstances` response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DpiSummary {
@@ -216,6 +257,16 @@ pub enum RdsRequest {
         /// dpis, each line prefixed `dpi-N;`).
         dpi: u64,
     },
+    /// Read retained metrics history (time series) and alert states.
+    ReadMetrics {
+        /// `*`-glob over series names (empty = all).
+        pattern: String,
+        /// Trailing window in seconds (0 = everything retained).
+        range_s: u32,
+        /// Requested ring resolution in seconds (1, 10 or 60; the
+        /// server rounds down to the nearest ring).
+        res_s: u32,
+    },
 }
 
 impl RdsRequest {
@@ -234,6 +285,7 @@ impl RdsRequest {
             RdsRequest::ListInstances => 9,
             RdsRequest::ReadJournal { .. } => 10,
             RdsRequest::ReadProfile { .. } => 11,
+            RdsRequest::ReadMetrics { .. } => 12,
         }
     }
 
@@ -253,6 +305,7 @@ impl RdsRequest {
             RdsRequest::ListInstances => "list_instances",
             RdsRequest::ReadJournal { .. } => "read_journal",
             RdsRequest::ReadProfile { .. } => "read_profile",
+            RdsRequest::ReadMetrics { .. } => "read_metrics",
         }
     }
 
@@ -329,6 +382,16 @@ pub enum RdsResponse {
         /// Folded-stack lines from the VM profiler, hottest first.
         stacks: Vec<String>,
     },
+    /// `ReadMetrics` result.
+    Metrics {
+        /// Server time of the query, seconds since the telemetry epoch
+        /// (the time base of every [`MetricPoint::t_s`]).
+        now_s: u64,
+        /// Matching series, name-sorted.
+        series: Vec<MetricSeries>,
+        /// Every alert rule's current state.
+        alerts: Vec<AlertStatus>,
+    },
 }
 
 impl RdsResponse {
@@ -343,6 +406,7 @@ impl RdsResponse {
             RdsResponse::Error { .. } => 5,
             RdsResponse::Journal { .. } => 6,
             RdsResponse::Profile { .. } => 7,
+            RdsResponse::Metrics { .. } => 8,
         }
     }
 }
@@ -378,6 +442,7 @@ mod tests {
             RdsRequest::ListInstances,
             RdsRequest::ReadJournal { max_records: 0 },
             RdsRequest::ReadProfile { trace_id: 0, dpi: 0 },
+            RdsRequest::ReadMetrics { pattern: String::new(), range_s: 0, res_s: 0 },
         ];
         let mut tags: Vec<u8> = reqs.iter().map(RdsRequest::op_tag).collect();
         tags.dedup();

@@ -62,7 +62,7 @@ struct RdsTimers {
     /// Executor queue wait, from the job's explicit enqueue timestamp.
     conn_queue: Timer,
     /// Indexed by [`RdsRequest::op_tag`].
-    verbs: [Timer; 12],
+    verbs: [Timer; 13],
     decode_fail_bad_digest: Counter,
     decode_fail_codec: Counter,
     decode_fail_unknown_op: Counter,
@@ -94,6 +94,7 @@ impl RdsTimers {
                 verb("list_instances"),
                 verb("read_journal"),
                 verb("read_profile"),
+                verb("read_metrics"),
             ],
             decode_fail_bad_digest: telemetry.counter("rds.decode_fail.bad_digest"),
             decode_fail_codec: telemetry.counter("rds.decode_fail.codec"),
@@ -220,7 +221,8 @@ fn required_operation(req: &RdsRequest) -> Operation {
         RdsRequest::ListPrograms
         | RdsRequest::ListInstances
         | RdsRequest::ReadJournal { .. }
-        | RdsRequest::ReadProfile { .. } => Operation::List,
+        | RdsRequest::ReadProfile { .. }
+        | RdsRequest::ReadMetrics { .. } => Operation::List,
     }
 }
 

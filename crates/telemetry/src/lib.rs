@@ -17,7 +17,13 @@
 //!   discipline as the elastic process's notification outbox), span-id
 //!   context and interned span names;
 //! - [`store`] — tail-sampled retention of completed span trees plus
-//!   the flight recorder's frozen snapshots.
+//!   the flight recorder's frozen snapshots;
+//! - [`series`] — retained metrics history: a 1 Hz sampler snapshots
+//!   every counter rate / gauge / histogram quantile into fixed-capacity
+//!   multi-resolution rings (1 s / 10 s / 60 s, downsampled
+//!   min/max/avg/last);
+//! - [`alert`] — SLO alert rules (threshold and windowed burn-rate,
+//!   with fire/clear hysteresis) evaluated in-server over that history.
 //!
 //! A [`Telemetry`] handle ties these together and is cheaply cloneable:
 //! the elastic process, the RDS front-end and the health observers all
@@ -43,14 +49,20 @@
 //! println!("{}", snap.to_text());
 //! ```
 
+pub mod alert;
 pub mod hist;
 pub mod registry;
+pub mod series;
 pub mod span;
 pub mod store;
 pub mod trace;
 
+pub use alert::{AlertEngine, AlertOp, AlertRule, AlertStateView, AlertTransition};
 pub use hist::{bucket_bound_ns, HistSnapshot, Histogram, BUCKETS};
 pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
+pub use series::{
+    pattern_matches, History, HistoryConfig, Point, SeriesKind, SeriesView, RESOLUTIONS,
+};
 pub use span::{OwnedSpan, Span, Timer};
 pub use store::{Keep, TraceStore, TraceStoreConfig, TraceTree};
 pub use trace::{
@@ -66,6 +78,8 @@ pub(crate) struct TelemetryInner {
     pub(crate) registry: Registry,
     pub(crate) ring: OnceLock<Arc<TraceRing>>,
     pub(crate) store: OnceLock<Arc<TraceStore>>,
+    pub(crate) history: OnceLock<Arc<History>>,
+    pub(crate) alerts: OnceLock<Arc<AlertEngine>>,
     pub(crate) names: Arc<NameTable>,
     pub(crate) epoch: Instant,
 }
@@ -95,6 +109,8 @@ impl Telemetry {
                 registry: Registry::new(),
                 ring: OnceLock::new(),
                 store: OnceLock::new(),
+                history: OnceLock::new(),
+                alerts: OnceLock::new(),
                 names: Arc::new(NameTable::default()),
                 epoch: Instant::now(),
             }),
@@ -218,6 +234,78 @@ impl Telemetry {
         n
     }
 
+    /// Turns on retained metrics history (see [`History`]). Returns
+    /// `false` if history was already enabled.
+    pub fn enable_history(&self, config: HistoryConfig) -> bool {
+        self.inner.history.set(Arc::new(History::new(config))).is_ok()
+    }
+
+    /// The metrics history store, if enabled.
+    pub fn history(&self) -> Option<Arc<History>> {
+        self.inner.history.get().cloned()
+    }
+
+    /// Takes one history sample *now*: snapshots the registry and
+    /// ingests it at the current epoch-relative second. Returns the
+    /// sample time in seconds (0 when history is off). The `mbd-server`
+    /// stats loop and the background sampler both funnel through here,
+    /// so tests and benches can drive sampling deterministically.
+    pub fn sample_history(&self) -> u64 {
+        let Some(history) = self.inner.history.get() else {
+            return 0;
+        };
+        let t_s = self.elapsed_ns() / 1_000_000_000;
+        history.sample(&self.snapshot(), t_s);
+        t_s
+    }
+
+    /// Installs the alert rule set (see [`AlertEngine`]). Returns
+    /// `false` if an engine was already installed.
+    pub fn enable_alerts(&self, rules: Vec<AlertRule>) -> bool {
+        self.inner.alerts.set(Arc::new(AlertEngine::new(rules))).is_ok()
+    }
+
+    /// The alert engine, if installed.
+    pub fn alerts(&self) -> Option<Arc<AlertEngine>> {
+        self.inner.alerts.get().cloned()
+    }
+
+    /// Samples history and evaluates the alert rules against it,
+    /// returning any fire/clear transitions (also queued on the engine
+    /// for [`AlertEngine::drain_transitions`]). No-op without history.
+    pub fn sample_and_evaluate(&self) -> Vec<AlertTransition> {
+        let Some(history) = self.inner.history.get() else {
+            return Vec::new();
+        };
+        let t_s = self.sample_history();
+        match self.inner.alerts.get() {
+            Some(engine) => engine.evaluate(history, t_s),
+            None => Vec::new(),
+        }
+    }
+
+    /// Spawns the background 1 Hz sampler thread: every second it
+    /// snapshots the registry into history and evaluates the alert
+    /// rules (transitions accumulate on the engine for the embedder's
+    /// drain loop). Returns `None` when history is off. The thread
+    /// stops when the returned guard drops.
+    pub fn start_history_sampler(&self) -> Option<HistorySampler> {
+        self.inner.history.get()?;
+        let tel = self.clone();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("mbd-history-sampler".into())
+            .spawn(move || {
+                while !flag.load(std::sync::atomic::Ordering::Relaxed) {
+                    tel.sample_and_evaluate();
+                    std::thread::sleep(std::time::Duration::from_secs(1));
+                }
+            })
+            .ok()?;
+        Some(HistorySampler { stop, join: Some(join) })
+    }
+
     /// Drains the trace ring (empty when tracing is off).
     pub fn trace_events(&self) -> Vec<TraceEvent> {
         self.inner.ring.get().map(|r| r.drain()).unwrap_or_default()
@@ -248,6 +336,24 @@ impl Telemetry {
     /// ([`RegistrySnapshot::to_text`] of a fresh snapshot).
     pub fn snapshot_text(&self) -> String {
         self.snapshot().to_text()
+    }
+}
+
+/// Guard for the background history sampler thread
+/// ([`Telemetry::start_history_sampler`]); dropping it stops the
+/// thread (joining it, so the drop can take up to one sleep period).
+#[derive(Debug)]
+pub struct HistorySampler {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for HistorySampler {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
     }
 }
 
@@ -336,6 +442,32 @@ mod tests {
         let tree = tel.trace_store().unwrap().tree(0xF1).unwrap();
         assert_eq!(tree.kept, Keep::Frozen);
         assert_eq!(tree.reason, "p99 breach");
+    }
+
+    #[test]
+    fn history_samples_the_registry_through_the_handle() {
+        let tel = Telemetry::new();
+        assert_eq!(tel.sample_history(), 0, "history off: no-op");
+        assert!(tel.enable_history(HistoryConfig::default()));
+        assert!(!tel.enable_history(HistoryConfig::default()), "second enable rejected");
+        tel.gauge("ep.live_instances").set(7);
+        tel.sample_history();
+        let h = tel.history().unwrap();
+        let v = h.query("ep.live_instances", 0, 1, u64::MAX / 2);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].points.last().unwrap().last, 7);
+    }
+
+    #[test]
+    fn sample_and_evaluate_drives_the_alert_engine() {
+        let tel = Telemetry::new();
+        tel.enable_history(HistoryConfig::default());
+        tel.enable_alerts(vec![AlertRule::parse("ep.backlog>10:for=1,clear=1").unwrap()]);
+        tel.gauge("ep.backlog").set(99);
+        let edges = tel.sample_and_evaluate();
+        assert_eq!(edges.len(), 1);
+        assert!(edges[0].fired);
+        assert_eq!(tel.alerts().unwrap().drain_transitions().len(), 1);
     }
 
     #[test]

@@ -70,6 +70,41 @@ proptest! {
     }
 
     #[test]
+    fn merge_preserves_count_exactly(a in arb_samples(), b in arb_samples()) {
+        let merged = snap_of(&a).merge(&snap_of(&b));
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        // And per bucket: no sample is lost or double-counted.
+        let (sa, sb) = (snap_of(&a), snap_of(&b));
+        for (i, &c) in merged.counts.iter().enumerate() {
+            prop_assert_eq!(c, sa.counts[i] + sb.counts[i], "bucket {i} miscounted");
+        }
+    }
+
+    #[test]
+    fn quantiles_stay_monotone_under_merge(a in arb_samples(), b in arb_samples()) {
+        let merged = snap_of(&a).merge(&snap_of(&b));
+        let mut prev = 0u64;
+        for &q in &[0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let v = merged.quantile_ns(q);
+            prop_assert!(v >= prev, "merged quantile({q}) = {v} below {prev}");
+            prev = v;
+        }
+        // A merged quantile is bracketed by the two parts' quantiles:
+        // mixing distributions cannot move a rank outside both inputs.
+        for &q in &[0.25, 0.5, 0.9, 0.99] {
+            let (qa, qb, qm) = (
+                snap_of(&a).quantile_ns(q),
+                snap_of(&b).quantile_ns(q),
+                merged.quantile_ns(q),
+            );
+            if !a.is_empty() && !b.is_empty() {
+                prop_assert!(qm >= qa.min(qb), "q{q}: merged {qm} below both parts");
+                prop_assert!(qm <= qa.max(qb), "q{q}: merged {qm} above both parts");
+            }
+        }
+    }
+
+    #[test]
     fn quantile_brackets_true_rank_within_a_bucket(vals in arb_samples()) {
         prop_assume!(!vals.is_empty());
         let s = snap_of(&vals);

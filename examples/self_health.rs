@@ -1,13 +1,18 @@
 //! Self-instrumentation by delegation: the server monitors itself.
 //!
-//! PR 2's telemetry layer exports the server's own latency histograms,
+//! PR 2's telemetry layer exported the server's own latency histograms,
 //! counters and gauges as the `mbdTelemetry` OCP subtree
-//! (`enterprises.20100.4`). That closes a loop the paper only gestures
-//! at: the *same* delegation machinery that manages network devices can
-//! manage the management server, because its introspection data is
-//! ordinary MIB data. Here a delegated agent computes a health function
-//! over the server's own p99 invoke latency and notification-queue
-//! depth — using nothing but `mib_walk`/`mib_get` — and notifies the
+//! (`enterprises.20100.4`); the history layer adds `mbdHistory`
+//! (`enterprises.20100.7`) — trailing-60 s windowed summaries of every
+//! series, plus the SLO alert engine's rule states. That closes a loop
+//! the paper only gestures at: the *same* delegation machinery that
+//! manages network devices can manage the management server, because
+//! its introspection data is ordinary MIB data. Here a delegated agent
+//! computes a health function over the server's own *windowed* p99
+//! invoke latency and notification backlog — a 60 s average and peak,
+//! not a single instantaneous sample — and defers to the server's own
+//! alert engine: any firing SLO rule degrades the verdict. All of it
+//! uses nothing but `mib_walk`/`mib_get`, and the agent notifies the
 //! manager on degradation transitions.
 //!
 //! Run with: `cargo run --example self_health`
@@ -17,9 +22,9 @@ use mbd::core::{ElasticConfig, ElasticProcess, MbdServer};
 use mbd::rds::{LoopbackTransport, RdsClient};
 use std::sync::Arc;
 
-/// The delegated self-health agent. It resolves histogram and gauge
-/// rows by *name* (the name columns of the telemetry tables), so it
-/// survives metrics appearing in any order.
+/// The delegated self-health agent. It resolves history rows by *name*
+/// (the name column of the `mbdHistory` table), so it survives series
+/// appearing in any order.
 const SELF_HEALTH: &str = r#"
 var alarmed = false;
 
@@ -35,35 +40,51 @@ fn row_index(column_oid, name) {
     return "";
 }
 
-// The server health function: degraded when p99 invoke latency (µs)
-// or the undrained-notification backlog crosses its threshold.
+// The server health function, judged over the trailing 60 s window:
+// degraded when the *average* p99 invoke latency (µs, column 4) or the
+// *peak* undrained-notification backlog (column 6) crosses its
+// threshold — or when the server's own alert engine has any rule
+// firing (mbdAlerts column 3).
 fn check(p99_limit_us, queue_limit) {
-    var hist = "1.3.6.1.4.1.20100.4.3.1";
-    var gauges = "1.3.6.1.4.1.20100.4.2.1";
-    var h = row_index(hist + ".1", "ep.invoke");
-    var g = row_index(gauges + ".1", "ep.notifications_queued");
-    if (h == "" || g == "") {
-        return ["no-data", 0, 0];
+    var hist = "1.3.6.1.4.1.20100.7.1.1";
+    var p = row_index(hist + ".1", "ep.invoke.p99");
+    var q = row_index(hist + ".1", "ep.notifications_queued");
+    if (p == "" || q == "") {
+        return ["no-data", 0, 0, 0];
     }
-    var p99 = mib_get(hist + ".6." + h);
-    var depth = mib_get(gauges + ".2." + g);
-    var degraded = p99 > p99_limit_us || depth > queue_limit;
+    var p99_avg = mib_get(hist + ".4." + p);
+    var p99_peak = mib_get(hist + ".6." + p);
+    var depth_peak = mib_get(hist + ".6." + q);
+    var firing = 0;
+    var states = mib_walk("1.3.6.1.4.1.20100.7.2.1.3");
+    for (oid in states) {
+        firing = firing + states[oid];
+    }
+    var degraded = p99_avg > p99_limit_us || depth_peak > queue_limit || firing > 0;
     if (degraded && !alarmed) {
         alarmed = true;
-        notify(["server degraded", p99, depth]);
+        notify(["server degraded", p99_avg, p99_peak, depth_peak, firing]);
     }
     if (!degraded && alarmed) {
         alarmed = false;
-        notify(["server recovered", p99, depth]);
+        notify(["server recovered", p99_avg, p99_peak, depth_peak, firing]);
     }
-    if (degraded) { return ["degraded", p99, depth]; }
-    return ["healthy", p99, depth];
+    if (degraded) { return ["degraded", p99_avg, p99_peak, depth_peak, firing]; }
+    return ["healthy", p99_avg, p99_peak, depth_peak, firing];
 }
 "#;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let process = ElasticProcess::new(ElasticConfig::default());
     let server = Arc::new(MbdServer::open(process.clone()));
+
+    // Arm the history rings and one SLO rule: p99 invoke latency over
+    // 1 µs fires after a single breaching sample (every real invoke
+    // crosses it — the point is to watch the engine drive the verdict).
+    let telemetry = process.telemetry();
+    telemetry.enable_history(mbd::telemetry::HistoryConfig::default());
+    telemetry
+        .enable_alerts(vec![mbd::telemetry::AlertRule::parse("ep.invoke.p99>1us:for=1,clear=1")?]);
 
     // A manager drives ordinary RDS traffic so the latency histograms
     // have something to say.
@@ -79,7 +100,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         client.invoke(worker, "main", &[mbd::ber::BerValue::Integer(200)])?;
     }
 
-    // The OCP publishes the telemetry registry into the shared MIB.
+    // Ingest the registry into the history rings (the server binary's
+    // background sampler does this once a second) — but do NOT let the
+    // alert engine evaluate yet — then publish into the shared MIB.
+    telemetry.sample_history();
     let ocp = SnmpOcp::new(process.clone(), "public");
     ocp.refresh();
 
@@ -87,14 +111,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     process.delegate("self-health", SELF_HEALTH)?;
     let dpi = process.instantiate("self-health")?;
 
-    // Generous thresholds: healthy.
+    // Generous thresholds, no rule firing yet: healthy.
     let verdict = process.invoke(dpi, "check", &[10_000_000.into(), 100.into()])?;
-    println!("lenient thresholds : {verdict}");
+    println!("lenient thresholds        : {verdict}");
 
-    // Impossible thresholds: the agent raises a degradation event.
+    // Now let the server's own alert engine evaluate: the p99 rule
+    // fires, and the same lenient thresholds degrade — the delegated
+    // agent defers to the server's SLO verdict.
+    let edges = telemetry.sample_and_evaluate();
+    for edge in &edges {
+        println!("alert edge                : {} fired={}", edge.rule, edge.fired);
+    }
     ocp.refresh();
-    let verdict = process.invoke(dpi, "check", &[0.into(), 0.into()])?;
-    println!("strict thresholds  : {verdict}");
+    let verdict = process.invoke(dpi, "check", &[10_000_000.into(), 100.into()])?;
+    println!("lenient + rule firing     : {verdict}");
     for n in process.drain_notifications() {
         println!("notification from {}: {}", n.dpi, n.value);
     }

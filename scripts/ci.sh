@@ -30,10 +30,12 @@ echo 'fn main() { return 41 + 1; }' > "$SMOKE_DIR/work.dpl"
 SMOKE_PID=$!
 FLOOD_PID=""
 PROF_PID=""
+HIST_PID=""
 cleanup_smoke() {
     kill "$SMOKE_PID" 2>/dev/null || true
     [ -n "$FLOOD_PID" ] && kill "$FLOOD_PID" 2>/dev/null || true
     [ -n "$PROF_PID" ] && kill "$PROF_PID" 2>/dev/null || true
+    [ -n "$HIST_PID" ] && kill "$HIST_PID" 2>/dev/null || true
     rm -rf "$SMOKE_DIR"
 }
 trap cleanup_smoke EXIT
@@ -145,6 +147,93 @@ kill "$PROF_PID" 2>/dev/null || true
 wait "$PROF_PID" 2>/dev/null || true
 PROF_PID=""
 echo "profile smoke ok: $(wc -l < "$SMOKE_DIR/folded.txt") folded stacks, $PROF_ROWS mbdProfile leaves walked"
+
+echo "==> history smoke: metrics history + SLO alerts over a live server"
+# Boots a server with a p99 alert rule, a quota-breach burn-rate rule
+# and a 3-invocation quota; drives repeated quota breaches via mbdctl
+# (resume + invoke re-trips the brake each round, so the breach counter
+# rate is comfortably non-zero for the sampler), then asserts the
+# surfaces: `mbdctl top --once` renders a firing dashboard, `mbdctl
+# metrics` returns retained history (text and --json), the journal has
+# the alert fire/clear pair under real trace ids, and a delegated agent
+# walks the mbdHistory/mbdAlerts subtree (enterprises.20100.7).
+HIST_PORT=$((21000 + RANDOM % 20000))
+HIST_LOG="$SMOKE_DIR/history_server.log"
+./target/release/mbd-server --listen "127.0.0.1:$HIST_PORT" --stats 1 \
+    --history-cap 240 --max-invocations 3 \
+    --alert 'rds.verb.invoke.p99>1us:for=1' \
+    --alert 'ep.quota_breaches>0:for=1,clear=2' > "$HIST_LOG" 2>&1 &
+HIST_PID=$!
+HISTCTL=(./target/release/mbdctl --server "127.0.0.1:$HIST_PORT")
+for _ in $(seq 1 50); do
+    "${HISTCTL[@]}" programs >/dev/null 2>&1 && break
+    sleep 0.1
+done
+"${HISTCTL[@]}" delegate smoke "$SMOKE_DIR/work.dpl" >/dev/null
+HIST_DPI="$("${HISTCTL[@]}" instantiate smoke)"
+for _ in 1 2 3; do
+    "${HISTCTL[@]}" invoke "$HIST_DPI" main >/dev/null
+done
+# Each extra round breaches the cumulative quota again: the brake
+# suspends, resume re-arms, the next invoke re-trips.
+for _ in 1 2 3 4 5; do
+    "${HISTCTL[@]}" invoke "$HIST_DPI" main >/dev/null 2>&1 || true
+    "${HISTCTL[@]}" resume "$HIST_DPI" >/dev/null 2>&1 || true
+done
+sleep 5 # sampler fires the breach rule, then two quiet samples clear it
+
+"${HISTCTL[@]}" top --once > "$SMOKE_DIR/top.txt"
+grep -q "mbd top" "$SMOKE_DIR/top.txt" && grep -q "hottest counters" "$SMOKE_DIR/top.txt" || {
+    echo "history smoke FAILED: top --once did not render a dashboard:"
+    cat "$SMOKE_DIR/top.txt"
+    exit 1
+}
+grep -q "FIRING" "$SMOKE_DIR/top.txt" || {
+    echo "history smoke FAILED: no firing alert on the dashboard (p99 rule must fire):"
+    cat "$SMOKE_DIR/top.txt"
+    exit 1
+}
+"${HISTCTL[@]}" metrics 'rds.verb.invoke*' --range 300 > "$SMOKE_DIR/metrics.txt"
+grep -q "rds.verb.invoke.p99 (quantile" "$SMOKE_DIR/metrics.txt" || {
+    echo "history smoke FAILED: metrics returned no retained p99 history:"
+    cat "$SMOKE_DIR/metrics.txt"
+    exit 1
+}
+"${HISTCTL[@]}" --json metrics 'rds.verb.invoke*' --range 300 > "$SMOKE_DIR/metrics.json"
+grep -q '"name":"rds.verb.invoke.p99"' "$SMOKE_DIR/metrics.json" || {
+    echo "history smoke FAILED: metrics --json is missing the p99 series:"
+    cat "$SMOKE_DIR/metrics.json"
+    exit 1
+}
+"${HISTCTL[@]}" journal > "$SMOKE_DIR/alert_journal.txt"
+grep -Eq "trace=[0-9a-f]{16} principal=server verb=alert.fire .*ep.quota_breaches" \
+    "$SMOKE_DIR/alert_journal.txt" || {
+    echo "history smoke FAILED: no traced alert.fire for the breach rule in the journal:"
+    cat "$SMOKE_DIR/alert_journal.txt"
+    exit 1
+}
+grep -Eq "trace=[0-9a-f]{16} principal=server verb=alert.clear .*ep.quota_breaches" \
+    "$SMOKE_DIR/alert_journal.txt" || {
+    echo "history smoke FAILED: the breach alert never cleared (hysteresis broken?):"
+    cat "$SMOKE_DIR/alert_journal.txt"
+    exit 1
+}
+"${HISTCTL[@]}" --json journal | grep -q '"verb":"alert.fire"' || {
+    echo "history smoke FAILED: journal --json is missing the alert.fire record"
+    exit 1
+}
+echo 'fn count() { return len(mib_walk("1.3.6.1.4.1.20100.7")); }' > "$SMOKE_DIR/hwalker.dpl"
+"${HISTCTL[@]}" delegate hwalker "$SMOKE_DIR/hwalker.dpl" >/dev/null
+HWALK_DPI="$("${HISTCTL[@]}" instantiate hwalker)"
+HIST_ROWS="$("${HISTCTL[@]}" invoke "$HWALK_DPI" count)"
+[ "$HIST_ROWS" -gt 0 ] 2>/dev/null || {
+    echo "history smoke FAILED: delegated walk of 20100.7 saw no history rows (got \`$HIST_ROWS\`)"
+    exit 1
+}
+kill "$HIST_PID" 2>/dev/null || true
+wait "$HIST_PID" 2>/dev/null || true
+HIST_PID=""
+echo "history smoke ok: alert pair journaled, $HIST_ROWS mbdHistory/mbdAlerts leaves walked"
 
 echo "==> telemetry smoke: self-health example"
 cargo run --release -q --example self_health > "$SMOKE_DIR/self_health.out"
@@ -288,6 +377,31 @@ grep -q '"mode": "off"' bench/out/BENCH_E12.json || {
     exit 1
 }
 echo "profile smoke ok: $(grep -c '"mode"' bench/out/BENCH_E12.json) E12 rows written"
+
+echo "==> history smoke: E13 history-overhead gate (release-gated) + artifacts"
+# The release-only gate prices history collection (full registry sweeps
+# into three rings per series) + alert evaluation at 100x the production
+# sampling cadence against the unsampled baseline: under 2% throughput
+# cost, cleanest of four mirror-ordered paired blocks.
+cargo test --release -q -p mbd-bench --lib e13
+cargo run --release -q -p mbd-bench --bin exp_history >/dev/null
+[ -s bench/out/BENCH_E13.json ] && [ -s bench/out/E13.csv ] || {
+    echo "history smoke FAILED: exp_history did not write bench/out/BENCH_E13.json + E13.csv"
+    exit 1
+}
+grep -q '"mode": "history"' bench/out/BENCH_E13.json || {
+    echo "history smoke FAILED: BENCH_E13.json is missing the history series"
+    exit 1
+}
+grep -q '"mode": "off"' bench/out/BENCH_E13.json || {
+    echo "history smoke FAILED: BENCH_E13.json is missing the unsampled baseline"
+    exit 1
+}
+[ -s BENCH_E13.json ] || {
+    echo "history smoke FAILED: exp_history did not mirror BENCH_E13.json to the repo root"
+    exit 1
+}
+echo "history smoke ok: $(grep -c '"mode"' bench/out/BENCH_E13.json) E13 rows written and mirrored"
 
 echo "==> cargo test (tier-1: root package)"
 cargo test -q

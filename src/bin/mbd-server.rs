@@ -7,6 +7,7 @@
 //!            [--frame-timeout-ms MS] [--idle-poll-ms MS] [--dedup CAP]
 //!            [--max-conns N] [--max-in-flight N] [--idle-timeout-ms MS]
 //!            [--drain-deadline-ms MS] [--profile-sample N] [--slow-ms MS]
+//!            [--history-cap N] [--max-invocations N] [--alert RULE]...
 //! ```
 //!
 //! With `--demo-mib` the server's MIB is pre-populated with the MIB-II
@@ -47,6 +48,29 @@
 //! see `docs/TELEMETRY.md`). Folded stacks are served by `mbdctl
 //! profile --folded` and the `mbdProfile` subtree
 //! (`enterprises.20100.6`) over `--snmp`.
+//!
+//! Metrics **history** is always retained: a background 1 Hz sampler
+//! snapshots every counter rate, gauge and histogram p50/p99 into
+//! multi-resolution rings (1 s / 10 s / 60 s; `--history-cap N` scales
+//! their capacities, default 120/180/240 points). Query it with
+//! `mbdctl metrics NAME [--range S] [--res R]`, watch it live with
+//! `mbdctl top`, or walk the `mbdHistory` subtree
+//! (`enterprises.20100.7`) from a delegated agent.
+//!
+//! `--alert RULE` (repeatable) installs SLO alert rules evaluated
+//! in-server against that history —
+//! `METRIC(>|<)THRESHOLD[@WINDOWs][:for=N][,clear=M]`, e.g.
+//! `--alert 'rds.request.p99>50ms:for=3,clear=5'` (instantaneous
+//! threshold with hysteresis) or `--alert 'ep.quota_breaches>0@30s'`
+//! (windowed burn rate). Fire/clear transitions are journaled under a
+//! trace id, raised as dpi-0 notifications, and a fire trips the
+//! flight recorder.
+//!
+//! With `--max-invocations N` every dpi runs under a per-instance
+//! invocation quota: the N+1-th invocation trips the resource brake
+//! (suspension, a journaled `quota.breach`, the `ep.quota_breaches`
+//! counter — a natural `--alert` target — and a flight-recorder
+//! freeze).
 //!
 //! The transport knobs tune the event-driven front-end and the
 //! fault-tolerant session layer (see `docs/RDS.md` and `DESIGN.md`
@@ -100,6 +124,16 @@ fn json_line(r: &AuditRecord) -> String {
     )
 }
 
+/// Mints a non-zero trace id for a server-originated journal entry
+/// (splitmix64 of a loop-local seed — alert edges need an id that is
+/// unique within the journal, not cryptographic).
+fn alert_trace_id(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) | 1
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut listen = "127.0.0.1:4700".to_string();
     let mut key: Option<Vec<u8>> = None;
@@ -120,6 +154,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut dedup_capacity = mbd::rds::DEFAULT_DEDUP_CAPACITY;
     let mut profile_sample: u32 = 0;
     let mut slow_ms: u64 = 50;
+    let mut history_cap: usize = 120;
+    let mut alert_rules: Vec<mbd::telemetry::AlertRule> = Vec::new();
+    let mut max_invocations: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -183,6 +220,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .parse::<u64>()?
                     .max(1);
             }
+            "--history-cap" => {
+                history_cap = args
+                    .next()
+                    .ok_or("--history-cap needs a 1 s ring capacity in points")?
+                    .parse::<usize>()?
+                    .max(1);
+            }
+            "--alert" => {
+                let rule =
+                    args.next().ok_or("--alert needs a rule, e.g. 'rds.request.p99>50ms'")?;
+                alert_rules.push(mbd::telemetry::AlertRule::parse(&rule)?);
+            }
+            "--max-invocations" => {
+                max_invocations = Some(
+                    args.next()
+                        .ok_or("--max-invocations needs a per-dpi limit")?
+                        .parse::<u64>()?
+                        .max(1),
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: mbd-server [--listen ADDR] [--key SECRET] [--demo-mib] \
@@ -190,7 +247,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                      [--workers N] [--backlog N] [--frame-timeout-ms MS] \
                      [--idle-poll-ms MS] [--dedup CAP] [--max-conns N] \
                      [--max-in-flight N] [--idle-timeout-ms MS] [--drain-deadline-ms MS] \
-                     [--profile-sample N] [--slow-ms MS]"
+                     [--profile-sample N] [--slow-ms MS] [--history-cap N] \
+                     [--max-invocations N] \
+                     [--alert 'METRIC(>|<)THRESHOLD[@WINDOWs][:for=N][,clear=M]']..."
                 );
                 return Ok(());
             }
@@ -198,7 +257,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let process = ElasticProcess::new(ElasticConfig { profile_sample, ..ElasticConfig::default() });
+    let quota = max_invocations.map(|limit| mbd::core::DpiQuota {
+        max_invocations: Some(limit),
+        ..mbd::core::DpiQuota::default()
+    });
+    let process =
+        ElasticProcess::new(ElasticConfig { profile_sample, quota, ..ElasticConfig::default() });
     // Span trees and the flight recorder are always on: the ring is
     // bounded, capture is per-request, and tail sampling keeps only
     // anomalous trees plus a small reservoir.
@@ -208,6 +272,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         slow_ns,
         ..mbd::telemetry::TraceStoreConfig::default()
     });
+    // Metrics history is always on (fixed-capacity rings); the alert
+    // engine carries whatever rules the operator configured. The
+    // background sampler thread feeds both at 1 Hz — its guard lives
+    // for the life of main.
+    process.telemetry().enable_history(mbd::telemetry::HistoryConfig::with_base_cap(history_cap));
+    let alert_count = alert_rules.len();
+    process.telemetry().enable_alerts(alert_rules);
+    let _sampler = process.telemetry().start_history_sampler();
+    if alert_count > 0 {
+        println!("alert engine armed with {alert_count} rule(s)");
+    }
     if demo_mib {
         mbd::snmp::mib2::install_system(process.mib(), "mbd demo device", "demo")?;
         mbd::snmp::mib2::install_interfaces(process.mib(), 4, 10_000_000)?;
@@ -357,6 +432,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         .flight_freeze(0, &format!("p99 breach: {} ms", h.p99_ns() / 1_000_000));
                     println!("[flight] rds.request p99 over {slow_ms} ms; froze {n} spans");
                 }
+            }
+        }
+        // Alert edges from the background sampler: journal each under a
+        // minted trace id, notify the manager stream, and freeze the
+        // flight recorder on fires (the spans leading up to the breach
+        // are exactly what the operator will want).
+        for edge in process.telemetry().alerts().map(|a| a.drain_transitions()).unwrap_or_default()
+        {
+            let trace_id = alert_trace_id(seconds << 32 | edge.t_s);
+            let verb = if edge.fired { "alert.fire" } else { "alert.clear" };
+            let detail = format!("{} value {} threshold {}", edge.rule, edge.value, edge.threshold);
+            process.journal().record(
+                process.ticks(),
+                trace_id,
+                "server",
+                verb,
+                0,
+                !edge.fired,
+                &detail,
+            );
+            process.raise_notification(
+                mbd::dpl::Value::list(vec![
+                    mbd::dpl::Value::Str(verb.to_string()),
+                    mbd::dpl::Value::Str(edge.rule.clone()),
+                    mbd::dpl::Value::Int(edge.value as i64),
+                ]),
+                trace_id,
+            );
+            if edge.fired {
+                let n = process
+                    .telemetry()
+                    .flight_freeze(trace_id, &format!("alert fired: {}", edge.rule));
+                println!("[alert]  FIRED {} (value {}); froze {n} spans", edge.rule, edge.value);
+            } else {
+                println!("[alert]  cleared {} (value {})", edge.rule, edge.value);
             }
         }
         for note in process.drain_notifications() {

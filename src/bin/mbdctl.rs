@@ -3,7 +3,7 @@
 //! ```console
 //! mbdctl [--server 127.0.0.1:4700] [--key SECRET] [--principal NAME]
 //!        [--retries N] [--backoff-ms MS] [--deadline-ms MS]
-//!        [--pipeline N] [--repeat R] COMMAND
+//!        [--pipeline N] [--repeat R] [--json] COMMAND
 //!
 //! commands:
 //!   delegate NAME FILE          translate + store FILE's DPL source as NAME
@@ -23,7 +23,23 @@
 //!                               folded stacks; --folded prints only the
 //!                               stacks (flamegraph.pl input), --dpi N
 //!                               narrows stacks to one instance
+//!   metrics [PATTERN] [--range S] [--res R]
+//!                               read retained metrics history: series
+//!                               matching the *-glob PATTERN (omitted =
+//!                               all), trailing --range seconds (0 =
+//!                               everything retained) at ring
+//!                               resolution --res (1, 10 or 60 s;
+//!                               default 1); also lists alert rules
+//!   top [--once]                live dashboard: hottest counters by
+//!                               rate, gauge/quantile sparklines and
+//!                               firing alerts, refreshed every second
+//!                               (--once renders a single frame and
+//!                               exits, for scripts)
 //! ```
+//!
+//! `--json` switches `journal`, `profile` and `metrics` to
+//! machine-readable output: `journal` emits one JSON object per
+//! record (JSON Lines), `profile` and `metrics` one object each.
 //!
 //! Every request carries a fresh trace id; `journal` shows which trace
 //! caused which operation (`trace=` is all zeros only for records whose
@@ -86,6 +102,165 @@ fn parse_profile_args(rest: &[String]) -> Result<(u64, u64, bool), String> {
         }
     }
     Ok((trace_id, dpi, folded))
+}
+
+/// `metrics [PATTERN] [--range S] [--res R]` → (pattern, range_s, res_s).
+fn parse_metrics_args(rest: &[String]) -> Result<(String, u32, u32), String> {
+    let mut pattern = String::new();
+    let mut range_s = 0u32;
+    let mut res_s = 1u32;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--range" => {
+                let v = it.next().ok_or("--range needs seconds")?;
+                range_s = v.parse().map_err(|_| format!("bad range `{v}`"))?;
+            }
+            "--res" => {
+                let v = it.next().ok_or("--res needs a resolution (1, 10 or 60)")?;
+                res_s = v.parse().map_err(|_| format!("bad resolution `{v}`"))?;
+            }
+            p => pattern = p.to_string(),
+        }
+    }
+    Ok((pattern, range_s, res_s))
+}
+
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// The trailing `width` points of a series as a unicode sparkline,
+/// scaled to the window's own maximum (an all-zero window is a flat
+/// baseline).
+fn sparkline(points: &[mbd::rds::MetricPoint], width: usize) -> String {
+    let tail = &points[points.len().saturating_sub(width)..];
+    let hi = tail.iter().map(|p| p.avg).max().unwrap_or(0);
+    tail.iter()
+        .map(|p| {
+            if hi == 0 {
+                SPARKS[0]
+            } else {
+                SPARKS[(u128::from(p.avg) * (SPARKS.len() as u128 - 1) / u128::from(hi)) as usize]
+            }
+        })
+        .collect()
+}
+
+/// Human-readable rendering for a series value: quantiles are stored
+/// as nanoseconds, rates are per-second deltas, gauges are raw.
+fn fmt_value(kind: &str, v: u64) -> String {
+    match kind {
+        "quantile" => format!("{:.3} ms", v as f64 / 1e6),
+        "rate" => format!("{v}/s"),
+        _ => format!("{v}"),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn metrics_json(now_s: u64, series: &[mbd::rds::MetricSeries], alerts: &[mbd::rds::AlertStatus]) {
+    let series_json: Vec<String> = series
+        .iter()
+        .map(|s| {
+            let points: Vec<String> = s
+                .points
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{{\"t_s\":{},\"min\":{},\"max\":{},\"avg\":{},\"last\":{}}}",
+                        p.t_s, p.min, p.max, p.avg, p.last
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"name\":\"{}\",\"kind\":\"{}\",\"points\":[{}]}}",
+                json_escape(&s.name),
+                json_escape(&s.kind),
+                points.join(",")
+            )
+        })
+        .collect();
+    let alerts_json: Vec<String> = alerts
+        .iter()
+        .map(|a| {
+            format!(
+                "{{\"rule\":\"{}\",\"metric\":\"{}\",\"firing\":{},\"value\":{},\"since_s\":{},\"fired_count\":{}}}",
+                json_escape(&a.rule),
+                json_escape(&a.metric),
+                a.firing,
+                a.value,
+                a.since_s,
+                a.fired_count
+            )
+        })
+        .collect();
+    println!(
+        "{{\"now_s\":{},\"series\":[{}],\"alerts\":[{}]}}",
+        now_s,
+        series_json.join(","),
+        alerts_json.join(",")
+    );
+}
+
+/// One frame of the `top` dashboard.
+fn render_top(now_s: u64, series: &[mbd::rds::MetricSeries], alerts: &[mbd::rds::AlertStatus]) {
+    let firing = alerts.iter().filter(|a| a.firing).count();
+    println!(
+        "mbd top — t={now_s}s  {} series  {} alert rule(s), {firing} firing",
+        series.len(),
+        alerts.len(),
+    );
+    if !alerts.is_empty() {
+        println!();
+        println!("alerts:");
+        for a in alerts {
+            println!(
+                "  {} {:<44} value {:>12}  fired {}x",
+                if a.firing { "FIRING" } else { "  ok  " },
+                a.rule,
+                fmt_value(
+                    if a.metric.ends_with(".p50") || a.metric.ends_with(".p99") {
+                        "quantile"
+                    } else {
+                        "gauge"
+                    },
+                    a.value
+                ),
+                a.fired_count,
+            );
+        }
+    }
+    let mut rates: Vec<&mbd::rds::MetricSeries> =
+        series.iter().filter(|s| s.kind == "rate").collect();
+    rates.sort_by_key(|s| std::cmp::Reverse(s.points.last().map_or(0, |p| p.last)));
+    println!();
+    println!("hottest counters (per-second rates):");
+    for s in rates.iter().take(10) {
+        let last = s.points.last().map_or(0, |p| p.last);
+        println!("  {:<34} {:>10}/s  {}", s.name, last, sparkline(&s.points, 30));
+    }
+    let mut others: Vec<&mbd::rds::MetricSeries> =
+        series.iter().filter(|s| s.kind != "rate").collect();
+    others.sort_by(|a, b| a.name.cmp(&b.name));
+    println!();
+    println!("gauges & quantiles:");
+    for s in others.iter().take(12) {
+        let last = s.points.last().map_or(0, |p| p.last);
+        println!("  {:<34} {:>12}  {}", s.name, fmt_value(&s.kind, last), sparkline(&s.points, 30));
+    }
 }
 
 /// Renders a span tree as an indented waterfall: children under their
@@ -165,6 +340,10 @@ fn build_request(command: &str, rest: &[String]) -> Result<RdsRequest, Box<dyn s
             let (trace_id, dpi, _folded) = parse_profile_args(rest)?;
             RdsRequest::ReadProfile { trace_id, dpi }
         }
+        ("metrics", rest) => {
+            let (pattern, range_s, res_s) = parse_metrics_args(rest)?;
+            RdsRequest::ReadMetrics { pattern, range_s, res_s }
+        }
         (cmd, _) => return Err(format!("bad command or arguments: `{cmd}` (try --help)").into()),
     })
 }
@@ -213,6 +392,9 @@ fn run_pipelined(
                     stacks.len(),
                 );
             }
+            Ok(RdsResponse::Metrics { series, alerts, .. }) => {
+                println!("#{id}: {} series, {} alert rule(s)", series.len(), alerts.len());
+            }
             Ok(RdsResponse::Error { code, message }) => {
                 failed += 1;
                 eprintln!("#{id}: remote error ({code}): {message}");
@@ -247,6 +429,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut retry = RetryPolicy::none();
     let mut pipeline: Option<usize> = None;
     let mut repeat: usize = 1;
+    let mut json = false;
     let mut rest: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -285,8 +468,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--repeat" => {
                 repeat = args.next().ok_or("--repeat needs a count")?.parse::<usize>()?.max(1);
             }
+            "--json" => json = true,
             "--help" | "-h" => {
-                println!("see `mbdctl` module docs; commands: delegate delete instantiate invoke suspend resume terminate send programs instances journal profile");
+                println!("see `mbdctl` module docs; commands: delegate delete instantiate invoke suspend resume terminate send programs instances journal profile metrics top");
                 return Ok(());
             }
             other => {
@@ -352,23 +536,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 _ => 0,
             };
             for r in client.read_journal(max)? {
-                println!(
-                    "seq={} ticks={} trace={:016x} principal={} verb={} dpi={} {} detail={}",
-                    r.seq,
-                    r.ticks,
-                    r.trace_id,
-                    r.principal,
-                    r.verb,
-                    r.dpi,
-                    if r.ok { "ok" } else { "err" },
-                    r.detail,
-                );
+                if json {
+                    println!(
+                        "{{\"seq\":{},\"ticks\":{},\"trace\":\"{:016x}\",\"principal\":\"{}\",\"verb\":\"{}\",\"dpi\":{},\"ok\":{},\"detail\":\"{}\"}}",
+                        r.seq,
+                        r.ticks,
+                        r.trace_id,
+                        json_escape(&r.principal),
+                        json_escape(&r.verb),
+                        r.dpi,
+                        r.ok,
+                        json_escape(&r.detail),
+                    );
+                } else {
+                    println!(
+                        "seq={} ticks={} trace={:016x} principal={} verb={} dpi={} {} detail={}",
+                        r.seq,
+                        r.ticks,
+                        r.trace_id,
+                        r.principal,
+                        r.verb,
+                        r.dpi,
+                        if r.ok { "ok" } else { "err" },
+                        r.detail,
+                    );
+                }
             }
         }
         ("profile", rest) => {
             let (trace_id, dpi, folded) = parse_profile_args(rest)?;
             let (tid, kept, spans, stacks) = client.read_profile(trace_id, dpi)?;
-            if folded {
+            if json {
+                let spans_json: Vec<String> = spans
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "{{\"span_id\":{},\"parent_span_id\":{},\"name\":\"{}\",\"start_ns\":{},\"duration_ns\":{}}}",
+                            s.span_id,
+                            s.parent_span_id,
+                            json_escape(&s.name),
+                            s.start_ns,
+                            s.duration_ns,
+                        )
+                    })
+                    .collect();
+                let stacks_json: Vec<String> =
+                    stacks.iter().map(|l| format!("\"{}\"", json_escape(l))).collect();
+                println!(
+                    "{{\"trace_id\":\"{tid:016x}\",\"kept\":\"{}\",\"spans\":[{}],\"stacks\":[{}]}}",
+                    json_escape(&kept),
+                    spans_json.join(","),
+                    stacks_json.join(","),
+                );
+            } else if folded {
                 for line in &stacks {
                     println!("{line}");
                 }
@@ -385,6 +605,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         println!("  {line}");
                     }
                 }
+            }
+        }
+        ("metrics", rest) => {
+            let (pattern, range_s, res_s) = parse_metrics_args(rest)?;
+            let (now_s, series, alerts) = client.read_metrics(&pattern, range_s, res_s)?;
+            if json {
+                metrics_json(now_s, &series, &alerts);
+            } else {
+                if series.is_empty() {
+                    println!("no retained series match `{pattern}` (is history enabled?)");
+                }
+                for s in &series {
+                    println!("{} ({}, {} point(s))", s.name, s.kind, s.points.len());
+                    for p in &s.points {
+                        println!(
+                            "  t={:>6}  min={:<12} avg={:<12} max={:<12} last={}",
+                            p.t_s, p.min, p.avg, p.max, p.last,
+                        );
+                    }
+                }
+                for a in &alerts {
+                    println!(
+                        "alert {} [{}] value={} since={} fired={}",
+                        a.rule,
+                        if a.firing { "FIRING" } else { "ok" },
+                        a.value,
+                        a.since_s,
+                        a.fired_count,
+                    );
+                }
+            }
+        }
+        ("top", rest @ ([] | [_])) => {
+            let once = match rest {
+                [] => false,
+                [flag] if flag == "--once" => true,
+                [flag] => return Err(format!("bad top flag `{flag}` (try --once)").into()),
+                _ => unreachable!(),
+            };
+            loop {
+                let (now_s, series, alerts) = client.read_metrics("", 120, 1)?;
+                if !once {
+                    // Clear and home between frames so the dashboard
+                    // repaints in place.
+                    print!("\x1b[2J\x1b[H");
+                }
+                render_top(now_s, &series, &alerts);
+                if once {
+                    break;
+                }
+                std::thread::sleep(Duration::from_secs(1));
             }
         }
         (cmd, _) => return Err(format!("bad command or arguments: `{cmd}` (try --help)").into()),

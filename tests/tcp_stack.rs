@@ -292,6 +292,83 @@ fn quota_breach_over_tcp_correlates_by_trace() {
 }
 
 #[test]
+fn alert_fires_and_clears_with_hysteresis_over_tcp() {
+    let (tcp, process) = spawn_server(None);
+    let telemetry = process.telemetry();
+    telemetry.enable_history(mbd::telemetry::HistoryConfig::default());
+    telemetry
+        .enable_alerts(vec![
+            mbd::telemetry::AlertRule::parse("mbd.queue.depth>10:for=2,clear=2").unwrap()
+        ]);
+    let depth = telemetry.gauge("mbd.queue.depth");
+    let client = RdsClient::new(TcpTransport::connect(tcp.local_addr()).unwrap(), "slo-mgr");
+
+    // Play the server binary's 1 Hz duty cycle by hand: set the level,
+    // sample + evaluate, and journal each edge the way `mbd-server`
+    // does (trace id minted per edge, `ok` false on fire).
+    let step = |level: u64| -> Vec<(mbd::telemetry::AlertTransition, u64)> {
+        depth.set(level);
+        telemetry
+            .sample_and_evaluate()
+            .into_iter()
+            .map(|edge| {
+                let trace_id = 0xA1E7_0000_0000_0001u64 | (edge.t_s << 16);
+                process.journal().record(
+                    0,
+                    trace_id,
+                    "server",
+                    if edge.fired { "alert.fire" } else { "alert.clear" },
+                    0,
+                    !edge.fired,
+                    &format!("{} value {} threshold {}", edge.rule, edge.value, edge.threshold),
+                );
+                (edge, trace_id)
+            })
+            .collect()
+    };
+
+    // One breaching sample is not an incident (for=2)...
+    assert!(step(50).is_empty(), "hysteresis held after a single breach");
+    // ...the second consecutive breach fires.
+    let fired = step(60);
+    assert_eq!(fired.len(), 1);
+    assert!(fired[0].0.fired);
+    let fire_trace = fired[0].1;
+    // One healthy sample does not clear (clear=2)...
+    assert!(step(2).is_empty(), "hysteresis held after a single healthy sample");
+    // ...the second consecutive healthy sample does.
+    let cleared = step(1);
+    assert_eq!(cleared.len(), 1);
+    assert!(!cleared[0].0.fired);
+    let clear_trace = cleared[0].1;
+
+    // The remote manager sees both edges in the journal, each under a
+    // real trace id; the fire is the `err`-side record.
+    let records = client.read_journal(0).unwrap();
+    let fire = records.iter().find(|r| r.verb == "alert.fire").expect("fire journaled");
+    assert_eq!(fire.trace_id, fire_trace);
+    assert_ne!(fire.trace_id, 0);
+    assert!(!fire.ok);
+    assert!(fire.detail.contains("mbd.queue.depth>10"), "detail names the rule: {}", fire.detail);
+    let clear = records.iter().find(|r| r.verb == "alert.clear").expect("clear journaled");
+    assert_eq!(clear.trace_id, clear_trace);
+    assert!(clear.ok);
+
+    // And the whole excursion is readable back over ReadMetrics: the
+    // gauge's window covers the spike, and the rule reports one
+    // completed firing episode.
+    let (_now, series, alerts) = client.read_metrics("mbd.queue.depth", 0, 1).unwrap();
+    let s = series.iter().find(|s| s.name == "mbd.queue.depth").expect("gauge series retained");
+    assert_eq!(s.kind, "gauge");
+    assert!(s.points.iter().any(|p| p.max >= 60), "window covers the spike: {:?}", s.points);
+    assert!(s.points.iter().any(|p| p.min <= 1), "window covers the recovery");
+    let a = alerts.iter().find(|a| a.metric == "mbd.queue.depth").expect("rule visible");
+    assert!(!a.firing, "episode closed");
+    assert_eq!(a.fired_count, 1);
+    tcp.shutdown();
+}
+
+#[test]
 fn many_sequential_exchanges_on_one_connection() {
     let (tcp, _process) = spawn_server(None);
     let client = RdsClient::new(TcpTransport::connect(tcp.local_addr()).unwrap(), "mgr");
