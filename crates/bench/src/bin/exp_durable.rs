@@ -1,0 +1,11 @@
+//! E14: durability overhead — pipelined invoke throughput with the
+//! write-ahead log and snapshot compaction on vs off, plus the WAL
+//! record and snapshot counts proving the journal ran.
+fn main() -> std::io::Result<()> {
+    let out = mbd_bench::report::default_out_dir();
+    let (report, _) = mbd_bench::experiments::e14_durable::run(&[1, 8, 32], 2000);
+    let path = report.emit(&out)?;
+    let mirrored = mbd_bench::report::mirror_bench_json(&out)?;
+    println!("wrote {} (+{mirrored} BENCH_*.json mirrored to the repo root)", path.display());
+    Ok(())
+}

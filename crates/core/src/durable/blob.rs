@@ -1,0 +1,121 @@
+//! Transferable dpi checkpoints — the agent-migration primitive.
+//!
+//! A checkpoint serializes a *suspended* dpi completely: the dp source
+//! (the receiving server recompiles it, so the blob is self-contained
+//! and survives repository divergence), the VM globals under the
+//! faithful codec, the account totals and the quota. A 16-byte
+//! single-use nonce rides along; the restoring server burns it, so the
+//! same blob can never be installed twice there, and persists the burn
+//! in its WAL and snapshots so the guarantee survives restarts.
+
+use super::codec;
+use super::wal::read_nonce;
+use crate::process::{DpiAccountSnapshot, DpiQuota};
+use ber::{BerError, BerReader, BerWriter};
+use dpl::Value;
+
+/// Blob format version.
+const VERSION: i64 = 1;
+
+/// A serialized suspended dpi, ready to move between servers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointBlob {
+    /// Single-use install nonce.
+    pub nonce: [u8; 16],
+    /// The dpi's id on the source server (preserved on restore).
+    pub dpi: u64,
+    /// Program name.
+    pub dp_name: String,
+    /// DPL source.
+    pub source: String,
+    /// Original delegating principal.
+    pub principal: String,
+    /// Whether global initializers have run.
+    pub initialized: bool,
+    /// VM globals, in declaration order.
+    pub globals: Vec<Value>,
+    /// Account totals at checkpoint time.
+    pub account: DpiAccountSnapshot,
+    /// Armed quota, if any.
+    pub quota: Option<DpiQuota>,
+}
+
+impl CheckpointBlob {
+    /// Encodes the blob to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = BerWriter::new();
+        w.write_sequence(|w| {
+            w.write_i64(VERSION);
+            w.write_octet_string(&self.nonce);
+            w.write_i64(self.dpi as i64);
+            w.write_octet_string(self.dp_name.as_bytes());
+            w.write_octet_string(self.source.as_bytes());
+            w.write_octet_string(self.principal.as_bytes());
+            w.write_i64(i64::from(self.initialized));
+            codec::write_globals(w, &self.globals);
+            codec::write_account(w, &self.account);
+            codec::write_quota(w, &self.quota);
+        });
+        w.into_bytes()
+    }
+
+    /// Decodes a blob produced by [`CheckpointBlob::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`BerError`] on malformed input or an unsupported version.
+    pub fn decode(bytes: &[u8]) -> Result<CheckpointBlob, BerError> {
+        let mut r = BerReader::new(bytes);
+        let blob = r.read_sequence(|r| {
+            if r.read_i64()? != VERSION {
+                return Err(BerError::BadInteger);
+            }
+            Ok(CheckpointBlob {
+                nonce: read_nonce(r)?,
+                dpi: r.read_i64()? as u64,
+                dp_name: codec::read_string(r)?,
+                source: codec::read_string(r)?,
+                principal: codec::read_string(r)?,
+                initialized: r.read_i64()? != 0,
+                globals: codec::read_globals(r)?,
+                account: codec::read_account(r)?,
+                quota: codec::read_quota(r)?,
+            })
+        })?;
+        r.expect_end()?;
+        Ok(blob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CheckpointBlob {
+        CheckpointBlob {
+            nonce: [7; 16],
+            dpi: 3,
+            dp_name: "counter".to_string(),
+            source: "var n = 0; fn bump() { n = n + 1; return n; }".to_string(),
+            principal: "mgr".to_string(),
+            initialized: true,
+            globals: vec![Value::Int(5)],
+            account: DpiAccountSnapshot { invocations_ok: 5, vm_fuel: 77, ..Default::default() },
+            quota: None,
+        }
+    }
+
+    #[test]
+    fn blob_round_trips() {
+        let blob = sample();
+        assert_eq!(CheckpointBlob::decode(&blob.encode()).unwrap(), blob);
+    }
+
+    #[test]
+    fn damaged_blob_is_rejected() {
+        let mut bytes = sample().encode();
+        bytes.truncate(bytes.len() - 3);
+        assert!(CheckpointBlob::decode(&bytes).is_err());
+        assert!(CheckpointBlob::decode(b"junk").is_err());
+    }
+}

@@ -1,0 +1,295 @@
+//! Faithful BER codecs for durable state.
+//!
+//! The manager-facing [`crate::convert`] mapping is deliberately lossy
+//! (booleans become integers, floats become tagged strings) because it
+//! targets SNMP-style BER value types. Durability cannot afford that:
+//! a restored dpi must be *structurally identical* to the checkpointed
+//! one. This module therefore encodes [`dpl::Value`] under
+//! context-constructed tags that preserve every variant exactly:
+//!
+//! | tag | variant | content |
+//! |---|---|---|
+//! | `[0]` | `Int` | INTEGER |
+//! | `[1]` | `Float` | OCTET STRING, 8-byte big-endian IEEE-754 bits |
+//! | `[2]` | `Bool` | INTEGER 0/1 |
+//! | `[3]` | `Str` | OCTET STRING (UTF-8) |
+//! | `[4]` | `List` | encoded elements in order |
+//! | `[5]` | `Map` | key OCTET STRING / value pairs in order |
+//! | `[6]` | `Nil` | empty |
+//!
+//! The same file also carries the [`DpiAccountSnapshot`] and
+//! [`DpiQuota`] codecs shared by the WAL, the snapshot file and the
+//! checkpoint blob.
+
+use crate::process::{DpiAccountSnapshot, DpiQuota};
+use ber::{BerError, BerReader, BerWriter, Class, Tag};
+use dpl::Value;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Encodes one [`Value`] (recursively) into `w`.
+pub fn write_value(w: &mut BerWriter, value: &Value) {
+    match value {
+        Value::Int(v) => w.write_constructed(Tag::context(0), |w| w.write_i64(*v)),
+        Value::Float(v) => w.write_constructed(Tag::context(1), |w| {
+            w.write_octet_string(&v.to_bits().to_be_bytes());
+        }),
+        Value::Bool(v) => w.write_constructed(Tag::context(2), |w| w.write_i64(i64::from(*v))),
+        Value::Str(s) => w.write_constructed(Tag::context(3), |w| {
+            w.write_octet_string(s.as_bytes());
+        }),
+        Value::List(items) => w.write_constructed(Tag::context(4), |w| {
+            for item in items.iter() {
+                write_value(w, item);
+            }
+        }),
+        Value::Map(map) => w.write_constructed(Tag::context(5), |w| {
+            for (k, v) in map.iter() {
+                w.write_octet_string(k.as_bytes());
+                write_value(w, v);
+            }
+        }),
+        Value::Nil => w.write_constructed(Tag::context(6), |_| {}),
+    }
+}
+
+/// Decodes one [`Value`] from `r`.
+///
+/// # Errors
+///
+/// [`BerError`] on malformed input or an unknown variant tag.
+pub fn read_value(r: &mut BerReader<'_>) -> Result<Value, BerError> {
+    let tag = r.peek_tag()?;
+    if tag.class() != Class::Context {
+        return Err(BerError::TagMismatch { expected: Tag::context(0), found: tag });
+    }
+    match tag.number() {
+        0 => r.read_constructed(tag, |r| r.read_i64().map(Value::Int)),
+        1 => r.read_constructed(tag, |r| {
+            let bytes = r.read_octet_string()?;
+            let arr: [u8; 8] = bytes.try_into().map_err(|_| BerError::BadLength)?;
+            Ok(Value::Float(f64::from_bits(u64::from_be_bytes(arr))))
+        }),
+        2 => r.read_constructed(tag, |r| Ok(Value::Bool(r.read_i64()? != 0))),
+        3 => r.read_constructed(tag, |r| Ok(Value::Str(read_string(r)?))),
+        4 => r.read_constructed(tag, |r| {
+            let mut items = Vec::new();
+            while !r.at_end() {
+                items.push(read_value(r)?);
+            }
+            Ok(Value::List(Arc::new(items)))
+        }),
+        5 => r.read_constructed(tag, |r| {
+            let mut map = BTreeMap::new();
+            while !r.at_end() {
+                let key = read_string(r)?;
+                map.insert(key, read_value(r)?);
+            }
+            Ok(Value::Map(Arc::new(map)))
+        }),
+        6 => r.read_constructed(tag, |_| Ok(Value::Nil)),
+        _ => Err(BerError::TagMismatch { expected: Tag::context(0), found: tag }),
+    }
+}
+
+/// Encodes a whole globals vector as a SEQUENCE of values.
+pub fn write_globals(w: &mut BerWriter, globals: &[Value]) {
+    w.write_sequence(|w| {
+        for g in globals {
+            write_value(w, g);
+        }
+    });
+}
+
+/// Decodes a globals vector written by [`write_globals`].
+///
+/// # Errors
+///
+/// [`BerError`] on malformed input.
+pub fn read_globals(r: &mut BerReader<'_>) -> Result<Vec<Value>, BerError> {
+    r.read_sequence(|r| {
+        let mut globals = Vec::new();
+        while !r.at_end() {
+            globals.push(read_value(r)?);
+        }
+        Ok(globals)
+    })
+}
+
+pub(crate) fn read_string(r: &mut BerReader<'_>) -> Result<String, BerError> {
+    Ok(String::from_utf8_lossy(r.read_octet_string()?).into_owned())
+}
+
+/// Encodes a [`DpiAccountSnapshot`] as a SEQUENCE of ten integers.
+pub fn write_account(w: &mut BerWriter, a: &DpiAccountSnapshot) {
+    w.write_sequence(|w| {
+        for v in [
+            a.invocations_ok,
+            a.invocations_failed,
+            a.busy_ns,
+            a.vm_fuel,
+            a.bytes_in,
+            a.bytes_out,
+            a.notifications,
+            a.log_lines,
+            a.queue_drops,
+            a.last_trace_id,
+        ] {
+            w.write_i64(v as i64);
+        }
+    });
+}
+
+/// Decodes a [`DpiAccountSnapshot`] written by [`write_account`].
+///
+/// # Errors
+///
+/// [`BerError`] on malformed input.
+pub fn read_account(r: &mut BerReader<'_>) -> Result<DpiAccountSnapshot, BerError> {
+    r.read_sequence(|r| {
+        let mut next = || r.read_i64().map(|v| v as u64);
+        Ok(DpiAccountSnapshot {
+            invocations_ok: next()?,
+            invocations_failed: next()?,
+            busy_ns: next()?,
+            vm_fuel: next()?,
+            bytes_in: next()?,
+            bytes_out: next()?,
+            notifications: next()?,
+            log_lines: next()?,
+            queue_drops: next()?,
+            last_trace_id: next()?,
+        })
+    })
+}
+
+/// Encodes an optional [`DpiQuota`] as a SEQUENCE of five (flag, value)
+/// integer pairs — a sentinel value cannot stand for "unset" because
+/// every `u64` bit pattern is a representable limit; an absent quota is
+/// an empty SEQUENCE.
+pub fn write_quota(w: &mut BerWriter, quota: &Option<DpiQuota>) {
+    w.write_sequence(|w| {
+        if let Some(q) = quota {
+            for limit in [
+                q.max_invocations,
+                q.max_busy_ns,
+                q.max_vm_fuel,
+                q.max_notifications,
+                q.max_log_lines,
+            ] {
+                w.write_i64(i64::from(limit.is_some()));
+                w.write_i64(limit.unwrap_or(0) as i64);
+            }
+        }
+    });
+}
+
+/// Decodes an optional [`DpiQuota`] written by [`write_quota`].
+///
+/// # Errors
+///
+/// [`BerError`] on malformed input.
+pub fn read_quota(r: &mut BerReader<'_>) -> Result<Option<DpiQuota>, BerError> {
+    r.read_sequence(|r| {
+        if r.at_end() {
+            return Ok(None);
+        }
+        let mut next = || {
+            let set = r.read_i64()? != 0;
+            let value = r.read_i64()? as u64;
+            Ok::<_, BerError>(set.then_some(value))
+        };
+        Ok(Some(DpiQuota {
+            max_invocations: next()?,
+            max_busy_ns: next()?,
+            max_vm_fuel: next()?,
+            max_notifications: next()?,
+            max_log_lines: next()?,
+        }))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) -> Value {
+        let mut w = BerWriter::new();
+        write_value(&mut w, v);
+        let bytes = w.into_bytes();
+        let mut r = BerReader::new(&bytes);
+        let out = read_value(&mut r).expect("decodes");
+        assert!(r.at_end());
+        out
+    }
+
+    #[test]
+    fn every_variant_round_trips_exactly() {
+        let mut map = BTreeMap::new();
+        map.insert("k".to_string(), Value::Float(2.5));
+        map.insert("nested".to_string(), Value::list(vec![Value::Nil, Value::Bool(true)]));
+        let cases = [
+            Value::Int(-42),
+            Value::Int(i64::MIN),
+            Value::Float(0.1),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Bool(false),
+            Value::Str("héllo".to_string()),
+            Value::Str(String::new()),
+            Value::list(vec![]),
+            Value::list(vec![Value::Int(1), Value::Str("x".to_string())]),
+            Value::map(map),
+            Value::Nil,
+        ];
+        for v in cases {
+            assert_eq!(round_trip(&v), v, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn float_bits_survive_including_nan() {
+        // The lossy convert codec would stringify this; ours preserves
+        // the exact bit pattern, NaN payload included.
+        let weird = f64::from_bits(0x7FF8_0000_0000_1234);
+        let Value::Float(out) = round_trip(&Value::Float(weird)) else {
+            panic!("not a float");
+        };
+        assert_eq!(out.to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn account_and_quota_round_trip() {
+        let account = DpiAccountSnapshot {
+            invocations_ok: 7,
+            invocations_failed: 1,
+            busy_ns: u64::MAX / 4,
+            vm_fuel: 12345,
+            bytes_in: 9,
+            bytes_out: 10,
+            notifications: 2,
+            log_lines: 3,
+            queue_drops: 0,
+            last_trace_id: 0xDEAD_BEEF,
+        };
+        let mut w = BerWriter::new();
+        write_account(&mut w, &account);
+        write_quota(&mut w, &None);
+        write_quota(&mut w, &Some(DpiQuota { max_invocations: Some(5), ..DpiQuota::default() }));
+        let bytes = w.into_bytes();
+        let mut r = BerReader::new(&bytes);
+        assert_eq!(read_account(&mut r).unwrap(), account);
+        assert_eq!(read_quota(&mut r).unwrap(), None);
+        assert_eq!(
+            read_quota(&mut r).unwrap(),
+            Some(DpiQuota { max_invocations: Some(5), ..DpiQuota::default() })
+        );
+    }
+
+    #[test]
+    fn unknown_variant_tag_is_rejected() {
+        let mut w = BerWriter::new();
+        w.write_constructed(Tag::context(9), |w| w.write_i64(1));
+        let bytes = w.into_bytes();
+        assert!(read_value(&mut BerReader::new(&bytes)).is_err());
+    }
+}

@@ -36,6 +36,25 @@ pub enum CoreError {
         /// The conflicting name.
         name: String,
     },
+    /// The durability layer failed (WAL append, snapshot write,
+    /// recovery I/O).
+    Durability {
+        /// What went wrong.
+        message: String,
+    },
+    /// A checkpoint blob could not be decoded or recompiled.
+    BadCheckpoint {
+        /// What went wrong.
+        message: String,
+    },
+    /// The checkpoint blob's single-use nonce was already burned on
+    /// this server (double-install attempt).
+    NonceReused,
+    /// Restore would overwrite a dpi id that is still in the table.
+    InstanceExists {
+        /// The conflicting id.
+        dpi: DpiId,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -52,6 +71,12 @@ impl fmt::Display for CoreError {
                 write!(f, "instance limit {limit} reached")
             }
             CoreError::ProgramExists { name } => write!(f, "program `{name}` already exists"),
+            CoreError::Durability { message } => write!(f, "durability failure: {message}"),
+            CoreError::BadCheckpoint { message } => write!(f, "bad checkpoint: {message}"),
+            CoreError::NonceReused => write!(f, "checkpoint nonce already used on this server"),
+            CoreError::InstanceExists { dpi } => {
+                write!(f, "instance {dpi} already exists; cannot restore over it")
+            }
         }
     }
 }

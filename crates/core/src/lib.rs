@@ -43,6 +43,7 @@
 //! ```
 
 pub mod convert;
+pub mod durable;
 pub mod ocp;
 pub mod services;
 
@@ -53,6 +54,7 @@ mod repository;
 mod server;
 mod worker;
 
+pub use durable::{CheckpointBlob, Durability, RecoveryReport};
 pub use error::CoreError;
 pub use journal::Journal;
 pub use process::{

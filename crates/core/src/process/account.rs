@@ -68,6 +68,21 @@ impl DpiAccount {
         }
     }
 
+    /// Overwrites every counter from a snapshot — recovery and
+    /// checkpoint restore re-arm the account with its persisted totals.
+    pub fn restore(&self, s: &DpiAccountSnapshot) {
+        self.invocations_ok.store(s.invocations_ok, Ordering::Relaxed);
+        self.invocations_failed.store(s.invocations_failed, Ordering::Relaxed);
+        self.busy_ns.store(s.busy_ns, Ordering::Relaxed);
+        self.vm_fuel.store(s.vm_fuel, Ordering::Relaxed);
+        self.bytes_in.store(s.bytes_in, Ordering::Relaxed);
+        self.bytes_out.store(s.bytes_out, Ordering::Relaxed);
+        self.notifications.store(s.notifications, Ordering::Relaxed);
+        self.log_lines.store(s.log_lines, Ordering::Relaxed);
+        self.queue_drops.store(s.queue_drops, Ordering::Relaxed);
+        self.last_trace_id.store(s.last_trace_id, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy.
     pub fn snapshot(&self) -> DpiAccountSnapshot {
         DpiAccountSnapshot {

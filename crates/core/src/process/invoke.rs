@@ -92,6 +92,12 @@ impl ElasticProcess {
                 Err(CoreError::Runtime(e))
             }
         };
+        // WAL the invocation as its *post-state* (globals, account,
+        // lifecycle) so replay is pure state application. The globals are
+        // collected under the instance lock and the lock released before
+        // the WAL append — the snapshotter holds the WAL lock while taking
+        // instance locks, so the reverse order here would deadlock.
+        self.durable_log_invoke(dpi, &slot);
         // Apply actions the agent queued (delegation by agents): the
         // invocation has returned, so no dpi locks are held.
         let queued = std::mem::take(&mut *pending.lock());

@@ -41,6 +41,10 @@ impl ElasticProcess {
         self.inner.dpis.insert(id, Arc::new(slot));
         stats::bump(&self.inner.stats.instantiations);
         self.journal_event("lifecycle.instantiate", id, true, dp_name);
+        self.durable_append(crate::durable::WalRecord::Instantiate {
+            dpi: id.0,
+            dp_name: dp_name.to_string(),
+        });
         Ok(id)
     }
 
@@ -62,6 +66,7 @@ impl ElasticProcess {
             match slot.try_transition(observed, DpiState::Suspended) {
                 Ok(()) => {
                     self.journal_event("lifecycle.suspend", dpi, true, "");
+                    self.durable_append(crate::durable::WalRecord::Suspend { dpi: dpi.0 });
                     return Ok(());
                 }
                 Err(now) => {
@@ -83,7 +88,10 @@ impl ElasticProcess {
         let _span = self.inner.metrics.resume.start();
         let slot = self.slot(dpi)?;
         slot.try_transition(DpiState::Suspended, DpiState::Ready)
-            .map(|()| self.journal_event("lifecycle.resume", dpi, true, ""))
+            .map(|()| {
+                self.journal_event("lifecycle.resume", dpi, true, "");
+                self.durable_append(crate::durable::WalRecord::Resume { dpi: dpi.0 });
+            })
             .map_err(|state| CoreError::BadState { dpi, state, operation: "resume" })
     }
 
@@ -107,6 +115,7 @@ impl ElasticProcess {
         }
         self.retire(dpi);
         self.journal_event("lifecycle.terminate", dpi, true, "");
+        self.durable_append(crate::durable::WalRecord::Terminate { dpi: dpi.0 });
         Ok(())
     }
 

@@ -12,6 +12,7 @@
 //! Translator front door) and the drain APIs.
 
 mod account;
+mod durability;
 pub(crate) mod events;
 mod invoke;
 mod lifecycle;
@@ -25,14 +26,16 @@ pub use account::{DpiAccount, DpiAccountRow, DpiAccountSnapshot, DpiQuota};
 pub use events::EventQueue;
 pub use stats::ProcessStats;
 
+use crate::durable::Durability;
 use crate::journal::Journal;
 use crate::services::{self, Notification, ServerCtx};
 use crate::{CoreError, Repository};
 use dpl::{Budget, HostRegistry, Value};
 use mbd_telemetry::{Counter, Gauge, Telemetry, Timer};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rds::{DpiId, DpiState};
 use snmp::MibStore;
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -118,6 +121,17 @@ pub(in crate::process) struct EpMetrics {
     pub live_instances: Gauge,
     /// `ep.quota_breaches` — dpis suspended for exceeding their quota.
     pub quota_breaches: Counter,
+    /// `ep.wal_records` — entries appended to the write-ahead log.
+    pub wal_records: Counter,
+    /// `ep.wal_bytes` — bytes appended to the write-ahead log.
+    pub wal_bytes: Counter,
+    /// `ep.wal_fsyncs` — fsyncs issued by the WAL (batched + periodic).
+    pub wal_fsyncs: Counter,
+    /// `ep.wal_fsync` — fsync latency histogram.
+    pub wal_fsync: Timer,
+    /// `ep.recovery_ms` — wall-clock milliseconds of the last boot
+    /// recovery (0 until one has run).
+    pub recovery_ms: Gauge,
 }
 
 impl EpMetrics {
@@ -135,6 +149,11 @@ impl EpMetrics {
             log_queued: telemetry.gauge("ep.log_queued"),
             live_instances: telemetry.gauge("ep.live_instances"),
             quota_breaches: telemetry.counter("ep.quota_breaches"),
+            wal_records: telemetry.counter("ep.wal_records"),
+            wal_bytes: telemetry.counter("ep.wal_bytes"),
+            wal_fsyncs: telemetry.counter("ep.wal_fsyncs"),
+            wal_fsync: telemetry.timer("ep.wal_fsync"),
+            recovery_ms: telemetry.gauge("ep.recovery_ms"),
         }
     }
 }
@@ -158,6 +177,16 @@ pub(in crate::process) struct Inner {
     pub telemetry: Telemetry,
     pub metrics: EpMetrics,
     pub journal: Arc<Journal>,
+    /// The armed durability store (`None` until
+    /// [`ElasticProcess::attach_durability`]); behind an `RwLock` so hot
+    /// paths pay one uncontended read-lock when durability is off.
+    pub durable: RwLock<Option<Arc<Durability>>>,
+    /// Restore nonces burned on this server (single-use blob guarantee).
+    pub nonces: Mutex<HashSet<[u8; 16]>>,
+    /// Trace ids replayed from the WAL at boot — a post-restart
+    /// duplicate of one of these is a dedup *cold miss* (the in-memory
+    /// `DedupCache` died with the old process).
+    pub cold_traces: Mutex<HashSet<u64>>,
 }
 
 /// An elastic process: the runtime that accepts, translates, stores,
@@ -210,6 +239,9 @@ impl ElasticProcess {
                 telemetry,
                 metrics,
                 journal,
+                durable: RwLock::new(None),
+                nonces: Mutex::new(HashSet::new()),
+                cold_traces: Mutex::new(HashSet::new()),
             }),
         }
     }
@@ -324,6 +356,7 @@ impl ElasticProcess {
     pub fn set_quota(&self, dpi: DpiId, quota: Option<DpiQuota>) -> Result<(), CoreError> {
         let slot = self.slot(dpi)?;
         *slot.quota.lock() = quota;
+        self.durable_append(crate::durable::WalRecord::SetQuota { dpi: dpi.0, quota });
         Ok(())
     }
 
@@ -445,6 +478,11 @@ impl ElasticProcess {
             Ok(program) => {
                 self.inner.repository.store(name, source, program, principal);
                 stats::bump(&self.inner.stats.delegations_accepted);
+                self.durable_append(crate::durable::WalRecord::Delegate {
+                    name: name.to_string(),
+                    source: source.to_string(),
+                    principal: principal.to_string(),
+                });
                 Ok(())
             }
             Err(e) => {
@@ -460,7 +498,11 @@ impl ElasticProcess {
     ///
     /// [`CoreError::NoSuchProgram`] if absent.
     pub fn delete_program(&self, name: &str) -> Result<(), CoreError> {
-        self.inner.repository.delete(name).map(|_| ())
+        self.inner.repository.delete(name).map(|_| {
+            self.durable_append(crate::durable::WalRecord::DeleteProgram {
+                name: name.to_string(),
+            });
+        })
     }
 
     /// Sorted names of stored dps.

@@ -45,14 +45,27 @@ fn decode(code: u8) -> DpiState {
 
 impl DpiSlot {
     pub fn new(dp_name: String, instance: dpl::Instance) -> DpiSlot {
+        DpiSlot::with_state(dp_name, instance, DpiState::Ready)
+    }
+
+    /// A slot starting in an explicit lifecycle state — recovery and
+    /// checkpoint restore install dpis that are not freshly `Ready`.
+    pub fn with_state(dp_name: String, instance: dpl::Instance, state: DpiState) -> DpiSlot {
         DpiSlot {
             dp_name,
-            state: AtomicU8::new(DpiState::Ready.code() as u8),
+            state: AtomicU8::new(state.code() as u8),
             instance: Mutex::new(instance),
             mailbox: Arc::new(Mutex::new(VecDeque::new())),
             account: Arc::new(DpiAccount::default()),
             quota: Mutex::new(None),
         }
+    }
+
+    /// Unconditionally sets the lifecycle state — WAL replay applies
+    /// recorded outcomes without CAS ceremony (replay is single-threaded
+    /// and the recorded transition already happened).
+    pub fn set_state(&self, state: DpiState) {
+        self.state.store(state.code() as u8, Ordering::Release);
     }
 
     /// Current lifecycle state.

@@ -53,7 +53,9 @@ fn error_code(e: &CoreError) -> ErrorCode {
         CoreError::NoSuchInstance(_) => ErrorCode::NoSuchInstance,
         CoreError::BadState { .. } => ErrorCode::BadState,
         CoreError::Runtime(_) => ErrorCode::RuntimeFault,
-        CoreError::TooManyInstances { .. } => ErrorCode::Internal,
+        CoreError::TooManyInstances { .. } | CoreError::Durability { .. } => ErrorCode::Internal,
+        CoreError::BadCheckpoint { .. } => ErrorCode::TranslationFailed,
+        CoreError::NonceReused | CoreError::InstanceExists { .. } => ErrorCode::BadState,
     }
 }
 
@@ -101,6 +103,12 @@ impl RdsHandler for Dispatcher {
             }
             RdsRequest::Terminate { dpi } => {
                 to_response(self.process.terminate(dpi), |()| RdsResponse::Ok)
+            }
+            RdsRequest::Checkpoint { dpi } => {
+                to_response(self.process.checkpoint(dpi), |blob| RdsResponse::Checkpointed { blob })
+            }
+            RdsRequest::Restore { blob } => {
+                to_response(self.process.restore(&blob), |dpi| RdsResponse::Instantiated { dpi })
             }
             RdsRequest::SendMessage { dpi, payload } => {
                 to_response(self.process.send_message(dpi, &payload), |()| RdsResponse::Ok)
@@ -202,9 +210,25 @@ impl RdsHandler for Dispatcher {
 /// decode failure) becomes a journal record, and the frame bytes are
 /// charged to the targeted dpi's account.
 fn audit_sink(process: ElasticProcess) -> Arc<dyn Fn(AuditEvent) + Send + Sync> {
+    let cold_misses = process.telemetry().counter("rds.dedup_cold_misses");
     Arc::new(move |e: AuditEvent| {
         if e.dpi != 0 {
             process.charge_rds_bytes(DpiId(e.dpi), e.bytes_in, e.bytes_out);
+        }
+        // A trace id seen in the replayed WAL means this frame already
+        // executed before the crash; the dedup cache restarted cold and
+        // could not suppress the retry, so the effect ran twice.
+        if process.was_cold_trace(e.trace_id) {
+            cold_misses.inc();
+            process.journal().record(
+                process.ticks(),
+                e.trace_id,
+                &e.principal,
+                "dedup.cold_miss",
+                e.dpi,
+                false,
+                &format!("retry of pre-crash {} re-executed (dedup cache was cold)", e.verb),
+            );
         }
         process.journal().record(
             process.ticks(),

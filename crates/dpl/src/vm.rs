@@ -176,6 +176,46 @@ impl Instance {
         Some(Entry { index: idx as u32, arity: self.program.functions[idx].arity as u32 })
     }
 
+    /// A copy of every persistent global, in declaration order
+    /// (matching [`Program::global_names`]). Together with
+    /// [`Instance::initialized`] this is the instance's complete
+    /// serializable state: DPL values hold no foreign pointers, so a
+    /// checkpoint of `(globals, initialized)` plus the program source
+    /// reconstructs the dpi exactly.
+    pub fn globals_snapshot(&self) -> Vec<Value> {
+        self.globals.clone()
+    }
+
+    /// Whether the lazy global initializers have already run. Part of
+    /// the serializable state: a restored instance must not re-run its
+    /// initializers and clobber the restored globals.
+    pub fn initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Replaces this instance's persistent state with a previously
+    /// captured `(globals, initialized)` pair — the restore half of
+    /// checkpoint/migration and of crash recovery.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::BadInvocation`] if `globals` does not match the
+    /// program's global count (the checkpoint came from a different
+    /// program shape).
+    pub fn restore_state(
+        &mut self,
+        globals: Vec<Value>,
+        initialized: bool,
+    ) -> Result<(), RuntimeError> {
+        let expected = self.program.global_names.len();
+        if globals.len() != expected {
+            return Err(RuntimeError::BadInvocation { expected, found: globals.len() });
+        }
+        self.globals = globals;
+        self.initialized = initialized;
+        Ok(())
+    }
+
     /// Drops the cached host map and entry memo so the next invocation
     /// re-resolves everything from scratch. Exists for the `e10_vm`
     /// bench, which uses it to reconstruct the pre-cache per-invocation

@@ -289,6 +289,34 @@ impl<T: Transport> RdsClient<T> {
         self.expect_ok(&RdsRequest::SendMessage { dpi, payload: payload.to_vec() })
     }
 
+    /// Serializes a *suspended* dpi into a transferable checkpoint blob
+    /// (install it on another server with [`RdsClient::restore`]).
+    ///
+    /// # Errors
+    ///
+    /// `Remote(BadState)` unless the dpi is suspended,
+    /// `Remote(NoSuchInstance)`.
+    pub fn checkpoint(&self, dpi: DpiId) -> Result<Vec<u8>, RdsError> {
+        match self.roundtrip(&RdsRequest::Checkpoint { dpi })? {
+            RdsResponse::Checkpointed { blob } => Ok(blob),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Installs a checkpoint blob as a suspended dpi; resume it to
+    /// continue the agent where the source server left off.
+    ///
+    /// # Errors
+    ///
+    /// `Remote(BadState)` on a reused nonce or an occupied dpi id,
+    /// `Remote(TranslationFailed)` on an undecodable blob.
+    pub fn restore(&self, blob: &[u8]) -> Result<DpiId, RdsError> {
+        match self.roundtrip(&RdsRequest::Restore { blob: blob.to_vec() })? {
+            RdsResponse::Instantiated { dpi } => Ok(dpi),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Lists the dp names stored in the repository.
     ///
     /// # Errors

@@ -191,6 +191,12 @@ pub fn encode_request_traced(
                 w.write_i64(i64::from(*range_s));
                 w.write_i64(i64::from(*res_s));
             }
+            RdsRequest::Checkpoint { dpi } => {
+                w.write_i64(dpi.0 as i64);
+            }
+            RdsRequest::Restore { blob } => {
+                w.write_octet_string(blob);
+            }
         });
     });
     seal_traced(w.into_bytes(), key, trace)
@@ -271,6 +277,8 @@ pub fn decode_request_traced(
                     range_s: r.read_i64()?.clamp(0, i64::from(u32::MAX)) as u32,
                     res_s: r.read_i64()?.clamp(0, i64::from(u32::MAX)) as u32,
                 }),
+                13 => Some(RdsRequest::Checkpoint { dpi: DpiId(r.read_i64()? as u64) }),
+                14 => Some(RdsRequest::Restore { blob: r.read_octet_string()?.to_vec() }),
                 _ => {
                     // Drain so expect_end passes; flag after.
                     while !r.at_end() {
@@ -362,6 +370,7 @@ pub fn encode_response_traced(
                     }
                 });
             }
+            RdsResponse::Checkpointed { blob } => w.write_octet_string(blob),
             RdsResponse::Metrics { now_s, series, alerts } => {
                 w.write_i64(*now_s as i64);
                 w.write_sequence(|w| {
@@ -553,6 +562,7 @@ pub fn decode_response_traced(
                         Ok(out)
                     })?,
                 }),
+                9 => Some(RdsResponse::Checkpointed { blob: r.read_octet_string()?.to_vec() }),
                 _ => {
                     while !r.at_end() {
                         r.read_value()?;
@@ -654,6 +664,8 @@ mod tests {
             RdsRequest::ReadJournal { max_records: 64 },
             RdsRequest::ReadProfile { trace_id: 0xFEED, dpi: 3 },
             RdsRequest::ReadMetrics { pattern: "rds.verb.*".to_string(), range_s: 120, res_s: 10 },
+            RdsRequest::Checkpoint { dpi: DpiId(11) },
+            RdsRequest::Restore { blob: vec![0x30, 0x03, 0x02, 0x01, 0x01] },
         ]
     }
 
@@ -756,6 +768,7 @@ mod tests {
                     fired_count: 2,
                 }],
             },
+            RdsResponse::Checkpointed { blob: vec![0xDE, 0xAD, 0xBE, 0xEF] },
         ]
     }
 

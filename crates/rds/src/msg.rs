@@ -267,6 +267,18 @@ pub enum RdsRequest {
         /// server rounds down to the nearest ring).
         res_s: u32,
     },
+    /// Serialize a *suspended* dpi into a transferable checkpoint blob
+    /// (the agent-migration export; non-destructive).
+    Checkpoint {
+        /// The instance to serialize.
+        dpi: DpiId,
+    },
+    /// Install a checkpoint blob from another server as a suspended
+    /// dpi. The blob's single-use nonce is burned on install.
+    Restore {
+        /// The blob produced by `Checkpoint` elsewhere.
+        blob: Vec<u8>,
+    },
 }
 
 impl RdsRequest {
@@ -286,6 +298,8 @@ impl RdsRequest {
             RdsRequest::ReadJournal { .. } => 10,
             RdsRequest::ReadProfile { .. } => 11,
             RdsRequest::ReadMetrics { .. } => 12,
+            RdsRequest::Checkpoint { .. } => 13,
+            RdsRequest::Restore { .. } => 14,
         }
     }
 
@@ -306,6 +320,8 @@ impl RdsRequest {
             RdsRequest::ReadJournal { .. } => "read_journal",
             RdsRequest::ReadProfile { .. } => "read_profile",
             RdsRequest::ReadMetrics { .. } => "read_metrics",
+            RdsRequest::Checkpoint { .. } => "checkpoint",
+            RdsRequest::Restore { .. } => "restore",
         }
     }
 
@@ -326,7 +342,8 @@ impl RdsRequest {
             | RdsRequest::Suspend { dpi }
             | RdsRequest::Resume { dpi }
             | RdsRequest::Terminate { dpi }
-            | RdsRequest::SendMessage { dpi, .. } => Some(*dpi),
+            | RdsRequest::SendMessage { dpi, .. }
+            | RdsRequest::Checkpoint { dpi } => Some(*dpi),
             _ => None,
         }
     }
@@ -382,6 +399,12 @@ pub enum RdsResponse {
         /// Folded-stack lines from the VM profiler, hottest first.
         stacks: Vec<String>,
     },
+    /// `Checkpoint` result: the serialized dpi, installable elsewhere
+    /// with `Restore`.
+    Checkpointed {
+        /// The encoded checkpoint blob.
+        blob: Vec<u8>,
+    },
     /// `ReadMetrics` result.
     Metrics {
         /// Server time of the query, seconds since the telemetry epoch
@@ -407,6 +430,7 @@ impl RdsResponse {
             RdsResponse::Journal { .. } => 6,
             RdsResponse::Profile { .. } => 7,
             RdsResponse::Metrics { .. } => 8,
+            RdsResponse::Checkpointed { .. } => 9,
         }
     }
 }
@@ -443,6 +467,8 @@ mod tests {
             RdsRequest::ReadJournal { max_records: 0 },
             RdsRequest::ReadProfile { trace_id: 0, dpi: 0 },
             RdsRequest::ReadMetrics { pattern: String::new(), range_s: 0, res_s: 0 },
+            RdsRequest::Checkpoint { dpi: DpiId(0) },
+            RdsRequest::Restore { blob: vec![] },
         ];
         let mut tags: Vec<u8> = reqs.iter().map(RdsRequest::op_tag).collect();
         tags.dedup();

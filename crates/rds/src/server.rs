@@ -62,7 +62,7 @@ struct RdsTimers {
     /// Executor queue wait, from the job's explicit enqueue timestamp.
     conn_queue: Timer,
     /// Indexed by [`RdsRequest::op_tag`].
-    verbs: [Timer; 13],
+    verbs: [Timer; 15],
     decode_fail_bad_digest: Counter,
     decode_fail_codec: Counter,
     decode_fail_unknown_op: Counter,
@@ -95,6 +95,8 @@ impl RdsTimers {
                 verb("read_journal"),
                 verb("read_profile"),
                 verb("read_metrics"),
+                verb("checkpoint"),
+                verb("restore"),
             ],
             decode_fail_bad_digest: telemetry.counter("rds.decode_fail.bad_digest"),
             decode_fail_codec: telemetry.counter("rds.decode_fail.codec"),
@@ -215,9 +217,13 @@ fn required_operation(req: &RdsRequest) -> Operation {
         }
         RdsRequest::Instantiate { .. } => Operation::Instantiate,
         RdsRequest::Invoke { .. } | RdsRequest::SendMessage { .. } => Operation::Invoke,
-        RdsRequest::Suspend { .. } | RdsRequest::Resume { .. } | RdsRequest::Terminate { .. } => {
-            Operation::Control
-        }
+        RdsRequest::Suspend { .. }
+        | RdsRequest::Resume { .. }
+        | RdsRequest::Terminate { .. }
+        | RdsRequest::Checkpoint { .. } => Operation::Control,
+        // Installing a checkpoint creates a program and an instance —
+        // the delegation privilege.
+        RdsRequest::Restore { .. } => Operation::Delegate,
         RdsRequest::ListPrograms
         | RdsRequest::ListInstances
         | RdsRequest::ReadJournal { .. }

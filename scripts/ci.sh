@@ -31,11 +31,13 @@ SMOKE_PID=$!
 FLOOD_PID=""
 PROF_PID=""
 HIST_PID=""
+DUR_PID=""
 cleanup_smoke() {
     kill "$SMOKE_PID" 2>/dev/null || true
     [ -n "$FLOOD_PID" ] && kill "$FLOOD_PID" 2>/dev/null || true
     [ -n "$PROF_PID" ] && kill "$PROF_PID" 2>/dev/null || true
     [ -n "$HIST_PID" ] && kill "$HIST_PID" 2>/dev/null || true
+    [ -n "$DUR_PID" ] && kill -9 "$DUR_PID" 2>/dev/null || true
     rm -rf "$SMOKE_DIR"
 }
 trap cleanup_smoke EXIT
@@ -402,6 +404,91 @@ grep -q '"mode": "off"' bench/out/BENCH_E13.json || {
     exit 1
 }
 echo "history smoke ok: $(grep -c '"mode"' bench/out/BENCH_E13.json) E13 rows written and mirrored"
+
+echo "==> durability smoke: kill -9 a stateful server, reboot, state survives"
+# Boots the real binary with a state directory, delegates a counting
+# agent, drives it to 3, then SIGKILLs the process mid-life. The reboot
+# on the same directory must journal a traced recovery record, still
+# list the same dpi, and continue the count at 4 — proving globals,
+# the id allocator and the dp repository all came back from WAL+snapshot.
+DUR_PORT=$((21000 + RANDOM % 20000))
+DUR_STATE="$SMOKE_DIR/state"
+DUR_LOG="$SMOKE_DIR/durable_server.log"
+echo 'var n = 0; fn main() { n = n + 1; return n; }' > "$SMOKE_DIR/counter.dpl"
+./target/release/mbd-server --listen "127.0.0.1:$DUR_PORT" \
+    --state-dir "$DUR_STATE" > "$DUR_LOG" 2>&1 &
+DUR_PID=$!
+DURCTL=(./target/release/mbdctl --server "127.0.0.1:$DUR_PORT")
+for _ in $(seq 1 50); do
+    "${DURCTL[@]}" programs >/dev/null 2>&1 && break
+    sleep 0.1
+done
+"${DURCTL[@]}" delegate counter "$SMOKE_DIR/counter.dpl" >/dev/null
+DUR_DPI="$("${DURCTL[@]}" instantiate counter)"
+for want in 1 2 3; do
+    GOT="$("${DURCTL[@]}" invoke "$DUR_DPI" main)"
+    [ "$GOT" = "$want" ] || {
+        echo "durability smoke FAILED: pre-crash count returned \`$GOT\`, wanted $want"
+        exit 1
+    }
+done
+sleep 1 # let group commit flush the staged WAL tail (10 ms) + the 1 Hz sync
+kill -9 "$DUR_PID"
+wait "$DUR_PID" 2>/dev/null || true
+./target/release/mbd-server --listen "127.0.0.1:$DUR_PORT" \
+    --state-dir "$DUR_STATE" > "$DUR_LOG" 2>&1 &
+DUR_PID=$!
+for _ in $(seq 1 50); do
+    "${DURCTL[@]}" programs >/dev/null 2>&1 && break
+    sleep 0.1
+done
+"${DURCTL[@]}" instances | grep -q "^$DUR_DPI	counter" || {
+    echo "durability smoke FAILED: rebooted server does not list $DUR_DPI:"
+    "${DURCTL[@]}" instances
+    exit 1
+}
+GOT="$("${DURCTL[@]}" invoke "$DUR_DPI" main)"
+[ "$GOT" = "4" ] || {
+    echo "durability smoke FAILED: post-crash count returned \`$GOT\`, wanted 4 (globals lost?)"
+    exit 1
+}
+"${DURCTL[@]}" journal > "$SMOKE_DIR/recovery_journal.txt"
+grep -Eq "trace=[0-9a-f]{16} principal=server verb=recovery " \
+    "$SMOKE_DIR/recovery_journal.txt" || {
+    echo "durability smoke FAILED: no traced recovery record in the reboot journal:"
+    cat "$SMOKE_DIR/recovery_journal.txt"
+    exit 1
+}
+kill "$DUR_PID" 2>/dev/null || true
+wait "$DUR_PID" 2>/dev/null || true
+DUR_PID=""
+echo "durability smoke ok: $DUR_DPI survived kill -9 and counted on ($GOT)"
+
+echo "==> durability smoke: E14 overhead gate (release-gated) + artifacts"
+# The release-only gate prices the full durability posture (staged
+# group-commit WAL + snapshot/truncate cycles at ~120x the production
+# cadence) against the undurable baseline on the pipelined invoke
+# workload: under 5% throughput cost, cleanest of four mirror-ordered
+# paired blocks.
+cargo test --release -q -p mbd-bench --lib e14
+cargo run --release -q -p mbd-bench --bin exp_durable >/dev/null
+[ -s bench/out/BENCH_E14.json ] && [ -s bench/out/E14.csv ] || {
+    echo "durability smoke FAILED: exp_durable did not write bench/out/BENCH_E14.json + E14.csv"
+    exit 1
+}
+grep -q '"mode": "wal+snap"' bench/out/BENCH_E14.json || {
+    echo "durability smoke FAILED: BENCH_E14.json is missing the wal+snap series"
+    exit 1
+}
+grep -q '"mode": "off"' bench/out/BENCH_E14.json || {
+    echo "durability smoke FAILED: BENCH_E14.json is missing the undurable baseline"
+    exit 1
+}
+[ -s BENCH_E14.json ] || {
+    echo "durability smoke FAILED: exp_durable did not mirror BENCH_E14.json to the repo root"
+    exit 1
+}
+echo "durability smoke ok: $(grep -c '"mode"' bench/out/BENCH_E14.json) E14 rows written and mirrored"
 
 echo "==> cargo test (tier-1: root package)"
 cargo test -q

@@ -8,7 +8,19 @@
 //!            [--max-conns N] [--max-in-flight N] [--idle-timeout-ms MS]
 //!            [--drain-deadline-ms MS] [--profile-sample N] [--slow-ms MS]
 //!            [--history-cap N] [--max-invocations N] [--alert RULE]...
+//!            [--state-dir DIR] [--snapshot-every SECS] [--fsync-every N]
 //! ```
+//!
+//! With `--state-dir DIR` the delegation state is **durable** (see
+//! `docs/DURABILITY.md`): every delegation-mutating operation is
+//! appended to a write-ahead log in DIR before the response leaves, a
+//! snapshot of the dpi table is taken every `--snapshot-every` seconds
+//! (default 30; 0 disables periodic snapshots), and on boot the server
+//! replays snapshot + WAL tail, resuming every delegated agent — VM
+//! globals, accounting and lifecycle state intact — exactly as the
+//! crash left them. `--fsync-every N` batches WAL fsyncs (1 = sync
+//! every record; higher trades a bounded tail of recent operations
+//! against throughput).
 //!
 //! With `--demo-mib` the server's MIB is pre-populated with the MIB-II
 //! subset, the concentrator counters and a 100-row ATM VC table, so
@@ -157,6 +169,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut history_cap: usize = 120;
     let mut alert_rules: Vec<mbd::telemetry::AlertRule> = Vec::new();
     let mut max_invocations: Option<u64> = None;
+    let mut state_dir: Option<String> = None;
+    let mut snapshot_every: u64 = 30;
+    let mut fsync_every: usize = mbd::core::durable::DEFAULT_FSYNC_EVERY;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -240,6 +255,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         .max(1),
                 );
             }
+            "--state-dir" => {
+                state_dir = Some(args.next().ok_or("--state-dir needs a directory")?);
+            }
+            "--snapshot-every" => {
+                snapshot_every =
+                    args.next().ok_or("--snapshot-every needs seconds (0 = off)")?.parse()?;
+            }
+            "--fsync-every" => {
+                fsync_every = args
+                    .next()
+                    .ok_or("--fsync-every needs a record count (1 = every record)")?
+                    .parse::<usize>()?
+                    .max(1);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: mbd-server [--listen ADDR] [--key SECRET] [--demo-mib] \
@@ -249,7 +278,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                      [--max-in-flight N] [--idle-timeout-ms MS] [--drain-deadline-ms MS] \
                      [--profile-sample N] [--slow-ms MS] [--history-cap N] \
                      [--max-invocations N] \
-                     [--alert 'METRIC(>|<)THRESHOLD[@WINDOWs][:for=N][,clear=M]']..."
+                     [--alert 'METRIC(>|<)THRESHOLD[@WINDOWs][:for=N][,clear=M]']... \
+                     [--state-dir DIR] [--snapshot-every SECS] [--fsync-every N]"
                 );
                 return Ok(());
             }
@@ -289,6 +319,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mbd::snmp::mib2::install_concentrator(process.mib())?;
         mbd::snmp::mib2::install_atm_vc_table(process.mib(), 100)?;
         println!("demo MIB installed ({} objects)", process.mib().len());
+    }
+    // Durability must be armed before the transport accepts its first
+    // request: recovery replays the previous incarnation's state, and
+    // every operation after this point is WAL-logged.
+    if let Some(dir) = &state_dir {
+        let report = process.attach_durability(std::path::Path::new(dir), fsync_every)?;
+        println!(
+            "durable state in {dir}: recovered {} dpi(s) ({} program(s), {} WAL record(s), \
+             {} abandoned, {} torn byte(s) discarded) in {} ms [trace {:016x}]",
+            report.restored_dpis,
+            report.restored_programs,
+            report.wal_records,
+            report.abandoned_dpis,
+            report.torn_bytes,
+            report.recovery_ms,
+            report.trace_id,
+        );
     }
     let authenticated = key.is_some();
     let server = Arc::new(
@@ -420,6 +467,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seconds += 1;
         process.advance_ticks(100);
         ocp.refresh();
+        // Durability housekeeping: flush any batched WAL tail once a
+        // second (bounding data-at-risk to ~1 s of operations even with
+        // a large --fsync-every), and snapshot + truncate on cadence.
+        if state_dir.is_some() {
+            process.durable_sync();
+            if snapshot_every > 0 && seconds.is_multiple_of(snapshot_every) {
+                if let Err(e) = process.snapshot_now() {
+                    eprintln!("[durable] snapshot failed: {e}");
+                }
+            }
+        }
         // Flight recorder, latency trigger: when the rds.request p99
         // crosses the slow threshold, freeze the recent span stream (at
         // most once per 30 s — one snapshot per episode).

@@ -11,6 +11,10 @@
 //!   instantiate NAME            create an instance; prints its dpi id
 //!   invoke DPI ENTRY [ARG...]   run an entry point (ints, floats, strings)
 //!   suspend|resume|terminate DPI
+//!   checkpoint DPI [-o FILE]    serialize a suspended instance into a
+//!                               transferable blob (stdout when no -o)
+//!   restore FILE                install a checkpoint blob from FILE on
+//!                               this server; prints the new dpi id
 //!   send DPI PAYLOAD            post to the instance's mailbox
 //!   programs                    list stored programs
 //!   instances                   list instances and their states
@@ -325,6 +329,8 @@ fn build_request(command: &str, rest: &[String]) -> Result<RdsRequest, Box<dyn s
         ("suspend", [dpi]) => RdsRequest::Suspend { dpi: parse_dpi(dpi)? },
         ("resume", [dpi]) => RdsRequest::Resume { dpi: parse_dpi(dpi)? },
         ("terminate", [dpi]) => RdsRequest::Terminate { dpi: parse_dpi(dpi)? },
+        ("checkpoint", [dpi]) => RdsRequest::Checkpoint { dpi: parse_dpi(dpi)? },
+        ("restore", [file]) => RdsRequest::Restore { blob: std::fs::read(file)? },
         ("send", [dpi, payload]) => {
             RdsRequest::SendMessage { dpi: parse_dpi(dpi)?, payload: payload.as_bytes().to_vec() }
         }
@@ -395,6 +401,9 @@ fn run_pipelined(
             Ok(RdsResponse::Metrics { series, alerts, .. }) => {
                 println!("#{id}: {} series, {} alert rule(s)", series.len(), alerts.len());
             }
+            Ok(RdsResponse::Checkpointed { blob }) => {
+                println!("#{id}: checkpoint blob ({} bytes)", blob.len());
+            }
             Ok(RdsResponse::Error { code, message }) => {
                 failed += 1;
                 eprintln!("#{id}: remote error ({code}): {message}");
@@ -416,6 +425,16 @@ fn run_pipelined(
         pipe.retries(),
         pipe.duplex().reconnects(),
     );
+    // A drain that comes home short means requests were lost in flight
+    // (connection died past the retry budget): that is a failure even
+    // when every reply that did arrive was Ok.
+    if results.len() < repeat {
+        return Err(format!(
+            "{} of {repeat} request(s) got no reply (connection lost?)",
+            repeat - results.len()
+        )
+        .into());
+    }
     if failed > 0 {
         return Err(format!("{failed} request(s) failed").into());
     }
@@ -470,7 +489,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             "--json" => json = true,
             "--help" | "-h" => {
-                println!("see `mbdctl` module docs; commands: delegate delete instantiate invoke suspend resume terminate send programs instances journal profile metrics top");
+                println!("see `mbdctl` module docs; commands: delegate delete instantiate invoke suspend resume terminate checkpoint restore send programs instances journal profile metrics top");
                 return Ok(());
             }
             other => {
@@ -519,6 +538,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("suspend", [dpi]) => client.suspend(parse_dpi(dpi)?)?,
         ("resume", [dpi]) => client.resume(parse_dpi(dpi)?)?,
         ("terminate", [dpi]) => client.terminate(parse_dpi(dpi)?)?,
+        ("checkpoint", [dpi, rest @ ..]) => {
+            let out = match rest {
+                [] => None,
+                [flag, path] if flag == "-o" || flag == "--out" => Some(path.as_str()),
+                _ => return Err("checkpoint takes DPI [-o FILE]".into()),
+            };
+            let blob = client.checkpoint(parse_dpi(dpi)?)?;
+            match out {
+                Some(path) => {
+                    std::fs::write(path, &blob)?;
+                    println!("checkpointed {dpi} to `{path}` ({} bytes)", blob.len());
+                }
+                None => {
+                    use std::io::Write;
+                    std::io::stdout().write_all(&blob)?;
+                }
+            }
+        }
+        ("restore", [file]) => {
+            let blob = std::fs::read(file)?;
+            let dpi = client.restore(&blob)?;
+            println!("{dpi}");
+        }
         ("send", [dpi, payload]) => client.send_message(parse_dpi(dpi)?, payload.as_bytes())?,
         ("programs", []) => {
             for name in client.list_programs()? {

@@ -39,10 +39,18 @@ enum Verb {
     Terminate,
     Message,
     ReadJournal,
+    Checkpoint,
 }
 
-const VERBS: [Verb; 6] =
-    [Verb::Invoke, Verb::Suspend, Verb::Resume, Verb::Terminate, Verb::Message, Verb::ReadJournal];
+const VERBS: [Verb; 7] = [
+    Verb::Invoke,
+    Verb::Suspend,
+    Verb::Resume,
+    Verb::Terminate,
+    Verb::Message,
+    Verb::ReadJournal,
+    Verb::Checkpoint,
+];
 
 fn apply(client: &RdsClient<LoopbackTransport>, dpi: DpiId, verb: Verb) -> Result<(), RdsError> {
     match verb {
@@ -52,6 +60,7 @@ fn apply(client: &RdsClient<LoopbackTransport>, dpi: DpiId, verb: Verb) -> Resul
         Verb::Terminate => client.terminate(dpi),
         Verb::Message => client.send_message(dpi, b"ping"),
         Verb::ReadJournal => client.read_journal(8).map(|_| ()),
+        Verb::Checkpoint => client.checkpoint(dpi).map(|_| ()),
     }
 }
 
@@ -64,9 +73,11 @@ fn matrix(state: DpiState, verb: Verb) -> (bool, DpiState) {
         (_, Verb::ReadJournal) => (true, state),
         (DpiState::Ready, Verb::Invoke | Verb::Message) => (true, DpiState::Ready),
         (DpiState::Ready, Verb::Suspend) => (true, DpiState::Suspended),
-        (DpiState::Ready, Verb::Resume) => (false, DpiState::Ready),
+        (DpiState::Ready, Verb::Resume | Verb::Checkpoint) => (false, DpiState::Ready),
         (DpiState::Suspended, Verb::Resume) => (true, DpiState::Ready),
-        (DpiState::Suspended, Verb::Message) => (true, DpiState::Suspended),
+        // Checkpoint is read-only: a quiesced image leaves the source
+        // dpi exactly where it was.
+        (DpiState::Suspended, Verb::Message | Verb::Checkpoint) => (true, DpiState::Suspended),
         (DpiState::Suspended, Verb::Invoke | Verb::Suspend) => (false, DpiState::Suspended),
         (DpiState::Ready | DpiState::Suspended, Verb::Terminate) => (true, DpiState::Terminated),
         (DpiState::Terminated, _) => (false, DpiState::Terminated),
@@ -135,7 +146,7 @@ fn without_diagnostics_a_terminated_dpi_vanishes_entirely() {
 proptest! {
     #[test]
     fn random_verb_sequences_never_leave_the_matrix(
-        verbs in proptest::collection::vec(0usize..6, 1..60),
+        verbs in proptest::collection::vec(0usize..7, 1..60),
     ) {
         let (client, process) = fixture(true);
         let dpi = client.instantiate("noop").expect("instantiates");
@@ -156,4 +167,46 @@ proptest! {
             prop_assert_eq!(reported_state(&process, dpi), Some(model));
         }
     }
+}
+
+/// Restore is the odd verb out: it targets a dpi id that must be
+/// *unknown* to the receiving server. Over the dpi's own id it is an
+/// identity collision (`BadState`), and a blob is single-use — the
+/// second install of the same image is refused even after the first
+/// copy is gone.
+#[test]
+fn restore_is_legal_only_for_unknown_dpi_ids() {
+    let (client, process) = fixture(true);
+    let dpi = reach(&client, DpiState::Suspended);
+    let blob = client.checkpoint(dpi).expect("checkpoint from Suspended");
+
+    // The source dpi still exists here: restoring its image over its
+    // own id must be refused, and must not disturb the original.
+    let err = client.restore(&blob).expect_err("restore over a live id");
+    assert!(matches!(err, RdsError::Remote { code: ErrorCode::BadState, .. }));
+    assert_eq!(reported_state(&process, dpi), Some(DpiState::Suspended));
+
+    // A second server has never seen this id: restore succeeds there,
+    // preserving the id and landing Suspended. (No terminated-slot
+    // diagnostics on the peer, so the replay refusal below can only be
+    // the nonce, not an id collision.)
+    let (peer, peer_process) = fixture(false);
+    let restored = peer.restore(&blob).expect("restore on a fresh server");
+    assert_eq!(restored, dpi, "the image keeps its dpi id");
+    assert_eq!(reported_state(&peer_process, restored), Some(DpiState::Suspended));
+
+    // The nonce is burned: replaying the identical blob on the same
+    // receiver is refused even though terminating first frees the id.
+    peer.terminate(restored).expect("terminates the restored copy");
+    let err = peer.restore(&blob).expect_err("nonce replay");
+    assert!(matches!(err, RdsError::Remote { code: ErrorCode::BadState, .. }));
+}
+
+/// A blob that does not decode is a translation-layer failure, not a
+/// lifecycle one.
+#[test]
+fn restore_rejects_garbage_blobs() {
+    let (client, _process) = fixture(true);
+    let err = client.restore(b"not a checkpoint").expect_err("garbage blob");
+    assert!(matches!(err, RdsError::Remote { code: ErrorCode::TranslationFailed, .. }));
 }
