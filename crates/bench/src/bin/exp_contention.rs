@@ -1,0 +1,11 @@
+//! E7b: dpi dispatch throughput — the pre-sharding single-lock runtime
+//! behind per-op worker-pool handoff vs the sharded table behind the
+//! work-stealing batch executor, swept over 1 → 256 dpis.
+fn main() -> std::io::Result<()> {
+    let out = mbd_bench::report::default_out_dir();
+    let (report, _) = mbd_bench::experiments::e7_contention::run(10_000);
+    let path = report.emit(&out)?;
+    let mirrored = mbd_bench::report::mirror_bench_json(&out)?;
+    println!("wrote {} (+{mirrored} BENCH_*.json mirrored to the repo root)", path.display());
+    Ok(())
+}

@@ -59,7 +59,7 @@ pub use error::CoreError;
 pub use journal::Journal;
 pub use process::{
     DpiAccount, DpiAccountRow, DpiAccountSnapshot, DpiInfo, DpiQuota, ElasticConfig,
-    ElasticProcess, EventQueue, ProcessStats,
+    ElasticProcess, EventQueue, ExecutorConfig, InvokeExecutor, ProcessStats,
 };
 pub use repository::{Repository, StoredDp};
 pub use server::MbdServer;

@@ -9,9 +9,12 @@
 //! Lock ordering: the snapshotter collects state *under* the WAL mutex
 //! (so no concurrent append can fall between the collected state and
 //! the log truncation), taking instance locks inside. Every other path
-//! must therefore release any instance lock *before* touching the WAL.
+//! must therefore release any instance lock *before* taking the WAL
+//! lock. *Staging* a record ([`Durability::stage`] via
+//! [`ElasticProcess::durable_append`]) takes only the staging mutex —
+//! never the WAL lock — so the invoke path may append while still
+//! holding an instance cell lock.
 
-use super::table::DpiSlot;
 use super::ElasticProcess;
 use crate::durable::{
     snapshot::{self, DpiRecord, ProgramRecord, SnapshotData},
@@ -149,6 +152,7 @@ impl ElasticProcess {
         // Arm logging only now — replay above must not re-log itself.
         let durable = Arc::new(durable);
         *self.inner.durable.write() = Some(durable.clone());
+        self.inner.durable_armed.store(true, Ordering::Release);
         self.spawn_wal_flusher(&durable);
 
         report.recovery_ms = started.elapsed().as_millis() as u64;
@@ -208,6 +212,11 @@ impl ElasticProcess {
     /// (`wal.error`) rather than failing the operation that already
     /// happened in memory.
     pub(in crate::process) fn durable_append(&self, record: WalRecord) {
+        // One relaxed load gates the common durability-off case; arming
+        // is monotonic, so a false here is never stale the other way.
+        if !self.inner.durable_armed.load(Ordering::Relaxed) {
+            return;
+        }
         let Some(durable) = self.durability() else { return };
         let entry = WalEntry { trace_id: mbd_telemetry::current_trace_id(), record };
         // The operation path only encodes and stages (a lock + memcpy);
@@ -218,26 +227,6 @@ impl ElasticProcess {
         if durable.stage(&framed) {
             durable.request_flush();
         }
-    }
-
-    /// WALs an invocation's post-state. Collects globals under the
-    /// instance lock and releases it before appending (see the module
-    /// docs on lock ordering).
-    pub(in crate::process) fn durable_log_invoke(&self, dpi: DpiId, slot: &DpiSlot) {
-        if self.inner.durable.read().is_none() {
-            return;
-        }
-        let (initialized, globals) = {
-            let instance = slot.instance.lock();
-            (instance.initialized(), instance.globals_snapshot())
-        };
-        self.durable_append(WalRecord::Invoke {
-            dpi: dpi.0,
-            state: slot.state(),
-            initialized,
-            globals,
-            account: slot.account.snapshot(),
-        });
     }
 
     /// Synchronously group-commits everything staged or unsynced (the
@@ -308,8 +297,8 @@ impl ElasticProcess {
             .into_iter()
             .map(|(id, slot)| {
                 let (initialized, globals) = {
-                    let instance = slot.instance.lock();
-                    (instance.initialized(), instance.globals_snapshot())
+                    let cell = slot.cell.lock();
+                    (cell.vm.initialized(), cell.vm.globals_snapshot())
                 };
                 DpiRecord {
                     id: id.0,
@@ -318,7 +307,7 @@ impl ElasticProcess {
                     initialized,
                     globals,
                     account: slot.account.snapshot(),
-                    quota: *slot.quota.lock(),
+                    quota: slot.quota(),
                 }
             })
             .collect();
@@ -362,11 +351,11 @@ impl ElasticProcess {
         {
             return Err(CoreError::TooManyInstances { limit: self.inner.config.max_instances });
         }
-        let slot = DpiSlot::with_state(dp_name.to_string(), instance, state);
+        let slot = self.new_slot(DpiId(id), dp_name, instance, state);
         if let Some(a) = account {
             slot.account.restore(&a);
         }
-        *slot.quota.lock() = quota;
+        slot.set_quota(quota);
         self.inner.dpis.insert(DpiId(id), Arc::new(slot));
         self.inner.next_dpi.fetch_max(id + 1, Ordering::Relaxed);
         Ok(())
@@ -404,13 +393,13 @@ impl ElasticProcess {
                 Ok(())
             }
             WalRecord::SetQuota { dpi, quota } => {
-                *self.slot(DpiId(*dpi))?.quota.lock() = *quota;
+                self.slot(DpiId(*dpi))?.set_quota(*quota);
                 Ok(())
             }
             WalRecord::Invoke { dpi, state, initialized, globals, account } => {
                 let id = DpiId(*dpi);
                 let slot = self.slot(id)?;
-                slot.instance.lock().restore_state(globals.clone(), *initialized)?;
+                slot.cell.lock().vm.restore_state(globals.clone(), *initialized)?;
                 slot.account.restore(account);
                 let was_live = slot.state() != DpiState::Terminated;
                 slot.set_state(*state);
@@ -458,14 +447,14 @@ impl ElasticProcess {
     pub fn checkpoint(&self, dpi: DpiId) -> Result<Vec<u8>, CoreError> {
         let slot = self.slot(dpi)?;
         let (initialized, globals) = {
-            let instance = slot.instance.lock();
+            let cell = slot.cell.lock();
             // Checked under the instance lock: no invocation is in
             // flight, and a Running dpi can't slip in behind the check.
             let state = slot.state();
             if state != DpiState::Suspended {
                 return Err(CoreError::BadState { dpi, state, operation: "checkpoint" });
             }
-            (instance.initialized(), instance.globals_snapshot())
+            (cell.vm.initialized(), cell.vm.globals_snapshot())
         };
         let dp = self
             .inner
@@ -481,7 +470,7 @@ impl ElasticProcess {
             initialized,
             globals,
             account: slot.account.snapshot(),
-            quota: *slot.quota.lock(),
+            quota: slot.quota(),
         };
         self.journal_event("lifecycle.checkpoint", dpi, true, &slot.dp_name);
         Ok(blob.encode())

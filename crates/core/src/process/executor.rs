@@ -1,0 +1,619 @@
+//! The work-stealing dpi invoke executor.
+//!
+//! The sharded table lets invocations of different dpis run in
+//! parallel, but the *dispatch* model still decided who actually got to
+//! run: a thread that invoked a busy dpi parked on that dpi's instance
+//! lock, doing nothing, and every request/response handoff woke a
+//! thread per invocation. This module replaces blocked-thread dispatch
+//! with scheduled dispatch:
+//!
+//! - Each dpi slot carries a FIFO queue of [`PendingInvokes`] plus a
+//!   `scheduled` flag. Submitting an invocation appends to the queue;
+//!   the first append also publishes a *token* (the dpi's claim to CPU
+//!   time) onto a worker deque. At most one token per dpi is live, so a
+//!   burst against one dpi occupies one worker — never eight.
+//! - Workers own one deque each, cache-line padded. A dpi's home deque
+//!   is `dpi % workers` (stable affinity keeps a dpi's VM state warm in
+//!   one core's cache). Workers pop their own deque LIFO (the
+//!   just-pushed dpi is the cache-hot one) and steal from other deques
+//!   FIFO (the oldest token is the one its owner is least likely to
+//!   reach soon — classic Chase–Lev discipline over mutexed deques).
+//! - A worker holding a token locks the dpi's instance cell **once**
+//!   and drains up to a batch of queued invocations under that single
+//!   hold (flat combining): per-dpi FIFO order and serialization are
+//!   structural, and the per-invocation lock/unlock cost is amortized
+//!   across the batch. Completions are delivered through each job's
+//!   `on_done` callback — no per-invocation thread wakeup.
+//!
+//! Terminate-vs-queued-work semantics: a queued invocation for a dpi
+//! that terminates (or suspends) before the job runs fails with
+//! `BadState` through the same `Ready -> Running` claim every
+//! invocation makes; it never executes on a terminated slot and holds
+//! no live-census reservation of its own.
+
+use super::table::DpiSlot;
+use super::ElasticProcess;
+use crate::CoreError;
+use crossbeam::utils::CachePadded;
+use dpl::Value;
+use mbd_telemetry::SpanBatch;
+use parking_lot::Mutex;
+use rds::{DpiId, DpiState};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::Duration;
+
+/// Completion delivery: an owned callback for single submissions, a
+/// shared one for batches (so a 64-deep pipeline window costs one
+/// allocation, not 64). Alongside the outcome, a callback receives the
+/// spans the worker recorded while running the job ([`SpanBatch`]), so
+/// a blocked submitter can fold them into its own request's trace
+/// capture — spans recorded on `mbd-exec-N` still land on the
+/// submitting request's tree.
+pub(super) enum Callback {
+    Once(Box<dyn FnOnce(Result<Value, CoreError>, SpanBatch) + Send>),
+    Shared(Arc<dyn Fn(Result<Value, CoreError>, SpanBatch) + Send + Sync>),
+}
+
+impl Callback {
+    fn run(self, outcome: Result<Value, CoreError>, spans: SpanBatch) {
+        match self {
+            Callback::Once(f) => f(outcome, spans),
+            Callback::Shared(f) => f(outcome, spans),
+        }
+    }
+}
+
+/// One queued invocation: the entry point, its arguments, the
+/// submitting request's trace coordinates, and the completion callback.
+/// Entry and arguments are `Arc`ed so a batch shares one copy.
+///
+/// `on_done` runs on the worker thread, *while the dpi's instance cell
+/// lock is held* — it must be cheap (store a result, signal a condvar,
+/// push a completion) and must not call back into the process
+/// synchronously.
+pub(super) struct InvokeJob {
+    entry: Arc<str>,
+    args: Arc<[Value]>,
+    trace_id: u64,
+    parent_span: u64,
+    on_done: Callback,
+}
+
+/// A dpi's pending invocations plus the token discipline flag.
+///
+/// `scheduled` is true while a runnable token for this dpi is live
+/// (in some deque or in a worker's hand). Both fields are only touched
+/// under the slot's `invokes` mutex; the flag makes "queue became
+/// non-empty" the only event that publishes a token, so one dpi can
+/// never occupy more than one worker.
+#[derive(Default)]
+pub struct PendingInvokes {
+    pub(super) jobs: VecDeque<InvokeJob>,
+    pub(super) scheduled: bool,
+}
+
+/// Tuning for [`InvokeExecutor`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorConfig {
+    /// Worker threads; `0` means one per available hardware thread.
+    pub workers: usize,
+    /// Maximum invocations drained per dpi per instance-lock hold
+    /// before the token is requeued (bounds per-dpi monopolization of a
+    /// worker and the cell-lock hold time).
+    pub batch: usize,
+    /// Per-dpi pending-invocation bound; submissions beyond it fail
+    /// with [`CoreError::Overloaded`] (backpressure instead of
+    /// unbounded queue growth).
+    pub backlog: usize,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> ExecutorConfig {
+        ExecutorConfig { workers: 0, batch: 64, backlog: 1024 }
+    }
+}
+
+/// A runnable claim: "this dpi has queued work".
+struct Token {
+    dpi: DpiId,
+    slot: Arc<DpiSlot>,
+}
+
+struct ExecInner {
+    process: ElasticProcess,
+    config: ExecutorConfig,
+    /// One mutexed deque per worker, each on its own cache line so
+    /// worker A pushing never invalidates worker B's deque head.
+    deques: Vec<CachePadded<Mutex<VecDeque<Token>>>>,
+    /// Total queued invocations across all dpis (the `ep.exec.queue_depth`
+    /// gauge reads this).
+    depth: CachePadded<AtomicUsize>,
+    /// Workers currently parked (lets submit skip the condvar syscall
+    /// entirely while the fleet is busy).
+    parked: AtomicUsize,
+    shutdown: AtomicBool,
+    park_lock: StdMutex<()>,
+    park_cv: Condvar,
+}
+
+/// The work-stealing invoke executor. Create with
+/// [`InvokeExecutor::start`]; submit work with
+/// [`InvokeExecutor::submit`] (asynchronous, callback completion) or
+/// [`InvokeExecutor::invoke_sync`] (blocking wrapper). Dropping the
+/// executor shuts the workers down and runs any still-queued
+/// invocations inline.
+pub struct InvokeExecutor {
+    inner: Arc<ExecInner>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for InvokeExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InvokeExecutor")
+            .field("workers", &self.inner.deques.len())
+            .field("queue_depth", &self.inner.depth.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl InvokeExecutor {
+    /// Spawns the worker fleet against `process`.
+    pub fn start(process: ElasticProcess, config: ExecutorConfig) -> InvokeExecutor {
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            config.workers
+        };
+        let config = ExecutorConfig { workers, batch: config.batch.max(1), ..config };
+        let inner = Arc::new(ExecInner {
+            process,
+            config,
+            deques: (0..workers).map(|_| CachePadded::new(Mutex::new(VecDeque::new()))).collect(),
+            depth: CachePadded::new(AtomicUsize::new(0)),
+            parked: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            park_lock: StdMutex::new(()),
+            park_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|idx| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("mbd-exec-{idx}"))
+                    .spawn(move || inner.run_worker(idx))
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        InvokeExecutor { inner, handles: Mutex::new(handles) }
+    }
+
+    /// Queues `entry(args)` on `dpi`; `on_done` receives the outcome on
+    /// a worker thread. Submissions for one dpi complete in submission
+    /// order (per-dpi FIFO); submissions the dpi cannot accept fail
+    /// immediately (`NoSuchInstance`, `BadState`, `Overloaded`).
+    ///
+    /// The callers' trace scope is captured here and re-entered on the
+    /// worker, so spans recorded during the invocation stay parented
+    /// under the submitting request. Spans land in the trace ring; a
+    /// caller that blocks for the outcome and wants them on its own
+    /// request *tree* should use [`InvokeExecutor::invoke_sync`], which
+    /// adopts them into the submitting thread's capture.
+    pub fn submit(
+        &self,
+        dpi: DpiId,
+        entry: &str,
+        args: &[Value],
+        on_done: impl FnOnce(Result<Value, CoreError>) + Send + 'static,
+    ) {
+        let tel = self.inner.process.telemetry().clone();
+        self.submit_with_spans(dpi, entry, args, move |outcome, spans| {
+            // No capture is armed on the worker, so adoption falls
+            // through to the shared ring — history, not a tree.
+            tel.adopt_spans(spans);
+            on_done(outcome);
+        });
+    }
+
+    /// [`InvokeExecutor::submit`], but the callback also receives the
+    /// spans the worker recorded for this job, unflushed — the caller
+    /// owns routing them (adopt into a request capture, or drop).
+    fn submit_with_spans(
+        &self,
+        dpi: DpiId,
+        entry: &str,
+        args: &[Value],
+        on_done: impl FnOnce(Result<Value, CoreError>, SpanBatch) + Send + 'static,
+    ) {
+        let inner = &*self.inner;
+        let metrics = &inner.process.inner.metrics;
+        let Some(slot) = inner.process.inner.dpis.get(dpi) else {
+            on_done(Err(CoreError::NoSuchInstance(dpi)), SpanBatch::default());
+            return;
+        };
+        // Refuse early, exactly like the synchronous path; a state
+        // change after this check is honored by the Running claim when
+        // the job eventually runs.
+        match slot.state() {
+            state @ (DpiState::Suspended | DpiState::Terminated) => {
+                on_done(
+                    Err(CoreError::BadState { dpi, state, operation: "invoke" }),
+                    SpanBatch::default(),
+                );
+                return;
+            }
+            DpiState::Ready | DpiState::Running => {}
+        }
+        let job = InvokeJob {
+            entry: Arc::from(entry),
+            args: args.to_vec().into(),
+            trace_id: mbd_telemetry::current_trace_id(),
+            parent_span: mbd_telemetry::current_span_id(),
+            on_done: Callback::Once(Box::new(on_done)),
+        };
+        let publish = {
+            let mut q = slot.invokes.lock();
+            if q.jobs.len() >= inner.config.backlog {
+                drop(q);
+                metrics.exec_rejected.inc();
+                return job.on_done.run(Err(CoreError::Overloaded { dpi }), SpanBatch::default());
+            }
+            q.jobs.push_back(job);
+            // Count the job before the queue lock drops: a worker can
+            // drain it the instant the lock releases, and its matching
+            // `fetch_sub` must never run ahead of this add or `depth`
+            // wraps below zero.
+            metrics.exec_submitted.inc();
+            metrics.exec_queue_depth.set(inner.depth.fetch_add(1, Ordering::Relaxed) as u64 + 1);
+            !std::mem::replace(&mut q.scheduled, true)
+        };
+        if publish {
+            let home = (dpi.0 as usize) % inner.deques.len();
+            inner.deques[home].lock().push_back(Token { dpi, slot });
+        }
+        // SeqCst pairs with the worker's parked announcement: the token
+        // publish above and this load cannot reorder past a worker's
+        // `parked += 1` + re-sweep, so one side always sees the other.
+        if inner.parked.load(Ordering::SeqCst) > 0 {
+            let _g = inner.park_lock.lock().unwrap_or_else(|e| e.into_inner());
+            inner.park_cv.notify_one();
+        }
+    }
+
+    /// Queues `count` identical invocations of `entry(args)` on `dpi` in
+    /// one operation: one slot lookup, one queue-lock hold, at most one
+    /// token publish and one worker wakeup for the whole window.
+    /// `on_each` receives every outcome, in per-dpi FIFO order.
+    ///
+    /// This is the pipelined-connection fast path: a manager's window of
+    /// in-flight requests against one agent arrives as a burst, and
+    /// dispatching the burst per-op would re-pay lookup, wakeup, and
+    /// allocation costs `count` times.
+    ///
+    /// If the dpi's backlog cannot take the whole window, the accepted
+    /// prefix is queued and the remainder fails with
+    /// [`CoreError::Overloaded`].
+    pub fn submit_batch(
+        &self,
+        dpi: DpiId,
+        entry: &str,
+        args: &[Value],
+        count: usize,
+        on_each: impl Fn(Result<Value, CoreError>) + Send + Sync + 'static,
+    ) {
+        if count == 0 {
+            return;
+        }
+        let inner = &*self.inner;
+        let metrics = &inner.process.inner.metrics;
+        // Batch submitters don't block per outcome, so worker-side
+        // spans have no request capture to rejoin — adopt them into
+        // the ring as history right on the worker.
+        let tel = inner.process.telemetry().clone();
+        let on_each: Arc<dyn Fn(Result<Value, CoreError>, SpanBatch) + Send + Sync> =
+            Arc::new(move |outcome, spans| {
+                tel.adopt_spans(spans);
+                on_each(outcome);
+            });
+        let Some(slot) = inner.process.inner.dpis.get(dpi) else {
+            for _ in 0..count {
+                on_each(Err(CoreError::NoSuchInstance(dpi)), SpanBatch::default());
+            }
+            return;
+        };
+        match slot.state() {
+            state @ (DpiState::Suspended | DpiState::Terminated) => {
+                for _ in 0..count {
+                    on_each(
+                        Err(CoreError::BadState { dpi, state, operation: "invoke" }),
+                        SpanBatch::default(),
+                    );
+                }
+                return;
+            }
+            DpiState::Ready | DpiState::Running => {}
+        }
+        let entry: Arc<str> = Arc::from(entry);
+        let args: Arc<[Value]> = args.to_vec().into();
+        let trace_id = mbd_telemetry::current_trace_id();
+        let parent_span = mbd_telemetry::current_span_id();
+        let (accepted, publish) = {
+            let mut q = slot.invokes.lock();
+            let accepted = inner.config.backlog.saturating_sub(q.jobs.len()).min(count);
+            q.jobs.reserve(accepted);
+            for _ in 0..accepted {
+                q.jobs.push_back(InvokeJob {
+                    entry: Arc::clone(&entry),
+                    args: Arc::clone(&args),
+                    trace_id,
+                    parent_span,
+                    on_done: Callback::Shared(Arc::clone(&on_each)),
+                });
+            }
+            if accepted > 0 {
+                // Same discipline as `submit`: the depth add must land
+                // before the queue lock drops, or a worker's matching
+                // `fetch_sub` can overtake it and wrap `depth`.
+                metrics.exec_submitted.add(accepted as u64);
+                metrics
+                    .exec_queue_depth
+                    .set((inner.depth.fetch_add(accepted, Ordering::Relaxed) + accepted) as u64);
+            }
+            let publish = accepted > 0 && !std::mem::replace(&mut q.scheduled, true);
+            (accepted, publish)
+        };
+        if accepted > 0 {
+            if publish {
+                let home = (dpi.0 as usize) % inner.deques.len();
+                inner.deques[home].lock().push_back(Token { dpi, slot });
+            }
+            if inner.parked.load(Ordering::SeqCst) > 0 {
+                let _g = inner.park_lock.lock().unwrap_or_else(|e| e.into_inner());
+                inner.park_cv.notify_one();
+            }
+        }
+        if accepted < count {
+            metrics.exec_rejected.add((count - accepted) as u64);
+            for _ in accepted..count {
+                on_each(Err(CoreError::Overloaded { dpi }), SpanBatch::default());
+            }
+        }
+    }
+
+    /// Blocking wrapper over [`InvokeExecutor::submit`] for callers
+    /// with request/response semantics (the RDS dispatcher).
+    ///
+    /// # Errors
+    ///
+    /// Whatever the invocation produced — the same error surface as
+    /// [`ElasticProcess::invoke`], plus [`CoreError::Overloaded`].
+    pub fn invoke_sync(&self, dpi: DpiId, entry: &str, args: &[Value]) -> Result<Value, CoreError> {
+        let cell = Arc::new((StdMutex::new(None), Condvar::new()));
+        let done = Arc::clone(&cell);
+        self.submit_with_spans(dpi, entry, args, move |outcome, spans| {
+            *done.0.lock().unwrap_or_else(|e| e.into_inner()) = Some((outcome, spans));
+            done.1.notify_one();
+        });
+        let (outcome, spans) = {
+            let mut slot = cell.0.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                match slot.take() {
+                    Some(result) => break result,
+                    None => slot = cell.1.wait(slot).unwrap_or_else(|e| e.into_inner()),
+                }
+            }
+        };
+        // Fold the worker-recorded spans (ep.invoke, ep.vm_run, ...)
+        // into *this* thread's capture: the RDS front-end armed it for
+        // the request we are serving, so the executor hop disappears
+        // from the request's span tree.
+        self.inner.process.telemetry().adopt_spans(spans);
+        outcome
+    }
+
+    /// Queued-but-not-yet-run invocations across all dpis.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.depth.load(Ordering::Relaxed)
+    }
+
+    /// Worker threads in the fleet.
+    pub fn workers(&self) -> usize {
+        self.inner.deques.len()
+    }
+
+    /// Stops the fleet and completes all still-queued invocations
+    /// inline (they run, or fail their state gate — they are never
+    /// silently dropped). Idempotent; callers must stop submitting
+    /// before shutting down.
+    pub fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        {
+            let _g = self.inner.park_lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.inner.park_cv.notify_all();
+        }
+        for handle in self.handles.lock().drain(..) {
+            let _ = handle.join();
+        }
+        // Workers are gone; any tokens left in the deques are drained
+        // here, on the caller's thread.
+        for deque in &self.inner.deques {
+            loop {
+                let Some(token) = deque.lock().pop_front() else { break };
+                self.inner.run_token(token, usize::MAX);
+            }
+        }
+    }
+}
+
+impl Drop for InvokeExecutor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl ExecInner {
+    fn run_worker(self: Arc<ExecInner>, idx: usize) {
+        let metrics = &self.process.inner.metrics;
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            // LIFO out of our own deque: the most recently published
+            // token is the one whose submitter just ran here. The local
+            // pop and the steal sweep are separate statements so our
+            // own deque guard drops before `steal` touches any victim —
+            // holding it across the sweep deadlocks two empty-handed
+            // workers probing each other (each owns its deque lock
+            // while waiting on the other's).
+            let token = self.deques[idx].lock().pop_back();
+            let token = token.or_else(|| self.steal(idx));
+            match token {
+                Some(token) => self.run_token(token, self.config.batch),
+                None => {
+                    // Nothing runnable: prepare to park. The protocol
+                    // closes the classic lost-wakeup race: announce
+                    // `parked`, then re-sweep *holding the park lock*.
+                    // A submitter publishes its token first and reads
+                    // `parked` second, so it either published before
+                    // this re-sweep (we find the token) or it sees
+                    // parked > 0 and must take the park lock to
+                    // notify — which it cannot do until we are safely
+                    // inside `wait_timeout`.
+                    let guard = self.park_lock.lock().unwrap_or_else(|e| e.into_inner());
+                    self.parked.fetch_add(1, Ordering::SeqCst);
+                    // Same two-statement shape as above: never hold our
+                    // own deque lock while sweeping victims.
+                    let resweep = self.deques[idx].lock().pop_back();
+                    if let Some(token) = resweep.or_else(|| self.steal(idx)) {
+                        self.parked.fetch_sub(1, Ordering::SeqCst);
+                        drop(guard);
+                        self.run_token(token, self.config.batch);
+                        continue;
+                    }
+                    // The timeout (not a bare wait) bounds the cost of
+                    // any remaining miss to one park period.
+                    metrics.exec_parks.inc();
+                    let _ = self
+                        .park_cv
+                        .wait_timeout(guard, Duration::from_millis(2))
+                        .unwrap_or_else(|e| e.into_inner());
+                    self.parked.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+
+    /// FIFO steal sweep over the other workers' deques, starting just
+    /// past our own so victims rotate.
+    fn steal(&self, idx: usize) -> Option<Token> {
+        let n = self.deques.len();
+        for off in 1..n {
+            let victim = (idx + off) % n;
+            if let Some(token) = self.deques[victim].lock().pop_front() {
+                self.process.inner.metrics.exec_steals.inc();
+                return Some(token);
+            }
+        }
+        None
+    }
+
+    /// Drains up to `batch` queued invocations for one dpi under a
+    /// single instance-cell hold, then requeues the token if work
+    /// remains.
+    ///
+    /// Jobs are pulled in chunks — one queue-lock hold moves a whole
+    /// chunk out — so a deep burst pays the queue lock once per chunk
+    /// rather than once per invocation, and concurrent submitters are
+    /// not ping-ponging the queue lock against the drain.
+    fn run_token(&self, token: Token, batch: usize) {
+        let metrics = &self.process.inner.metrics;
+        let dpi = token.dpi;
+        let slot = Arc::clone(&token.slot);
+        let mut actions = Vec::new();
+        let mut chunk: Vec<InvokeJob> = Vec::new();
+        let mut ran = 0usize;
+        let mut requeue = false;
+        {
+            let mut cell = slot.cell.lock();
+            loop {
+                {
+                    let mut q = slot.invokes.lock();
+                    if q.jobs.is_empty() {
+                        // Queue drained: retire the token under the
+                        // queue lock, so the next submit re-publishes.
+                        q.scheduled = false;
+                        break;
+                    }
+                    if ran == batch {
+                        requeue = true;
+                        break;
+                    }
+                    let take = (batch - ran).min(q.jobs.len());
+                    chunk.extend(q.jobs.drain(..take));
+                }
+                metrics.exec_queue_depth.set(
+                    self.depth.fetch_sub(chunk.len(), Ordering::Relaxed).saturating_sub(chunk.len())
+                        as u64,
+                );
+                // One clock read per chunk, then each job's completion
+                // timestamp doubles as the next job's dispatch start:
+                // the `ep.invoke` interval and the vm busy window come
+                // from a single read per invocation instead of the four
+                // the synchronous path pays (~30ns each here). The
+                // completion callback in between is billed to the next
+                // job's dispatch — callbacks run under the cell lock and
+                // must already be cheap handoffs.
+                let mut mark = std::time::Instant::now();
+                for job in chunk.drain(..) {
+                    ran += 1;
+                    // Re-enter the submitter's trace scope (when it had
+                    // one) so the invoke span and anything the agent
+                    // emits stay on the request's tree — and collect
+                    // those spans into a private batch the callback
+                    // carries back to the submitter, whose thread owns
+                    // the request's armed capture (this thread has
+                    // none, so without the batch the spans would skip
+                    // the tree and land only in the ring).
+                    let _scope = (job.trace_id != 0).then(|| {
+                        mbd_telemetry::enter_trace_with_parent(job.trace_id, job.parent_span)
+                    });
+                    slot.account.touch_trace(job.trace_id);
+                    let ((outcome, pending, done), spans) =
+                        self.process.telemetry().capture_spans(|| {
+                            let run = self
+                                .process
+                                .invoke_in_cell(dpi, &slot, &mut cell, &job.entry, &job.args, mark);
+                            metrics.invoke.record_interval(mark, run.2);
+                            run
+                        });
+                    mark = done;
+                    if !pending.is_empty() {
+                        actions.push(pending);
+                    }
+                    job.on_done.run(outcome, spans);
+                }
+            }
+        }
+        if requeue {
+            // Fairness valve: give other dpis this worker's time. Push
+            // to the *front* of the home deque — the steal end, and the
+            // last place the owner's LIFO pop looks — so a long burst
+            // degrades gracefully instead of pinning its worker.
+            let home = (dpi.0 as usize) % self.deques.len();
+            self.deques[home].lock().push_front(token);
+        }
+        if ran > 0 {
+            metrics.exec_batches.inc();
+        }
+        // Agent-queued actions run with no instance lock held, exactly
+        // like the synchronous path.
+        for pending in actions {
+            for action in pending {
+                self.process.apply_pending(dpi, action);
+            }
+        }
+    }
+}

@@ -36,8 +36,8 @@ impl ElasticProcess {
         if self.inner.config.profile_sample > 0 {
             instance.enable_profiling(self.inner.config.profile_sample);
         }
-        let slot = DpiSlot::new(dp_name.to_string(), instance);
-        *slot.quota.lock() = self.inner.config.quota;
+        let slot = self.new_slot(id, dp_name, instance, DpiState::Ready);
+        slot.set_quota(self.inner.config.quota);
         self.inner.dpis.insert(id, Arc::new(slot));
         stats::bump(&self.inner.stats.instantiations);
         self.journal_event("lifecycle.instantiate", id, true, dp_name);
@@ -150,13 +150,13 @@ impl ElasticProcess {
 
     /// Summaries of all instances, sorted by id.
     pub fn list_instances(&self) -> Vec<DpiSummary> {
-        let mut out: Vec<DpiSummary> = self
-            .inner
-            .dpis
-            .snapshot()
-            .into_iter()
-            .map(|(id, slot)| DpiSummary { id, dp_name: slot.dp_name.clone(), state: slot.state() })
-            .collect();
+        let (slots, len) = self.inner.dpis.snapshot_with_len();
+        let mut out = Vec::with_capacity(len);
+        out.extend(slots.into_iter().map(|(id, slot)| DpiSummary {
+            id,
+            dp_name: slot.dp_name.clone(),
+            state: slot.state(),
+        }));
         out.sort_by_key(|s| s.id);
         out
     }
@@ -177,8 +177,8 @@ impl ElasticProcess {
     /// and diagnostics).
     pub fn dpi_global(&self, dpi: DpiId, name: &str) -> Option<Value> {
         let slot = self.inner.dpis.get(dpi)?;
-        let instance = slot.instance.lock();
-        instance.global(name).cloned()
+        let cell = slot.cell.lock();
+        cell.vm.global(name).cloned()
     }
 
     /// Live (non-terminated) instance count.

@@ -14,6 +14,7 @@
 mod account;
 mod durability;
 pub(crate) mod events;
+mod executor;
 mod invoke;
 mod lifecycle;
 mod stats;
@@ -24,6 +25,7 @@ mod tests;
 
 pub use account::{DpiAccount, DpiAccountRow, DpiAccountSnapshot, DpiQuota};
 pub use events::EventQueue;
+pub use executor::{ExecutorConfig, InvokeExecutor};
 pub use stats::ProcessStats;
 
 use crate::durable::Durability;
@@ -37,7 +39,7 @@ use rds::{DpiId, DpiState};
 use snmp::MibStore;
 use std::collections::HashSet;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use table::ShardedTable;
 
@@ -132,6 +134,18 @@ pub(in crate::process) struct EpMetrics {
     /// `ep.recovery_ms` — wall-clock milliseconds of the last boot
     /// recovery (0 until one has run).
     pub recovery_ms: Gauge,
+    /// `ep.exec.submitted` — invocations accepted by the executor.
+    pub exec_submitted: Counter,
+    /// `ep.exec.rejected` — submissions refused by backlog backpressure.
+    pub exec_rejected: Counter,
+    /// `ep.exec.steals` — tokens taken from another worker's deque.
+    pub exec_steals: Counter,
+    /// `ep.exec.parks` — worker park episodes (no runnable token).
+    pub exec_parks: Counter,
+    /// `ep.exec.batches` — instance-lock holds that drained ≥1 job.
+    pub exec_batches: Counter,
+    /// `ep.exec.queue_depth` — queued-but-not-run invocations.
+    pub exec_queue_depth: Gauge,
 }
 
 impl EpMetrics {
@@ -154,6 +168,12 @@ impl EpMetrics {
             wal_fsyncs: telemetry.counter("ep.wal_fsyncs"),
             wal_fsync: telemetry.timer("ep.wal_fsync"),
             recovery_ms: telemetry.gauge("ep.recovery_ms"),
+            exec_submitted: telemetry.counter("ep.exec.submitted"),
+            exec_rejected: telemetry.counter("ep.exec.rejected"),
+            exec_steals: telemetry.counter("ep.exec.steals"),
+            exec_parks: telemetry.counter("ep.exec.parks"),
+            exec_batches: telemetry.counter("ep.exec.batches"),
+            exec_queue_depth: telemetry.gauge("ep.exec.queue_depth"),
         }
     }
 }
@@ -166,6 +186,11 @@ pub(in crate::process) struct Inner {
     /// `register_service` swaps in a rebuilt registry, which bumps the
     /// registry generation and invalidates per-dpi resolution caches.
     pub registry: RwLock<Arc<HostRegistry<ServerCtx>>>,
+    /// Generation of the registry currently installed above, mirrored
+    /// into an atomic so the invoke fast path can validate a slot's
+    /// cached snapshot with one relaxed load instead of a read-lock and
+    /// an `Arc` clone per invocation.
+    pub registry_gen: AtomicU64,
     pub repository: Repository,
     pub dpis: ShardedTable,
     pub next_dpi: AtomicU64,
@@ -181,6 +206,10 @@ pub(in crate::process) struct Inner {
     /// [`ElasticProcess::attach_durability`]); behind an `RwLock` so hot
     /// paths pay one uncontended read-lock when durability is off.
     pub durable: RwLock<Option<Arc<Durability>>>,
+    /// Mirrors `durable.is_some()`. Arming is monotonic (a store is
+    /// never detached), so the hot path gates its WAL work on one
+    /// relaxed load instead of a read-lock per invocation.
+    pub durable_armed: AtomicBool,
     /// Restore nonces burned on this server (single-use blob guarantee).
     pub nonces: Mutex<HashSet<[u8; 16]>>,
     /// Trace ids replayed from the WAL at boot — a post-restart
@@ -224,10 +253,13 @@ impl ElasticProcess {
         let telemetry = Telemetry::new();
         let metrics = EpMetrics::new(&telemetry);
         let journal = Arc::new(Journal::new(config.journal_capacity));
+        let registry = Arc::new(services::standard_registry());
+        let registry_gen = AtomicU64::new(registry.generation());
         ElasticProcess {
             inner: Arc::new(Inner {
                 config,
-                registry: RwLock::new(Arc::new(services::standard_registry())),
+                registry: RwLock::new(registry),
+                registry_gen,
                 repository: Repository::new(),
                 dpis: ShardedTable::new(),
                 next_dpi: AtomicU64::new(1),
@@ -240,6 +272,7 @@ impl ElasticProcess {
                 metrics,
                 journal,
                 durable: RwLock::new(None),
+                durable_armed: AtomicBool::new(false),
                 nonces: Mutex::new(HashSet::new()),
                 cold_traces: Mutex::new(HashSet::new()),
             }),
@@ -280,23 +313,23 @@ impl ElasticProcess {
     }
 
     /// Accounting rows for every live (non-terminated) dpi, sorted by
-    /// id — the source of the `mbdDpiAccounting` OCP table.
+    /// id — the source of the `mbdDpiAccounting` OCP table. Runs at
+    /// 1 Hz from the OCP refresher, so it takes the combined
+    /// [`ShardedTable::snapshot_with_len`] pass: one trip through the
+    /// shard locks yields both the slots and the capacity to pre-size
+    /// the row vector.
     pub fn account_rows(&self) -> Vec<DpiAccountRow> {
-        let mut rows: Vec<DpiAccountRow> = self
-            .inner
-            .dpis
-            .snapshot()
-            .into_iter()
-            .filter_map(|(id, slot)| {
-                let state = slot.state();
-                (state != DpiState::Terminated).then(|| DpiAccountRow {
-                    id,
-                    dp_name: slot.dp_name.clone(),
-                    state,
-                    account: slot.account.snapshot(),
-                })
+        let (slots, len) = self.inner.dpis.snapshot_with_len();
+        let mut rows = Vec::with_capacity(len);
+        rows.extend(slots.into_iter().filter_map(|(id, slot)| {
+            let state = slot.state();
+            (state != DpiState::Terminated).then(|| DpiAccountRow {
+                id,
+                dp_name: slot.dp_name.clone(),
+                state,
+                account: slot.account.snapshot(),
             })
-            .collect();
+        }));
         rows.sort_by_key(|r| r.id);
         rows
     }
@@ -313,12 +346,12 @@ impl ElasticProcess {
             if dpi != 0 && id.0 != dpi {
                 continue;
             }
-            let instance = slot.instance.lock();
-            if !instance.profiling_enabled() {
+            let cell = slot.cell.lock();
+            if !cell.vm.profiling_enabled() {
                 continue;
             }
-            let lines = instance.profile_folded();
-            drop(instance);
+            let lines = cell.vm.profile_folded();
+            drop(cell);
             if dpi == 0 {
                 out.extend(lines.into_iter().map(|l| format!("dpi-{};{l}", id.0)));
             } else {
@@ -336,12 +369,12 @@ impl ElasticProcess {
         slots.sort_by_key(|(id, _)| *id);
         let mut out = Vec::new();
         for (id, slot) in slots {
-            let instance = slot.instance.lock();
-            if !instance.profiling_enabled() {
+            let cell = slot.cell.lock();
+            if !cell.vm.profiling_enabled() {
                 continue;
             }
-            let rows = instance.profile_rows();
-            drop(instance);
+            let rows = cell.vm.profile_rows();
+            drop(cell);
             out.extend(rows.into_iter().map(|row| (id.0, row)));
         }
         out
@@ -355,7 +388,7 @@ impl ElasticProcess {
     /// [`CoreError::NoSuchInstance`].
     pub fn set_quota(&self, dpi: DpiId, quota: Option<DpiQuota>) -> Result<(), CoreError> {
         let slot = self.slot(dpi)?;
-        *slot.quota.lock() = quota;
+        slot.set_quota(quota);
         self.durable_append(crate::durable::WalRecord::SetQuota { dpi: dpi.0, quota });
         Ok(())
     }
@@ -411,6 +444,10 @@ impl ElasticProcess {
         let mut guard = self.inner.registry.write();
         let mut next = HostRegistry::clone(&guard);
         next.register(name, arity, f);
+        // Both stores happen under the write guard; a reader that sees
+        // the new generation and refreshes blocks on the read lock until
+        // the guard drops, so it can only observe the new registry.
+        self.inner.registry_gen.store(next.generation(), Ordering::Release);
         *guard = Arc::new(next);
     }
 
@@ -418,6 +455,35 @@ impl ElasticProcess {
     /// it without holding the lock.
     pub(in crate::process) fn registry_snapshot(&self) -> Arc<HostRegistry<ServerCtx>> {
         Arc::clone(&self.inner.registry.read())
+    }
+
+    /// Builds a slot for `dpi` with a fresh mailbox/account and this
+    /// process's shared service handles wired into its long-lived
+    /// context.
+    pub(in crate::process) fn new_slot(
+        &self,
+        dpi: DpiId,
+        dp_name: &str,
+        instance: dpl::Instance,
+        state: DpiState,
+    ) -> table::DpiSlot {
+        let ctx = ServerCtx {
+            mib: self.inner.mib.clone(),
+            mailbox: Arc::new(Mutex::new(std::collections::VecDeque::new())),
+            outbox: Arc::clone(&self.inner.outbox),
+            log: Arc::clone(&self.inner.log),
+            ticks: Arc::clone(&self.inner.ticks),
+            pending: Vec::new(),
+            dpi,
+            account: Arc::new(DpiAccount::default()),
+        };
+        table::DpiSlot::with_state(
+            dp_name.to_string(),
+            instance,
+            state,
+            ctx,
+            self.registry_snapshot(),
+        )
     }
 
     /// Advances the server clock by `ticks` hundredths of a second.

@@ -3,9 +3,13 @@
 //! The seed kept `ProcessStats` behind a `Mutex`, so every delegation,
 //! instantiation and invocation on every thread serialized on one lock
 //! just to bump a counter. [`AtomicStats`] makes each counter an
-//! independent `AtomicU64`; [`ProcessStats`] remains the plain snapshot
-//! handed to callers.
+//! independent, cache-line-padded `AtomicU64`; [`ProcessStats`] remains
+//! the plain snapshot handed to callers. Without the padding all five
+//! counters share one cache line, so the two invocation counters — hit
+//! on every invoke by every worker — false-share with each other and
+//! with the cold lifecycle counters.
 
+use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters describing a process's lifetime activity (a point-in-time
@@ -29,14 +33,14 @@ pub struct ProcessStats {
     pub log_dropped: u64,
 }
 
-/// The live counters, each independently atomic.
+/// The live counters, each independently atomic on its own cache line.
 #[derive(Debug, Default)]
 pub(super) struct AtomicStats {
-    pub delegations_accepted: AtomicU64,
-    pub delegations_rejected: AtomicU64,
-    pub instantiations: AtomicU64,
-    pub invocations_ok: AtomicU64,
-    pub invocations_failed: AtomicU64,
+    pub delegations_accepted: CachePadded<AtomicU64>,
+    pub delegations_rejected: CachePadded<AtomicU64>,
+    pub instantiations: CachePadded<AtomicU64>,
+    pub invocations_ok: CachePadded<AtomicU64>,
+    pub invocations_failed: CachePadded<AtomicU64>,
 }
 
 impl AtomicStats {

@@ -12,14 +12,41 @@
 //! instantiated dpis spreads evenly by construction.
 
 use super::account::{DpiAccount, DpiQuota};
+use crate::services::ServerCtx;
+use crossbeam::utils::CachePadded;
+use dpl::HostRegistry;
 use parking_lot::{Mutex, RwLock};
 use rds::{DpiId, DpiState};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Number of independently locked table shards (power of two).
 pub(super) const SHARDS: usize = 16;
+
+/// Everything an invocation needs once the per-dpi lock is held: the VM
+/// instance, this dpi's long-lived service context, and a cached
+/// host-registry snapshot.
+///
+/// Keeping the context and registry *inside* the instance mutex is a
+/// hot-path optimization: the seed rebuilt a `ServerCtx` (seven `Arc`
+/// clones and a fresh `Arc<Mutex<Vec>>` allocation) and re-snapshotted
+/// the registry (read-lock plus `Arc` clone) on every invocation. Both
+/// are per-dpi state that only the invocation holder touches, so they
+/// live here and cost nothing per call; the registry cache re-validates
+/// against the process's registry generation.
+pub(super) struct InstanceCell {
+    /// The VM instance. Its surrounding mutex serializes invocations
+    /// per dpi while different dpis run concurrently (the multithreaded
+    /// elastic process of the paper).
+    pub vm: dpl::Instance,
+    /// This dpi's service context. `ctx.pending` is drained by the
+    /// runtime after each invocation returns.
+    pub ctx: ServerCtx,
+    /// Cached host-registry snapshot; refreshed when the process's
+    /// registry generation moves (see `ElasticProcess::register_service`).
+    pub registry: Arc<HostRegistry<ServerCtx>>,
+}
 
 /// A live instance slot. Shared out of the table as an `Arc` so callers
 /// operate on the slot without holding any shard lock.
@@ -27,16 +54,22 @@ pub(super) struct DpiSlot {
     pub dp_name: String,
     /// Lifecycle state, encoded with [`DpiState::code`].
     state: AtomicU8,
-    /// The VM instance; its own mutex serializes invocations per dpi
-    /// while different dpis run concurrently (the multithreaded elastic
-    /// process of the paper).
-    pub instance: Mutex<dpl::Instance>,
+    /// The per-dpi invocation cell (VM + context + registry cache).
+    pub cell: Mutex<InstanceCell>,
     pub mailbox: Arc<Mutex<VecDeque<Vec<u8>>>>,
     /// Lock-free lifetime resource counters for this dpi.
     pub account: Arc<DpiAccount>,
     /// Optional cumulative resource quota; checked after every
-    /// invocation, breach suspends the dpi.
-    pub quota: Mutex<Option<DpiQuota>>,
+    /// invocation, breach suspends the dpi. Private so the armed flag
+    /// below stays coherent.
+    quota: Mutex<Option<DpiQuota>>,
+    /// Whether a quota is armed — lets the per-invocation check skip
+    /// the quota mutex entirely in the (common) unarmed case.
+    has_quota: AtomicBool,
+    /// Invocations queued by the work-stealing executor, plus the
+    /// scheduled flag that guarantees at most one runnable token per
+    /// dpi exists across all worker deques (see `process::executor`).
+    pub invokes: Mutex<super::executor::PendingInvokes>,
 }
 
 fn decode(code: u8) -> DpiState {
@@ -44,21 +77,43 @@ fn decode(code: u8) -> DpiState {
 }
 
 impl DpiSlot {
-    pub fn new(dp_name: String, instance: dpl::Instance) -> DpiSlot {
-        DpiSlot::with_state(dp_name, instance, DpiState::Ready)
-    }
-
     /// A slot starting in an explicit lifecycle state — recovery and
     /// checkpoint restore install dpis that are not freshly `Ready`.
-    pub fn with_state(dp_name: String, instance: dpl::Instance, state: DpiState) -> DpiSlot {
+    /// `ctx` must be this dpi's context; the slot shares its mailbox
+    /// and account.
+    pub fn with_state(
+        dp_name: String,
+        instance: dpl::Instance,
+        state: DpiState,
+        ctx: ServerCtx,
+        registry: Arc<HostRegistry<ServerCtx>>,
+    ) -> DpiSlot {
         DpiSlot {
             dp_name,
             state: AtomicU8::new(state.code() as u8),
-            instance: Mutex::new(instance),
-            mailbox: Arc::new(Mutex::new(VecDeque::new())),
-            account: Arc::new(DpiAccount::default()),
+            mailbox: Arc::clone(&ctx.mailbox),
+            account: Arc::clone(&ctx.account),
+            cell: Mutex::new(InstanceCell { vm: instance, ctx, registry }),
             quota: Mutex::new(None),
+            has_quota: AtomicBool::new(false),
+            invokes: Mutex::new(super::executor::PendingInvokes::default()),
         }
+    }
+
+    /// Arms (or clears) the quota, keeping the lock-free armed flag
+    /// coherent.
+    pub fn set_quota(&self, quota: Option<DpiQuota>) {
+        *self.quota.lock() = quota;
+        self.has_quota.store(quota.is_some(), Ordering::Release);
+    }
+
+    /// The armed quota, if any. Lock-free when none is armed — the
+    /// per-invocation path calls this after every run.
+    pub fn quota(&self) -> Option<DpiQuota> {
+        if !self.has_quota.load(Ordering::Acquire) {
+            return None;
+        }
+        *self.quota.lock()
     }
 
     /// Unconditionally sets the lifecycle state — WAL replay applies
@@ -108,52 +163,95 @@ impl DpiSlot {
     }
 }
 
+/// One table shard: the locked map plus a mirror of its entry count,
+/// maintained on the write paths so [`ShardedTable::len`] never takes a
+/// lock and [`ShardedTable::snapshot`] can pre-size its output.
+struct Shard {
+    map: RwLock<HashMap<DpiId, Arc<DpiSlot>>>,
+    len: AtomicUsize,
+}
+
 /// The concurrent instance table: `SHARDS` locked maps plus an atomic
 /// census of live (non-terminated) instances for limit enforcement.
+///
+/// Each shard and the census are cache-line padded: the shard locks and
+/// the `live` counter are the hottest shared words in the process, and
+/// without padding sixteen `RwLock` state words pack onto two cache
+/// lines, so threads touching *different* shards still bounce the same
+/// lines (false sharing) — exactly the contention sharding exists to
+/// remove.
 pub(super) struct ShardedTable {
-    shards: Vec<RwLock<HashMap<DpiId, Arc<DpiSlot>>>>,
-    live: AtomicUsize,
+    shards: Vec<CachePadded<Shard>>,
+    live: CachePadded<AtomicUsize>,
 }
 
 impl ShardedTable {
     pub fn new() -> ShardedTable {
         ShardedTable {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
-            live: AtomicUsize::new(0),
+            shards: (0..SHARDS)
+                .map(|_| {
+                    CachePadded::new(Shard {
+                        map: RwLock::new(HashMap::new()),
+                        len: AtomicUsize::new(0),
+                    })
+                })
+                .collect(),
+            live: CachePadded::new(AtomicUsize::new(0)),
         }
     }
 
-    fn shard(&self, id: DpiId) -> &RwLock<HashMap<DpiId, Arc<DpiSlot>>> {
+    fn shard(&self, id: DpiId) -> &Shard {
         &self.shards[(id.0 as usize) & (SHARDS - 1)]
     }
 
     /// The slot for `id`, if present (terminated slots may linger for
     /// diagnostics).
     pub fn get(&self, id: DpiId) -> Option<Arc<DpiSlot>> {
-        self.shard(id).read().get(&id).cloned()
+        self.shard(id).map.read().get(&id).cloned()
     }
 
     pub fn insert(&self, id: DpiId, slot: Arc<DpiSlot>) {
-        self.shard(id).write().insert(id, slot);
+        let shard = self.shard(id);
+        let mut map = shard.map.write();
+        if map.insert(id, slot).is_none() {
+            shard.len.fetch_add(1, Ordering::Release);
+        }
     }
 
     pub fn remove(&self, id: DpiId) {
-        self.shard(id).write().remove(&id);
+        let shard = self.shard(id);
+        let mut map = shard.map.write();
+        if map.remove(&id).is_some() {
+            shard.len.fetch_sub(1, Ordering::Release);
+        }
     }
 
-    /// Slots currently stored (any state), unordered.
+    /// Slots currently stored (any state), unordered. Pre-sized from the
+    /// per-shard counters, then filled in a single locked pass per
+    /// shard.
     pub fn snapshot(&self) -> Vec<(DpiId, Arc<DpiSlot>)> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.len());
         for shard in &self.shards {
-            let map = shard.read();
+            let map = shard.map.read();
             out.extend(map.iter().map(|(id, slot)| (*id, Arc::clone(slot))));
         }
         out
     }
 
-    /// Entries stored across all shards.
+    /// [`snapshot`](ShardedTable::snapshot) plus the table length from
+    /// the same pass — the 1 Hz samplers (gauges, account rows, profile
+    /// stacks) want both, and calling `len()` separately used to lock
+    /// all [`SHARDS`] shards a second time.
+    pub fn snapshot_with_len(&self) -> (Vec<(DpiId, Arc<DpiSlot>)>, usize) {
+        let out = self.snapshot();
+        let len = out.len();
+        (out, len)
+    }
+
+    /// Entries stored across all shards — lock-free, read from the
+    /// per-shard counters.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.shards.iter().map(|s| s.len.load(Ordering::Acquire)).sum()
     }
 
     /// Reserves one live-instance slot unless `limit` is reached.
@@ -182,9 +280,26 @@ mod tests {
     use super::*;
 
     fn slot() -> Arc<DpiSlot> {
-        let reg: dpl::HostRegistry<()> = dpl::HostRegistry::with_stdlib();
+        let reg = Arc::new(crate::services::standard_registry());
         let program = dpl::compile_program("fn main() { return 0; }", &reg).unwrap();
-        Arc::new(DpiSlot::new("t".to_string(), dpl::Instance::new(std::sync::Arc::new(program))))
+        let account = Arc::new(DpiAccount::default());
+        let ctx = ServerCtx {
+            mib: snmp::MibStore::new(),
+            mailbox: Arc::new(Mutex::new(VecDeque::new())),
+            outbox: Arc::new(crate::process::EventQueue::new(16)),
+            log: Arc::new(crate::process::EventQueue::new(16)),
+            ticks: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            pending: Vec::new(),
+            dpi: DpiId(1),
+            account,
+        };
+        Arc::new(DpiSlot::with_state(
+            "t".to_string(),
+            dpl::Instance::new(std::sync::Arc::new(program)),
+            DpiState::Ready,
+            ctx,
+            reg,
+        ))
     }
 
     #[test]
@@ -218,6 +333,23 @@ mod tests {
             seen[(id.0 as usize) & (SHARDS - 1)] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn len_counters_track_inserts_removes_and_overwrites() {
+        let t = ShardedTable::new();
+        for i in 1..=8u64 {
+            t.insert(DpiId(i), slot());
+        }
+        // Overwriting an existing id must not inflate the count.
+        t.insert(DpiId(3), slot());
+        assert_eq!(t.len(), 8);
+        t.remove(DpiId(3));
+        t.remove(DpiId(3));
+        assert_eq!(t.len(), 7);
+        let (snap, len) = t.snapshot_with_len();
+        assert_eq!(snap.len(), 7);
+        assert_eq!(len, 7);
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use crate::process::{ExecutorConfig, InvokeExecutor};
 use crate::{convert, CoreError, ElasticProcess};
 use mbd_auth::{Acl, Principal};
 use rds::{AuditEvent, DpiId, ErrorCode, RdsHandler, RdsRequest, RdsResponse, RdsServer};
@@ -38,10 +39,12 @@ impl std::fmt::Debug for MbdServer {
     }
 }
 
-/// The handler half: owns a process handle.
+/// The handler half: owns a process handle, plus the work-stealing
+/// invoke executor once [`MbdServer::arm_executor`] has been called.
 #[derive(Debug, Clone)]
 pub struct Dispatcher {
     process: ElasticProcess,
+    executor: Arc<std::sync::OnceLock<InvokeExecutor>>,
 }
 
 fn error_code(e: &CoreError) -> ErrorCode {
@@ -53,7 +56,9 @@ fn error_code(e: &CoreError) -> ErrorCode {
         CoreError::NoSuchInstance(_) => ErrorCode::NoSuchInstance,
         CoreError::BadState { .. } => ErrorCode::BadState,
         CoreError::Runtime(_) => ErrorCode::RuntimeFault,
-        CoreError::TooManyInstances { .. } | CoreError::Durability { .. } => ErrorCode::Internal,
+        CoreError::TooManyInstances { .. }
+        | CoreError::Durability { .. }
+        | CoreError::Overloaded { .. } => ErrorCode::Internal,
         CoreError::BadCheckpoint { .. } => ErrorCode::TranslationFailed,
         CoreError::NonceReused | CoreError::InstanceExists { .. } => ErrorCode::BadState,
     }
@@ -91,9 +96,15 @@ impl RdsHandler for Dispatcher {
             }
             RdsRequest::Invoke { dpi, entry, args } => {
                 let args: Vec<dpl::Value> = args.iter().map(convert::from_ber).collect();
-                to_response(self.process.invoke(dpi, &entry, &args), |v| RdsResponse::Result {
-                    value: convert::to_ber(&v),
-                })
+                // Armed, invocations are scheduled through the
+                // work-stealing executor (batched dispatch, per-dpi
+                // FIFO) instead of contending on the instance lock
+                // from the transport thread.
+                let outcome = match self.executor.get() {
+                    Some(exec) => exec.invoke_sync(dpi, &entry, &args),
+                    None => self.process.invoke(dpi, &entry, &args),
+                };
+                to_response(outcome, |v| RdsResponse::Result { value: convert::to_ber(&v) })
             }
             RdsRequest::Suspend { dpi } => {
                 to_response(self.process.suspend(dpi), |()| RdsResponse::Ok)
@@ -253,7 +264,7 @@ impl MbdServer {
         let telemetry = process.telemetry().clone();
         let audit = audit_sink(process.clone());
         MbdServer {
-            rds: RdsServer::open(Dispatcher { process })
+            rds: RdsServer::open(Dispatcher { process, executor: Arc::default() })
                 .instrument(&telemetry)
                 .with_audit(audit)
                 .with_dedup(rds::DEFAULT_DEDUP_CAPACITY),
@@ -266,7 +277,7 @@ impl MbdServer {
         let telemetry = process.telemetry().clone();
         let audit = audit_sink(process.clone());
         MbdServer {
-            rds: RdsServer::with_policy(Dispatcher { process }, acl, key)
+            rds: RdsServer::with_policy(Dispatcher { process, executor: Arc::default() }, acl, key)
                 .instrument(&telemetry)
                 .with_audit(audit)
                 .with_dedup(rds::DEFAULT_DEDUP_CAPACITY),
@@ -295,6 +306,20 @@ impl MbdServer {
     /// The underlying elastic process.
     pub fn process(&self) -> &ElasticProcess {
         &self.rds.handler().process
+    }
+
+    /// Arms the work-stealing invoke executor: from here on, `Invoke`
+    /// requests are queued onto the executor's per-dpi FIFOs and run by
+    /// its worker fleet rather than inline on the transport thread.
+    /// Calling it again is a no-op (the first fleet wins).
+    pub fn arm_executor(&self, config: ExecutorConfig) {
+        let _ =
+            self.rds.handler().executor.set(InvokeExecutor::start(self.process().clone(), config));
+    }
+
+    /// The armed executor, if [`MbdServer::arm_executor`] has run.
+    pub fn executor(&self) -> Option<&InvokeExecutor> {
+        self.rds.handler().executor.get()
     }
 
     /// Serves a [`rds::ChannelTransportServer`] until all clients hang

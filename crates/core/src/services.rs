@@ -84,8 +84,11 @@ pub struct ServerCtx {
     pub log: Arc<EventQueue<String>>,
     /// Server uptime in ticks (hundredths of a second, like sysUpTime).
     pub ticks: Arc<AtomicU64>,
-    /// Actions to apply once this invocation returns.
-    pub pending: Arc<Mutex<Vec<PendingAction>>>,
+    /// Actions to apply once this invocation returns. A plain vector:
+    /// host functions receive `&mut ServerCtx`, so no lock or
+    /// allocation is needed — the runtime drains it after each
+    /// invocation returns.
+    pub pending: Vec<PendingAction>,
     /// The invoking instance's id.
     pub dpi: DpiId,
     /// The invoking instance's resource account (notify/log/eviction
@@ -214,19 +217,19 @@ pub fn standard_registry() -> HostRegistry<ServerCtx> {
     reg.register("dp_delegate", 2, |ctx, args| {
         let name = args[0].as_str().ok_or("dp_delegate: name must be str")?.to_string();
         let source = args[1].as_str().ok_or("dp_delegate: source must be str")?.to_string();
-        ctx.pending.lock().push(PendingAction::Delegate { name, source });
+        ctx.pending.push(PendingAction::Delegate { name, source });
         Ok(Value::Nil)
     });
     reg.register("dp_instantiate", 1, |ctx, args| {
         let name = args[0].as_str().ok_or("dp_instantiate: name must be str")?.to_string();
-        ctx.pending.lock().push(PendingAction::Instantiate { name });
+        ctx.pending.push(PendingAction::Instantiate { name });
         Ok(Value::Nil)
     });
     reg.register("dpi_send", 2, |ctx, args| {
         let target = args[0].as_int().ok_or("dpi_send: target must be int")?;
         let target = u64::try_from(target).map_err(|_| "dpi_send: negative id".to_string())?;
         let payload = args[1].to_string().into_bytes();
-        ctx.pending.lock().push(PendingAction::Message { target, payload });
+        ctx.pending.push(PendingAction::Message { target, payload });
         Ok(Value::Nil)
     });
 
@@ -249,7 +252,7 @@ mod tests {
             outbox: Arc::new(EventQueue::new(1024)),
             log: Arc::new(EventQueue::new(1024)),
             ticks: Arc::new(AtomicU64::new(500)),
-            pending: Arc::new(Mutex::new(Vec::new())),
+            pending: Vec::new(),
             dpi: DpiId(1),
             account: Arc::new(DpiAccount::default()),
         }

@@ -220,7 +220,11 @@ grep -Eq "trace=[0-9a-f]{16} principal=server verb=alert.clear .*ep.quota_breach
     cat "$SMOKE_DIR/alert_journal.txt"
     exit 1
 }
-"${HISTCTL[@]}" --json journal | grep -q '"verb":"alert.fire"' || {
+# Capture to a file before grepping: grep -q quitting on first match
+# would SIGPIPE mbdctl mid-print, and pipefail turns that into a
+# spurious failure even when the record is present.
+"${HISTCTL[@]}" --json journal > "$SMOKE_DIR/alert_journal.json"
+grep -q '"verb":"alert.fire"' "$SMOKE_DIR/alert_journal.json" || {
     echo "history smoke FAILED: journal --json is missing the alert.fire record"
     exit 1
 }
@@ -442,9 +446,12 @@ for _ in $(seq 1 50); do
     "${DURCTL[@]}" programs >/dev/null 2>&1 && break
     sleep 0.1
 done
-"${DURCTL[@]}" instances | grep -q "^$DUR_DPI	counter" || {
+# File-then-grep (not a pipe): grep -q quitting early would SIGPIPE
+# mbdctl under pipefail.
+"${DURCTL[@]}" instances > "$SMOKE_DIR/dur_instances.txt"
+grep -q "^$DUR_DPI	counter" "$SMOKE_DIR/dur_instances.txt" || {
     echo "durability smoke FAILED: rebooted server does not list $DUR_DPI:"
-    "${DURCTL[@]}" instances
+    cat "$SMOKE_DIR/dur_instances.txt"
     exit 1
 }
 GOT="$("${DURCTL[@]}" invoke "$DUR_DPI" main)"
@@ -489,6 +496,36 @@ grep -q '"mode": "off"' bench/out/BENCH_E14.json || {
     exit 1
 }
 echo "durability smoke ok: $(grep -c '"mode"' bench/out/BENCH_E14.json) E14 rows written and mirrored"
+
+echo "==> contention smoke: E7b executor-vs-single-lock gate (release-gated) + artifacts"
+# The release-only acceptance test re-runs the sweep and asserts the
+# work-stealing batch executor at least doubles the single-lock +
+# per-op-handoff design at the widest cell (256 dpis) and never loses
+# anywhere on the series; it self-skips below 8 hardware threads.
+cargo test --release -q -p mbd-bench --lib e7_contention
+cargo run --release -q -p mbd-bench --bin exp_contention >/dev/null
+[ -s bench/out/BENCH_E7B.json ] && [ -s bench/out/E7B.csv ] || {
+    echo "contention smoke FAILED: exp_contention did not write bench/out/BENCH_E7B.json + E7B.csv"
+    exit 1
+}
+grep -q '"dpis": 256' bench/out/BENCH_E7B.json || {
+    echo "contention smoke FAILED: BENCH_E7B.json is missing the 256-dpi row"
+    exit 1
+}
+[ -s BENCH_E7B.json ] || {
+    echo "contention smoke FAILED: exp_contention did not mirror BENCH_E7B.json to the repo root"
+    exit 1
+}
+# The 2x bet itself is re-checked from the artifact when the host can
+# actually run the managers in parallel (same guard as the test).
+if [ "$(nproc)" -ge 8 ]; then
+    E7B_SPEEDUP="$(grep '"dpis": 256' bench/out/BENCH_E7B.json | sed 's/.*"speedup": \([0-9.]*\).*/\1/')"
+    awk -v s="$E7B_SPEEDUP" 'BEGIN { exit !(s >= 2.0) }' || {
+        echo "contention smoke FAILED: 256-dpi speedup $E7B_SPEEDUP < 2.0"
+        exit 1
+    }
+fi
+echo "contention smoke ok: $(grep -c '"threads": 8' bench/out/BENCH_E7B.json) E7b rows written and mirrored"
 
 echo "==> cargo test (tier-1: root package)"
 cargo test -q

@@ -1,0 +1,139 @@
+//! Stress and property tests for the work-stealing invoke executor.
+//!
+//! The properties the executor must never trade for throughput:
+//!
+//! 1. **Per-dpi serialization** — a dpi's invocations run one at a
+//!    time, each seeing the state the previous one left. With the
+//!    counter program, the dpi's callback stream must be exactly
+//!    `1, 2, 3, ...` — any interleaving, loss, or double-run breaks
+//!    the sequence.
+//! 2. **Per-connection FIFO** — two invocations submitted in order by
+//!    one source to one dpi complete in that order, no matter which
+//!    worker (home or thief) runs them.
+//!
+//! Submitter threads hammer a shared dpi population from seeded
+//! schedules, so the token/steal machinery is exercised with dpis
+//! queued, stolen, and re-queued concurrently.
+
+use mbd::core::{ElasticConfig, ElasticProcess, ExecutorConfig, InvokeExecutor};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+const PROGRAM: &str = "var n = 0; fn bump() { n = n + 1; return n; }";
+
+/// Seeded xorshift so schedules are reproducible from the case seed.
+fn next(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Runs `sources` submitter threads, each issuing `ops` seeded
+/// invocations across `dpi_count` dpis, and checks both ordering
+/// properties on the completion logs.
+fn run_stress(seed: u64, dpi_count: usize, sources: usize, ops: usize, workers: usize) {
+    let process = ElasticProcess::new(ElasticConfig::default());
+    process.delegate("counter", PROGRAM).unwrap();
+    let dpis: Vec<_> = (0..dpi_count).map(|_| process.instantiate("counter").unwrap()).collect();
+    // Backlog sized above the worst-case burst (all sources on one
+    // dpi): this suite tests ordering, not backpressure.
+    let exec = Arc::new(InvokeExecutor::start(
+        process.clone(),
+        ExecutorConfig { workers, backlog: sources * ops + 1, ..ExecutorConfig::default() },
+    ));
+
+    // Completion logs, appended from worker threads at callback time:
+    // one per dpi (serialization witness) and one per (source, dpi)
+    // pair (FIFO witness).
+    let per_dpi: Arc<Vec<Mutex<Vec<i64>>>> =
+        Arc::new((0..dpi_count).map(|_| Mutex::new(Vec::new())).collect());
+    let per_pair: Arc<Vec<Vec<Mutex<Vec<i64>>>>> = Arc::new(
+        (0..sources).map(|_| (0..dpi_count).map(|_| Mutex::new(Vec::new())).collect()).collect(),
+    );
+
+    let submitters: Vec<_> = (0..sources)
+        .map(|src| {
+            let exec = Arc::clone(&exec);
+            let dpis = dpis.clone();
+            let per_dpi = Arc::clone(&per_dpi);
+            let per_pair = Arc::clone(&per_pair);
+            let mut rng = seed ^ (src as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            std::thread::spawn(move || {
+                for _ in 0..ops {
+                    let which = next(&mut rng) as usize % dpis.len();
+                    let per_dpi = Arc::clone(&per_dpi);
+                    let per_pair = Arc::clone(&per_pair);
+                    exec.submit(dpis[which], "bump", &[], move |outcome| {
+                        let value = match outcome.unwrap() {
+                            mbd::dpl::Value::Int(n) => n,
+                            other => panic!("counter returned {other:?}"),
+                        };
+                        per_dpi[which].lock().unwrap().push(value);
+                        per_pair[src][which].lock().unwrap().push(value);
+                    });
+                }
+            })
+        })
+        .collect();
+    for t in submitters {
+        t.join().unwrap();
+    }
+    // Shutdown completes every queued invocation before returning.
+    exec.shutdown();
+
+    let mut total = 0usize;
+    for (i, log) in per_dpi.iter().enumerate() {
+        let log = log.lock().unwrap();
+        total += log.len();
+        // Serialization: the dpi's completion stream is the exact
+        // counter sequence — nothing lost, doubled, or interleaved.
+        for (k, v) in log.iter().enumerate() {
+            assert_eq!(*v, k as i64 + 1, "dpi #{i} completion stream broke at index {k}");
+        }
+    }
+    assert_eq!(total, sources * ops, "every submission completed exactly once");
+    for (src, row) in per_pair.iter().enumerate() {
+        for (i, log) in row.iter().enumerate() {
+            let log = log.lock().unwrap();
+            // Per-connection FIFO: one source's submissions to one dpi
+            // complete in submission order, so the values it observes
+            // are strictly increasing.
+            for w in log.windows(2) {
+                assert!(
+                    w[0] < w[1],
+                    "source #{src} saw dpi #{i} complete out of order: {} then {}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stress_single_dpi_burst_stays_serial() {
+    // The worst case for stealing: every token is for the same dpi, so
+    // workers contend for one queue and must still serialize it.
+    run_stress(0xBAD_5EED, 1, 4, 500, 4);
+}
+
+#[test]
+fn stress_many_dpis_many_sources() {
+    run_stress(0xD15_7A11, 16, 4, 400, 4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any seed, any population shape: both orderings hold.
+    #[test]
+    fn executor_orderings_hold_for_any_schedule(
+        seed in any::<u64>(),
+        dpi_count in 1usize..12,
+        sources in 1usize..5,
+        workers in 1usize..6,
+    ) {
+        run_stress(seed, dpi_count, sources, 120, workers);
+    }
+}

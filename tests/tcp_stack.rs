@@ -218,6 +218,68 @@ fn read_profile_returns_the_full_waterfall_for_a_slow_request() {
 }
 
 #[test]
+fn armed_executor_keeps_runtime_spans_on_the_request_tree() {
+    // The production server arms the work-stealing executor, so the VM
+    // runs on an `mbd-exec-N` thread — the runtime spans must still be
+    // adopted back onto the submitting request's tree (the worker has
+    // no capture of its own; without the SpanBatch handoff they would
+    // fall into the ring and vanish from the tree).
+    let process = ElasticProcess::new(ElasticConfig::default());
+    let server =
+        Arc::new(MbdServer::with_policy(process.clone(), mbd_auth::Acl::allow_by_default(), None));
+    server.arm_executor(mbd::core::ExecutorConfig { workers: 2, ..Default::default() });
+    let handler = Arc::clone(&server);
+    let tcp = TcpServer::spawn("127.0.0.1:0", move |bytes| handler.process_request(bytes)).unwrap();
+    process.telemetry().enable_tracing(1024);
+    process.telemetry().enable_trace_store(mbd::telemetry::TraceStoreConfig {
+        slow_ns: 1,
+        ..mbd::telemetry::TraceStoreConfig::default()
+    });
+
+    let client = RdsClient::new(TcpTransport::connect(tcp.local_addr()).unwrap(), "exec-mgr");
+    client
+        .delegate(
+            "spin",
+            "fn main(n) { var i = 0; var t = 0; \
+             while (i < n) { i = i + 1; t = t + i; } return t; }",
+        )
+        .unwrap();
+    let dpi = client.instantiate("spin").unwrap();
+    client.invoke(dpi, "main", &[BerValue::Integer(30_000)]).unwrap();
+    let trace = client.last_trace_id();
+    assert_ne!(trace, 0);
+
+    let (tid, _, spans, _) = client.read_profile(trace, dpi.0).unwrap();
+    assert_eq!(tid, trace);
+    let find = |name: &str| {
+        spans
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("span `{name}` missing from {spans:?}"))
+    };
+    let verb = find("rds.verb.invoke");
+    let ep_invoke = find("ep.invoke");
+    let vm_run = find("ep.vm_run");
+    for s in &spans {
+        assert_eq!(s.trace_id, trace, "span {} carries a foreign trace", s.name);
+    }
+    // Both runtime spans hang inside the verb's subtree. Via the
+    // executor `ep.invoke` is recorded retroactively (no live guard on
+    // the span stack while the VM runs), so `ep.vm_run` parents to the
+    // verb directly instead of nesting under `ep.invoke`.
+    assert_eq!(ep_invoke.parent_span_id, verb.span_id);
+    assert!(
+        vm_run.parent_span_id == verb.span_id || vm_run.parent_span_id == ep_invoke.span_id,
+        "ep.vm_run escaped the verb subtree (parent {})",
+        vm_run.parent_span_id,
+    );
+    // And the VM window sits inside the invoke interval.
+    assert!(vm_run.start_ns >= ep_invoke.start_ns);
+    assert!(vm_run.start_ns + vm_run.duration_ns <= ep_invoke.start_ns + ep_invoke.duration_ns);
+    tcp.shutdown();
+}
+
+#[test]
 fn legacy_untraced_frames_interoperate_over_tcp() {
     let (tcp, _process) = spawn_server(None);
     // A pre-trace manager encodes with the legacy envelope (no trace
